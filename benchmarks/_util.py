@@ -1,0 +1,32 @@
+"""Shared helpers for the benchmark harness.
+
+Each paper exhibit gets one benchmark that regenerates it exactly once
+(`rounds=1`: these are minutes-long experiment sweeps, not microbenchmarks)
+and writes the rendered tables to ``benchmarks/output/<id>.txt`` as well as
+stdout, so `pytest benchmarks/ --benchmark-only` leaves the reproduced
+rows/series on disk.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+OUTPUT_DIR = Path(__file__).parent / "output"
+
+
+def run_exhibit(benchmark, experiment_id: str, **kwargs):
+    """Run one registered experiment under pytest-benchmark and persist it."""
+    from repro.experiments import run_experiment
+
+    result = benchmark.pedantic(
+        run_experiment, args=(experiment_id,), kwargs=kwargs,
+        rounds=1, iterations=1,
+    )
+    rendered = result.render()
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    (OUTPUT_DIR / f"{experiment_id}.txt").write_text(rendered + "\n")
+    # Bypass pytest capture so the exhibit is visible in the bench log.
+    sys.__stdout__.write("\n" + rendered + "\n")
+    sys.__stdout__.flush()
+    return result

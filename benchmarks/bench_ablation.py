@@ -1,0 +1,218 @@
+"""Ablation benches for the k-ary sketch's design choices (DESIGN.md §5).
+
+Each test isolates one design decision, measures the alternative on the
+same stream, and records the accuracy/cost delta:
+
+* median-of-rows vs mean-of-rows estimation,
+* k-ary's collision correction vs raw-cell (Count-Min style) readout,
+* 4-universal tabulation vs 2-universal polynomial hashing for F2,
+* k-ary sketch vs Count Sketch update cost (the "simpler operations,
+  more efficient" claim).
+"""
+
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.hashing import make_family
+from repro.sketch import CountSketchSchema, DictVector, KArySchema
+
+OUTPUT = Path(__file__).parent / "output"
+
+
+def _heavy_stream(seed=0, n=60_000, population=8_000):
+    rng = np.random.default_rng(seed)
+    pop = rng.integers(0, 2**32, size=population, dtype=np.uint64)
+    ranks = np.arange(1, population + 1, dtype=np.float64)
+    probs = ranks**-1.0
+    probs /= probs.sum()
+    keys = pop[rng.choice(population, size=n, p=probs)]
+    values = rng.pareto(1.2, size=n) * 100 + 40
+    return keys, values
+
+
+def _report(name: str, lines):
+    OUTPUT.mkdir(exist_ok=True)
+    text = "\n".join(lines)
+    (OUTPUT / f"ablation_{name}.txt").write_text(text + "\n")
+    sys.__stdout__.write("\n" + text + "\n")
+    sys.__stdout__.flush()
+
+
+@pytest.fixture(scope="module")
+def stream():
+    return _heavy_stream()
+
+
+def _top_keys_and_truth(keys, values, count=200):
+    exact = DictVector()
+    exact.update_batch(keys, values)
+    top = exact.top_n(count)
+    probe = np.array([k for k, _ in top], dtype=np.uint64)
+    truth = np.array([v for _, v in top])
+    return probe, truth, np.sqrt(exact.estimate_f2())
+
+
+def test_median_vs_mean_rows(benchmark, stream):
+    """The median across rows resists collision outliers; the mean does not."""
+    keys, values = stream
+    probe, truth, l2 = _top_keys_and_truth(keys, values)
+    schema = KArySchema(depth=5, width=1024, seed=3)
+    sketch = schema.from_items(keys, values)
+    indices = schema.bucket_indices(probe)
+    raw = np.take_along_axis(np.asarray(sketch.table), indices, axis=1)
+    k = schema.width
+    per_row = (raw - sketch.total() / k) / (1.0 - 1.0 / k)
+
+    def median_estimates():
+        return np.median(per_row, axis=0)
+
+    med = benchmark(median_estimates)
+    mean = per_row.mean(axis=0)
+    med_rmse = float(np.sqrt(np.mean((med - truth) ** 2)))
+    mean_rmse = float(np.sqrt(np.mean((mean - truth) ** 2)))
+    _report("median_vs_mean", [
+        "Ablation: ESTIMATE row aggregation (H=5, K=1024, top-200 keys)",
+        f"  median-of-rows RMSE: {med_rmse:12.1f}",
+        f"  mean-of-rows RMSE:   {mean_rmse:12.1f}",
+        f"  (L2 norm of stream:  {l2:12.1f})",
+    ])
+    assert med_rmse <= mean_rmse * 1.05
+
+
+def test_collision_correction_vs_raw_cell(benchmark, stream):
+    """k-ary's (v - sum/K)/(1 - 1/K) correction removes the +F1/K bias a
+    raw Count-Min style readout carries.
+
+    Measured per row (H=1), where the paper's unbiasedness claim
+    (Theorem 1) applies directly: averaged over hash draws, the corrected
+    estimator centres on the truth while the raw cell centres ~F1/K high.
+    """
+    keys, values = stream
+    probe, truth, _ = _top_keys_and_truth(keys, values)
+    width = 1024
+
+    def biases():
+        corrected_bias = raw_bias = 0.0
+        seeds = range(30)
+        for seed in seeds:
+            schema = KArySchema(depth=1, width=width, seed=seed)
+            sketch = schema.from_items(keys, values)
+            indices = schema.bucket_indices(probe)
+            raw = np.take_along_axis(np.asarray(sketch.table), indices, axis=1)[0]
+            corrected = sketch.estimate_batch(probe, indices=indices)
+            corrected_bias += float(np.mean(corrected - truth))
+            raw_bias += float(np.mean(raw - truth))
+        return corrected_bias / len(seeds), raw_bias / len(seeds)
+
+    corr_bias, raw_bias = benchmark.pedantic(biases, rounds=1, iterations=1)
+    expected_raw = values.sum() / width
+    _report("collision_correction", [
+        "Ablation: collision correction (H=1, K=1024, top-200 keys, 30 seeds)",
+        f"  corrected estimator bias:  {corr_bias:12.1f}",
+        f"  raw-cell estimator bias:   {raw_bias:12.1f}",
+        f"  expected raw bias ~ F1/K = {expected_raw:12.1f}",
+    ])
+    assert abs(corr_bias) < 0.25 * expected_raw
+    assert raw_bias == pytest.approx(expected_raw, rel=0.5)
+
+
+def test_tabulation_vs_two_universal_f2(benchmark):
+    """ESTIMATEF2's variance bound needs 4-wise independence.
+
+    On *random* keys a 2-universal ``(a x + b) mod p`` hash looks fine, but
+    on structured keys -- here sequential IPs, i.e. a scanned subnet, an
+    entirely realistic input -- a degree-1 hash maps arithmetic
+    progressions to arithmetic progressions and the F2 estimator's spread
+    blows up.  4-universal families carry their guarantee regardless of key
+    structure."""
+    rng = np.random.default_rng(1)
+    keys = (0x0A000000 + np.arange(40_000)).astype(np.uint64)
+    values = rng.pareto(1.2, size=40_000) * 100 + 40
+    exact = DictVector()
+    exact.update_batch(keys, values)
+    true_f2 = exact.estimate_f2()
+
+    def spread(family):
+        estimates = [
+            KArySchema(depth=1, width=512, seed=seed, family=family)
+            .from_items(keys, values)
+            .estimate_f2()
+            for seed in range(40)
+        ]
+        return float(np.std(np.asarray(estimates) / true_f2))
+
+    four_wise = benchmark.pedantic(
+        spread, args=("tabulation",), rounds=1, iterations=1
+    )
+    two_wise = spread("two-universal")
+    _report("hash_independence", [
+        "Ablation: hash independence for ESTIMATEF2 on sequential keys "
+        "(H=1, K=512, 40 seeds)",
+        f"  4-universal tabulation relative std: {four_wise:.4f}",
+        f"  2-universal polynomial relative std: {two_wise:.4f}",
+    ])
+    assert four_wise * 2.0 < two_wise
+
+
+def test_kary_vs_countsketch_update_cost(benchmark, stream):
+    """The paper: k-ary operations are 'simpler and more efficient' than
+    Count Sketch's (which hashes twice per row for the sign)."""
+    keys, values = stream
+    kary = KArySchema(depth=5, width=8192, seed=5).empty()
+    count = CountSketchSchema(depth=5, width=8192, seed=5).empty()
+
+    import time
+
+    kary_time = benchmark.pedantic(
+        kary.update_batch, args=(keys, values), rounds=3, iterations=1
+    )
+    start = time.perf_counter()
+    for _ in range(3):
+        count.update_batch(keys, values)
+    cs_time = (time.perf_counter() - start) / 3
+
+    stats_mean = benchmark.stats.stats.mean
+    _report("kary_vs_countsketch", [
+        "Ablation: UPDATE cost, k-ary vs Count Sketch (H=5, K=8192, 60k items)",
+        f"  k-ary UPDATE:        {stats_mean * 1e3:8.2f} ms/batch",
+        f"  Count Sketch UPDATE: {cs_time * 1e3:8.2f} ms/batch",
+    ])
+    assert stats_mean < cs_time
+
+
+def test_kary_vs_countsketch_accuracy(benchmark, stream):
+    """Accuracy on the keys change detection cares about (the heavy ones).
+
+    In the *dense* regime (more records than buckets) the k-ary
+    median-of-rows acquires a small negative offset: every bucket carries
+    collision mass whose distribution is right-skewed, so the per-row
+    median sits below the mean that the ``sum/K`` correction removes.  The
+    offset is bounded by F1/K -- negligible relative to heavy keys (the
+    detection targets) though visible on small ones.  Count Sketch's
+    signed collisions are symmetric and dodge it at ~2x the hashing cost.
+    This bench records both effects honestly.
+    """
+    keys, values = stream
+    probe, truth, _ = _top_keys_and_truth(keys, values, count=20)
+    kary = KArySchema(depth=5, width=4096, seed=6).from_items(keys, values)
+    count = CountSketchSchema(depth=5, width=4096, seed=6).from_items(keys, values)
+
+    kary_est = benchmark(kary.estimate_batch, probe)
+    cs_est = count.estimate_batch(probe)
+    kary_rel = float(np.max(np.abs(kary_est - truth) / truth))
+    cs_rel = float(np.max(np.abs(cs_est - truth) / truth))
+    f1_over_k = values.sum() / 4096
+    _report("kary_vs_countsketch_accuracy", [
+        "Ablation: top-20 heavy-key accuracy, k-ary vs Count Sketch "
+        "(H=5, K=4096, dense regime)",
+        f"  k-ary worst relative error:        {kary_rel:8.4%}",
+        f"  Count Sketch worst relative error: {cs_rel:8.4%}",
+        f"  k-ary dense-regime offset bound (F1/K): {f1_over_k:10.1f} "
+        f"(vs smallest probed key {truth[-1]:.1f})",
+    ])
+    # Both reconstruct heavy keys to well under 5%.
+    assert kary_rel < 0.05
+    assert cs_rel < 0.05

@@ -1,0 +1,8 @@
+"""Figure 01 regeneration bench (see DESIGN.md experiment index)."""
+
+from benchmarks._util import run_exhibit
+
+
+def test_fig01(benchmark):
+    """Regenerate the paper's Figure 01 data series."""
+    run_exhibit(benchmark, "fig01")

@@ -1,0 +1,8 @@
+"""Figure 02 regeneration bench (see DESIGN.md experiment index)."""
+
+from benchmarks._util import run_exhibit
+
+
+def test_fig02(benchmark):
+    """Regenerate the paper's Figure 02 data series."""
+    run_exhibit(benchmark, "fig02")

@@ -1,0 +1,8 @@
+"""Figure 03 regeneration bench (see DESIGN.md experiment index)."""
+
+from benchmarks._util import run_exhibit
+
+
+def test_fig03(benchmark):
+    """Regenerate the paper's Figure 03 data series."""
+    run_exhibit(benchmark, "fig03")

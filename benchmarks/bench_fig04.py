@@ -1,0 +1,8 @@
+"""Figure 04 regeneration bench (see DESIGN.md experiment index)."""
+
+from benchmarks._util import run_exhibit
+
+
+def test_fig04(benchmark):
+    """Regenerate the paper's Figure 04 data series."""
+    run_exhibit(benchmark, "fig04")

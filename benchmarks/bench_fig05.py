@@ -1,0 +1,8 @@
+"""Figure 05 regeneration bench (see DESIGN.md experiment index)."""
+
+from benchmarks._util import run_exhibit
+
+
+def test_fig05(benchmark):
+    """Regenerate the paper's Figure 05 data series."""
+    run_exhibit(benchmark, "fig05")

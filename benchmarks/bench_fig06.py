@@ -1,0 +1,8 @@
+"""Figure 06 regeneration bench (see DESIGN.md experiment index)."""
+
+from benchmarks._util import run_exhibit
+
+
+def test_fig06(benchmark):
+    """Regenerate the paper's Figure 06 data series."""
+    run_exhibit(benchmark, "fig06")

@@ -1,0 +1,8 @@
+"""Figure 07 regeneration bench (see DESIGN.md experiment index)."""
+
+from benchmarks._util import run_exhibit
+
+
+def test_fig07(benchmark):
+    """Regenerate the paper's Figure 07 data series."""
+    run_exhibit(benchmark, "fig07")

@@ -1,0 +1,8 @@
+"""Figure 08 regeneration bench (see DESIGN.md experiment index)."""
+
+from benchmarks._util import run_exhibit
+
+
+def test_fig08(benchmark):
+    """Regenerate the paper's Figure 08 data series."""
+    run_exhibit(benchmark, "fig08")

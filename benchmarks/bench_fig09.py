@@ -1,0 +1,8 @@
+"""Figure 09 regeneration bench (see DESIGN.md experiment index)."""
+
+from benchmarks._util import run_exhibit
+
+
+def test_fig09(benchmark):
+    """Regenerate the paper's Figure 09 data series."""
+    run_exhibit(benchmark, "fig09")

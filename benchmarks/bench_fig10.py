@@ -1,0 +1,8 @@
+"""Figure 10 regeneration bench (see DESIGN.md experiment index)."""
+
+from benchmarks._util import run_exhibit
+
+
+def test_fig10(benchmark):
+    """Regenerate the paper's Figure 10 data series."""
+    run_exhibit(benchmark, "fig10")

@@ -1,0 +1,8 @@
+"""Figure 11 regeneration bench (see DESIGN.md experiment index)."""
+
+from benchmarks._util import run_exhibit
+
+
+def test_fig11(benchmark):
+    """Regenerate the paper's Figure 11 data series."""
+    run_exhibit(benchmark, "fig11")

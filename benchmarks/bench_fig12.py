@@ -1,0 +1,8 @@
+"""Figure 12 regeneration bench (see DESIGN.md experiment index)."""
+
+from benchmarks._util import run_exhibit
+
+
+def test_fig12(benchmark):
+    """Regenerate the paper's Figure 12 data series."""
+    run_exhibit(benchmark, "fig12")

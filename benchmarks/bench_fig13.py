@@ -1,0 +1,8 @@
+"""Figure 13 regeneration bench (see DESIGN.md experiment index)."""
+
+from benchmarks._util import run_exhibit
+
+
+def test_fig13(benchmark):
+    """Regenerate the paper's Figure 13 data series."""
+    run_exhibit(benchmark, "fig13")

@@ -1,0 +1,8 @@
+"""Figure 14 regeneration bench (see DESIGN.md experiment index)."""
+
+from benchmarks._util import run_exhibit
+
+
+def test_fig14(benchmark):
+    """Regenerate the paper's Figure 14 data series."""
+    run_exhibit(benchmark, "fig14")

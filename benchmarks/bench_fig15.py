@@ -1,0 +1,8 @@
+"""Figure 15 regeneration bench (see DESIGN.md experiment index)."""
+
+from benchmarks._util import run_exhibit
+
+
+def test_fig15(benchmark):
+    """Regenerate the paper's Figure 15 data series."""
+    run_exhibit(benchmark, "fig15")

@@ -1,0 +1,10 @@
+"""Section 5.1.1 text experiment: grid search vs random parameters."""
+
+from benchmarks._util import run_exhibit
+
+
+def test_grid_search_validation(benchmark):
+    """Grid-searched parameters are never worse than random draws, and a
+    sizable fraction of random draws are at least twice as bad (per-flow
+    scored), reproducing the paper's Section 5.1.1 claims."""
+    run_exhibit(benchmark, "gridsearch")

@@ -1,0 +1,95 @@
+"""Scaling benches: the "constant per-record cost" claim, quantified.
+
+The paper's headline systems property: k-ary sketches have "constant
+per-record update and reconstruction cost" -- independent of the number
+of keys in the stream and of the table width K (cost scales only with H,
+the number of rows).  These benches measure UPDATE and ESTIMATE across
+K, H and stream cardinality, and the detection pipeline end to end.
+"""
+
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.sketch import KArySchema
+
+BATCH = 100_000
+OUTPUT = Path(__file__).parent / "output"
+
+
+def _keys(seed=0, distinct=None):
+    rng = np.random.default_rng(seed)
+    if distinct is None:
+        return rng.integers(0, 1 << 32, BATCH, dtype=np.uint64)
+    pop = rng.integers(0, 1 << 32, distinct, dtype=np.uint64)
+    return pop[rng.integers(0, distinct, BATCH)]
+
+
+@pytest.mark.parametrize("width", [1024, 8192, 65536])
+def test_update_cost_vs_k(benchmark, width):
+    """UPDATE time must not grow with K (same H, same batch)."""
+    schema = KArySchema(depth=5, width=width, seed=0)
+    sketch = schema.empty()
+    keys = _keys()
+    values = np.ones(BATCH)
+    benchmark(sketch.update_batch, keys, values)
+
+
+@pytest.mark.parametrize("depth", [1, 5, 9, 25])
+def test_update_cost_vs_h(benchmark, depth):
+    """UPDATE time grows ~linearly with H (one row touch per hash)."""
+    schema = KArySchema(depth=depth, width=8192, seed=0)
+    sketch = schema.empty()
+    keys = _keys()
+    values = np.ones(BATCH)
+    benchmark(sketch.update_batch, keys, values)
+
+
+@pytest.mark.parametrize("distinct", [100, 10_000, 1_000_000])
+def test_update_cost_vs_cardinality(benchmark, distinct):
+    """UPDATE time must not depend on how many distinct keys the stream has
+    -- the whole point of not keeping per-flow state."""
+    schema = KArySchema(depth=5, width=8192, seed=0)
+    sketch = schema.empty()
+    keys = _keys(distinct=min(distinct, BATCH))
+    values = np.ones(BATCH)
+    benchmark(sketch.update_batch, keys, values)
+
+
+@pytest.mark.parametrize("width", [1024, 8192, 65536])
+def test_estimate_cost_vs_k(benchmark, width):
+    schema = KArySchema(depth=5, width=width, seed=0)
+    keys = _keys()
+    sketch = schema.from_items(keys, np.ones(BATCH))
+    probe = np.unique(keys)[:50_000]
+    benchmark(sketch.estimate_batch, probe)
+
+
+def test_pipeline_throughput(benchmark):
+    """End-to-end records/second through summarize+forecast+detect."""
+    from repro.detection import OfflineTwoPassDetector
+    from repro.streams import IntervalStream
+    from repro.traffic import TrafficGenerator, get_profile
+
+    records = TrafficGenerator(get_profile("medium"), duration=3600.0).generate()
+    schema = KArySchema(depth=5, width=32768, seed=0)
+
+    def run():
+        detector = OfflineTwoPassDetector(schema, "ewma", alpha=0.5,
+                                          t_fraction=0.05)
+        return detector.detect(IntervalStream(records, interval_seconds=300.0))
+
+    benchmark.pedantic(run, rounds=3, iterations=1)
+    per_record_us = benchmark.stats.stats.mean / len(records) * 1e6
+    OUTPUT.mkdir(exist_ok=True)
+    text = (
+        "Scaling: end-to-end detection throughput (medium router, 1h)\n"
+        f"  records: {len(records)}\n"
+        f"  mean pipeline time: {benchmark.stats.stats.mean:.3f} s\n"
+        f"  per-record cost: {per_record_us:.3f} us "
+        f"({1e6 / per_record_us:,.0f} records/s)"
+    )
+    (OUTPUT / "scaling_throughput.txt").write_text(text + "\n")
+    sys.__stdout__.write("\n" + text + "\n")

@@ -1,0 +1,98 @@
+#!/usr/bin/env python
+"""The paper's "ongoing work" items, working together.
+
+Section 6 sketches four extensions; this example exercises three of them
+on one stream:
+
+* **Online change detection** -- :class:`repro.detection.AdaptiveDetector`
+  periodically re-runs grid search over a sliding window of cheap
+  sketches, so forecast parameters track traffic regime changes without
+  an offline tuning pass.
+* **Combining with sampling** -- the input is record-sampled at 25% with
+  Horvitz-Thompson re-weighting before sketching; alarms barely move.
+* **Randomized interval sizes** -- the same detector runs on
+  exponentially distributed intervals with rate normalization, avoiding
+  fixed-boundary effects.
+
+Run:  python examples/adaptive_and_sampled.py
+"""
+
+import numpy as np
+
+from repro import IntervalStream, KArySchema
+from repro.detection import AdaptiveDetector
+from repro.streams import RandomizedIntervalSlicer, concat_records, sample_records
+from repro.traffic import TrafficGenerator, get_profile, inject_dos
+
+DURATION = 3 * 3600.0
+VICTIM_INTERVALS = (24, 25, 26)  # 7200-8100s at 300s intervals
+
+
+def run_adaptive(records, slicer=None, label=""):
+    stream = IntervalStream(
+        records,
+        interval_seconds=300.0,
+        slicer=slicer,
+        normalize_by_duration=slicer is not None,
+    )
+    detector = AdaptiveDetector(
+        KArySchema(depth=5, width=32768, seed=0),
+        model="ewma",
+        t_fraction=0.15,
+        window=12,
+        recalibrate_every=6,
+        min_history=6,
+    )
+    reports = list(detector.run(stream))
+    alarms = {(r.index, a.key) for r in reports for a in r.alarms}
+    fits = detector.parameter_log
+    print(f"{label:<28} alarms={len(alarms):4d}  refits={len(fits)}  "
+          f"latest params={fits[-1][1] if fits else None}")
+    return alarms
+
+
+def main() -> None:
+    rng = np.random.default_rng(3)
+    background = TrafficGenerator(get_profile("medium"), duration=DURATION).generate()
+    dos, event = inject_dos(
+        rng, start=7200.0, end=8100.0, records_per_second=40.0,
+        bytes_per_record=3000.0,
+    )
+    records = concat_records([background, dos])
+    victim = event.keys[0]
+
+    full = run_adaptive(records, label="full stream, fixed 300s")
+
+    sampled_records = sample_records(records, rate=0.25, seed=9)
+    print(f"  (sampling kept {len(sampled_records)}/{len(records)} records)")
+    sampled = run_adaptive(
+        sampled_records, label="25% sampled + reweighted"
+    )
+
+    randomized = run_adaptive(
+        records,
+        slicer=RandomizedIntervalSlicer(300.0, seed=4),
+        label="randomized intervals",
+    )
+
+    def victim_hits(alarms):
+        return sorted(t for t, k in alarms if k == victim)
+
+    print(f"\nDoS victim flagged at intervals:")
+    print(f"  full:       {victim_hits(full)}")
+    print(f"  sampled:    {victim_hits(sampled)}")
+    print(f"  randomized: {victim_hits(randomized)} (indices differ: random boundaries)")
+
+    all_overlap = len(full & sampled) / max(len(full), 1)
+    print(f"\nalarm agreement, full vs 25% sampled: {all_overlap:.0%}")
+    print(
+        "  Sampling heavy-tailed traffic randomizes the forecast errors of\n"
+        "  keys carried by one or two records, so near-threshold alarms\n"
+        "  churn -- but changes backed by sustained volume (the DoS above)\n"
+        "  are flagged identically.  This is the scalability/noise\n"
+        "  trade-off the paper's Section 6 anticipates."
+    )
+
+
+if __name__ == "__main__":
+    main()

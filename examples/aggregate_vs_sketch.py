@@ -1,0 +1,97 @@
+#!/usr/bin/env python
+"""Why SNMP-style aggregate monitoring is not enough.
+
+The paper's motivation: "traffic anomalies may be buried inside the
+aggregated traffic, mandating examination of the traffic at a much lower
+level of aggregation (e.g., IP address level) in order to expose them."
+
+This example monitors the same trace two ways:
+
+1. **Aggregate**: one time series of total bytes per interval (what SNMP
+   link counters give you), with the same EWMA model and an alarm when the
+   residual exceeds 2x its running RMS.
+2. **Sketch**: the paper's per-key pipeline.
+
+The planted DoS adds only a few percent to total link volume -- invisible
+against normal aggregate variation -- while being a massive change for its
+single victim key.
+
+Run:  python examples/aggregate_vs_sketch.py
+"""
+
+import numpy as np
+
+from repro import IntervalStream, KArySchema, OfflineTwoPassDetector
+from repro.forecast import EWMAForecaster
+from repro.streams import concat_records
+from repro.traffic import TrafficGenerator, get_profile, inject_dos
+
+DURATION = 3 * 3600.0
+INTERVAL = 300.0
+
+
+def aggregate_alarms(batches, alpha=0.4, sigmas=2.0):
+    """Classic aggregate residual thresholding on total bytes/interval."""
+    forecaster = EWMAForecaster(alpha)
+    alarms = []
+    residual_energy = 0.0
+    scored = 0
+    for batch in batches:
+        total = float(batch.values.sum())
+        step = forecaster.step(total)
+        if step.error is None:
+            continue
+        scored += 1
+        rms = np.sqrt(residual_energy / scored) if scored > 1 else float("inf")
+        if abs(step.error) > sigmas * rms:
+            alarms.append(batch.index)
+        residual_energy += step.error**2
+    return alarms
+
+
+def main() -> None:
+    rng = np.random.default_rng(21)
+    background = TrafficGenerator(get_profile("large"), duration=DURATION).generate()
+    # Size the DoS at ~4% of interval volume: huge for one key, noise for
+    # the aggregate.
+    bg_bytes_per_interval = background["bytes"].sum() / (DURATION / INTERVAL)
+    attack_rate = 0.04 * bg_bytes_per_interval / INTERVAL / 1500.0
+    dos, event = inject_dos(
+        rng, start=6000.0, end=6900.0,
+        records_per_second=attack_rate, bytes_per_record=1500.0,
+    )
+    records = concat_records([background, dos])
+    batches = list(IntervalStream(records, interval_seconds=INTERVAL))
+    attack_intervals = sorted(
+        {int(t) for t in range(len(batches))
+         if event.overlaps_interval(t * INTERVAL, (t + 1) * INTERVAL)}
+    )
+    share = event.total_bytes / (len(attack_intervals) * bg_bytes_per_interval)
+    print(f"DoS adds ~{share:.1%} to link volume during intervals "
+          f"{attack_intervals}\n")
+
+    agg = aggregate_alarms(batches)
+    caught_agg = [t for t in agg if t in attack_intervals]
+    print(f"aggregate (SNMP-style) alarms: {agg}")
+    print(f"  -> catches the DoS: {bool(caught_agg)}")
+
+    detector = OfflineTwoPassDetector(
+        KArySchema(depth=5, width=32768, seed=0), "ewma", alpha=0.4,
+        t_fraction=0.2,
+    )
+    victim_intervals = sorted({
+        r.index
+        for r in detector.run(batches)
+        if event.keys[0] in {a.key for a in r.alarms}
+    })
+    print(f"\nsketch per-key alarms on the victim: {victim_intervals}")
+    print(f"  -> catches the DoS: "
+          f"{bool(set(victim_intervals) & set(attack_intervals))}")
+    print(
+        "\nSame model, same trace: the 4% bump vanishes into aggregate "
+        "variation but dominates the victim key's own history."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,103 @@
+#!/usr/bin/env python
+"""DoS / scan / worm detection scored against ground truth.
+
+The paper motivates change detection with attack traffic.  This example
+plants three canonical anomalies in background traffic, runs the
+sketch-based detector under two key schemes, and scores detections against
+the injected ground truth:
+
+* a volumetric **DoS** at one destination  (visible under ``dst_ip``),
+* a **worm** scanning one service port     (visible under ``dst_port``),
+* a **port scan** spread over many hosts   (a negative control for
+  volume-keyed detection -- each touched key is individually tiny).
+
+Run:  python examples/dos_detection.py
+"""
+
+import numpy as np
+
+from repro import IntervalStream, KArySchema, OfflineTwoPassDetector
+from repro.streams import concat_records
+from repro.traffic import (
+    TrafficGenerator,
+    get_profile,
+    inject_dos,
+    inject_port_scan,
+    inject_worm,
+)
+
+DURATION = 2 * 3600.0
+INTERVAL = 300.0
+
+
+def detect(records, key_scheme, t_fraction=0.1):
+    """Run the paper's detector and return {interval: {alarm keys}}."""
+    stream = IntervalStream(
+        records, interval_seconds=INTERVAL, key_scheme=key_scheme
+    )
+    detector = OfflineTwoPassDetector(
+        KArySchema(depth=5, width=32768, seed=0),
+        "ewma",
+        alpha=0.4,
+        t_fraction=t_fraction,
+    )
+    return {r.index: {a.key for a in r.alarms} for r in detector.run(stream)}
+
+
+def score(alarms_by_interval, event, n_intervals):
+    """Fraction of the event's active intervals where one of its keys fired."""
+    active = [
+        t
+        for t in range(n_intervals)
+        if event.overlaps_interval(t * INTERVAL, (t + 1) * INTERVAL)
+    ]
+    hits = sum(
+        1
+        for t in active
+        if t in alarms_by_interval and set(event.keys) & alarms_by_interval[t]
+    )
+    return hits, len(active)
+
+
+def main() -> None:
+    rng = np.random.default_rng(42)
+    background = TrafficGenerator(get_profile("medium"), duration=DURATION).generate()
+
+    dos, dos_event = inject_dos(
+        rng, start=3000.0, end=3900.0, records_per_second=50.0,
+        bytes_per_record=3000.0,
+    )
+    worm, worm_event = inject_worm(
+        rng, start=4200.0, end=6600.0, initial_infected=8,
+        doubling_time=400.0, probe_bytes=404.0, target_port=1434,
+    )
+    scan, scan_event = inject_port_scan(
+        rng, start=5400.0, end=5700.0, target_count=400,
+    )
+    records = concat_records([background, dos, worm, scan])
+    n_intervals = int(DURATION / INTERVAL)
+    print(f"trace: {len(records)} records over {n_intervals} intervals\n")
+
+    # --- destination-IP keying: catches the DoS --------------------------
+    by_dst = detect(records, "dst_ip")
+    hits, active = score(by_dst, dos_event, n_intervals)
+    print(f"[dst_ip]   DoS victim flagged in {hits}/{active} active intervals")
+    hits, active = score(by_dst, scan_event, n_intervals)
+    print(
+        f"[dst_ip]   port-scan keys flagged in {hits}/{active} intervals "
+        "(expected ~0: each probe is tiny)"
+    )
+
+    # --- destination-port keying: catches the worm -----------------------
+    by_port = detect(records, "dst_port")
+    hits, active = score(by_port, worm_event, n_intervals)
+    print(f"[dst_port] worm port 1434 flagged in {hits}/{active} active intervals")
+
+    # --- alarm volume sanity ---------------------------------------------
+    total_alarms = sum(len(keys) for keys in by_dst.values())
+    print(f"\n[dst_ip] total alarms at T=0.1: {total_alarms} "
+          f"({total_alarms / max(len(by_dst), 1):.1f} per interval)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,100 @@
+#!/usr/bin/env python
+"""Network-wide change detection via sketch linearity (COMBINE).
+
+The paper highlights that sketches are linear: "its linearity property
+enables us to summarize traffic at various levels".  Operationally this
+means a network-wide view costs nothing but sketch shipping: each router
+summarizes its own traffic, the collector COMBINEs the sketches, and the
+result is *bit-for-bit identical* to sketching the union of all the raw
+traffic -- no approximation is introduced by distribution.
+
+This example demonstrates exactly that:
+
+1. three routers sketch their own four-hour traffic (one planted
+   distributed DoS spans all three ingresses),
+2. the collector COMBINEs per-interval sketches and runs change detection,
+3. the alarms are verified identical to a detector that saw the merged raw
+   trace, while each router ships a *constant* few hundred KiB per interval
+   regardless of its line rate (at the paper's 60M-records-per-router
+   scale, that is orders of magnitude below raw flow export).
+
+Run:  python examples/network_wide_view.py
+"""
+
+import numpy as np
+
+from repro import IntervalStream, KArySchema, OfflineTwoPassDetector
+from repro.sketch import combine
+from repro.detection import alarms_for_interval
+from repro.detection.pipeline import run_pipeline, summarize_stream
+from repro.forecast import make_forecaster
+from repro.streams import concat_records
+from repro.traffic import TrafficGenerator, get_profile, inject_dos
+
+INTERVAL = 300.0
+DURATION = 2 * 3600.0
+ROUTERS = ("medium", "edge-1", "edge-2")
+VICTIM = 0x0A0000AA
+T_FRACTION = 0.1
+
+
+def main() -> None:
+    # One shared schema: COMBINE requires identical hash functions, which
+    # in a deployment means distributing one seed to all routers.
+    schema = KArySchema(depth=5, width=32768, seed=2003)
+    rng = np.random.default_rng(11)
+
+    traces = []
+    for name in ROUTERS:
+        background = TrafficGenerator(get_profile(name), duration=DURATION).generate()
+        # Each ingress carries one share of a distributed DoS.
+        dos, _ = inject_dos(
+            rng, start=3600.0, end=4500.0, records_per_second=8.0,
+            bytes_per_record=2000.0, victim_ip=VICTIM,
+        )
+        traces.append(concat_records([background, dos]))
+
+    # --- edge: sketch locally, ship sketches -----------------------------
+    per_router_obs = []
+    per_router_keys = []
+    for name, records in zip(ROUTERS, traces):
+        batches = list(IntervalStream(records, interval_seconds=INTERVAL))
+        per_router_obs.append(summarize_stream(batches, schema))
+        per_router_keys.append([np.unique(b.keys) for b in batches])
+        print(
+            f"router {name:<8}: {len(records):>7} records -> "
+            f"{schema.table_bytes/2**20:.2f} MiB of sketch per interval "
+            "(constant, however fast the link runs)"
+        )
+
+    # --- collector: COMBINE and detect -----------------------------------
+    n_intervals = min(len(obs) for obs in per_router_obs)
+    forecaster = make_forecaster("ewma", alpha=0.4)
+    combined_alarms = set()
+    for t in range(n_intervals):
+        observed = combine([1.0] * len(ROUTERS), [obs[t] for obs in per_router_obs])
+        step = forecaster.step(observed)
+        if step.error is None:
+            continue
+        keys = np.unique(np.concatenate([k[t] for k in per_router_keys]))
+        for alarm in alarms_for_interval(step.error, keys, T_FRACTION, interval=t):
+            combined_alarms.add((alarm.interval, alarm.key))
+
+    # --- ground truth: detector over the merged raw traffic --------------
+    merged = concat_records(traces)
+    detector = OfflineTwoPassDetector(schema, "ewma", alpha=0.4, t_fraction=T_FRACTION)
+    merged_alarms = {
+        (r.index, a.key)
+        for r in detector.run(IntervalStream(merged, interval_seconds=INTERVAL))
+        for a in r.alarms
+    }
+
+    print(f"\ncombined-sketch alarms: {len(combined_alarms)}")
+    print(f"merged-raw-trace alarms: {len(merged_alarms)}")
+    print(f"identical alarm sets: {combined_alarms == merged_alarms}")
+    victim_hits = sorted(t for t, k in combined_alarms if k == VICTIM)
+    print(f"distributed DoS victim flagged in intervals: {victim_hits}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,77 @@
+#!/usr/bin/env python
+"""Sizing a sketch from the paper's analytical bounds, then validating.
+
+Section 3.4.1: "We can use such analytical results to determine the choice
+of H and K that are sufficient to achieve targeted accuracy...  we use
+analytical results to derive data-independent choice of H and K and treat
+them as upper bounds.  We then use training data to find the best
+(data-dependent) H and K values."
+
+This example does both steps: pick (H, K) from Theorems 2-3 for a target
+failure probability, then empirically measure detection accuracy at that
+size and at smaller data-dependent sizes.
+
+Run:  python examples/sizing_a_sketch.py
+"""
+
+import numpy as np
+
+from repro.analysis import (
+    false_alarm_probability,
+    miss_probability,
+    recommend_dimensions,
+)
+from repro.sketch import DictVector, KArySchema
+
+T_FRACTION = 1.0 / 32  # the paper's worked example threshold
+
+
+def empirical_rates(depth, width, trials=200, n_keys=4000, seed0=0):
+    """Measured miss / false-alarm rates for keys straddling the threshold."""
+    rng = np.random.default_rng(123)
+    keys = rng.integers(0, 2**32, n_keys, dtype=np.uint64)
+    values = rng.pareto(1.3, n_keys) * 100 + 40
+    exact = DictVector()
+    exact.update_batch(keys, values)
+    l2 = np.sqrt(exact.estimate_f2())
+    # A key twice the threshold (should alarm) and one at half (should not).
+    hot_key, cold_key = 2**33 % 2**32 + 1, 2**33 % 2**32 + 2
+    all_keys = np.concatenate([keys, [hot_key, cold_key]]).astype(np.uint64)
+    all_values = np.concatenate([values, [2.0 * T_FRACTION * l2, 0.5 * T_FRACTION * l2]])
+
+    misses = false_alarms = 0
+    for seed in range(seed0, seed0 + trials):
+        schema = KArySchema(depth=depth, width=width, seed=seed)
+        sketch = schema.from_items(all_keys, all_values)
+        threshold = T_FRACTION * np.sqrt(max(sketch.estimate_f2(), 0.0))
+        if abs(sketch.estimate(hot_key)) < threshold:
+            misses += 1
+        if abs(sketch.estimate(cold_key)) >= threshold:
+            false_alarms += 1
+    return misses / trials, false_alarms / trials
+
+
+def main() -> None:
+    print(f"target: alarm on keys >= 2x threshold, T = 1/32, at most 1e-6 errors\n")
+    h, k = recommend_dimensions(
+        t=T_FRACTION, alpha=2.0, beta=0.5, failure_probability=1e-6
+    )
+    print(f"analytic (data-independent) recommendation: H={h}, K={k}")
+    print(f"  Theorem 2 miss bound:        "
+          f"{miss_probability(h, k, T_FRACTION, 2.0):.2e}")
+    print(f"  Theorem 3 false-alarm bound: "
+          f"{false_alarm_probability(h, k, T_FRACTION, 0.5):.2e}\n")
+
+    print(f"{'H':>3} {'K':>7} {'miss rate':>10} {'false alarms':>13}   (200 seeds)")
+    for depth, width in [(h, k), (5, 8192), (5, 1024), (1, 1024)]:
+        miss, fa = empirical_rates(depth, width)
+        print(f"{depth:>3} {width:>7} {miss:>10.3f} {fa:>13.3f}")
+    print(
+        "\nThe analytic size is conservative (zero observed errors); the "
+        "data-dependent sweep shows how far K can shrink before errors "
+        "appear -- exactly the paper's two-step sizing procedure."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setup shim for environments without the ``wheel`` package.
+
+Modern metadata lives in ``pyproject.toml``; this file only enables legacy
+editable installs (``pip install -e . --no-use-pep517``) on offline boxes
+where PEP 660 wheel building is unavailable.
+"""
+
+from setuptools import setup
+
+setup()

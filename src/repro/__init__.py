@@ -1,0 +1,88 @@
+"""repro: sketch-based change detection for massive network data streams.
+
+A faithful, full-system reproduction of Krishnamurthy, Sen, Zhang & Chen,
+*"Sketch-based Change Detection: Methods, Evaluation, and Applications"*
+(ACM IMC 2003).
+
+Quick start::
+
+    import numpy as np
+    from repro import KArySchema, OfflineTwoPassDetector, IntervalStream
+    from repro.traffic import TrafficGenerator, get_profile
+
+    records = TrafficGenerator(get_profile("medium")).generate()
+    batches = IntervalStream(records, interval_seconds=300)
+    detector = OfflineTwoPassDetector(
+        KArySchema(depth=5, width=32768), "ewma", alpha=0.4,
+        t_fraction=0.05, top_n=50,
+    )
+    for report in detector.run(batches):
+        print(report.index, report.alarm_count, report.top_keys[:5])
+
+Package map:
+
+* :mod:`repro.hashing` -- 4-universal hash families.
+* :mod:`repro.sketch` -- k-ary sketch + Count-Min / Count Sketch baselines
+  and exact summaries.
+* :mod:`repro.forecast` -- the six forecast models over linear states.
+* :mod:`repro.detection` -- two-pass, online, per-flow and group-testing
+  detectors.
+* :mod:`repro.streams` -- Turnstile streams, key schemes, trace I/O.
+* :mod:`repro.traffic` -- synthetic traffic and anomaly substrate.
+* :mod:`repro.gridsearch` -- model parameter search.
+* :mod:`repro.evaluation` -- the paper's comparison metrics.
+* :mod:`repro.analysis` -- Theorems 1-5 accuracy bounds.
+* :mod:`repro.experiments` -- every figure and table, regenerable.
+"""
+
+from repro._version import __version__
+from repro.detection import (
+    Alarm,
+    OfflineTwoPassDetector,
+    OnlineDetector,
+    run_per_flow,
+)
+from repro.forecast import (
+    ArimaForecaster,
+    EWMAForecaster,
+    Forecaster,
+    HoltWintersForecaster,
+    MODEL_NAMES,
+    MovingAverageForecaster,
+    SShapedMovingAverageForecaster,
+    make_forecaster,
+)
+from repro.sketch import (
+    CountMinSketch,
+    CountSketch,
+    DictVector,
+    KArySchema,
+    KArySketch,
+    combine,
+)
+from repro.streams import IntervalStream, read_trace, write_trace
+
+__all__ = [
+    "Alarm",
+    "ArimaForecaster",
+    "CountMinSketch",
+    "CountSketch",
+    "DictVector",
+    "EWMAForecaster",
+    "Forecaster",
+    "HoltWintersForecaster",
+    "IntervalStream",
+    "KArySchema",
+    "KArySketch",
+    "MODEL_NAMES",
+    "MovingAverageForecaster",
+    "OfflineTwoPassDetector",
+    "OnlineDetector",
+    "SShapedMovingAverageForecaster",
+    "__version__",
+    "combine",
+    "make_forecaster",
+    "read_trace",
+    "run_per_flow",
+    "write_trace",
+]

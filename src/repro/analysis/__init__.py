@@ -1,0 +1,53 @@
+"""Analytical accuracy bounds for k-ary sketches (paper appendices A-B).
+
+Closed forms for Theorems 1-5 plus the dimensioning helpers the paper's
+Section 3.4.1 describes: "use analytical results to derive
+data-independent choice of H and K and treat them as upper bounds".
+"""
+
+from repro.analysis.bounds import (
+    estimate_variance_bound,
+    f2_relative_error_probability,
+    f2_variance_bound,
+    false_alarm_probability,
+    miss_probability,
+    recommend_dimensions,
+)
+from repro.analysis.moments import exact_f2, exact_l2
+from repro.analysis.space import (
+    SpaceReport,
+    compare as compare_space,
+    crossover_keys,
+    per_flow_state_bytes,
+    pipeline_state_bytes,
+)
+from repro.analysis.timeseries import (
+    LjungBoxResult,
+    acf,
+    difference,
+    ljung_box,
+    pacf,
+    suggest_differencing,
+)
+
+__all__ = [
+    "LjungBoxResult",
+    "SpaceReport",
+    "acf",
+    "compare_space",
+    "crossover_keys",
+    "difference",
+    "per_flow_state_bytes",
+    "pipeline_state_bytes",
+    "estimate_variance_bound",
+    "exact_f2",
+    "exact_l2",
+    "f2_relative_error_probability",
+    "f2_variance_bound",
+    "false_alarm_probability",
+    "ljung_box",
+    "miss_probability",
+    "pacf",
+    "recommend_dimensions",
+    "suggest_differencing",
+]

@@ -1,0 +1,149 @@
+"""Theorems 1-5: probabilistic accuracy guarantees of the k-ary sketch.
+
+Statements (from the paper's appendices):
+
+* **Theorem 1** (per-row point estimate): ``E[v_a^h] = v_a`` and
+  ``Var[v_a^h] <= F2 / (K - 1)``.
+* **Theorem 2** (miss probability): if ``|v_a| >= alpha T sqrt(F2)`` with
+  ``alpha >= 1``, then
+  ``P(|v_a_est| <= T sqrt(F2)) <= [4 / ((K-1) (alpha-1)^2 T^2)]^(H/2)``.
+* **Theorem 3** (false-alarm probability): if ``|v_a| <= beta T sqrt(F2)``
+  with ``beta in [0, 1]``, then
+  ``P(|v_a_est| >= T sqrt(F2)) <= [4 / ((K-1) (1-beta)^2 T^2)]^(H/2)``.
+* **Theorem 4** (per-row F2 estimate): unbiased with
+  ``Var[F2^h] <= 2 F2^2 / (K - 1)``.
+* **Theorem 5** (F2 concentration):
+  ``P(|F2_est - F2| > lambda F2) <= [8 / ((K-1) lambda^2)]^(H/2)``.
+
+The median-of-H step converts the per-row Chebyshev bounds into
+exponentially small tail bounds via the Chernoff argument -- which is why
+small ``H`` (5 in most experiments) suffices.
+
+These are *data-independent upper bounds*; Section 3.4.1 uses them as the
+upper end of the (H, K) search range before the data-dependent grid search
+takes over.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+
+def _check_hk(h: int, k: int) -> None:
+    if h < 1:
+        raise ValueError(f"H must be >= 1, got {h}")
+    if k < 2:
+        raise ValueError(f"K must be >= 2, got {k}")
+
+
+def estimate_variance_bound(k: int, f2: float = 1.0) -> float:
+    """Theorem 1's variance bound ``F2 / (K - 1)`` for a per-row estimate."""
+    _check_hk(1, k)
+    if f2 < 0:
+        raise ValueError(f"F2 must be >= 0, got {f2}")
+    return f2 / (k - 1)
+
+
+def f2_variance_bound(k: int, f2: float = 1.0) -> float:
+    """Theorem 4's variance bound ``2 F2**2 / (K - 1)`` for a row F2 estimate."""
+    _check_hk(1, k)
+    if f2 < 0:
+        raise ValueError(f"F2 must be >= 0, got {f2}")
+    return 2.0 * f2 * f2 / (k - 1)
+
+
+def _chernoff_median(per_row_bound: float, h: int) -> float:
+    """Tail bound for the median of ``h`` rows given a per-row bound.
+
+    ``P(median bad) <= (4 p)^(H/2)`` for per-row failure probability ``p``
+    (the standard Chernoff step used in Theorems 2, 3 and 5).  Clamped to 1.
+    """
+    if per_row_bound <= 0:
+        return 0.0
+    return min(1.0, (4.0 * per_row_bound) ** (h / 2.0))
+
+
+def miss_probability(h: int, k: int, t: float, alpha: float) -> float:
+    """Theorem 2: probability of missing a key with ``|v_a| >= alpha T sqrt(F2)``.
+
+    ``t`` is the detection threshold fraction ``T`` in (0, 1);
+    ``alpha >= 1`` measures how far above threshold the key truly is.
+    """
+    _check_hk(h, k)
+    if not 0.0 < t < 1.0:
+        raise ValueError(f"T must be in (0, 1), got {t}")
+    if alpha < 1.0:
+        raise ValueError(f"alpha must be >= 1, got {alpha}")
+    if alpha == 1.0:
+        return 1.0  # the bound is vacuous at the threshold itself
+    per_row = 1.0 / ((k - 1) * (alpha - 1.0) ** 2 * t * t)
+    return _chernoff_median(per_row, h)
+
+
+def false_alarm_probability(h: int, k: int, t: float, beta: float) -> float:
+    """Theorem 3: probability a key with ``|v_a| <= beta T sqrt(F2)`` alarms.
+
+    ``beta`` in [0, 1) measures how far below threshold the key truly is.
+    """
+    _check_hk(h, k)
+    if not 0.0 < t < 1.0:
+        raise ValueError(f"T must be in (0, 1), got {t}")
+    if not 0.0 <= beta <= 1.0:
+        raise ValueError(f"beta must be in [0, 1], got {beta}")
+    if beta == 1.0:
+        return 1.0
+    per_row = 1.0 / ((k - 1) * (1.0 - beta) ** 2 * t * t)
+    return _chernoff_median(per_row, h)
+
+
+def f2_relative_error_probability(h: int, k: int, lam: float) -> float:
+    """Theorem 5: ``P(|F2_est - F2| > lambda F2)`` bound.
+
+    Reproduces the paper's worked example: ``K = 2**16``, ``lambda = 0.05``,
+    ``H = 20`` gives below ``7.7e-14``.
+    """
+    _check_hk(h, k)
+    if lam <= 0:
+        raise ValueError(f"lambda must be > 0, got {lam}")
+    per_row = 2.0 / ((k - 1) * lam * lam)
+    return _chernoff_median(per_row, h)
+
+
+def recommend_dimensions(
+    t: float,
+    alpha: float = 2.0,
+    beta: float = 0.5,
+    failure_probability: float = 1e-9,
+    max_h: int = 25,
+) -> Tuple[int, int]:
+    """Smallest ``(H, K)`` meeting a target failure probability analytically.
+
+    Searches odd ``H`` (median-friendly) up to ``max_h`` and power-of-two
+    ``K``, returning the combination minimizing table size ``H * K`` whose
+    Theorem 2 *and* Theorem 3 bounds are both below
+    ``failure_probability``.  This is the "data-independent upper bound"
+    starting point of Section 3.4.1; real deployments then shrink K using
+    training data.
+    """
+    if not 0.0 < failure_probability < 1.0:
+        raise ValueError(
+            f"failure_probability must be in (0, 1), got {failure_probability}"
+        )
+    best: Tuple[int, int] = (0, 0)
+    best_cells = None
+    for h in range(1, max_h + 1, 2):
+        for log_k in range(1, 27):
+            k = 1 << log_k
+            miss = miss_probability(h, k, t, alpha)
+            false = false_alarm_probability(h, k, t, beta)
+            if max(miss, false) <= failure_probability:
+                cells = h * k
+                if best_cells is None or cells < best_cells:
+                    best, best_cells = (h, k), cells
+                break  # larger K only costs more for this H
+    if best_cells is None:
+        raise ValueError(
+            "no (H, K) within the search range meets the failure probability; "
+            "relax the target or increase max_h"
+        )
+    return best

@@ -1,0 +1,31 @@
+"""Exact moment computations over keyed value arrays."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+
+def exact_f2(keys, values) -> float:
+    """The true second moment ``F2 = sum_a (sum of a's updates)**2``.
+
+    Aggregates duplicate keys before squaring -- squaring per-record values
+    would be wrong whenever a key receives multiple updates.
+    """
+    keys = np.asarray(keys, dtype=np.uint64)
+    values = np.asarray(values, dtype=np.float64)
+    if keys.shape != values.shape:
+        raise ValueError(
+            f"keys and values must align, got {keys.shape} vs {values.shape}"
+        )
+    if not len(keys):
+        return 0.0
+    _, inverse = np.unique(keys, return_inverse=True)
+    totals = np.bincount(inverse, weights=values)
+    return float(totals @ totals)
+
+
+def exact_l2(keys, values) -> float:
+    """The true L2 norm ``sqrt(F2)``."""
+    return math.sqrt(exact_f2(keys, values))

@@ -1,0 +1,145 @@
+"""Memory accounting: sketches vs per-flow state.
+
+The paper's motivating claim is quantitative: "as link speeds and the
+number of flows increase, keeping per-flow state is either too expensive
+or too slow", while the k-ary sketch "uses a constant, small amount of
+memory".  This module makes the comparison computable for a deployment's
+actual parameters, including the full forecasting pipeline's working set
+(a model holds several summaries: MA(W) needs W history sketches, EWMA
+one, NSHW three, ARIMA d + p + q + 1-ish).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+#: Bytes per per-flow table entry: 8B key + 8B counter + dict/overhead
+#: estimate.  Real hash tables with chaining/robin-hood land in 32-64B per
+#: live entry; we use a deliberately charitable figure.
+PER_FLOW_ENTRY_BYTES = 32
+
+#: Counter width used by the sketches in this package.
+CELL_BYTES = 8
+
+#: Summaries a forecast model must hold live (history windows + components
+#: + the current observed/error pair the detector works on).
+_MODEL_STATE_SUMMARIES: Dict[str, int] = {
+    "ma": 12,      # window of up to 10-12 observed summaries + obs + err
+    "sma": 12,
+    "ewma": 3,     # running forecast + observed + error
+    "nshw": 5,     # smooth + trend + forecast + observed + error
+    "arima0": 7,   # z-lags(2) + innovation lags(2) + pending + obs + err
+    "arima1": 8,   # + one raw lag for differencing
+}
+
+
+def sketch_table_bytes(depth: int, width: int) -> int:
+    """Bytes for one ``H x K`` sketch table."""
+    if depth < 1 or width < 1:
+        raise ValueError(f"need depth, width >= 1, got {depth}, {width}")
+    return depth * width * CELL_BYTES
+
+
+def hash_state_bytes(depth: int, family: str = "tabulation") -> int:
+    """Bytes for the schema's hash functions (shared by all sketches)."""
+    if depth < 1:
+        raise ValueError(f"depth must be >= 1, got {depth}")
+    if family == "tabulation":
+        # Two 2^16 tables + one 2^17 table of uint64 per row.
+        return depth * (2**16 + 2**16 + 2**17) * 8
+    if family in ("polynomial", "two-universal"):
+        coeffs = 4 if family == "polynomial" else 2
+        return depth * coeffs * 8
+    raise ValueError(f"unknown family {family!r}")
+
+
+def pipeline_state_bytes(
+    depth: int,
+    width: int,
+    model: str = "ewma",
+    family: str = "tabulation",
+) -> int:
+    """Total working set of one sketch-based detection pipeline."""
+    try:
+        summaries = _MODEL_STATE_SUMMARIES[model]
+    except KeyError:
+        known = ", ".join(sorted(_MODEL_STATE_SUMMARIES))
+        raise ValueError(f"unknown model {model!r}; known: {known}") from None
+    return summaries * sketch_table_bytes(depth, width) + hash_state_bytes(
+        depth, family
+    )
+
+
+def per_flow_state_bytes(concurrent_keys: int, model: str = "ewma") -> int:
+    """Working set of the equivalent per-flow pipeline.
+
+    Per-flow forecasting needs the same number of *summaries* as the
+    sketch pipeline, but each summary is a table over every live key.
+    """
+    if concurrent_keys < 0:
+        raise ValueError(f"concurrent_keys must be >= 0, got {concurrent_keys}")
+    try:
+        summaries = _MODEL_STATE_SUMMARIES[model]
+    except KeyError:
+        known = ", ".join(sorted(_MODEL_STATE_SUMMARIES))
+        raise ValueError(f"unknown model {model!r}; known: {known}") from None
+    return summaries * concurrent_keys * PER_FLOW_ENTRY_BYTES
+
+
+def crossover_keys(depth: int, width: int, model: str = "ewma") -> int:
+    """Concurrent-key count above which sketches use less memory.
+
+    Below this the per-flow table is actually smaller (sketching tiny key
+    spaces is pointless); the paper's regime -- "tens of millions" of
+    signals -- sits orders of magnitude above it.
+    """
+    sketch = pipeline_state_bytes(depth, width, model)
+    per_key = _MODEL_STATE_SUMMARIES[model] * PER_FLOW_ENTRY_BYTES
+    return -(-sketch // per_key)  # ceil division
+
+
+@dataclass(frozen=True)
+class SpaceReport:
+    """Side-by-side memory comparison for one deployment point."""
+
+    depth: int
+    width: int
+    model: str
+    concurrent_keys: int
+    sketch_bytes: int
+    per_flow_bytes: int
+
+    @property
+    def ratio(self) -> float:
+        """per-flow bytes / sketch bytes (how much the sketch saves)."""
+        return self.per_flow_bytes / self.sketch_bytes if self.sketch_bytes else 0.0
+
+    def render(self) -> str:
+        """One-paragraph human-readable comparison."""
+        return (
+            f"H={self.depth}, K={self.width}, model={self.model}, "
+            f"{self.concurrent_keys:,} concurrent keys:\n"
+            f"  sketch pipeline: {self.sketch_bytes / 2**20:8.2f} MiB "
+            "(constant in key count)\n"
+            f"  per-flow state:  {self.per_flow_bytes / 2**20:8.2f} MiB\n"
+            f"  advantage:       {self.ratio:8.1f}x"
+        )
+
+
+def compare(
+    depth: int,
+    width: int,
+    concurrent_keys: int,
+    model: str = "ewma",
+    family: str = "tabulation",
+) -> SpaceReport:
+    """Build a :class:`SpaceReport` for one deployment point."""
+    return SpaceReport(
+        depth=depth,
+        width=width,
+        model=model,
+        concurrent_keys=concurrent_keys,
+        sketch_bytes=pipeline_state_bytes(depth, width, model, family),
+        per_flow_bytes=per_flow_state_bytes(concurrent_keys, model),
+    )

@@ -1,0 +1,280 @@
+"""Command-line interface: ``repro`` (or ``python -m repro``).
+
+Subcommands
+-----------
+``repro list``
+    List reproducible experiment ids.
+``repro run fig05 [fig07 ...]``
+    Regenerate one or more paper exhibits and print their tables.
+``repro generate --router large --out trace.bin``
+    Write a synthetic router trace to a binary file.
+``repro detect trace.bin --model ewma --alpha 0.4 --top-n 20``
+    Run sketch-based change detection over a trace file.
+``repro gridsearch --router medium --model nshw``
+    Show the grid-searched parameters for a model on a router dataset.
+``repro sketch trace.bin --out-dir sketches/``
+    Summarize a trace into per-interval serialized k-ary sketches.
+``repro combine sketches/a_*.bin --out merged.bin``
+    COMBINE (sum) serialized sketches, e.g. from several routers.
+``repro drilldown trace.bin --levels 8,16,24,32``
+    Hierarchical prefix attribution of detected changes.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+
+def _cmd_list(args: argparse.Namespace) -> int:
+    from repro.experiments import list_experiments
+
+    for experiment_id in list_experiments():
+        print(experiment_id)
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    from repro.experiments import run_experiment
+
+    for experiment_id in args.experiments:
+        result = run_experiment(experiment_id)
+        print(result.render())
+        print()
+    return 0
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    from repro.streams import write_trace
+    from repro.traffic import TrafficGenerator, get_profile
+
+    profile = get_profile(args.router, scale=args.scale)
+    generator = TrafficGenerator(
+        profile, duration=args.duration, seed=args.seed
+    )
+    records = generator.generate()
+    write_trace(args.out, records)
+    print(f"wrote {len(records)} records to {args.out}")
+    return 0
+
+
+def _cmd_detect(args: argparse.Namespace) -> int:
+    from repro.detection import OfflineTwoPassDetector
+    from repro.sketch import KArySchema
+    from repro.streams import IntervalStream, read_trace
+
+    records = read_trace(args.trace)
+    stream = IntervalStream(
+        records,
+        interval_seconds=args.interval,
+        key_scheme=args.key,
+        value_scheme=args.value,
+    )
+    model_params = {}
+    if args.alpha is not None:
+        model_params["alpha"] = args.alpha
+    if args.beta is not None:
+        model_params["beta"] = args.beta
+    if args.window is not None:
+        model_params["window"] = args.window
+    detector = OfflineTwoPassDetector(
+        KArySchema(depth=args.depth, width=args.width, seed=args.seed),
+        args.model,
+        t_fraction=args.threshold,
+        top_n=args.top_n,
+        **model_params,
+    )
+    for report in detector.run(stream):
+        line = (
+            f"interval {report.index:4d}  "
+            f"L2={report.error_l2:12.4g}  alarms={report.alarm_count:5d}"
+        )
+        if args.top_n:
+            top = ", ".join(
+                f"{key}:{err:.3g}"
+                for key, err in zip(
+                    report.top_keys[: args.top_n].tolist(),
+                    report.top_errors[: args.top_n].tolist(),
+                )
+            )
+            line += f"  top=[{top}]"
+        print(line)
+    return 0
+
+
+def _cmd_sketch(args: argparse.Namespace) -> int:
+    import os
+
+    from repro.sketch import KArySchema
+    from repro.sketch.serialization import dump
+    from repro.streams import IntervalStream, read_trace
+
+    records = read_trace(args.trace)
+    schema = KArySchema(depth=args.depth, width=args.width, seed=args.seed)
+    os.makedirs(args.out_dir, exist_ok=True)
+    stream = IntervalStream(
+        records,
+        interval_seconds=args.interval,
+        key_scheme=args.key,
+        value_scheme=args.value,
+    )
+    count = 0
+    for batch in stream:
+        sketch = schema.from_items(batch.keys, batch.values)
+        path = os.path.join(args.out_dir, f"interval_{batch.index:05d}.ksk")
+        dump(sketch, path)
+        count += 1
+    print(
+        f"wrote {count} sketches (H={args.depth}, K={args.width}, "
+        f"seed={args.seed}) to {args.out_dir}"
+    )
+    return 0
+
+
+def _cmd_combine(args: argparse.Namespace) -> int:
+    from repro.sketch import combine
+    from repro.sketch.serialization import dump, load
+
+    first = load(args.sketches[0])
+    # Attach the rest to the first sketch's schema: avoids rebuilding hash
+    # tables per file and rejects incompatible sketches up front.
+    sketches = [first] + [
+        load(path, schema=first.schema) for path in args.sketches[1:]
+    ]
+    merged = combine([args.coefficient] * len(sketches), sketches)
+    dump(merged, args.out)
+    print(
+        f"combined {len(sketches)} sketches (coefficient "
+        f"{args.coefficient}) -> {args.out}; total={merged.total():.6g}"
+    )
+    return 0
+
+
+def _cmd_drilldown(args: argparse.Namespace) -> int:
+    from repro.detection import PrefixDrilldown
+    from repro.streams import read_trace
+
+    records = read_trace(args.trace)
+    levels = tuple(int(level) for level in args.levels.split(","))
+    model_params = {}
+    if args.alpha is not None:
+        model_params["alpha"] = args.alpha
+    drilldown = PrefixDrilldown(
+        levels=levels,
+        model=args.model,
+        t_fraction=args.threshold,
+        seed=args.seed,
+        **model_params,
+    )
+    for report in drilldown.run(records, interval_seconds=args.interval):
+        if report.roots or args.verbose:
+            print(report.render())
+    return 0
+
+
+def _cmd_gridsearch(args: argparse.Namespace) -> int:
+    from repro.experiments.params import best_parameters_dict
+
+    params = best_parameters_dict(args.router, args.model, args.interval)
+    print(f"router={args.router} model={args.model} interval={args.interval}s")
+    for name, value in sorted(params.items()):
+        print(f"  {name} = {value}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the top-level argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Sketch-based change detection (IMC 2003 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list experiment ids").set_defaults(func=_cmd_list)
+
+    p_run = sub.add_parser("run", help="regenerate paper exhibits")
+    p_run.add_argument("experiments", nargs="+", help="experiment ids (see 'list')")
+    p_run.set_defaults(func=_cmd_run)
+
+    p_gen = sub.add_parser("generate", help="write a synthetic trace")
+    p_gen.add_argument("--router", default="medium", help="router profile name")
+    p_gen.add_argument("--duration", type=float, default=4 * 3600.0,
+                       help="trace length in seconds")
+    p_gen.add_argument("--scale", type=float, default=1.0,
+                       help="volume/population scale factor")
+    p_gen.add_argument("--seed", type=int, default=None, help="generation seed")
+    p_gen.add_argument("--out", required=True, help="output trace path")
+    p_gen.set_defaults(func=_cmd_generate)
+
+    p_det = sub.add_parser("detect", help="detect changes in a trace file")
+    p_det.add_argument("trace", help="binary trace path")
+    p_det.add_argument("--model", default="ewma", help="forecast model name")
+    p_det.add_argument("--interval", type=float, default=300.0)
+    p_det.add_argument("--key", default="dst_ip", help="key scheme")
+    p_det.add_argument("--value", default="bytes", help="value scheme")
+    p_det.add_argument("--depth", type=int, default=5, help="sketch rows H")
+    p_det.add_argument("--width", type=int, default=32768, help="sketch width K")
+    p_det.add_argument("--seed", type=int, default=0, help="sketch hash seed")
+    p_det.add_argument("--threshold", type=float, default=0.05,
+                       help="alarm threshold fraction T")
+    p_det.add_argument("--top-n", type=int, default=0,
+                       help="also report top-N keys by |error|")
+    p_det.add_argument("--alpha", type=float, default=None)
+    p_det.add_argument("--beta", type=float, default=None)
+    p_det.add_argument("--window", type=int, default=None)
+    p_det.set_defaults(func=_cmd_detect)
+
+    p_sk = sub.add_parser("sketch", help="serialize per-interval sketches")
+    p_sk.add_argument("trace", help="binary trace path")
+    p_sk.add_argument("--out-dir", required=True)
+    p_sk.add_argument("--interval", type=float, default=300.0)
+    p_sk.add_argument("--key", default="dst_ip")
+    p_sk.add_argument("--value", default="bytes")
+    p_sk.add_argument("--depth", type=int, default=5)
+    p_sk.add_argument("--width", type=int, default=32768)
+    p_sk.add_argument("--seed", type=int, default=0)
+    p_sk.set_defaults(func=_cmd_sketch)
+
+    p_cb = sub.add_parser("combine", help="linearly combine serialized sketches")
+    p_cb.add_argument("sketches", nargs="+", help="serialized sketch paths")
+    p_cb.add_argument("--out", required=True)
+    p_cb.add_argument("--coefficient", type=float, default=1.0,
+                      help="coefficient applied to every sketch")
+    p_cb.set_defaults(func=_cmd_combine)
+
+    p_dd = sub.add_parser("drilldown", help="hierarchical prefix attribution")
+    p_dd.add_argument("trace", help="binary trace path")
+    p_dd.add_argument("--levels", default="8,16,24,32",
+                      help="comma-separated prefix lengths, coarse to fine")
+    p_dd.add_argument("--interval", type=float, default=300.0)
+    p_dd.add_argument("--model", default="ewma")
+    p_dd.add_argument("--alpha", type=float, default=0.5)
+    p_dd.add_argument("--threshold", type=float, default=0.2)
+    p_dd.add_argument("--seed", type=int, default=0)
+    p_dd.add_argument("--verbose", action="store_true",
+                      help="also print change-free intervals")
+    p_dd.set_defaults(func=_cmd_drilldown)
+
+    p_gs = sub.add_parser("gridsearch", help="grid-search model parameters")
+    p_gs.add_argument("--router", default="medium")
+    p_gs.add_argument("--model", default="ewma")
+    p_gs.add_argument("--interval", type=float, default=300.0)
+    p_gs.set_defaults(func=_cmd_gridsearch)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except BrokenPipeError:
+        # Output piped into e.g. `head`; exiting quietly is the Unix way.
+        return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,73 @@
+"""Change detection: the paper's third module, plus key-recovery variants.
+
+Built from small pieces:
+
+* :mod:`~repro.detection.pipeline` -- the summarize/forecast/error engine
+  shared by sketch and per-flow paths (only the schema differs).
+* :mod:`~repro.detection.threshold` -- the alarm rule
+  ``|error(a)| >= T * sqrt(ESTIMATEF2(Se(t)))``.
+* :mod:`~repro.detection.topn` -- top-N ranking of keys by absolute
+  forecast error.
+* :mod:`~repro.detection.twopass` -- the offline two-pass detector used in
+  all the paper's experiments (pass 1 builds sketches, pass 2 replays the
+  interval's keys against the error sketch).
+* :mod:`~repro.detection.online` -- the online variant that detects using
+  keys arriving *after* the error sketch is built, optionally sampled; it
+  trades a bounded miss-rate for single-pass operation.
+* :mod:`~repro.detection.perflow` -- exact per-flow detection over a dense
+  key index (the accuracy oracle).
+* :mod:`~repro.detection.grouptesting` -- combinatorial group testing
+  sketch that recovers changed keys directly from (modified) sketch state,
+  with no key stream at all (the paper's Section 3.3 fourth alternative).
+"""
+
+from repro.detection.adaptive import AdaptiveDetector
+from repro.detection.drilldown import (
+    DrilldownNode,
+    DrilldownReport,
+    PrefixDrilldown,
+    format_prefix,
+)
+from repro.detection.explain import AlarmExplanation, explain_alarm
+from repro.detection.grouptesting import GroupTestingSchema, GroupTestingSketch
+from repro.detection.heavyhitters import HeavyHitterTracker, heavy_hitters
+from repro.detection.online import OnlineDetector
+from repro.detection.perflow import PerFlowResult, run_per_flow
+from repro.detection.session import StreamingSession
+from repro.detection.pipeline import (
+    PipelineStep,
+    forecast_error_stream,
+    interval_key_sets,
+    summarize_stream,
+)
+from repro.detection.threshold import Alarm, alarm_threshold, alarms_for_interval
+from repro.detection.topn import top_n_keys
+from repro.detection.twopass import IntervalDetection, OfflineTwoPassDetector
+
+__all__ = [
+    "AdaptiveDetector",
+    "Alarm",
+    "AlarmExplanation",
+    "DrilldownNode",
+    "explain_alarm",
+    "DrilldownReport",
+    "GroupTestingSchema",
+    "PrefixDrilldown",
+    "format_prefix",
+    "HeavyHitterTracker",
+    "heavy_hitters",
+    "GroupTestingSketch",
+    "IntervalDetection",
+    "OfflineTwoPassDetector",
+    "OnlineDetector",
+    "PerFlowResult",
+    "PipelineStep",
+    "StreamingSession",
+    "alarm_threshold",
+    "alarms_for_interval",
+    "forecast_error_stream",
+    "interval_key_sets",
+    "run_per_flow",
+    "summarize_stream",
+    "top_n_keys",
+]

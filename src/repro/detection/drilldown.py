@@ -1,0 +1,196 @@
+"""Hierarchical drill-down: locate changes from coarse to fine aggregation.
+
+The paper notes keys can be "entities like network prefixes or AS numbers
+to achieve higher levels of aggregation" (Section 2.1).  Operators use
+that hierarchy in the obvious way: watch a few coarse signals cheaply,
+and when a /8 moves, drill into its /16s, then /24s, then hosts.
+
+:class:`PrefixDrilldown` runs one sketch pipeline per prefix level over
+the same record stream (each level is just a different key scheme -- the
+linearity of sketches means per-level summaries are exact aggregations of
+each other in expectation), then reports, for each alarmed coarse prefix,
+the alarmed finer prefixes underneath it.  The result is an attribution
+tree: ``/8 10.0.0.0 -> /16 10.2.0.0 -> /24 10.2.3.0 -> host 10.2.3.4``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.detection.pipeline import run_pipeline
+from repro.forecast.model_zoo import make_forecaster
+from repro.sketch import KArySchema
+from repro.streams.keys import DstIPKey, DstPrefixKey
+from repro.streams.records import validate_records
+from repro.streams.intervals import slice_by_interval
+from repro.streams.model import KeyedUpdates
+
+
+def _mask(prefix_len: int) -> int:
+    return ((1 << prefix_len) - 1) << (32 - prefix_len) if prefix_len else 0
+
+
+def format_prefix(prefix: int, prefix_len: int) -> str:
+    """Dotted-quad ``a.b.c.d/len`` rendering of a prefix key."""
+    octets = [(prefix >> shift) & 0xFF for shift in (24, 16, 8, 0)]
+    return ".".join(str(o) for o in octets) + f"/{prefix_len}"
+
+
+@dataclass
+class DrilldownNode:
+    """One alarmed prefix and its alarmed children at the next level."""
+
+    prefix: int
+    prefix_len: int
+    estimated_error: float
+    children: List["DrilldownNode"] = field(default_factory=list)
+
+    def render(self, indent: int = 0) -> str:
+        """Human-readable attribution tree."""
+        line = (
+            " " * indent
+            + f"{format_prefix(self.prefix, self.prefix_len)}  "
+            f"error={self.estimated_error:+.4g}"
+        )
+        parts = [line]
+        parts.extend(child.render(indent + 2) for child in self.children)
+        return "\n".join(parts)
+
+    def leaves(self) -> List["DrilldownNode"]:
+        """Finest-level alarmed nodes under (and including) this one."""
+        if not self.children:
+            return [self]
+        out: List[DrilldownNode] = []
+        for child in self.children:
+            out.extend(child.leaves())
+        return out
+
+
+@dataclass
+class DrilldownReport:
+    """All alarmed attribution trees for one interval."""
+
+    interval: int
+    roots: List[DrilldownNode]
+
+    def render(self) -> str:
+        """The full forest as text."""
+        if not self.roots:
+            return f"interval {self.interval}: no significant changes"
+        body = "\n".join(root.render() for root in self.roots)
+        return f"interval {self.interval}:\n{body}"
+
+
+class PrefixDrilldown:
+    """Multi-level change detection over destination-prefix hierarchies.
+
+    Parameters
+    ----------
+    levels:
+        Prefix lengths from coarse to fine; 32 means host level.  Must be
+        strictly increasing.
+    schema_factory:
+        Called with a level index to build that level's k-ary schema.
+        Coarse levels have tiny key spaces; the default shrinks K
+        accordingly.
+    model / t_fraction / model_params:
+        Forecast model (per level, independently warmed) and threshold.
+    """
+
+    def __init__(
+        self,
+        levels: Sequence[int] = (8, 16, 24, 32),
+        model: str = "ewma",
+        t_fraction: float = 0.1,
+        schema_factory=None,
+        seed: int = 0,
+        **model_params,
+    ) -> None:
+        levels = tuple(int(l) for l in levels)
+        if not levels or any(b <= a for a, b in zip(levels, levels[1:])):
+            raise ValueError(f"levels must be strictly increasing, got {levels}")
+        if any(not 1 <= l <= 32 for l in levels):
+            raise ValueError(f"levels must be in [1, 32], got {levels}")
+        self.levels = levels
+        self.model = model
+        self.t_fraction = float(t_fraction)
+        self.model_params = model_params
+        if schema_factory is None:
+            def schema_factory(index):
+                width = min(1 << max(self.levels[index] - 4, 6), 32768)
+                return KArySchema(depth=5, width=width, seed=seed + index)
+        self._schemas = [schema_factory(i) for i in range(len(levels))]
+        self._key_schemes = [
+            DstIPKey() if level == 32 else DstPrefixKey(prefix_len=level)
+            for level in levels
+        ]
+
+    def run(self, records: np.ndarray, interval_seconds: float = 300.0):
+        """Yield a :class:`DrilldownReport` per (post-warm-up) interval."""
+        validate_records(records)
+        # One pass per level over the shared time slicing.
+        level_steps: List[List] = []
+        for scheme, schema in zip(self._key_schemes, self._schemas):
+            forecaster = make_forecaster(self.model, **self.model_params)
+            batches = (
+                KeyedUpdates(
+                    index=index,
+                    keys=scheme.extract(chunk),
+                    values=chunk["bytes"].astype(np.float64),
+                    duration=interval_seconds,
+                )
+                for index, chunk in slice_by_interval(records, interval_seconds)
+            )
+            level_steps.append(list(run_pipeline(batches, schema, forecaster)))
+
+        n_intervals = min(len(steps) for steps in level_steps)
+        for t in range(n_intervals):
+            steps = [level_steps[level][t] for level in range(len(self.levels))]
+            if any(step.error is None for step in steps):
+                continue
+            yield self._attribute(t, steps)
+
+    def _alarmed(self, step, schema) -> Dict[int, float]:
+        error = step.error
+        keys = step.keys
+        if not len(keys):
+            return {}
+        threshold = self.t_fraction * error.l2_norm()
+        estimates = error.estimate_batch(keys, indices=schema.bucket_indices(keys))
+        hits = np.abs(estimates) >= threshold
+        return {
+            int(k): float(e)
+            for k, e in zip(keys[hits].tolist(), estimates[hits].tolist())
+        }
+
+    def _attribute(self, interval: int, steps) -> DrilldownReport:
+        per_level = [
+            self._alarmed(step, schema)
+            for step, schema in zip(steps, self._schemas)
+        ]
+
+        def build(level: int, prefix: int, error: float) -> DrilldownNode:
+            node = DrilldownNode(
+                prefix=prefix, prefix_len=self.levels[level],
+                estimated_error=error,
+            )
+            if level + 1 < len(self.levels):
+                parent_mask = _mask(self.levels[level])
+                for child_prefix, child_error in per_level[level + 1].items():
+                    if (child_prefix & parent_mask) == prefix:
+                        node.children.append(
+                            build(level + 1, child_prefix, child_error)
+                        )
+                node.children.sort(key=lambda c: -abs(c.estimated_error))
+            return node
+
+        roots = [
+            build(0, prefix, error)
+            for prefix, error in sorted(
+                per_level[0].items(), key=lambda kv: -abs(kv[1])
+            )
+        ]
+        return DrilldownReport(interval=interval, roots=roots)

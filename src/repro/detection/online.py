@@ -1,0 +1,135 @@
+"""Online single-pass detection using future keys (paper Section 3.3).
+
+The offline detector replays interval ``t``'s keys against ``Se(t)`` -- a
+second pass.  Online, the stream cannot be replayed, so this detector uses
+the *next* interval's arriving keys as candidates against ``Se(t)``: "use
+the keys that appear after Se(t) has been constructed.  This works in both
+online and offline context.  The risk is that we will miss those keys that
+do not appear again after they experience significant change" -- an
+acceptable miss for applications like DoS detection where a key that never
+returns can do no further damage.
+
+A sampling rate below 1.0 additionally subsamples the candidate keys
+("If we can tolerate the risk of missing some very infrequent keys, we can
+sample the (future) input streams").
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, Optional, Union
+
+import numpy as np
+
+from repro.detection.threshold import Alarm
+from repro.detection.twopass import IntervalDetection
+from repro.forecast.base import Forecaster
+from repro.forecast.model_zoo import make_forecaster
+from repro.streams.model import KeyedUpdates
+
+
+class OnlineDetector:
+    """Single-pass detector: candidates come from the following interval.
+
+    The report for interval ``t`` is therefore emitted one interval late
+    (when ``t+1``'s keys have arrived), which is the inherent latency of
+    the future-keys strategy.
+
+    Parameters
+    ----------
+    schema:
+        Summary schema (normally a :class:`~repro.sketch.kary.KArySchema`).
+    forecaster:
+        Forecaster instance or registry name.
+    t_fraction:
+        Alarm threshold parameter ``T``.
+    sample_rate:
+        Fraction of future keys used as candidates, in (0, 1].
+    seed:
+        Seed for the sampling RNG.
+    """
+
+    def __init__(
+        self,
+        schema,
+        forecaster: Union[Forecaster, str],
+        t_fraction: float = 0.05,
+        sample_rate: float = 1.0,
+        seed: Optional[int] = 0,
+        **model_params,
+    ) -> None:
+        self.schema = schema
+        if isinstance(forecaster, str):
+            forecaster = make_forecaster(forecaster, **model_params)
+        elif model_params:
+            raise ValueError(
+                "model_params only apply when forecaster is given by name"
+            )
+        self.forecaster = forecaster
+        if t_fraction < 0:
+            raise ValueError(f"t_fraction must be >= 0, got {t_fraction}")
+        if not 0.0 < sample_rate <= 1.0:
+            raise ValueError(f"sample_rate must be in (0, 1], got {sample_rate}")
+        self.t_fraction = float(t_fraction)
+        self.sample_rate = float(sample_rate)
+        self._rng = np.random.default_rng(seed)
+
+    def _sample(self, keys: np.ndarray) -> np.ndarray:
+        if self.sample_rate >= 1.0 or not len(keys):
+            return keys
+        mask = self._rng.random(len(keys)) < self.sample_rate
+        return keys[mask]
+
+    def run(self, batches: Iterable[KeyedUpdates]) -> Iterator[IntervalDetection]:
+        """Stream detection reports, each one interval behind arrival."""
+        self.forecaster.reset()
+        pending_error = None
+        pending_index = -1
+        for batch in batches:
+            # New keys arriving now are the candidates for the PREVIOUS
+            # interval's error sketch.
+            if pending_error is not None:
+                candidates = np.unique(self._sample(batch.keys))
+                yield self._report(pending_index, pending_error, candidates)
+            observed = self.schema.from_items(batch.keys, batch.values)
+            step = self.forecaster.step(observed)
+            pending_error = step.error
+            pending_index = batch.index
+        # The final interval's error sketch never sees future keys; report
+        # it with no candidates so callers know it went unchecked.
+        if pending_error is not None:
+            yield self._report(
+                pending_index, pending_error, np.array([], dtype=np.uint64)
+            )
+
+    def _report(
+        self, index: int, error, candidates: np.ndarray
+    ) -> IntervalDetection:
+        l2 = error.l2_norm()
+        threshold = self.t_fraction * l2
+        alarms: List[Alarm] = []
+        if len(candidates):
+            indices = None
+            bucket_indices = getattr(self.schema, "bucket_indices", None)
+            if bucket_indices is not None:
+                indices = bucket_indices(candidates)
+            estimates = error.estimate_batch(candidates, indices=indices)
+            hits = np.abs(estimates) >= threshold
+            alarms = [
+                Alarm(
+                    interval=index,
+                    key=int(k),
+                    estimated_error=float(e),
+                    threshold=threshold,
+                )
+                for k, e in zip(
+                    candidates[hits].tolist(), estimates[hits].tolist()
+                )
+            ]
+        return IntervalDetection(
+            index=index,
+            threshold=threshold,
+            alarms=alarms,
+            top_keys=np.array([], dtype=np.uint64),
+            top_errors=np.array([], dtype=np.float64),
+            error_l2=l2,
+        )

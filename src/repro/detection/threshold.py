@@ -1,0 +1,86 @@
+"""The alarm rule (paper Section 3.3).
+
+After constructing the forecast error summary ``Se(t)``, the alarm
+threshold is
+
+    ``T_A = T * sqrt(ESTIMATEF2(Se(t)))``
+
+where ``T`` is an application-chosen fraction of the L2 norm of the
+forecast errors (the paper sweeps ``T`` over {0.01, 0.02, 0.05, 0.07,
+0.1}).  A key raises an alarm when the absolute reconstructed error meets
+the threshold.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Alarm:
+    """One raised alarm: a key whose forecast error was significant."""
+
+    interval: int
+    key: int
+    estimated_error: float
+    threshold: float
+
+    @property
+    def magnitude(self) -> float:
+        """How far past the threshold the error landed (>= 1.0)."""
+        return abs(self.estimated_error) / self.threshold if self.threshold else float("inf")
+
+
+def alarm_threshold(error_summary, t_fraction: float) -> float:
+    """Compute ``T_A = T * sqrt(ESTIMATEF2(Se))``.
+
+    The F2 estimate of an error summary can be marginally negative (it is
+    unbiased, so small true energies straddle zero); it is clamped at zero,
+    making the threshold well defined and conservative.
+    """
+    if t_fraction < 0:
+        raise ValueError(f"t_fraction must be >= 0, got {t_fraction}")
+    return t_fraction * error_summary.l2_norm()
+
+
+def alarms_for_interval(
+    error_summary,
+    candidate_keys: np.ndarray,
+    t_fraction: float,
+    interval: int = 0,
+    indices: Optional[np.ndarray] = None,
+) -> List[Alarm]:
+    """Raise alarms over candidate keys against one interval's error summary.
+
+    Parameters
+    ----------
+    error_summary:
+        ``Se(t)`` -- sketch or exact.
+    candidate_keys:
+        Keys to test (the replay stream in the offline detector; future
+        keys in the online one).  Deduplicated internally.
+    t_fraction:
+        The threshold parameter ``T``.
+    interval:
+        Interval index recorded in the alarms.
+    indices:
+        Optional precomputed bucket indices for the candidate keys.
+    """
+    keys = np.unique(np.asarray(candidate_keys, dtype=np.uint64))
+    if not len(keys):
+        return []
+    threshold = alarm_threshold(error_summary, t_fraction)
+    estimates = error_summary.estimate_batch(keys, indices=indices)
+    hits = np.abs(estimates) >= threshold
+    return [
+        Alarm(
+            interval=interval,
+            key=int(key),
+            estimated_error=float(err),
+            threshold=threshold,
+        )
+        for key, err in zip(keys[hits].tolist(), estimates[hits].tolist())
+    ]

@@ -1,0 +1,46 @@
+"""Evaluation metrics and reporting for sketch-vs-per-flow comparison.
+
+Implements the paper's Section 5 measurement apparatus:
+
+* **Relative Difference** (Section 5.1): the sketch total energy vs the
+  per-flow total energy, as a percentage.
+* **Similarity** (Section 5.2.1): ``N_AB / N`` overlap of top-N lists,
+  including the top-N vs top-X*N variant.
+* **Thresholding metrics** (Section 5.2.2): alarm counts, false-negative
+  and false-positive ratios at a fraction of the error L2 norm.
+* **Empirical CDFs** for the Figure 1-3 style plots.
+* Plain-text report tables shaped like the paper's figures.
+"""
+
+from repro.evaluation.cdf import EmpiricalCDF
+from repro.evaluation.groundtruth import (
+    OperatingPoint,
+    ground_truth_labels,
+    operating_curve,
+    sweep_thresholds,
+)
+from repro.evaluation.metrics import (
+    ThresholdComparison,
+    false_negative_ratio,
+    false_positive_ratio,
+    relative_difference,
+    threshold_comparison,
+    total_energy,
+)
+from repro.evaluation.report import format_series_table, format_table
+
+__all__ = [
+    "EmpiricalCDF",
+    "OperatingPoint",
+    "ThresholdComparison",
+    "ground_truth_labels",
+    "operating_curve",
+    "sweep_thresholds",
+    "false_negative_ratio",
+    "false_positive_ratio",
+    "format_series_table",
+    "format_table",
+    "relative_difference",
+    "threshold_comparison",
+    "total_energy",
+]

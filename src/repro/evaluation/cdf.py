@@ -1,0 +1,61 @@
+"""Empirical cumulative distribution functions (Figures 1-3 material)."""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+
+class EmpiricalCDF:
+    """Empirical CDF of a sample, with evaluation and quantile queries."""
+
+    def __init__(self, samples) -> None:
+        samples = np.asarray(samples, dtype=np.float64)
+        if samples.ndim != 1:
+            raise ValueError(f"samples must be 1-D, got shape {samples.shape}")
+        if not len(samples):
+            raise ValueError("cannot build a CDF from an empty sample")
+        self._sorted = np.sort(samples)
+
+    def __len__(self) -> int:
+        return len(self._sorted)
+
+    @property
+    def samples(self) -> np.ndarray:
+        """The sorted sample (read-only view)."""
+        view = self._sorted.view()
+        view.flags.writeable = False
+        return view
+
+    def __call__(self, x) -> np.ndarray:
+        """``P(X <= x)`` evaluated at scalar or array ``x``."""
+        positions = np.searchsorted(self._sorted, np.asarray(x, dtype=np.float64), side="right")
+        return positions / len(self._sorted)
+
+    def quantile(self, q: float) -> float:
+        """The ``q``-quantile of the sample (0 <= q <= 1)."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"q must be in [0, 1], got {q}")
+        return float(np.quantile(self._sorted, q))
+
+    def steps(self) -> Tuple[np.ndarray, np.ndarray]:
+        """``(x, F(x))`` pairs for plotting the CDF as a step function."""
+        n = len(self._sorted)
+        return self._sorted.copy(), np.arange(1, n + 1) / n
+
+    def mass_within(self, low: float, high: float) -> float:
+        """Fraction of the sample lying in ``[low, high]``.
+
+        Used to state paper claims like "most of the mass is concentrated
+        in the neighborhood of the 0% point".
+        """
+        if high < low:
+            raise ValueError(f"need low <= high, got [{low}, {high}]")
+        lo = np.searchsorted(self._sorted, low, side="left")
+        hi = np.searchsorted(self._sorted, high, side="right")
+        return (hi - lo) / len(self._sorted)
+
+    def worst_absolute(self) -> float:
+        """Largest absolute sample value (the paper's 'worst case' quote)."""
+        return float(np.max(np.abs(self._sorted)))

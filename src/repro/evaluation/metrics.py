@@ -1,0 +1,116 @@
+"""The paper's comparison metrics.
+
+Terminology note ("total energy"): the paper defines it as "square root of
+the sum of second moments for each time interval", i.e.
+
+    ``energy = sqrt( sum_t F2(Se(t)) )``
+
+Relative Difference (Figures 1-3) is the sketch energy minus the per-flow
+energy as a percentage of per-flow energy.  Thresholding metrics
+(Figures 10-15) compare the key sets whose absolute forecast error reaches
+``T * L2-norm`` in the sketch and per-flow pipelines.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+
+
+def total_energy(per_interval_f2: Iterable[float]) -> float:
+    """``sqrt(sum_t F2(Se(t)))`` ignoring warm-up NaNs.
+
+    Negative per-interval estimates (possible for the unbiased sketch
+    estimator when the true energy is tiny) are clamped to zero, matching
+    the L2-norm convention.
+    """
+    values = np.asarray(list(per_interval_f2), dtype=np.float64)
+    values = values[~np.isnan(values)]
+    return float(math.sqrt(np.clip(values, 0.0, None).sum()))
+
+
+def relative_difference(sketch_energy: float, perflow_energy: float) -> float:
+    """Relative Difference in percent: ``100 * (sketch - perflow) / perflow``."""
+    if perflow_energy == 0:
+        raise ValueError("per-flow energy is zero; relative difference undefined")
+    return 100.0 * (sketch_energy - perflow_energy) / perflow_energy
+
+
+def false_negative_ratio(perflow_keys: np.ndarray, sketch_keys: np.ndarray) -> float:
+    """``(N_pf - N_AB) / N_pf``: per-flow detections the sketch missed.
+
+    Defined as 0 when per-flow raised nothing (no positives to miss).
+    """
+    pf = np.unique(np.asarray(perflow_keys, dtype=np.uint64))
+    sk = np.unique(np.asarray(sketch_keys, dtype=np.uint64))
+    if not len(pf):
+        return 0.0
+    overlap = len(np.intersect1d(pf, sk, assume_unique=True))
+    return (len(pf) - overlap) / len(pf)
+
+
+def false_positive_ratio(perflow_keys: np.ndarray, sketch_keys: np.ndarray) -> float:
+    """``(N_sk - N_AB) / N_sk``: sketch detections per-flow disowns.
+
+    Defined as 0 when the sketch raised nothing.
+    """
+    pf = np.unique(np.asarray(perflow_keys, dtype=np.uint64))
+    sk = np.unique(np.asarray(sketch_keys, dtype=np.uint64))
+    if not len(sk):
+        return 0.0
+    overlap = len(np.intersect1d(pf, sk, assume_unique=True))
+    return (len(sk) - overlap) / len(sk)
+
+
+@dataclass
+class ThresholdComparison:
+    """Per-interval thresholding comparison, aggregated over a trace.
+
+    Attributes hold the *means over intervals* the paper plots: the number
+    of alarms for each method, and the false negative/positive ratios.
+    """
+
+    t_fraction: float
+    mean_perflow_alarms: float
+    mean_sketch_alarms: float
+    mean_false_negative: float
+    mean_false_positive: float
+    intervals: int
+
+
+def threshold_comparison(
+    t_fraction: float,
+    perflow_key_sets: Sequence[np.ndarray],
+    sketch_key_sets: Sequence[np.ndarray],
+) -> ThresholdComparison:
+    """Aggregate thresholding metrics across intervals.
+
+    Both sequences must align interval-for-interval (warm-up already
+    removed).
+    """
+    if len(perflow_key_sets) != len(sketch_key_sets):
+        raise ValueError(
+            f"interval count mismatch: {len(perflow_key_sets)} per-flow vs "
+            f"{len(sketch_key_sets)} sketch"
+        )
+    if not perflow_key_sets:
+        raise ValueError("no intervals to compare")
+    fn = [
+        false_negative_ratio(pf, sk)
+        for pf, sk in zip(perflow_key_sets, sketch_key_sets)
+    ]
+    fp = [
+        false_positive_ratio(pf, sk)
+        for pf, sk in zip(perflow_key_sets, sketch_key_sets)
+    ]
+    return ThresholdComparison(
+        t_fraction=t_fraction,
+        mean_perflow_alarms=float(np.mean([len(np.unique(k)) for k in perflow_key_sets])),
+        mean_sketch_alarms=float(np.mean([len(np.unique(k)) for k in sketch_key_sets])),
+        mean_false_negative=float(np.mean(fn)),
+        mean_false_positive=float(np.mean(fp)),
+        intervals=len(perflow_key_sets),
+    )

@@ -1,0 +1,70 @@
+"""Plain-text tables shaped like the paper's figures.
+
+Every experiment function returns structured data; these helpers render it
+for terminal consumption so the benchmark harness can print the same
+rows/series the paper reports.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence, Union
+
+Number = Union[int, float]
+
+
+def _format_cell(value, width: int = 0) -> str:
+    if isinstance(value, float):
+        text = f"{value:.4g}"
+    else:
+        text = str(value)
+    return text.rjust(width) if width else text
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[Union[str, Number]]],
+    title: str = "",
+) -> str:
+    """Render an aligned fixed-width table with a rule under the header."""
+    str_rows = [[_format_cell(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells but there are {len(headers)} headers"
+            )
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.rjust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_series_table(
+    x_name: str,
+    x_values: Sequence[Number],
+    series: Mapping[str, Sequence[Number]],
+    title: str = "",
+) -> str:
+    """Render one column per named series against a shared x axis.
+
+    This is the natural text form of the paper's line plots: e.g. x = K,
+    one series per top-N value.
+    """
+    headers = [x_name] + list(series.keys())
+    for name, values in series.items():
+        if len(values) != len(x_values):
+            raise ValueError(
+                f"series {name!r} has {len(values)} points but x has "
+                f"{len(x_values)}"
+            )
+    rows = [
+        [x] + [series[name][i] for name in series]
+        for i, x in enumerate(x_values)
+    ]
+    return format_table(headers, rows, title=title)

@@ -1,0 +1,33 @@
+"""Reproduction of every table and figure in the paper's evaluation.
+
+Each ``figure__`/``table_`` function regenerates one exhibit's data on the
+synthetic router fleet and returns a :class:`~repro.experiments.runner.FigureResult`
+whose ``render()`` prints the same rows/series the paper plots.  See
+DESIGN.md Section 4 for the experiment index and EXPERIMENTS.md for
+paper-vs-measured numbers.
+"""
+
+from repro.experiments.datasets import (
+    DEFAULT_DURATION,
+    batches_for,
+    clear_caches,
+    router_batches,
+    router_trace,
+    warmup_intervals,
+)
+from repro.experiments.params import best_parameters, random_model_parameters
+from repro.experiments.runner import FigureResult, list_experiments, run_experiment
+
+__all__ = [
+    "DEFAULT_DURATION",
+    "FigureResult",
+    "batches_for",
+    "best_parameters",
+    "clear_caches",
+    "list_experiments",
+    "random_model_parameters",
+    "router_batches",
+    "router_trace",
+    "run_experiment",
+    "warmup_intervals",
+]

@@ -1,0 +1,206 @@
+"""Figures 10-15: thresholding accuracy (paper Section 5.2.2).
+
+Flows are selected when their absolute forecast error reaches a fraction
+``T`` of the interval's error L2 norm.  Metrics: mean alarms per interval
+(sketch vs per-flow), mean false-negative ratio and mean false-positive
+ratio, as functions of K, H and T.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.evaluation.metrics import false_negative_ratio, false_positive_ratio
+from repro.evaluation.report import format_series_table
+from repro.experiments.common import (
+    PerFlowRun,
+    SketchRun,
+    cached_schema,
+    run_perflow,
+    run_sketch,
+)
+from repro.experiments.datasets import router_batches, warmup_intervals
+from repro.experiments.params import best_parameters_dict
+from repro.experiments.runner import FigureResult, register
+
+#: The threshold fractions the paper sweeps.
+THRESHOLDS = (0.01, 0.02, 0.05, 0.07, 0.1)
+#: K values in the thresholding figures.
+WIDTHS = (8192, 32768, 65536)
+
+
+@lru_cache(maxsize=32)
+def _perflow_run(router: str, model: str, interval_seconds: float) -> PerFlowRun:
+    params = best_parameters_dict(router, model, interval_seconds)
+    batches = router_batches(router, interval_seconds)
+    return run_perflow(batches, model, skip=warmup_intervals(interval_seconds), **params)
+
+
+def _sketch_threshold_run(
+    router: str, model: str, interval: float, depth: int, width: int
+) -> SketchRun:
+    params = best_parameters_dict(router, model, interval)
+    batches = router_batches(router, interval)
+    return run_sketch(
+        batches,
+        cached_schema(depth, width),
+        model,
+        thresholds=THRESHOLDS,
+        skip=warmup_intervals(interval),
+        **params,
+    )
+
+
+def _threshold_stats(
+    sketch: SketchRun, perflow: PerFlowRun
+) -> Dict[float, Tuple[float, float, float, float]]:
+    """Per threshold: (pf alarms, sk alarms, mean FN ratio, mean FP ratio)."""
+    out = {}
+    for t in THRESHOLDS:
+        pf_sets = [perflow.threshold_keys(i, t) for i in sketch.indices]
+        sk_sets = sketch.threshold_sets[t]
+        fn = [false_negative_ratio(pf, sk) for pf, sk in zip(pf_sets, sk_sets)]
+        fp = [false_positive_ratio(pf, sk) for pf, sk in zip(pf_sets, sk_sets)]
+        out[t] = (
+            float(np.mean([len(s) for s in pf_sets])),
+            float(np.mean([len(np.unique(s)) for s in sk_sets])),
+            float(np.mean(fn)),
+            float(np.mean(fp)),
+        )
+    return out
+
+
+def _threshold_panel(
+    router: str, model: str, interval: float
+) -> Tuple[Dict, str, List[str]]:
+    """The full three-panel exhibit used by Figures 10 and 11."""
+    perflow = _perflow_run(router, model, interval)
+    configs = [(1, 8192), (5, 8192), (5, 32768), (5, 65536)]
+    stats = {
+        (h, k): _threshold_stats(
+            _sketch_threshold_run(router, model, interval, h, k), perflow
+        )
+        for h, k in configs
+    }
+    # Panel (a): number of alarms vs threshold.
+    alarm_series = {
+        f"sk(K={k},H={h})": [stats[(h, k)][t][1] for t in THRESHOLDS]
+        for h, k in configs
+    }
+    alarm_series["pf"] = [stats[configs[0]][t][0] for t in THRESHOLDS]
+    text_a = format_series_table(
+        "T", list(THRESHOLDS), alarm_series,
+        title=f"(a) mean #alarms vs threshold ({router}, {model}, "
+        f"{int(interval)}s)",
+    )
+    # Panels (b) and (c): FN and FP vs K at H=5.
+    h5 = [(5, k) for k in WIDTHS]
+    fn_series = {
+        f"Thresh={t}, H=5": [stats[hk][t][2] for hk in h5] for t in THRESHOLDS[:4]
+    }
+    fp_series = {
+        f"Thresh={t}, H=5": [stats[hk][t][3] for hk in h5] for t in THRESHOLDS[:4]
+    }
+    text_b = format_series_table(
+        "K", list(WIDTHS), fn_series,
+        title=f"(b) mean false-negative ratio vs K ({router}, {model}, "
+        f"{int(interval)}s)",
+    )
+    text_c = format_series_table(
+        "K", list(WIDTHS), fp_series,
+        title=f"(c) mean false-positive ratio vs K ({router}, {model}, "
+        f"{int(interval)}s)",
+    )
+    fn32 = max(stats[(5, 32768)][t][2] for t in THRESHOLDS[1:])
+    fp32 = max(stats[(5, 32768)][t][3] for t in THRESHOLDS[1:])
+    notes = [
+        "paper: H=1 inflates alarms; H=5 and K>=8K track per-flow closely; "
+        "K>=32K keeps FN and FP ratios in the low percent range",
+        f"measured at K=32768, H=5 (T>=0.02): worst FN={fn32:.3f}, worst FP={fp32:.3f}",
+    ]
+    return stats, "\n\n".join([text_a, text_b, text_c]), notes
+
+
+@register("fig10")
+def figure10(router: str = "large", model: str = "nshw") -> FigureResult:
+    """Thresholding, large router, 60s interval, NSHW."""
+    stats, text, notes = _threshold_panel(router, model, 60.0)
+    return FigureResult("fig10", "Thresholding, NSHW, 60s", stats, text, notes)
+
+
+@register("fig11")
+def figure11(router: str = "large", model: str = "nshw") -> FigureResult:
+    """Thresholding, large router, 300s interval, NSHW."""
+    stats, text, notes = _threshold_panel(router, model, 300.0)
+    return FigureResult("fig11", "Thresholding, NSHW, 300s", stats, text, notes)
+
+
+def _ratio_figure(
+    fig_id: str,
+    models: Sequence[str],
+    metric_index: int,
+    metric_name: str,
+    router: str = "medium",
+    interval: float = 300.0,
+) -> FigureResult:
+    """FN or FP ratios vs K at H=5 for a pair of models (Figures 12-15)."""
+    series = {}
+    texts = []
+    for model in models:
+        perflow = _perflow_run(router, model, interval)
+        data = {
+            k: _threshold_stats(
+                _sketch_threshold_run(router, model, interval, 5, k), perflow
+            )
+            for k in WIDTHS
+        }
+        series[model] = data
+        texts.append(format_series_table(
+            "K",
+            list(WIDTHS),
+            {
+                f"Thresh={t}, H=5": [data[k][t][metric_index] for k in WIDTHS]
+                for t in THRESHOLDS[:4]
+            },
+            title=f"mean {metric_name} ratio vs K ({router}, {model}, "
+            f"{int(interval)}s)",
+        ))
+    worst = max(
+        data[k][t][metric_index]
+        for data in series.values()
+        for k in (32768, 65536)
+        for t in THRESHOLDS[1:]
+    )
+    notes = [
+        f"paper: {metric_name} ratios well below 1% for thresholds > 0.01 at K>=32K",
+        f"measured worst {metric_name} at K>=32K, T>=0.02: {worst:.4f}",
+    ]
+    title = f"{metric_name} ratios, {router} router, {'/'.join(models)}"
+    return FigureResult(fig_id, title, series, "\n\n".join(texts), notes)
+
+
+@register("fig12")
+def figure12() -> FigureResult:
+    """False negatives, medium router, 300s: EWMA and NSHW."""
+    return _ratio_figure("fig12", ("ewma", "nshw"), 2, "false-negative")
+
+
+@register("fig13")
+def figure13() -> FigureResult:
+    """False negatives, medium router, 300s: ARIMA0 and ARIMA1."""
+    return _ratio_figure("fig13", ("arima0", "arima1"), 2, "false-negative")
+
+
+@register("fig14")
+def figure14() -> FigureResult:
+    """False positives, medium router, 300s: EWMA and NSHW."""
+    return _ratio_figure("fig14", ("ewma", "nshw"), 3, "false-positive")
+
+
+@register("fig15")
+def figure15() -> FigureResult:
+    """False positives, medium router, 300s: ARIMA0 and ARIMA1."""
+    return _ratio_figure("fig15", ("arima0", "arima1"), 3, "false-positive")

@@ -1,0 +1,259 @@
+"""Figures 4-9: top-N accuracy of sketch vs per-flow (paper Section 5.2.1).
+
+For each interval, both pipelines rank that interval's keys by absolute
+forecast error; the metric is the overlap similarity ``N_AB / N`` between
+the per-flow top-N and the sketch top-N (or top-X*N).  Model parameters
+come from grid search, as in the paper.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.evaluation.report import format_series_table
+from repro.experiments.common import (
+    PerFlowRun,
+    SketchRun,
+    cached_schema,
+    mean_similarity,
+    run_perflow,
+    run_sketch,
+)
+from repro.experiments.datasets import router_batches, warmup_intervals
+from repro.experiments.params import best_parameters_dict
+from repro.experiments.runner import FigureResult, register
+
+#: The N values the paper sweeps.
+TOP_NS = (50, 100, 500, 1000)
+#: The X factors for top-N vs top-X*N.
+X_FACTORS = (1.0, 1.25, 1.5, 1.75, 2.0)
+
+
+@lru_cache(maxsize=32)
+def _perflow_run(router: str, model: str, interval_seconds: float) -> PerFlowRun:
+    params = best_parameters_dict(router, model, interval_seconds)
+    batches = router_batches(router, interval_seconds)
+    return run_perflow(batches, model, skip=warmup_intervals(interval_seconds), **params)
+
+
+def _sketch_run(
+    router: str,
+    model: str,
+    interval_seconds: float,
+    depth: int,
+    width: int,
+    rank_depth: int,
+) -> SketchRun:
+    params = best_parameters_dict(router, model, interval_seconds)
+    batches = router_batches(router, interval_seconds)
+    return run_sketch(
+        batches,
+        cached_schema(depth, width),
+        model,
+        rank_depth=rank_depth,
+        skip=warmup_intervals(interval_seconds),
+        **params,
+    )
+
+
+def _similarity_by_n(
+    sketch: SketchRun,
+    perflow: PerFlowRun,
+    ns: Sequence[int] = TOP_NS,
+    x: float = 1.0,
+) -> Dict[int, float]:
+    """Mean top-N (vs top-X*N sketch) similarity for each N."""
+    out: Dict[int, float] = {}
+    for n in ns:
+        keep = int(round(x * n))
+        sketch_lists = [keys[:keep] for keys in sketch.ranked_keys]
+        perflow_lists = [perflow.top_n(i, n) for i in sketch.indices]
+        out[n] = mean_similarity(sketch_lists, perflow_lists, n)
+    return out
+
+
+@register("fig04")
+def figure04(router: str = "large", model: str = "ewma") -> FigureResult:
+    """Similarity across time, H=5, K=32768, both intervals."""
+    series: Dict[str, Dict[int, List[float]]] = {}
+    texts = []
+    for interval in (300.0, 60.0):
+        sketch = _sketch_run(router, model, interval, depth=5, width=32768,
+                             rank_depth=max(TOP_NS))
+        perflow = _perflow_run(router, model, interval)
+        per_time: Dict[int, List[float]] = {n: [] for n in TOP_NS}
+        for pos, idx in enumerate(sketch.indices):
+            for n in TOP_NS:
+                pf = perflow.top_n(idx, n)
+                sk = sketch.ranked_keys[pos][:n]
+                overlap = len(np.intersect1d(np.unique(pf), np.unique(sk),
+                                             assume_unique=True))
+                per_time[n].append(overlap / (min(n, len(pf)) or 1))
+        series[f"interval={int(interval)}"] = per_time
+        texts.append(
+            format_series_table(
+                "t",
+                sketch.indices,
+                {f"TopN={n}": per_time[n] for n in TOP_NS},
+                title=f"Similarity over time ({router} router, H=5, K=32768, "
+                f"interval={int(interval)}s, model={model})",
+            )
+        )
+    mins = [min(vals) for per_time in series.values() for vals in per_time.values()]
+    notes = [
+        "paper: similarity ~0.95 across all intervals even for N=1000",
+        f"measured minimum similarity across time/N: {min(mins):.3f}",
+        "dips align with the planted DoS/flash-crowd intervals: while one "
+        "key's error dominates F2, the sketch noise floor (~L2/sqrt(K)) "
+        "rises and mid-rank keys shuffle; small N stays near 1.0 throughout",
+    ]
+    return FigureResult("fig04", "Similarity across time", series, "\n\n".join(texts), notes)
+
+
+def _similarity_vs_k(
+    router: str,
+    model: str,
+    interval: float,
+    widths: Sequence[int],
+    depth: int = 5,
+) -> Dict[int, Dict[int, float]]:
+    """``{K: {N: mean similarity}}`` at fixed H."""
+    perflow = _perflow_run(router, model, interval)
+    out: Dict[int, Dict[int, float]] = {}
+    for width in widths:
+        sketch = _sketch_run(router, model, interval, depth, width,
+                             rank_depth=max(TOP_NS))
+        out[width] = _similarity_by_n(sketch, perflow)
+    return out
+
+
+def _render_vs_k(data: Dict[int, Dict[int, float]], title: str) -> str:
+    widths = sorted(data)
+    return format_series_table(
+        "K",
+        widths,
+        {f"TopN={n}": [data[w][n] for w in widths] for n in TOP_NS},
+        title=title,
+    )
+
+
+@register("fig05")
+def figure05(router: str = "large", model: str = "ewma") -> FigureResult:
+    """Mean similarity vs K (EWMA, large router, H=5, both intervals)."""
+    widths = (8192, 32768, 65536)
+    series = {}
+    texts = []
+    for interval in (300.0, 60.0):
+        data = _similarity_vs_k(router, model, interval, widths)
+        series[f"interval={int(interval)}"] = data
+        texts.append(_render_vs_k(
+            data,
+            f"Mean similarity vs K ({router}, {model}, H=5, interval={int(interval)}s)",
+        ))
+    k32 = series["interval=300"][32768]
+    notes = [
+        "paper: for K=32K similarity is over 0.95 even for large N; "
+        "K beyond 32K gives limited additional benefit",
+        f"measured at K=32768 (300s): {k32}",
+    ]
+    return FigureResult("fig05", "Similarity vs K (EWMA, large)", series,
+                        "\n\n".join(texts), notes)
+
+
+@register("fig06")
+def figure06(router: str = "large", model: str = "ewma") -> FigureResult:
+    """Top-N vs top-X*N similarity (EWMA, K=8192, H=5, both intervals)."""
+    ns = (50, 100, 500)
+    series = {}
+    texts = []
+    for interval in (300.0, 60.0):
+        perflow = _perflow_run(router, model, interval)
+        sketch = _sketch_run(router, model, interval, depth=5, width=8192,
+                             rank_depth=int(2.0 * max(ns)))
+        data = {
+            x: _similarity_by_n(sketch, perflow, ns=ns, x=x) for x in X_FACTORS
+        }
+        series[f"interval={int(interval)}"] = data
+        texts.append(format_series_table(
+            "X",
+            list(X_FACTORS),
+            {f"TopN={n}": [data[x][n] for x in X_FACTORS] for n in ns},
+            title=f"Top-N vs top-X*N ({router}, {model}, H=5, K=8192, "
+            f"interval={int(interval)}s)",
+        ))
+    d300 = series["interval=300"]
+    notes = [
+        "paper: X=1.5 already yields very high accuracy; larger X marginal",
+        f"measured (300s) N=500: X=1.0 -> {d300[1.0][500]:.3f}, "
+        f"X=1.5 -> {d300[1.5][500]:.3f}, X=2.0 -> {d300[2.0][500]:.3f}",
+    ]
+    return FigureResult("fig06", "Top-N vs top-X*N", series, "\n\n".join(texts), notes)
+
+
+@register("fig07")
+def figure07(router: str = "large", model: str = "ewma") -> FigureResult:
+    """Effect of H at fixed K: (a) K=8192 @300s, (b) K=32768 @60s."""
+    depths = (1, 5, 9, 25)
+    panels = {"K=8192, interval=300": (8192, 300.0), "K=32768, interval=60": (32768, 60.0)}
+    series = {}
+    texts = []
+    for label, (width, interval) in panels.items():
+        perflow = _perflow_run(router, model, interval)
+        data: Dict[int, Dict[int, float]] = {}
+        for depth in depths:
+            sketch = _sketch_run(router, model, interval, depth, width,
+                                 rank_depth=max(TOP_NS))
+            data[depth] = _similarity_by_n(sketch, perflow)
+        series[label] = data
+        texts.append(format_series_table(
+            "H",
+            list(depths),
+            {f"TopN={n}": [data[h][n] for h in depths] for n in TOP_NS},
+            title=f"Similarity vs H ({router}, {model}, {label})",
+        ))
+    notes = [
+        "paper: with K=8192, H must reach ~9 for high similarity at large N; "
+        "with K=32768, H=5 already suffices",
+    ]
+    return FigureResult("fig07", "Effect of H and K", series, "\n\n".join(texts), notes)
+
+
+@register("fig08")
+def figure08(router: str = "medium", model: str = "ewma") -> FigureResult:
+    """Medium router, EWMA: (a) similarity vs K @300s, (b) top-X*N @60s."""
+    data_a = _similarity_vs_k(router, model, 300.0, (8192, 32768, 65536))
+    ns = (50, 100, 500)
+    perflow = _perflow_run(router, model, 60.0)
+    sketch = _sketch_run(router, model, 60.0, depth=5, width=8192,
+                         rank_depth=int(2.0 * max(ns)))
+    data_b = {x: _similarity_by_n(sketch, perflow, ns=ns, x=x) for x in X_FACTORS}
+    texts = [
+        _render_vs_k(data_a, f"(a) Similarity vs K ({router}, {model}, H=5, 300s)"),
+        format_series_table(
+            "X",
+            list(X_FACTORS),
+            {f"TopN={n}": [data_b[x][n] for x in X_FACTORS] for n in ns},
+            title=f"(b) Top-N vs top-X*N ({router}, {model}, H=5, K=8192, 60s)",
+        ),
+    ]
+    notes = ["paper: all router files show similar behaviour to the large router"]
+    return FigureResult("fig08", "Similarity, medium router",
+                        {"vs_k": data_a, "vs_x": data_b}, "\n\n".join(texts), notes)
+
+
+@register("fig09")
+def figure09(model: str = "arima0") -> FigureResult:
+    """ARIMA0 similarity vs K for large and medium routers (300s)."""
+    series = {}
+    texts = []
+    for router in ("large", "medium"):
+        data = _similarity_vs_k(router, model, 300.0, (8192, 32768, 65536))
+        series[router] = data
+        texts.append(_render_vs_k(
+            data, f"Similarity vs K ({router}, {model}, H=5, 300s)"
+        ))
+    notes = ["paper: all models show results similar to EWMA"]
+    return FigureResult("fig09", "Similarity, ARIMA0", series, "\n\n".join(texts), notes)

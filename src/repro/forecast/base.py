@@ -1,0 +1,107 @@
+"""Forecaster protocol shared by all six models.
+
+Timing convention (matches the paper's Section 2.2): at the start of
+interval ``t`` the forecaster produces ``Sf(t)`` from observations
+``So(1..t-1)``; the observed summary ``So(t)`` then arrives and the error is
+``Se(t) = So(t) - Sf(t)``.  The :meth:`Forecaster.step` helper packages this
+hand-shake; during warm-up the forecast (and hence the error) is ``None``.
+
+Forecasters are *state-agnostic*: every operation they perform on an
+observation is a linear-space operation (``+``, ``-``, scalar ``*``), so
+the same object works over sketches, exact vectors, NumPy arrays or plain
+floats.  This is not an implementation convenience -- it is the paper's
+central claim, and the test suite verifies it by checking that
+``forecast(sketch(stream)) == sketch(forecast(stream))`` cell for cell.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Any, Generic, Iterable, Iterator, List, Optional, TypeVar
+
+State = TypeVar("State")
+
+
+@dataclass
+class ForecastStep(Generic[State]):
+    """One interval's worth of pipeline output.
+
+    Attributes
+    ----------
+    index:
+        0-based interval index.
+    observed:
+        ``So(t)``, the summary observed during the interval.
+    forecast:
+        ``Sf(t)``, or ``None`` while the model is warming up.
+    error:
+        ``Se(t) = So(t) - Sf(t)``, or ``None`` during warm-up.
+    """
+
+    index: int
+    observed: State
+    forecast: Optional[State]
+    error: Optional[State]
+
+    @property
+    def in_warmup(self) -> bool:
+        """True when the model had not yet produced a forecast."""
+        return self.forecast is None
+
+
+class Forecaster(abc.ABC):
+    """Streaming one-step-ahead forecaster over a linear state space."""
+
+    def __init__(self) -> None:
+        self._t = 0  # number of observations consumed
+
+    @property
+    def observations_seen(self) -> int:
+        """How many observations have been consumed so far."""
+        return self._t
+
+    @abc.abstractmethod
+    def forecast(self) -> Optional[Any]:
+        """Return ``Sf`` for the upcoming interval, or ``None`` in warm-up.
+
+        Must not mutate state: calling twice returns the same value.
+        """
+
+    @abc.abstractmethod
+    def _consume(self, observed: Any) -> None:
+        """Fold the newest observation into model state."""
+
+    def observe(self, observed: Any) -> None:
+        """Feed the observed summary for the interval just ended."""
+        self._consume(observed)
+        self._t += 1
+
+    def step(self, observed: Any) -> ForecastStep:
+        """Forecast, then observe: one full interval hand-shake."""
+        index = self._t
+        predicted = self.forecast()
+        error = None if predicted is None else observed - predicted
+        self.observe(observed)
+        return ForecastStep(index=index, observed=observed, forecast=predicted, error=error)
+
+    def run(self, observations: Iterable[Any]) -> Iterator[ForecastStep]:
+        """Stream :meth:`step` over an iterable of observed summaries."""
+        for observed in observations:
+            yield self.step(observed)
+
+    def reset(self) -> None:
+        """Restore the freshly constructed state."""
+        self._t = 0
+        self._reset_state()
+
+    @abc.abstractmethod
+    def _reset_state(self) -> None:
+        """Clear model-specific state (history buffers, components)."""
+
+
+def collect_errors(forecaster: Forecaster, observations: Iterable[Any]) -> List[Any]:
+    """Run a forecaster over a series and return the non-warm-up errors."""
+    return [
+        step.error for step in forecaster.run(observations) if step.error is not None
+    ]

@@ -1,0 +1,207 @@
+"""Classical coefficient estimation for the forecast models.
+
+Grid search (Section 3.4.2) is the paper's parameter-selection mechanism
+because it runs on *sketch energies* without per-flow state.  When a real
+scalar series is available (a single key's history, SNMP counters, total
+traffic), the Box-Jenkins estimators the paper cites are the right tool;
+this module implements them with NumPy only:
+
+* :func:`fit_ar` -- Yule-Walker equations for pure AR(p).
+* :func:`fit_arma` -- Hannan-Rissanen two-stage regression for ARMA(p, q).
+* :func:`fit_arima` -- differencing + :func:`fit_arma` (+ admissibility
+  projection), returning a ready :class:`~repro.forecast.arima.ArimaForecaster`.
+* :func:`fit_ewma` / :func:`fit_holt_winters` -- one-dimensional /
+  two-dimensional least-squares sweeps for the smoothing constants.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.analysis.timeseries import acf, difference
+from repro.forecast.arima import ArimaForecaster, is_invertible, is_stationary
+from repro.forecast.holtwinters import HoltWintersForecaster
+from repro.forecast.smoothing import EWMAForecaster
+
+
+def _as_series(x) -> np.ndarray:
+    series = np.asarray(x, dtype=np.float64)
+    if series.ndim != 1:
+        raise ValueError(f"series must be 1-D, got shape {series.shape}")
+    return series
+
+
+@dataclass(frozen=True)
+class ArmaFit:
+    """Estimated ARMA coefficients with fit diagnostics."""
+
+    ar: Tuple[float, ...]
+    ma: Tuple[float, ...]
+    sigma2: float          # innovation variance estimate
+    n_observations: int
+
+    @property
+    def admissible(self) -> bool:
+        """Stationary AND invertible."""
+        return is_stationary(self.ar) and is_invertible(self.ma)
+
+
+def fit_ar(x, p: int) -> ArmaFit:
+    """Yule-Walker estimation of AR(p) coefficients.
+
+    Solves ``R phi = r`` where ``R`` is the Toeplitz matrix of sample
+    autocorrelations.  Yule-Walker estimates are always stationary for a
+    positive-definite sample ACF (guaranteed by the biased estimator).
+    """
+    series = _as_series(x)
+    if p < 1:
+        raise ValueError(f"p must be >= 1, got {p}")
+    if len(series) <= p + 1:
+        raise ValueError(f"series of length {len(series)} too short for AR({p})")
+    rho = acf(series, p)
+    r_matrix = np.array([[rho[abs(i - j)] for j in range(p)] for i in range(p)])
+    phi = np.linalg.solve(r_matrix, rho[1 : p + 1])
+    variance = float(np.var(series)) * (1.0 - float(phi @ rho[1 : p + 1]))
+    return ArmaFit(
+        ar=tuple(float(c) for c in phi),
+        ma=(),
+        sigma2=max(variance, 0.0),
+        n_observations=len(series),
+    )
+
+
+def fit_arma(x, p: int, q: int, ar_order_long: Optional[int] = None) -> ArmaFit:
+    """Hannan-Rissanen two-stage estimation of ARMA(p, q).
+
+    Stage 1 fits a long autoregression (order ``ar_order_long``, default
+    ``max(p, q) + 5``) and extracts its residuals as innovation proxies.
+    Stage 2 regresses the series on its own lags and the lagged residuals,
+    giving the AR and MA coefficients jointly by least squares.
+    """
+    series = _as_series(x)
+    if p < 0 or q < 0 or p + q == 0:
+        raise ValueError(f"need p, q >= 0 and p + q >= 1, got p={p}, q={q}")
+    if q == 0:
+        return fit_ar(series, p)
+    long_order = ar_order_long or (max(p, q) + 5)
+    if len(series) <= long_order + max(p, q) + 2:
+        raise ValueError(
+            f"series of length {len(series)} too short for ARMA({p},{q})"
+        )
+    centered = series - series.mean()
+
+    # Stage 1: long AR for innovation estimates.
+    long_fit = fit_ar(centered, long_order)
+    phi_long = np.asarray(long_fit.ar)
+    innovations = np.zeros_like(centered)
+    for t in range(long_order, len(centered)):
+        prediction = float(phi_long @ centered[t - long_order : t][::-1])
+        innovations[t] = centered[t] - prediction
+
+    # Stage 2: regression on p lags of the series and q lags of innovations.
+    start = long_order + max(p, q)
+    rows = []
+    targets = []
+    for t in range(start, len(centered)):
+        row = [centered[t - j] for j in range(1, p + 1)]
+        row += [innovations[t - i] for i in range(1, q + 1)]
+        rows.append(row)
+        targets.append(centered[t])
+    design = np.asarray(rows)
+    y = np.asarray(targets)
+    coeffs, *_ = np.linalg.lstsq(design, y, rcond=None)
+    ar = tuple(float(c) for c in coeffs[:p])
+    # Regression coefficient on e_{t-i} is +c_i; Box-Jenkins writes the MA
+    # part as -theta_i e_{t-i}, so theta_i = -c_i.
+    ma = tuple(float(-c) for c in coeffs[p:])
+    residuals = y - design @ coeffs
+    sigma2 = float(residuals @ residuals) / max(len(y) - (p + q), 1)
+    return ArmaFit(ar=ar, ma=ma, sigma2=sigma2, n_observations=len(series))
+
+
+def _shrink_to_admissible(fit: ArmaFit, factor: float = 0.95) -> ArmaFit:
+    """Shrink coefficients toward zero until stationary and invertible.
+
+    Geometric shrinkage keeps the coefficient *direction* (relative lag
+    weights) while pulling characteristic roots outside the unit circle;
+    since the all-zero model is admissible, this always terminates.
+    """
+    ar = np.asarray(fit.ar)
+    ma = np.asarray(fit.ma)
+    for _ in range(200):
+        if is_stationary(tuple(ar)) and is_invertible(tuple(ma)):
+            return ArmaFit(
+                ar=tuple(float(c) for c in ar),
+                ma=tuple(float(c) for c in ma),
+                sigma2=fit.sigma2,
+                n_observations=fit.n_observations,
+            )
+        ar = ar * factor
+        ma = ma * factor
+    raise RuntimeError("could not project coefficients to admissibility")
+
+
+def fit_arima(
+    x, p: int, d: int, q: int, enforce_admissible: bool = True
+) -> ArimaForecaster:
+    """Fit an ARIMA(p, d, q) and return a configured forecaster.
+
+    Differencing is applied first; coefficients come from
+    :func:`fit_arma`; inadmissible estimates (possible with short, noisy
+    series) are shrunk to the admissible region when
+    ``enforce_admissible`` is set.
+    """
+    series = _as_series(x)
+    z = difference(series, d) if d else series
+    fit = fit_arma(z, p, q)
+    if enforce_admissible and not fit.admissible:
+        fit = _shrink_to_admissible(fit)
+    return ArimaForecaster(ar=fit.ar, ma=fit.ma, d=d, check_admissible=enforce_admissible)
+
+
+def _sse_over_series(forecaster, series: np.ndarray) -> float:
+    forecaster.reset()
+    total = 0.0
+    for value in series:
+        step = forecaster.step(float(value))
+        if step.error is not None:
+            total += step.error**2
+    return total
+
+
+def fit_ewma(x, grid: int = 50) -> EWMAForecaster:
+    """Least-squares EWMA smoothing constant over a fine alpha grid."""
+    series = _as_series(x)
+    if len(series) < 3:
+        raise ValueError("series too short to fit EWMA")
+    if grid < 2:
+        raise ValueError(f"grid must be >= 2, got {grid}")
+    best_alpha, best_sse = 0.5, float("inf")
+    for alpha in np.linspace(0.01, 1.0, grid):
+        sse = _sse_over_series(EWMAForecaster(float(alpha)), series)
+        if sse < best_sse:
+            best_alpha, best_sse = float(alpha), sse
+    return EWMAForecaster(best_alpha)
+
+
+def fit_holt_winters(x, grid: int = 15) -> HoltWintersForecaster:
+    """Least-squares (alpha, beta) for non-seasonal Holt-Winters."""
+    series = _as_series(x)
+    if len(series) < 4:
+        raise ValueError("series too short to fit Holt-Winters")
+    if grid < 2:
+        raise ValueError(f"grid must be >= 2, got {grid}")
+    best = (0.5, 0.2)
+    best_sse = float("inf")
+    axis = np.linspace(0.05, 1.0, grid)
+    for alpha in axis:
+        for beta in axis:
+            sse = _sse_over_series(
+                HoltWintersForecaster(float(alpha), float(beta)), series
+            )
+            if sse < best_sse:
+                best, best_sse = (float(alpha), float(beta)), sse
+    return HoltWintersForecaster(*best)

@@ -1,0 +1,76 @@
+"""Registry mapping the paper's model names to forecaster factories.
+
+The evaluation refers to models by the paper's shorthand: ``ma``, ``sma``,
+``ewma``, ``nshw``, ``arima0`` and ``arima1``.  :func:`make_forecaster`
+builds a configured forecaster from a name plus keyword parameters, and
+:func:`default_parameters` supplies sane mid-range defaults used when grid
+search is skipped.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict
+
+from repro.forecast.arima import ArimaForecaster
+from repro.forecast.base import Forecaster
+from repro.forecast.holtwinters import (
+    HoltWintersForecaster,
+    SeasonalHoltWintersForecaster,
+)
+from repro.forecast.smoothing import (
+    EWMAForecaster,
+    MovingAverageForecaster,
+    SShapedMovingAverageForecaster,
+)
+
+#: The six models evaluated by the paper, in its order.
+MODEL_NAMES = ("ma", "sma", "ewma", "nshw", "arima0", "arima1")
+
+_FACTORIES: Dict[str, Callable[..., Forecaster]] = {
+    "ma": lambda window=5, **kw: MovingAverageForecaster(window=int(window), **kw),
+    "sma": lambda window=5, **kw: SShapedMovingAverageForecaster(window=int(window), **kw),
+    "ewma": lambda alpha=0.5, **kw: EWMAForecaster(alpha=alpha, **kw),
+    "nshw": lambda alpha=0.5, beta=0.2, **kw: HoltWintersForecaster(
+        alpha=alpha, beta=beta, **kw
+    ),
+    "arima0": lambda ar=(0.5,), ma=(), **kw: ArimaForecaster(ar=ar, ma=ma, d=0, **kw),
+    "arima1": lambda ar=(0.3,), ma=(0.3,), **kw: ArimaForecaster(ar=ar, ma=ma, d=1, **kw),
+    "shw": lambda alpha=0.5, beta=0.2, gamma=0.3, period=12, **kw: (
+        SeasonalHoltWintersForecaster(
+            alpha=alpha, beta=beta, gamma=gamma, period=int(period), **kw
+        )
+    ),
+}
+
+_DEFAULTS: Dict[str, Dict[str, Any]] = {
+    "ma": {"window": 5},
+    "sma": {"window": 5},
+    "ewma": {"alpha": 0.5},
+    "nshw": {"alpha": 0.5, "beta": 0.2},
+    "arima0": {"ar": (0.5,), "ma": ()},
+    "arima1": {"ar": (0.3,), "ma": (0.3,)},
+    "shw": {"alpha": 0.5, "beta": 0.2, "gamma": 0.3, "period": 12},
+}
+
+
+def make_forecaster(name: str, **params: Any) -> Forecaster:
+    """Construct a forecaster by paper model name.
+
+    Parameters not supplied fall back to the factory defaults; unknown
+    names raise ``ValueError`` listing the registry.
+    """
+    try:
+        factory = _FACTORIES[name]
+    except KeyError:
+        known = ", ".join(sorted(_FACTORIES))
+        raise ValueError(f"unknown model {name!r}; known models: {known}") from None
+    return factory(**params)
+
+
+def default_parameters(name: str) -> Dict[str, Any]:
+    """Mid-range default parameters for a model (copy; safe to mutate)."""
+    try:
+        return dict(_DEFAULTS[name])
+    except KeyError:
+        known = ", ".join(sorted(_DEFAULTS))
+        raise ValueError(f"unknown model {name!r}; known models: {known}") from None

@@ -1,0 +1,125 @@
+"""Two-level full-factorial parameter screening with Yates' algorithm.
+
+Paper Section 6: "The full factorial method [Box, Hunter & Hunter] in the
+statistical experimental design domain can help in narrowing the number of
+levels... The tedium related to having multiple runs can also be reduced
+for example by using Yates algorithm."
+
+A 2^k full-factorial design evaluates a response (here: some accuracy or
+cost metric of the change-detection pipeline) at every combination of k
+two-level factors (e.g. H in {1, 5}, K in {8K, 32K}, interval in {60,
+300}).  Yates' algorithm then converts the 2^k responses into main-effect
+and interaction estimates with k passes of pairwise sums/differences --
+identifying which knobs matter and which are independent, exactly the use
+the paper anticipates ("H has overall impact independent of other
+parameters").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Mapping, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class FactorialEffect:
+    """One estimated effect from a 2^k design.
+
+    ``factors`` names the interacting factors (one name = a main effect;
+    several = an interaction).  ``effect`` is the average response change
+    when all named factors move low -> high together (standard Yates
+    scaling: contrast / 2^(k-1); the empty term is the grand mean).
+    """
+
+    factors: Tuple[str, ...]
+    effect: float
+
+    @property
+    def order(self) -> int:
+        """1 for main effects, 2 for two-way interactions, ..."""
+        return len(self.factors)
+
+    @property
+    def name(self) -> str:
+        """Conventional label, e.g. ``"H"`` or ``"H:K"`` (``"mean"`` for order 0)."""
+        return ":".join(self.factors) if self.factors else "mean"
+
+
+def yates(responses: Sequence[float]) -> List[float]:
+    """Yates' algorithm: contrasts of a 2^k design in standard order.
+
+    ``responses`` must be in *standard (Yates) order*: the first factor
+    alternates fastest.  Returns the 2^k contrast column after k passes of
+    pairwise (sum, difference) operations; dividing entry ``i > 0`` by
+    ``2^(k-1)`` gives the effect, and entry 0 by ``2^k`` the mean.
+    """
+    values = [float(v) for v in responses]
+    n = len(values)
+    if n == 0 or n & (n - 1):
+        raise ValueError(f"need 2^k responses, got {n}")
+    k = n.bit_length() - 1
+    for _ in range(k):
+        sums = [values[2 * i] + values[2 * i + 1] for i in range(n // 2)]
+        diffs = [values[2 * i + 1] - values[2 * i] for i in range(n // 2)]
+        values = sums + diffs
+    return values
+
+
+def full_factorial(
+    factors: Mapping[str, Tuple[object, object]],
+    response: Callable[[Dict[str, object]], float],
+) -> List[FactorialEffect]:
+    """Run a 2^k full-factorial experiment and estimate all effects.
+
+    Parameters
+    ----------
+    factors:
+        Ordered mapping ``name -> (low_level, high_level)``.
+    response:
+        Called once per combination with ``{name: level}``; its float
+        result is the measured response.
+
+    Returns
+    -------
+    Effects sorted by decreasing absolute magnitude (grand mean first
+    removed to its own entry at the end).
+    """
+    if not factors:
+        raise ValueError("need at least one factor")
+    names = list(factors)
+    k = len(names)
+    # Standard (Yates) order: the first factor alternates fastest, i.e.
+    # bit 0 of the run index drives factor 0.
+    responses = []
+    for index in range(2**k):
+        setting = {
+            name: factors[name][(index >> bit) & 1]
+            for bit, name in enumerate(names)
+        }
+        responses.append(float(response(setting)))
+
+    contrasts = yates(responses)
+    effects = []
+    for index in range(2**k):
+        involved = tuple(
+            names[bit] for bit in range(k) if (index >> bit) & 1
+        )
+        if index == 0:
+            effect = contrasts[0] / 2**k  # grand mean
+        else:
+            effect = contrasts[index] / 2 ** (k - 1)
+        effects.append(FactorialEffect(factors=involved, effect=effect))
+    mean = effects[0]
+    rest = sorted(effects[1:], key=lambda e: -abs(e.effect))
+    return rest + [mean]
+
+
+def screening_report(effects: Sequence[FactorialEffect]) -> str:
+    """Text table of effects, largest magnitude first."""
+    lines = [f"{'term':>12}  {'order':>5}  {'effect':>14}"]
+    lines.append(f"{'-' * 12}  {'-' * 5}  {'-' * 14}")
+    for effect in effects:
+        lines.append(
+            f"{effect.name:>12}  {effect.order:>5}  {effect.effect:>14.6g}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,151 @@
+"""Multi-pass grid search (paper Section 3.4.2).
+
+Pass one lays a coarse grid over each continuous dimension; each following
+pass re-centres a grid of the same arity on the previous best point with
+the cell width shrunk by the division factor ("The second pass equally
+subdivides range [a0-0.1, a0+0.1] into N=10 parts and repeats the
+process").  Integer dimensions are swept exhaustively.  Inadmissible
+points (e.g. non-stationary ARIMA coefficients) are skipped.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.forecast.base import Forecaster
+from repro.gridsearch.objective import estimated_total_energy
+from repro.gridsearch.search_spaces import ParamDict, ParameterSpace
+
+
+@dataclass
+class GridSearchResult:
+    """Outcome of a grid search."""
+
+    best_params: ParamDict
+    best_energy: float
+    evaluations: int
+    passes: int
+
+    def build(self, space: ParameterSpace) -> Forecaster:
+        """Instantiate the winning forecaster."""
+        return space.build(self.best_params)
+
+
+def _axis(low: float, high: float, divisions: int) -> np.ndarray:
+    return np.linspace(low, high, divisions)
+
+
+def grid_search(
+    space: ParameterSpace,
+    objective: Callable[[Forecaster], float],
+    passes: int = 2,
+) -> GridSearchResult:
+    """Minimize ``objective`` over a parameter space by multi-pass grid.
+
+    Parameters
+    ----------
+    space:
+        The model's parameter space.
+    objective:
+        Maps a built forecaster to its energy (lower is better); typically
+        a closure over pre-built observed sketches calling
+        :func:`~repro.gridsearch.objective.estimated_total_energy`.
+    passes:
+        Grid refinement passes (the paper uses 2).
+    """
+    if passes < 1:
+        raise ValueError(f"passes must be >= 1, got {passes}")
+
+    cont_names = list(space.continuous)
+    int_names = list(space.integer)
+    # Integer axes never shrink: enumerate them fully every pass.
+    int_axes = [
+        list(range(low, high + 1)) for low, high in space.integer.values()
+    ]
+
+    ranges: Dict[str, Tuple[float, float]] = dict(space.continuous)
+    best_params: Optional[ParamDict] = None
+    best_energy = float("inf")
+    evaluations = 0
+
+    for _ in range(passes):
+        cont_axes = [
+            _axis(*ranges[name], space.divisions) for name in cont_names
+        ]
+        for combo in itertools.product(*cont_axes, *int_axes):
+            params: ParamDict = {}
+            for i, name in enumerate(cont_names):
+                params[name] = float(combo[i])
+            for j, name in enumerate(int_names):
+                params[name] = int(combo[len(cont_names) + j])
+            if not space.is_valid(params):
+                continue
+            energy = objective(space.build(params))
+            evaluations += 1
+            if energy < best_energy:
+                best_energy = energy
+                best_params = params
+        if best_params is None:
+            raise RuntimeError(
+                f"no admissible parameter point found for model {space.model!r}"
+            )
+        # Zoom each continuous range around the best point.
+        new_ranges: Dict[str, Tuple[float, float]] = {}
+        for name in cont_names:
+            low, high = space.continuous[name]
+            cur_low, cur_high = ranges[name]
+            half_cell = (cur_high - cur_low) / max(space.divisions - 1, 1)
+            centre = best_params[name]
+            new_ranges[name] = (
+                max(low, centre - half_cell),
+                min(high, centre + half_cell),
+            )
+        ranges = new_ranges
+
+    assert best_params is not None
+    return GridSearchResult(
+        best_params=best_params,
+        best_energy=best_energy,
+        evaluations=evaluations,
+        passes=passes,
+    )
+
+
+def search_integer_window(
+    space: ParameterSpace, objective: Callable[[Forecaster], float]
+) -> GridSearchResult:
+    """Direct sweep for window-only models (MA/SMA): one pass is exact."""
+    return grid_search(space, objective, passes=1)
+
+
+def search_model(
+    model: str,
+    observed: Sequence,
+    skip_intervals: int = 0,
+    passes: int = 2,
+    max_window: int = 10,
+) -> GridSearchResult:
+    """Convenience wrapper: search a model over pre-built observed summaries.
+
+    Uses estimated total energy on the supplied summaries as the objective
+    (the paper computes it on H=1, K=8K sketches; pass such sketches in).
+    """
+    from repro.gridsearch.search_spaces import build_search_spaces
+
+    spaces = build_search_spaces(max_window)
+    try:
+        space = spaces[model]
+    except KeyError:
+        known = ", ".join(sorted(spaces))
+        raise ValueError(f"unknown model {model!r}; known: {known}") from None
+
+    def objective(forecaster: Forecaster) -> float:
+        return estimated_total_energy(observed, forecaster, skip_intervals)
+
+    if space.continuous:
+        return grid_search(space, objective, passes=passes)
+    return search_integer_window(space, objective)

@@ -1,0 +1,163 @@
+"""Per-model parameter spaces for grid search and random sampling.
+
+Ranges follow Section 4.2: moving-average windows from one interval up to
+10 (300 s) or 12 (60 s) intervals; EWMA/NSHW smoothing constants
+partitioned into 10 parts per pass; ARIMA coefficients in ``[-2, 2]``
+partitioned into 7 parts (to contain the larger search space), filtered
+for stationarity and invertibility.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.forecast.arima import is_invertible, is_stationary
+from repro.forecast.base import Forecaster
+from repro.forecast.model_zoo import make_forecaster
+
+ParamDict = Dict[str, Any]
+
+
+@dataclass
+class ParameterSpace:
+    """A searchable parameter space for one forecast model.
+
+    Attributes
+    ----------
+    model:
+        Registry name the builder forwards to.
+    continuous:
+        ``name -> (low, high)`` continuous ranges.
+    integer:
+        ``name -> (low, high)`` inclusive integer ranges.
+    divisions:
+        Grid points per continuous dimension per pass (the paper: 10 for
+        smoothing models, 7 for ARIMA).
+    validator:
+        Optional admissibility predicate over a parameter dict.
+    to_model_kwargs:
+        Maps a flat parameter dict to ``make_forecaster`` keyword
+        arguments (identity by default; ARIMA packs coefficient tuples).
+    """
+
+    model: str
+    continuous: Dict[str, Tuple[float, float]] = field(default_factory=dict)
+    integer: Dict[str, Tuple[int, int]] = field(default_factory=dict)
+    divisions: int = 10
+    validator: Optional[Callable[[ParamDict], bool]] = None
+    to_model_kwargs: Callable[[ParamDict], ParamDict] = staticmethod(dict)
+
+    def is_valid(self, params: ParamDict) -> bool:
+        """Check a parameter dict against the validator (if any)."""
+        return self.validator(params) if self.validator else True
+
+    def build(self, params: ParamDict) -> Forecaster:
+        """Construct the forecaster for a parameter dict."""
+        return make_forecaster(self.model, **self.to_model_kwargs(params))
+
+
+def _arima_kwargs(params: ParamDict) -> ParamDict:
+    # Dropping only *trailing* zeros keeps (phi1, phi2) positional meaning;
+    # an interior zero must stay.
+    ar_full = (params.get("ar1", 0.0), params.get("ar2", 0.0))
+    while len(ar_full) > 0 and ar_full[-1] == 0.0:
+        ar_full = ar_full[:-1]
+    ma_full = (params.get("ma1", 0.0), params.get("ma2", 0.0))
+    while len(ma_full) > 0 and ma_full[-1] == 0.0:
+        ma_full = ma_full[:-1]
+    return {"ar": ar_full, "ma": ma_full}
+
+
+def _arima_valid(params: ParamDict) -> bool:
+    kwargs = _arima_kwargs(params)
+    return is_stationary(kwargs["ar"]) and is_invertible(kwargs["ma"])
+
+
+def build_search_spaces(max_window: int = 10) -> Dict[str, ParameterSpace]:
+    """The paper's six search spaces; ``max_window`` is 10 at 300 s, 12 at 60 s."""
+    arima_kwargs = dict(
+        continuous={
+            "ar1": (-2.0, 2.0),
+            "ar2": (-2.0, 2.0),
+            "ma1": (-2.0, 2.0),
+            "ma2": (-2.0, 2.0),
+        },
+        divisions=7,
+        validator=_arima_valid,
+        to_model_kwargs=_arima_kwargs,
+    )
+    return {
+        "ma": ParameterSpace(model="ma", integer={"window": (1, max_window)}),
+        "sma": ParameterSpace(model="sma", integer={"window": (1, max_window)}),
+        "ewma": ParameterSpace(model="ewma", continuous={"alpha": (0.1, 1.0)}),
+        "nshw": ParameterSpace(
+            model="nshw",
+            continuous={"alpha": (0.1, 1.0), "beta": (0.1, 1.0)},
+        ),
+        "arima0": ParameterSpace(model="arima0", **arima_kwargs),
+        "arima1": ParameterSpace(model="arima1", **arima_kwargs),
+    }
+
+
+#: Default spaces at 300-second intervals.
+SEARCH_SPACES: Dict[str, ParameterSpace] = build_search_spaces()
+
+
+def arima_coefficient_grid(
+    divisions: int = 7, bound: float = 2.0
+) -> List[ParamDict]:
+    """All admissible ARIMA coefficient combinations on a uniform grid."""
+    axis = np.linspace(-bound, bound, divisions)
+    grid: List[ParamDict] = []
+    for ar1 in axis:
+        for ar2 in axis:
+            for ma1 in axis:
+                for ma2 in axis:
+                    params = {
+                        "ar1": float(ar1),
+                        "ar2": float(ar2),
+                        "ma1": float(ma1),
+                        "ma2": float(ma2),
+                    }
+                    if _arima_valid(params):
+                        grid.append(params)
+    return grid
+
+
+def random_parameters(
+    model: str,
+    rng: np.random.Generator,
+    count: int,
+    max_window: int = 10,
+) -> List[ParamDict]:
+    """Draw ``count`` random admissible parameter dicts for a model.
+
+    This powers the paper's "random" experiments (Figures 1-3), which
+    compare sketch and per-flow energies at parameter settings that were
+    *not* carefully selected.
+    """
+    spaces = build_search_spaces(max_window)
+    try:
+        space = spaces[model]
+    except KeyError:
+        known = ", ".join(sorted(spaces))
+        raise ValueError(f"unknown model {model!r}; known: {known}") from None
+    out: List[ParamDict] = []
+    attempts = 0
+    while len(out) < count:
+        attempts += 1
+        if attempts > 1000 * count:
+            raise RuntimeError(
+                f"could not draw {count} valid parameter sets for {model}"
+            )
+        params: ParamDict = {}
+        for name, (low, high) in space.continuous.items():
+            params[name] = float(rng.uniform(low, high))
+        for name, (low, high) in space.integer.items():
+            params[name] = int(rng.integers(low, high + 1))
+        if space.is_valid(params):
+            out.append(params)
+    return out

@@ -1,0 +1,40 @@
+"""Universal hash families used by sketch data structures.
+
+The k-ary sketch of the paper requires 4-universal hash functions to obtain
+provable accuracy guarantees for both per-key estimation (Theorems 1-3) and
+second-moment estimation (Theorems 4-5).  This package provides:
+
+* :class:`~repro.hashing.carter_wegman.PolynomialHash` -- Carter-Wegman
+  polynomial hashing over the Mersenne prime ``2**61 - 1``.  A degree-``k-1``
+  polynomial with random coefficients is exactly ``k``-universal.  This is
+  the reference family: correct for any key width, moderately fast.
+
+* :class:`~repro.hashing.tabulation.TabulationHash` -- tabulation-based
+  4-universal hashing following Thorup and Zhang (the scheme the paper itself
+  uses, citing [33]).  Keys are split into 16-bit characters; the hash is an
+  XOR of per-character table lookups plus a derived-character lookup.  Table
+  lookups vectorize extremely well with NumPy, making this the fast path for
+  streaming updates.
+
+* :class:`~repro.hashing.universal.HashFamily` -- the abstract interface both
+  implement, plus :func:`~repro.hashing.universal.make_family` to construct a
+  family by name.
+
+All families map integer keys in ``[0, 2**64)`` to buckets ``[0, K)`` and
+support vectorized evaluation over NumPy arrays of keys.
+"""
+
+from repro.hashing.carter_wegman import PolynomialHash, TwoUniversalHash
+from repro.hashing.seeds import SeedSequenceFactory, derive_seeds
+from repro.hashing.tabulation import TabulationHash
+from repro.hashing.universal import HashFamily, make_family
+
+__all__ = [
+    "HashFamily",
+    "PolynomialHash",
+    "SeedSequenceFactory",
+    "TabulationHash",
+    "TwoUniversalHash",
+    "derive_seeds",
+    "make_family",
+]

@@ -1,0 +1,136 @@
+"""Carter-Wegman polynomial hashing over the Mersenne prime ``2**61 - 1``.
+
+A degree-``k-1`` polynomial with uniformly random coefficients evaluated
+over a prime field is exactly ``k``-wise independent: for any ``k`` distinct
+keys the Vandermonde system has a unique coefficient solution, so the ``k``
+hash values are uniform and independent.  With ``k = 4`` this gives the
+4-universal family the k-ary sketch requires (paper Section 3.1, citing
+Carter & Wegman [10, 39]).
+
+Working modulo the Mersenne prime ``P61 = 2**61 - 1`` lets us reduce
+products without division: ``x mod P61 == (x >> 61) + (x & P61)`` (up to one
+final conditional subtraction), because ``2**61 === 1 (mod P61)``.  The
+vectorized implementation below splits 61-bit operands into 32-bit halves so
+every intermediate product fits in ``uint64``.
+
+Domain note: keys are taken modulo ``P61``, so the effective key universe is
+``[0, 2**61 - 1)``.  Distinct 64-bit keys alias only when they differ by a
+multiple of ``P61`` -- probability ``~2**-61`` for random keys, which is
+negligible for any realistic key population (network keys used in the paper
+are 32- or 64-bit header fields).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.hashing.universal import HashFamily, register_family
+
+#: The Mersenne prime 2**61 - 1 used as the field modulus.
+P61 = (1 << 61) - 1
+
+_MASK32 = (1 << 32) - 1
+_MASK29 = (1 << 29) - 1
+
+
+def _mulmod_p61(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Vectorized ``(a * b) mod P61`` for uint64 operands ``< P61``.
+
+    Splits each operand into 32-bit halves so that all partial products fit
+    in ``uint64``, then folds the powers of two using ``2**61 === 1``:
+
+    * ``2**64 === 8 (mod P61)``
+    * ``mid * 2**32`` is folded by splitting ``mid`` at bit 29, since
+      ``2**29 * 2**32 = 2**61 === 1``.
+    """
+    a = a.astype(np.uint64, copy=False)
+    b = b.astype(np.uint64, copy=False)
+    a_hi = a >> np.uint64(32)
+    a_lo = a & np.uint64(_MASK32)
+    b_hi = b >> np.uint64(32)
+    b_lo = b & np.uint64(_MASK32)
+
+    # a*b = hh*2^64 + (hl + lh)*2^32 + ll
+    hh = a_hi * b_hi                      # < 2^58
+    mid = a_hi * b_lo + a_lo * b_hi       # < 2^62
+    ll = a_lo * b_lo                      # < 2^64
+
+    # hh * 2^64 === hh * 8
+    acc = hh << np.uint64(3)              # < 2^61
+    # mid * 2^32: split mid at bit 29
+    acc = acc + (mid >> np.uint64(29))    # m_hi * 2^61 === m_hi
+    acc = acc + ((mid & np.uint64(_MASK29)) << np.uint64(32))  # < 2^61
+    # ll: fold once
+    acc = acc + (ll >> np.uint64(61)) + (ll & np.uint64(P61))
+    # acc < ~2^63; fold and conditionally subtract
+    acc = (acc >> np.uint64(61)) + (acc & np.uint64(P61))
+    acc = np.where(acc >= np.uint64(P61), acc - np.uint64(P61), acc)
+    return acc
+
+
+def _mulmod_scalar(a: int, b: int) -> int:
+    """Scalar ``(a * b) mod P61`` using arbitrary-precision ints."""
+    return (a * b) % P61
+
+
+class _PolynomialBase(HashFamily):
+    """Shared machinery for degree-``k-1`` Carter-Wegman families."""
+
+    degree: int = 0  # number of coefficients = independence level
+
+    def __init__(self, num_buckets: int, seed: Optional[int] = None) -> None:
+        super().__init__(num_buckets, seed)
+        rng = np.random.default_rng(seed)
+        coeffs = rng.integers(0, P61, size=self.degree, dtype=np.uint64)
+        #: polynomial coefficients, c[0] is the constant term
+        self._coeffs = coeffs
+
+    @property
+    def coefficients(self) -> np.ndarray:
+        """Polynomial coefficients ``c[0] + c[1] x + ...`` (read-only view)."""
+        view = self._coeffs.view()
+        view.flags.writeable = False
+        return view
+
+    def hash_array(self, keys: np.ndarray) -> np.ndarray:
+        keys = keys.astype(np.uint64, copy=False)
+        # Reduce keys into the field first (see module docstring).
+        x = (keys >> np.uint64(61)) + (keys & np.uint64(P61))
+        x = np.where(x >= np.uint64(P61), x - np.uint64(P61), x)
+        # Horner evaluation: (((c3 x + c2) x + c1) x + c0)
+        acc = np.full(x.shape, self._coeffs[-1], dtype=np.uint64)
+        for c in self._coeffs[-2::-1]:
+            acc = _mulmod_p61(acc, x)
+            acc = acc + c
+            acc = np.where(acc >= np.uint64(P61), acc - np.uint64(P61), acc)
+        return (acc % np.uint64(self._num_buckets)).astype(np.int64)
+
+
+@register_family("polynomial")
+class PolynomialHash(_PolynomialBase):
+    """Degree-3 Carter-Wegman polynomial: exactly 4-universal.
+
+    This is the reference 4-universal family.  It is slower than tabulation
+    (four modular multiplications per key) but works for any key width up to
+    the field size and is easy to reason about, so tests validate tabulation
+    against it.
+    """
+
+    independence = 4
+    degree = 4
+
+
+@register_family("two-universal")
+class TwoUniversalHash(_PolynomialBase):
+    """Degree-1 Carter-Wegman polynomial ``(a x + b) mod P61``: 2-universal.
+
+    Deliberately weaker than the sketch requires.  Point estimates remain
+    unbiased under 2-universality, but the ESTIMATEF2 variance bound
+    (Theorem 4) needs 4-wise independence; the ablation benchmark
+    demonstrates the degradation empirically.
+    """
+
+    independence = 2
+    degree = 2

@@ -1,0 +1,57 @@
+"""Deterministic seed derivation for families of hash functions.
+
+A k-ary sketch needs ``H`` *independent* hash functions.  The paper obtains
+them by drawing each row's function with an independent seed ("Different
+h_i are constructed using independent seeds, and are therefore
+independent").  We derive per-row seeds from a single master seed with
+:class:`numpy.random.SeedSequence`, which guarantees well-separated streams,
+so an entire sketch (and hence an entire experiment) is reproducible from
+one integer.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+
+def derive_seeds(master_seed: Optional[int], count: int) -> List[int]:
+    """Derive ``count`` independent 63-bit seeds from ``master_seed``.
+
+    ``None`` draws fresh OS entropy (non-reproducible), mirroring NumPy's
+    convention.  The same ``(master_seed, count)`` always returns the same
+    list, and prefixes are stable: ``derive_seeds(s, 5)[:3] ==
+    derive_seeds(s, 3)``.
+    """
+    if count < 0:
+        raise ValueError(f"count must be >= 0, got {count}")
+    ss = np.random.SeedSequence(master_seed)
+    return [int(child.generate_state(1, dtype=np.uint64)[0] >> 1) for child in ss.spawn(count)]
+
+
+class SeedSequenceFactory:
+    """Hands out an unbounded stream of independent seeds on demand.
+
+    Useful when the number of hash functions is not known upfront (e.g. the
+    group-testing sketch builds its sub-sketches lazily).
+    """
+
+    def __init__(self, master_seed: Optional[int] = None) -> None:
+        self._ss = np.random.SeedSequence(master_seed)
+        self._count = 0
+
+    def next_seed(self) -> int:
+        """Return the next derived seed."""
+        child = self._ss.spawn(1)[0]
+        self._count += 1
+        return int(child.generate_state(1, dtype=np.uint64)[0] >> 1)
+
+    def next_seeds(self, count: int) -> List[int]:
+        """Return the next ``count`` derived seeds."""
+        return [self.next_seed() for _ in range(count)]
+
+    @property
+    def seeds_issued(self) -> int:
+        """Number of seeds handed out so far."""
+        return self._count

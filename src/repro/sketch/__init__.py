@@ -1,0 +1,48 @@
+"""Sketch data structures: compact linear summaries of keyed update streams.
+
+The centerpiece is the paper's :class:`~repro.sketch.kary.KArySketch` with
+its four operations (UPDATE, ESTIMATE, ESTIMATEF2, COMBINE).  Alongside it:
+
+* :class:`~repro.sketch.countmin.CountMinSketch` and
+  :class:`~repro.sketch.countsketch.CountSketch` -- the two standard
+  alternatives the paper positions k-ary sketches against (Count Sketch is
+  the Charikar et al. structure the k-ary sketch is "similar to", with
+  simpler/faster operations).
+* :class:`~repro.sketch.exact.DictVector` -- an *exact* keyed vector with
+  the same linear-summary interface, used as the per-flow ground truth in
+  every accuracy experiment.
+
+All summaries are **linear**: they support ``+``, ``-`` and multiplication
+by a scalar, which is what lets the forecasting module run time-series
+models directly in sketch space (paper Section 3.2).
+"""
+
+from repro.sketch.base import LinearSummary, SummaryConvention, linear_combination
+from repro.sketch.countmin import CountMinSketch, CountMinSchema
+from repro.sketch.countsketch import CountSketch, CountSketchSchema
+from repro.sketch.dense import DenseSchema, DenseVector, KeyIndex
+from repro.sketch.exact import DictVector, ExactSchema
+from repro.sketch.kary import KArySchema, KArySketch, combine
+from repro.sketch.serialization import dump, dumps, load, loads
+
+__all__ = [
+    "CountMinSchema",
+    "CountMinSketch",
+    "CountSketch",
+    "CountSketchSchema",
+    "DenseSchema",
+    "DenseVector",
+    "DictVector",
+    "ExactSchema",
+    "KArySchema",
+    "KArySketch",
+    "KeyIndex",
+    "LinearSummary",
+    "SummaryConvention",
+    "combine",
+    "dump",
+    "dumps",
+    "linear_combination",
+    "load",
+    "loads",
+]

@@ -1,0 +1,147 @@
+"""Common interface for linear stream summaries.
+
+A *linear summary* of a keyed update stream is any structure ``S`` such that
+summarizing stream ``A`` then stream ``B`` equals summarizing ``A + B``, and
+scaling the stream scales the summary.  Exact per-key vectors, k-ary
+sketches, Count-Min tables and Count Sketches all satisfy this.
+
+Linearity is the property the paper exploits to move time-series
+forecasting from per-flow space into sketch space: since every forecast
+model in Section 3.2 computes a *linear combination* of past observations,
+one can apply the model to summaries instead of raw vectors and obtain the
+summary of the forecast (and, crucially, of the forecast *error*).
+
+Concrete implementations provide:
+
+``update(key, value)`` / ``update_batch(keys, values)``
+    Turnstile-model point updates (values may be negative).
+``estimate(key)`` / ``estimate_batch(keys)``
+    Reconstruct the per-key total (exact for :class:`DictVector`,
+    probabilistic for sketches).
+``estimate_f2()``
+    Estimate the second moment ``F2 = sum_a v_a**2``.
+``+``, ``-``, unary ``-``, ``*`` by scalar
+    Linear arithmetic.  Sketches may only be combined when they share a
+    schema (identical hash functions).
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+from typing import Iterable, Sequence, Tuple
+
+import numpy as np
+
+
+class SummaryConvention:
+    """Shared helpers for argument normalization across summary types."""
+
+    @staticmethod
+    def as_key_array(keys) -> np.ndarray:
+        """Coerce keys to a 1-D uint64 array."""
+        arr = np.asarray(keys, dtype=np.uint64)
+        if arr.ndim != 1:
+            raise ValueError(f"keys must be one-dimensional, got shape {arr.shape}")
+        return arr
+
+    @staticmethod
+    def as_value_array(values, length: int) -> np.ndarray:
+        """Coerce values to a 1-D float64 array of ``length``.
+
+        Non-finite updates are rejected: a single NaN would silently
+        poison every counter its key touches (and the shared F2 estimate),
+        so it must fail at the boundary, not corrupt downstream.
+        """
+        arr = np.asarray(values, dtype=np.float64)
+        if arr.ndim == 0:
+            arr = np.full(length, float(arr), dtype=np.float64)
+        if arr.shape != (length,):
+            raise ValueError(
+                f"values must have shape ({length},), got {arr.shape}"
+            )
+        if len(arr) and not np.all(np.isfinite(arr)):
+            bad = int(np.flatnonzero(~np.isfinite(arr))[0])
+            raise ValueError(
+                f"updates must be finite; found {arr[bad]} at position {bad}"
+            )
+        return arr
+
+
+class LinearSummary(abc.ABC):
+    """Abstract base class for linear summaries of keyed update streams."""
+
+    @abc.abstractmethod
+    def update_batch(self, keys, values) -> None:
+        """Apply point updates ``A[keys[i]] += values[i]`` for all ``i``."""
+
+    def update(self, key: int, value: float) -> None:
+        """Apply a single point update ``A[key] += value``."""
+        self.update_batch(
+            np.asarray([key], dtype=np.uint64), np.asarray([value], dtype=np.float64)
+        )
+
+    @abc.abstractmethod
+    def estimate_batch(self, keys) -> np.ndarray:
+        """Reconstruct the totals for an array of keys."""
+
+    def estimate(self, key: int) -> float:
+        """Reconstruct the total for a single key."""
+        return float(self.estimate_batch(np.asarray([key], dtype=np.uint64))[0])
+
+    @abc.abstractmethod
+    def estimate_f2(self) -> float:
+        """Estimate the second moment ``F2 = sum_a v_a**2``."""
+
+    def l2_norm(self) -> float:
+        """The L2 norm ``sqrt(F2)`` (paper Section 3.1).
+
+        The estimated F2 of an error summary can be marginally negative due
+        to the unbiased estimator's variance; clamp at zero so the norm is
+        always defined.
+        """
+        return math.sqrt(max(self.estimate_f2(), 0.0))
+
+    # -- linear arithmetic -------------------------------------------------
+
+    @abc.abstractmethod
+    def _linear_combination(
+        self, terms: Sequence[Tuple[float, "LinearSummary"]]
+    ) -> "LinearSummary":
+        """Return ``sum(c * s for c, s in terms)`` as a new summary."""
+
+    def __add__(self, other: "LinearSummary") -> "LinearSummary":
+        return self._linear_combination([(1.0, self), (1.0, other)])
+
+    def __sub__(self, other: "LinearSummary") -> "LinearSummary":
+        return self._linear_combination([(1.0, self), (-1.0, other)])
+
+    def __mul__(self, scalar: float) -> "LinearSummary":
+        if not np.isscalar(scalar):
+            return NotImplemented
+        return self._linear_combination([(float(scalar), self)])
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, scalar: float) -> "LinearSummary":
+        if not np.isscalar(scalar):
+            return NotImplemented
+        return self._linear_combination([(1.0 / float(scalar), self)])
+
+    def __neg__(self) -> "LinearSummary":
+        return self._linear_combination([(-1.0, self)])
+
+
+def linear_combination(
+    coefficients: Iterable[float], summaries: Iterable[LinearSummary]
+) -> LinearSummary:
+    """Compute ``sum(c_i * S_i)`` -- the paper's COMBINE operation.
+
+    All summaries must share a schema.  This is more efficient than chained
+    ``+``/``*`` operators because intermediate summaries are not
+    materialized.
+    """
+    terms = [(float(c), s) for c, s in zip(coefficients, summaries)]
+    if not terms:
+        raise ValueError("linear_combination requires at least one term")
+    return terms[0][1]._linear_combination(terms)

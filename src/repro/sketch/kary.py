@@ -1,0 +1,307 @@
+"""The k-ary sketch (paper Section 3.1).
+
+A k-ary sketch is an ``H x K`` table of counters.  Row ``i`` is paired with
+an independent 4-universal hash function ``h_i : [u] -> [K]``.  The four
+operations defined by the paper:
+
+UPDATE(S, a, u)
+    ``T[i][h_i(a)] += u`` for every row ``i``.
+
+ESTIMATE(S, a)
+    Per-row unbiased estimate ``v_a^{h_i} = (T[i][h_i(a)] - sum(S)/K) /
+    (1 - 1/K)``, then the **median** across rows.  The subtraction removes
+    the expected contribution of colliding keys; the ``1 - 1/K`` factor
+    re-scales after removing the key's own share of the mean (Theorem 1
+    shows unbiasedness with variance ``<= F2 / (K - 1)``).
+
+ESTIMATEF2(S)
+    Per-row ``F2^{h_i} = K/(K-1) * sum_j T[i][j]**2 - 1/(K-1) * sum(S)**2``,
+    then the median across rows (Theorem 4: unbiased, variance
+    ``<= 8 F2**2 / (K - 1)``).
+
+COMBINE(c_1, S_1, ..., c_l, S_l)
+    Entry-wise linear combination -- sketches form a vector space, which is
+    what allows the forecasting module to run entirely in sketch space.
+
+Design notes
+------------
+* Hash functions live in a :class:`KArySchema` shared by every sketch of an
+  experiment.  Sharing is semantic (only same-schema sketches may be
+  combined or compared) and practical (tabulation tables are ~2 MiB per
+  row).
+* Counters are ``float64``: turnstile updates are integral, but forecast
+  sketches are fractional linear combinations of past sketches.
+* ``K >= 2`` is required; the estimator divides by ``K - 1``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.hashing import derive_seeds, make_family
+from repro.sketch.base import LinearSummary, SummaryConvention
+
+
+class KArySchema:
+    """Immutable description of a k-ary sketch family: ``(H, K, hashes)``.
+
+    Every sketch produced by :meth:`empty` shares these hash functions, so
+    they can be combined, differenced, and compared cell-for-cell.
+
+    Parameters
+    ----------
+    depth:
+        Number of hash functions / table rows ``H``.  The paper uses
+        ``H in {1, 5, 9, 25}``; odd values make the median unambiguous.
+    width:
+        Hash table size ``K``.  The paper explores ``K`` from 1024 to 64K.
+    seed:
+        Master seed; per-row seeds are derived deterministically.
+    family:
+        Hash family name (``"tabulation"``, ``"polynomial"``, or
+        ``"two-universal"`` for ablations).
+    """
+
+    def __init__(
+        self,
+        depth: int = 5,
+        width: int = 8192,
+        seed: Optional[int] = 0,
+        family: str = "tabulation",
+    ) -> None:
+        if depth < 1:
+            raise ValueError(f"depth (H) must be >= 1, got {depth}")
+        if width < 2:
+            raise ValueError(f"width (K) must be >= 2, got {width}")
+        self._depth = int(depth)
+        self._width = int(width)
+        self._seed = seed
+        self._family = family
+        seeds = derive_seeds(seed, depth)
+        self._hashes = tuple(make_family(family, width, seed=s) for s in seeds)
+
+    @property
+    def depth(self) -> int:
+        """Number of rows ``H``."""
+        return self._depth
+
+    @property
+    def width(self) -> int:
+        """Number of buckets per row ``K``."""
+        return self._width
+
+    @property
+    def family(self) -> str:
+        """Name of the hash family in use."""
+        return self._family
+
+    @property
+    def hashes(self) -> tuple:
+        """The per-row hash functions."""
+        return self._hashes
+
+    def bucket_indices(self, keys) -> np.ndarray:
+        """Hash ``keys`` with every row function: shape ``(H, n)`` int64.
+
+        Detection code that estimates many sketches over the same key set
+        (e.g. reconstructing forecast errors for every key of an interval)
+        should compute this once and pass it to
+        :meth:`KArySketch.estimate_batch`.
+        """
+        keys = SummaryConvention.as_key_array(keys)
+        return np.stack([h.hash_array(keys) for h in self._hashes])
+
+    def empty(self) -> "KArySketch":
+        """Return a fresh all-zeros sketch over this schema."""
+        return KArySketch(self)
+
+    def from_items(self, keys, values) -> "KArySketch":
+        """Build a sketch directly from arrays of keys and updates."""
+        sketch = self.empty()
+        sketch.update_batch(keys, values)
+        return sketch
+
+    @property
+    def table_bytes(self) -> int:
+        """Memory footprint of one sketch table (excluding hash tables)."""
+        return self._depth * self._width * 8
+
+    def __eq__(self, other) -> bool:
+        """Structural equality: same dimensions, family and *explicit* seed.
+
+        Two schemas with explicit equal seeds derive identical hash
+        functions, so their sketches are COMBINE-compatible even when the
+        objects were built independently (e.g. after wire transfer).
+        Schemas seeded from OS entropy (``seed=None``) are only equal to
+        themselves -- their hash functions genuinely differ.
+        """
+        if self is other:
+            return True
+        if not isinstance(other, KArySchema):
+            return NotImplemented
+        return (
+            self._seed is not None
+            and other._seed is not None
+            and self._seed == other._seed
+            and self._depth == other._depth
+            and self._width == other._width
+            and self._family == other._family
+        )
+
+    def __hash__(self) -> int:
+        return hash((self._depth, self._width, self._family, self._seed))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"KArySchema(depth={self._depth}, width={self._width}, "
+            f"seed={self._seed}, family={self._family!r})"
+        )
+
+
+class KArySketch(LinearSummary):
+    """One k-ary sketch instance: an ``H x K`` counter table over a schema."""
+
+    __slots__ = ("_schema", "_table")
+
+    def __init__(self, schema: KArySchema, table: Optional[np.ndarray] = None) -> None:
+        self._schema = schema
+        if table is None:
+            table = np.zeros((schema.depth, schema.width), dtype=np.float64)
+        else:
+            table = np.asarray(table, dtype=np.float64)
+            if table.shape != (schema.depth, schema.width):
+                raise ValueError(
+                    f"table shape {table.shape} does not match schema "
+                    f"({schema.depth}, {schema.width})"
+                )
+        self._table = table
+
+    # -- accessors ---------------------------------------------------------
+
+    @property
+    def schema(self) -> KArySchema:
+        """The schema (hash functions and dimensions) this sketch uses."""
+        return self._schema
+
+    @property
+    def table(self) -> np.ndarray:
+        """The underlying ``H x K`` counter table (read-only view)."""
+        view = self._table.view()
+        view.flags.writeable = False
+        return view
+
+    @property
+    def nbytes(self) -> int:
+        """Memory used by the counter table."""
+        return self._table.nbytes
+
+    def copy(self) -> "KArySketch":
+        """Return an independent copy sharing the schema."""
+        return KArySketch(self._schema, self._table.copy())
+
+    def reset(self) -> None:
+        """Zero all counters in place."""
+        self._table[:] = 0.0
+
+    # -- UPDATE ------------------------------------------------------------
+
+    def update_batch(self, keys, values) -> None:
+        """UPDATE for a batch: ``T[i][h_i(a_j)] += u_j`` for all rows, items.
+
+        Uses ``np.add.at`` so that repeated keys within the batch accumulate
+        correctly (an unbuffered scatter-add).
+        """
+        keys = SummaryConvention.as_key_array(keys)
+        values = SummaryConvention.as_value_array(values, len(keys))
+        for i, h in enumerate(self._schema.hashes):
+            np.add.at(self._table[i], h.hash_array(keys), values)
+
+    def update_from_indices(self, indices: np.ndarray, values) -> None:
+        """UPDATE with precomputed bucket indices (shape ``(H, n)``)."""
+        values = SummaryConvention.as_value_array(values, indices.shape[1])
+        for i in range(self._schema.depth):
+            np.add.at(self._table[i], indices[i], values)
+
+    # -- ESTIMATE ----------------------------------------------------------
+
+    def total(self) -> float:
+        """``sum(S)``: the sum of all values inserted into the sketch.
+
+        Every row holds the same total, so row 0 suffices (as in the paper's
+        definition of ``sum(S)``).
+        """
+        return float(self._table[0].sum())
+
+    def estimate_batch(
+        self, keys, indices: Optional[np.ndarray] = None
+    ) -> np.ndarray:
+        """ESTIMATE for a batch of keys: median of per-row unbiased estimates.
+
+        Parameters
+        ----------
+        keys:
+            Keys to reconstruct.
+        indices:
+            Optional precomputed ``schema.bucket_indices(keys)`` to avoid
+            re-hashing when several sketches are probed with one key set.
+        """
+        keys = SummaryConvention.as_key_array(keys)
+        if indices is None:
+            indices = self._schema.bucket_indices(keys)
+        k = self._schema.width
+        mean_share = self.total() / k
+        # raw[i, j] = T[i][h_i(a_j)]
+        raw = np.take_along_axis(self._table, indices, axis=1)
+        per_row = (raw - mean_share) / (1.0 - 1.0 / k)
+        return np.median(per_row, axis=0)
+
+    # -- ESTIMATEF2 --------------------------------------------------------
+
+    def estimate_f2(self) -> float:
+        """ESTIMATEF2: median of per-row unbiased second-moment estimates."""
+        k = self._schema.width
+        sum_sq = np.einsum("ij,ij->i", self._table, self._table)
+        total = self.total()
+        per_row = (k / (k - 1.0)) * sum_sq - (total * total) / (k - 1.0)
+        return float(np.median(per_row))
+
+    # -- COMBINE -----------------------------------------------------------
+
+    def _linear_combination(
+        self, terms: Sequence[Tuple[float, LinearSummary]]
+    ) -> "KArySketch":
+        table = np.zeros_like(self._table)
+        for coeff, summary in terms:
+            if not isinstance(summary, KArySketch):
+                raise TypeError(
+                    f"cannot combine KArySketch with {type(summary).__name__}"
+                )
+            if summary._schema != self._schema:
+                raise ValueError(
+                    "cannot combine sketches with different schemas "
+                    "(hash functions must be identical)"
+                )
+            table += coeff * summary._table
+        return KArySketch(self._schema, table)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"KArySketch(H={self._schema.depth}, K={self._schema.width}, "
+            f"total={self.total():.6g})"
+        )
+
+
+def combine(
+    coefficients: Iterable[float], sketches: Iterable[KArySketch]
+) -> KArySketch:
+    """COMBINE: return ``sum(c_i * S_i)`` over same-schema sketches.
+
+    This is the paper's fourth sketch operation, exposed as a free function
+    mirroring the ``COMBINE(c1, S1, ..., cl, Sl)`` signature.
+    """
+    terms = [(float(c), s) for c, s in zip(coefficients, sketches)]
+    if not terms:
+        raise ValueError("combine requires at least one term")
+    return terms[0][1]._linear_combination(terms)

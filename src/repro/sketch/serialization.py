@@ -1,0 +1,124 @@
+"""Binary serialization of k-ary sketches and schemas.
+
+The COMBINE deployment story (routers sketch locally, a collector merges)
+needs sketches on the wire.  A serialized sketch must carry enough schema
+identity that a collector cannot silently combine sketches built with
+different hash functions -- COMBINE is only meaningful when ``(depth,
+width, family, seed)`` all agree, so those are embedded and checked.
+
+Format (little-endian):
+
+======  =====  ==============================================
+offset  size   field
+======  =====  ==============================================
+0       4      magic ``b"KSK1"``
+4       4      depth ``H`` (uint32)
+8       4      width ``K`` (uint32)
+12      8      schema seed (int64; -1 encodes ``None``)
+20      2      hash family name length (uint16)
+22      n      hash family name (UTF-8)
+22+n    8*H*K  counter table (float64, C order)
+======  =====  ==============================================
+
+``loads``/``load`` reconstruct the schema (hash tables are re-derived from
+the seed -- deterministic, so only 20-odd bytes of schema travel, not the
+2 MiB tabulation tables) or attach to a caller-provided schema after
+verifying identity.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+from typing import Optional, Union
+
+import numpy as np
+
+from repro.sketch.kary import KArySchema, KArySketch
+
+_MAGIC = b"KSK1"
+_HEADER = struct.Struct("<4sIIqH")
+
+PathLike = Union[str, os.PathLike]
+
+
+def dumps(sketch: KArySketch) -> bytes:
+    """Serialize a sketch (with schema identity) to bytes."""
+    schema = sketch.schema
+    seed = schema._seed  # schemas are immutable; seed is their identity
+    if seed is not None and not isinstance(seed, (int, np.integer)):
+        raise ValueError(
+            "only integer (or None) schema seeds are serializable"
+        )
+    seed_code = -1 if seed is None else int(seed)
+    if seed_code < -1:
+        raise ValueError(f"negative seeds are not serializable, got {seed}")
+    family = schema.family.encode("utf-8")
+    header = _HEADER.pack(
+        _MAGIC, schema.depth, schema.width, seed_code, len(family)
+    )
+    table = np.ascontiguousarray(np.asarray(sketch.table), dtype="<f8")
+    return header + family + table.tobytes()
+
+
+def loads(data: bytes, schema: Optional[KArySchema] = None) -> KArySketch:
+    """Deserialize a sketch.
+
+    Parameters
+    ----------
+    data:
+        Bytes produced by :func:`dumps`.
+    schema:
+        Optional existing schema to attach to (avoids rebuilding hash
+        tables when deserializing many sketches).  Its identity must
+        match the serialized one exactly, or ``ValueError`` is raised --
+        this is the guard that makes cross-machine COMBINE safe.
+    """
+    if len(data) < _HEADER.size:
+        raise ValueError("data too short for a sketch header")
+    magic, depth, width, seed_code, name_len = _HEADER.unpack_from(data)
+    if magic != _MAGIC:
+        raise ValueError(f"bad magic {magic!r} (not a serialized k-ary sketch)")
+    offset = _HEADER.size
+    family = data[offset : offset + name_len].decode("utf-8")
+    offset += name_len
+    seed = None if seed_code == -1 else seed_code
+
+    if schema is None:
+        schema = KArySchema(depth=depth, width=width, seed=seed, family=family)
+    else:
+        mismatches = []
+        if schema.depth != depth:
+            mismatches.append(f"depth {schema.depth} != {depth}")
+        if schema.width != width:
+            mismatches.append(f"width {schema.width} != {width}")
+        if schema.family != family:
+            mismatches.append(f"family {schema.family!r} != {family!r}")
+        if schema._seed != seed:
+            mismatches.append(f"seed {schema._seed} != {seed}")
+        if mismatches:
+            raise ValueError(
+                "serialized sketch does not match the provided schema: "
+                + "; ".join(mismatches)
+            )
+
+    expected = depth * width * 8
+    body = data[offset:]
+    if len(body) != expected:
+        raise ValueError(
+            f"table payload is {len(body)} bytes, expected {expected}"
+        )
+    table = np.frombuffer(body, dtype="<f8").reshape(depth, width).copy()
+    return KArySketch(schema, table)
+
+
+def dump(sketch: KArySketch, path: PathLike) -> None:
+    """Write a serialized sketch to a file."""
+    with open(path, "wb") as fh:
+        fh.write(dumps(sketch))
+
+
+def load(path: PathLike, schema: Optional[KArySchema] = None) -> KArySketch:
+    """Read a serialized sketch from a file."""
+    with open(path, "rb") as fh:
+        return loads(fh.read(), schema=schema)

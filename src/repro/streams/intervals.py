@@ -1,0 +1,144 @@
+"""Time binning: fixed intervals, plus the randomized-interval extension.
+
+The paper breaks time into discrete intervals ``I_1, I_2, ...`` of fixed
+length -- 300 s as the responsiveness/overhead compromise, 60 s to study
+shorter horizons -- and computes one observed sketch per interval.
+
+The "ongoing work" section points out that fixed intervals suffer boundary
+effects (a change straddling a boundary is split between two sketches) and
+suggests randomizing the interval size, e.g. exponentially distributed
+lengths with totals normalized by duration.  Linearity of sketches makes
+the normalization sound; :class:`RandomizedIntervalSlicer` implements it.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Tuple
+
+import numpy as np
+
+from repro.streams.records import validate_records
+
+
+def interval_bounds(
+    duration: float, interval_seconds: float, start: float = 0.0
+) -> List[Tuple[float, float]]:
+    """Fixed interval boundaries covering ``[start, start + duration)``.
+
+    The last interval is truncated at the end of the trace.
+    """
+    if interval_seconds <= 0:
+        raise ValueError(f"interval_seconds must be > 0, got {interval_seconds}")
+    bounds = []
+    t = start
+    end = start + duration
+    while t < end:
+        bounds.append((t, min(t + interval_seconds, end)))
+        t += interval_seconds
+    return bounds
+
+
+def slice_by_interval(
+    records: np.ndarray, interval_seconds: float, start: float = 0.0
+) -> Iterator[Tuple[int, np.ndarray]]:
+    """Yield ``(interval_index, records_in_interval)`` over a sorted trace.
+
+    Empty intervals in the middle of the trace are yielded with empty
+    record arrays so that forecast models see a complete, evenly spaced
+    series -- skipping them would silently compress time.
+    """
+    validate_records(records)
+    if interval_seconds <= 0:
+        raise ValueError(f"interval_seconds must be > 0, got {interval_seconds}")
+    if not len(records):
+        return
+    timestamps = records["timestamp"]
+    last = timestamps[-1]
+    n_intervals = int((last - start) // interval_seconds) + 1
+    edges = start + interval_seconds * np.arange(n_intervals + 1)
+    positions = np.searchsorted(timestamps, edges)
+    for index in range(n_intervals):
+        yield index, records[positions[index] : positions[index + 1]]
+
+
+class IntervalSlicer:
+    """Object form of :func:`slice_by_interval` carrying its parameters."""
+
+    def __init__(self, interval_seconds: float, start: float = 0.0) -> None:
+        if interval_seconds <= 0:
+            raise ValueError(f"interval_seconds must be > 0, got {interval_seconds}")
+        self.interval_seconds = float(interval_seconds)
+        self.start = float(start)
+
+    def slices(self, records: np.ndarray) -> Iterator[Tuple[int, np.ndarray]]:
+        """Yield ``(interval_index, records)`` pairs."""
+        return slice_by_interval(records, self.interval_seconds, self.start)
+
+    def duration_of(self, index: int) -> float:
+        """Nominal duration of an interval (constant for fixed slicing)."""
+        return self.interval_seconds
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"IntervalSlicer(interval_seconds={self.interval_seconds})"
+
+
+class RandomizedIntervalSlicer:
+    """Exponentially distributed interval lengths (boundary-effect extension).
+
+    Interval lengths are drawn i.i.d. ``Exponential(mean_seconds)``,
+    truncated to ``[min_fraction, max_factor]`` times the mean so no
+    interval is degenerate.  Because durations vary, downstream users
+    should normalize observed totals by :meth:`duration_of` -- sketches
+    scale linearly, so normalization commutes with summarization.
+    """
+
+    def __init__(
+        self,
+        mean_seconds: float,
+        seed: Optional[int] = 0,
+        start: float = 0.0,
+        min_fraction: float = 0.2,
+        max_factor: float = 3.0,
+        horizon: float = 10 * 86400.0,
+    ) -> None:
+        if mean_seconds <= 0:
+            raise ValueError(f"mean_seconds must be > 0, got {mean_seconds}")
+        self.mean_seconds = float(mean_seconds)
+        self.start = float(start)
+        rng = np.random.default_rng(seed)
+        lengths: List[float] = []
+        total = 0.0
+        while total < horizon:
+            length = float(
+                np.clip(
+                    rng.exponential(mean_seconds),
+                    min_fraction * mean_seconds,
+                    max_factor * mean_seconds,
+                )
+            )
+            lengths.append(length)
+            total += length
+        self._edges = self.start + np.concatenate([[0.0], np.cumsum(lengths)])
+
+    def duration_of(self, index: int) -> float:
+        """Actual duration of interval ``index``."""
+        return float(self._edges[index + 1] - self._edges[index])
+
+    def slices(self, records: np.ndarray) -> Iterator[Tuple[int, np.ndarray]]:
+        """Yield ``(interval_index, records)`` under the random boundaries."""
+        validate_records(records)
+        if not len(records):
+            return
+        timestamps = records["timestamp"]
+        last = timestamps[-1]
+        n_intervals = int(np.searchsorted(self._edges, last, side="right"))
+        if n_intervals >= len(self._edges):
+            raise ValueError(
+                "trace extends beyond the pre-drawn horizon; increase `horizon`"
+            )
+        positions = np.searchsorted(timestamps, self._edges[: n_intervals + 1])
+        for index in range(n_intervals):
+            yield index, records[positions[index] : positions[index + 1]]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"RandomizedIntervalSlicer(mean_seconds={self.mean_seconds})"

@@ -1,0 +1,118 @@
+"""Binary and CSV trace files: the stand-in for NetFlow dumps.
+
+The binary format is a 16-byte header followed by raw
+:data:`~repro.streams.records.FLOW_RECORD_DTYPE` records:
+
+======  ====  =========================================
+offset  size  field
+======  ====  =========================================
+0       4     magic ``b"KSZC"`` (the authors' initials)
+4       4     format version (little-endian uint32)
+8       8     record count (little-endian uint64)
+======  ====  =========================================
+
+Reading memory-maps nothing and validates the header and length, so a
+truncated or foreign file fails loudly instead of yielding garbage
+records.  CSV I/O is provided for interoperability and eyeballing.
+"""
+
+from __future__ import annotations
+
+import csv
+import os
+import struct
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from repro.streams.records import FLOW_RECORD_DTYPE, empty_records, validate_records
+
+NETFLOW_MAGIC = b"KSZC"
+_FORMAT_VERSION = 1
+_HEADER = struct.Struct("<4sIQ")
+
+PathLike = Union[str, os.PathLike]
+
+_CSV_FIELDS = (
+    "timestamp",
+    "src_ip",
+    "dst_ip",
+    "src_port",
+    "dst_port",
+    "protocol",
+    "packets",
+    "bytes",
+)
+
+
+def write_trace(path: PathLike, records: np.ndarray) -> None:
+    """Write a record array to a binary trace file."""
+    validate_records(records)
+    with open(path, "wb") as fh:
+        fh.write(_HEADER.pack(NETFLOW_MAGIC, _FORMAT_VERSION, len(records)))
+        records.tofile(fh)
+
+
+def read_trace(path: PathLike) -> np.ndarray:
+    """Read a binary trace file, validating magic, version and length."""
+    path = Path(path)
+    file_size = path.stat().st_size
+    with open(path, "rb") as fh:
+        header = fh.read(_HEADER.size)
+        if len(header) < _HEADER.size:
+            raise ValueError(f"{path}: file too short for a trace header")
+        magic, version, count = _HEADER.unpack(header)
+        if magic != NETFLOW_MAGIC:
+            raise ValueError(f"{path}: bad magic {magic!r} (not a trace file)")
+        if version != _FORMAT_VERSION:
+            raise ValueError(f"{path}: unsupported format version {version}")
+        expected = _HEADER.size + count * FLOW_RECORD_DTYPE.itemsize
+        if file_size != expected:
+            raise ValueError(
+                f"{path}: size {file_size} does not match header "
+                f"(expected {expected} for {count} records)"
+            )
+        return np.fromfile(fh, dtype=FLOW_RECORD_DTYPE, count=count)
+
+
+def write_trace_csv(path: PathLike, records: np.ndarray) -> None:
+    """Write records as CSV with a header row (for interchange/debugging)."""
+    validate_records(records)
+    with open(path, "w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(_CSV_FIELDS)
+        for rec in records:
+            writer.writerow(
+                [
+                    repr(float(rec["timestamp"])),
+                    int(rec["src_ip"]),
+                    int(rec["dst_ip"]),
+                    int(rec["src_port"]),
+                    int(rec["dst_port"]),
+                    int(rec["protocol"]),
+                    int(rec["packets"]),
+                    int(rec["bytes"]),
+                ]
+            )
+
+
+def read_trace_csv(path: PathLike) -> np.ndarray:
+    """Read records from CSV produced by :func:`write_trace_csv`."""
+    with open(path, newline="") as fh:
+        reader = csv.reader(fh)
+        header = next(reader, None)
+        if header is None or tuple(header) != _CSV_FIELDS:
+            raise ValueError(f"{path}: unexpected CSV header {header}")
+        rows = list(reader)
+    records = empty_records(len(rows))
+    for i, row in enumerate(rows):
+        records[i]["timestamp"] = float(row[0])
+        records[i]["src_ip"] = int(row[1])
+        records[i]["dst_ip"] = int(row[2])
+        records[i]["src_port"] = int(row[3])
+        records[i]["dst_port"] = int(row[4])
+        records[i]["protocol"] = int(row[5])
+        records[i]["packets"] = int(row[6])
+        records[i]["bytes"] = int(row[7])
+    return records

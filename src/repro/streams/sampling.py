@@ -1,0 +1,92 @@
+"""Record sampling (paper Section 6, "Combining with sampling").
+
+"Given the massive volumes of data generated in large networks, sampling
+is increasingly being used in ISP network measurement infrastructures...
+We plan to explore combining sampling techniques with our approach for
+increased scalability."
+
+Two standard estimator-preserving samplers:
+
+* :func:`sample_records` -- uniform record sampling at rate ``p`` with
+  inverse-probability (Horvitz-Thompson) re-weighting of the value field:
+  each kept record's bytes are scaled by ``1/p`` so all per-key totals --
+  and hence sketch contents -- remain unbiased.
+* :func:`sample_and_hold_keys` -- skip the re-weighting and keep raw
+  values (what naive NetFlow sampling does); provided so the bias is
+  demonstrable.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.streams.records import validate_records
+
+
+def sample_records(
+    records: np.ndarray,
+    rate: float,
+    seed: Optional[int] = 0,
+    reweight: bool = True,
+) -> np.ndarray:
+    """Uniformly sample flow records, optionally re-weighting bytes/packets.
+
+    Parameters
+    ----------
+    records:
+        Flow record array.
+    rate:
+        Keep probability ``p`` in (0, 1].
+    seed:
+        Sampling RNG seed.
+    reweight:
+        Scale kept records' ``bytes`` and ``packets`` by ``1/p`` so that
+        expected per-key totals are preserved (unbiased sketches).  With
+        ``reweight=False`` totals shrink by ``p`` -- fine for *relative*
+        change detection as long as the rate is constant over time, but
+        biased in absolute terms.
+
+    Returns
+    -------
+    A new record array (the input is never modified).
+    """
+    validate_records(records)
+    if not 0.0 < rate <= 1.0:
+        raise ValueError(f"rate must be in (0, 1], got {rate}")
+    if rate == 1.0:
+        return records.copy()
+    rng = np.random.default_rng(seed)
+    kept = records[rng.random(len(records)) < rate].copy()
+    if reweight and len(kept):
+        scale = 1.0 / rate
+        kept["bytes"] = np.round(kept["bytes"] * scale).astype(np.uint64)
+        kept["packets"] = np.maximum(
+            np.round(kept["packets"] * scale), 1
+        ).astype(np.uint32)
+    return kept
+
+
+def sample_and_hold_keys(
+    records: np.ndarray, rate: float, seed: Optional[int] = 0
+) -> np.ndarray:
+    """Uniform sampling *without* re-weighting (naive NetFlow sampling)."""
+    return sample_records(records, rate, seed=seed, reweight=False)
+
+
+def sampling_error_scale(rate: float, mean_records_per_key: float) -> float:
+    """Rough relative standard error of a key's sampled total.
+
+    For a key receiving ``n`` records of comparable size, binomial
+    sampling at rate ``p`` gives a relative standard error of roughly
+    ``sqrt((1 - p) / (p * n))``.  Useful for choosing a rate: keys with
+    many records survive aggressive sampling; single-record keys do not.
+    """
+    if not 0.0 < rate <= 1.0:
+        raise ValueError(f"rate must be in (0, 1], got {rate}")
+    if mean_records_per_key <= 0:
+        raise ValueError(
+            f"mean_records_per_key must be > 0, got {mean_records_per_key}"
+        )
+    return float(np.sqrt((1.0 - rate) / (rate * mean_records_per_key)))

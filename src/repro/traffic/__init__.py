@@ -1,0 +1,51 @@
+"""Synthetic traffic substrate.
+
+The paper evaluates on four hours of NetFlow from ten routers of a tier-1
+ISP backbone -- data we cannot ship.  This package synthesizes traces with
+the statistical properties the evaluation actually exercises:
+
+* **Heavy-tailed key popularity** (Zipf): a few destinations receive most
+  records, a long tail receives few -- this is what stresses sketch
+  collision behaviour.
+* **Heavy-tailed per-record volumes** (Pareto / lognormal bytes): dominant
+  contributions to F2 come from few keys, as in real traffic.
+* **Temporal structure**: diurnal modulation plus autocorrelated
+  interval-to-interval level noise, so forecast models have signal to
+  track.
+* **Flow churn**: tail keys appear and disappear across intervals.
+* **Injected anomalies**: DoS spikes, flash-crowd ramps, port scans and
+  worm-style spreading events, so change detection has ground truth.
+
+Router profiles mirror the paper's relative scales (large : medium :
+small record volumes of roughly 11 : 2.4 : 1).
+"""
+
+from repro.traffic.anomalies import (
+    AnomalyEvent,
+    inject_dos,
+    inject_flash_crowd,
+    inject_port_scan,
+    inject_worm,
+)
+from repro.traffic.distributions import (
+    lognormal_bytes,
+    pareto_bytes,
+    zipf_probabilities,
+)
+from repro.traffic.generator import TrafficGenerator
+from repro.traffic.routers import ROUTER_PROFILES, RouterProfile, get_profile
+
+__all__ = [
+    "ROUTER_PROFILES",
+    "AnomalyEvent",
+    "RouterProfile",
+    "TrafficGenerator",
+    "get_profile",
+    "inject_dos",
+    "inject_flash_crowd",
+    "inject_port_scan",
+    "inject_worm",
+    "lognormal_bytes",
+    "pareto_bytes",
+    "zipf_probabilities",
+]

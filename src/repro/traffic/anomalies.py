@@ -1,0 +1,238 @@
+"""Anomaly injectors: ground-truth traffic changes for detection tests.
+
+Each injector returns extra flow records plus an :class:`AnomalyEvent`
+describing what was planted, so examples and tests can score detections
+against truth.  The anomaly taxonomy follows the paper's motivation
+section: DoS attacks, flash crowds (benign surges), scans, and worms.
+
+All injected actors live in the reserved ``10.0.0.0/8`` block that the
+background generator never emits, guaranteeing that the planted keys'
+pre-anomaly history is exactly zero unless the caller chooses an existing
+victim.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.streams.records import empty_records, sort_by_time
+
+_RESERVED_BASE = 0x0A000000  # 10.0.0.0/8
+
+
+@dataclass(frozen=True)
+class AnomalyEvent:
+    """Ground truth for one injected anomaly.
+
+    Attributes
+    ----------
+    kind:
+        ``"dos"``, ``"flash_crowd"``, ``"port_scan"`` or ``"worm"``.
+    start / end:
+        Active window in trace seconds.
+    keys:
+        The destination keys whose signal the anomaly perturbs (the keys a
+        ``dst_ip`` detector should flag).
+    total_bytes:
+        Volume added over the window.
+    """
+
+    kind: str
+    start: float
+    end: float
+    keys: Tuple[int, ...]
+    total_bytes: float
+
+    def overlaps_interval(self, t0: float, t1: float) -> bool:
+        """True when the anomaly is active anywhere in ``[t0, t1)``."""
+        return self.start < t1 and self.end > t0
+
+
+def _timestamps(rng, count: int, start: float, end: float) -> np.ndarray:
+    return rng.uniform(start, end, size=count)
+
+
+def inject_dos(
+    rng: np.random.Generator,
+    start: float,
+    end: float,
+    victim_ip: Optional[int] = None,
+    records_per_second: float = 50.0,
+    bytes_per_record: float = 1500.0,
+    attacker_count: int = 64,
+) -> Tuple[np.ndarray, AnomalyEvent]:
+    """A volumetric DoS: sudden constant-rate flood at one destination.
+
+    Sharp onset and sharp stop -- the canonical "significant change" a
+    forecast-error detector must catch at both edges.
+    """
+    if end <= start:
+        raise ValueError(f"end must exceed start, got [{start}, {end}]")
+    victim = int(victim_ip) if victim_ip is not None else _RESERVED_BASE + 1
+    count = max(1, int(records_per_second * (end - start)))
+    records = empty_records(count)
+    records["timestamp"] = _timestamps(rng, count, start, end)
+    records["dst_ip"] = victim
+    records["src_ip"] = (
+        _RESERVED_BASE + 0x10000 + rng.integers(0, attacker_count, size=count)
+    ).astype(np.uint32)
+    records["src_port"] = rng.integers(1024, 65536, size=count, dtype=np.uint16)
+    records["dst_port"] = 80
+    records["protocol"] = 6
+    records["bytes"] = np.uint64(bytes_per_record)
+    records["packets"] = 1
+    event = AnomalyEvent(
+        kind="dos",
+        start=start,
+        end=end,
+        keys=(victim,),
+        total_bytes=float(count * bytes_per_record),
+    )
+    return sort_by_time(records), event
+
+
+def inject_flash_crowd(
+    rng: np.random.Generator,
+    start: float,
+    end: float,
+    target_ip: Optional[int] = None,
+    peak_records_per_second: float = 30.0,
+    mean_bytes: float = 8000.0,
+) -> Tuple[np.ndarray, AnomalyEvent]:
+    """A flash crowd: triangular ramp up then down at one destination.
+
+    Benign but statistically a change; the paper stresses that change
+    detection flags both ("an anomaly can be a benign surge in traffic
+    (like a flash crowd) or an attack").
+    """
+    if end <= start:
+        raise ValueError(f"end must exceed start, got [{start}, {end}]")
+    target = int(target_ip) if target_ip is not None else _RESERVED_BASE + 2
+    duration = end - start
+    count = max(1, int(0.5 * peak_records_per_second * duration))
+    # Triangular arrival density peaking mid-window.
+    u = rng.random(count)
+    peak_at = 0.5
+    tri = np.where(
+        u < peak_at,
+        np.sqrt(u * peak_at),
+        1.0 - np.sqrt((1.0 - u) * (1.0 - peak_at)),
+    )
+    records = empty_records(count)
+    records["timestamp"] = start + tri * duration
+    records["dst_ip"] = target
+    records["src_ip"] = rng.integers(0, 1 << 32, size=count, dtype=np.uint32)
+    records["src_port"] = rng.integers(1024, 65536, size=count, dtype=np.uint16)
+    records["dst_port"] = 443
+    records["protocol"] = 6
+    byte_counts = rng.exponential(mean_bytes, size=count) + 200.0
+    records["bytes"] = byte_counts.astype(np.uint64)
+    records["packets"] = np.maximum((byte_counts / 1000.0).astype(np.uint32), 1)
+    event = AnomalyEvent(
+        kind="flash_crowd",
+        start=start,
+        end=end,
+        keys=(target,),
+        total_bytes=float(byte_counts.sum()),
+    )
+    return sort_by_time(records), event
+
+
+def inject_port_scan(
+    rng: np.random.Generator,
+    start: float,
+    end: float,
+    target_count: int = 512,
+    probe_bytes: float = 60.0,
+    probes_per_target: int = 2,
+) -> Tuple[np.ndarray, AnomalyEvent]:
+    """A horizontal port scan: one source probing many destinations.
+
+    Individually tiny signals; under a ``dst_ip`` keying this is a change
+    spread across many small keys (hard for volume thresholds, visible to
+    ``count``-valued or ``src_ip``-keyed detectors) -- a useful negative
+    control for examples.
+    """
+    if end <= start:
+        raise ValueError(f"end must exceed start, got [{start}, {end}]")
+    targets = (_RESERVED_BASE + 0x20000 + np.arange(target_count)).astype(np.uint32)
+    count = target_count * probes_per_target
+    records = empty_records(count)
+    records["timestamp"] = _timestamps(rng, count, start, end)
+    records["dst_ip"] = np.repeat(targets, probes_per_target)
+    records["src_ip"] = _RESERVED_BASE + 3
+    records["src_port"] = rng.integers(1024, 65536, size=count, dtype=np.uint16)
+    records["dst_port"] = rng.integers(1, 1024, size=count, dtype=np.uint16)
+    records["protocol"] = 6
+    records["bytes"] = np.uint64(probe_bytes)
+    records["packets"] = 1
+    event = AnomalyEvent(
+        kind="port_scan",
+        start=start,
+        end=end,
+        keys=tuple(int(t) for t in targets),
+        total_bytes=float(count * probe_bytes),
+    )
+    return sort_by_time(records), event
+
+
+def inject_worm(
+    rng: np.random.Generator,
+    start: float,
+    end: float,
+    initial_infected: int = 4,
+    doubling_time: float = 300.0,
+    max_infected: int = 4096,
+    scan_rate_per_host: float = 0.4,
+    probe_bytes: float = 404.0,
+    target_port: int = 1434,
+) -> Tuple[np.ndarray, AnomalyEvent]:
+    """Worm propagation: exponentially growing scan volume (Slammer-style).
+
+    Infected hosts double every ``doubling_time`` until saturation; each
+    scans random destinations at a fixed rate.  Under ``dst_ip`` keying the
+    aggregate appears as exponential growth spread over random keys; under
+    ``dst_port`` keying it is a single exploding signal at ``target_port``.
+    """
+    if end <= start:
+        raise ValueError(f"end must exceed start, got [{start}, {end}]")
+    chunks: List[np.ndarray] = []
+    step = 30.0
+    t = start
+    total_bytes = 0.0
+    while t < end:
+        elapsed = t - start
+        infected = min(
+            max_infected, int(initial_infected * 2.0 ** (elapsed / doubling_time))
+        )
+        lam = infected * scan_rate_per_host * min(step, end - t)
+        count = int(rng.poisson(lam))
+        if count:
+            chunk = empty_records(count)
+            chunk["timestamp"] = _timestamps(rng, count, t, min(t + step, end))
+            chunk["dst_ip"] = rng.integers(0, 1 << 32, size=count, dtype=np.uint32)
+            chunk["src_ip"] = (
+                _RESERVED_BASE + 0x30000 + rng.integers(0, infected, size=count)
+            ).astype(np.uint32)
+            chunk["src_port"] = rng.integers(1024, 65536, size=count, dtype=np.uint16)
+            chunk["dst_port"] = target_port
+            chunk["protocol"] = 17
+            chunk["bytes"] = np.uint64(probe_bytes)
+            chunk["packets"] = 1
+            chunks.append(chunk)
+            total_bytes += count * probe_bytes
+        t += step
+    records = (
+        sort_by_time(np.concatenate(chunks)) if chunks else empty_records(0)
+    )
+    event = AnomalyEvent(
+        kind="worm",
+        start=start,
+        end=end,
+        keys=(int(target_port),),  # meaningful under dst_port keying
+        total_bytes=total_bytes,
+    )
+    return records, event

@@ -1,0 +1,110 @@
+"""Distribution samplers for synthetic traffic.
+
+Internet measurement literature consistently reports Zipf-like destination
+popularity and heavy-tailed (Pareto-ish) transfer sizes; these are the two
+marginals that determine how hard a stream is for a sketch (how many keys
+collide, and how concentrated F2 is).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def zipf_probabilities(population: int, exponent: float = 1.0) -> np.ndarray:
+    """Normalized Zipf probabilities ``p_r ~ r**-exponent`` over ranks 1..N.
+
+    ``exponent`` near 1.0 matches destination-popularity measurements;
+    larger exponents concentrate traffic on fewer keys.
+    """
+    if population < 1:
+        raise ValueError(f"population must be >= 1, got {population}")
+    if exponent < 0:
+        raise ValueError(f"exponent must be >= 0, got {exponent}")
+    ranks = np.arange(1, population + 1, dtype=np.float64)
+    weights = ranks ** (-exponent)
+    return weights / weights.sum()
+
+
+def pareto_bytes(
+    rng: np.random.Generator,
+    count: int,
+    shape: float = 1.2,
+    minimum: float = 40.0,
+    cap: float = 1e8,
+) -> np.ndarray:
+    """Pareto-distributed record byte counts.
+
+    ``shape`` in (1, 2) gives infinite variance -- the classic heavy tail of
+    flow volumes.  ``minimum`` is the smallest record (a bare ACK-sized
+    flow); ``cap`` bounds the tail so one astronomically large sample
+    cannot dominate an entire synthetic trace.
+    """
+    if count < 0:
+        raise ValueError(f"count must be >= 0, got {count}")
+    if shape <= 0:
+        raise ValueError(f"shape must be > 0, got {shape}")
+    samples = minimum * (1.0 + rng.pareto(shape, size=count))
+    return np.minimum(samples, cap)
+
+
+def lognormal_bytes(
+    rng: np.random.Generator,
+    count: int,
+    mean_log: float = 7.0,
+    sigma_log: float = 1.5,
+    cap: float = 1e8,
+) -> np.ndarray:
+    """Lognormal record byte counts (body-heavy alternative to Pareto).
+
+    ``mean_log = 7`` puts the median near ``e**7 ~ 1100`` bytes, a typical
+    small-transfer size.
+    """
+    if count < 0:
+        raise ValueError(f"count must be >= 0, got {count}")
+    if sigma_log < 0:
+        raise ValueError(f"sigma_log must be >= 0, got {sigma_log}")
+    samples = rng.lognormal(mean_log, sigma_log, size=count)
+    return np.minimum(np.maximum(samples, 40.0), cap)
+
+
+def diurnal_factor(
+    times: np.ndarray,
+    period: float = 86400.0,
+    peak_fraction: float = 0.6,
+    phase: float = 0.0,
+) -> np.ndarray:
+    """Smooth diurnal rate modulation in ``[1 - peak_fraction/2, 1 + ...]``.
+
+    A sinusoid with daily period; over a four-hour trace this appears as a
+    slow trend, which is exactly what gives trend-aware models (NSHW,
+    ARIMA1) something to earn their keep on.
+    """
+    times = np.asarray(times, dtype=np.float64)
+    return 1.0 + 0.5 * peak_fraction * np.sin(2.0 * np.pi * (times / period) + phase)
+
+
+def ar1_level_noise(
+    rng: np.random.Generator,
+    count: int,
+    rho: float = 0.7,
+    sigma: float = 0.08,
+) -> np.ndarray:
+    """Multiplicative AR(1) level noise across intervals.
+
+    Returns ``count`` positive factors with lag-1 autocorrelation ``rho``;
+    applied to per-interval rates, it creates the short-range dependence
+    that distinguishes forecastable traffic from white noise.
+    """
+    if count < 0:
+        raise ValueError(f"count must be >= 0, got {count}")
+    if not 0.0 <= rho < 1.0:
+        raise ValueError(f"rho must be in [0, 1), got {rho}")
+    innovations = rng.normal(0.0, sigma, size=count)
+    levels = np.empty(count)
+    state = 0.0
+    stationary_scale = np.sqrt(1.0 - rho * rho)
+    for i in range(count):
+        state = rho * state + stationary_scale * innovations[i]
+        levels[i] = state
+    return np.exp(levels)

@@ -1,0 +1,141 @@
+"""Synthetic flow-trace generator.
+
+Produces a four-hour (configurable) trace for a router profile:
+
+1. Draw a key population of random IPv4 addresses and Zipf popularity
+   weights over it.
+2. For each base interval, draw the record count from the profile rate
+   modulated by a diurnal factor and AR(1) level noise.
+3. Sample each record's destination from the Zipf weights, its source/port
+   fields from background distributions, its bytes from a Pareto tail, and
+   its timestamp uniformly within the interval.
+
+The result is a time-sorted record array compatible with
+:mod:`repro.streams`.  All randomness flows from one seed.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.streams.records import empty_records, sort_by_time
+from repro.traffic.distributions import (
+    ar1_level_noise,
+    diurnal_factor,
+    pareto_bytes,
+    zipf_probabilities,
+)
+from repro.traffic.routers import RouterProfile
+
+#: Private (RFC1918-ish) blocks avoided so anomaly injectors can pick
+#: attacker/victim addresses that never collide with background keys.
+_RESERVED_PREFIX = 0x0A000000  # 10.0.0.0/8
+
+
+class TrafficGenerator:
+    """Generates background traffic for one router profile.
+
+    Parameters
+    ----------
+    profile:
+        The router's statistical profile.
+    duration:
+        Trace length in seconds (paper: four hours = 14400 s).
+    base_interval:
+        Granularity of rate modulation, in seconds.  Finer than the
+        analysis interval so 60 s experiments still see rate structure.
+    seed:
+        Overrides the profile's default seed when given.
+    """
+
+    def __init__(
+        self,
+        profile: RouterProfile,
+        duration: float = 4 * 3600.0,
+        base_interval: float = 60.0,
+        seed: Optional[int] = None,
+    ) -> None:
+        if duration <= 0:
+            raise ValueError(f"duration must be > 0, got {duration}")
+        if base_interval <= 0:
+            raise ValueError(f"base_interval must be > 0, got {base_interval}")
+        self.profile = profile
+        self.duration = float(duration)
+        self.base_interval = float(base_interval)
+        self.seed = profile.seed if seed is None else seed
+        self._rng = np.random.default_rng(self.seed)
+        self._population = self._draw_population()
+        self._popularity = zipf_probabilities(
+            profile.key_population, profile.zipf_exponent
+        )
+
+    def _draw_population(self) -> np.ndarray:
+        """Distinct public-looking IPv4 addresses for the key population."""
+        rng = np.random.default_rng(self.seed + 7)
+        needed = self.profile.key_population
+        seen = np.array([], dtype=np.uint32)
+        while len(seen) < needed:
+            batch = rng.integers(0, 1 << 32, size=2 * needed, dtype=np.uint32)
+            # Avoid the reserved 10/8 block (kept free for injected actors).
+            batch = batch[(batch >> np.uint32(24)) != np.uint32(10)]
+            seen = np.unique(np.concatenate([seen, batch]))
+        return seen[:needed]
+
+    @property
+    def population(self) -> np.ndarray:
+        """The destination-IP population (read-only view)."""
+        view = self._population.view()
+        view.flags.writeable = False
+        return view
+
+    def generate(self) -> np.ndarray:
+        """Generate the full background trace, sorted by timestamp."""
+        rng = self._rng
+        n_slots = int(np.ceil(self.duration / self.base_interval))
+        slot_starts = self.base_interval * np.arange(n_slots)
+        rate_scale = self.profile.records_per_interval * (
+            self.base_interval / 300.0
+        )
+        factors = diurnal_factor(slot_starts, phase=rng.uniform(0, 2 * np.pi))
+        levels = ar1_level_noise(rng, n_slots)
+        counts = rng.poisson(rate_scale * factors * levels)
+
+        total = int(counts.sum())
+        records = empty_records(total)
+
+        # Timestamps: uniform within each slot.
+        offsets = rng.uniform(0.0, self.base_interval, size=total)
+        slot_of = np.repeat(np.arange(n_slots), counts)
+        records["timestamp"] = slot_starts[slot_of] + offsets
+
+        # Destinations: Zipf-weighted draws from the population.
+        dst_index = rng.choice(
+            self.profile.key_population, size=total, p=self._popularity
+        )
+        records["dst_ip"] = self._population[dst_index]
+
+        # Sources: a smaller client population with mild skew.
+        src_pop = max(self.profile.key_population // 4, 1)
+        records["src_ip"] = (
+            rng.integers(0, src_pop, size=total).astype(np.uint32)
+            + np.uint32(0xC0000000)  # park sources in 192/2 space
+        )
+
+        records["src_port"] = rng.integers(1024, 65536, size=total, dtype=np.uint16)
+        # Destination ports: 80% to a handful of well-known services.
+        well_known = np.array([80, 443, 25, 53, 22, 110, 143, 8080], dtype=np.uint16)
+        service = rng.random(total) < 0.8
+        ports = rng.integers(1024, 65536, size=total).astype(np.uint16)
+        ports[service] = rng.choice(well_known, size=int(service.sum()))
+        records["dst_port"] = ports
+        records["protocol"] = np.where(rng.random(total) < 0.9, 6, 17).astype(np.uint8)
+
+        byte_counts = pareto_bytes(rng, total, shape=self.profile.pareto_shape)
+        records["bytes"] = byte_counts.astype(np.uint64)
+        records["packets"] = np.maximum(
+            (byte_counts / 1000.0).astype(np.uint32), 1
+        )
+
+        return sort_by_time(records)

@@ -1,0 +1,116 @@
+"""Router profiles: the synthetic fleet standing in for the paper's ten routers.
+
+The paper's dataset: "ten different routers in the backbone of a tier-1
+ISP.  Nearly 190 million records are processed with the smallest router
+having 861K records and the busiest one having over 60 million records in a
+contiguous four hour stretch"; accuracy experiments single out a large
+(>60 M), medium (12.7 M) and small (5.3 M) router.
+
+Profiles below preserve the **relative** scales at laptop-friendly absolute
+sizes (see DESIGN.md Section 6); ``scale`` multiplies record counts and the
+key population together so collision pressure per sketch bucket is
+preserved when scaling up.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict
+
+
+@dataclass(frozen=True)
+class RouterProfile:
+    """Statistical profile of one router's traffic.
+
+    Attributes
+    ----------
+    name:
+        Profile identifier (``"large"``, ``"medium"``, ...).
+    records_per_interval:
+        Mean flow records per 300-second interval.
+    key_population:
+        Number of distinct destination IPs in the router's working set.
+    zipf_exponent:
+        Popularity skew across that population.
+    pareto_shape:
+        Tail index of per-record byte volumes.
+    seed:
+        Default generation seed (distinct per router so traces differ).
+    """
+
+    name: str
+    records_per_interval: int
+    key_population: int
+    zipf_exponent: float = 1.0
+    pareto_shape: float = 1.2
+    seed: int = 0
+
+    def scaled(self, scale: float) -> "RouterProfile":
+        """Scale record volume and key population together."""
+        if scale <= 0:
+            raise ValueError(f"scale must be > 0, got {scale}")
+        return replace(
+            self,
+            records_per_interval=max(1, int(self.records_per_interval * scale)),
+            key_population=max(1, int(self.key_population * scale)),
+        )
+
+
+#: The synthetic fleet.  Ratios follow the paper's large:medium:small
+#: record volumes (~11 : 2.4 : 1); the extra routers fill out fleet-wide
+#: CDFs (Figures 1-3) the way the paper's ten routers do.
+ROUTER_PROFILES: Dict[str, RouterProfile] = {
+    "large": RouterProfile(
+        name="large",
+        records_per_interval=40_000,
+        key_population=60_000,
+        zipf_exponent=0.95,
+        seed=101,
+    ),
+    "medium": RouterProfile(
+        name="medium",
+        records_per_interval=8_500,
+        key_population=18_000,
+        zipf_exponent=1.0,
+        seed=102,
+    ),
+    "small": RouterProfile(
+        name="small",
+        records_per_interval=3_500,
+        key_population=9_000,
+        zipf_exponent=1.05,
+        seed=103,
+    ),
+    "edge-1": RouterProfile(
+        name="edge-1",
+        records_per_interval=6_000,
+        key_population=14_000,
+        zipf_exponent=1.1,
+        seed=104,
+    ),
+    "edge-2": RouterProfile(
+        name="edge-2",
+        records_per_interval=4_500,
+        key_population=10_000,
+        zipf_exponent=0.9,
+        seed=105,
+    ),
+    "peering": RouterProfile(
+        name="peering",
+        records_per_interval=12_000,
+        key_population=25_000,
+        zipf_exponent=1.0,
+        pareto_shape=1.1,
+        seed=106,
+    ),
+}
+
+
+def get_profile(name: str, scale: float = 1.0) -> RouterProfile:
+    """Look up a router profile by name, optionally scaled."""
+    try:
+        profile = ROUTER_PROFILES[name]
+    except KeyError:
+        known = ", ".join(sorted(ROUTER_PROFILES))
+        raise ValueError(f"unknown router {name!r}; known: {known}") from None
+    return profile.scaled(scale) if scale != 1.0 else profile

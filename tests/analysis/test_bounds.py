@@ -1,0 +1,142 @@
+"""Tests for the Theorem 1-5 analytical bounds."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    estimate_variance_bound,
+    f2_relative_error_probability,
+    f2_variance_bound,
+    false_alarm_probability,
+    miss_probability,
+    recommend_dimensions,
+)
+from repro.sketch import DictVector, KArySchema
+
+
+class TestClosedForms:
+    def test_theorem1_bound(self):
+        assert estimate_variance_bound(1025, f2=2.0) == pytest.approx(2.0 / 1024)
+
+    def test_theorem4_bound(self):
+        assert f2_variance_bound(1025, f2=3.0) == pytest.approx(2 * 9.0 / 1024)
+
+    def test_paper_example_theorem2(self):
+        """K=2^16, alpha=2, T=1/32, H=20 => miss prob below ~9.0e-13."""
+        p = miss_probability(h=20, k=2**16, t=1.0 / 32, alpha=2.0)
+        assert p == pytest.approx(9.0e-13, rel=0.2)
+
+    def test_paper_example_theorem3(self):
+        """K=2^16, beta=0.5, T=1/32, H=20 => false alarm below ~4e-11.
+
+        (The paper states the same setup; our closed form gives
+        [4/((K-1)(1-beta)^2 T^2)]^(H/2).)
+        """
+        p = false_alarm_probability(h=20, k=2**16, t=1.0 / 32, beta=0.5)
+        expected = (4.0 / ((2**16 - 1) * 0.25 * (1.0 / 32) ** 2)) ** 10
+        assert p == pytest.approx(expected)
+
+    def test_paper_example_theorem5(self):
+        """K=2^16, lambda=0.05, H=20 => below 7.7e-14."""
+        p = f2_relative_error_probability(h=20, k=2**16, lam=0.05)
+        assert p < 7.7e-14 * 1.1
+        assert p > 7.7e-14 * 0.5
+
+    def test_probabilities_clamped_to_one(self):
+        assert miss_probability(h=1, k=2, t=0.01, alpha=1.5) == 1.0
+
+    def test_monotone_in_h(self):
+        values = [
+            miss_probability(h=h, k=4096, t=0.05, alpha=2.0) for h in (1, 5, 9, 25)
+        ]
+        assert all(a >= b for a, b in zip(values, values[1:]))
+
+    def test_monotone_in_k(self):
+        values = [
+            false_alarm_probability(h=5, k=k, t=0.05, beta=0.5)
+            for k in (1024, 8192, 65536)
+        ]
+        assert all(a >= b for a, b in zip(values, values[1:]))
+
+    def test_alpha_one_vacuous(self):
+        assert miss_probability(h=5, k=1024, t=0.1, alpha=1.0) == 1.0
+
+    def test_beta_one_vacuous(self):
+        assert false_alarm_probability(h=5, k=1024, t=0.1, beta=1.0) == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            miss_probability(h=0, k=16, t=0.1, alpha=2.0)
+        with pytest.raises(ValueError):
+            miss_probability(h=1, k=16, t=1.5, alpha=2.0)
+        with pytest.raises(ValueError):
+            miss_probability(h=1, k=16, t=0.1, alpha=0.5)
+        with pytest.raises(ValueError):
+            false_alarm_probability(h=1, k=16, t=0.1, beta=-0.1)
+        with pytest.raises(ValueError):
+            f2_relative_error_probability(h=1, k=16, lam=0.0)
+        with pytest.raises(ValueError):
+            estimate_variance_bound(1)
+
+
+class TestRecommendDimensions:
+    def test_meets_target(self):
+        h, k = recommend_dimensions(t=1.0 / 32, failure_probability=1e-9)
+        assert miss_probability(h, k, 1.0 / 32, 2.0) <= 1e-9
+        assert false_alarm_probability(h, k, 1.0 / 32, 0.5) <= 1e-9
+
+    def test_tighter_target_needs_more_cells(self):
+        loose = recommend_dimensions(t=0.05, failure_probability=1e-6)
+        tight = recommend_dimensions(t=0.05, failure_probability=1e-15)
+        assert tight[0] * tight[1] >= loose[0] * loose[1]
+
+    def test_h_is_odd(self):
+        h, _ = recommend_dimensions(t=0.05, failure_probability=1e-9)
+        assert h % 2 == 1
+
+    def test_impossible_target(self):
+        with pytest.raises(ValueError, match="failure probability"):
+            recommend_dimensions(t=0.001, failure_probability=1e-300, max_h=3)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            recommend_dimensions(t=0.05, failure_probability=2.0)
+
+
+class TestBoundsHoldEmpirically:
+    def test_theorem1_variance_bound_holds(self, rng):
+        """Empirical per-row estimator variance must respect F2/(K-1)."""
+        keys = rng.integers(0, 2**32, 3000, dtype=np.uint64)
+        values = rng.pareto(1.5, 3000) * 100
+        exact = DictVector()
+        exact.update_batch(keys, values)
+        key, true_value = exact.top_n(1)[0]
+        f2 = exact.estimate_f2()
+        k = 512
+        estimates = [
+            KArySchema(depth=1, width=k, seed=seed)
+            .from_items(keys, values)
+            .estimate(key)
+            for seed in range(200)
+        ]
+        empirical_var = float(np.var(estimates))
+        bound = f2 / (k - 1)
+        # Allow sampling slack: 200 draws estimate variance within ~20%.
+        assert empirical_var <= 1.5 * bound
+
+    def test_theorem4_variance_bound_holds(self, rng):
+        keys = rng.integers(0, 2**32, 3000, dtype=np.uint64)
+        values = rng.pareto(1.5, 3000) * 100
+        exact = DictVector()
+        exact.update_batch(keys, values)
+        f2 = exact.estimate_f2()
+        k = 512
+        estimates = [
+            KArySchema(depth=1, width=k, seed=seed)
+            .from_items(keys, values)
+            .estimate_f2()
+            for seed in range(200)
+        ]
+        empirical_var = float(np.var(estimates))
+        bound = 2.0 * f2 * f2 / (k - 1)
+        assert empirical_var <= 1.5 * bound

@@ -1,0 +1,37 @@
+"""Tests for exact moment helpers."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import exact_f2, exact_l2
+
+
+class TestExactF2:
+    def test_aggregates_before_squaring(self):
+        # Key 1 receives 3+4=7; F2 = 49, not 9+16=25.
+        assert exact_f2([1, 1], [3.0, 4.0]) == pytest.approx(49.0)
+
+    def test_multiple_keys(self):
+        assert exact_f2([1, 2], [3.0, 4.0]) == pytest.approx(25.0)
+
+    def test_cancellation(self):
+        assert exact_f2([1, 1], [5.0, -5.0]) == pytest.approx(0.0)
+
+    def test_empty(self):
+        assert exact_f2([], []) == 0.0
+
+    def test_l2(self):
+        assert exact_l2([1, 2], [3.0, 4.0]) == pytest.approx(5.0)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            exact_f2(np.array([1, 2]), np.array([1.0]))
+
+    def test_matches_dictvector(self, rng):
+        from repro.sketch import DictVector
+
+        keys = rng.integers(0, 100, 1000, dtype=np.uint64)
+        values = rng.normal(size=1000)
+        vec = DictVector()
+        vec.update_batch(keys, values)
+        assert exact_f2(keys, values) == pytest.approx(vec.estimate_f2())

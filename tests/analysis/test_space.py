@@ -1,0 +1,70 @@
+"""Tests for the memory accounting module."""
+
+import pytest
+
+from repro.analysis.space import (
+    PER_FLOW_ENTRY_BYTES,
+    SpaceReport,
+    compare,
+    crossover_keys,
+    hash_state_bytes,
+    per_flow_state_bytes,
+    pipeline_state_bytes,
+    sketch_table_bytes,
+)
+
+
+class TestComponents:
+    def test_sketch_table_bytes(self):
+        assert sketch_table_bytes(5, 32768) == 5 * 32768 * 8
+
+    def test_hash_state_tabulation(self):
+        # 2 MiB per row.
+        assert hash_state_bytes(1) == (2**16 + 2**16 + 2**17) * 8
+
+    def test_hash_state_polynomial_tiny(self):
+        assert hash_state_bytes(5, "polynomial") == 5 * 4 * 8
+        assert hash_state_bytes(5, "two-universal") == 5 * 2 * 8
+
+    def test_pipeline_includes_model_state(self):
+        ewma = pipeline_state_bytes(5, 8192, "ewma")
+        ma = pipeline_state_bytes(5, 8192, "ma")
+        assert ma > ewma  # the MA window dominates
+
+    def test_per_flow_scales_linearly(self):
+        assert per_flow_state_bytes(2_000_000) == 2 * per_flow_state_bytes(
+            1_000_000
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            sketch_table_bytes(0, 8)
+        with pytest.raises(ValueError):
+            hash_state_bytes(5, "md5")
+        with pytest.raises(ValueError):
+            pipeline_state_bytes(5, 8192, "lstm")
+        with pytest.raises(ValueError):
+            per_flow_state_bytes(-1)
+
+
+class TestCrossover:
+    def test_sketch_wins_at_paper_scale(self):
+        """Tens of millions of signals: the paper's regime."""
+        report = compare(5, 65536, concurrent_keys=10_000_000)
+        assert report.ratio > 10
+
+    def test_per_flow_wins_for_tiny_key_spaces(self):
+        report = compare(5, 65536, concurrent_keys=1000)
+        assert report.ratio < 1
+
+    def test_crossover_consistency(self):
+        keys = crossover_keys(5, 32768, "ewma")
+        below = compare(5, 32768, keys - 1)
+        above = compare(5, 32768, keys + 1)
+        assert below.per_flow_bytes <= below.sketch_bytes
+        assert above.per_flow_bytes > above.sketch_bytes
+
+    def test_report_render(self):
+        text = compare(5, 32768, 1_000_000).render()
+        assert "MiB" in text
+        assert "advantage" in text

@@ -1,0 +1,117 @@
+"""Tests for hierarchical prefix drill-down."""
+
+import numpy as np
+import pytest
+
+from repro.detection import PrefixDrilldown, format_prefix
+from repro.detection.drilldown import DrilldownNode
+from repro.streams import concat_records, make_records
+
+
+def _background(rng, n=40000, duration=3600.0):
+    return make_records(
+        timestamps=np.sort(rng.uniform(0, duration, n)),
+        dst_ips=rng.integers(0, 2**32, n),
+        byte_counts=rng.integers(100, 2000, n),
+    )
+
+
+def _attack(rng, victim, start, end, count=3000, bytes_per=3000):
+    return make_records(
+        timestamps=np.sort(rng.uniform(start, end, count)),
+        dst_ips=np.full(count, victim),
+        byte_counts=np.full(count, bytes_per),
+    )
+
+
+class TestFormatPrefix:
+    def test_host(self):
+        assert format_prefix(0x0A020304, 32) == "10.2.3.4/32"
+
+    def test_slash8(self):
+        assert format_prefix(0x0A000000, 8) == "10.0.0.0/8"
+
+    def test_slash24(self):
+        assert format_prefix(0xC0A80100, 24) == "192.168.1.0/24"
+
+
+class TestDrilldownNode:
+    def test_render_and_leaves(self):
+        child = DrilldownNode(prefix=0x0A020304, prefix_len=32,
+                              estimated_error=100.0)
+        root = DrilldownNode(prefix=0x0A000000, prefix_len=8,
+                             estimated_error=120.0, children=[child])
+        text = root.render()
+        assert "10.0.0.0/8" in text
+        assert "10.2.3.4/32" in text
+        assert root.leaves() == [child]
+
+
+class TestPrefixDrilldown:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PrefixDrilldown(levels=(16, 8))
+        with pytest.raises(ValueError):
+            PrefixDrilldown(levels=())
+        with pytest.raises(ValueError):
+            PrefixDrilldown(levels=(0, 8))
+
+    def test_attributes_attack_down_to_host(self, rng):
+        victim = 0x0A020304  # 10.2.3.4
+        background = _background(rng)
+        attack = _attack(rng, victim, start=1800.0, end=2100.0)
+        records = concat_records([background, attack])
+        drill = PrefixDrilldown(
+            levels=(8, 16, 24, 32), model="ewma", alpha=0.5, t_fraction=0.3
+        )
+        reports = {r.interval: r for r in drill.run(records, 300.0)}
+        report = reports[6]  # the attack interval
+        # Walk the tree: some root chain must end at the victim host.
+        leaf_prefixes = {
+            leaf.prefix
+            for root in report.roots
+            for leaf in root.leaves()
+            if leaf.prefix_len == 32
+        }
+        assert victim in leaf_prefixes
+        # And the chain above it matches the victim's prefixes.
+        root_prefixes = {root.prefix for root in report.roots}
+        assert (victim & 0xFF000000) in root_prefixes
+
+    def test_quiet_interval_has_few_roots(self, rng):
+        records = _background(rng)
+        drill = PrefixDrilldown(
+            levels=(8, 24), model="ewma", alpha=0.5, t_fraction=0.5
+        )
+        reports = list(drill.run(records, 300.0))
+        assert reports  # warm-up skipped, some intervals reported
+        assert np.mean([len(r.roots) for r in reports]) < 5
+
+    def test_report_render(self, rng):
+        victim = 0x0A020304
+        records = concat_records([
+            _background(rng),
+            _attack(rng, victim, 1800.0, 2100.0),
+        ])
+        drill = PrefixDrilldown(
+            levels=(8, 32), model="ewma", alpha=0.5, t_fraction=0.3
+        )
+        reports = {r.interval: r for r in drill.run(records, 300.0)}
+        assert "10.2.3.4/32" in reports[6].render()
+
+    def test_children_sorted_by_magnitude(self, rng):
+        big, small = 0x0A010101, 0x0A020202
+        records = concat_records([
+            _background(rng),
+            _attack(rng, big, 1800.0, 2100.0, count=4000),
+            _attack(rng, small, 1800.0, 2100.0, count=1500),
+        ])
+        drill = PrefixDrilldown(
+            levels=(8, 32), model="ewma", alpha=0.5, t_fraction=0.2
+        )
+        reports = {r.interval: r for r in drill.run(records, 300.0)}
+        ten_slash_8 = next(
+            root for root in reports[6].roots if root.prefix == 0x0A000000
+        )
+        magnitudes = [abs(c.estimated_error) for c in ten_slash_8.children]
+        assert magnitudes == sorted(magnitudes, reverse=True)

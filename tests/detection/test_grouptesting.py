@@ -1,0 +1,102 @@
+"""Tests for the combinatorial group-testing sketch."""
+
+import numpy as np
+import pytest
+
+from repro.detection import GroupTestingSchema
+from repro.forecast import EWMAForecaster
+from repro.sketch import DictVector
+
+
+class TestGroupTestingSketch:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            GroupTestingSchema(depth=0)
+        with pytest.raises(ValueError):
+            GroupTestingSchema(width=1)
+        with pytest.raises(ValueError):
+            GroupTestingSchema(key_bits=0)
+        with pytest.raises(ValueError):
+            GroupTestingSchema(key_bits=65)
+
+    def test_estimates_match_kary_math(self, rng):
+        schema = GroupTestingSchema(depth=5, width=2048, seed=0)
+        keys = rng.integers(0, 2**32, 3000, dtype=np.uint64)
+        values = rng.pareto(1.3, 3000) * 100
+        sketch = schema.from_items(keys, values)
+        exact = DictVector()
+        exact.update_batch(keys, values)
+        assert sketch.total() == pytest.approx(values.sum(), rel=1e-9)
+        assert sketch.estimate_f2() == pytest.approx(exact.estimate_f2(), rel=0.3)
+        key, true_value = exact.top_n(1)[0]
+        assert sketch.estimate(key) == pytest.approx(true_value, rel=0.2)
+
+    def test_recovers_single_heavy_key(self, rng):
+        schema = GroupTestingSchema(depth=5, width=1024, seed=1)
+        background_keys = rng.integers(0, 2**32, 2000, dtype=np.uint64)
+        background = rng.normal(0, 10, 2000)
+        heavy_key = 0xDEADBEEF
+        sketch = schema.from_items(
+            np.concatenate([background_keys, [heavy_key]]).astype(np.uint64),
+            np.concatenate([background, [50000.0]]),
+        )
+        recovered = sketch.recover_keys(threshold=10000.0)
+        assert heavy_key in recovered
+        assert recovered[heavy_key] == pytest.approx(50000.0, rel=0.1)
+
+    def test_recovers_multiple_heavy_keys(self, rng):
+        schema = GroupTestingSchema(depth=7, width=2048, seed=2)
+        heavies = {1111: 40000.0, 222222: -35000.0, 0xABCDEF01: 60000.0}
+        keys = rng.integers(0, 2**32, 3000, dtype=np.uint64)
+        values = rng.normal(0, 5, 3000)
+        keys = np.concatenate(
+            [keys, np.array(list(heavies), dtype=np.uint64)]
+        ).astype(np.uint64)
+        values = np.concatenate([values, list(heavies.values())])
+        sketch = schema.from_items(keys, values)
+        recovered = sketch.recover_keys(threshold=10000.0)
+        for key, value in heavies.items():
+            assert key in recovered
+            assert recovered[key] == pytest.approx(value, rel=0.15)
+
+    def test_no_false_keys_on_quiet_stream(self, rng):
+        schema = GroupTestingSchema(depth=5, width=1024, seed=3)
+        keys = rng.integers(0, 2**32, 2000, dtype=np.uint64)
+        sketch = schema.from_items(keys, rng.normal(0, 1, 2000))
+        assert sketch.recover_keys(threshold=1000.0) == {}
+
+    def test_threshold_validation(self):
+        sketch = GroupTestingSchema(depth=1, width=16, seed=0).empty()
+        with pytest.raises(ValueError):
+            sketch.recover_keys(threshold=0.0)
+
+    def test_linearity_enables_forecast_errors(self, rng):
+        """The structure is linear, so error sketches can be decoded to
+        recover *changed* keys without any key stream."""
+        schema = GroupTestingSchema(depth=5, width=1024, seed=4)
+        forecaster = EWMAForecaster(alpha=0.5)
+        steady_keys = rng.integers(0, 2**32, 1000, dtype=np.uint64)
+        spike_key = 0x0A0B0C0D
+        for t in range(5):
+            values = np.full(1000, 100.0)
+            keys = steady_keys
+            if t == 4:  # spike appears in the last interval
+                keys = np.concatenate([steady_keys, [spike_key]]).astype(np.uint64)
+                values = np.concatenate([values, [80000.0]])
+            observed = schema.from_items(keys, values)
+            step = forecaster.step(observed)
+        assert step.error is not None
+        recovered = step.error.recover_keys(threshold=20000.0)
+        assert spike_key in recovered
+        assert recovered[spike_key] == pytest.approx(80000.0, rel=0.2)
+
+    def test_schema_mismatch_rejected(self):
+        a = GroupTestingSchema(depth=2, width=16, seed=1).empty()
+        b = GroupTestingSchema(depth=2, width=16, seed=2).empty()
+        with pytest.raises(ValueError):
+            _ = a + b
+
+    def test_empty_update(self):
+        sketch = GroupTestingSchema(depth=2, width=16, seed=0).empty()
+        sketch.update_batch(np.array([], dtype=np.uint64), np.array([]))
+        assert sketch.total() == 0.0

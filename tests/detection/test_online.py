@@ -1,0 +1,96 @@
+"""Tests for the online (future-keys) detector."""
+
+import numpy as np
+import pytest
+
+from repro.detection import OnlineDetector
+from repro.sketch import KArySchema
+from repro.streams.model import KeyedUpdates
+
+from tests.conftest import make_batches
+
+
+def _with_spike(batches, interval, key=77777777, value=5e6):
+    target = batches[interval]
+    batches[interval] = KeyedUpdates(
+        index=target.index,
+        keys=np.concatenate([target.keys, [key]]).astype(np.uint64),
+        values=np.concatenate([target.values, [value]]),
+        duration=target.duration,
+    )
+    return batches
+
+
+class TestOnlineDetector:
+    def test_detects_persistent_change(self, rng):
+        """A key that spikes and appears again next interval is caught."""
+        batches = make_batches(rng, intervals=10)
+        _with_spike(batches, 5)
+        _with_spike(batches, 6)  # key recurs -> provides itself as candidate
+        detector = OnlineDetector(
+            KArySchema(depth=5, width=8192, seed=0), "ewma", alpha=0.5,
+            t_fraction=0.2,
+        )
+        reports = list(detector.run(batches))
+        spike = next(r for r in reports if r.index == 5)
+        assert 77777777 in {a.key for a in spike.alarms}
+
+    def test_misses_key_that_never_returns(self, rng):
+        """The documented risk: a key that vanishes is not detected."""
+        batches = make_batches(rng, intervals=10)
+        _with_spike(batches, 5)  # appears only in interval 5
+        detector = OnlineDetector(
+            KArySchema(depth=5, width=8192, seed=0), "ewma", alpha=0.5,
+            t_fraction=0.2,
+        )
+        reports = list(detector.run(batches))
+        spike = next(r for r in reports if r.index == 5)
+        assert 77777777 not in {a.key for a in spike.alarms}
+
+    def test_reports_lag_one_interval(self, rng):
+        batches = make_batches(rng, intervals=6)
+        detector = OnlineDetector(
+            KArySchema(depth=3, width=1024, seed=0), "ewma", alpha=0.5
+        )
+        indices = [r.index for r in detector.run(batches)]
+        assert indices == [1, 2, 3, 4, 5]
+
+    def test_last_interval_reported_without_candidates(self, rng):
+        batches = make_batches(rng, intervals=4)
+        detector = OnlineDetector(
+            KArySchema(depth=3, width=1024, seed=0), "ewma", alpha=0.5
+        )
+        last = list(detector.run(batches))[-1]
+        assert last.index == 3
+        assert last.alarms == []
+
+    def test_sampling_reduces_candidates(self, rng):
+        batches = make_batches(rng, intervals=8)
+        full = OnlineDetector(
+            KArySchema(depth=5, width=8192, seed=0), "ewma", alpha=0.5,
+            t_fraction=0.01, sample_rate=1.0,
+        )
+        sampled = OnlineDetector(
+            KArySchema(depth=5, width=8192, seed=0), "ewma", alpha=0.5,
+            t_fraction=0.01, sample_rate=0.1, seed=1,
+        )
+        n_full = sum(r.alarm_count for r in full.run(batches))
+        n_sampled = sum(r.alarm_count for r in sampled.run(batches))
+        assert n_sampled < n_full
+
+    def test_validation(self):
+        schema = KArySchema(depth=1, width=4)
+        with pytest.raises(ValueError):
+            OnlineDetector(schema, "ewma", t_fraction=-1.0)
+        with pytest.raises(ValueError):
+            OnlineDetector(schema, "ewma", sample_rate=0.0)
+        with pytest.raises(ValueError):
+            OnlineDetector(schema, "ewma", sample_rate=1.5)
+
+    def test_params_with_instance_rejected(self):
+        from repro.forecast import EWMAForecaster
+
+        with pytest.raises(ValueError, match="model_params"):
+            OnlineDetector(
+                KArySchema(depth=1, width=4), EWMAForecaster(0.5), alpha=0.1
+            )

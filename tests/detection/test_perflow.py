@@ -1,0 +1,93 @@
+"""Tests for the exact per-flow oracle pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.detection import run_per_flow
+from repro.sketch.dense import KeyIndex
+
+from tests.conftest import make_batches
+
+
+class TestRunPerFlow:
+    def test_energies_match_manual_ewma(self, rng):
+        batches = make_batches(rng, intervals=6, keys_per_interval=500,
+                               population=200)
+        result = run_per_flow(batches, "ewma", alpha=0.5)
+        # Manual: exact dict accumulation + EWMA per key.
+        from collections import defaultdict
+
+        totals = []
+        for batch in batches:
+            acc = defaultdict(float)
+            for key, value in zip(batch.keys.tolist(), batch.values.tolist()):
+                acc[key] += value
+            totals.append(acc)
+        forecast = None
+        for t, observed in enumerate(totals):
+            if forecast is not None:
+                all_keys = set(observed) | set(forecast)
+                f2 = sum(
+                    (observed.get(k, 0.0) - forecast.get(k, 0.0)) ** 2
+                    for k in all_keys
+                )
+                assert result.energies[t] == pytest.approx(f2, rel=1e-9)
+            if forecast is None:
+                forecast = dict(observed)
+            else:
+                forecast = {
+                    k: 0.5 * observed.get(k, 0.0) + 0.5 * forecast.get(k, 0.0)
+                    for k in set(observed) | set(forecast)
+                }
+
+    def test_warmup_is_nan(self, rng):
+        batches = make_batches(rng, intervals=5)
+        result = run_per_flow(batches, "ma", window=3)
+        assert np.isnan(result.energies[:3]).all()
+        assert not np.isnan(result.energies[3:]).any()
+
+    def test_top_n(self, rng):
+        batches = make_batches(rng, intervals=4)
+        result = run_per_flow(batches, "ewma", alpha=0.5)
+        top = result.top_n(2, 10)
+        assert len(top) == 10
+        # Verify ordering: errors non-increasing in magnitude.
+        errors = np.abs(result.errors[2].estimate_batch(top))
+        assert np.all(np.diff(errors) <= 1e-9)
+
+    def test_top_n_warmup_raises(self, rng):
+        batches = make_batches(rng, intervals=4)
+        result = run_per_flow(batches, "ewma", alpha=0.5)
+        with pytest.raises(ValueError, match="warm-up"):
+            result.top_n(0, 5)
+
+    def test_threshold_keys(self, rng):
+        batches = make_batches(rng, intervals=4)
+        result = run_per_flow(batches, "ewma", alpha=0.5)
+        keys = result.threshold_keys(2, 0.1)
+        error = result.errors[2]
+        threshold = 0.1 * error.l2_norm()
+        estimates = np.abs(error.estimate_batch(keys))
+        assert np.all(estimates >= threshold)
+        # And no qualifying key is missing.
+        all_keys = result.interval_keys[2]
+        all_estimates = np.abs(error.estimate_batch(all_keys))
+        assert len(keys) == int((all_estimates >= threshold).sum())
+
+    def test_prebuilt_key_index(self, rng):
+        batches = make_batches(rng, intervals=3)
+        index = KeyIndex.from_streams([b.keys for b in batches])
+        result = run_per_flow(batches, "ewma", alpha=0.5, key_index=index)
+        assert result.index is index
+
+    def test_total_energy(self, rng):
+        batches = make_batches(rng, intervals=5)
+        result = run_per_flow(batches, "ewma", alpha=0.5)
+        assert result.total_energy == pytest.approx(np.nansum(result.energies))
+
+    def test_params_with_instance_rejected(self, rng):
+        from repro.forecast import EWMAForecaster
+
+        batches = make_batches(rng, intervals=3)
+        with pytest.raises(ValueError, match="model_params"):
+            run_per_flow(batches, EWMAForecaster(0.5), alpha=0.1)

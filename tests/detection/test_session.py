@@ -1,0 +1,136 @@
+"""Tests for the streaming ingestion session."""
+
+import numpy as np
+import pytest
+
+from repro.detection import OfflineTwoPassDetector, StreamingSession
+from repro.sketch import KArySchema
+from repro.streams import IntervalStream, make_records
+
+
+@pytest.fixture
+def schema():
+    return KArySchema(depth=5, width=4096, seed=0)
+
+
+def _records(rng, n=20000, duration=3000.0, population=800):
+    keys = rng.integers(0, population, n).astype(np.uint32)
+    return make_records(
+        timestamps=np.sort(rng.uniform(0, duration, n)),
+        dst_ips=keys,
+        byte_counts=rng.pareto(1.3, n) * 500 + 40,
+    )
+
+
+class TestStreamingSession:
+    def test_validation(self, schema):
+        with pytest.raises(ValueError):
+            StreamingSession(schema, "ewma", interval_seconds=0)
+        with pytest.raises(ValueError):
+            StreamingSession(schema, "ewma", t_fraction=-1)
+        with pytest.raises(ValueError):
+            StreamingSession(schema, "ewma", top_n=-1)
+        with pytest.raises(ValueError):
+            StreamingSession(schema, "ewma", lateness_tolerance=-1)
+
+    def test_matches_batch_detector(self, rng, schema):
+        """Chunked ingestion must reproduce the batch pipeline exactly."""
+        records = _records(rng)
+        session = StreamingSession(
+            schema, "ewma", alpha=0.5, interval_seconds=300.0, t_fraction=0.1
+        )
+        streamed = []
+        for start in range(0, len(records), 1777):  # awkward chunk size
+            streamed.extend(session.ingest(records[start : start + 1777]))
+        streamed.extend(session.flush())
+
+        batch_detector = OfflineTwoPassDetector(
+            schema, "ewma", alpha=0.5, t_fraction=0.1
+        )
+        batch = batch_detector.detect(
+            IntervalStream(records, interval_seconds=300.0)
+        )
+        assert len(streamed) == len(batch)
+        for s_report, b_report in zip(streamed, batch):
+            assert s_report.index == b_report.index
+            assert s_report.error_l2 == pytest.approx(b_report.error_l2)
+            assert {a.key for a in s_report.alarms} == {
+                a.key for a in b_report.alarms
+            }
+
+    def test_single_chunk(self, rng, schema):
+        records = _records(rng, duration=1500.0)
+        session = StreamingSession(schema, "ewma", alpha=0.5)
+        reports = session.ingest(records) + session.flush()
+        assert len(reports) == 4  # 5 intervals - 1 warm-up
+        assert session.intervals_sealed == 5
+
+    def test_unsorted_chunk_accepted(self, schema, rng):
+        records = _records(rng, n=500, duration=900.0)
+        shuffled = records[rng.permutation(len(records))]
+        session = StreamingSession(schema, "ewma", alpha=0.5)
+        session.ingest(shuffled)
+        reports = session.flush()
+        assert session.intervals_sealed == 3
+        assert reports  # last interval scored
+
+    def test_gap_intervals_sealed_empty(self, schema):
+        early = make_records([10.0], [1], [100])
+        late = make_records([950.0], [2], [200])
+        session = StreamingSession(schema, "ewma", alpha=0.5)
+        session.ingest(early)
+        reports = session.ingest(late)
+        # Sealing 0 (warm-up), 1 and 2 (both empty) before opening 3.
+        assert session.intervals_sealed == 3
+        assert [r.index for r in reports] == [1, 2]
+
+    def test_late_record_rejected(self, schema):
+        session = StreamingSession(schema, "ewma", alpha=0.5)
+        session.ingest(make_records([700.0], [1], [100]))
+        with pytest.raises(ValueError, match="predates"):
+            session.ingest(make_records([100.0], [2], [100]))
+
+    def test_lateness_tolerance_clamps(self, schema):
+        session = StreamingSession(
+            schema, "ewma", alpha=0.5, lateness_tolerance=200.0
+        )
+        session.ingest(make_records([700.0], [1], [100]))
+        # 550s is within 200s of the open interval's start (600s): accepted
+        # and folded into the open interval.
+        session.ingest(make_records([550.0], [2], [100]))
+        assert session.records_ingested == 2
+        assert session.current_interval == 2
+
+    def test_detects_planted_spike(self, rng, schema):
+        records = _records(rng, duration=3000.0)
+        spike = make_records([1950.0] * 30, [999999] * 30, [100000.0] * 30)
+        from repro.streams import concat_records
+
+        merged = concat_records([records, spike])
+        session = StreamingSession(
+            schema, "ewma", alpha=0.5, t_fraction=0.3
+        )
+        reports = session.ingest(merged) + session.flush()
+        spike_report = next(r for r in reports if r.index == 6)
+        assert 999999 in {a.key for a in spike_report.alarms}
+
+    def test_top_n_reporting(self, rng, schema):
+        records = _records(rng, duration=1200.0)
+        session = StreamingSession(
+            schema, "ewma", alpha=0.5, top_n=10, t_fraction=0.05
+        )
+        reports = session.ingest(records) + session.flush()
+        assert all(len(r.top_keys) == 10 for r in reports)
+
+    def test_flush_then_continue(self, rng, schema):
+        session = StreamingSession(schema, "ewma", alpha=0.5)
+        session.ingest(make_records([100.0], [1], [50]))
+        session.flush()
+        # Next record must land in a later interval than the flushed one.
+        session.ingest(make_records([400.0], [2], [60]))
+        assert session.current_interval == 1
+
+    def test_empty_chunk_noop(self, schema):
+        session = StreamingSession(schema, "ewma", alpha=0.5)
+        assert session.ingest(make_records([], [], [])) == []
+        assert session.records_ingested == 0

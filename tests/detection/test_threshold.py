@@ -1,0 +1,74 @@
+"""Tests for the alarm threshold rule."""
+
+import numpy as np
+import pytest
+
+from repro.detection import Alarm, alarm_threshold, alarms_for_interval
+from repro.sketch import DictVector, KArySchema
+
+
+class TestAlarmThreshold:
+    def test_scales_with_l2(self):
+        vec = DictVector({1: 3.0, 2: 4.0})  # L2 = 5
+        assert alarm_threshold(vec, 0.1) == pytest.approx(0.5)
+
+    def test_zero_fraction(self):
+        vec = DictVector({1: 3.0})
+        assert alarm_threshold(vec, 0.0) == 0.0
+
+    def test_negative_fraction_rejected(self):
+        with pytest.raises(ValueError):
+            alarm_threshold(DictVector(), -0.1)
+
+    def test_negative_f2_clamped(self):
+        """A sketch error summary can report slightly negative F2."""
+        schema = KArySchema(depth=1, width=4, seed=0)
+        sketch = schema.empty()
+        # Construct a table whose estimator goes negative: uniform mass.
+        sketch.update_batch([0, 1, 2, 3, 4, 5, 6, 7], [1.0] * 8)
+        threshold = alarm_threshold(sketch, 0.5)
+        assert threshold >= 0.0
+
+
+class TestAlarmsForInterval:
+    def test_exact_detection(self):
+        vec = DictVector({1: 100.0, 2: -90.0, 3: 1.0, 4: 0.5})
+        alarms = alarms_for_interval(vec, np.array([1, 2, 3, 4]), 0.5, interval=7)
+        keys = {a.key for a in alarms}
+        assert keys == {1, 2}  # threshold = 0.5 * ~134.5
+        for alarm in alarms:
+            assert alarm.interval == 7
+            assert abs(alarm.estimated_error) >= alarm.threshold
+
+    def test_negative_errors_alarm_by_magnitude(self):
+        vec = DictVector({1: -100.0})
+        alarms = alarms_for_interval(vec, np.array([1]), 0.5)
+        assert len(alarms) == 1
+        assert alarms[0].estimated_error == pytest.approx(-100.0)
+
+    def test_duplicate_candidates_collapsed(self):
+        vec = DictVector({1: 100.0})
+        alarms = alarms_for_interval(vec, np.array([1, 1, 1]), 0.1)
+        assert len(alarms) == 1
+
+    def test_empty_candidates(self):
+        assert alarms_for_interval(DictVector({1: 5.0}), np.array([]), 0.1) == []
+
+    def test_works_on_sketch(self, rng):
+        schema = KArySchema(depth=5, width=4096, seed=1)
+        keys = rng.integers(0, 2**32, 5000, dtype=np.uint64)
+        values = rng.normal(0, 10.0, 5000)
+        # One genuinely large key.
+        keys = np.concatenate([keys, [42]])
+        values = np.concatenate([values, [5000.0]])
+        sketch = schema.from_items(keys, values)
+        alarms = alarms_for_interval(sketch, np.unique(keys), 0.5)
+        assert 42 in {a.key for a in alarms}
+
+    def test_magnitude(self):
+        alarm = Alarm(interval=0, key=1, estimated_error=-10.0, threshold=5.0)
+        assert alarm.magnitude == pytest.approx(2.0)
+
+    def test_magnitude_zero_threshold(self):
+        alarm = Alarm(interval=0, key=1, estimated_error=1.0, threshold=0.0)
+        assert alarm.magnitude == float("inf")

@@ -1,0 +1,72 @@
+"""Tests for the empirical CDF."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.evaluation import EmpiricalCDF
+
+
+class TestEmpiricalCDF:
+    def test_basic_evaluation(self):
+        cdf = EmpiricalCDF([1.0, 2.0, 3.0, 4.0])
+        assert cdf(0.5) == 0.0
+        assert cdf(1.0) == 0.25
+        assert cdf(2.5) == 0.5
+        assert cdf(4.0) == 1.0
+        assert cdf(100.0) == 1.0
+
+    def test_array_evaluation(self):
+        cdf = EmpiricalCDF([1.0, 2.0])
+        assert cdf(np.array([0.0, 1.5, 3.0])).tolist() == [0.0, 0.5, 1.0]
+
+    def test_quantiles(self):
+        cdf = EmpiricalCDF(np.arange(101, dtype=float))
+        assert cdf.quantile(0.5) == pytest.approx(50.0)
+        assert cdf.quantile(0.0) == 0.0
+        assert cdf.quantile(1.0) == 100.0
+
+    def test_quantile_validation(self):
+        cdf = EmpiricalCDF([1.0])
+        with pytest.raises(ValueError):
+            cdf.quantile(1.5)
+
+    def test_steps_monotone(self):
+        cdf = EmpiricalCDF([3.0, 1.0, 2.0])
+        x, y = cdf.steps()
+        assert np.all(np.diff(x) >= 0)
+        assert np.all(np.diff(y) > 0)
+        assert y[-1] == 1.0
+
+    def test_mass_within(self):
+        cdf = EmpiricalCDF([-2.0, -0.5, 0.0, 0.5, 3.0])
+        assert cdf.mass_within(-1.0, 1.0) == pytest.approx(0.6)
+        with pytest.raises(ValueError):
+            cdf.mass_within(1.0, -1.0)
+
+    def test_worst_absolute(self):
+        assert EmpiricalCDF([-5.0, 3.0]).worst_absolute() == 5.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            EmpiricalCDF([])
+
+    def test_2d_rejected(self):
+        with pytest.raises(ValueError):
+            EmpiricalCDF(np.zeros((2, 2)))
+
+    def test_len(self):
+        assert len(EmpiricalCDF([1, 2, 3])) == 3
+
+    @given(st.lists(st.floats(-1e6, 1e6), min_size=1, max_size=100))
+    @settings(max_examples=50, deadline=None)
+    def test_cdf_properties(self, samples):
+        """F is monotone, 0 <= F <= 1, and F(max) = 1."""
+        cdf = EmpiricalCDF(samples)
+        grid = np.linspace(min(samples) - 1, max(samples) + 1, 50)
+        values = cdf(grid)
+        assert np.all(np.diff(values) >= 0)
+        assert values.min() >= 0.0
+        assert values.max() <= 1.0
+        assert cdf(max(samples)) == 1.0

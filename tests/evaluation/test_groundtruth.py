@@ -1,0 +1,108 @@
+"""Tests for ground-truth scoring and threshold sweeps."""
+
+import numpy as np
+import pytest
+
+from repro.evaluation import (
+    OperatingPoint,
+    ground_truth_labels,
+    operating_curve,
+    sweep_thresholds,
+)
+from repro.sketch import KArySchema
+from repro.streams import IntervalStream, concat_records
+from repro.traffic import TrafficGenerator, get_profile, inject_dos
+
+
+class TestGroundTruthLabels:
+    def test_labels_active_intervals(self, rng):
+        _, event = inject_dos(rng, start=650.0, end=950.0)
+        labels = ground_truth_labels([event], 5, 300.0)
+        intervals = {t for t, _ in labels}
+        assert intervals == {2, 3}
+        assert all(k == event.keys[0] for _, k in labels)
+
+    def test_multiple_events(self, rng):
+        _, a = inject_dos(rng, start=0.0, end=100.0)
+        _, b = inject_dos(rng, start=400.0, end=500.0, victim_ip=99)
+        labels = ground_truth_labels([a, b], 3, 300.0)
+        assert (0, a.keys[0]) in labels
+        assert (1, 99) in labels
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ground_truth_labels([], -1, 300.0)
+        with pytest.raises(ValueError):
+            ground_truth_labels([], 3, 0.0)
+
+
+class TestOperatingPoint:
+    def test_recall_precision(self):
+        point = OperatingPoint(
+            t_fraction=0.05, true_positives=8, false_negatives=2, alarms=16
+        )
+        assert point.recall == pytest.approx(0.8)
+        assert point.precision == pytest.approx(0.5)
+        assert point.false_alarms_per_interval == 8.0
+
+    def test_degenerate_cases(self):
+        empty = OperatingPoint(0.1, 0, 0, 0)
+        assert empty.recall == 1.0
+        assert empty.precision == 1.0
+
+
+class TestSweepAndCurve:
+    @pytest.fixture(scope="class")
+    def scenario(self):
+        generator = TrafficGenerator(get_profile("small"), duration=3600.0)
+        rng = np.random.default_rng(4)
+        dos, event = inject_dos(
+            rng, start=2100.0, end=2700.0, records_per_second=60.0,
+            bytes_per_record=3000.0,
+        )
+        records = concat_records([generator.generate(), dos])
+        batches = list(IntervalStream(records, interval_seconds=300.0))
+        return batches, event
+
+    def test_sweep_nesting(self, scenario):
+        """Alarms at a high threshold are a subset of a lower one's."""
+        batches, _ = scenario
+        schema = KArySchema(depth=5, width=8192, seed=0)
+        alarm_sets, scored = sweep_thresholds(
+            batches, schema, "ewma", thresholds=(0.02, 0.1, 0.3), alpha=0.5
+        )
+        assert scored == len(batches) - 1
+        assert alarm_sets[0.3] <= alarm_sets[0.1] <= alarm_sets[0.02]
+
+    def test_curve_monotonicity(self, scenario):
+        """Recall never increases as T rises; alarm count never rises."""
+        batches, event = scenario
+        schema = KArySchema(depth=5, width=8192, seed=0)
+        thresholds = (0.02, 0.05, 0.1, 0.3, 0.6)
+        alarm_sets, scored = sweep_thresholds(
+            batches, schema, "ewma", thresholds=thresholds, alpha=0.5
+        )
+        truth = ground_truth_labels([event], len(batches), 300.0)
+        points = operating_curve(alarm_sets, truth, scored)
+        recalls = [p.recall for p in points]
+        alarms = [p.alarms for p in points]
+        assert recalls == sorted(recalls, reverse=True)
+        assert alarms == sorted(alarms, reverse=True)
+
+    def test_dos_fully_recalled_at_low_threshold(self, scenario):
+        batches, event = scenario
+        schema = KArySchema(depth=5, width=8192, seed=0)
+        alarm_sets, scored = sweep_thresholds(
+            batches, schema, "ewma", thresholds=(0.05,), alpha=0.5
+        )
+        truth = ground_truth_labels([event], len(batches), 300.0)
+        (point,) = operating_curve(alarm_sets, truth, scored)
+        assert point.recall == 1.0
+
+    def test_validation(self, scenario):
+        batches, _ = scenario
+        schema = KArySchema(depth=1, width=64, seed=0)
+        with pytest.raises(ValueError):
+            sweep_thresholds(batches, schema, "ewma", thresholds=())
+        with pytest.raises(ValueError):
+            operating_curve({}, set(), 0)

@@ -1,0 +1,85 @@
+"""Tests for the evaluation metrics."""
+
+import numpy as np
+import pytest
+
+from repro.evaluation import (
+    false_negative_ratio,
+    false_positive_ratio,
+    relative_difference,
+    threshold_comparison,
+    total_energy,
+)
+
+
+class TestTotalEnergy:
+    def test_sqrt_of_sum(self):
+        assert total_energy([9.0, 16.0]) == pytest.approx(5.0)
+
+    def test_nan_ignored(self):
+        assert total_energy([np.nan, 25.0]) == pytest.approx(5.0)
+
+    def test_negative_clamped(self):
+        assert total_energy([-4.0, 25.0]) == pytest.approx(5.0)
+
+    def test_empty(self):
+        assert total_energy([]) == 0.0
+
+
+class TestRelativeDifference:
+    def test_percentages(self):
+        assert relative_difference(102.0, 100.0) == pytest.approx(2.0)
+        assert relative_difference(98.0, 100.0) == pytest.approx(-2.0)
+
+    def test_zero_baseline_rejected(self):
+        with pytest.raises(ValueError):
+            relative_difference(1.0, 0.0)
+
+
+class TestRatios:
+    def test_false_negative(self):
+        pf = np.array([1, 2, 3, 4], dtype=np.uint64)
+        sk = np.array([1, 2], dtype=np.uint64)
+        assert false_negative_ratio(pf, sk) == pytest.approx(0.5)
+
+    def test_false_positive(self):
+        pf = np.array([1, 2], dtype=np.uint64)
+        sk = np.array([1, 2, 3, 4], dtype=np.uint64)
+        assert false_positive_ratio(pf, sk) == pytest.approx(0.5)
+
+    def test_perfect_agreement(self):
+        keys = np.array([1, 2, 3], dtype=np.uint64)
+        assert false_negative_ratio(keys, keys) == 0.0
+        assert false_positive_ratio(keys, keys) == 0.0
+
+    def test_empty_perflow_means_no_negatives(self):
+        assert false_negative_ratio(np.array([]), np.array([1])) == 0.0
+
+    def test_empty_sketch_means_no_positives(self):
+        assert false_positive_ratio(np.array([1]), np.array([])) == 0.0
+
+    def test_duplicates_collapsed(self):
+        pf = np.array([1, 1, 2], dtype=np.uint64)
+        sk = np.array([1], dtype=np.uint64)
+        assert false_negative_ratio(pf, sk) == pytest.approx(0.5)
+
+
+class TestThresholdComparison:
+    def test_aggregation(self):
+        pf_sets = [np.array([1, 2]), np.array([1, 2, 3, 4])]
+        sk_sets = [np.array([1, 2]), np.array([1, 2])]
+        comparison = threshold_comparison(0.05, pf_sets, sk_sets)
+        assert comparison.t_fraction == 0.05
+        assert comparison.mean_perflow_alarms == pytest.approx(3.0)
+        assert comparison.mean_sketch_alarms == pytest.approx(2.0)
+        assert comparison.mean_false_negative == pytest.approx(0.25)  # (0 + .5)/2
+        assert comparison.mean_false_positive == pytest.approx(0.0)
+        assert comparison.intervals == 2
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError, match="mismatch"):
+            threshold_comparison(0.05, [np.array([1])], [])
+
+    def test_empty(self):
+        with pytest.raises(ValueError, match="no intervals"):
+            threshold_comparison(0.05, [], [])

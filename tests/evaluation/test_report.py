@@ -1,0 +1,50 @@
+"""Tests for text table rendering."""
+
+import pytest
+
+from repro.evaluation import format_series_table, format_table
+
+
+class TestFormatTable:
+    def test_basic_layout(self):
+        text = format_table(
+            ("name", "value"), [["a", 1], ["bb", 2.5]], title="T"
+        )
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "name" in lines[1]
+        assert set(lines[2]) <= {"-", " "}
+        assert "2.5" in lines[4]
+
+    def test_alignment(self):
+        text = format_table(("h",), [["x"], ["yy"]])
+        lines = text.splitlines()
+        assert len(lines[1]) == len(lines[2]) == len(lines[3])
+
+    def test_no_title(self):
+        text = format_table(("a",), [["1"]])
+        assert not text.startswith("\n")
+        assert text.splitlines()[0].strip() == "a"
+
+    def test_cell_count_validated(self):
+        with pytest.raises(ValueError, match="cells"):
+            format_table(("a", "b"), [["only-one"]])
+
+    def test_float_formatting(self):
+        text = format_table(("x",), [[0.123456789]])
+        assert "0.1235" in text
+
+
+class TestFormatSeriesTable:
+    def test_layout(self):
+        text = format_series_table(
+            "K", [8, 16], {"N=50": [0.9, 0.95], "N=100": [0.8, 0.9]}
+        )
+        lines = text.splitlines()
+        assert "K" in lines[0]
+        assert "N=50" in lines[0]
+        assert "0.95" in text
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError, match="points"):
+            format_series_table("x", [1, 2], {"s": [1.0]})

@@ -1,0 +1,104 @@
+"""Tests for the shared experiment machinery (run_sketch / run_perflow)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.common import (
+    cached_schema,
+    mean_similarity,
+    run_perflow,
+    run_sketch,
+)
+from repro.sketch import KArySchema
+
+from tests.conftest import make_batches
+
+
+class TestRunSketch:
+    def test_energies_and_indices(self, rng):
+        batches = make_batches(rng, intervals=8)
+        schema = KArySchema(depth=3, width=2048, seed=0)
+        run = run_sketch(batches, schema, "ewma", alpha=0.5, skip=2)
+        assert run.indices == [2, 3, 4, 5, 6, 7]
+        assert len(run.energies) == 6
+        assert all(e >= 0 for e in run.energies)
+        assert run.total_energy == pytest.approx(np.sqrt(sum(run.energies)))
+
+    def test_rank_depth(self, rng):
+        batches = make_batches(rng, intervals=5)
+        schema = KArySchema(depth=3, width=2048, seed=0)
+        run = run_sketch(batches, schema, "ewma", alpha=0.5, rank_depth=25)
+        assert all(len(keys) == 25 for keys in run.ranked_keys)
+
+    def test_threshold_sets_nested(self, rng):
+        batches = make_batches(rng, intervals=6)
+        schema = KArySchema(depth=3, width=2048, seed=0)
+        run = run_sketch(
+            batches, schema, "ewma", alpha=0.5, thresholds=(0.05, 0.2)
+        )
+        for low, high in zip(run.threshold_sets[0.05], run.threshold_sets[0.2]):
+            assert set(high.tolist()) <= set(low.tolist())
+
+    def test_instance_with_params_rejected(self, rng):
+        from repro.forecast import EWMAForecaster
+
+        batches = make_batches(rng, intervals=3)
+        schema = KArySchema(depth=1, width=64, seed=0)
+        with pytest.raises(ValueError, match="model_params"):
+            run_sketch(batches, schema, EWMAForecaster(0.5), alpha=0.2)
+
+
+class TestRunPerflow:
+    def test_alignment_with_sketch_run(self, rng):
+        batches = make_batches(rng, intervals=8)
+        schema = KArySchema(depth=3, width=2048, seed=0)
+        sketch = run_sketch(batches, schema, "ewma", alpha=0.5, skip=2)
+        perflow = run_perflow(batches, "ewma", alpha=0.5, skip=2)
+        assert sketch.indices == perflow.indices
+
+    def test_sketch_energy_tracks_exact(self, rng):
+        batches = make_batches(rng, intervals=8)
+        schema = KArySchema(depth=5, width=8192, seed=0)
+        sketch = run_sketch(batches, schema, "ewma", alpha=0.5)
+        perflow = run_perflow(batches, "ewma", alpha=0.5)
+        assert sketch.total_energy == pytest.approx(
+            perflow.total_energy, rel=0.02
+        )
+
+    def test_top_n_and_threshold_delegation(self, rng):
+        batches = make_batches(rng, intervals=5)
+        perflow = run_perflow(batches, "ewma", alpha=0.5)
+        top = perflow.top_n(3, 10)
+        assert len(top) == 10
+        keys = perflow.threshold_keys(3, 0.1)
+        assert isinstance(keys, np.ndarray)
+
+
+class TestMeanSimilarity:
+    def test_perfect(self):
+        lists = [np.array([1, 2, 3], dtype=np.uint64)] * 3
+        assert mean_similarity(lists, lists, 3) == 1.0
+
+    def test_partial(self):
+        a = [np.array([1, 2], dtype=np.uint64)]
+        b = [np.array([2, 3], dtype=np.uint64)]
+        assert mean_similarity(a, b, 2) == 0.5
+
+    def test_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            mean_similarity([np.array([1])], [], 1)
+
+    def test_empty(self):
+        with pytest.raises(ValueError):
+            mean_similarity([], [], 1)
+
+    def test_short_perflow_list_normalizes_by_its_size(self):
+        a = [np.array([1, 2, 3, 4], dtype=np.uint64)]
+        b = [np.array([1], dtype=np.uint64)]  # per-flow found only 1 key
+        assert mean_similarity(a, b, 50) == 1.0
+
+
+class TestCachedSchema:
+    def test_memoized(self):
+        assert cached_schema(5, 1024) is cached_schema(5, 1024)
+        assert cached_schema(5, 1024) is not cached_schema(5, 2048)

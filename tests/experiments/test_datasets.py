@@ -1,0 +1,56 @@
+"""Tests for experiment dataset construction."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    batches_for,
+    router_batches,
+    router_trace,
+    warmup_intervals,
+)
+from repro.streams import validate_records
+
+
+class TestRouterTrace:
+    def test_valid_and_sorted(self):
+        records = router_trace("small", duration=1800.0)
+        validate_records(records)
+        assert np.all(np.diff(records["timestamp"]) >= 0)
+
+    def test_memoized(self):
+        a = router_trace("small", duration=1800.0)
+        b = router_trace("small", duration=1800.0)
+        assert a is b
+
+    def test_contains_planted_anomalies(self):
+        """The injected DoS victim lives in 10/8 which background avoids."""
+        records = router_trace("small", duration=1800.0)
+        reserved = (records["dst_ip"] >> 24) == 10
+        assert reserved.any()
+
+    def test_routers_differ(self):
+        a = router_trace("small", duration=1800.0)
+        b = router_trace("edge-1", duration=1800.0)
+        assert len(a) != len(b)
+
+
+class TestRouterBatches:
+    def test_interval_indexing(self):
+        batches = router_batches("small", 300.0, duration=1800.0)
+        assert [b.index for b in batches] == list(range(6))
+
+    def test_batch_volume_matches_trace(self):
+        records = router_trace("small", duration=1800.0)
+        batches = router_batches("small", 300.0, duration=1800.0)
+        assert sum(len(b) for b in batches) == len(records)
+
+    def test_batches_for_multiple(self):
+        result = batches_for(["small", "edge-1"], 300.0, duration=1800.0)
+        assert len(result) == 2
+
+
+class TestWarmup:
+    def test_one_hour(self):
+        assert warmup_intervals(300.0) == 12
+        assert warmup_intervals(60.0) == 60

@@ -1,0 +1,46 @@
+"""Tests for parameter search caching and random draws."""
+
+import pytest
+
+from repro.experiments.params import (
+    best_parameters,
+    best_parameters_dict,
+    random_model_parameters,
+)
+from repro.forecast import make_forecaster
+
+
+class TestBestParameters:
+    def test_memoized(self):
+        a = best_parameters("small", "ewma", 300.0)
+        b = best_parameters("small", "ewma", 300.0)
+        assert a is b
+
+    def test_buildable(self):
+        params = best_parameters_dict("small", "ewma", 300.0)
+        forecaster = make_forecaster("ewma", **params)
+        assert 0.0 <= forecaster.alpha <= 1.0
+
+    def test_window_models(self):
+        params = best_parameters_dict("small", "ma", 300.0)
+        assert 1 <= params["window"] <= 10
+
+
+class TestRandomModelParameters:
+    def test_in_model_kwarg_form(self):
+        draws = random_model_parameters("arima0", 3)
+        for params in draws:
+            forecaster = make_forecaster("arima0", **params)
+            assert forecaster.order.d == 0
+
+    def test_deterministic_by_seed(self):
+        assert random_model_parameters("ewma", 4, seed=1) == random_model_parameters(
+            "ewma", 4, seed=1
+        )
+        assert random_model_parameters("ewma", 4, seed=1) != random_model_parameters(
+            "ewma", 4, seed=2
+        )
+
+    def test_window_bound_by_interval(self):
+        draws = random_model_parameters("ma", 20, interval_seconds=60.0)
+        assert all(1 <= p["window"] <= 12 for p in draws)

@@ -1,0 +1,51 @@
+"""Tests for the experiment registry and light experiment smoke runs."""
+
+import pytest
+
+from repro.experiments import list_experiments, run_experiment
+from repro.experiments.runner import FigureResult, register
+
+
+class TestRegistry:
+    def test_all_paper_exhibits_registered(self):
+        ids = list_experiments()
+        for n in range(1, 16):
+            assert f"fig{n:02d}" in ids
+        assert "table1" in ids
+        assert "gridsearch" in ids
+
+    def test_unknown_experiment(self):
+        with pytest.raises(ValueError, match="unknown experiment"):
+            run_experiment("fig99")
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            register("table1")(lambda: None)
+
+
+class TestFigureResult:
+    def test_render(self):
+        result = FigureResult(
+            experiment_id="figXX",
+            title="Test",
+            series={},
+            text="body",
+            notes=["note-a"],
+        )
+        rendered = result.render()
+        assert "figXX" in rendered
+        assert "body" in rendered
+        assert "note-a" in rendered
+
+    def test_render_without_notes(self):
+        result = FigureResult("x", "t", {}, "body")
+        assert "notes" not in result.render()
+
+
+class TestTable1Smoke:
+    def test_runs_and_reports_three_operations(self):
+        result = run_experiment("table1", items=200_000, repeats=2)
+        assert len(result.series) == 3
+        assert all(seconds > 0 for seconds in result.series.values())
+        assert "UPDATE" in result.text
+        assert "ESTIMATE" in result.text

@@ -1,0 +1,141 @@
+"""Tests for classical model fitting (Yule-Walker, Hannan-Rissanen, sweeps)."""
+
+import numpy as np
+import pytest
+
+from repro.forecast.fitting import (
+    fit_ar,
+    fit_arima,
+    fit_arma,
+    fit_ewma,
+    fit_holt_winters,
+)
+
+
+def _ar_series(rng, phis, n=20000, sigma=1.0):
+    p = len(phis)
+    x = np.zeros(n)
+    for t in range(p, n):
+        x[t] = sum(phi * x[t - j - 1] for j, phi in enumerate(phis))
+        x[t] += rng.normal(0, sigma)
+    return x
+
+
+def _arma_series(rng, phis, thetas, n=30000, sigma=1.0):
+    p, q = len(phis), len(thetas)
+    x = np.zeros(n)
+    e = rng.normal(0, sigma, size=n)
+    for t in range(max(p, q), n):
+        ar_part = sum(phi * x[t - j - 1] for j, phi in enumerate(phis))
+        ma_part = sum(-theta * e[t - i - 1] for i, theta in enumerate(thetas))
+        x[t] = ar_part + ma_part + e[t]
+    return x
+
+
+class TestFitAR:
+    def test_recovers_ar1(self, rng):
+        fit = fit_ar(_ar_series(rng, [0.7]), p=1)
+        assert fit.ar[0] == pytest.approx(0.7, abs=0.05)
+        assert fit.ma == ()
+        assert fit.admissible
+
+    def test_recovers_ar2(self, rng):
+        fit = fit_ar(_ar_series(rng, [0.5, 0.3]), p=2)
+        assert fit.ar[0] == pytest.approx(0.5, abs=0.06)
+        assert fit.ar[1] == pytest.approx(0.3, abs=0.06)
+
+    def test_sigma2_estimate(self, rng):
+        fit = fit_ar(_ar_series(rng, [0.7], sigma=2.0), p=1)
+        assert fit.sigma2 == pytest.approx(4.0, rel=0.15)
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            fit_ar(rng.normal(size=100), p=0)
+        with pytest.raises(ValueError):
+            fit_ar([1.0, 2.0, 3.0], p=5)
+
+
+class TestFitARMA:
+    def test_recovers_arma11(self, rng):
+        x = _arma_series(rng, [0.6], [0.4])
+        fit = fit_arma(x, p=1, q=1)
+        assert fit.ar[0] == pytest.approx(0.6, abs=0.1)
+        assert fit.ma[0] == pytest.approx(0.4, abs=0.1)
+
+    def test_recovers_pure_ma(self, rng):
+        x = _arma_series(rng, [], [0.5])
+        fit = fit_arma(x, p=0, q=1)
+        assert fit.ma[0] == pytest.approx(0.5, abs=0.1)
+
+    def test_q_zero_delegates_to_yule_walker(self, rng):
+        x = _ar_series(rng, [0.7])
+        assert fit_arma(x, p=1, q=0).ar[0] == pytest.approx(
+            fit_ar(x, 1).ar[0]
+        )
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            fit_arma(rng.normal(size=100), p=0, q=0)
+        with pytest.raises(ValueError):
+            fit_arma(rng.normal(size=10), p=2, q=2)
+
+
+class TestFitARIMA:
+    def test_returns_working_forecaster(self, rng):
+        x = _ar_series(rng, [0.7], n=2000)
+        forecaster = fit_arima(x, p=1, d=0, q=0)
+        assert forecaster.order.p == 1
+        # It should forecast the AR(1) series well.
+        sse = naive_sse = 0.0
+        prev = None
+        forecaster.reset()
+        for value in x[:500]:
+            step = forecaster.step(float(value))
+            if step.error is not None:
+                sse += step.error**2
+            if prev is not None:
+                naive_sse += (value - prev) ** 2
+            prev = value
+        assert sse < naive_sse
+
+    def test_differencing_handles_random_walk(self, rng):
+        walk = np.cumsum(rng.normal(size=3000)) + 500.0
+        forecaster = fit_arima(walk, p=1, d=1, q=0)
+        assert forecaster.order.d == 1
+        assert abs(forecaster.ar[0]) < 0.3  # differences are ~white
+
+    def test_admissibility_enforced(self, rng):
+        # Short noisy series can produce wild Hannan-Rissanen estimates;
+        # the projection must keep the model admissible.
+        x = rng.normal(size=120)
+        forecaster = fit_arima(x, p=2, d=0, q=2)
+        from repro.forecast import is_invertible, is_stationary
+
+        assert is_stationary(forecaster.ar)
+        assert is_invertible(forecaster.ma)
+
+
+class TestSmoothingFits:
+    def test_ewma_prefers_high_alpha_on_trending(self, rng):
+        x = np.cumsum(rng.normal(size=500)) + 100
+        assert fit_ewma(x).alpha > 0.7
+
+    def test_ewma_prefers_low_alpha_on_noise(self, rng):
+        x = rng.normal(0, 1, size=500) + 100
+        assert fit_ewma(x).alpha < 0.3
+
+    def test_holt_winters_fits_trend(self, rng):
+        x = 5.0 * np.arange(200) + rng.normal(0, 1, 200)
+        forecaster = fit_holt_winters(x, grid=8)
+        for value in x:
+            step = forecaster.step(float(value))
+        # Final one-step error on a clean trend should be small.
+        assert abs(step.error) < 10.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            fit_ewma([1.0])
+        with pytest.raises(ValueError):
+            fit_holt_winters([1.0, 2.0])
+        with pytest.raises(ValueError):
+            fit_ewma([1.0, 2.0, 3.0, 4.0], grid=1)

@@ -1,0 +1,133 @@
+"""Tests for non-seasonal and seasonal Holt-Winters forecasters."""
+
+import numpy as np
+import pytest
+
+from repro.forecast import HoltWintersForecaster, SeasonalHoltWintersForecaster
+
+
+class TestNSHW:
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            HoltWintersForecaster(alpha=1.1, beta=0.5)
+        with pytest.raises(ValueError):
+            HoltWintersForecaster(alpha=0.5, beta=-0.1)
+
+    def test_warmup_two_observations(self):
+        f = HoltWintersForecaster(alpha=0.5, beta=0.5)
+        assert f.forecast() is None
+        f.observe(10.0)
+        assert f.forecast() is None
+
+    def test_seed_forecast_after_two_observations(self):
+        """Paper init: Ss(2)=So(1), St(2)=So(2)-So(1) => Sf = So(2)."""
+        f = HoltWintersForecaster(alpha=0.5, beta=0.5)
+        f.observe(10.0)
+        f.observe(14.0)
+        assert f.forecast() == pytest.approx(14.0)
+
+    def test_recursion_matches_paper_equations(self):
+        alpha, beta = 0.4, 0.3
+        f = HoltWintersForecaster(alpha=alpha, beta=beta)
+        observations = [10.0, 14.0, 12.0, 16.0]
+        for x in observations:
+            f.observe(x)
+        # Manual replay of the paper's recursion.
+        smooth = 10.0
+        trend = 4.0
+        forecast = smooth + trend  # Sf(3)-seed
+        for x in observations[2:]:
+            new_smooth = alpha * x + (1 - alpha) * forecast
+            trend = beta * (new_smooth - smooth) + (1 - beta) * trend
+            smooth = new_smooth
+            forecast = smooth + trend
+        assert f.forecast() == pytest.approx(forecast)
+
+    def test_tracks_linear_trend(self):
+        """On a perfect line the trend component should lock on."""
+        f = HoltWintersForecaster(alpha=0.9, beta=0.9)
+        for t in range(30):
+            f.observe(5.0 + 3.0 * t)
+        # Next value would be 5 + 3*30 = 95.
+        assert f.forecast() == pytest.approx(95.0, rel=0.02)
+
+    def test_beats_ewma_on_trend(self):
+        from repro.forecast import EWMAForecaster
+
+        hw = HoltWintersForecaster(alpha=0.5, beta=0.5)
+        ewma = EWMAForecaster(alpha=0.5)
+        series = [float(10 + 5 * t) for t in range(20)]
+        hw_err = ewma_err = 0.0
+        for x in series:
+            hs, es = hw.step(x), ewma.step(x)
+            if hs.error is not None:
+                hw_err += hs.error**2
+            if es.error is not None:
+                ewma_err += es.error**2
+        assert hw_err < ewma_err
+
+    def test_reset(self):
+        f = HoltWintersForecaster(alpha=0.5, beta=0.5)
+        for x in [1.0, 2.0, 3.0]:
+            f.observe(x)
+        f.reset()
+        assert f.forecast() is None
+        assert f.observations_seen == 0
+
+    def test_works_on_arrays(self):
+        f = HoltWintersForecaster(alpha=0.5, beta=0.5)
+        f.observe(np.array([1.0, 10.0]))
+        f.observe(np.array([2.0, 20.0]))
+        assert np.allclose(f.forecast(), [2.0, 20.0])
+
+
+class TestSeasonalHW:
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            SeasonalHoltWintersForecaster(1.2, 0.1, 0.1, period=4)
+        with pytest.raises(ValueError):
+            SeasonalHoltWintersForecaster(0.1, 0.1, 0.1, period=1)
+
+    def test_warmup_is_one_period(self):
+        f = SeasonalHoltWintersForecaster(0.5, 0.2, 0.3, period=4)
+        for x in [1.0, 2.0, 3.0]:
+            f.observe(x)
+            assert f.forecast() is None
+        f.observe(4.0)
+        assert f.forecast() is not None
+
+    def test_learns_pure_seasonal_pattern(self):
+        pattern = [10.0, 50.0, 30.0, 20.0]
+        f = SeasonalHoltWintersForecaster(0.3, 0.1, 0.5, period=4)
+        total_sq = 0.0
+        count = 0
+        for cycle in range(12):
+            for x in pattern:
+                step = f.step(x)
+                if step.error is not None and cycle >= 8:
+                    total_sq += float(step.error) ** 2
+                    count += 1
+        rmse = np.sqrt(total_sq / count)
+        assert rmse < 1.0  # pattern amplitude is 40
+
+    def test_beats_nonseasonal_on_seasonal_data(self):
+        pattern = [10.0, 50.0, 30.0, 20.0]
+        seasonal = SeasonalHoltWintersForecaster(0.3, 0.1, 0.5, period=4)
+        plain = HoltWintersForecaster(0.3, 0.1)
+        seasonal_err = plain_err = 0.0
+        for cycle in range(12):
+            for x in pattern:
+                s1, s2 = seasonal.step(x), plain.step(x)
+                if cycle >= 8:
+                    if s1.error is not None:
+                        seasonal_err += float(s1.error) ** 2
+                    if s2.error is not None:
+                        plain_err += float(s2.error) ** 2
+        assert seasonal_err < plain_err
+
+    def test_reset(self):
+        f = SeasonalHoltWintersForecaster(0.5, 0.2, 0.3, period=2)
+        for x in [1.0, 2.0, 3.0]:
+            f.observe(x)
+        f.reset()
+        assert f.forecast() is None

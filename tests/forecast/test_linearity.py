@@ -1,0 +1,102 @@
+"""The linearity theorem: forecasting commutes with sketching.
+
+This is the paper's central architectural claim (Section 3.2): because all
+six models are linear in past observations, running them on sketches gives
+the sketch of what per-flow forecasting would produce.  Formally, for each
+model M and stream S:  ``M(sketch(S)) == sketch(M(S))`` cell for cell.
+
+We verify exactly that: the forecast sketch computed in sketch space must
+equal the sketch built directly from the exact per-flow forecast vector.
+"""
+
+import numpy as np
+import pytest
+
+from repro.forecast import MODEL_NAMES, make_forecaster
+from repro.sketch import DictVector, KArySchema
+
+SCHEMA = KArySchema(depth=3, width=256, seed=21)
+
+
+def _interval_streams(rng, intervals=10, n=800, population=300):
+    pop = rng.integers(0, 2**32, size=population, dtype=np.uint64)
+    out = []
+    for _ in range(intervals):
+        keys = pop[rng.integers(0, population, size=n)]
+        values = rng.pareto(1.3, size=n) * 100 + 40
+        out.append((keys, values))
+    return out
+
+
+def _exact_vector_to_sketch(vector: DictVector):
+    keys = vector.key_array()
+    values = np.array([vector[k] for k in keys.tolist()])
+    return SCHEMA.from_items(keys, values)
+
+
+@pytest.mark.parametrize("model", MODEL_NAMES)
+def test_forecast_commutes_with_sketching(model, rng):
+    streams = _interval_streams(rng)
+
+    sketch_side = make_forecaster(model)
+    exact_side = make_forecaster(model)
+
+    for keys, values in streams:
+        observed_sketch = SCHEMA.from_items(keys, values)
+        observed_exact = DictVector()
+        observed_exact.update_batch(keys, values)
+
+        forecast_sketch = sketch_side.forecast()
+        forecast_exact = exact_side.forecast()
+        assert (forecast_sketch is None) == (forecast_exact is None)
+        if forecast_sketch is not None:
+            resketched = _exact_vector_to_sketch(forecast_exact)
+            assert np.allclose(
+                np.asarray(forecast_sketch.table),
+                np.asarray(resketched.table),
+                rtol=1e-9,
+                atol=1e-6,
+            )
+
+        sketch_side.observe(observed_sketch)
+        exact_side.observe(observed_exact)
+
+
+@pytest.mark.parametrize("model", MODEL_NAMES)
+def test_error_sketch_commutes(model, rng):
+    """Se(t) computed in sketch space == sketch of exact per-flow errors."""
+    streams = _interval_streams(rng, intervals=8)
+    sketch_side = make_forecaster(model)
+    exact_side = make_forecaster(model)
+    checked = 0
+    for keys, values in streams:
+        observed_sketch = SCHEMA.from_items(keys, values)
+        observed_exact = DictVector()
+        observed_exact.update_batch(keys, values)
+        s_step = sketch_side.step(observed_sketch)
+        e_step = exact_side.step(observed_exact)
+        if s_step.error is not None:
+            resketched = _exact_vector_to_sketch(e_step.error)
+            assert np.allclose(
+                np.asarray(s_step.error.table),
+                np.asarray(resketched.table),
+                rtol=1e-9,
+                atol=1e-6,
+            )
+            checked += 1
+    assert checked > 0
+
+
+@pytest.mark.parametrize("model", MODEL_NAMES)
+def test_scalar_and_vector_forecasts_agree(model):
+    """A single-key stream forecast equals the scalar-series forecast."""
+    series = [10.0, 14.0, 12.0, 18.0, 16.0, 20.0, 22.0, 19.0, 25.0, 23.0]
+    scalar = make_forecaster(model)
+    vector = make_forecaster(model)
+    for x in series:
+        s_step = scalar.step(x)
+        v_step = vector.step(np.array([x, 2.0 * x]))
+        assert (s_step.forecast is None) == (v_step.forecast is None)
+        if s_step.forecast is not None:
+            assert v_step.forecast[0] == pytest.approx(s_step.forecast)
+            assert v_step.forecast[1] == pytest.approx(2.0 * s_step.forecast)

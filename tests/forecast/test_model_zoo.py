@@ -1,0 +1,67 @@
+"""Tests for the forecaster registry."""
+
+import pytest
+
+from repro.forecast import (
+    ArimaForecaster,
+    EWMAForecaster,
+    HoltWintersForecaster,
+    MODEL_NAMES,
+    MovingAverageForecaster,
+    SShapedMovingAverageForecaster,
+    SeasonalHoltWintersForecaster,
+    default_parameters,
+    make_forecaster,
+)
+
+
+class TestRegistry:
+    def test_model_names_are_the_papers_six(self):
+        assert MODEL_NAMES == ("ma", "sma", "ewma", "nshw", "arima0", "arima1")
+
+    @pytest.mark.parametrize(
+        "name,cls",
+        [
+            ("ma", MovingAverageForecaster),
+            ("sma", SShapedMovingAverageForecaster),
+            ("ewma", EWMAForecaster),
+            ("nshw", HoltWintersForecaster),
+            ("arima0", ArimaForecaster),
+            ("arima1", ArimaForecaster),
+            ("shw", SeasonalHoltWintersForecaster),
+        ],
+    )
+    def test_factories(self, name, cls):
+        assert isinstance(make_forecaster(name), cls)
+
+    def test_arima_orders(self):
+        assert make_forecaster("arima0").order.d == 0
+        assert make_forecaster("arima1").order.d == 1
+
+    def test_parameters_forwarded(self):
+        f = make_forecaster("ewma", alpha=0.9)
+        assert f.alpha == 0.9
+        f = make_forecaster("ma", window=7)
+        assert f.window == 7
+        f = make_forecaster("arima0", ar=(0.4, 0.1), ma=(0.2,))
+        assert f.ar == (0.4, 0.1)
+        assert f.ma == (0.2,)
+
+    def test_unknown_model(self):
+        with pytest.raises(ValueError, match="unknown model"):
+            make_forecaster("prophet")
+
+    def test_defaults_are_valid(self):
+        for name in MODEL_NAMES:
+            params = default_parameters(name)
+            forecaster = make_forecaster(name, **params)
+            assert forecaster is not None
+
+    def test_defaults_are_copies(self):
+        a = default_parameters("ewma")
+        a["alpha"] = 0.0
+        assert default_parameters("ewma")["alpha"] != 0.0
+
+    def test_default_parameters_unknown(self):
+        with pytest.raises(ValueError):
+            default_parameters("nope")

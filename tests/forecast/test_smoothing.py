@@ -1,0 +1,152 @@
+"""Tests for the simple smoothing models (MA, SMA, EWMA) on scalar series."""
+
+import numpy as np
+import pytest
+
+from repro.forecast import (
+    EWMAForecaster,
+    MovingAverageForecaster,
+    SShapedMovingAverageForecaster,
+    sma_weights,
+)
+from repro.forecast.base import collect_errors
+
+
+class TestMovingAverage:
+    def test_warmup_length(self):
+        f = MovingAverageForecaster(window=3)
+        steps = [f.step(x) for x in [1.0, 2.0, 3.0, 4.0]]
+        assert [s.forecast for s in steps[:3]] == [None, None, None]
+        assert steps[3].forecast == pytest.approx(2.0)
+
+    def test_equal_weights(self):
+        f = MovingAverageForecaster(window=4)
+        for x in [1.0, 2.0, 3.0, 4.0]:
+            f.observe(x)
+        assert f.forecast() == pytest.approx(2.5)
+
+    def test_window_slides(self):
+        f = MovingAverageForecaster(window=2)
+        for x in [10.0, 20.0, 30.0]:
+            f.observe(x)
+        assert f.forecast() == pytest.approx(25.0)
+
+    def test_window_one_is_naive_forecast(self):
+        f = MovingAverageForecaster(window=1)
+        f.observe(42.0)
+        assert f.forecast() == pytest.approx(42.0)
+
+    def test_invalid_window(self):
+        with pytest.raises(ValueError):
+            MovingAverageForecaster(window=0)
+
+    def test_reset(self):
+        f = MovingAverageForecaster(window=1)
+        f.observe(1.0)
+        f.reset()
+        assert f.forecast() is None
+        assert f.observations_seen == 0
+
+    def test_errors(self):
+        f = MovingAverageForecaster(window=1)
+        errors = collect_errors(f, [1.0, 3.0, 2.0])
+        assert errors == [pytest.approx(2.0), pytest.approx(-1.0)]
+
+
+class TestSMAWeights:
+    def test_tfrc_weights_window_8(self):
+        """The paper's reference [19] weighting for 8 samples."""
+        assert sma_weights(8) == pytest.approx([1, 1, 1, 1, 0.8, 0.6, 0.4, 0.2])
+
+    def test_window_1(self):
+        assert sma_weights(1) == [1.0]
+
+    def test_odd_window(self):
+        weights = sma_weights(5)
+        assert weights[:3] == [1.0, 1.0, 1.0]
+        assert weights[3] > weights[4] > 0.0
+
+    def test_monotone_nonincreasing(self):
+        for window in range(1, 15):
+            weights = sma_weights(window)
+            assert all(a >= b for a, b in zip(weights, weights[1:]))
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            sma_weights(0)
+
+
+class TestSMA:
+    def test_matches_manual_weighting(self):
+        f = SShapedMovingAverageForecaster(window=4)
+        data = [1.0, 2.0, 3.0, 4.0]
+        for x in data:
+            f.observe(x)
+        weights = sma_weights(4)  # lag 1 = newest = 4.0
+        expected = sum(w * x for w, x in zip(weights, reversed(data))) / sum(weights)
+        assert f.forecast() == pytest.approx(expected)
+
+    def test_recent_half_dominates(self):
+        """SMA must weight recent samples at least as much as MA does."""
+        sma = SShapedMovingAverageForecaster(window=8)
+        ma = MovingAverageForecaster(window=8)
+        series = [1.0] * 7 + [100.0]  # spike at the newest sample
+        for x in series:
+            sma.observe(x)
+            ma.observe(x)
+        assert sma.forecast() > ma.forecast()
+
+    def test_warmup(self):
+        f = SShapedMovingAverageForecaster(window=3)
+        f.observe(1.0)
+        f.observe(2.0)
+        assert f.forecast() is None
+
+
+class TestEWMA:
+    def test_initialization_rule(self):
+        """Sf(2) = So(1) per the paper."""
+        f = EWMAForecaster(alpha=0.3)
+        assert f.forecast() is None
+        f.observe(10.0)
+        assert f.forecast() == pytest.approx(10.0)
+
+    def test_recursion(self):
+        f = EWMAForecaster(alpha=0.25)
+        f.observe(10.0)   # Sf = 10
+        f.observe(20.0)   # Sf = .25*20 + .75*10 = 12.5
+        assert f.forecast() == pytest.approx(12.5)
+        f.observe(0.0)    # Sf = .25*0 + .75*12.5 = 9.375
+        assert f.forecast() == pytest.approx(9.375)
+
+    def test_alpha_one_is_naive(self):
+        f = EWMAForecaster(alpha=1.0)
+        for x in [5.0, 7.0, 9.0]:
+            f.observe(x)
+        assert f.forecast() == pytest.approx(9.0)
+
+    def test_alpha_zero_freezes_first_observation(self):
+        f = EWMAForecaster(alpha=0.0)
+        for x in [5.0, 7.0, 9.0]:
+            f.observe(x)
+        assert f.forecast() == pytest.approx(5.0)
+
+    def test_alpha_validation(self):
+        with pytest.raises(ValueError):
+            EWMAForecaster(alpha=1.5)
+        with pytest.raises(ValueError):
+            EWMAForecaster(alpha=-0.1)
+
+    def test_works_on_numpy_arrays(self):
+        f = EWMAForecaster(alpha=0.5)
+        f.observe(np.array([1.0, 2.0]))
+        f.observe(np.array([3.0, 4.0]))
+        assert np.allclose(f.forecast(), [2.0, 3.0])
+
+    def test_step_reports_error(self):
+        f = EWMAForecaster(alpha=0.5)
+        f.observe(10.0)
+        step = f.step(16.0)
+        assert step.forecast == pytest.approx(10.0)
+        assert step.error == pytest.approx(6.0)
+        assert not step.in_warmup

@@ -1,0 +1,131 @@
+"""Tests for multi-pass grid search."""
+
+import numpy as np
+import pytest
+
+from repro.gridsearch import grid_search, search_model
+from repro.gridsearch.search_spaces import ParameterSpace
+
+
+class TestGridSearch:
+    def test_finds_quadratic_minimum(self):
+        """Multi-pass refinement should approach the true optimum."""
+        space = ParameterSpace(model="ewma", continuous={"alpha": (0.1, 1.0)})
+        target = 0.637
+
+        def objective(forecaster):
+            return (forecaster.alpha - target) ** 2
+
+        result = grid_search(space, objective, passes=3)
+        assert result.best_params["alpha"] == pytest.approx(target, abs=0.01)
+
+    def test_more_passes_refine(self):
+        space = ParameterSpace(model="ewma", continuous={"alpha": (0.1, 1.0)})
+        target = 0.444
+
+        def objective(forecaster):
+            return (forecaster.alpha - target) ** 2
+
+        coarse = grid_search(space, objective, passes=1)
+        fine = grid_search(space, objective, passes=3)
+        assert abs(fine.best_params["alpha"] - target) <= abs(
+            coarse.best_params["alpha"] - target
+        )
+
+    def test_two_dimensional(self):
+        space = ParameterSpace(
+            model="nshw",
+            continuous={"alpha": (0.1, 1.0), "beta": (0.1, 1.0)},
+        )
+
+        def objective(forecaster):
+            return (forecaster.alpha - 0.3) ** 2 + (forecaster.beta - 0.7) ** 2
+
+        result = grid_search(space, objective, passes=2)
+        assert result.best_params["alpha"] == pytest.approx(0.3, abs=0.05)
+        assert result.best_params["beta"] == pytest.approx(0.7, abs=0.05)
+
+    def test_integer_sweep(self):
+        space = ParameterSpace(model="ma", integer={"window": (1, 10)})
+
+        def objective(forecaster):
+            return abs(forecaster.window - 7)
+
+        result = grid_search(space, objective, passes=1)
+        assert result.best_params["window"] == 7
+        assert result.evaluations == 10
+
+    def test_invalid_points_skipped(self):
+        space = ParameterSpace(
+            model="ewma",
+            continuous={"alpha": (0.1, 1.0)},
+            validator=lambda p: p["alpha"] > 0.5,
+        )
+        seen = []
+
+        def objective(forecaster):
+            seen.append(forecaster.alpha)
+            return forecaster.alpha
+
+        grid_search(space, objective, passes=1)
+        assert all(alpha > 0.5 for alpha in seen)
+
+    def test_no_admissible_points_raises(self):
+        space = ParameterSpace(
+            model="ewma",
+            continuous={"alpha": (0.1, 1.0)},
+            validator=lambda p: False,
+        )
+        with pytest.raises(RuntimeError, match="no admissible"):
+            grid_search(space, lambda f: 0.0, passes=1)
+
+    def test_passes_validated(self):
+        space = ParameterSpace(model="ewma", continuous={"alpha": (0.1, 1.0)})
+        with pytest.raises(ValueError):
+            grid_search(space, lambda f: 0.0, passes=0)
+
+    def test_zoom_respects_original_bounds(self):
+        """Refined ranges never escape the model's legal range."""
+        space = ParameterSpace(model="ewma", continuous={"alpha": (0.0, 1.0)})
+
+        def objective(forecaster):
+            return -forecaster.alpha  # optimum at the boundary 1.0
+
+        result = grid_search(space, objective, passes=3)
+        assert result.best_params["alpha"] <= 1.0
+        assert result.best_params["alpha"] == pytest.approx(1.0, abs=1e-6)
+
+
+class TestSearchModel:
+    def test_on_scalar_series(self, rng):
+        """Search over plain floats: EWMA alpha minimizing squared error on
+        an AR(1) series lands away from the boundaries."""
+        series = [100.0]
+        for _ in range(80):
+            series.append(0.6 * series[-1] + 40.0 + rng.normal(0, 5))
+
+        class Scalar:
+            def __init__(self, value):
+                self.value = value
+
+            def __add__(self, other):
+                return Scalar(self.value + other.value)
+
+            def __sub__(self, other):
+                return Scalar(self.value - other.value)
+
+            def __mul__(self, c):
+                return Scalar(self.value * c)
+
+            __rmul__ = __mul__
+
+            def estimate_f2(self):
+                return self.value**2
+
+        observed = [Scalar(x) for x in series]
+        result = search_model("ewma", observed, skip_intervals=5)
+        assert 0.1 <= result.best_params["alpha"] <= 1.0
+
+    def test_unknown_model(self):
+        with pytest.raises(ValueError):
+            search_model("transformer", [])

@@ -1,0 +1,57 @@
+"""Tests for the estimated-total-energy objective."""
+
+import numpy as np
+import pytest
+
+from repro.detection.pipeline import summarize_stream
+from repro.forecast import EWMAForecaster
+from repro.gridsearch import estimated_total_energy
+from repro.gridsearch.objective import per_interval_energies
+from repro.sketch import ExactSchema, KArySchema
+
+from tests.conftest import make_batches
+
+
+class TestEstimatedTotalEnergy:
+    def test_exact_schema_gives_true_energy(self, rng):
+        batches = make_batches(rng, intervals=6)
+        observed = summarize_stream(batches, ExactSchema())
+        total = estimated_total_energy(observed, EWMAForecaster(0.5))
+        energies = per_interval_energies(observed, EWMAForecaster(0.5))
+        assert total == pytest.approx(sum(energies))
+
+    def test_sketch_estimate_close_to_exact(self, rng):
+        """The premise of grid search: sketch energy tracks true energy."""
+        batches = make_batches(rng, intervals=8)
+        exact = estimated_total_energy(
+            summarize_stream(batches, ExactSchema()), EWMAForecaster(0.5)
+        )
+        schema = KArySchema(depth=1, width=8192, seed=0)
+        estimated = estimated_total_energy(
+            summarize_stream(batches, schema), EWMAForecaster(0.5)
+        )
+        assert estimated == pytest.approx(exact, rel=0.05)
+
+    def test_skip_intervals(self, rng):
+        batches = make_batches(rng, intervals=8)
+        observed = summarize_stream(batches, ExactSchema())
+        full = per_interval_energies(observed, EWMAForecaster(0.5), 0)
+        skipped = per_interval_energies(observed, EWMAForecaster(0.5), 4)
+        assert len(skipped) < len(full)
+        assert skipped == pytest.approx(full[-len(skipped):])
+
+    def test_skip_validation(self):
+        with pytest.raises(ValueError):
+            estimated_total_energy([], EWMAForecaster(0.5), skip_intervals=-1)
+        with pytest.raises(ValueError):
+            per_interval_energies([], EWMAForecaster(0.5), skip_intervals=-1)
+
+    def test_lower_energy_for_better_model(self, rng):
+        """On i.i.d. interval noise, heavy smoothing (small alpha) must beat
+        the naive last-value forecast (alpha=1), since chasing noise only
+        adds variance."""
+        batches = make_batches(rng, intervals=10, drift=0.0)
+        observed = summarize_stream(batches, ExactSchema())
+        smoothed = estimated_total_energy(observed, EWMAForecaster(0.2))
+        naive = estimated_total_energy(observed, EWMAForecaster(1.0))
+        assert smoothed < naive

@@ -1,0 +1,84 @@
+"""Tests for parameter spaces and random draws."""
+
+import numpy as np
+import pytest
+
+from repro.forecast.arima import is_invertible, is_stationary
+from repro.gridsearch import (
+    SEARCH_SPACES,
+    arima_coefficient_grid,
+    random_parameters,
+)
+from repro.gridsearch.search_spaces import build_search_spaces
+
+
+class TestSearchSpaces:
+    def test_all_six_models_present(self):
+        assert set(SEARCH_SPACES) == {"ma", "sma", "ewma", "nshw", "arima0", "arima1"}
+
+    def test_window_bound_follows_interval(self):
+        assert build_search_spaces(10)["ma"].integer["window"] == (1, 10)
+        assert build_search_spaces(12)["sma"].integer["window"] == (1, 12)
+
+    def test_arima_divisions_is_seven(self):
+        assert SEARCH_SPACES["arima0"].divisions == 7
+
+    def test_smoothing_divisions_is_ten(self):
+        assert SEARCH_SPACES["ewma"].divisions == 10
+
+    def test_build_forecaster_from_params(self):
+        space = SEARCH_SPACES["arima0"]
+        params = {"ar1": 0.5, "ar2": 0.0, "ma1": 0.3, "ma2": 0.0}
+        forecaster = space.build(params)
+        assert forecaster.ar == (0.5,)
+        assert forecaster.ma == (0.3,)
+
+    def test_interior_zero_preserved(self):
+        space = SEARCH_SPACES["arima0"]
+        kwargs = space.to_model_kwargs(
+            {"ar1": 0.0, "ar2": 0.3, "ma1": 0.0, "ma2": 0.0}
+        )
+        assert kwargs["ar"] == (0.0, 0.3)
+        assert kwargs["ma"] == ()
+
+    def test_validator_rejects_nonstationary(self):
+        space = SEARCH_SPACES["arima0"]
+        assert not space.is_valid({"ar1": 1.5, "ar2": 0.0, "ma1": 0.0, "ma2": 0.0})
+        assert space.is_valid({"ar1": 0.5, "ar2": 0.0, "ma1": 0.0, "ma2": 0.0})
+
+
+class TestArimaGrid:
+    def test_all_points_admissible(self):
+        grid = arima_coefficient_grid(divisions=5)
+        for params in grid:
+            ar = (params["ar1"], params["ar2"])
+            ma = (params["ma1"], params["ma2"])
+            assert is_stationary(ar)
+            assert is_invertible(ma)
+
+    def test_grid_is_proper_subset(self):
+        grid = arima_coefficient_grid(divisions=5)
+        assert 0 < len(grid) < 5**4
+
+
+class TestRandomParameters:
+    @pytest.mark.parametrize("model", list(SEARCH_SPACES))
+    def test_draws_are_valid(self, model):
+        rng = np.random.default_rng(0)
+        for params in random_parameters(model, rng, 10):
+            assert SEARCH_SPACES[model].is_valid(params)
+            SEARCH_SPACES[model].build(params)  # must construct
+
+    def test_window_in_range(self):
+        rng = np.random.default_rng(1)
+        for params in random_parameters("ma", rng, 20, max_window=12):
+            assert 1 <= params["window"] <= 12
+
+    def test_unknown_model(self):
+        with pytest.raises(ValueError):
+            random_parameters("lstm", np.random.default_rng(0), 1)
+
+    def test_deterministic_given_rng_state(self):
+        a = random_parameters("ewma", np.random.default_rng(5), 5)
+        b = random_parameters("ewma", np.random.default_rng(5), 5)
+        assert a == b

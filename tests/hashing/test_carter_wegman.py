@@ -1,0 +1,153 @@
+"""Tests for Carter-Wegman polynomial hashing over the Mersenne prime."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hashing.carter_wegman import (
+    P61,
+    PolynomialHash,
+    TwoUniversalHash,
+    _mulmod_p61,
+)
+
+
+class TestMulmod:
+    """The vectorized 61-bit modular multiplication."""
+
+    def test_small_products(self):
+        a = np.array([3, 7, 0, 1], dtype=np.uint64)
+        b = np.array([5, 11, 9, P61 - 1], dtype=np.uint64)
+        out = _mulmod_p61(a, b)
+        assert out.tolist() == [15, 77, 0, P61 - 1]
+
+    def test_large_operands_match_python_ints(self):
+        rng = np.random.default_rng(0)
+        a = rng.integers(0, P61, size=1000, dtype=np.uint64)
+        b = rng.integers(0, P61, size=1000, dtype=np.uint64)
+        out = _mulmod_p61(a, b)
+        expected = [(int(x) * int(y)) % P61 for x, y in zip(a, b)]
+        assert out.tolist() == expected
+
+    def test_boundary_operands(self):
+        edge = np.array([P61 - 1, P61 - 1, 2**60, 2**32], dtype=np.uint64)
+        other = np.array([P61 - 1, 2, 2**60, 2**32], dtype=np.uint64)
+        out = _mulmod_p61(edge, other)
+        expected = [(int(x) * int(y)) % P61 for x, y in zip(edge, other)]
+        assert out.tolist() == expected
+
+    @given(
+        st.integers(min_value=0, max_value=P61 - 1),
+        st.integers(min_value=0, max_value=P61 - 1),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_matches_bigint_arithmetic(self, a, b):
+        out = _mulmod_p61(
+            np.array([a], dtype=np.uint64), np.array([b], dtype=np.uint64)
+        )
+        assert int(out[0]) == (a * b) % P61
+
+    def test_result_always_reduced(self):
+        rng = np.random.default_rng(1)
+        a = rng.integers(0, P61, size=5000, dtype=np.uint64)
+        b = rng.integers(0, P61, size=5000, dtype=np.uint64)
+        out = _mulmod_p61(a, b)
+        assert out.max() < P61
+
+
+class TestPolynomialHash:
+    def test_range(self):
+        h = PolynomialHash(1024, seed=1)
+        keys = np.random.default_rng(0).integers(0, 2**64, 10000, dtype=np.uint64)
+        out = h.hash_array(keys)
+        assert out.min() >= 0
+        assert out.max() < 1024
+
+    def test_deterministic_per_seed(self):
+        keys = np.arange(1000, dtype=np.uint64)
+        a = PolynomialHash(4096, seed=42).hash_array(keys)
+        b = PolynomialHash(4096, seed=42).hash_array(keys)
+        assert np.array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        keys = np.arange(1000, dtype=np.uint64)
+        a = PolynomialHash(4096, seed=1).hash_array(keys)
+        b = PolynomialHash(4096, seed=2).hash_array(keys)
+        assert not np.array_equal(a, b)
+
+    def test_scalar_call(self):
+        h = PolynomialHash(256, seed=3)
+        value = h(12345)
+        assert isinstance(value, int)
+        assert value == h.hash_array(np.array([12345], dtype=np.uint64))[0]
+
+    def test_matches_direct_polynomial_evaluation(self):
+        h = PolynomialHash(1 << 20, seed=9)
+        coeffs = [int(c) for c in h.coefficients]
+        keys = np.random.default_rng(5).integers(0, P61, 200, dtype=np.uint64)
+        out = h.hash_array(keys)
+        for key, got in zip(keys.tolist(), out.tolist()):
+            expected = sum(c * key**i for i, c in enumerate(coeffs)) % P61
+            assert got == expected % (1 << 20)
+
+    def test_uniformity(self):
+        h = PolynomialHash(64, seed=11)
+        keys = np.arange(64 * 2000, dtype=np.uint64)
+        counts = np.bincount(h.hash_array(keys), minlength=64)
+        # Chi-square should be near its df=63 expectation; allow wide slack.
+        expected = len(keys) / 64
+        chi2 = float(((counts - expected) ** 2 / expected).sum())
+        assert chi2 < 63 * 3
+
+    def test_pairwise_collision_rate(self):
+        # 2-universality implies P(collision) ~ 1/K for random pairs.
+        k = 1024
+        h = PolynomialHash(k, seed=13)
+        rng = np.random.default_rng(3)
+        a = h.hash_array(rng.integers(0, 2**50, 20000, dtype=np.uint64))
+        b = h.hash_array(rng.integers(2**50, 2**51, 20000, dtype=np.uint64))
+        rate = float(np.mean(a == b))
+        assert rate == pytest.approx(1.0 / k, abs=3.0 / k)
+
+    def test_independence_level(self):
+        assert PolynomialHash.independence == 4
+        assert TwoUniversalHash.independence == 2
+
+    def test_coefficients_read_only(self):
+        h = PolynomialHash(64, seed=1)
+        with pytest.raises(ValueError):
+            h.coefficients[0] = 0
+
+    def test_invalid_num_buckets(self):
+        with pytest.raises(ValueError):
+            PolynomialHash(0, seed=1)
+
+
+class TestFourWiseIndependence:
+    """Statistical check of 4-wise independence into 2 buckets.
+
+    For a 4-universal family into {0, 1}, the XOR (parity sum) of the hash
+    bits of 4 fixed distinct keys is unbiased over the random draw of the
+    function.  Degree-1 (2-universal) families fail this badly for keys in
+    arithmetic progression.
+    """
+
+    @staticmethod
+    def _parity_bias(cls, keys, draws=400):
+        parities = []
+        for seed in range(draws):
+            h = cls(2, seed=seed)
+            bits = h.hash_array(np.asarray(keys, dtype=np.uint64))
+            parities.append(int(bits.sum()) % 2)
+        return abs(np.mean(parities) - 0.5)
+
+    def test_degree3_parity_unbiased(self):
+        keys = [1, 2, 3, 4]
+        bias = self._parity_bias(PolynomialHash, keys)
+        # Standard error ~ 0.5/sqrt(400) = 0.025; allow 4 sigma.
+        assert bias < 0.1
+
+    def test_degree3_unbiased_on_structured_keys(self):
+        keys = [10, 20, 30, 40]
+        assert self._parity_bias(PolynomialHash, keys) < 0.1

@@ -1,0 +1,53 @@
+"""Tests for deterministic seed derivation."""
+
+import pytest
+
+from repro.hashing.seeds import SeedSequenceFactory, derive_seeds
+
+
+class TestDeriveSeeds:
+    def test_deterministic(self):
+        assert derive_seeds(42, 5) == derive_seeds(42, 5)
+
+    def test_prefix_stability(self):
+        assert derive_seeds(42, 8)[:3] == derive_seeds(42, 3)
+
+    def test_distinct_within_family(self):
+        seeds = derive_seeds(7, 50)
+        assert len(set(seeds)) == 50
+
+    def test_distinct_across_masters(self):
+        assert derive_seeds(1, 5) != derive_seeds(2, 5)
+
+    def test_zero_count(self):
+        assert derive_seeds(1, 0) == []
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            derive_seeds(1, -1)
+
+    def test_none_master_uses_entropy(self):
+        # Two entropy draws almost surely differ.
+        assert derive_seeds(None, 4) != derive_seeds(None, 4)
+
+    def test_seeds_fit_in_63_bits(self):
+        for seed in derive_seeds(123, 20):
+            assert 0 <= seed < 2**63
+
+
+class TestSeedSequenceFactory:
+    def test_deterministic_stream(self):
+        a = SeedSequenceFactory(9)
+        b = SeedSequenceFactory(9)
+        assert a.next_seeds(10) == b.next_seeds(10)
+
+    def test_stream_matches_batch(self):
+        factory = SeedSequenceFactory(5)
+        streamed = [factory.next_seed() for _ in range(4)]
+        assert len(set(streamed)) == 4
+
+    def test_counts_issued(self):
+        factory = SeedSequenceFactory(1)
+        factory.next_seeds(3)
+        factory.next_seed()
+        assert factory.seeds_issued == 4

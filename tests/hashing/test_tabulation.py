@@ -1,0 +1,85 @@
+"""Tests for Thorup-Zhang tabulation hashing."""
+
+import numpy as np
+import pytest
+
+from repro.hashing.tabulation import TabulationHash
+
+
+class TestTabulationHash:
+    def test_range(self):
+        h = TabulationHash(8192, seed=0)
+        keys = np.random.default_rng(0).integers(0, 2**32, 50000, dtype=np.uint64)
+        out = h.hash_array(keys)
+        assert out.min() >= 0
+        assert out.max() < 8192
+
+    def test_deterministic_per_seed(self):
+        keys = np.arange(5000, dtype=np.uint64)
+        a = TabulationHash(1024, seed=5).hash_array(keys)
+        b = TabulationHash(1024, seed=5).hash_array(keys)
+        assert np.array_equal(a, b)
+
+    def test_seeds_give_independent_functions(self):
+        keys = np.arange(5000, dtype=np.uint64)
+        a = TabulationHash(1024, seed=1).hash_array(keys)
+        b = TabulationHash(1024, seed=2).hash_array(keys)
+        # Agreement rate should be ~1/K, certainly nowhere near 1.
+        assert float(np.mean(a == b)) < 0.01
+
+    def test_rejects_wide_keys(self):
+        h = TabulationHash(1024, seed=0)
+        with pytest.raises(ValueError, match="32 bits"):
+            h.hash_array(np.array([1 << 33], dtype=np.uint64))
+
+    def test_accepts_max_32bit_key(self):
+        h = TabulationHash(1024, seed=0)
+        out = h.hash_array(np.array([0xFFFFFFFF, 0], dtype=np.uint64))
+        assert len(out) == 2
+
+    def test_uniformity(self):
+        h = TabulationHash(64, seed=3)
+        keys = np.random.default_rng(1).integers(0, 2**32, 64 * 2000, dtype=np.uint64)
+        counts = np.bincount(h.hash_array(keys), minlength=64)
+        expected = len(keys) / 64
+        chi2 = float(((counts - expected) ** 2 / expected).sum())
+        assert chi2 < 63 * 3
+
+    def test_pairwise_collision_rate(self):
+        k = 1024
+        h = TabulationHash(k, seed=7)
+        rng = np.random.default_rng(2)
+        a = h.hash_array(rng.integers(0, 2**31, 20000, dtype=np.uint64))
+        b = h.hash_array(rng.integers(2**31, 2**32, 20000, dtype=np.uint64))
+        rate = float(np.mean(a == b))
+        assert rate == pytest.approx(1.0 / k, abs=3.0 / k)
+
+    def test_parity_unbiased_over_draws(self):
+        """4-wise independence: parity of 4 fixed keys' 1-bit hashes is fair."""
+        keys = np.array([1, 2, 3, 4], dtype=np.uint64)
+        parities = []
+        for seed in range(400):
+            h = TabulationHash(2, seed=seed)
+            parities.append(int(h.hash_array(keys).sum()) % 2)
+        assert abs(np.mean(parities) - 0.5) < 0.1
+
+    def test_agrees_between_scalar_and_batch(self):
+        h = TabulationHash(512, seed=9)
+        keys = np.random.default_rng(3).integers(0, 2**32, 100, dtype=np.uint64)
+        batch = h.hash_array(keys)
+        for key, expected in zip(keys.tolist(), batch.tolist()):
+            assert h(key) == expected
+
+    def test_table_bytes(self):
+        h = TabulationHash(1024, seed=0)
+        # Two 2^16 tables + one 2^17 table of uint64.
+        assert h.table_bytes == (2**16 + 2**16 + 2**17) * 8
+
+    def test_xor_structure(self):
+        """h(x) must equal T0[c0] ^ T1[c1] ^ T2[c0+c1] mod K."""
+        h = TabulationHash(32768, seed=13)
+        key = 0xDEADBEEF
+        c0 = key & 0xFFFF
+        c1 = key >> 16
+        expected = int(h._t0[c0] ^ h._t1[c1] ^ h._t2[c0 + c1]) % 32768
+        assert h(key) == expected

@@ -1,0 +1,85 @@
+"""Tests for the Count Sketch (Charikar et al.) baseline."""
+
+import numpy as np
+import pytest
+
+from repro.sketch import CountSketchSchema, DictVector
+
+
+def _stream(rng, n=10000, population=1000):
+    pop = rng.integers(0, 2**32, size=population, dtype=np.uint64)
+    ranks = np.arange(1, population + 1, dtype=np.float64)
+    probs = ranks**-1.0
+    probs /= probs.sum()
+    keys = pop[rng.choice(population, size=n, p=probs)]
+    values = rng.pareto(1.3, size=n) * 100 + 40
+    return keys, values
+
+
+class TestCountSketch:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CountSketchSchema(depth=0, width=8)
+        with pytest.raises(ValueError):
+            CountSketchSchema(depth=1, width=1)
+
+    def test_signs_are_plus_minus_one(self):
+        schema = CountSketchSchema(depth=3, width=64, seed=0)
+        signs = schema.signs(np.arange(1000, dtype=np.uint64))
+        assert set(np.unique(signs)) == {-1.0, 1.0}
+        # Roughly balanced.
+        assert abs(signs.mean()) < 0.1
+
+    def test_point_estimates_track_truth(self, rng):
+        schema = CountSketchSchema(depth=5, width=4096, seed=1)
+        keys, values = _stream(rng, n=20000, population=2000)
+        sketch = schema.from_items(keys, values)
+        exact = DictVector()
+        exact.update_batch(keys, values)
+        l2 = np.sqrt(exact.estimate_f2())
+        for key, true_value in exact.top_n(20):
+            error = abs(sketch.estimate(key) - true_value)
+            assert error < 6 * l2 / np.sqrt(4096)
+
+    def test_estimate_unbiased_over_seeds(self, rng):
+        keys, values = _stream(rng, n=3000, population=300)
+        exact = DictVector()
+        exact.update_batch(keys, values)
+        key, true_value = exact.top_n(1)[0]
+        estimates = [
+            CountSketchSchema(depth=1, width=256, seed=seed)
+            .from_items(keys, values)
+            .estimate(key)
+            for seed in range(60)
+        ]
+        mean = float(np.mean(estimates))
+        sem = float(np.std(estimates) / np.sqrt(len(estimates)))
+        assert abs(mean - true_value) < 4 * sem + 1e-9
+
+    def test_f2_tracks_truth(self, rng):
+        schema = CountSketchSchema(depth=5, width=4096, seed=2)
+        keys, values = _stream(rng, n=20000, population=2000)
+        sketch = schema.from_items(keys, values)
+        exact = DictVector()
+        exact.update_batch(keys, values)
+        assert sketch.estimate_f2() == pytest.approx(exact.estimate_f2(), rel=0.2)
+
+    def test_linearity(self, rng):
+        schema = CountSketchSchema(depth=3, width=128, seed=3)
+        k1, v1 = _stream(rng, n=1000)
+        k2, v2 = _stream(rng, n=1000)
+        merged = schema.from_items(np.concatenate([k1, k2]), np.concatenate([v1, v2]))
+        summed = schema.from_items(k1, v1) + schema.from_items(k2, v2)
+        assert np.allclose(np.asarray(merged.table), np.asarray(summed.table))
+
+    def test_schema_mismatch_rejected(self):
+        a = CountSketchSchema(depth=2, width=16, seed=1).empty()
+        b = CountSketchSchema(depth=2, width=16, seed=2).empty()
+        with pytest.raises(ValueError):
+            _ = a + b
+
+    def test_turnstile_deletions(self):
+        schema = CountSketchSchema(depth=5, width=512, seed=4)
+        sketch = schema.empty()
+        sketch.update_batch([7, 7], [10.0, -10.0])
+        assert sketch.estimate(7) == pytest.approx(0.0, abs=1e-9)

@@ -1,0 +1,109 @@
+"""Tests for the dense per-flow vectors and KeyIndex."""
+
+import numpy as np
+import pytest
+
+from repro.sketch import DenseSchema, DenseVector, DictVector, KeyIndex
+
+
+class TestKeyIndex:
+    def test_deduplicates_and_sorts(self):
+        index = KeyIndex([5, 1, 5, 3])
+        assert index.keys.tolist() == [1, 3, 5]
+        assert len(index) == 3
+
+    def test_positions(self):
+        index = KeyIndex([10, 20, 30])
+        assert index.positions([30, 10]).tolist() == [2, 0]
+
+    def test_positions_unknown_key_raises(self):
+        index = KeyIndex([10, 20])
+        with pytest.raises(KeyError):
+            index.positions([15])
+
+    def test_contains(self):
+        index = KeyIndex([10, 20])
+        assert index.contains([10, 15, 20]).tolist() == [True, False, True]
+
+    def test_from_streams(self):
+        index = KeyIndex.from_streams([[1, 2], [2, 3]])
+        assert index.keys.tolist() == [1, 2, 3]
+
+    def test_empty_index(self):
+        index = KeyIndex.from_streams([])
+        assert len(index) == 0
+        assert index.contains([1]).tolist() == [False]
+
+    def test_keys_read_only(self):
+        index = KeyIndex([1])
+        with pytest.raises(ValueError):
+            index.keys[0] = 9
+
+
+class TestDenseVector:
+    @pytest.fixture
+    def index(self):
+        return KeyIndex([10, 20, 30, 40])
+
+    def test_update_and_estimate(self, index):
+        vec = DenseVector(index)
+        vec.update_batch([10, 30, 10], [1.0, 2.0, 3.0])
+        assert vec.estimate(10) == pytest.approx(4.0)
+        assert vec.estimate(20) == 0.0
+        assert vec.estimate_batch([30, 40]).tolist() == [2.0, 0.0]
+
+    def test_f2_and_total(self, index):
+        vec = DenseVector(index)
+        vec.update_batch([10, 20], [3.0, 4.0])
+        assert vec.estimate_f2() == pytest.approx(25.0)
+        assert vec.total() == pytest.approx(7.0)
+
+    def test_top_n(self, index):
+        vec = DenseVector(index)
+        vec.update_batch([10, 20, 30], [5.0, -9.0, 5.0])
+        keys, values = vec.top_n(2)
+        assert keys.tolist() == [20, 10]
+        assert values.tolist() == [-9.0, 5.0]
+
+    def test_top_n_tie_broken_by_key(self, index):
+        vec = DenseVector(index)
+        vec.update_batch([30, 10], [5.0, 5.0])
+        keys, _ = vec.top_n(2)
+        assert keys.tolist() == [10, 30]
+
+    def test_linear_combination(self, index):
+        a = DenseSchema(index).from_items([10], [2.0])
+        b = DenseSchema(index).from_items([10, 20], [1.0, 1.0])
+        c = 3.0 * a - b
+        assert c.estimate(10) == pytest.approx(5.0)
+        assert c.estimate(20) == pytest.approx(-1.0)
+
+    def test_combination_requires_same_index(self):
+        a = DenseVector(KeyIndex([1]))
+        b = DenseVector(KeyIndex([1]))
+        with pytest.raises(ValueError, match="key index"):
+            _ = a + b
+
+    def test_combination_rejects_foreign_types(self):
+        a = DenseVector(KeyIndex([1]))
+        with pytest.raises(TypeError):
+            a._linear_combination([(1.0, DictVector())])
+
+    def test_values_shape_validated(self):
+        with pytest.raises(ValueError, match="shape"):
+            DenseVector(KeyIndex([1, 2]), values=np.zeros(3))
+
+    def test_matches_dictvector(self, rng):
+        """DenseVector and DictVector must agree on any stream over the index."""
+        universe = np.unique(rng.integers(0, 1000, 200, dtype=np.uint64))
+        index = KeyIndex(universe)
+        keys = universe[rng.integers(0, len(universe), 5000)]
+        values = rng.normal(size=5000)
+        dense = DenseSchema(index).from_items(keys, values)
+        sparse = DictVector()
+        sparse.update_batch(keys, values)
+        assert dense.estimate_f2() == pytest.approx(sparse.estimate_f2())
+        probe = universe[:50]
+        assert np.allclose(
+            dense.estimate_batch(probe), sparse.estimate_batch(probe)
+        )

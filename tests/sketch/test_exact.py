@@ -1,0 +1,107 @@
+"""Tests for the exact DictVector summary."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sketch import DictVector, ExactSchema
+
+
+class TestDictVector:
+    def test_update_and_query(self):
+        vec = DictVector()
+        vec.update_batch([1, 2, 1], [10.0, 5.0, 3.0])
+        assert vec[1] == pytest.approx(13.0)
+        assert vec[2] == pytest.approx(5.0)
+        assert vec[3] == 0.0
+
+    def test_estimate_is_exact(self):
+        vec = DictVector()
+        vec.update_batch([7, 8], [1.5, -2.5])
+        assert vec.estimate(7) == 1.5
+        assert vec.estimate_batch([7, 8, 9]).tolist() == [1.5, -2.5, 0.0]
+
+    def test_f2_and_total(self):
+        vec = DictVector()
+        vec.update_batch([1, 2], [3.0, 4.0])
+        assert vec.estimate_f2() == pytest.approx(25.0)
+        assert vec.l2_norm() == pytest.approx(5.0)
+        assert vec.total() == pytest.approx(7.0)
+
+    def test_len_and_contains(self):
+        vec = DictVector()
+        vec.update_batch([1, 2], [1.0, 1.0])
+        assert len(vec) == 2
+        assert 1 in vec
+        assert 3 not in vec
+
+    def test_top_n_ordering_and_ties(self):
+        vec = DictVector()
+        vec.update_batch([1, 2, 3, 4], [5.0, -7.0, 5.0, 1.0])
+        top = vec.top_n(3)
+        assert top[0] == (2, -7.0)           # largest magnitude first
+        assert [k for k, _ in top[1:]] == [1, 3]  # tie broken by key
+
+    def test_key_array(self):
+        vec = DictVector()
+        vec.update_batch([5, 3], [1.0, 1.0])
+        assert sorted(vec.key_array().tolist()) == [3, 5]
+
+    def test_compact_removes_cancelled_keys(self):
+        vec = DictVector()
+        vec.update_batch([1, 2], [5.0, 3.0])
+        vec.update_batch([1], [-5.0])
+        vec.compact()
+        assert 1 not in vec
+        assert 2 in vec
+
+    def test_linear_combination(self):
+        a = DictVector({1: 2.0, 2: 3.0})
+        b = DictVector({2: 1.0, 3: 4.0})
+        c = 2.0 * a - b
+        assert c[1] == pytest.approx(4.0)
+        assert c[2] == pytest.approx(5.0)
+        assert c[3] == pytest.approx(-4.0)
+
+    def test_combine_rejects_foreign_types(self):
+        from repro.sketch import KArySchema
+
+        a = DictVector({1: 1.0})
+        with pytest.raises(TypeError):
+            a._linear_combination([(1.0, KArySchema(depth=1, width=4).empty())])
+
+    def test_empty_vector_f2(self):
+        assert DictVector().estimate_f2() == 0.0
+
+    def test_items_iteration(self):
+        vec = DictVector({1: 2.0})
+        assert list(vec.items()) == [(1, 2.0)]
+
+
+class TestExactSchema:
+    def test_from_items(self):
+        vec = ExactSchema().from_items([1, 1], [2.0, 3.0])
+        assert vec[1] == pytest.approx(5.0)
+
+    def test_empty(self):
+        assert len(ExactSchema().empty()) == 0
+
+
+@given(
+    st.lists(st.tuples(st.integers(0, 100), st.floats(-1e4, 1e4)), max_size=50)
+)
+@settings(max_examples=60, deadline=None)
+def test_dictvector_matches_plain_dict(pairs):
+    """DictVector must agree with a straightforward dict accumulation."""
+    vec = DictVector()
+    reference = {}
+    if pairs:
+        keys = np.array([k for k, _ in pairs], dtype=np.uint64)
+        values = np.array([v for _, v in pairs])
+        vec.update_batch(keys, values)
+    for key, value in pairs:
+        reference[key] = reference.get(key, 0.0) + value
+    for key, value in reference.items():
+        assert vec[key] == pytest.approx(value, rel=1e-9, abs=1e-9)
+    assert vec.total() == pytest.approx(sum(reference.values()), rel=1e-9, abs=1e-6)

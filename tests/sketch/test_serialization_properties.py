@@ -1,0 +1,61 @@
+"""Property-based tests for sketch serialization."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sketch import KArySchema
+from repro.sketch.serialization import dumps, loads
+
+_SCHEMA = KArySchema(depth=3, width=64, seed=17)
+
+
+@st.composite
+def stream(draw):
+    keys = draw(
+        st.lists(st.integers(0, 2**32 - 1), min_size=0, max_size=40)
+    )
+    values = draw(
+        st.lists(
+            st.floats(min_value=-1e8, max_value=1e8, allow_nan=False,
+                      allow_infinity=False),
+            min_size=len(keys), max_size=len(keys),
+        )
+    )
+    return np.asarray(keys, dtype=np.uint64), np.asarray(values)
+
+
+@given(stream())
+@settings(max_examples=50, deadline=None)
+def test_roundtrip_is_exact(data):
+    keys, values = data
+    sketch = _SCHEMA.from_items(keys, values)
+    restored = loads(dumps(sketch), schema=_SCHEMA)
+    assert np.array_equal(np.asarray(restored.table), np.asarray(sketch.table))
+
+
+@given(stream(), stream())
+@settings(max_examples=30, deadline=None)
+def test_combine_commutes_with_serialization(a, b):
+    """dumps/loads then combine == combine then dumps/loads."""
+    (k1, v1), (k2, v2) = a, b
+    s1 = _SCHEMA.from_items(k1, v1)
+    s2 = _SCHEMA.from_items(k2, v2)
+    merged_then_wire = loads(dumps(s1 + s2), schema=_SCHEMA)
+    wire_then_merged = loads(dumps(s1), schema=_SCHEMA) + loads(
+        dumps(s2), schema=_SCHEMA
+    )
+    assert np.allclose(
+        np.asarray(merged_then_wire.table),
+        np.asarray(wire_then_merged.table),
+    )
+
+
+@given(stream())
+@settings(max_examples=30, deadline=None)
+def test_truncation_always_detected(data):
+    keys, values = data
+    payload = dumps(_SCHEMA.from_items(keys, values))
+    with pytest.raises(ValueError):
+        loads(payload[:-1])

@@ -1,0 +1,123 @@
+"""Tests for fixed and randomized interval slicing."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.streams import (
+    IntervalSlicer,
+    RandomizedIntervalSlicer,
+    interval_bounds,
+    make_records,
+    slice_by_interval,
+)
+
+
+class TestIntervalBounds:
+    def test_even_division(self):
+        bounds = interval_bounds(900, 300)
+        assert bounds == [(0, 300), (300, 600), (600, 900)]
+
+    def test_truncated_tail(self):
+        bounds = interval_bounds(700, 300)
+        assert bounds[-1] == (600, 700)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            interval_bounds(100, 0)
+
+
+class TestSliceByInterval:
+    def test_basic_slicing(self):
+        records = make_records([10.0, 100.0, 310.0, 620.0], [1, 2, 3, 4], [1] * 4)
+        slices = dict(slice_by_interval(records, 300.0))
+        assert sorted(slices) == [0, 1, 2]
+        assert slices[0]["dst_ip"].tolist() == [1, 2]
+        assert slices[1]["dst_ip"].tolist() == [3]
+        assert slices[2]["dst_ip"].tolist() == [4]
+
+    def test_empty_middle_interval_yielded(self):
+        records = make_records([10.0, 910.0], [1, 2], [1, 1])
+        slices = dict(slice_by_interval(records, 300.0))
+        assert sorted(slices) == [0, 1, 2, 3]
+        assert len(slices[1]) == 0
+        assert len(slices[2]) == 0
+
+    def test_empty_trace(self):
+        records = make_records([], [], [])
+        assert list(slice_by_interval(records, 300.0)) == []
+
+    def test_boundary_timestamp_goes_to_next_interval(self):
+        records = make_records([300.0], [1], [1])
+        slices = dict(slice_by_interval(records, 300.0))
+        assert len(slices[0]) == 0
+        assert len(slices[1]) == 1
+
+    def test_every_record_appears_exactly_once(self, rng):
+        timestamps = np.sort(rng.uniform(0, 5000, size=500))
+        records = make_records(timestamps, np.arange(500), np.ones(500))
+        total = sum(len(chunk) for _, chunk in slice_by_interval(records, 300.0))
+        assert total == 500
+
+    @given(st.floats(min_value=1.0, max_value=1000.0))
+    @settings(max_examples=30, deadline=None)
+    def test_partition_property(self, interval):
+        """Slicing partitions the trace for any interval length."""
+        rng = np.random.default_rng(0)
+        timestamps = np.sort(rng.uniform(0, 3000, size=200))
+        records = make_records(timestamps, np.arange(200), np.ones(200))
+        seen = []
+        for _, chunk in slice_by_interval(records, interval):
+            seen.extend(chunk["dst_ip"].tolist())
+        assert sorted(seen) == sorted(records["dst_ip"].tolist())
+
+    def test_validation(self):
+        records = make_records([1.0], [1], [1])
+        with pytest.raises(ValueError):
+            list(slice_by_interval(records, 0))
+
+
+class TestIntervalSlicer:
+    def test_duration_constant(self):
+        slicer = IntervalSlicer(60.0)
+        assert slicer.duration_of(0) == 60.0
+        assert slicer.duration_of(99) == 60.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            IntervalSlicer(-1.0)
+
+
+class TestRandomizedSlicer:
+    def test_durations_vary_and_average_near_mean(self):
+        slicer = RandomizedIntervalSlicer(300.0, seed=1)
+        durations = [slicer.duration_of(i) for i in range(200)]
+        assert len(set(durations)) > 50
+        assert np.mean(durations) == pytest.approx(300.0, rel=0.2)
+
+    def test_durations_bounded(self):
+        slicer = RandomizedIntervalSlicer(
+            300.0, seed=2, min_fraction=0.2, max_factor=3.0
+        )
+        durations = [slicer.duration_of(i) for i in range(500)]
+        assert min(durations) >= 0.2 * 300.0 - 1e-9
+        assert max(durations) <= 3.0 * 300.0 + 1e-9
+
+    def test_partition_property(self, rng):
+        timestamps = np.sort(rng.uniform(0, 7200, size=1000))
+        records = make_records(timestamps, np.arange(1000), np.ones(1000))
+        slicer = RandomizedIntervalSlicer(300.0, seed=3)
+        total = sum(len(chunk) for _, chunk in slicer.slices(records))
+        assert total == 1000
+
+    def test_deterministic_for_seed(self):
+        a = RandomizedIntervalSlicer(300.0, seed=5)
+        b = RandomizedIntervalSlicer(300.0, seed=5)
+        assert [a.duration_of(i) for i in range(50)] == [
+            b.duration_of(i) for i in range(50)
+        ]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RandomizedIntervalSlicer(0.0)

@@ -1,0 +1,90 @@
+"""Tests for binary and CSV trace I/O."""
+
+import numpy as np
+import pytest
+
+from repro.streams import (
+    make_records,
+    read_trace,
+    read_trace_csv,
+    write_trace,
+    write_trace_csv,
+)
+
+
+@pytest.fixture
+def records(rng):
+    n = 200
+    return make_records(
+        timestamps=np.sort(rng.uniform(0, 1000, n)),
+        dst_ips=rng.integers(0, 2**32, n),
+        byte_counts=rng.integers(40, 10**6, n),
+        src_ips=rng.integers(0, 2**32, n),
+        src_ports=rng.integers(0, 2**16, n),
+        dst_ports=rng.integers(0, 2**16, n),
+        protocols=rng.choice([6, 17], n),
+        packet_counts=rng.integers(1, 100, n),
+    )
+
+
+class TestBinaryFormat:
+    def test_roundtrip(self, records, tmp_path):
+        path = tmp_path / "trace.bin"
+        write_trace(path, records)
+        loaded = read_trace(path)
+        assert np.array_equal(loaded, records)
+
+    def test_empty_roundtrip(self, tmp_path):
+        path = tmp_path / "empty.bin"
+        write_trace(path, make_records([], [], []))
+        assert len(read_trace(path)) == 0
+
+    def test_bad_magic_rejected(self, tmp_path):
+        path = tmp_path / "bogus.bin"
+        path.write_bytes(b"NOPE" + b"\x00" * 12)
+        with pytest.raises(ValueError, match="bad magic"):
+            read_trace(path)
+
+    def test_truncated_header_rejected(self, tmp_path):
+        path = tmp_path / "short.bin"
+        path.write_bytes(b"KS")
+        with pytest.raises(ValueError, match="too short"):
+            read_trace(path)
+
+    def test_truncated_body_rejected(self, records, tmp_path):
+        path = tmp_path / "cut.bin"
+        write_trace(path, records)
+        data = path.read_bytes()
+        path.write_bytes(data[:-10])
+        with pytest.raises(ValueError, match="size"):
+            read_trace(path)
+
+    def test_wrong_version_rejected(self, records, tmp_path):
+        path = tmp_path / "v99.bin"
+        write_trace(path, records)
+        data = bytearray(path.read_bytes())
+        data[4] = 99
+        path.write_bytes(bytes(data))
+        with pytest.raises(ValueError, match="version"):
+            read_trace(path)
+
+
+class TestCSVFormat:
+    def test_roundtrip(self, records, tmp_path):
+        path = tmp_path / "trace.csv"
+        write_trace_csv(path, records)
+        loaded = read_trace_csv(path)
+        assert np.array_equal(loaded["dst_ip"], records["dst_ip"])
+        assert np.array_equal(loaded["bytes"], records["bytes"])
+        assert np.allclose(loaded["timestamp"], records["timestamp"])
+
+    def test_header_validated(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("a,b,c\n1,2,3\n")
+        with pytest.raises(ValueError, match="header"):
+            read_trace_csv(path)
+
+    def test_empty_csv(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        write_trace_csv(path, make_records([], [], []))
+        assert len(read_trace_csv(path)) == 0

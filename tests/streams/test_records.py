@@ -1,0 +1,76 @@
+"""Tests for the flow record layout."""
+
+import numpy as np
+import pytest
+
+from repro.streams import (
+    FLOW_RECORD_DTYPE,
+    concat_records,
+    empty_records,
+    make_records,
+    sort_by_time,
+    validate_records,
+)
+
+
+class TestRecords:
+    def test_dtype_size(self):
+        assert FLOW_RECORD_DTYPE.itemsize == 36
+
+    def test_empty(self):
+        records = empty_records(5)
+        assert len(records) == 5
+        assert records["bytes"].sum() == 0
+
+    def test_make_records_minimal(self):
+        records = make_records([1.0, 2.0], [100, 200], [1500, 40])
+        assert records["timestamp"].tolist() == [1.0, 2.0]
+        assert records["dst_ip"].tolist() == [100, 200]
+        assert records["bytes"].tolist() == [1500, 40]
+        assert records["protocol"].tolist() == [6, 6]
+        assert records["packets"].min() >= 1
+
+    def test_make_records_full(self):
+        records = make_records(
+            [1.0], [100], [999], src_ips=[7], src_ports=[1234],
+            dst_ports=[80], protocols=[17], packet_counts=[3],
+        )
+        assert records["src_ip"][0] == 7
+        assert records["src_port"][0] == 1234
+        assert records["dst_port"][0] == 80
+        assert records["protocol"][0] == 17
+        assert records["packets"][0] == 3
+
+    def test_validate_rejects_wrong_dtype(self):
+        with pytest.raises(ValueError):
+            validate_records(np.zeros(3))
+
+    def test_validate_rejects_2d(self):
+        with pytest.raises(ValueError):
+            validate_records(empty_records(4).reshape(2, 2))
+
+    def test_sort_by_time(self):
+        records = make_records([3.0, 1.0, 2.0], [1, 2, 3], [10, 20, 30])
+        ordered = sort_by_time(records)
+        assert ordered["timestamp"].tolist() == [1.0, 2.0, 3.0]
+        assert ordered["dst_ip"].tolist() == [2, 3, 1]
+
+    def test_sort_is_stable(self):
+        records = make_records([1.0, 1.0], [5, 6], [1, 2])
+        ordered = sort_by_time(records)
+        assert ordered["dst_ip"].tolist() == [5, 6]
+
+    def test_concat_records(self):
+        a = make_records([2.0], [1], [10])
+        b = make_records([1.0], [2], [20])
+        merged = concat_records([a, b])
+        assert merged["timestamp"].tolist() == [1.0, 2.0]
+
+    def test_concat_empty_list(self):
+        assert len(concat_records([])) == 0
+
+    def test_concat_no_sort(self):
+        a = make_records([2.0], [1], [10])
+        b = make_records([1.0], [2], [20])
+        merged = concat_records([a, b], sort=False)
+        assert merged["timestamp"].tolist() == [2.0, 1.0]

@@ -1,0 +1,112 @@
+"""Tests for record sampling."""
+
+import numpy as np
+import pytest
+
+from repro.streams import (
+    make_records,
+    sample_and_hold_keys,
+    sample_records,
+    sampling_error_scale,
+)
+
+
+@pytest.fixture
+def records(rng):
+    n = 50_000
+    return make_records(
+        timestamps=np.sort(rng.uniform(0, 1000, n)),
+        dst_ips=rng.integers(0, 500, n),
+        byte_counts=rng.integers(100, 2000, n),
+    )
+
+
+class TestSampleRecords:
+    def test_rate_one_is_identity(self, records):
+        out = sample_records(records, 1.0)
+        assert np.array_equal(out, records)
+        assert out is not records  # a copy, never a view
+
+    def test_keep_fraction(self, records):
+        out = sample_records(records, 0.25, seed=1)
+        assert len(out) == pytest.approx(0.25 * len(records), rel=0.1)
+
+    def test_reweighting_preserves_total(self, records):
+        out = sample_records(records, 0.25, seed=1)
+        assert out["bytes"].sum() == pytest.approx(
+            records["bytes"].sum(), rel=0.05
+        )
+
+    def test_unbiased_over_seeds(self, records):
+        totals = [
+            sample_records(records, 0.2, seed=s)["bytes"].sum()
+            for s in range(30)
+        ]
+        true_total = records["bytes"].sum()
+        assert np.mean(totals) == pytest.approx(true_total, rel=0.02)
+
+    def test_no_reweight_shrinks_total(self, records):
+        out = sample_and_hold_keys(records, 0.25, seed=1)
+        assert out["bytes"].sum() == pytest.approx(
+            0.25 * records["bytes"].sum(), rel=0.1
+        )
+
+    def test_packets_stay_positive(self, records):
+        out = sample_records(records, 0.1, seed=2)
+        assert out["packets"].min() >= 1
+
+    def test_deterministic_per_seed(self, records):
+        a = sample_records(records, 0.5, seed=7)
+        b = sample_records(records, 0.5, seed=7)
+        assert np.array_equal(a, b)
+
+    def test_input_unmodified(self, records):
+        before = records.copy()
+        sample_records(records, 0.3, seed=1)
+        assert np.array_equal(records, before)
+
+    def test_validation(self, records):
+        with pytest.raises(ValueError):
+            sample_records(records, 0.0)
+        with pytest.raises(ValueError):
+            sample_records(records, 1.1)
+
+    def test_sketch_estimates_survive_sampling(self, records, rng):
+        """Per-key totals from reweighted samples track the truth for keys
+        with many records."""
+        from repro.sketch import DictVector
+
+        exact = DictVector()
+        exact.update_batch(
+            records["dst_ip"].astype(np.uint64),
+            records["bytes"].astype(np.float64),
+        )
+        sampled = sample_records(records, 0.2, seed=3)
+        approx = DictVector()
+        approx.update_batch(
+            sampled["dst_ip"].astype(np.uint64),
+            sampled["bytes"].astype(np.float64),
+        )
+        key, truth = exact.top_n(1)[0]
+        # ~100 records per key at rate .2 -> ~20 kept; rel err ~ 1/sqrt(20).
+        assert approx[key] == pytest.approx(truth, rel=0.5)
+
+
+class TestSamplingErrorScale:
+    def test_formula(self):
+        assert sampling_error_scale(0.5, 10.0) == pytest.approx(
+            np.sqrt(0.5 / (0.5 * 10))
+        )
+
+    def test_rate_one_is_exact(self):
+        assert sampling_error_scale(1.0, 5.0) == 0.0
+
+    def test_monotone_in_rate(self):
+        errors = [sampling_error_scale(r, 10.0) for r in (0.1, 0.5, 0.9)]
+        assert errors[0] > errors[1] > errors[2]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            sampling_error_scale(0.0, 10.0)
+        with pytest.raises(ValueError):
+            sampling_error_scale(0.5, 0.0)

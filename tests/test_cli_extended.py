@@ -1,0 +1,84 @@
+"""Tests for the sketch / combine / drilldown CLI subcommands."""
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.sketch import KArySchema
+from repro.sketch.serialization import load
+
+
+@pytest.fixture
+def trace(tmp_path):
+    path = tmp_path / "trace.bin"
+    main(["generate", "--router", "small", "--duration", "1800",
+          "--out", str(path), "--seed", "5"])
+    return path
+
+
+class TestSketchCommand:
+    def test_writes_one_sketch_per_interval(self, trace, tmp_path, capsys):
+        out_dir = tmp_path / "sketches"
+        code = main(
+            ["sketch", str(trace), "--out-dir", str(out_dir),
+             "--width", "1024", "--depth", "3"]
+        )
+        assert code == 0
+        files = sorted(out_dir.glob("*.ksk"))
+        assert len(files) == 6  # 1800s / 300s
+        sketch = load(files[0])
+        assert sketch.schema.depth == 3
+        assert sketch.schema.width == 1024
+
+    def test_sketches_carry_traffic(self, trace, tmp_path):
+        out_dir = tmp_path / "sketches"
+        main(["sketch", str(trace), "--out-dir", str(out_dir),
+              "--width", "1024"])
+        totals = [load(p).total() for p in sorted(out_dir.glob("*.ksk"))]
+        assert all(t > 0 for t in totals)
+
+
+class TestCombineCommand:
+    def test_combines_and_checks_schema(self, trace, tmp_path, capsys):
+        out_dir = tmp_path / "sketches"
+        main(["sketch", str(trace), "--out-dir", str(out_dir),
+              "--width", "1024"])
+        files = sorted(str(p) for p in out_dir.glob("*.ksk"))
+        merged_path = tmp_path / "merged.ksk"
+        code = main(["combine", *files, "--out", str(merged_path)])
+        assert code == 0
+        merged = load(merged_path)
+        assert merged.total() == pytest.approx(
+            sum(load(p).total() for p in files), rel=1e-9
+        )
+
+    def test_coefficient(self, trace, tmp_path):
+        out_dir = tmp_path / "sketches"
+        main(["sketch", str(trace), "--out-dir", str(out_dir),
+              "--width", "1024"])
+        first = sorted(str(p) for p in out_dir.glob("*.ksk"))[0]
+        out = tmp_path / "scaled.ksk"
+        main(["combine", first, "--out", str(out), "--coefficient", "2.0"])
+        assert load(out).total() == pytest.approx(2.0 * load(first).total())
+
+    def test_incompatible_sketches_rejected(self, trace, tmp_path):
+        dir_a = tmp_path / "a"
+        dir_b = tmp_path / "b"
+        main(["sketch", str(trace), "--out-dir", str(dir_a), "--width", "1024"])
+        main(["sketch", str(trace), "--out-dir", str(dir_b), "--width", "2048"])
+        file_a = sorted(str(p) for p in dir_a.glob("*.ksk"))[0]
+        file_b = sorted(str(p) for p in dir_b.glob("*.ksk"))[0]
+        with pytest.raises(ValueError, match="width"):
+            main(["combine", file_a, file_b, "--out", str(tmp_path / "x.ksk")])
+
+
+class TestDrilldownCommand:
+    def test_runs_and_prints_prefixes(self, trace, capsys):
+        code = main(
+            ["drilldown", str(trace), "--levels", "8,24",
+             "--threshold", "0.5"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "interval" in out
+        assert "/8" in out

@@ -1,0 +1,47 @@
+"""Import sweep: every module in the package imports cleanly.
+
+Catches broken imports in rarely-exercised corners (CLI subcommand
+bodies import lazily; this pins the module graph itself).
+"""
+
+import importlib
+import pkgutil
+
+import pytest
+
+import repro
+
+_MODULES = sorted(
+    name
+    for _, name, _ in pkgutil.walk_packages(repro.__path__, prefix="repro.")
+    if name != "repro.__main__"  # runs main() (and exits) on import
+)
+
+
+@pytest.mark.parametrize("module_name", _MODULES)
+def test_module_imports(module_name):
+    importlib.import_module(module_name)
+
+
+def test_public_api_symbols_resolve():
+    for symbol in repro.__all__:
+        assert getattr(repro, symbol, None) is not None, symbol
+
+
+def test_subpackage_alls_resolve():
+    for package_name in (
+        "repro.analysis",
+        "repro.detection",
+        "repro.evaluation",
+        "repro.forecast",
+        "repro.gridsearch",
+        "repro.hashing",
+        "repro.sketch",
+        "repro.streams",
+        "repro.traffic",
+    ):
+        package = importlib.import_module(package_name)
+        for symbol in getattr(package, "__all__", ()):
+            assert getattr(package, symbol, None) is not None, (
+                f"{package_name}.{symbol}"
+            )

@@ -1,0 +1,85 @@
+"""End-to-end coverage for 64-bit key spaces (source/destination pairs).
+
+The paper: "if we use source and destination IPv4 addresses as the key,
+the key space can be as large as 2^64".  Tabulation hashing (the fast
+path) covers 32-bit keys; wider keys route through the Carter-Wegman
+polynomial family.
+"""
+
+import numpy as np
+import pytest
+
+from repro.detection import OfflineTwoPassDetector
+from repro.sketch import DictVector, KArySchema
+from repro.streams import IntervalStream, concat_records, make_records
+
+
+class TestWideKeySketching:
+    def test_tabulation_rejects_wide_keys_with_guidance(self):
+        schema = KArySchema(depth=2, width=64, seed=0)
+        wide = np.array([1 << 40], dtype=np.uint64)
+        with pytest.raises(ValueError, match="PolynomialHash"):
+            schema.from_items(wide, [1.0])
+
+    def test_polynomial_schema_handles_64bit_keys(self, rng):
+        schema = KArySchema(depth=5, width=4096, seed=0, family="polynomial")
+        keys = rng.integers(0, 2**63, 20000, dtype=np.uint64)
+        values = rng.pareto(1.3, 20000) * 100 + 40
+        sketch = schema.from_items(keys, values)
+        exact = DictVector()
+        exact.update_batch(keys, values)
+        key, truth = exact.top_n(1)[0]
+        l2 = np.sqrt(exact.estimate_f2())
+        assert abs(sketch.estimate(key) - truth) < 6 * l2 / np.sqrt(4095)
+        assert sketch.estimate_f2() == pytest.approx(exact.estimate_f2(), rel=0.25)
+
+
+class TestPairKeyedDetection:
+    def test_src_dst_pair_pipeline(self, rng):
+        """Full detection run keyed by (src, dst) pairs."""
+        n = 15000
+        background = make_records(
+            timestamps=np.sort(rng.uniform(0, 2400.0, n)),
+            dst_ips=rng.integers(0, 500, n),
+            byte_counts=rng.pareto(1.3, n) * 500 + 40,
+            src_ips=rng.integers(0, 200, n),
+        )
+        # One (src, dst) pair spikes in interval 6.
+        spike = make_records(
+            timestamps=np.full(40, 1950.0),
+            dst_ips=np.full(40, 123),
+            byte_counts=np.full(40, 50000.0),
+            src_ips=np.full(40, 77),
+        )
+        records = concat_records([background, spike])
+        stream = IntervalStream(
+            records, interval_seconds=300.0, key_scheme="src_dst_pair"
+        )
+        detector = OfflineTwoPassDetector(
+            KArySchema(depth=5, width=8192, seed=0, family="polynomial"),
+            "ewma", alpha=0.5, t_fraction=0.3,
+        )
+        spike_key = (77 << 32) | 123
+        reports = {r.index: r for r in detector.run(stream)}
+        assert spike_key in {a.key for a in reports[6].alarms}
+
+
+class TestNonFiniteRejection:
+    def test_sketch_rejects_nan(self):
+        schema = KArySchema(depth=1, width=8, seed=0)
+        with pytest.raises(ValueError, match="finite"):
+            schema.from_items([1], [float("nan")])
+
+    def test_sketch_rejects_inf(self):
+        schema = KArySchema(depth=1, width=8, seed=0)
+        with pytest.raises(ValueError, match="finite"):
+            schema.from_items([1, 2], [1.0, float("inf")])
+
+    def test_dictvector_rejects_nan(self):
+        with pytest.raises(ValueError, match="finite"):
+            DictVector().update_batch([1], [float("nan")])
+
+    def test_error_names_position(self):
+        schema = KArySchema(depth=1, width=8, seed=0)
+        with pytest.raises(ValueError, match="position 2"):
+            schema.from_items([1, 2, 3], [1.0, 2.0, float("nan")])

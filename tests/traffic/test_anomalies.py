@@ -1,0 +1,109 @@
+"""Tests for anomaly injectors."""
+
+import numpy as np
+import pytest
+
+from repro.streams import validate_records
+from repro.traffic import (
+    inject_dos,
+    inject_flash_crowd,
+    inject_port_scan,
+    inject_worm,
+)
+
+
+class TestDoS:
+    def test_single_victim(self, rng):
+        records, event = inject_dos(rng, 100.0, 400.0)
+        validate_records(records)
+        assert len(np.unique(records["dst_ip"])) == 1
+        assert event.kind == "dos"
+        assert len(event.keys) == 1
+        assert records["dst_ip"][0] == event.keys[0]
+
+    def test_rate_and_volume(self, rng):
+        records, event = inject_dos(
+            rng, 0.0, 100.0, records_per_second=50.0, bytes_per_record=1000.0
+        )
+        assert len(records) == 5000
+        assert event.total_bytes == pytest.approx(5_000_000.0)
+
+    def test_window_respected(self, rng):
+        records, _ = inject_dos(rng, 500.0, 700.0)
+        assert records["timestamp"].min() >= 500.0
+        assert records["timestamp"].max() <= 700.0
+
+    def test_custom_victim(self, rng):
+        _, event = inject_dos(rng, 0, 10, victim_ip=0xC0A80001)
+        assert event.keys == (0xC0A80001,)
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            inject_dos(rng, 100.0, 100.0)
+
+
+class TestFlashCrowd:
+    def test_single_target_many_sources(self, rng):
+        records, event = inject_flash_crowd(rng, 0.0, 600.0)
+        assert len(np.unique(records["dst_ip"])) == 1
+        assert len(np.unique(records["src_ip"])) > 10
+        assert event.kind == "flash_crowd"
+
+    def test_ramp_shape(self, rng):
+        """More arrivals near the middle than at the edges."""
+        records, _ = inject_flash_crowd(
+            rng, 0.0, 900.0, peak_records_per_second=100.0
+        )
+        t = records["timestamp"]
+        edge = np.sum(t < 150) + np.sum(t >= 750)
+        middle = np.sum((t >= 300) & (t < 600))
+        assert middle > edge
+
+    def test_total_bytes_recorded(self, rng):
+        records, event = inject_flash_crowd(rng, 0.0, 300.0)
+        assert event.total_bytes == pytest.approx(records["bytes"].sum(), rel=0.01)
+
+
+class TestPortScan:
+    def test_many_targets_one_source(self, rng):
+        records, event = inject_port_scan(rng, 0.0, 60.0, target_count=128)
+        assert len(np.unique(records["dst_ip"])) == 128
+        assert len(np.unique(records["src_ip"])) == 1
+        assert len(event.keys) == 128
+
+    def test_probe_sizes_tiny(self, rng):
+        records, _ = inject_port_scan(rng, 0.0, 60.0, probe_bytes=60.0)
+        assert np.all(records["bytes"] == 60)
+
+
+class TestWorm:
+    def test_growth(self, rng):
+        records, event = inject_worm(
+            rng, 0.0, 1800.0, initial_infected=4, doubling_time=300.0
+        )
+        assert event.kind == "worm"
+        t = records["timestamp"]
+        first_half = np.sum(t < 900.0)
+        second_half = np.sum(t >= 900.0)
+        assert second_half > 2 * first_half  # exponential growth signature
+
+    def test_port_keyed_event(self, rng):
+        _, event = inject_worm(rng, 0.0, 600.0, target_port=1434)
+        assert event.keys == (1434,)
+
+    def test_saturation(self, rng):
+        records, _ = inject_worm(
+            rng, 0.0, 3600.0, initial_infected=64, doubling_time=60.0,
+            max_infected=128,
+        )
+        # Number of distinct sources never exceeds max_infected (+ base).
+        assert len(np.unique(records["src_ip"])) <= 128
+
+
+class TestAnomalyEvent:
+    def test_overlaps_interval(self, rng):
+        _, event = inject_dos(rng, 100.0, 200.0)
+        assert event.overlaps_interval(150.0, 450.0)
+        assert event.overlaps_interval(0.0, 101.0)
+        assert not event.overlaps_interval(200.0, 500.0)
+        assert not event.overlaps_interval(0.0, 100.0)

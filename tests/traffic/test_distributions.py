@@ -1,0 +1,111 @@
+"""Tests for traffic distribution samplers."""
+
+import numpy as np
+import pytest
+
+from repro.traffic import lognormal_bytes, pareto_bytes, zipf_probabilities
+from repro.traffic.distributions import ar1_level_noise, diurnal_factor
+
+
+class TestZipf:
+    def test_normalized(self):
+        probs = zipf_probabilities(1000, 1.0)
+        assert probs.sum() == pytest.approx(1.0)
+
+    def test_monotone_decreasing(self):
+        probs = zipf_probabilities(100, 1.1)
+        assert np.all(np.diff(probs) <= 0)
+
+    def test_exponent_zero_is_uniform(self):
+        probs = zipf_probabilities(10, 0.0)
+        assert np.allclose(probs, 0.1)
+
+    def test_rank_ratio(self):
+        """p_1 / p_2 == 2**s for exponent s."""
+        probs = zipf_probabilities(100, 1.5)
+        assert probs[0] / probs[1] == pytest.approx(2**1.5)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            zipf_probabilities(0)
+        with pytest.raises(ValueError):
+            zipf_probabilities(10, -1.0)
+
+
+class TestPareto:
+    def test_minimum_respected(self, rng):
+        samples = pareto_bytes(rng, 10000, minimum=40.0)
+        assert samples.min() >= 40.0
+
+    def test_cap_respected(self, rng):
+        samples = pareto_bytes(rng, 10000, cap=1e5)
+        assert samples.max() <= 1e5
+
+    def test_heavy_tail(self, rng):
+        """Mean far above median is the heavy-tail signature."""
+        samples = pareto_bytes(rng, 100000, shape=1.2)
+        assert samples.mean() > 2 * np.median(samples)
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            pareto_bytes(rng, -1)
+        with pytest.raises(ValueError):
+            pareto_bytes(rng, 10, shape=0.0)
+
+    def test_empty(self, rng):
+        assert len(pareto_bytes(rng, 0)) == 0
+
+
+class TestLognormal:
+    def test_bounds(self, rng):
+        samples = lognormal_bytes(rng, 10000, cap=1e6)
+        assert samples.min() >= 40.0
+        assert samples.max() <= 1e6
+
+    def test_median_near_exp_mean_log(self, rng):
+        samples = lognormal_bytes(rng, 100000, mean_log=7.0, sigma_log=1.0)
+        assert np.median(samples) == pytest.approx(np.exp(7.0), rel=0.1)
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            lognormal_bytes(rng, -1)
+        with pytest.raises(ValueError):
+            lognormal_bytes(rng, 10, sigma_log=-1.0)
+
+
+class TestDiurnal:
+    def test_period(self):
+        t = np.array([0.0, 86400.0])
+        factors = diurnal_factor(t)
+        assert factors[0] == pytest.approx(factors[1])
+
+    def test_range(self):
+        t = np.linspace(0, 86400, 1000)
+        factors = diurnal_factor(t, peak_fraction=0.6)
+        assert factors.min() >= 0.7 - 1e-9
+        assert factors.max() <= 1.3 + 1e-9
+
+    def test_mean_is_one(self):
+        t = np.linspace(0, 86400, 100000)
+        assert diurnal_factor(t).mean() == pytest.approx(1.0, abs=0.01)
+
+
+class TestAR1Noise:
+    def test_positive(self, rng):
+        assert ar1_level_noise(rng, 1000).min() > 0
+
+    def test_autocorrelated(self, rng):
+        levels = np.log(ar1_level_noise(rng, 5000, rho=0.8))
+        lag1 = np.corrcoef(levels[:-1], levels[1:])[0, 1]
+        assert lag1 == pytest.approx(0.8, abs=0.1)
+
+    def test_rho_zero_is_white(self, rng):
+        levels = np.log(ar1_level_noise(rng, 5000, rho=0.0))
+        lag1 = np.corrcoef(levels[:-1], levels[1:])[0, 1]
+        assert abs(lag1) < 0.1
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            ar1_level_noise(rng, -1)
+        with pytest.raises(ValueError):
+            ar1_level_noise(rng, 10, rho=1.0)
