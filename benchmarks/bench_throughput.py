@@ -1,0 +1,216 @@
+"""Throughput benchmark for the vectorized sketch engine.
+
+Measures, against a faithful reconstruction of the pre-engine reference
+paths:
+
+* **UPDATE** -- batched sketch updates (keys/sec), stacked evaluator + the
+  optional compiled kernel vs the per-row hash/``np.add.at`` loop;
+* **ESTIMATE** -- batched point queries (keys/sec) vs per-row gather;
+* **grid search** -- ``search_model`` wall-clock, batched single-pass
+  engine (``engine="auto"``) vs per-object evaluation
+  (``engine="reference"``), asserting both return the identical winner.
+
+Writes ``BENCH_throughput.json`` next to this file (or ``--output``).
+Not a pytest module -- run directly:
+
+    PYTHONPATH=src python benchmarks/bench_throughput.py [--quick]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.forecast.model_zoo import make_forecaster
+from repro.gridsearch.grid import search_model
+from repro.gridsearch.objective import estimated_total_energy
+from repro.hashing._kernels import get_kernels
+from repro.sketch import KArySchema, KArySketch, SketchStack
+
+DEFAULT_OUTPUT = Path(__file__).parent / "BENCH_throughput.json"
+
+
+def _best_of(fn, repeats):
+    """Minimum wall-clock of ``repeats`` runs (robust on noisy machines)."""
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def bench_update(depth, width, n_keys, repeats, rng):
+    schema = KArySchema(depth=depth, width=width, seed=5)
+    keys = rng.integers(0, 2**32, size=n_keys, dtype=np.uint64)
+    values = rng.normal(100.0, 30.0, size=n_keys)
+    hashes = schema.hashes
+
+    ref_table = np.zeros((depth, width), dtype=np.float64)
+
+    def reference():
+        ref_table[:] = 0.0
+        for i, h in enumerate(hashes):
+            np.add.at(ref_table[i], h.hash_array(keys), values)
+
+    sketch = KArySketch(schema)
+
+    def engine():
+        sketch.reset()
+        sketch.update_batch(keys, values)
+
+    # Interleave so thermal/cache drift hits both paths equally.
+    t_ref = t_new = float("inf")
+    for _ in range(repeats):
+        t_ref = min(t_ref, _best_of(reference, 1))
+        t_new = min(t_new, _best_of(engine, 1))
+    assert np.array_equal(np.asarray(sketch.table), ref_table)
+    return {
+        "depth": depth,
+        "width": width,
+        "n_keys": n_keys,
+        "reference_seconds": t_ref,
+        "engine_seconds": t_new,
+        "reference_keys_per_sec": n_keys / t_ref,
+        "engine_keys_per_sec": n_keys / t_new,
+        "speedup": t_ref / t_new,
+    }
+
+
+def bench_estimate(depth, width, n_keys, repeats, rng):
+    schema = KArySchema(depth=depth, width=width, seed=5)
+    sketch = KArySketch(schema)
+    stream = rng.integers(0, 2**32, size=n_keys, dtype=np.uint64)
+    sketch.update_batch(stream, rng.normal(100.0, 30.0, size=n_keys))
+    keys = rng.choice(stream, size=n_keys, replace=True)
+    hashes = schema.hashes
+    table = np.asarray(sketch.table)
+    k = width
+
+    def reference():
+        raw = np.stack([table[i, h.hash_array(keys)] for i, h in enumerate(hashes)])
+        total = float(np.sum(table[0]))
+        per_row = (raw - total / k) / (1.0 - 1.0 / k)
+        return np.median(per_row, axis=0)
+
+    def engine():
+        return sketch.estimate_batch(keys)
+
+    t_ref = t_new = float("inf")
+    for _ in range(repeats):
+        t_ref = min(t_ref, _best_of(reference, 1))
+        t_new = min(t_new, _best_of(engine, 1))
+    assert np.array_equal(engine(), reference())
+    return {
+        "depth": depth,
+        "width": width,
+        "n_keys": n_keys,
+        "reference_seconds": t_ref,
+        "engine_seconds": t_new,
+        "reference_keys_per_sec": n_keys / t_ref,
+        "engine_keys_per_sec": n_keys / t_new,
+        "speedup": t_ref / t_new,
+    }
+
+
+def bench_grid_search(t_len, width, skip, models, repeats, rng):
+    """search_model wall-clock: batched engine vs per-object reference."""
+    schema = KArySchema(depth=1, width=width, seed=5)
+    sketches = []
+    for _ in range(t_len):
+        s = KArySketch(schema)
+        keys = rng.integers(0, 2**32, size=2000, dtype=np.uint64)
+        s.update_batch(keys, rng.normal(100.0, 30.0, size=2000))
+        sketches.append(s)
+    stack = SketchStack.from_sketches(sketches)
+
+    per_model = {}
+    total_ref = total_new = 0.0
+    for model in models:
+        ref_result = search_model(model, sketches, skip_intervals=skip,
+                                  engine="reference")
+        new_result = search_model(model, stack, skip_intervals=skip,
+                                  engine="auto")
+        assert new_result.best_params == ref_result.best_params, model
+        assert new_result.best_energy == ref_result.best_energy, model
+
+        t_ref = t_new = float("inf")
+        for _ in range(repeats):
+            t_ref = min(t_ref, _best_of(
+                lambda: search_model(model, sketches, skip_intervals=skip,
+                                     engine="reference"), 1))
+            t_new = min(t_new, _best_of(
+                lambda: search_model(model, stack, skip_intervals=skip,
+                                     engine="auto"), 1))
+        total_ref += t_ref
+        total_new += t_new
+        per_model[model] = {
+            "reference_seconds": t_ref,
+            "engine_seconds": t_new,
+            "speedup": t_ref / t_new,
+            "evaluations": new_result.evaluations,
+            "best_params": new_result.best_params,
+        }
+    return {
+        "intervals": t_len,
+        "width": width,
+        "skip_intervals": skip,
+        "models": list(models),
+        "per_model": per_model,
+        "reference_seconds": total_ref,
+        "engine_seconds": total_new,
+        "speedup": total_ref / total_new,
+    }
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="small sizes / few repeats (CI smoke)")
+    parser.add_argument("--repeats", type=int, default=None,
+                        help="timing repeats per path (default 7; 2 quick)")
+    parser.add_argument("--output", type=Path, default=DEFAULT_OUTPUT,
+                        help=f"JSON report path (default {DEFAULT_OUTPUT})")
+    args = parser.parse_args(argv)
+
+    repeats = args.repeats or (2 if args.quick else 7)
+    rng = np.random.default_rng(2003)
+    if args.quick:
+        n_keys, t_len, models = 20_000, 36, ("ewma", "ma")
+    else:
+        n_keys, t_len, models = 100_000, 96, ("ma", "sma", "ewma", "nshw")
+
+    report = {
+        "numpy": np.__version__,
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "compiled_kernels": get_kernels() is not None,
+        "quick": bool(args.quick),
+        "repeats": repeats,
+        "update": bench_update(5, 8192, n_keys, repeats, rng),
+        "estimate": bench_estimate(5, 8192, n_keys, repeats, rng),
+        "grid_search": bench_grid_search(t_len, 8192, t_len // 8, models,
+                                         repeats, rng),
+    }
+    args.output.write_text(json.dumps(report, indent=2) + "\n")
+
+    u, e, g = report["update"], report["estimate"], report["grid_search"]
+    print(f"compiled kernels: {report['compiled_kernels']}")
+    print(f"UPDATE    {u['engine_keys_per_sec']:,.0f} keys/s "
+          f"(ref {u['reference_keys_per_sec']:,.0f})  {u['speedup']:.2f}x")
+    print(f"ESTIMATE  {e['engine_keys_per_sec']:,.0f} keys/s "
+          f"(ref {e['reference_keys_per_sec']:,.0f})  {e['speedup']:.2f}x")
+    print(f"GRID      {g['engine_seconds']:.3f}s "
+          f"(ref {g['reference_seconds']:.3f}s)  {g['speedup']:.2f}x")
+    print(f"wrote {args.output}")
+    return report
+
+
+if __name__ == "__main__":
+    main()

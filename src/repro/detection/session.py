@@ -154,8 +154,14 @@ class StreamingSession:
         # Late-but-tolerated records are clamped into the open interval.
         if self._current_index is not None:
             indices = np.maximum(indices, self._current_index)
-        for interval_index in np.unique(indices):
-            chunk = records[indices == interval_index]
+        # Records are time-sorted, so indices are nondecreasing: each
+        # interval is one contiguous slice, delimited by the first
+        # occurrence of each index, instead of a boolean rescan of the
+        # whole chunk per interval.
+        uniq, starts = np.unique(indices, return_index=True)
+        bounds = np.append(starts, len(records))
+        for ui, interval_index in enumerate(uniq):
+            chunk = records[bounds[ui] : bounds[ui + 1]]
             reports.extend(self._advance_to(int(interval_index)))
             self._accumulate(chunk)
         self._records_ingested += len(records)

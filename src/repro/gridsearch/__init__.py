@@ -21,7 +21,13 @@ from repro.gridsearch.grid import (
     search_integer_window,
     search_model,
 )
-from repro.gridsearch.objective import estimated_total_energy
+from repro.gridsearch.objective import (
+    coerce_tables,
+    estimated_total_energy,
+    estimated_total_energy_batched,
+    per_interval_energies,
+    stack_total_energy,
+)
 from repro.gridsearch.search_spaces import (
     SEARCH_SPACES,
     ParameterSpace,
@@ -35,12 +41,16 @@ __all__ = [
     "ParameterSpace",
     "SEARCH_SPACES",
     "arima_coefficient_grid",
+    "coerce_tables",
     "estimated_total_energy",
+    "estimated_total_energy_batched",
     "full_factorial",
     "grid_search",
+    "per_interval_energies",
     "random_parameters",
     "screening_report",
     "search_integer_window",
     "search_model",
+    "stack_total_energy",
     "yates",
 ]

@@ -6,18 +6,45 @@ the cell width shrunk by the division factor ("The second pass equally
 subdivides range [a0-0.1, a0+0.1] into N=10 parts and repeats the
 process").  Integer dimensions are swept exhaustively.  Inadmissible
 points (e.g. non-stationary ARIMA coefficients) are skipped.
+
+Evaluation engines
+------------------
+The search itself is model-agnostic; how a pass's candidate points get
+scored is pluggable:
+
+* default -- build a forecaster per point and call ``objective`` (the
+  original per-object path; always available).
+* ``evaluate_many`` -- a batch scorer receiving the whole pass's candidate
+  list at once.  :func:`search_model` wires this to
+  :func:`~repro.gridsearch.objective.estimated_total_energy_batched` for
+  the broadcastable smoothing models, so one vectorized sweep over the
+  sketch tensor replaces hundreds of per-object forecast runs.
+* ``n_jobs`` -- ``ProcessPoolExecutor`` fan-out over candidates for models
+  that cannot broadcast (ARIMA); requires a picklable objective such as a
+  :func:`~repro.gridsearch.objective.stack_total_energy` partial.
+
+All engines score the same candidate list in the same order, so the
+winning point (first minimum) is identical across them.
 """
 
 from __future__ import annotations
 
+import functools
 import itertools
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
-from typing import Callable, Dict, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.forecast.base import Forecaster
-from repro.gridsearch.objective import estimated_total_energy
+from repro.forecast.vectorized import VECTORIZABLE_MODELS
+from repro.gridsearch.objective import (
+    coerce_tables,
+    estimated_total_energy,
+    estimated_total_energy_batched,
+    stack_total_energy,
+)
 from repro.gridsearch.search_spaces import ParamDict, ParameterSpace
 
 
@@ -43,6 +70,8 @@ def grid_search(
     space: ParameterSpace,
     objective: Callable[[Forecaster], float],
     passes: int = 2,
+    evaluate_many: Optional[Callable[[List[ParamDict]], Sequence[float]]] = None,
+    n_jobs: Optional[int] = None,
 ) -> GridSearchResult:
     """Minimize ``objective`` over a parameter space by multi-pass grid.
 
@@ -56,6 +85,14 @@ def grid_search(
         :func:`~repro.gridsearch.objective.estimated_total_energy`.
     passes:
         Grid refinement passes (the paper uses 2).
+    evaluate_many:
+        Optional batch scorer: maps the full list of admissible candidate
+        parameter dicts of a pass to their energies (same order).  When
+        given, ``objective`` is not called.
+    n_jobs:
+        Optional process count for parallel per-candidate evaluation
+        (ignored when ``evaluate_many`` is given or ``n_jobs <= 1``).
+        ``objective`` must be picklable.
     """
     if passes < 1:
         raise ValueError(f"passes must be >= 1, got {passes}")
@@ -76,19 +113,25 @@ def grid_search(
         cont_axes = [
             _axis(*ranges[name], space.divisions) for name in cont_names
         ]
+        combos: List[ParamDict] = []
         for combo in itertools.product(*cont_axes, *int_axes):
             params: ParamDict = {}
             for i, name in enumerate(cont_names):
                 params[name] = float(combo[i])
             for j, name in enumerate(int_names):
                 params[name] = int(combo[len(cont_names) + j])
-            if not space.is_valid(params):
-                continue
-            energy = objective(space.build(params))
-            evaluations += 1
+            if space.is_valid(params):
+                combos.append(params)
+
+        energies = _evaluate_candidates(
+            space, objective, combos, evaluate_many, n_jobs
+        )
+        evaluations += len(combos)
+        for params, energy in zip(combos, energies):
             if energy < best_energy:
-                best_energy = energy
+                best_energy = float(energy)
                 best_params = params
+
         if best_params is None:
             raise RuntimeError(
                 f"no admissible parameter point found for model {space.model!r}"
@@ -115,11 +158,41 @@ def grid_search(
     )
 
 
+def _evaluate_candidates(
+    space: ParameterSpace,
+    objective: Callable[[Forecaster], float],
+    combos: List[ParamDict],
+    evaluate_many: Optional[Callable[[List[ParamDict]], Sequence[float]]],
+    n_jobs: Optional[int],
+) -> Sequence[float]:
+    if not combos:
+        return []
+    if evaluate_many is not None:
+        energies = list(evaluate_many(combos))
+        if len(energies) != len(combos):
+            raise ValueError(
+                f"evaluate_many returned {len(energies)} energies for "
+                f"{len(combos)} candidates"
+            )
+        return energies
+    if n_jobs is not None and n_jobs > 1 and len(combos) > 1:
+        forecasters = [space.build(params) for params in combos]
+        chunksize = max(1, len(forecasters) // (int(n_jobs) * 4))
+        with ProcessPoolExecutor(max_workers=int(n_jobs)) as pool:
+            return list(pool.map(objective, forecasters, chunksize=chunksize))
+    return [objective(space.build(params)) for params in combos]
+
+
 def search_integer_window(
-    space: ParameterSpace, objective: Callable[[Forecaster], float]
+    space: ParameterSpace,
+    objective: Callable[[Forecaster], float],
+    evaluate_many: Optional[Callable[[List[ParamDict]], Sequence[float]]] = None,
+    n_jobs: Optional[int] = None,
 ) -> GridSearchResult:
     """Direct sweep for window-only models (MA/SMA): one pass is exact."""
-    return grid_search(space, objective, passes=1)
+    return grid_search(
+        space, objective, passes=1, evaluate_many=evaluate_many, n_jobs=n_jobs
+    )
 
 
 def search_model(
@@ -128,11 +201,27 @@ def search_model(
     skip_intervals: int = 0,
     passes: int = 2,
     max_window: int = 10,
+    engine: str = "auto",
+    n_jobs: Optional[int] = None,
 ) -> GridSearchResult:
     """Convenience wrapper: search a model over pre-built observed summaries.
 
     Uses estimated total energy on the supplied summaries as the objective
-    (the paper computes it on H=1, K=8K sketches; pass such sketches in).
+    (the paper computes it on H=1, K=8K sketches; pass such sketches -- or
+    a :class:`~repro.sketch.stack.SketchStack` -- in).
+
+    Parameters
+    ----------
+    engine:
+        ``"auto"`` (default) scores candidates against the sketch tensor:
+        broadcastable models (MA/SMA/EWMA/NSHW) use the batched
+        single-pass objective; others run per-candidate on raw tables
+        (optionally across ``n_jobs`` processes).  ``"reference"`` forces
+        the original per-object evaluation path.  When the observations
+        cannot be stacked (e.g. exact ``DictVector`` summaries), ``auto``
+        silently degrades to the reference path.
+    n_jobs:
+        Process fan-out for non-broadcastable models under ``auto``.
     """
     from repro.gridsearch.search_spaces import build_search_spaces
 
@@ -142,10 +231,35 @@ def search_model(
     except KeyError:
         known = ", ".join(sorted(spaces))
         raise ValueError(f"unknown model {model!r}; known: {known}") from None
+    if engine not in ("auto", "reference"):
+        raise ValueError(f"engine must be 'auto' or 'reference', got {engine!r}")
 
-    def objective(forecaster: Forecaster) -> float:
-        return estimated_total_energy(observed, forecaster, skip_intervals)
+    coerced = coerce_tables(observed) if engine == "auto" else None
+    evaluate_many = None
+    if coerced is not None:
+        tables, width = coerced
+        # Picklable objective over raw tables (reference-identical values).
+        objective = functools.partial(
+            stack_total_energy, tables, width, skip_intervals=skip_intervals
+        )
+        if model in VECTORIZABLE_MODELS:
+            evaluate_many = functools.partial(
+                estimated_total_energy_batched,
+                tables,
+                model,
+                skip_intervals=skip_intervals,
+            )
+    else:
+        n_jobs = None  # closures over arbitrary summaries do not pickle
+
+        def objective(forecaster: Forecaster) -> float:
+            return estimated_total_energy(observed, forecaster, skip_intervals)
 
     if space.continuous:
-        return grid_search(space, objective, passes=passes)
-    return search_integer_window(space, objective)
+        return grid_search(
+            space, objective, passes=passes,
+            evaluate_many=evaluate_many, n_jobs=n_jobs,
+        )
+    return search_integer_window(
+        space, objective, evaluate_many=evaluate_many, n_jobs=n_jobs
+    )

@@ -26,15 +26,29 @@ support vectorized evaluation over NumPy arrays of keys.
 
 from repro.hashing.carter_wegman import PolynomialHash, TwoUniversalHash
 from repro.hashing.seeds import SeedSequenceFactory, derive_seeds
+from repro.hashing.stacked import (
+    LoopStackedHash,
+    StackedHash,
+    StackedPolynomialHash,
+    StackedTabulationHash,
+    fused_signed_update,
+    make_stacked,
+)
 from repro.hashing.tabulation import TabulationHash
 from repro.hashing.universal import HashFamily, make_family
 
 __all__ = [
     "HashFamily",
+    "LoopStackedHash",
     "PolynomialHash",
     "SeedSequenceFactory",
+    "StackedHash",
+    "StackedPolynomialHash",
+    "StackedTabulationHash",
     "TabulationHash",
     "TwoUniversalHash",
     "derive_seeds",
+    "fused_signed_update",
     "make_family",
+    "make_stacked",
 ]

@@ -1,0 +1,259 @@
+"""Stacked multi-row hash evaluation: all ``H`` sketch rows per pass.
+
+The paper's Table 1 observes that one Thorup-Zhang evaluation "produces 8
+independent 16-bit hash values" -- a single pass over the key serves many
+sketch rows.  The per-row :class:`~repro.hashing.universal.HashFamily`
+objects keep that structure implicit: hashing a batch against an ``H``-row
+schema costs ``H`` separate Python-level passes.  This module makes the
+structure explicit: a :class:`StackedHash` evaluates *all* rows of a schema
+in one vectorized pass, bit-identical to looping over the rows.
+
+For tabulation with a power-of-two bucket count the stack pre-reduces the
+row tables: since ``x mod 2**b`` keeps the low bits and the low bits of an
+XOR are the XOR of the low bits, ``(T0[c0] ^ T1[c1] ^ T2[c0+c1]) mod K ==
+R0[c0] ^ R1[c1] ^ R2[c0+c1]`` with ``R = T & (K-1)`` stored as ``uint16``.
+The reduced tables for all rows interleave into three ``(2**16, H)`` /
+``(2**17, H)`` strips (~``0.5 MiB x H`` total) so one character lookup
+yields the bucket of every row -- three gathers and two XORs for the whole
+stack, exactly the paper's trick.  A fused C kernel
+(:mod:`repro.hashing._kernels`) additionally merges hashing with the
+scatter-add/gather of the sketch tables; when no compiler is available the
+NumPy path produces identical results.
+
+Carter-Wegman polynomial rows stack their coefficient vectors into an
+``(H, degree)`` matrix and run one broadcast Horner recursion.  Any other
+(or mixed) row composition falls back to :class:`LoopStackedHash`, which is
+the literal per-row loop.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.hashing._kernels import TabulationKernels, get_kernels
+from repro.hashing.carter_wegman import P61, _mulmod_p61, _PolynomialBase
+from repro.hashing.tabulation import _CHAR_BITS, _CHAR_MASK, TabulationHash
+from repro.hashing.universal import HashFamily
+
+
+class StackedHash(abc.ABC):
+    """Evaluates every row function of a schema in one batched pass.
+
+    All implementations are *bit-identical* to evaluating the wrapped
+    per-row functions one by one; the equivalence tests assert this across
+    families, widths and depths.
+    """
+
+    def __init__(self, rows: Sequence[HashFamily], num_buckets: int) -> None:
+        if not rows:
+            raise ValueError("need at least one row function")
+        for row in rows:
+            if row.num_buckets != num_buckets:
+                raise ValueError(
+                    f"row has {row.num_buckets} buckets, expected {num_buckets}"
+                )
+        self._rows = tuple(rows)
+        self._depth = len(self._rows)
+        self._num_buckets = int(num_buckets)
+
+    @property
+    def depth(self) -> int:
+        """Number of stacked rows ``H``."""
+        return self._depth
+
+    @property
+    def num_buckets(self) -> int:
+        """Shared output range ``K``."""
+        return self._num_buckets
+
+    @property
+    def rows(self) -> tuple:
+        """The wrapped per-row hash functions."""
+        return self._rows
+
+    @abc.abstractmethod
+    def hash_all(self, keys: np.ndarray) -> np.ndarray:
+        """Bucket indices for every row: shape ``(H, n)`` int64."""
+
+    def scatter_add(self, table: np.ndarray, keys: np.ndarray,
+                    values: np.ndarray) -> None:
+        """UPDATE all rows of an ``(H, K)`` table: ``table[i][h_i(a_j)] += u_j``."""
+        indices = self.hash_all(keys)
+        for i in range(self._depth):
+            np.add.at(table[i], indices[i], values)
+
+    def gather(self, table: np.ndarray, keys: np.ndarray) -> np.ndarray:
+        """Raw cells ``table[i][h_i(a_j)]`` for every row: shape ``(H, n)``."""
+        indices = self.hash_all(keys)
+        return np.take_along_axis(table, indices, axis=1)
+
+
+class LoopStackedHash(StackedHash):
+    """Fallback: the literal per-row loop (reference semantics by definition)."""
+
+    def hash_all(self, keys: np.ndarray) -> np.ndarray:
+        return np.stack([h.hash_array(keys) for h in self._rows])
+
+
+class StackedTabulationHash(StackedHash):
+    """All-rows tabulation via interleaved (pre-reduced) lookup strips."""
+
+    def __init__(self, rows: Sequence[TabulationHash], num_buckets: int) -> None:
+        super().__init__(rows, num_buckets)
+        k = self._num_buckets
+        self._pow2 = k & (k - 1) == 0
+        if self._pow2 and k <= (1 << _CHAR_BITS):
+            # Pre-reduced uint16 strips: masking commutes with XOR.
+            mask = np.uint64(k - 1)
+            self._r0 = np.ascontiguousarray(
+                np.stack([(h._t0 & mask).astype(np.uint16) for h in rows], axis=1)
+            )
+            self._r1 = np.ascontiguousarray(
+                np.stack([(h._t1 & mask).astype(np.uint16) for h in rows], axis=1)
+            )
+            self._r2 = np.ascontiguousarray(
+                np.stack([(h._t2 & mask).astype(np.uint16) for h in rows], axis=1)
+            )
+            self._u0 = self._u1 = self._u2 = None
+            self._kernels: Optional[TabulationKernels] = get_kernels()
+        else:
+            # Wide/non-pow2 K: full-width strips, reduce after the XOR.
+            self._r0 = self._r1 = self._r2 = None
+            self._u0 = np.ascontiguousarray(
+                np.stack([h._t0 for h in rows], axis=1)
+            )
+            self._u1 = np.ascontiguousarray(
+                np.stack([h._t1 for h in rows], axis=1)
+            )
+            self._u2 = np.ascontiguousarray(
+                np.stack([h._t2 for h in rows], axis=1)
+            )
+            self._kernels = None
+
+    def _characters(self, keys: np.ndarray):
+        keys = self._check_keys(keys)
+        c0 = (keys & np.uint64(_CHAR_MASK)).astype(np.int64)
+        c1 = (keys >> np.uint64(_CHAR_BITS)).astype(np.int64)
+        return c0, c1
+
+    @staticmethod
+    def _check_keys(keys: np.ndarray) -> np.ndarray:
+        keys = keys.astype(np.uint64, copy=False)
+        if keys.size and keys.max() > np.uint64(0xFFFFFFFF):
+            raise ValueError(
+                "TabulationHash supports keys up to 32 bits; use "
+                "PolynomialHash for wider keys"
+            )
+        return keys
+
+    def hash_all(self, keys: np.ndarray) -> np.ndarray:
+        if self._r0 is not None:
+            if self._kernels is not None:
+                keys = self._check_keys(keys)
+                return self._kernels.hash_all(
+                    keys, self._r0, self._r1, self._r2, self._depth
+                )
+            return self._hash_all_numpy(keys)
+        c0, c1 = self._characters(keys)
+        h = self._u0[c0] ^ self._u1[c1] ^ self._u2[c0 + c1]  # (n, H)
+        return (h % np.uint64(self._num_buckets)).astype(np.int64).T
+
+    def _hash_all_numpy(self, keys: np.ndarray) -> np.ndarray:
+        """Pure-NumPy reduced-strip path (also the no-compiler fallback)."""
+        c0, c1 = self._characters(keys)
+        buckets = self._r0[c0] ^ self._r1[c1] ^ self._r2[c0 + c1]  # (n, H)
+        return buckets.T.astype(np.int64, order="C")
+
+    def scatter_add(self, table, keys, values) -> None:
+        if (
+            self._kernels is not None
+            and table.flags.c_contiguous
+            and table.dtype == np.float64
+        ):
+            keys = self._check_keys(keys)
+            self._kernels.update(table, keys, values, self._r0, self._r1, self._r2)
+            return
+        super().scatter_add(table, keys, values)
+
+    def gather(self, table, keys) -> np.ndarray:
+        if (
+            self._kernels is not None
+            and table.flags.c_contiguous
+            and table.dtype == np.float64
+        ):
+            keys = self._check_keys(keys)
+            return self._kernels.gather(table, keys, self._r0, self._r1, self._r2)
+        return super().gather(table, keys)
+
+
+class StackedPolynomialHash(StackedHash):
+    """All-rows Carter-Wegman via one broadcast Horner recursion."""
+
+    def __init__(self, rows: Sequence[_PolynomialBase], num_buckets: int) -> None:
+        super().__init__(rows, num_buckets)
+        degrees = {h.degree for h in rows}
+        if len(degrees) != 1:
+            raise ValueError(f"mixed polynomial degrees: {sorted(degrees)}")
+        self._degree = degrees.pop()
+        # (H, degree) coefficient matrix; column j is coefficient c_j.
+        self._coeffs = np.stack([h._coeffs for h in rows])
+
+    def hash_all(self, keys: np.ndarray) -> np.ndarray:
+        keys = keys.astype(np.uint64, copy=False)
+        x = (keys >> np.uint64(61)) + (keys & np.uint64(P61))
+        x = np.where(x >= np.uint64(P61), x - np.uint64(P61), x)
+        x = x[np.newaxis, :]  # (1, n) broadcast against (H, 1) coefficients
+        acc = np.empty((self._depth, keys.shape[0]), dtype=np.uint64)
+        acc[...] = self._coeffs[:, -1:]
+        for j in range(self._degree - 2, -1, -1):
+            acc = _mulmod_p61(acc, x)
+            acc = acc + self._coeffs[:, j : j + 1]
+            acc = np.where(acc >= np.uint64(P61), acc - np.uint64(P61), acc)
+        return (acc % np.uint64(self._num_buckets)).astype(np.int64)
+
+
+def make_stacked(rows: Sequence[HashFamily], num_buckets: int) -> StackedHash:
+    """Build the fastest stacked evaluator the row composition allows."""
+    rows = tuple(rows)
+    if all(isinstance(h, TabulationHash) for h in rows):
+        return StackedTabulationHash(rows, num_buckets)
+    if (
+        all(isinstance(h, _PolynomialBase) for h in rows)
+        and len({h.degree for h in rows}) == 1
+    ):
+        return StackedPolynomialHash(rows, num_buckets)
+    return LoopStackedHash(rows, num_buckets)
+
+
+def fused_signed_update(
+    bucket_stack: StackedHash,
+    sign_stack: StackedHash,
+    table: np.ndarray,
+    keys: np.ndarray,
+    values: np.ndarray,
+) -> bool:
+    """Count-Sketch fused UPDATE (``table[i][h_i(a)] += s_i(a) * u``).
+
+    Returns ``True`` when the C kernel handled the update; ``False`` means
+    the caller must run the reference (hash + signed scatter) path.
+    """
+    if not (
+        isinstance(bucket_stack, StackedTabulationHash)
+        and isinstance(sign_stack, StackedTabulationHash)
+        and bucket_stack._r0 is not None
+        and sign_stack._r0 is not None
+        and bucket_stack._kernels is not None
+        and table.flags.c_contiguous
+        and table.dtype == np.float64
+    ):
+        return False
+    keys = bucket_stack._check_keys(keys)
+    bucket_stack._kernels.update_signed(
+        table, keys, values,
+        bucket_stack._r0, bucket_stack._r1, bucket_stack._r2,
+        sign_stack._r0, sign_stack._r1, sign_stack._r2,
+    )
+    return True

@@ -39,6 +39,18 @@ _CHAR_BITS = 16
 _CHAR_MASK = (1 << _CHAR_BITS) - 1
 
 
+def _draw_table(rng: np.random.Generator, size: int) -> np.ndarray:
+    """Draw ``size`` independent uniform *full-width* uint64 entries.
+
+    ``rng.integers(0, 1 << 63, ...)`` would leave the top bit always zero
+    (only 63 random bits); ``endpoint=True`` with high ``2**64 - 1`` covers
+    the entire uint64 range.
+    """
+    return rng.integers(
+        0, (1 << 64) - 1, size=size, dtype=np.uint64, endpoint=True
+    )
+
+
 @register_family("tabulation")
 class TabulationHash(HashFamily):
     """4-universal tabulation hash for 32-bit keys.
@@ -67,10 +79,11 @@ class TabulationHash(HashFamily):
     def __init__(self, num_buckets: int, seed: Optional[int] = None) -> None:
         super().__init__(num_buckets, seed)
         rng = np.random.default_rng(seed)
-        # Independent uniform 64-bit entries; XOR of any odd subset is uniform.
-        self._t0 = rng.integers(0, 1 << 63, size=1 << _CHAR_BITS, dtype=np.uint64)
-        self._t1 = rng.integers(0, 1 << 63, size=1 << _CHAR_BITS, dtype=np.uint64)
-        self._t2 = rng.integers(0, 1 << 63, size=1 << (_CHAR_BITS + 1), dtype=np.uint64)
+        # Independent uniform full-width 64-bit entries (all 64 bits random);
+        # the XOR of any odd subset is uniform.
+        self._t0 = _draw_table(rng, 1 << _CHAR_BITS)
+        self._t1 = _draw_table(rng, 1 << _CHAR_BITS)
+        self._t2 = _draw_table(rng, 1 << (_CHAR_BITS + 1))
 
     def hash_array(self, keys: np.ndarray) -> np.ndarray:
         keys = keys.astype(np.uint64, copy=False)

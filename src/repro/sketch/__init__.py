@@ -24,6 +24,7 @@ from repro.sketch.dense import DenseSchema, DenseVector, KeyIndex
 from repro.sketch.exact import DictVector, ExactSchema
 from repro.sketch.kary import KArySchema, KArySketch, combine
 from repro.sketch.serialization import dump, dumps, load, loads
+from repro.sketch.stack import SketchStack, tables_estimate_f2
 
 __all__ = [
     "CountMinSchema",
@@ -38,8 +39,10 @@ __all__ = [
     "KArySketch",
     "KeyIndex",
     "LinearSummary",
+    "SketchStack",
     "SummaryConvention",
     "combine",
+    "tables_estimate_f2",
     "dump",
     "dumps",
     "linear_combination",

@@ -18,7 +18,7 @@ from typing import Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.hashing import derive_seeds, make_family
+from repro.hashing import derive_seeds, make_family, make_stacked
 from repro.sketch.base import LinearSummary, SummaryConvention
 
 
@@ -41,6 +41,7 @@ class CountMinSchema:
         self.family = family
         seeds = derive_seeds(seed, depth)
         self.hashes = tuple(make_family(family, width, seed=s) for s in seeds)
+        self._stacked = make_stacked(self.hashes, width)
 
     def empty(self) -> "CountMinSketch":
         """Return a fresh zeroed Count-Min sketch."""
@@ -53,9 +54,12 @@ class CountMinSchema:
         return sketch
 
     def bucket_indices(self, keys) -> np.ndarray:
-        """Hash ``keys`` with every row function: shape ``(depth, n)``."""
+        """Hash ``keys`` with every row function: shape ``(depth, n)``.
+
+        Served by the stacked evaluator (one pass for all rows).
+        """
         keys = SummaryConvention.as_key_array(keys)
-        return np.stack([h.hash_array(keys) for h in self.hashes])
+        return self._stacked.hash_all(keys)
 
 
 class CountMinSketch(LinearSummary):
@@ -68,7 +72,7 @@ class CountMinSketch(LinearSummary):
         if table is None:
             table = np.zeros((schema.depth, schema.width), dtype=np.float64)
         else:
-            table = np.asarray(table, dtype=np.float64)
+            table = np.ascontiguousarray(table, dtype=np.float64)
             if table.shape != (schema.depth, schema.width):
                 raise ValueError(
                     f"table shape {table.shape} does not match schema "
@@ -91,8 +95,7 @@ class CountMinSketch(LinearSummary):
     def update_batch(self, keys, values) -> None:
         keys = SummaryConvention.as_key_array(keys)
         values = SummaryConvention.as_value_array(values, len(keys))
-        for i, h in enumerate(self._schema.hashes):
-            np.add.at(self._table[i], h.hash_array(keys), values)
+        self._schema._stacked.scatter_add(self._table, keys, values)
 
     def estimate_batch(
         self, keys, indices: Optional[np.ndarray] = None, signed: bool = False
@@ -105,8 +108,9 @@ class CountMinSketch(LinearSummary):
         """
         keys = SummaryConvention.as_key_array(keys)
         if indices is None:
-            indices = self._schema.bucket_indices(keys)
-        raw = np.take_along_axis(self._table, indices, axis=1)
+            raw = self._schema._stacked.gather(self._table, keys)
+        else:
+            raw = np.take_along_axis(self._table, indices, axis=1)
         if signed:
             return np.median(raw, axis=0)
         return raw.min(axis=0)

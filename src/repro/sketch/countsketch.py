@@ -21,7 +21,7 @@ from typing import Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.hashing import derive_seeds, make_family
+from repro.hashing import derive_seeds, fused_signed_update, make_family, make_stacked
 from repro.sketch.base import LinearSummary, SummaryConvention
 
 
@@ -50,6 +50,8 @@ class CountSketchSchema:
         self.sign_hashes = tuple(
             make_family(family, 2, seed=s) for s in seeds[depth:]
         )
+        self._bucket_stacked = make_stacked(self.bucket_hashes, width)
+        self._sign_stacked = make_stacked(self.sign_hashes, 2)
 
     def empty(self) -> "CountSketch":
         """Return a fresh zeroed Count Sketch."""
@@ -64,12 +66,12 @@ class CountSketchSchema:
     def bucket_indices(self, keys) -> np.ndarray:
         """Bucket indices for ``keys``: shape ``(depth, n)``."""
         keys = SummaryConvention.as_key_array(keys)
-        return np.stack([h.hash_array(keys) for h in self.bucket_hashes])
+        return self._bucket_stacked.hash_all(keys)
 
     def signs(self, keys) -> np.ndarray:
         """Sign values in {-1, +1} for ``keys``: shape ``(depth, n)``."""
         keys = SummaryConvention.as_key_array(keys)
-        bits = np.stack([h.hash_array(keys) for h in self.sign_hashes])
+        bits = self._sign_stacked.hash_all(keys)
         return (2 * bits - 1).astype(np.float64)
 
 
@@ -83,7 +85,7 @@ class CountSketch(LinearSummary):
         if table is None:
             table = np.zeros((schema.depth, schema.width), dtype=np.float64)
         else:
-            table = np.asarray(table, dtype=np.float64)
+            table = np.ascontiguousarray(table, dtype=np.float64)
             if table.shape != (schema.depth, schema.width):
                 raise ValueError(
                     f"table shape {table.shape} does not match schema "
@@ -106,9 +108,15 @@ class CountSketch(LinearSummary):
     def update_batch(self, keys, values) -> None:
         keys = SummaryConvention.as_key_array(keys)
         values = SummaryConvention.as_value_array(values, len(keys))
-        signs = self._schema.signs(keys)
-        for i, h in enumerate(self._schema.bucket_hashes):
-            np.add.at(self._table[i], h.hash_array(keys), signs[i] * values)
+        schema = self._schema
+        if fused_signed_update(
+            schema._bucket_stacked, schema._sign_stacked, self._table, keys, values
+        ):
+            return
+        signs = schema.signs(keys)
+        indices = schema._bucket_stacked.hash_all(keys)
+        for i in range(schema.depth):
+            np.add.at(self._table[i], indices[i], signs[i] * values)
 
     def estimate_batch(
         self, keys, indices: Optional[np.ndarray] = None
@@ -116,9 +124,10 @@ class CountSketch(LinearSummary):
         """Median over rows of ``s_i(a) * T[i][h_i(a)]`` (unbiased)."""
         keys = SummaryConvention.as_key_array(keys)
         if indices is None:
-            indices = self._schema.bucket_indices(keys)
+            raw = self._schema._bucket_stacked.gather(self._table, keys)
+        else:
+            raw = np.take_along_axis(self._table, indices, axis=1)
         signs = self._schema.signs(keys)
-        raw = np.take_along_axis(self._table, indices, axis=1)
         return np.median(signs * raw, axis=0)
 
     def estimate_f2(self) -> float:

@@ -40,7 +40,7 @@ from typing import Iterable, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.hashing import derive_seeds, make_family
+from repro.hashing import derive_seeds, make_family, make_stacked
 from repro.sketch.base import LinearSummary, SummaryConvention
 
 
@@ -81,6 +81,9 @@ class KArySchema:
         self._family = family
         seeds = derive_seeds(seed, depth)
         self._hashes = tuple(make_family(family, width, seed=s) for s in seeds)
+        # Stacked evaluator serving all H rows per pass (bit-identical to
+        # looping over self._hashes; see repro.hashing.stacked).
+        self._stacked = make_stacked(self._hashes, width)
 
     @property
     def depth(self) -> int:
@@ -102,16 +105,26 @@ class KArySchema:
         """The per-row hash functions."""
         return self._hashes
 
-    def bucket_indices(self, keys) -> np.ndarray:
+    def hash_all_rows(self, keys) -> np.ndarray:
         """Hash ``keys`` with every row function: shape ``(H, n)`` int64.
+
+        This is the stacked fast path -- one vectorized pass over the batch
+        computes all ``H`` rows (for tabulation: three gathers into
+        interleaved pre-reduced strips plus two XORs), bit-identical to
+        evaluating the per-row functions one by one.
+        """
+        keys = SummaryConvention.as_key_array(keys)
+        return self._stacked.hash_all(keys)
+
+    def bucket_indices(self, keys) -> np.ndarray:
+        """Alias of :meth:`hash_all_rows`.
 
         Detection code that estimates many sketches over the same key set
         (e.g. reconstructing forecast errors for every key of an interval)
         should compute this once and pass it to
         :meth:`KArySketch.estimate_batch`.
         """
-        keys = SummaryConvention.as_key_array(keys)
-        return np.stack([h.hash_array(keys) for h in self._hashes])
+        return self.hash_all_rows(keys)
 
     def empty(self) -> "KArySketch":
         """Return a fresh all-zeros sketch over this schema."""
@@ -170,7 +183,9 @@ class KArySketch(LinearSummary):
         if table is None:
             table = np.zeros((schema.depth, schema.width), dtype=np.float64)
         else:
-            table = np.asarray(table, dtype=np.float64)
+            # C-contiguity lets the fused update/gather kernels run; an
+            # already-contiguous float64 array passes through unchanged.
+            table = np.ascontiguousarray(table, dtype=np.float64)
             if table.shape != (schema.depth, schema.width):
                 raise ValueError(
                     f"table shape {table.shape} does not match schema "
@@ -210,13 +225,14 @@ class KArySketch(LinearSummary):
     def update_batch(self, keys, values) -> None:
         """UPDATE for a batch: ``T[i][h_i(a_j)] += u_j`` for all rows, items.
 
-        Uses ``np.add.at`` so that repeated keys within the batch accumulate
-        correctly (an unbuffered scatter-add).
+        All ``H`` rows are served by one stacked pass (fused hash +
+        scatter-add when the C kernel is available); repeated keys within
+        the batch accumulate correctly, and the resulting table is
+        bit-identical to per-row ``np.add.at`` over ``schema.hashes``.
         """
         keys = SummaryConvention.as_key_array(keys)
         values = SummaryConvention.as_value_array(values, len(keys))
-        for i, h in enumerate(self._schema.hashes):
-            np.add.at(self._table[i], h.hash_array(keys), values)
+        self._schema._stacked.scatter_add(self._table, keys, values)
 
     def update_from_indices(self, indices: np.ndarray, values) -> None:
         """UPDATE with precomputed bucket indices (shape ``(H, n)``)."""
@@ -249,11 +265,12 @@ class KArySketch(LinearSummary):
         """
         keys = SummaryConvention.as_key_array(keys)
         if indices is None:
-            indices = self._schema.bucket_indices(keys)
+            # raw[i, j] = T[i][h_i(a_j)], fused hash + gather.
+            raw = self._schema._stacked.gather(self._table, keys)
+        else:
+            raw = np.take_along_axis(self._table, indices, axis=1)
         k = self._schema.width
         mean_share = self.total() / k
-        # raw[i, j] = T[i][h_i(a_j)]
-        raw = np.take_along_axis(self._table, indices, axis=1)
         per_row = (raw - mean_share) / (1.0 - 1.0 / k)
         return np.median(per_row, axis=0)
 

@@ -1,0 +1,128 @@
+"""Equivalence tests: whole-series stack recursions vs per-object forecasters.
+
+The vectorized engine's contract is **bit-identity** with the per-object
+models -- not mere closeness -- so every assertion here uses exact array
+equality.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.forecast import (
+    VECTORIZABLE_MODELS,
+    forecast_first_index,
+    make_forecaster,
+    stack_errors,
+    stack_forecasts,
+)
+from repro.sketch import KArySchema, KArySketch, SketchStack
+
+CASES = [
+    ("ma", {"window": 1}),
+    ("ma", {"window": 4}),
+    ("sma", {"window": 1}),
+    ("sma", {"window": 5}),
+    ("ewma", {"alpha": 0.2}),
+    ("ewma", {"alpha": 0.9}),
+    ("nshw", {"alpha": 0.3, "beta": 0.1}),
+    ("nshw", {"alpha": 0.7, "beta": 0.6}),
+]
+
+
+@pytest.fixture
+def observed(rng):
+    schema = KArySchema(depth=3, width=256, seed=21)
+    sketches = []
+    for _ in range(30):
+        s = KArySketch(schema)
+        keys = rng.integers(0, 2**32, size=200, dtype=np.uint64)
+        s.update_batch(keys, rng.normal(80.0, 25.0, size=200))
+        sketches.append(s)
+    return sketches
+
+
+def _reference_series(model, params, observed):
+    """(first_index, forecasts, errors) via the per-object forecaster."""
+    f = make_forecaster(model, **params)
+    f.reset()
+    first = None
+    forecasts, errors = [], []
+    for step in f.run(observed):
+        if step.forecast is None:
+            continue
+        if first is None:
+            first = step.index
+        forecasts.append(np.asarray(step.forecast.table))
+        errors.append(np.asarray(step.error.table))
+    return first, forecasts, errors
+
+
+@pytest.mark.parametrize("model,params", CASES)
+def test_stack_forecasts_bit_identical(model, params, observed):
+    ref_first, ref_forecasts, _ = _reference_series(model, params, observed)
+    first, got = stack_forecasts(model, observed, **params)
+    assert first == ref_first == forecast_first_index(model, **params)
+    assert got.shape[0] == len(ref_forecasts)
+    for i, ref in enumerate(ref_forecasts):
+        assert np.array_equal(got[i], ref), f"{model} forecast {i} differs"
+
+
+@pytest.mark.parametrize("model,params", CASES)
+def test_stack_errors_bit_identical(model, params, observed):
+    _, _, ref_errors = _reference_series(model, params, observed)
+    first, got = stack_errors(model, observed, **params)
+    assert got.shape[0] == len(ref_errors)
+    for i, ref in enumerate(ref_errors):
+        assert np.array_equal(got[i], ref), f"{model} error {i} differs"
+
+
+@pytest.mark.parametrize("model,params", CASES)
+def test_stack_input_forms_agree(model, params, observed):
+    """Sequence of sketches, SketchStack, and raw ndarray all agree."""
+    stack = SketchStack.from_sketches(observed)
+    tables = np.asarray(stack.tables)
+    _, via_seq = stack_forecasts(model, observed, **params)
+    _, via_stack = stack_forecasts(model, stack, **params)
+    _, via_ndarray = stack_forecasts(model, tables, **params)
+    assert np.array_equal(via_seq, via_stack)
+    assert np.array_equal(via_seq, via_ndarray)
+
+
+def test_forecast_first_index_values():
+    assert forecast_first_index("ma", window=7) == 7
+    assert forecast_first_index("sma", window=3) == 3
+    assert forecast_first_index("ewma", alpha=0.5) == 1
+    assert forecast_first_index("nshw", alpha=0.5, beta=0.5) == 2
+    with pytest.raises(ValueError):
+        forecast_first_index("arima0")
+
+
+def test_vectorizable_models_are_registered():
+    for model in VECTORIZABLE_MODELS:
+        assert model in ("ma", "sma", "ewma", "nshw")
+
+
+@pytest.mark.parametrize("model,params", CASES)
+def test_short_series_yield_empty(model, params):
+    """Series shorter than the warm-up produce zero forecasts, no error."""
+    first = forecast_first_index(model, **params)
+    tables = np.ones((first, 2, 8))
+    got_first, got = stack_forecasts(model, tables, **params)
+    assert got_first == first
+    assert got.shape == (0, 2, 8)
+
+
+def test_scalar_series_supported():
+    """The recursions accept any (T, ...) state shape, including 1-D."""
+    series = np.array([1.0, 2.0, 4.0, 7.0, 11.0, 16.0])
+    f = make_forecaster("ewma", alpha=0.4)
+    f.reset()
+    expected = []
+    for x in series:
+        step = f.step(x)
+        if step.forecast is not None:
+            expected.append(step.forecast)
+    _, got = stack_forecasts("ewma", series, alpha=0.4)
+    assert np.array_equal(got, np.array(expected))
