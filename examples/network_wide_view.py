@@ -24,10 +24,6 @@ Run:  python examples/network_wide_view.py
 import numpy as np
 
 from repro import IntervalStream, KArySchema, OfflineTwoPassDetector
-from repro.sketch import combine
-from repro.detection import alarms_for_interval
-from repro.detection.pipeline import run_pipeline, summarize_stream
-from repro.forecast import make_forecaster
 from repro.streams import concat_records
 from repro.traffic import TrafficGenerator, get_profile, inject_dos
 
@@ -54,31 +50,27 @@ def main() -> None:
         )
         traces.append(concat_records([background, dos]))
 
-    # --- edge: sketch locally, ship sketches -----------------------------
-    per_router_obs = []
-    per_router_keys = []
     for name, records in zip(ROUTERS, traces):
-        batches = list(IntervalStream(records, interval_seconds=INTERVAL))
-        per_router_obs.append(summarize_stream(batches, schema))
-        per_router_keys.append([np.unique(b.keys) for b in batches])
         print(
             f"router {name:<8}: {len(records):>7} records -> "
             f"{schema.table_bytes/2**20:.2f} MiB of sketch per interval "
             "(constant, however fast the link runs)"
         )
 
-    # --- collector: COMBINE and detect -----------------------------------
-    n_intervals = min(len(obs) for obs in per_router_obs)
-    forecaster = make_forecaster("ewma", alpha=0.4)
-    combined_alarms = set()
-    for t in range(n_intervals):
-        observed = combine([1.0] * len(ROUTERS), [obs[t] for obs in per_router_obs])
-        step = forecaster.step(observed)
-        if step.error is None:
-            continue
-        keys = np.unique(np.concatenate([k[t] for k in per_router_keys]))
-        for alarm in alarms_for_interval(step.error, keys, T_FRACTION, interval=t):
-            combined_alarms.add((alarm.interval, alarm.key))
+    # --- edge + collector: sketch each trace concurrently, COMBINE, detect.
+    # detect_many summarizes every router's stream on its own worker (the
+    # stacked-hash kernels release the GIL), merges each interval's
+    # sketches into the network-wide summary, and detects over the result.
+    detector = OfflineTwoPassDetector(
+        schema, "ewma", alpha=0.4, t_fraction=T_FRACTION
+    )
+    combined_alarms = {
+        (r.index, a.key)
+        for r in detector.detect_many(
+            [IntervalStream(t, interval_seconds=INTERVAL) for t in traces]
+        )
+        for a in r.alarms
+    }
 
     # --- ground truth: detector over the merged raw traffic --------------
     merged = concat_records(traces)

@@ -19,6 +19,11 @@ Built from small pieces:
 * :mod:`~repro.detection.grouptesting` -- combinatorial group testing
   sketch that recovers changed keys directly from (modified) sketch state,
   with no key stream at all (the paper's Section 3.3 fourth alternative).
+* :mod:`~repro.detection.sharded` -- sharded parallel ingestion built on
+  COMBINE: :class:`~repro.detection.sharded.ShardedStreamingSession`
+  (drop-in streaming session with an ``n_workers`` knob) and the parallel
+  multi-trace mode behind
+  :meth:`~repro.detection.twopass.OfflineTwoPassDetector.detect_many`.
 """
 
 from repro.detection.adaptive import AdaptiveDetector
@@ -34,13 +39,24 @@ from repro.detection.heavyhitters import HeavyHitterTracker, heavy_hitters
 from repro.detection.online import OnlineDetector
 from repro.detection.perflow import PerFlowResult, run_per_flow
 from repro.detection.session import StreamingSession
+from repro.detection.sharded import (
+    ShardedIngestEngine,
+    ShardedStreamingSession,
+    parallel_trace_detect,
+    sketch_traces_parallel,
+)
 from repro.detection.pipeline import (
     PipelineStep,
     forecast_error_stream,
     interval_key_sets,
     summarize_stream,
 )
-from repro.detection.threshold import Alarm, alarm_threshold, alarms_for_interval
+from repro.detection.threshold import (
+    Alarm,
+    alarm_threshold,
+    alarms_for_interval,
+    build_interval_report,
+)
 from repro.detection.topn import top_n_keys
 from repro.detection.twopass import IntervalDetection, OfflineTwoPassDetector
 
@@ -62,12 +78,17 @@ __all__ = [
     "OnlineDetector",
     "PerFlowResult",
     "PipelineStep",
+    "ShardedIngestEngine",
+    "ShardedStreamingSession",
     "StreamingSession",
     "alarm_threshold",
     "alarms_for_interval",
+    "build_interval_report",
     "forecast_error_stream",
     "interval_key_sets",
+    "parallel_trace_detect",
     "run_per_flow",
+    "sketch_traces_parallel",
     "summarize_stream",
     "top_n_keys",
 ]

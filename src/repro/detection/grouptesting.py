@@ -49,9 +49,29 @@ class GroupTestingSchema:
         self.depth = int(depth)
         self.width = int(width)
         self.key_bits = int(key_bits)
+        self.seed = seed
         self.family = family
         seeds = derive_seeds(seed, depth)
         self.hashes = tuple(make_family(family, width, seed=s) for s in seeds)
+
+    def __eq__(self, other) -> bool:
+        """Structural equality: same dimensions, family and *explicit* seed."""
+        if self is other:
+            return True
+        if not isinstance(other, GroupTestingSchema):
+            return NotImplemented
+        return (
+            self.seed is not None
+            and other.seed is not None
+            and self.seed == other.seed
+            and self.depth == other.depth
+            and self.width == other.width
+            and self.key_bits == other.key_bits
+            and self.family == other.family
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.depth, self.width, self.key_bits, self.family, self.seed))
 
     def empty(self) -> "GroupTestingSketch":
         """Return a fresh zeroed group-testing sketch."""
@@ -94,6 +114,21 @@ class GroupTestingSketch(LinearSummary):
     def schema(self) -> GroupTestingSchema:
         """The schema (dimensions and hash functions)."""
         return self._schema
+
+    @property
+    def table(self) -> np.ndarray:
+        """Underlying ``(depth, width, 1 + key_bits)`` table (read-only view)."""
+        view = self._table.view()
+        view.flags.writeable = False
+        return view
+
+    def copy(self) -> "GroupTestingSketch":
+        """Return an independent copy sharing the schema."""
+        return GroupTestingSketch(self._schema, self._table.copy())
+
+    def reset(self) -> None:
+        """Zero all counters in place."""
+        self._table[:] = 0.0
 
     def update_batch(self, keys, values) -> None:
         keys = SummaryConvention.as_key_array(keys)
@@ -203,7 +238,7 @@ class GroupTestingSketch(LinearSummary):
                 raise TypeError(
                     f"cannot combine GroupTestingSketch with {type(summary).__name__}"
                 )
-            if summary._schema is not self._schema:
+            if summary._schema != self._schema:
                 raise ValueError("cannot combine sketches with different schemas")
             table += coeff * summary._table
         return GroupTestingSketch(self._schema, table)

@@ -16,12 +16,11 @@ sample the (future) input streams").
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator, List, Optional, Union
+from typing import Iterable, Iterator, Optional, Union
 
 import numpy as np
 
-from repro.detection.threshold import Alarm
-from repro.detection.twopass import IntervalDetection
+from repro.detection.threshold import IntervalDetection, build_interval_report
 from repro.forecast.base import Forecaster
 from repro.forecast.model_zoo import make_forecaster
 from repro.streams.model import KeyedUpdates
@@ -104,32 +103,10 @@ class OnlineDetector:
     def _report(
         self, index: int, error, candidates: np.ndarray
     ) -> IntervalDetection:
-        l2 = error.l2_norm()
-        threshold = self.t_fraction * l2
-        alarms: List[Alarm] = []
-        if len(candidates):
-            indices = None
-            bucket_indices = getattr(self.schema, "bucket_indices", None)
-            if bucket_indices is not None:
-                indices = bucket_indices(candidates)
-            estimates = error.estimate_batch(candidates, indices=indices)
-            hits = np.abs(estimates) >= threshold
-            alarms = [
-                Alarm(
-                    interval=index,
-                    key=int(k),
-                    estimated_error=float(e),
-                    threshold=threshold,
-                )
-                for k, e in zip(
-                    candidates[hits].tolist(), estimates[hits].tolist()
-                )
-            ]
-        return IntervalDetection(
-            index=index,
-            threshold=threshold,
-            alarms=alarms,
-            top_keys=np.array([], dtype=np.uint64),
-            top_errors=np.array([], dtype=np.float64),
-            error_l2=l2,
+        return build_interval_report(
+            error,
+            candidates,
+            interval=index,
+            t_fraction=self.t_fraction,
+            schema=self.schema,
         )

@@ -26,8 +26,7 @@ from typing import List, Optional, Union
 
 import numpy as np
 
-from repro.detection.threshold import Alarm
-from repro.detection.twopass import IntervalDetection
+from repro.detection.threshold import IntervalDetection, build_interval_report
 from repro.forecast.base import Forecaster
 from repro.forecast.model_zoo import make_forecaster
 from repro.streams.keys import KeyScheme, ValueScheme, make_key_scheme, make_value_scheme
@@ -134,8 +133,12 @@ class StreamingSession:
         validate_records(records)
         if not len(records):
             return []
-        order = np.argsort(records["timestamp"], kind="stable")
-        records = records[order]
+        timestamps = records["timestamp"]
+        # Chunks from real collectors are usually already time-sorted; a
+        # single monotonicity scan is far cheaper than the stable argsort.
+        if len(records) > 1 and not np.all(np.diff(timestamps) >= 0):
+            order = np.argsort(timestamps, kind="stable")
+            records = records[order]
         floor = (
             None
             if self._current_index is None
@@ -172,22 +175,30 @@ class StreamingSession:
         reports: List[IntervalDetection] = []
         if self._current_index is None:
             self._current_index = interval_index
-            self._current_sketch = self.schema.empty()
+            self._open_interval()
             return reports
         while self._current_index < interval_index:
             reports.extend(self._seal_current())
             self._current_index += 1
-            self._current_sketch = self.schema.empty()
+            self._open_interval()
         return reports
 
+    # -- accumulation hooks (overridden by ShardedStreamingSession) ----------
+
+    def _open_interval(self) -> None:
+        """Start accumulating a fresh interval."""
+        self._current_sketch = self.schema.empty()
+
     def _accumulate(self, chunk: np.ndarray) -> None:
+        """Fold one single-interval record chunk into the open interval."""
         keys = self.key_scheme.extract(chunk)
         values = self.value_scheme.extract(chunk)
         self._current_sketch.update_batch(keys, values)
         if len(keys):
             self._current_keys.append(np.unique(keys))
 
-    def _seal_current(self) -> List[IntervalDetection]:
+    def _collect_current(self):
+        """Finish accumulation: return ``(observed_summary, unique_keys)``."""
         observed = self._current_sketch
         keys = (
             np.unique(np.concatenate(self._current_keys))
@@ -195,41 +206,26 @@ class StreamingSession:
             else np.array([], dtype=np.uint64)
         )
         self._current_keys = []
+        return observed, keys
+
+    # -- sealing -------------------------------------------------------------
+
+    def _seal_current(self) -> List[IntervalDetection]:
+        observed, keys = self._collect_current()
         step = self.forecaster.step(observed)
         self._intervals_sealed += 1
         if step.error is None:
             return []
-        return [self._report(self._current_index, step.error, keys)]
-
-    def _report(self, index: int, error, keys: np.ndarray) -> IntervalDetection:
-        l2 = error.l2_norm()
-        threshold = self.t_fraction * l2
-        alarms: List[Alarm] = []
-        top_keys = np.array([], dtype=np.uint64)
-        top_errors = np.array([], dtype=np.float64)
-        if len(keys):
-            indices = self.schema.bucket_indices(keys)
-            estimates = error.estimate_batch(keys, indices=indices)
-            magnitudes = np.abs(estimates)
-            hits = magnitudes >= threshold
-            alarms = [
-                Alarm(interval=index, key=int(k), estimated_error=float(e),
-                      threshold=threshold)
-                for k, e in zip(keys[hits].tolist(), estimates[hits].tolist())
-            ]
-            if self.top_n:
-                order = np.lexsort((keys, -magnitudes))
-                chosen = order[: self.top_n]
-                top_keys = keys[chosen]
-                top_errors = estimates[chosen]
-        return IntervalDetection(
-            index=index,
-            threshold=threshold,
-            alarms=alarms,
-            top_keys=top_keys,
-            top_errors=top_errors,
-            error_l2=l2,
-        )
+        return [
+            build_interval_report(
+                step.error,
+                keys,
+                interval=self._current_index,
+                t_fraction=self.t_fraction,
+                top_n=self.top_n,
+                schema=self.schema,
+            )
+        ]
 
     def flush(self) -> List[IntervalDetection]:
         """Seal the currently open interval (end of stream / shutdown).
@@ -241,5 +237,5 @@ class StreamingSession:
             return []
         reports = self._seal_current()
         self._current_index += 1
-        self._current_sketch = self.schema.empty()
+        self._open_interval()
         return reports

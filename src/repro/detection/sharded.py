@@ -1,0 +1,426 @@
+"""Sharded parallel ingestion built on sketch linearity (COMBINE).
+
+The paper makes COMBINE a first-class sketch operation precisely so that
+summaries built independently can be merged without touching the stream
+twice.  This module turns that into an ingestion architecture:
+
+:class:`ShardedIngestEngine`
+    Accumulates one analysis interval across ``n_workers`` shards.  Record
+    chunks are routed to shards as they arrive (cheap view bookkeeping);
+    the expensive work is deferred to interval *seal*: each shard folds
+    its buffered records into a private sketch in one batched pass, and
+    the interval's key set is deduplicated in one pass over all shards'
+    keys.  The shard sketches are then merged with COMBINE.  Because the sketch is linear and the paper's
+    update values are integral (bytes/packets/counts are exact in
+    float64), the merged table is **bit-identical** to single-shard
+    ingestion, for every partitioning scheme.
+
+    Backends: ``"serial"`` runs shard seals inline (still faster than
+    chunk-at-a-time ingestion: one batched update per shard instead of
+    one per chunk); ``"thread"`` seals shards on a thread pool (the
+    stacked-hash C kernels release the GIL); ``"process"`` seals shards
+    on a forked process pool writing counter tables into
+    :class:`~repro.sketch.mergeable.SharedTableBlock` slots, which the
+    parent merges zero-copy -- only keys/values cross the process
+    boundary, never tables.
+
+:class:`ShardedStreamingSession`
+    Drop-in :class:`~repro.detection.session.StreamingSession` with an
+    ``n_workers`` knob -- same reports, alarm for alarm.
+
+:func:`parallel_trace_detect`
+    Multi-trace mode for the offline detector: sketch R router traces
+    concurrently and COMBINE them into the paper's network-wide summary
+    before forecasting/detection.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from typing import Iterable, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.detection.pipeline import summarize_stream
+from repro.detection.session import StreamingSession
+from repro.detection.threshold import IntervalDetection, build_interval_report
+from repro.sketch.mergeable import SchemaHandle, SharedTableBlock, merge
+from repro.streams.sharding import SHARD_METHODS, partition_records
+
+BACKENDS = ("serial", "thread", "process")
+
+_EMPTY_KEYS = np.array([], dtype=np.uint64)
+
+# Worker-process state: one attached SharedTableBlock per process, set up
+# once by the pool initializer (hash tables rebuilt from the SchemaHandle
+# and cached, so the per-task payload is just keys/values).
+_WORKER_BLOCK: Optional[SharedTableBlock] = None
+
+
+def _process_worker_init(name: str, handle: SchemaHandle, n_slots: int) -> None:
+    global _WORKER_BLOCK
+    _WORKER_BLOCK = SharedTableBlock.attach(name, handle, n_slots)
+
+
+def _process_worker_seal(slot: int, keys: np.ndarray, values: np.ndarray):
+    # Each slot is sealed by exactly one task per interval, so zeroing
+    # here (instead of a parent-side sweep) keeps empty gap intervals free.
+    _WORKER_BLOCK.slot(slot)[:] = 0.0
+    _WORKER_BLOCK.summary(slot).update_batch(keys, values)
+    return np.unique(keys)
+
+
+def _sketch_shard(schema, keys: np.ndarray, values: np.ndarray):
+    """Fold one shard's buffered items into a fresh sketch."""
+    sketch = schema.empty()
+    sketch.update_batch(keys, values)
+    return sketch
+
+
+class ShardedIngestEngine:
+    """Accumulate one interval across N shards; seal with COMBINE.
+
+    Parameters
+    ----------
+    schema:
+        Summary schema shared by all shards (any mergeable kind).
+    n_workers:
+        Number of shards (= pool size for thread/process backends).
+    backend:
+        ``"serial"``, ``"thread"`` or ``"process"`` (see module docs).
+    key_scheme / value_scheme:
+        Record-to-item extraction, as in :class:`StreamingSession`.
+    partition:
+        How records are routed to shards: ``"chunk"`` (default) deals
+        whole chunks round-robin -- zero per-record routing cost;
+        ``"hash"``/``"round_robin"``/``"block"`` split inside each chunk
+        via :func:`~repro.streams.sharding.partition_records`.  All
+        partitionings yield the same merged sketch (linearity).
+
+    The lifecycle per interval is ``open_interval()``, ``accumulate()``
+    for each single-interval chunk, then ``collect()`` returning
+    ``(merged_summary, unique_keys)``.  ``close()`` releases the pool and
+    any shared memory; the engine is also a context manager.
+    """
+
+    def __init__(
+        self,
+        schema,
+        n_workers: int = 1,
+        backend: str = "serial",
+        key_scheme=None,
+        value_scheme=None,
+        partition: str = "chunk",
+    ) -> None:
+        if n_workers < 1:
+            raise ValueError(f"n_workers must be >= 1, got {n_workers}")
+        if backend not in BACKENDS:
+            raise ValueError(f"unknown backend {backend!r} (expected {BACKENDS})")
+        if partition != "chunk" and partition not in SHARD_METHODS:
+            raise ValueError(
+                f"unknown partition {partition!r} "
+                f"(expected 'chunk' or one of {SHARD_METHODS})"
+            )
+        from repro.streams.keys import make_key_scheme, make_value_scheme
+
+        self.schema = schema
+        self.n_workers = int(n_workers)
+        self.backend = backend
+        self.partition = partition
+        self.key_scheme = (
+            make_key_scheme(key_scheme or "dst_ip")
+            if key_scheme is None or isinstance(key_scheme, str)
+            else key_scheme
+        )
+        self.value_scheme = (
+            make_value_scheme(value_scheme or "bytes")
+            if value_scheme is None or isinstance(value_scheme, str)
+            else value_scheme
+        )
+
+        # Per-shard buffered (keys, values) arrays for the open interval.
+        self._buffers: List[List[Tuple[np.ndarray, np.ndarray]]] = [
+            [] for _ in range(self.n_workers)
+        ]
+        self._rr = 0  # chunk-mode round-robin cursor
+        self._pool = None
+        self._block: Optional[SharedTableBlock] = None
+        if backend == "thread":
+            self._pool = ThreadPoolExecutor(max_workers=self.n_workers)
+        elif backend == "process":
+            import multiprocessing as mp
+
+            handle = SchemaHandle.from_schema(schema)
+            self._block = SharedTableBlock.create(schema, self.n_workers)
+            try:
+                ctx = mp.get_context("fork")
+            except ValueError:  # pragma: no cover - non-POSIX platforms
+                ctx = mp.get_context()
+            self._pool = ProcessPoolExecutor(
+                max_workers=self.n_workers,
+                mp_context=ctx,
+                initializer=_process_worker_init,
+                initargs=(self._block.name, handle, self.n_workers),
+            )
+
+    # -- interval lifecycle --------------------------------------------------
+
+    def open_interval(self) -> None:
+        """Start a fresh interval (drops any uncollected buffers)."""
+        for buf in self._buffers:
+            buf.clear()
+        self._rr = 0
+
+    def accumulate(self, chunk: np.ndarray) -> None:
+        """Buffer one single-interval record chunk into its shard(s).
+
+        Deliberately cheap: extract the key/value columns and append the
+        views.  No hashing, no dedup -- that is seal-time work.
+        """
+        if not len(chunk):
+            return
+        if self.partition == "chunk" or self.n_workers == 1:
+            keys = self.key_scheme.extract(chunk)
+            values = self.value_scheme.extract(chunk)
+            self._buffers[self._rr].append((keys, values))
+            self._rr = (self._rr + 1) % self.n_workers
+        else:
+            parts = partition_records(
+                chunk, self.n_workers,
+                method=self.partition, key_scheme=self.key_scheme,
+            )
+            for shard, part in enumerate(parts):
+                if len(part):
+                    self._buffers[shard].append(
+                        (self.key_scheme.extract(part), self.value_scheme.extract(part))
+                    )
+
+    def _shard_items(self, shard: int) -> Tuple[np.ndarray, np.ndarray]:
+        buf = self._buffers[shard]
+        if len(buf) == 1:
+            return buf[0]
+        keys = np.concatenate([k for k, _ in buf])
+        values = np.concatenate([v for _, v in buf])
+        return keys, values
+
+    def collect(self):
+        """Seal the interval: one batched update per shard, then COMBINE.
+
+        Returns ``(merged_summary, unique_keys)`` where ``unique_keys``
+        equals ``np.unique`` over every key ingested this interval --
+        byte-for-byte what single-stream ingestion computes.
+        """
+        loaded = [i for i in range(self.n_workers) if self._buffers[i]]
+        if not loaded:
+            return self.schema.empty(), _EMPTY_KEYS
+
+        shard_items = [self._shard_items(i) for i in loaded]
+        if self.backend == "process":
+            # Workers dedup their own keys (smaller result pickles back);
+            # the parent unions the per-shard sorted sets.
+            futures = [
+                self._pool.submit(_process_worker_seal, i, *items)
+                for i, items in zip(loaded, shard_items)
+            ]
+            key_sets = [f.result() for f in futures]
+            summaries = [self._block.summary(i) for i in loaded]
+            keys = key_sets[0] if len(key_sets) == 1 else np.unique(
+                np.concatenate(key_sets)
+            )
+        else:
+            # The parent already holds every shard's raw keys, so the
+            # interval's key set is one dedup over their concatenation --
+            # the same work as single-shard ingestion, independent of
+            # n_workers (per-shard dedup would make seals *more* expensive
+            # as workers are added).
+            if self.backend == "thread":
+                futures = [
+                    self._pool.submit(_sketch_shard, self.schema, *items)
+                    for items in shard_items
+                ]
+                summaries = [f.result() for f in futures]
+            else:
+                summaries = [
+                    _sketch_shard(self.schema, *items) for items in shard_items
+                ]
+            keys = np.unique(
+                shard_items[0][0]
+                if len(shard_items) == 1
+                else np.concatenate([k for k, _ in shard_items])
+            )
+
+        for i in loaded:
+            self._buffers[i].clear()
+        self._rr = 0
+        # merge() allocates a fresh summary, so process-backend slot views
+        # are safe to reuse next interval.
+        summary = summaries[0] if len(summaries) == 1 else merge(summaries)
+        if self.backend == "process" and len(summaries) == 1:
+            summary = merge(summaries)  # detach from the shared slot
+        return summary, keys
+
+    # -- teardown ------------------------------------------------------------
+
+    def close(self) -> None:
+        """Shut down the worker pool and release shared memory."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+        if self._block is not None:
+            self._block.close()
+            self._block = None
+
+    def __enter__(self) -> "ShardedIngestEngine":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class ShardedStreamingSession(StreamingSession):
+    """A :class:`StreamingSession` whose ingestion is sharded.
+
+    Drop-in replacement: same constructor arguments plus ``n_workers``,
+    ``backend`` and ``partition`` (forwarded to
+    :class:`ShardedIngestEngine`).  Reports are identical to the serial
+    session's -- same alarms, thresholds and top-N -- because the merged
+    per-interval sketch and candidate key set are identical (COMBINE
+    linearity; integral update values are exact in float64).
+
+    Call :meth:`close` (or use as a context manager) to release worker
+    pools and shared memory when done.
+    """
+
+    def __init__(
+        self,
+        schema,
+        forecaster,
+        n_workers: int = 2,
+        backend: str = "thread",
+        partition: str = "chunk",
+        **kwargs,
+    ) -> None:
+        super().__init__(schema, forecaster, **kwargs)
+        self._engine = ShardedIngestEngine(
+            schema,
+            n_workers=n_workers,
+            backend=backend,
+            key_scheme=self.key_scheme,
+            value_scheme=self.value_scheme,
+            partition=partition,
+        )
+
+    @property
+    def n_workers(self) -> int:
+        """Number of ingestion shards."""
+        return self._engine.n_workers
+
+    def _open_interval(self) -> None:
+        self._current_sketch = None  # state lives in the engine
+        self._engine.open_interval()
+
+    def _accumulate(self, chunk: np.ndarray) -> None:
+        self._engine.accumulate(chunk)
+
+    def _collect_current(self):
+        return self._engine.collect()
+
+    def close(self) -> None:
+        """Release the engine's worker pool and shared memory."""
+        self._engine.close()
+
+    def __enter__(self) -> "ShardedStreamingSession":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+# -- parallel multi-trace offline detection ----------------------------------
+
+
+def sketch_traces_parallel(
+    schema,
+    streams: Sequence[Iterable],
+    n_workers: Optional[int] = None,
+) -> List[Tuple[int, object, np.ndarray]]:
+    """Summarize R interval streams concurrently; COMBINE per interval.
+
+    Each stream (e.g. one router's :class:`~repro.streams.model.IntervalStream`)
+    is summarized on its own thread -- sketch UPDATE dominates and releases
+    the GIL in the stacked C kernels.  Streams are aligned positionally and
+    must agree on interval indices; the combined entry ``t`` is
+    ``(index, COMBINE of all routers' So(t), union of their key sets)`` --
+    the paper's network-wide summary.
+    """
+    stream_lists = [list(s) for s in streams]
+    if not stream_lists:
+        return []
+
+    def _summarize(batches):
+        return (
+            [b.index for b in batches],
+            summarize_stream(batches, schema),
+            [np.unique(b.keys) for b in batches],
+        )
+
+    if n_workers is None:
+        n_workers = len(stream_lists)
+    if n_workers > 1 and len(stream_lists) > 1:
+        with ThreadPoolExecutor(max_workers=min(n_workers, len(stream_lists))) as pool:
+            per_stream = list(pool.map(_summarize, stream_lists))
+    else:
+        per_stream = [_summarize(batches) for batches in stream_lists]
+
+    n_intervals = min(len(idx) for idx, _, _ in per_stream)
+    combined = []
+    for t in range(n_intervals):
+        indices = {idx[t] for idx, _, _ in per_stream}
+        if len(indices) != 1:
+            raise ValueError(
+                f"streams disagree on interval index at position {t}: {sorted(indices)}"
+            )
+        observed = merge([obs[t] for _, obs, _ in per_stream])
+        keys = np.unique(np.concatenate([keys[t] for _, _, keys in per_stream]))
+        combined.append((indices.pop(), observed, keys))
+    return combined
+
+
+def parallel_trace_detect(
+    detector,
+    streams: Sequence[Iterable],
+    n_workers: Optional[int] = None,
+) -> List[IntervalDetection]:
+    """Run an :class:`OfflineTwoPassDetector` over R traces network-wide.
+
+    Sketches every stream concurrently (:func:`sketch_traces_parallel`),
+    COMBINEs per interval, then forecasts and detects over the combined
+    summaries.  The reports are identical to running ``detector`` on the
+    merged raw trace -- distribution introduces no approximation.
+    """
+    combined = sketch_traces_parallel(detector.schema, streams, n_workers=n_workers)
+    detector.forecaster.reset()
+    recent_keys: deque = deque(maxlen=detector.replay_lookback + 1)
+    reports: List[IntervalDetection] = []
+    for index, observed, keys in combined:
+        recent_keys.append(keys)
+        step = detector.forecaster.step(observed)
+        if step.error is None:
+            continue
+        candidates = (
+            np.unique(np.concatenate(list(recent_keys)))
+            if detector.replay_lookback
+            else keys
+        )
+        reports.append(
+            build_interval_report(
+                step.error,
+                candidates,
+                interval=index,
+                t_fraction=detector.t_fraction,
+                top_n=detector.top_n,
+                schema=detector.schema,
+            )
+        )
+    return reports

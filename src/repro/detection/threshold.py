@@ -1,4 +1,4 @@
-"""The alarm rule (paper Section 3.3).
+"""The alarm rule (paper Section 3.3) and the per-interval report builder.
 
 After constructing the forecast error summary ``Se(t)``, the alarm
 threshold is
@@ -9,6 +9,12 @@ where ``T`` is an application-chosen fraction of the L2 norm of the
 forecast errors (the paper sweeps ``T`` over {0.01, 0.02, 0.05, 0.07,
 0.1}).  A key raises an alarm when the absolute reconstructed error meets
 the threshold.
+
+Every detector in this package (offline two-pass, online future-keys,
+streaming session, sharded session) finishes an interval the same way:
+reconstruct candidate-key errors from ``Se(t)``, threshold them into
+alarms, optionally rank the top-N.  :func:`build_interval_report` is that
+one shared implementation; :class:`IntervalDetection` is its output.
 """
 
 from __future__ import annotations
@@ -32,6 +38,102 @@ class Alarm:
     def magnitude(self) -> float:
         """How far past the threshold the error landed (>= 1.0)."""
         return abs(self.estimated_error) / self.threshold if self.threshold else float("inf")
+
+
+@dataclass
+class IntervalDetection:
+    """Detection output for one interval."""
+
+    index: int
+    threshold: float
+    alarms: List[Alarm]
+    top_keys: np.ndarray          # top-N keys by |error| (empty if n=0)
+    top_errors: np.ndarray        # their signed estimated errors
+    error_l2: float               # sqrt(ESTIMATEF2(Se(t)))
+
+    @property
+    def alarm_count(self) -> int:
+        """Number of alarms raised in the interval."""
+        return len(self.alarms)
+
+
+def build_interval_report(
+    error_summary,
+    candidate_keys: np.ndarray,
+    *,
+    interval: int,
+    t_fraction: Optional[float],
+    top_n: int = 0,
+    indices: Optional[np.ndarray] = None,
+    schema=None,
+) -> IntervalDetection:
+    """Finish one interval: threshold candidate errors and rank the top-N.
+
+    Parameters
+    ----------
+    error_summary:
+        ``Se(t)`` -- any summary with ``estimate_batch`` / ``l2_norm``.
+    candidate_keys:
+        **Deduplicated, sorted** candidate keys (``np.unique`` output).
+        Every caller already holds them in that form; re-deduplicating
+        here would tax the hot path.
+    interval:
+        Interval index recorded in the report and its alarms.
+    t_fraction:
+        Threshold parameter ``T``; ``None`` disables alarming (the report
+        then carries ``threshold=0.0`` and no alarms).
+    top_n:
+        Also rank the ``top_n`` keys by absolute error (0 disables).
+    indices:
+        Optional precomputed bucket indices for ``candidate_keys``.
+    schema:
+        When given (and ``indices`` is not), the keys are hashed once via
+        ``schema.bucket_indices`` so thresholding and top-N share the
+        work; schemas without ``bucket_indices`` (exact/dense) pass
+        through untouched.
+
+    The estimates are computed once and reused by both the alarm scan and
+    the top-N ranking -- output is identical to running
+    :func:`alarms_for_interval` and :func:`~repro.detection.topn.top_n_keys`
+    separately, at roughly half the reconstruction cost.
+    """
+    keys = np.asarray(candidate_keys, dtype=np.uint64)
+    l2 = error_summary.l2_norm()
+    threshold = 0.0 if t_fraction is None else t_fraction * l2
+    alarms: List[Alarm] = []
+    top_keys = np.array([], dtype=np.uint64)
+    top_errors = np.array([], dtype=np.float64)
+    if len(keys) and (t_fraction is not None or top_n):
+        if indices is None and schema is not None:
+            bucket_indices = getattr(schema, "bucket_indices", None)
+            if bucket_indices is not None:
+                indices = bucket_indices(keys)
+        estimates = error_summary.estimate_batch(keys, indices=indices)
+        magnitudes = np.abs(estimates)
+        if t_fraction is not None:
+            hits = magnitudes >= threshold
+            alarms = [
+                Alarm(
+                    interval=interval,
+                    key=int(k),
+                    estimated_error=float(e),
+                    threshold=threshold,
+                )
+                for k, e in zip(keys[hits].tolist(), estimates[hits].tolist())
+            ]
+        if top_n:
+            order = np.lexsort((keys, -magnitudes))
+            chosen = order[:top_n]
+            top_keys = keys[chosen]
+            top_errors = estimates[chosen]
+    return IntervalDetection(
+        index=interval,
+        threshold=threshold,
+        alarms=alarms,
+        top_keys=top_keys,
+        top_errors=top_errors,
+        error_l2=l2,
+    )
 
 
 def alarm_threshold(error_summary, t_fraction: float) -> float:

@@ -12,34 +12,19 @@ arrays -- exactly the access pattern a two-pass file reader would have.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Iterable, Iterator, List, Optional, Union
 
 import numpy as np
 
 from repro.detection.pipeline import run_pipeline
-from repro.detection.threshold import Alarm
-from repro.detection.topn import top_n_keys
+from repro.detection.threshold import (
+    Alarm,  # noqa: F401  (re-exported for backwards compatibility)
+    IntervalDetection,
+    build_interval_report,
+)
 from repro.forecast.base import Forecaster
 from repro.forecast.model_zoo import make_forecaster
 from repro.streams.model import KeyedUpdates
-
-
-@dataclass
-class IntervalDetection:
-    """Detection output for one interval."""
-
-    index: int
-    threshold: float
-    alarms: List[Alarm]
-    top_keys: np.ndarray          # top-N keys by |error| (empty if n=0)
-    top_errors: np.ndarray        # their signed estimated errors
-    error_l2: float               # sqrt(ESTIMATEF2(Se(t)))
-
-    @property
-    def alarm_count(self) -> int:
-        """Number of alarms raised in the interval."""
-        return len(self.alarms)
 
 
 class OfflineTwoPassDetector:
@@ -115,49 +100,31 @@ class OfflineTwoPassDetector:
                 if self.replay_lookback
                 else step.keys
             )
-            # Hash the replay keys once; both thresholding and top-N reuse it.
-            indices = None
-            bucket_indices = getattr(self.schema, "bucket_indices", None)
-            if bucket_indices is not None and len(keys):
-                indices = bucket_indices(keys)
-            l2 = error.l2_norm()
-
-            alarms: List[Alarm] = []
-            threshold = 0.0
-            if self.t_fraction is not None:
-                threshold = self.t_fraction * l2
-                if len(keys):
-                    estimates = error.estimate_batch(keys, indices=indices)
-                    hits = np.abs(estimates) >= threshold
-                    alarms = [
-                        Alarm(
-                            interval=step.index,
-                            key=int(k),
-                            estimated_error=float(e),
-                            threshold=threshold,
-                        )
-                        for k, e in zip(
-                            keys[hits].tolist(), estimates[hits].tolist()
-                        )
-                    ]
-
-            if self.top_n:
-                top_keys, top_errors = top_n_keys(
-                    error, keys, self.top_n, indices=indices, return_estimates=True
-                )
-            else:
-                top_keys = np.array([], dtype=np.uint64)
-                top_errors = np.array([], dtype=np.float64)
-
-            yield IntervalDetection(
-                index=step.index,
-                threshold=threshold,
-                alarms=alarms,
-                top_keys=top_keys,
-                top_errors=top_errors,
-                error_l2=l2,
+            yield build_interval_report(
+                error,
+                keys,
+                interval=step.index,
+                t_fraction=self.t_fraction,
+                top_n=self.top_n,
+                schema=self.schema,
             )
 
     def detect(self, batches: Iterable[KeyedUpdates]) -> List[IntervalDetection]:
         """Convenience: materialize :meth:`run` into a list."""
         return list(self.run(batches))
+
+    def detect_many(
+        self,
+        streams,
+        n_workers: Optional[int] = None,
+    ) -> List[IntervalDetection]:
+        """Network-wide detection over R interval streams (one per router).
+
+        Sketches every stream concurrently, COMBINEs each interval's
+        summaries into the network-wide summary, then detects -- reports
+        are identical to :meth:`detect` over the merged raw trace (sketch
+        linearity; see :mod:`repro.detection.sharded`).
+        """
+        from repro.detection.sharded import parallel_trace_detect
+
+        return parallel_trace_detect(self, streams, n_workers=n_workers)

@@ -22,7 +22,19 @@ from repro.sketch.countmin import CountMinSketch, CountMinSchema
 from repro.sketch.countsketch import CountSketch, CountSketchSchema
 from repro.sketch.dense import DenseSchema, DenseVector, KeyIndex
 from repro.sketch.exact import DictVector, ExactSchema
-from repro.sketch.kary import KArySchema, KArySketch, combine
+from repro.sketch.kary import KArySchema, KArySketch
+from repro.sketch.mergeable import (
+    SchemaHandle,
+    SharedTableBlock,
+    combine,
+    detach_shared,
+    from_shared,
+    kind_of,
+    merge,
+    summary_from_table,
+    table_shape,
+    to_shared,
+)
 from repro.sketch.serialization import dump, dumps, load, loads
 from repro.sketch.stack import SketchStack, tables_estimate_f2
 
@@ -39,10 +51,19 @@ __all__ = [
     "KArySketch",
     "KeyIndex",
     "LinearSummary",
+    "SchemaHandle",
+    "SharedTableBlock",
     "SketchStack",
     "SummaryConvention",
     "combine",
+    "detach_shared",
+    "from_shared",
+    "kind_of",
+    "merge",
+    "summary_from_table",
+    "table_shape",
     "tables_estimate_f2",
+    "to_shared",
     "dump",
     "dumps",
     "linear_combination",

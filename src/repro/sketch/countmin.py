@@ -38,10 +38,35 @@ class CountMinSchema:
             raise ValueError(f"width must be >= 1, got {width}")
         self.depth = int(depth)
         self.width = int(width)
+        self.seed = seed
         self.family = family
         seeds = derive_seeds(seed, depth)
         self.hashes = tuple(make_family(family, width, seed=s) for s in seeds)
         self._stacked = make_stacked(self.hashes, width)
+
+    def __eq__(self, other) -> bool:
+        """Structural equality: same dimensions, family and *explicit* seed.
+
+        Matches :class:`~repro.sketch.kary.KArySchema` semantics: schemas
+        rebuilt from the same explicit seed derive identical hash functions
+        and are COMBINE-compatible; entropy-seeded schemas (``seed=None``)
+        are only equal to themselves.
+        """
+        if self is other:
+            return True
+        if not isinstance(other, CountMinSchema):
+            return NotImplemented
+        return (
+            self.seed is not None
+            and other.seed is not None
+            and self.seed == other.seed
+            and self.depth == other.depth
+            and self.width == other.width
+            and self.family == other.family
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.depth, self.width, self.family, self.seed))
 
     def empty(self) -> "CountMinSketch":
         """Return a fresh zeroed Count-Min sketch."""
@@ -92,6 +117,14 @@ class CountMinSketch(LinearSummary):
         view.flags.writeable = False
         return view
 
+    def copy(self) -> "CountMinSketch":
+        """Return an independent copy sharing the schema."""
+        return CountMinSketch(self._schema, self._table.copy())
+
+    def reset(self) -> None:
+        """Zero all counters in place."""
+        self._table[:] = 0.0
+
     def update_batch(self, keys, values) -> None:
         keys = SummaryConvention.as_key_array(keys)
         values = SummaryConvention.as_value_array(values, len(keys))
@@ -139,7 +172,7 @@ class CountMinSketch(LinearSummary):
                 raise TypeError(
                     f"cannot combine CountMinSketch with {type(summary).__name__}"
                 )
-            if summary._schema is not self._schema:
+            if summary._schema != self._schema:
                 raise ValueError("cannot combine sketches with different schemas")
             table += coeff * summary._table
         return CountMinSketch(self._schema, table)

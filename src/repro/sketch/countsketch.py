@@ -41,6 +41,7 @@ class CountSketchSchema:
             raise ValueError(f"width must be >= 2, got {width}")
         self.depth = int(depth)
         self.width = int(width)
+        self.seed = seed
         self.family = family
         seeds = derive_seeds(seed, 2 * depth)
         self.bucket_hashes = tuple(
@@ -52,6 +53,24 @@ class CountSketchSchema:
         )
         self._bucket_stacked = make_stacked(self.bucket_hashes, width)
         self._sign_stacked = make_stacked(self.sign_hashes, 2)
+
+    def __eq__(self, other) -> bool:
+        """Structural equality: same dimensions, family and *explicit* seed."""
+        if self is other:
+            return True
+        if not isinstance(other, CountSketchSchema):
+            return NotImplemented
+        return (
+            self.seed is not None
+            and other.seed is not None
+            and self.seed == other.seed
+            and self.depth == other.depth
+            and self.width == other.width
+            and self.family == other.family
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.depth, self.width, self.family, self.seed))
 
     def empty(self) -> "CountSketch":
         """Return a fresh zeroed Count Sketch."""
@@ -105,6 +124,14 @@ class CountSketch(LinearSummary):
         view.flags.writeable = False
         return view
 
+    def copy(self) -> "CountSketch":
+        """Return an independent copy sharing the schema."""
+        return CountSketch(self._schema, self._table.copy())
+
+    def reset(self) -> None:
+        """Zero all counters in place."""
+        self._table[:] = 0.0
+
     def update_batch(self, keys, values) -> None:
         keys = SummaryConvention.as_key_array(keys)
         values = SummaryConvention.as_value_array(values, len(keys))
@@ -148,7 +175,7 @@ class CountSketch(LinearSummary):
                 raise TypeError(
                     f"cannot combine CountSketch with {type(summary).__name__}"
                 )
-            if summary._schema is not self._schema:
+            if summary._schema != self._schema:
                 raise ValueError("cannot combine sketches with different schemas")
             table += coeff * summary._table
         return CountSketch(self._schema, table)

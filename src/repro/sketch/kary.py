@@ -101,6 +101,11 @@ class KArySchema:
         return self._family
 
     @property
+    def seed(self) -> Optional[int]:
+        """Master seed (None when seeded from OS entropy)."""
+        return self._seed
+
+    @property
     def hashes(self) -> tuple:
         """The per-row hash functions."""
         return self._hashes

@@ -1,12 +1,15 @@
-"""Binary serialization of k-ary sketches and schemas.
+"""Binary serialization of sketches and their schema identity.
 
 The COMBINE deployment story (routers sketch locally, a collector merges)
 needs sketches on the wire.  A serialized sketch must carry enough schema
 identity that a collector cannot silently combine sketches built with
-different hash functions -- COMBINE is only meaningful when ``(depth,
-width, family, seed)`` all agree, so those are embedded and checked.
+different hash functions -- COMBINE is only meaningful when ``(kind,
+depth, width, key_bits, family, seed)`` all agree, so those are embedded
+and checked.
 
-Format (little-endian):
+Two formats, both little-endian:
+
+``KSK1`` (legacy, k-ary only)
 
 ======  =====  ==============================================
 offset  size   field
@@ -20,10 +23,29 @@ offset  size   field
 22+n    8*H*K  counter table (float64, C order)
 ======  =====  ==============================================
 
-``loads``/``load`` reconstruct the schema (hash tables are re-derived from
-the seed -- deterministic, so only 20-odd bytes of schema travel, not the
-2 MiB tabulation tables) or attach to a caller-provided schema after
-verifying identity.
+``KSK2`` (any summary kind)
+
+======  =====  ==============================================
+offset  size   field
+======  =====  ==============================================
+0       4      magic ``b"KSK2"``
+4       1      kind code (uint8: 1 kary, 2 countmin,
+               3 countsketch, 4 grouptesting)
+5       4      depth (uint32)
+9       4      width (uint32)
+13      4      key_bits (uint32; 0 except grouptesting)
+17      8      schema seed (int64; -1 encodes ``None``)
+25      2      hash family name length (uint16)
+27      n      hash family name (UTF-8)
+27+n    --     counter table (float64, C order)
+======  =====  ==============================================
+
+k-ary sketches keep writing ``KSK1`` so artifacts from earlier versions
+round-trip unchanged; every other kind writes ``KSK2``.  ``loads``/``load``
+accept both, reconstruct the schema (hash tables are re-derived from the
+seed -- deterministic, so only a few dozen bytes of schema travel, not
+the megabytes of tabulation tables) or attach to a caller-provided schema
+after verifying identity.
 """
 
 from __future__ import annotations
@@ -34,35 +56,98 @@ from typing import Optional, Union
 
 import numpy as np
 
+from repro.sketch.countmin import CountMinSchema, CountMinSketch
+from repro.sketch.countsketch import CountSketch, CountSketchSchema
 from repro.sketch.kary import KArySchema, KArySketch
 
 _MAGIC = b"KSK1"
 _HEADER = struct.Struct("<4sIIqH")
 
+_MAGIC2 = b"KSK2"
+_HEADER2 = struct.Struct("<4sBIIIqH")
+_KIND_CODES = {"kary": 1, "countmin": 2, "countsketch": 3, "grouptesting": 4}
+_CODE_KINDS = {code: kind for kind, code in _KIND_CODES.items()}
+
 PathLike = Union[str, os.PathLike]
 
 
-def dumps(sketch: KArySketch) -> bytes:
-    """Serialize a sketch (with schema identity) to bytes."""
-    schema = sketch.schema
-    seed = schema._seed  # schemas are immutable; seed is their identity
+def _seed_code(schema) -> int:
+    seed = schema.seed
     if seed is not None and not isinstance(seed, (int, np.integer)):
-        raise ValueError(
-            "only integer (or None) schema seeds are serializable"
-        )
-    seed_code = -1 if seed is None else int(seed)
-    if seed_code < -1:
+        raise ValueError("only integer (or None) schema seeds are serializable")
+    code = -1 if seed is None else int(seed)
+    if code < -1:
         raise ValueError(f"negative seeds are not serializable, got {seed}")
+    return code
+
+
+def dumps(sketch) -> bytes:
+    """Serialize any supported sketch (with schema identity) to bytes."""
+    from repro.sketch.mergeable import kind_of
+
+    schema = sketch.schema
+    kind = kind_of(schema)
     family = schema.family.encode("utf-8")
-    header = _HEADER.pack(
-        _MAGIC, schema.depth, schema.width, seed_code, len(family)
-    )
     table = np.ascontiguousarray(np.asarray(sketch.table), dtype="<f8")
+    if kind == "kary":
+        # Legacy format: keeps pre-KSK2 artifacts and tooling compatible.
+        header = _HEADER.pack(
+            _MAGIC, schema.depth, schema.width, _seed_code(schema), len(family)
+        )
+    else:
+        key_bits = schema.key_bits if kind == "grouptesting" else 0
+        header = _HEADER2.pack(
+            _MAGIC2,
+            _KIND_CODES[kind],
+            schema.depth,
+            schema.width,
+            key_bits,
+            _seed_code(schema),
+            len(family),
+        )
     return header + family + table.tobytes()
 
 
-def loads(data: bytes, schema: Optional[KArySchema] = None) -> KArySketch:
-    """Deserialize a sketch.
+def _check_schema(schema, kind, depth, width, key_bits, seed, family) -> None:
+    from repro.sketch.mergeable import kind_of
+
+    mismatches = []
+    if kind_of(schema) != kind:
+        mismatches.append(f"kind {kind_of(schema)!r} != {kind!r}")
+    if schema.depth != depth:
+        mismatches.append(f"depth {schema.depth} != {depth}")
+    if schema.width != width:
+        mismatches.append(f"width {schema.width} != {width}")
+    schema_bits = schema.key_bits if kind == "grouptesting" else 0
+    if schema_bits != key_bits:
+        mismatches.append(f"key_bits {schema_bits} != {key_bits}")
+    if schema.family != family:
+        mismatches.append(f"family {schema.family!r} != {family!r}")
+    if schema.seed != seed:
+        mismatches.append(f"seed {schema.seed} != {seed}")
+    if mismatches:
+        raise ValueError(
+            "serialized sketch does not match the provided schema: "
+            + "; ".join(mismatches)
+        )
+
+
+def _build_schema(kind, depth, width, key_bits, seed, family):
+    if kind == "kary":
+        return KArySchema(depth=depth, width=width, seed=seed, family=family)
+    if kind == "countmin":
+        return CountMinSchema(depth=depth, width=width, seed=seed, family=family)
+    if kind == "countsketch":
+        return CountSketchSchema(depth=depth, width=width, seed=seed, family=family)
+    from repro.detection.grouptesting import GroupTestingSchema
+
+    return GroupTestingSchema(
+        depth=depth, width=width, key_bits=key_bits, seed=seed, family=family
+    )
+
+
+def loads(data: bytes, schema=None):
+    """Deserialize a sketch (either wire format).
 
     Parameters
     ----------
@@ -74,51 +159,62 @@ def loads(data: bytes, schema: Optional[KArySchema] = None) -> KArySketch:
         match the serialized one exactly, or ``ValueError`` is raised --
         this is the guard that makes cross-machine COMBINE safe.
     """
-    if len(data) < _HEADER.size:
+    if len(data) < 4:
         raise ValueError("data too short for a sketch header")
-    magic, depth, width, seed_code, name_len = _HEADER.unpack_from(data)
-    if magic != _MAGIC:
-        raise ValueError(f"bad magic {magic!r} (not a serialized k-ary sketch)")
-    offset = _HEADER.size
+    magic = data[:4]
+    if magic == _MAGIC:
+        if len(data) < _HEADER.size:
+            raise ValueError("data too short for a sketch header")
+        _, depth, width, seed_code, name_len = _HEADER.unpack_from(data)
+        kind = "kary"
+        key_bits = 0
+        offset = _HEADER.size
+    elif magic == _MAGIC2:
+        if len(data) < _HEADER2.size:
+            raise ValueError("data too short for a sketch header")
+        _, kind_code, depth, width, key_bits, seed_code, name_len = (
+            _HEADER2.unpack_from(data)
+        )
+        kind = _CODE_KINDS.get(kind_code)
+        if kind is None:
+            raise ValueError(f"unknown summary kind code {kind_code}")
+        offset = _HEADER2.size
+    else:
+        raise ValueError(f"bad magic {magic!r} (not a serialized sketch)")
+
     family = data[offset : offset + name_len].decode("utf-8")
     offset += name_len
     seed = None if seed_code == -1 else seed_code
 
     if schema is None:
-        schema = KArySchema(depth=depth, width=width, seed=seed, family=family)
+        schema = _build_schema(kind, depth, width, key_bits, seed, family)
     else:
-        mismatches = []
-        if schema.depth != depth:
-            mismatches.append(f"depth {schema.depth} != {depth}")
-        if schema.width != width:
-            mismatches.append(f"width {schema.width} != {width}")
-        if schema.family != family:
-            mismatches.append(f"family {schema.family!r} != {family!r}")
-        if schema._seed != seed:
-            mismatches.append(f"seed {schema._seed} != {seed}")
-        if mismatches:
-            raise ValueError(
-                "serialized sketch does not match the provided schema: "
-                + "; ".join(mismatches)
-            )
+        _check_schema(schema, kind, depth, width, key_bits, seed, family)
 
-    expected = depth * width * 8
+    shape = (depth, width, 1 + key_bits) if kind == "grouptesting" else (depth, width)
+    expected = int(np.prod(shape)) * 8
     body = data[offset:]
     if len(body) != expected:
-        raise ValueError(
-            f"table payload is {len(body)} bytes, expected {expected}"
-        )
-    table = np.frombuffer(body, dtype="<f8").reshape(depth, width).copy()
-    return KArySketch(schema, table)
+        raise ValueError(f"table payload is {len(body)} bytes, expected {expected}")
+    table = np.frombuffer(body, dtype="<f8").reshape(shape).copy()
+    if kind == "kary":
+        return KArySketch(schema, table)
+    if kind == "countmin":
+        return CountMinSketch(schema, table)
+    if kind == "countsketch":
+        return CountSketch(schema, table)
+    from repro.detection.grouptesting import GroupTestingSketch
+
+    return GroupTestingSketch(schema, table)
 
 
-def dump(sketch: KArySketch, path: PathLike) -> None:
+def dump(sketch, path: PathLike) -> None:
     """Write a serialized sketch to a file."""
     with open(path, "wb") as fh:
         fh.write(dumps(sketch))
 
 
-def load(path: PathLike, schema: Optional[KArySchema] = None) -> KArySketch:
+def load(path: PathLike, schema=None):
     """Read a serialized sketch from a file."""
     with open(path, "rb") as fh:
         return loads(fh.read(), schema=schema)

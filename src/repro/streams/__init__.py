@@ -54,10 +54,20 @@ from repro.streams.sampling import (
     sample_records,
     sampling_error_scale,
 )
+from repro.streams.sharding import (
+    SHARD_METHODS,
+    BoundedChunkFeeder,
+    iter_interval_chunks,
+    partition_records,
+    shard_assignments,
+    splitmix64,
+)
 
 __all__ = [
+    "BoundedChunkFeeder",
     "FLOW_RECORD_DTYPE",
     "IntervalSlicer",
+    "SHARD_METHODS",
     "IntervalStream",
     "KeyScheme",
     "KeyedUpdates",
@@ -68,16 +78,20 @@ __all__ = [
     "concat_records",
     "empty_records",
     "interval_bounds",
+    "iter_interval_chunks",
     "make_key_scheme",
     "make_records",
     "make_value_scheme",
+    "partition_records",
     "read_trace",
     "read_trace_csv",
     "sample_and_hold_keys",
     "sample_records",
     "sampling_error_scale",
+    "shard_assignments",
     "slice_by_interval",
     "sort_by_time",
+    "splitmix64",
     "validate_records",
     "write_trace",
     "write_trace_csv",

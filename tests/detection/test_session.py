@@ -134,3 +134,66 @@ class TestStreamingSession:
         session = StreamingSession(schema, "ewma", alpha=0.5)
         assert session.ingest(make_records([], [], [])) == []
         assert session.records_ingested == 0
+
+    def test_lateness_exact_boundary(self, schema):
+        """A record exactly at (interval_start - tolerance) is accepted."""
+        session = StreamingSession(
+            schema, "ewma", alpha=0.5, lateness_tolerance=200.0
+        )
+        session.ingest(make_records([700.0], [1], [100]))  # opens interval 2
+        session.ingest(make_records([400.0], [2], [100]))  # floor: 600 - 200
+        assert session.records_ingested == 2
+        with pytest.raises(ValueError, match="predates"):
+            session.ingest(make_records([399.0], [3], [100]))
+
+    def test_flush_at_boundary_keeps_forecast_continuity(self, rng, schema):
+        """Flushing between interval-aligned chunks changes nothing."""
+        records = _records(rng, n=6000, duration=1800.0)
+        split = np.searchsorted(records["timestamp"], 900.0)
+        kwargs = dict(alpha=0.5, t_fraction=0.1)
+
+        continuous = StreamingSession(schema, "ewma", **kwargs)
+        expected = continuous.ingest(records) + continuous.flush()
+
+        interrupted = StreamingSession(schema, "ewma", **kwargs)
+        got = interrupted.ingest(records[:split])
+        got += interrupted.flush()  # seals interval 2 early...
+        got += interrupted.ingest(records[split:])  # ...record 900.x continues at 3
+        got += interrupted.flush()
+        assert [r.index for r in got] == [r.index for r in expected]
+        # Intervals untouched by the early flush score identically.
+        for g, e in zip(got, expected):
+            if g.index != 2:
+                assert g.error_l2 == e.error_l2
+
+    def test_gap_intervals_keep_forecast_evenly_spaced(self, rng, schema):
+        """An empty middle interval must appear in the series, not vanish."""
+        records = _records(rng, n=3000, duration=1500.0)
+        mask = (records["timestamp"] < 600.0) | (records["timestamp"] >= 900.0)
+        gappy = records[mask]  # interval 2 is empty
+        session = StreamingSession(schema, "ewma", alpha=0.5, t_fraction=0.1)
+        reports = session.ingest(gappy) + session.flush()
+        assert [r.index for r in reports] == [1, 2, 3, 4]
+        gap = next(r for r in reports if r.index == 2)
+        # The gap's observation is zero, so its error is the forecast itself.
+        assert gap.error_l2 > 0
+
+    def test_sorted_and_shuffled_chunks_report_identically(self, rng, schema):
+        records = _records(rng, n=4000, duration=1200.0)
+        kwargs = dict(alpha=0.5, t_fraction=0.1, top_n=5)
+
+        sorted_session = StreamingSession(schema, "ewma", **kwargs)
+        expected = sorted_session.ingest(records) + sorted_session.flush()
+
+        shuffled_session = StreamingSession(schema, "ewma", **kwargs)
+        shuffled = records[rng.permutation(len(records))]
+        got = shuffled_session.ingest(shuffled) + shuffled_session.flush()
+
+        assert len(got) == len(expected)
+        for g, e in zip(got, expected):
+            assert g.index == e.index
+            assert g.error_l2 == e.error_l2
+            assert [(a.key, a.estimated_error) for a in g.alarms] == [
+                (a.key, a.estimated_error) for a in e.alarms
+            ]
+            assert np.array_equal(g.top_keys, e.top_keys)

@@ -1,0 +1,205 @@
+"""Tests for sharded parallel ingestion (COMBINE-based).
+
+The load-bearing property: sharded ingestion is *exact*.  Because the
+summaries are linear and update values integral, an N-way sharded session
+must emit reports bit-identical to the serial session -- same thresholds,
+same alarms, same top-N, for every worker count, backend and partitioning.
+"""
+
+import numpy as np
+import pytest
+
+from repro.detection import (
+    OfflineTwoPassDetector,
+    ShardedIngestEngine,
+    ShardedStreamingSession,
+    StreamingSession,
+)
+from repro.detection.sharded import sketch_traces_parallel
+from repro.sketch import KArySchema
+from repro.streams import (
+    IntervalStream,
+    KeyedUpdates,
+    concat_records,
+    make_records,
+    sort_by_time,
+)
+
+
+@pytest.fixture
+def schema():
+    return KArySchema(depth=5, width=4096, seed=0)
+
+
+def _records(rng, n=20000, duration=3000.0, population=800):
+    keys = rng.integers(0, population, n).astype(np.uint32)
+    return make_records(
+        timestamps=np.sort(rng.uniform(0, duration, n)),
+        dst_ips=keys,
+        byte_counts=rng.pareto(1.3, n) * 500 + 40,
+    )
+
+
+def _run(session, records, chunk=2048):
+    reports = []
+    for start in range(0, len(records), chunk):
+        reports.extend(session.ingest(records[start : start + chunk]))
+    reports.extend(session.flush())
+    return reports
+
+
+def _assert_reports_identical(sharded, serial):
+    assert len(sharded) == len(serial)
+    for a, b in zip(sharded, serial):
+        assert a.index == b.index
+        assert a.threshold == b.threshold  # exact: merged tables are exact
+        assert a.error_l2 == b.error_l2
+        assert [(x.key, x.estimated_error) for x in a.alarms] == [
+            (x.key, x.estimated_error) for x in b.alarms
+        ]
+        assert np.array_equal(a.top_keys, b.top_keys)
+        assert np.array_equal(a.top_errors, b.top_errors)
+
+
+class TestShardedSessionEquivalence:
+    """The acceptance criterion: sharded == serial, alarm for alarm."""
+
+    @pytest.mark.parametrize("n_workers", [1, 2, 4])
+    @pytest.mark.parametrize("backend", ["serial", "thread"])
+    def test_matches_streaming_session(self, rng, schema, n_workers, backend):
+        records = _records(rng)
+        kwargs = dict(alpha=0.5, interval_seconds=300.0, t_fraction=0.1, top_n=5)
+        serial = _run(StreamingSession(schema, "ewma", **kwargs), records)
+        with ShardedStreamingSession(
+            schema, "ewma", n_workers=n_workers, backend=backend, **kwargs
+        ) as session:
+            sharded = _run(session, records)
+        _assert_reports_identical(sharded, serial)
+
+    def test_process_backend_matches(self, rng, schema):
+        records = _records(rng, n=8000, duration=1800.0)
+        kwargs = dict(alpha=0.5, interval_seconds=300.0, t_fraction=0.1)
+        serial = _run(StreamingSession(schema, "ewma", **kwargs), records)
+        with ShardedStreamingSession(
+            schema, "ewma", n_workers=2, backend="process", **kwargs
+        ) as session:
+            sharded = _run(session, records)
+        _assert_reports_identical(sharded, serial)
+
+    @pytest.mark.parametrize("partition", ["hash", "round_robin", "block"])
+    def test_record_partitionings_match(self, rng, schema, partition):
+        """Linearity: the routing scheme cannot change the merged sketch."""
+        records = _records(rng, n=8000, duration=1800.0)
+        kwargs = dict(alpha=0.5, interval_seconds=300.0, t_fraction=0.1)
+        serial = _run(StreamingSession(schema, "ewma", **kwargs), records)
+        with ShardedStreamingSession(
+            schema, "ewma", n_workers=4, partition=partition, **kwargs
+        ) as session:
+            sharded = _run(session, records)
+        _assert_reports_identical(sharded, serial)
+
+    def test_gap_intervals_sealed_empty(self, schema):
+        early = make_records([10.0], [1], [100])
+        late = make_records([950.0], [2], [200])
+        with ShardedStreamingSession(schema, "ewma", alpha=0.5, n_workers=2) as s:
+            s.ingest(early)
+            s.ingest(late)
+            s.flush()
+            assert s.intervals_sealed == 4  # two occupied, two empty gaps
+
+    def test_flush_then_continue(self, rng, schema):
+        records = _records(rng, n=4000, duration=1200.0)
+        with ShardedStreamingSession(schema, "ewma", alpha=0.5, n_workers=2) as s:
+            s.ingest(records)
+            s.flush()
+            sealed = s.intervals_sealed
+            more = make_records([1450.0], [3], [300])
+            s.ingest(more)
+            s.flush()
+            assert s.intervals_sealed > sealed
+
+    def test_n_workers_property(self, schema):
+        with ShardedStreamingSession(schema, "ewma", alpha=0.5, n_workers=3) as s:
+            assert s.n_workers == 3
+
+
+class TestShardedIngestEngine:
+    def test_collect_matches_from_items(self, rng, schema):
+        records = _records(rng, n=5000, duration=200.0)
+        with ShardedIngestEngine(schema, n_workers=4) as engine:
+            engine.open_interval()
+            for start in range(0, len(records), 512):
+                engine.accumulate(records[start : start + 512])
+            summary, keys = engine.collect()
+        direct = schema.from_items(
+            records["dst_ip"].astype(np.uint64),
+            records["bytes"].astype(np.float64),
+        )
+        assert np.array_equal(summary._table, direct._table)
+        assert np.array_equal(keys, np.unique(records["dst_ip"].astype(np.uint64)))
+
+    def test_empty_collect(self, schema):
+        with ShardedIngestEngine(schema, n_workers=2) as engine:
+            engine.open_interval()
+            summary, keys = engine.collect()
+            assert not summary._table.any()
+            assert len(keys) == 0
+
+    def test_open_interval_drops_buffers(self, rng, schema):
+        records = _records(rng, n=100, duration=10.0)
+        with ShardedIngestEngine(schema, n_workers=2) as engine:
+            engine.open_interval()
+            engine.accumulate(records)
+            engine.open_interval()  # discard
+            summary, keys = engine.collect()
+            assert not summary._table.any()
+            assert len(keys) == 0
+
+    def test_invalid_args(self, schema):
+        with pytest.raises(ValueError, match="n_workers"):
+            ShardedIngestEngine(schema, n_workers=0)
+        with pytest.raises(ValueError, match="backend"):
+            ShardedIngestEngine(schema, backend="gpu")
+        with pytest.raises(ValueError, match="partition"):
+            ShardedIngestEngine(schema, partition="bogus")
+
+
+class TestParallelTraceDetection:
+    def _traces(self, rng, n_traces=3):
+        return [_records(rng, n=6000, duration=1800.0) for _ in range(n_traces)]
+
+    def test_detect_many_matches_merged_trace(self, rng, schema):
+        traces = self._traces(rng)
+        detector = OfflineTwoPassDetector(schema, "ewma", alpha=0.5, t_fraction=0.1)
+        merged = sort_by_time(concat_records(traces))
+        expected = detector.detect(IntervalStream(merged, interval_seconds=300.0))
+        got = detector.detect_many(
+            [IntervalStream(t, interval_seconds=300.0) for t in traces]
+        )
+        _assert_reports_identical(got, expected)
+
+    def test_detect_many_single_worker(self, rng, schema):
+        traces = self._traces(rng, n_traces=2)
+        detector = OfflineTwoPassDetector(schema, "ewma", alpha=0.5, t_fraction=0.1)
+        merged = sort_by_time(concat_records(traces))
+        expected = detector.detect(IntervalStream(merged, interval_seconds=300.0))
+        got = detector.detect_many(
+            [IntervalStream(t, interval_seconds=300.0) for t in traces],
+            n_workers=1,
+        )
+        _assert_reports_identical(got, expected)
+
+    def test_misaligned_streams_rejected(self, schema):
+        def batch(index):
+            return KeyedUpdates(
+                index=index,
+                keys=np.array([1], dtype=np.uint64),
+                values=np.array([1.0]),
+                duration=300.0,
+            )
+
+        with pytest.raises(ValueError, match="interval index"):
+            sketch_traces_parallel(schema, [[batch(0)], [batch(1)]])
+
+    def test_empty_stream_list(self, schema):
+        assert sketch_traces_parallel(schema, []) == []

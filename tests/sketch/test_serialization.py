@@ -100,3 +100,85 @@ class TestGuards:
         assert np.array_equal(
             np.asarray(restored.table), np.asarray(sketch.table)
         )
+
+
+class TestKSK2:
+    """Wire format for the non-k-ary summary kinds."""
+
+    @pytest.fixture(params=["countmin", "countsketch", "grouptesting"])
+    def other_schema(self, request):
+        from repro.detection.grouptesting import GroupTestingSchema
+        from repro.sketch import CountMinSchema, CountSketchSchema
+
+        return {
+            "countmin": lambda: CountMinSchema(depth=3, width=256, seed=11),
+            "countsketch": lambda: CountSketchSchema(depth=3, width=256, seed=11),
+            "grouptesting": lambda: GroupTestingSchema(
+                depth=3, width=128, key_bits=16, seed=11
+            ),
+        }[request.param]()
+
+    def _sketch(self, schema, rng):
+        keys = rng.integers(0, 2**32, 500, dtype=np.uint64)
+        values = rng.integers(1, 100, 500).astype(np.float64)
+        return schema.from_items(keys, values)
+
+    def test_roundtrip(self, other_schema, rng):
+        sketch = self._sketch(other_schema, rng)
+        restored = loads(dumps(sketch))
+        assert type(restored) is type(sketch)
+        assert np.array_equal(
+            np.asarray(restored.table), np.asarray(sketch.table)
+        )
+        assert restored.schema == other_schema
+
+    def test_wire_magic_is_ksk2(self, other_schema, rng):
+        assert dumps(self._sketch(other_schema, rng))[:4] == b"KSK2"
+
+    def test_kary_stays_ksk1(self, sketch):
+        # Legacy artifacts must keep round-tripping byte-compatibly.
+        assert dumps(sketch)[:4] == b"KSK1"
+
+    def test_attach_to_existing_schema(self, other_schema, rng):
+        sketch = self._sketch(other_schema, rng)
+        restored = loads(dumps(sketch), schema=other_schema)
+        assert restored.schema is other_schema
+
+    def test_kind_mismatch_rejected(self, rng):
+        from repro.sketch import CountMinSchema, CountSketchSchema
+
+        sketch = self._sketch(CountMinSchema(depth=3, width=256, seed=11), rng)
+        with pytest.raises(ValueError, match="kind"):
+            loads(dumps(sketch), schema=CountSketchSchema(depth=3, width=256, seed=11))
+
+    def test_unknown_kind_code_rejected(self, rng):
+        from repro.sketch import CountMinSchema
+
+        data = bytearray(dumps(self._sketch(CountMinSchema(depth=3, width=256, seed=11), rng)))
+        data[4] = 99
+        with pytest.raises(ValueError, match="kind code"):
+            loads(bytes(data))
+
+    def test_file_roundtrip(self, other_schema, rng, tmp_path):
+        sketch = self._sketch(other_schema, rng)
+        path = tmp_path / "sketch.bin"
+        dump(sketch, path)
+        assert np.array_equal(
+            np.asarray(load(path).table), np.asarray(sketch.table)
+        )
+
+    def test_combine_after_wire_transfer(self, other_schema, rng):
+        from repro.sketch import merge
+
+        k1 = rng.integers(0, 2**32, 300, dtype=np.uint64)
+        k2 = rng.integers(0, 2**32, 300, dtype=np.uint64)
+        v1 = rng.integers(1, 100, 300).astype(np.float64)
+        v2 = rng.integers(1, 100, 300).astype(np.float64)
+        merged = merge(
+            [loads(dumps(other_schema.from_items(k1, v1))),
+             loads(dumps(other_schema.from_items(k2, v2)))]
+        )
+        direct = other_schema.from_items(
+            np.concatenate([k1, k2]), np.concatenate([v1, v2])
+        )
+        assert np.array_equal(np.asarray(merged.table), np.asarray(direct.table))

@@ -1,0 +1,150 @@
+"""Tests for record partitioning and the bounded chunk feeder."""
+
+import numpy as np
+import pytest
+
+from repro.streams import (
+    BoundedChunkFeeder,
+    iter_interval_chunks,
+    make_records,
+    partition_records,
+    shard_assignments,
+    sort_by_time,
+    splitmix64,
+)
+
+
+@pytest.fixture
+def records(rng):
+    n = 5000
+    return make_records(
+        timestamps=np.sort(rng.uniform(0, 1500, n)),
+        dst_ips=rng.integers(0, 5000, n),
+        byte_counts=rng.integers(40, 1500, n),
+    )
+
+
+class TestSplitmix64:
+    def test_deterministic(self):
+        x = np.arange(100, dtype=np.uint64)
+        assert np.array_equal(splitmix64(x), splitmix64(x))
+
+    def test_mixes(self):
+        # Consecutive inputs must land on very different outputs.
+        out = splitmix64(np.arange(10000, dtype=np.uint64))
+        assert len(np.unique(out)) == 10000
+        assert len(np.unique(out % np.uint64(4))) == 4
+
+
+class TestShardAssignments:
+    @pytest.mark.parametrize("method", ["hash", "round_robin", "block"])
+    def test_in_range_and_deterministic(self, records, method):
+        shards = shard_assignments(records, 4, method=method)
+        assert shards.min() >= 0 and shards.max() < 4
+        assert np.array_equal(
+            shards, shard_assignments(records, 4, method=method)
+        )
+
+    def test_hash_is_key_affine(self, records):
+        shards = shard_assignments(records, 4, method="hash")
+        # All records of one key land on one shard.
+        for key in np.unique(records["dst_ip"])[:200]:
+            assert len(np.unique(shards[records["dst_ip"] == key])) == 1
+
+    def test_round_robin_balances(self, records):
+        counts = np.bincount(
+            shard_assignments(records, 4, method="round_robin"), minlength=4
+        )
+        assert counts.max() - counts.min() <= 1
+
+    def test_block_is_contiguous(self, records):
+        shards = shard_assignments(records, 4, method="block")
+        assert np.all(np.diff(shards) >= 0)
+
+    def test_invalid_args(self, records):
+        with pytest.raises(ValueError, match="n_shards"):
+            shard_assignments(records, 0)
+        with pytest.raises(ValueError, match="method"):
+            shard_assignments(records, 2, method="bogus")
+
+
+class TestPartitionRecords:
+    @pytest.mark.parametrize("method", ["hash", "round_robin", "block"])
+    def test_partition_is_conservative(self, records, method):
+        parts = partition_records(records, 4, method=method)
+        assert len(parts) == 4
+        assert sum(len(p) for p in parts) == len(records)
+        rebuilt = sort_by_time(np.concatenate(parts))
+        assert np.array_equal(rebuilt, records)
+
+    def test_in_shard_order_preserved(self, records):
+        for part in partition_records(records, 4, method="hash"):
+            if len(part) > 1:
+                assert np.all(np.diff(part["timestamp"]) >= 0)
+
+    def test_single_shard_passthrough(self, records):
+        (only,) = partition_records(records, 1)
+        assert only is records
+
+    def test_empty_shards_are_empty_arrays(self):
+        records = make_records([1.0], [7], [100])
+        parts = partition_records(records, 4, method="hash")
+        assert sum(len(p) for p in parts) == 1
+        assert all(p.dtype == records.dtype for p in parts)
+
+
+class TestIterIntervalChunks:
+    def test_chunks_never_straddle_intervals(self, records):
+        for chunk in iter_interval_chunks(records, 300.0, chunk_records=333):
+            indices = (chunk["timestamp"] // 300.0).astype(int)
+            assert len(np.unique(indices)) == 1
+            assert len(chunk) <= 333
+
+    def test_concatenation_reproduces_stream(self, records):
+        chunks = list(iter_interval_chunks(records, 300.0, chunk_records=500))
+        assert np.array_equal(np.concatenate(chunks), records)
+
+    def test_unsorted_input_is_sorted(self, records, rng):
+        shuffled = records[rng.permutation(len(records))]
+        chunks = list(iter_interval_chunks(shuffled, 300.0))
+        assert np.array_equal(np.concatenate(chunks), records)
+
+    def test_no_cap_yields_one_chunk_per_interval(self, records):
+        chunks = list(iter_interval_chunks(records, 300.0))
+        assert len(chunks) == 5
+
+    def test_empty_input(self):
+        assert list(iter_interval_chunks(make_records([], [], []), 300.0)) == []
+
+    def test_invalid_args(self, records):
+        with pytest.raises(ValueError, match="interval_seconds"):
+            list(iter_interval_chunks(records, 0.0))
+        with pytest.raises(ValueError, match="chunk_records"):
+            list(iter_interval_chunks(records, 300.0, chunk_records=0))
+
+
+class TestBoundedChunkFeeder:
+    def test_yields_in_order(self, records):
+        chunks = list(iter_interval_chunks(records, 300.0, chunk_records=256))
+        with BoundedChunkFeeder(iter(chunks), maxsize=3) as feeder:
+            fed = list(feeder)
+        assert len(fed) == len(chunks)
+        assert np.array_equal(np.concatenate(fed), records)
+
+    def test_source_error_propagates(self, records):
+        def source():
+            yield records[:10]
+            raise RuntimeError("collector went away")
+
+        with BoundedChunkFeeder(source()) as feeder:
+            with pytest.raises(RuntimeError, match="collector went away"):
+                list(feeder)
+
+    def test_close_without_draining(self, records):
+        chunks = iter_interval_chunks(records, 300.0, chunk_records=64)
+        feeder = BoundedChunkFeeder(chunks, maxsize=2)
+        feeder.close()  # must not hang even with a blocked producer
+
+    def test_invalid_maxsize(self):
+        with pytest.raises(ValueError, match="maxsize"):
+            BoundedChunkFeeder(iter([]), maxsize=0)
