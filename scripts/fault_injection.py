@@ -1,0 +1,147 @@
+#!/usr/bin/env python
+"""CI fault injection: kill sharded workers mid-trace, demand exact reports.
+
+Two scenarios, both scored against the serial ``StreamingSession``
+reference with exact (not approximate) equality:
+
+1. **Worker death** -- SIGKILL a live process-pool worker a third of the
+   way through the trace. Supervision must absorb the death (pool
+   rebuild + retry, or degraded serial seal) without losing, duplicating,
+   or perturbing a single interval report.
+2. **Dead pool** -- replace the pool with one that fails every submit and
+   make rebuilds fail too, so *every* interval exhausts its retries and
+   seals through the degraded serial path. Reports must still be exact.
+
+Exits non-zero on any mismatch; prints the supervision tally on success.
+Run as: ``PYTHONPATH=src python scripts/fault_injection.py``
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import sys
+
+import numpy as np
+
+from repro.detection import ShardedStreamingSession, StreamingSession
+from repro.sketch import KArySchema
+from repro.streams import make_records
+
+INTERVAL = 300.0
+CHUNK = 512
+
+
+def _make_records():
+    rng = np.random.default_rng(20260806)
+    n = 8000
+    return make_records(
+        timestamps=np.sort(rng.uniform(0, 2100, n)),
+        dst_ips=rng.integers(0, 500, n).astype(np.uint32),
+        byte_counts=rng.integers(40, 1500, n).astype(np.float64),
+    )
+
+
+def _session_kwargs():
+    return dict(
+        interval_seconds=INTERVAL, t_fraction=0.02, alpha=0.4,
+    )
+
+
+def _run(session, records, fault=None):
+    reports = []
+    for start in range(0, len(records), CHUNK):
+        if fault is not None and start >= len(records) // 3:
+            fault(session)
+            fault = None
+        reports.extend(session.ingest(records[start : start + CHUNK]))
+    reports.extend(session.flush())
+    return reports
+
+
+def _check_identical(reports, reference, label):
+    ok = len(reports) == len(reference)
+    if ok:
+        for got, want in zip(reports, reference):
+            ok = (
+                got.index == want.index
+                and got.threshold == want.threshold
+                and got.error_l2 == want.error_l2
+                and [(a.key, a.estimated_error) for a in got.alarms]
+                == [(a.key, a.estimated_error) for a in want.alarms]
+            )
+            if not ok:
+                break
+    status = "OK " if ok else "FAIL"
+    print(f"[{status}] {label}: {len(reports)}/{len(reference)} reports")
+    return ok
+
+
+class _DeadPool:
+    def submit(self, fn, *args, **kwargs):
+        raise RuntimeError("injected: worker pool is dead")
+
+    def shutdown(self, *args, **kwargs):
+        pass
+
+
+def _kill_one_worker(session):
+    victim = next(iter(session._engine._pool._processes.values()))
+    os.kill(victim.pid, signal.SIGKILL)
+    print(f"       killed worker pid={victim.pid}")
+
+
+def _kill_pool_forever(session):
+    engine = session._engine
+    engine._pool.shutdown(wait=True)
+    engine._pool = _DeadPool()
+    engine._make_process_pool = lambda: _DeadPool()
+    print("       pool replaced with a permanently dead one")
+
+
+def main() -> int:
+    records = _make_records()
+    schema = KArySchema(depth=5, width=2048, seed=11)
+    reference = _run(
+        StreamingSession(schema, "ewma", **_session_kwargs()), records
+    )
+
+    failures = 0
+    scenarios = [
+        (
+            "SIGKILL one worker mid-trace",
+            dict(retry_backoff=0.01),
+            _kill_one_worker,
+            lambda s: s["pool_rebuilds"] >= 1 or s["degraded_intervals"] >= 1,
+        ),
+        (
+            "permanently dead pool (degraded serial seals)",
+            dict(task_timeout=5.0, max_retries=1, retry_backoff=0.0),
+            _kill_pool_forever,
+            lambda s: s["degraded_intervals"] >= 1,
+        ),
+    ]
+    for label, knobs, fault, stats_ok in scenarios:
+        session = ShardedStreamingSession(
+            schema, "ewma", n_workers=3, backend="process",
+            **_session_kwargs(), **knobs,
+        )
+        try:
+            reports = _run(session, records, fault=fault)
+            stats = session.supervision_stats
+        finally:
+            if isinstance(session._engine._pool, _DeadPool):
+                session._engine._pool = None
+            session.close()
+        if not _check_identical(reports, reference, label):
+            failures += 1
+        print(f"       stats: {stats}")
+        if not stats_ok(stats):
+            print(f"[FAIL] {label}: supervision tier never engaged")
+            failures += 1
+
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

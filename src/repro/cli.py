@@ -18,6 +18,12 @@ Subcommands
     COMBINE (sum) serialized sketches, e.g. from several routers.
 ``repro drilldown trace.bin --levels 8,16,24,32``
     Hierarchical prefix attribution of detected changes.
+``repro checkpoint trace.bin --until 5400 --out session.kcp``
+    Stream a trace prefix through a live session, then snapshot the full
+    pipeline state (forecaster + open interval) to a checkpoint file.
+``repro resume session.kcp trace.bin``
+    Restore a checkpointed session and continue over the remaining
+    records -- reports are bit-identical to an uninterrupted run.
 """
 
 from __future__ import annotations
@@ -100,6 +106,98 @@ def _cmd_detect(args: argparse.Namespace) -> int:
             )
             line += f"  top=[{top}]"
         print(line)
+    return 0
+
+
+def _print_session_report(report, top_n: int) -> None:
+    line = (
+        f"interval {report.index:4d}  "
+        f"L2={report.error_l2:12.4g}  alarms={report.alarm_count:5d}"
+    )
+    if top_n:
+        top = ", ".join(
+            f"{key}:{err:.3g}"
+            for key, err in zip(
+                report.top_keys[:top_n].tolist(),
+                report.top_errors[:top_n].tolist(),
+            )
+        )
+        line += f"  top=[{top}]"
+    print(line)
+
+
+def _build_session(args, schema):
+    from repro.detection import ShardedStreamingSession, StreamingSession
+
+    model_params = {}
+    if args.alpha is not None:
+        model_params["alpha"] = args.alpha
+    if args.beta is not None:
+        model_params["beta"] = args.beta
+    if args.window is not None:
+        model_params["window"] = args.window
+    common = dict(
+        interval_seconds=args.interval,
+        key_scheme=args.key,
+        value_scheme=args.value,
+        t_fraction=args.threshold,
+        top_n=args.top_n,
+        **model_params,
+    )
+    if args.workers > 1:
+        return ShardedStreamingSession(
+            schema, args.model, n_workers=args.workers, backend=args.backend,
+            **common,
+        )
+    return StreamingSession(schema, args.model, **common)
+
+
+def _cmd_checkpoint(args: argparse.Namespace) -> int:
+    from repro.detection import save_checkpoint
+    from repro.sketch import KArySchema
+    from repro.streams import read_trace
+
+    records = read_trace(args.trace)
+    schema = KArySchema(depth=args.depth, width=args.width, seed=args.seed)
+    session = _build_session(args, schema)
+    prefix = records[records["timestamp"] <= args.until]
+    reports = session.ingest(prefix) if len(prefix) else []
+    for report in reports:
+        _print_session_report(report, args.top_n)
+    save_checkpoint(session, args.out)
+    if hasattr(session, "close"):
+        session.close()
+    print(
+        f"checkpointed {session.records_ingested} records "
+        f"({session.intervals_sealed} intervals sealed, "
+        f"watermark={session.watermark:.3f}s) -> {args.out}"
+    )
+    return 0
+
+
+def _cmd_resume(args: argparse.Namespace) -> int:
+    from repro.detection import load_checkpoint
+    from repro.streams import read_trace
+
+    session = load_checkpoint(args.checkpoint, backend=args.backend)
+    records = read_trace(args.trace)
+    rest = records[records["timestamp"] > session.watermark]
+    print(
+        f"resuming at watermark={session.watermark:.3f}s "
+        f"({len(rest)} records remain)"
+    )
+    reports = session.ingest(rest) if len(rest) else []
+    if args.out is not None:
+        from repro.detection import save_checkpoint
+
+        save_checkpoint(session, args.out)
+        print(f"re-checkpointed -> {args.out}")
+    else:
+        reports.extend(session.flush())
+    for report in reports:
+        _print_session_report(report, session.top_n)
+    if hasattr(session, "close"):
+        session.close()
     return 0
 
 
@@ -255,6 +353,46 @@ def build_parser() -> argparse.ArgumentParser:
     p_dd.add_argument("--verbose", action="store_true",
                       help="also print change-free intervals")
     p_dd.set_defaults(func=_cmd_drilldown)
+
+    p_ck = sub.add_parser(
+        "checkpoint", help="stream a trace prefix and snapshot the session"
+    )
+    p_ck.add_argument("trace", help="binary trace path")
+    p_ck.add_argument("--until", type=float, required=True,
+                      help="ingest records with timestamp <= this (seconds)")
+    p_ck.add_argument("--out", required=True, help="checkpoint output path")
+    p_ck.add_argument("--model", default="ewma", help="forecast model name")
+    p_ck.add_argument("--interval", type=float, default=300.0)
+    p_ck.add_argument("--key", default="dst_ip", help="key scheme")
+    p_ck.add_argument("--value", default="bytes", help="value scheme")
+    p_ck.add_argument("--depth", type=int, default=5, help="sketch rows H")
+    p_ck.add_argument("--width", type=int, default=32768, help="sketch width K")
+    p_ck.add_argument("--seed", type=int, default=0, help="sketch hash seed")
+    p_ck.add_argument("--threshold", type=float, default=0.05,
+                      help="alarm threshold fraction T")
+    p_ck.add_argument("--top-n", type=int, default=0)
+    p_ck.add_argument("--alpha", type=float, default=None)
+    p_ck.add_argument("--beta", type=float, default=None)
+    p_ck.add_argument("--window", type=int, default=None)
+    p_ck.add_argument("--workers", type=int, default=1,
+                      help="ingestion shards (>1 uses the sharded session)")
+    p_ck.add_argument("--backend", default="thread",
+                      choices=("serial", "thread", "process"),
+                      help="sharded seal backend (with --workers > 1)")
+    p_ck.set_defaults(func=_cmd_checkpoint)
+
+    p_rs = sub.add_parser(
+        "resume", help="restore a checkpointed session and continue"
+    )
+    p_rs.add_argument("checkpoint", help="checkpoint file from 'checkpoint'")
+    p_rs.add_argument("trace", help="binary trace path (full trace; records "
+                      "past the watermark are ingested)")
+    p_rs.add_argument("--backend", default=None,
+                      choices=("serial", "thread", "process"),
+                      help="override the sharded seal backend")
+    p_rs.add_argument("--out", default=None,
+                      help="re-checkpoint here instead of flushing")
+    p_rs.set_defaults(func=_cmd_resume)
 
     p_gs = sub.add_parser("gridsearch", help="grid-search model parameters")
     p_gs.add_argument("--router", default="medium")

@@ -19,6 +19,10 @@ Built from small pieces:
 * :mod:`~repro.detection.grouptesting` -- combinatorial group testing
   sketch that recovers changed keys directly from (modified) sketch state,
   with no key stream at all (the paper's Section 3.3 fourth alternative).
+* :mod:`~repro.detection.checkpoint` -- session checkpoint/restore: the
+  full pipeline state (forecaster internals, open-interval accumulation,
+  cursors) round-trips through one ``KCP1`` container and resumes
+  bit-identically.
 * :mod:`~repro.detection.sharded` -- sharded parallel ingestion built on
   COMBINE: :class:`~repro.detection.sharded.ShardedStreamingSession`
   (drop-in streaming session with an ``n_workers`` knob) and the parallel
@@ -27,6 +31,12 @@ Built from small pieces:
 """
 
 from repro.detection.adaptive import AdaptiveDetector
+from repro.detection.checkpoint import (
+    checkpoint_session,
+    load_checkpoint,
+    restore_session,
+    save_checkpoint,
+)
 from repro.detection.drilldown import (
     DrilldownNode,
     DrilldownReport,
@@ -84,6 +94,10 @@ __all__ = [
     "alarm_threshold",
     "alarms_for_interval",
     "build_interval_report",
+    "checkpoint_session",
+    "load_checkpoint",
+    "restore_session",
+    "save_checkpoint",
     "forecast_error_stream",
     "interval_key_sets",
     "parallel_trace_detect",

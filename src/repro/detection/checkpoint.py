@@ -1,0 +1,265 @@
+"""Session checkpoint/restore: crash-safe streaming change detection.
+
+A deployed monitor that dies mid-trace should not have to replay the
+whole trace, and -- more importantly -- the operator should be able to
+trust that the resumed monitor raises *exactly* the alarms the
+uninterrupted one would have.  This module provides that guarantee:
+
+* :func:`checkpoint_session` captures a :class:`StreamingSession` (or
+  :class:`ShardedStreamingSession`) as one ``KCP1`` container: session
+  configuration and cursors in the meta section, forecaster internals and
+  open-interval accumulation state in the body.
+* :func:`restore_session` rebuilds the session and installs the state.
+  Feeding it every record with ``timestamp > session.watermark`` then
+  produces reports **bit-identical** to the uninterrupted run -- same
+  alarms, same thresholds, same magnitudes, for every forecast model.
+
+Why bit-identity holds:
+
+* sketch counter tables are float64 and round-trip exactly through the
+  wire format;
+* forecaster recursions consume sealed summaries whole, so restoring
+  their retained states (levels, trends, lag windows, innovation queues)
+  reproduces the recursion exactly;
+* serial sessions checkpoint the open interval's half-built sketch
+  directly (the remaining records fold into the same table in the same
+  order), and the accumulated candidate-key chunks collapse to one
+  deduplicated array (``np.unique`` is idempotent and order-insensitive);
+* sharded sessions checkpoint the raw per-shard ``(keys, values)``
+  buffers and the round-robin cursor, so a restored engine routes and
+  seals with the exact same per-shard batched updates.
+
+What cannot be checkpointed raises immediately and loudly: schemas with
+``seed=None`` (their hash functions die with the process), key/value
+schemes not constructible from the registry, and forecaster classes
+outside the model zoo.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional, Union
+
+from repro.detection.session import StreamingSession
+from repro.detection.sharded import ShardedStreamingSession
+from repro.forecast.arima import ArimaForecaster
+from repro.forecast.holtwinters import (
+    HoltWintersForecaster,
+    SeasonalHoltWintersForecaster,
+)
+from repro.forecast.smoothing import (
+    EWMAForecaster,
+    MovingAverageForecaster,
+    SShapedMovingAverageForecaster,
+)
+from repro.sketch.serialization import (
+    checkpoint_meta,
+    dumps_checkpoint,
+    loads_checkpoint,
+    schema_from_identity,
+    schema_identity,
+)
+from repro.streams.keys import DstPrefixKey, make_key_scheme, make_value_scheme
+
+PathLike = Union[str, os.PathLike]
+
+_FORMAT = "streaming-session"
+
+#: Forecaster classes that checkpoint/restore knows how to rebuild --
+#: the paper's six models plus the seasonal extension.
+FORECASTER_CLASSES = {
+    cls.__name__: cls
+    for cls in (
+        MovingAverageForecaster,
+        SShapedMovingAverageForecaster,
+        EWMAForecaster,
+        HoltWintersForecaster,
+        SeasonalHoltWintersForecaster,
+        ArimaForecaster,
+    )
+}
+
+
+def _key_scheme_spec(scheme) -> dict:
+    params = {}
+    if isinstance(scheme, DstPrefixKey):
+        params["prefix_len"] = scheme.prefix_len
+    name = getattr(scheme, "name", "")
+    try:
+        rebuilt = make_key_scheme(name, **params)
+    except (ValueError, TypeError):
+        rebuilt = None
+    if rebuilt is None or type(rebuilt) is not type(scheme):
+        raise ValueError(
+            f"key scheme {type(scheme).__name__} is not reconstructible from "
+            f"the registry (name={name!r}); checkpoints require a registered "
+            "key scheme"
+        )
+    return {"name": name, "params": params}
+
+
+def _value_scheme_spec(scheme) -> dict:
+    name = getattr(scheme, "name", "")
+    try:
+        make_value_scheme(name)
+    except ValueError:
+        raise ValueError(
+            f"value scheme {name!r} is not in the registry; checkpoints "
+            "require a registered value scheme"
+        ) from None
+    return {"name": name}
+
+
+def _forecaster_spec(forecaster) -> dict:
+    cls = type(forecaster)
+    if FORECASTER_CLASSES.get(cls.__name__) is not cls:
+        raise ValueError(
+            f"forecaster {cls.__name__} is not checkpoint-registered; known: "
+            + ", ".join(sorted(FORECASTER_CLASSES))
+        )
+    return {"class": cls.__name__, "config": forecaster.get_config()}
+
+
+def checkpoint_session(session: StreamingSession) -> bytes:
+    """Serialize a streaming session's full pipeline state to bytes.
+
+    The session is left untouched and continues to be usable.  Restoring
+    the returned bytes (:func:`restore_session`) and feeding every record
+    with ``timestamp > session.watermark`` yields reports bit-identical
+    to continuing this session uninterrupted.
+    """
+    sharded = isinstance(session, ShardedStreamingSession)
+    if type(session) not in (StreamingSession, ShardedStreamingSession):
+        raise ValueError(
+            f"cannot checkpoint a {type(session).__name__}; only "
+            "StreamingSession and ShardedStreamingSession are supported"
+        )
+    meta = {
+        "format": _FORMAT,
+        "session": "sharded" if sharded else "serial",
+        "schema": schema_identity(session.schema),
+        "forecaster": _forecaster_spec(session.forecaster),
+        "config": {
+            "interval_seconds": session.interval_seconds,
+            "key_scheme": _key_scheme_spec(session.key_scheme),
+            "value_scheme": _value_scheme_spec(session.value_scheme),
+            "t_fraction": session.t_fraction,
+            "top_n": session.top_n,
+            "lateness_tolerance": session.lateness_tolerance,
+        },
+        "cursor": {
+            "current_index": session.current_interval,
+            "records_ingested": session.records_ingested,
+            "intervals_sealed": session.intervals_sealed,
+            "watermark": session.watermark,
+        },
+    }
+    if sharded:
+        engine = session._engine
+        meta["sharded"] = {
+            "n_workers": engine.n_workers,
+            "backend": engine.backend,
+            "partition": engine.partition,
+            "task_timeout": engine.task_timeout,
+            "max_retries": engine.max_retries,
+            "retry_backoff": engine.retry_backoff,
+        }
+    body = {
+        "forecaster": session.forecaster.get_state(),
+        "accumulation": session._accumulation_state(),
+    }
+    return dumps_checkpoint(meta, body)
+
+
+def restore_session(
+    data: bytes,
+    schema=None,
+    backend: Optional[str] = None,
+) -> StreamingSession:
+    """Rebuild a streaming session from :func:`checkpoint_session` bytes.
+
+    Parameters
+    ----------
+    data:
+        A ``KCP1`` checkpoint container.
+    schema:
+        Optional pre-built schema to attach to (avoids re-deriving hash
+        tables).  Its identity must match the checkpointed one exactly.
+    backend:
+        For sharded checkpoints only: override the seal backend (e.g.
+        restore a ``"process"`` checkpoint as ``"serial"`` on a
+        single-core recovery box).  The backend is an execution choice,
+        not part of the result -- reports are identical either way.
+    """
+    peek = checkpoint_meta(data)
+    if peek.get("format") != _FORMAT:
+        raise ValueError(
+            f"not a streaming-session checkpoint (format={peek.get('format')!r})"
+        )
+    schema = schema_from_identity(peek["schema"], schema=schema)
+    meta, body = loads_checkpoint(data, schema=schema)
+
+    fc_spec = meta["forecaster"]
+    fc_cls = FORECASTER_CLASSES.get(fc_spec["class"])
+    if fc_cls is None:
+        raise ValueError(f"unknown forecaster class {fc_spec['class']!r}")
+    forecaster = fc_cls(**fc_spec["config"])
+
+    config = meta["config"]
+    common = {
+        "interval_seconds": config["interval_seconds"],
+        "key_scheme": make_key_scheme(
+            config["key_scheme"]["name"], **config["key_scheme"]["params"]
+        ),
+        "value_scheme": make_value_scheme(config["value_scheme"]["name"]),
+        "t_fraction": config["t_fraction"],
+        "top_n": config["top_n"],
+        "lateness_tolerance": config["lateness_tolerance"],
+    }
+    if meta["session"] == "sharded":
+        sharded = meta["sharded"]
+        session: StreamingSession = ShardedStreamingSession(
+            schema,
+            forecaster,
+            n_workers=sharded["n_workers"],
+            backend=backend if backend is not None else sharded["backend"],
+            partition=sharded["partition"],
+            task_timeout=sharded["task_timeout"],
+            max_retries=sharded["max_retries"],
+            retry_backoff=sharded["retry_backoff"],
+            **common,
+        )
+    else:
+        if backend is not None:
+            raise ValueError("backend override only applies to sharded checkpoints")
+        session = StreamingSession(schema, forecaster, **common)
+
+    session.forecaster.set_state(body["forecaster"])
+    cursor = meta["cursor"]
+    session._current_index = (
+        None if cursor["current_index"] is None else int(cursor["current_index"])
+    )
+    session._records_ingested = int(cursor["records_ingested"])
+    session._intervals_sealed = int(cursor["intervals_sealed"])
+    session._watermark = float(cursor["watermark"])
+    session._restore_accumulation(body["accumulation"])
+    return session
+
+
+def save_checkpoint(session: StreamingSession, path: PathLike) -> None:
+    """Write a session checkpoint to a file (atomic via rename)."""
+    data = checkpoint_session(session)
+    tmp = f"{os.fspath(path)}.tmp"
+    with open(tmp, "wb") as fh:
+        fh.write(data)
+    os.replace(tmp, path)
+
+
+def load_checkpoint(
+    path: PathLike,
+    schema=None,
+    backend: Optional[str] = None,
+) -> StreamingSession:
+    """Read a session checkpoint from a file and restore it."""
+    with open(path, "rb") as fh:
+        return restore_session(fh.read(), schema=schema, backend=backend)

@@ -103,6 +103,7 @@ class StreamingSession:
         self._current_keys: List[np.ndarray] = []
         self._records_ingested = 0
         self._intervals_sealed = 0
+        self._watermark = float("-inf")
 
     # -- introspection -------------------------------------------------------
 
@@ -120,6 +121,16 @@ class StreamingSession:
     def intervals_sealed(self) -> int:
         """Intervals completed and stepped through the model."""
         return self._intervals_sealed
+
+    @property
+    def watermark(self) -> float:
+        """Latest record timestamp accepted (``-inf`` before any data).
+
+        The recovery cursor: after restoring a checkpoint, re-feed only
+        records with ``timestamp > watermark`` to continue exactly where
+        the checkpointed session left off.
+        """
+        return self._watermark
 
     # -- ingestion -----------------------------------------------------------
 
@@ -168,6 +179,7 @@ class StreamingSession:
             reports.extend(self._advance_to(int(interval_index)))
             self._accumulate(chunk)
         self._records_ingested += len(records)
+        self._watermark = max(self._watermark, float(records["timestamp"][-1]))
         return reports
 
     def _advance_to(self, interval_index: int) -> List[IntervalDetection]:
@@ -207,6 +219,30 @@ class StreamingSession:
         )
         self._current_keys = []
         return observed, keys
+
+    # -- checkpoint hooks (overridden by ShardedStreamingSession) ------------
+
+    def _accumulation_state(self) -> dict:
+        """Open-interval accumulation state, in checkpoint-codec values.
+
+        Deduplicating the accumulated key chunks here is safe:
+        ``np.unique`` over the concatenation is idempotent and
+        order-insensitive, so sealing after a restore yields the same key
+        set (and the same sketch table -- its float64 counters round-trip
+        exactly) as the uninterrupted run.
+        """
+        keys = (
+            np.unique(np.concatenate(self._current_keys))
+            if self._current_keys
+            else np.array([], dtype=np.uint64)
+        )
+        return {"sketch": self._current_sketch, "keys": keys}
+
+    def _restore_accumulation(self, state: dict) -> None:
+        """Install accumulation state captured by :meth:`_accumulation_state`."""
+        self._current_sketch = state["sketch"]
+        keys = state["keys"]
+        self._current_keys = [keys] if len(keys) else []
 
     # -- sealing -------------------------------------------------------------
 

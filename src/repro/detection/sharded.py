@@ -36,8 +36,10 @@ twice.  This module turns that into an ingestion architecture:
 
 from __future__ import annotations
 
+import time
 from collections import deque
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures import TimeoutError as _FuturesTimeout
 from typing import Iterable, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
@@ -97,11 +99,26 @@ class ShardedIngestEngine:
         ``"hash"``/``"round_robin"``/``"block"`` split inside each chunk
         via :func:`~repro.streams.sharding.partition_records`.  All
         partitionings yield the same merged sketch (linearity).
+    task_timeout:
+        Seconds a seal task may run before the interval is considered
+        stuck (``None``, the default, waits forever).  On the process
+        backend a timeout triggers the retry path below; on the thread
+        backend it falls straight back to serial sealing.
+    max_retries:
+        Process-backend retry budget per interval.  Worker failures
+        (a killed process, a broken pool, a timeout) rebuild the pool and
+        re-seal; after ``max_retries`` failed retries the engine enters
+        **degraded mode**: the interval is sealed serially in the parent,
+        so a dying worker can delay a report but never lose one.
+    retry_backoff:
+        Base sleep (seconds) between retries, doubled each attempt.
 
     The lifecycle per interval is ``open_interval()``, ``accumulate()``
     for each single-interval chunk, then ``collect()`` returning
     ``(merged_summary, unique_keys)``.  ``close()`` releases the pool and
-    any shared memory; the engine is also a context manager.
+    any shared memory; the engine is also a context manager.  Supervision
+    outcomes are tallied in :attr:`stats` (``retries``, ``timeouts``,
+    ``pool_rebuilds``, ``degraded_intervals``).
     """
 
     def __init__(
@@ -112,6 +129,9 @@ class ShardedIngestEngine:
         key_scheme=None,
         value_scheme=None,
         partition: str = "chunk",
+        task_timeout: Optional[float] = None,
+        max_retries: int = 2,
+        retry_backoff: float = 0.1,
     ) -> None:
         if n_workers < 1:
             raise ValueError(f"n_workers must be >= 1, got {n_workers}")
@@ -122,12 +142,27 @@ class ShardedIngestEngine:
                 f"unknown partition {partition!r} "
                 f"(expected 'chunk' or one of {SHARD_METHODS})"
             )
+        if task_timeout is not None and task_timeout <= 0:
+            raise ValueError(f"task_timeout must be > 0, got {task_timeout}")
+        if max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {max_retries}")
+        if retry_backoff < 0:
+            raise ValueError(f"retry_backoff must be >= 0, got {retry_backoff}")
         from repro.streams.keys import make_key_scheme, make_value_scheme
 
         self.schema = schema
         self.n_workers = int(n_workers)
         self.backend = backend
         self.partition = partition
+        self.task_timeout = task_timeout
+        self.max_retries = int(max_retries)
+        self.retry_backoff = float(retry_backoff)
+        self.stats = {
+            "retries": 0,
+            "timeouts": 0,
+            "pool_rebuilds": 0,
+            "degraded_intervals": 0,
+        }
         self.key_scheme = (
             make_key_scheme(key_scheme or "dst_ip")
             if key_scheme is None or isinstance(key_scheme, str)
@@ -145,24 +180,28 @@ class ShardedIngestEngine:
         ]
         self._rr = 0  # chunk-mode round-robin cursor
         self._pool = None
+        self._handle: Optional[SchemaHandle] = None
         self._block: Optional[SharedTableBlock] = None
         if backend == "thread":
             self._pool = ThreadPoolExecutor(max_workers=self.n_workers)
         elif backend == "process":
-            import multiprocessing as mp
-
-            handle = SchemaHandle.from_schema(schema)
+            self._handle = SchemaHandle.from_schema(schema)
             self._block = SharedTableBlock.create(schema, self.n_workers)
-            try:
-                ctx = mp.get_context("fork")
-            except ValueError:  # pragma: no cover - non-POSIX platforms
-                ctx = mp.get_context()
-            self._pool = ProcessPoolExecutor(
-                max_workers=self.n_workers,
-                mp_context=ctx,
-                initializer=_process_worker_init,
-                initargs=(self._block.name, handle, self.n_workers),
-            )
+            self._pool = self._make_process_pool()
+
+    def _make_process_pool(self) -> ProcessPoolExecutor:
+        import multiprocessing as mp
+
+        try:
+            ctx = mp.get_context("fork")
+        except ValueError:  # pragma: no cover - non-POSIX platforms
+            ctx = mp.get_context()
+        return ProcessPoolExecutor(
+            max_workers=self.n_workers,
+            mp_context=ctx,
+            initializer=_process_worker_init,
+            initargs=(self._block.name, self._handle, self.n_workers),
+        )
 
     # -- interval lifecycle --------------------------------------------------
 
@@ -204,12 +243,112 @@ class ShardedIngestEngine:
         values = np.concatenate([v for _, v in buf])
         return keys, values
 
+    def _dedup_parent(self, shard_items) -> np.ndarray:
+        # The parent already holds every shard's raw keys, so the
+        # interval's key set is one dedup over their concatenation --
+        # the same work as single-shard ingestion, independent of
+        # n_workers (per-shard dedup would make seals *more* expensive
+        # as workers are added).
+        return np.unique(
+            shard_items[0][0]
+            if len(shard_items) == 1
+            else np.concatenate([k for k, _ in shard_items])
+        )
+
+    def _seal_degraded(self, loaded, shard_items):
+        """Degraded mode: seal the interval serially in the parent.
+
+        The last line of supervision -- when workers keep failing, the
+        interval's records are still in the parent's buffers, so the seal
+        runs inline (exactly the serial backend's code path) and the
+        report is emitted late rather than lost.  Any partially-written
+        shared slots from dead workers are zeroed and ignored.
+        """
+        self.stats["degraded_intervals"] += 1
+        if self._block is not None:
+            for i in loaded:
+                self._block.slot(i)[:] = 0.0
+        summaries = [_sketch_shard(self.schema, *items) for items in shard_items]
+        return summaries, self._dedup_parent(shard_items)
+
+    def _seal_process(self, loaded, shard_items):
+        # Workers dedup their own keys (smaller result pickles back);
+        # the parent unions the per-shard sorted sets.
+        attempts = self.max_retries + 1
+        for attempt in range(attempts):
+            futures = []
+            try:
+                futures = [
+                    self._pool.submit(_process_worker_seal, i, *items)
+                    for i, items in zip(loaded, shard_items)
+                ]
+                key_sets = [f.result(timeout=self.task_timeout) for f in futures]
+                summaries = [self._block.summary(i) for i in loaded]
+                keys = key_sets[0] if len(key_sets) == 1 else np.unique(
+                    np.concatenate(key_sets)
+                )
+                return summaries, keys
+            except Exception as exc:
+                for future in futures:
+                    future.cancel()
+                if isinstance(exc, _FuturesTimeout):
+                    self.stats["timeouts"] += 1
+                # Whatever failed -- a killed worker (BrokenProcessPool), a
+                # timeout, a transient task error -- the pool may now hold
+                # stragglers still writing their slots.  Rebuild it so every
+                # retry starts from quiesced workers and freshly-zeroed
+                # slots (each seal task zeroes its slot first), instead of
+                # racing a stale task on the same slot.
+                self._rebuild_pool()
+                if attempt + 1 < attempts:
+                    self.stats["retries"] += 1
+                    if self.retry_backoff:
+                        time.sleep(self.retry_backoff * (2.0**attempt))
+        return self._seal_degraded(loaded, shard_items)
+
+    def _seal_thread(self, loaded, shard_items):
+        futures = [
+            self._pool.submit(_sketch_shard, self.schema, *items)
+            for items in shard_items
+        ]
+        try:
+            summaries = [f.result(timeout=self.task_timeout) for f in futures]
+        except _FuturesTimeout:
+            # Threads cannot be killed or respawned, so there is no retry
+            # tier: a stuck seal degrades straight to the serial path.
+            # (Non-timeout task exceptions propagate -- thread tasks run
+            # our own deterministic code, so retrying cannot help.)
+            for future in futures:
+                future.cancel()
+            self.stats["timeouts"] += 1
+            return self._seal_degraded(loaded, shard_items)
+        return summaries, self._dedup_parent(shard_items)
+
+    def _rebuild_pool(self) -> None:
+        """Terminate the process pool's workers and start a fresh pool."""
+        pool, self._pool = self._pool, None
+        if pool is not None:
+            for proc in list((getattr(pool, "_processes", None) or {}).values()):
+                try:
+                    proc.terminate()
+                except Exception:  # pragma: no cover - already dead
+                    pass
+            try:
+                pool.shutdown(wait=False, cancel_futures=True)
+            except Exception:  # pragma: no cover - broken-pool teardown
+                pass
+        self.stats["pool_rebuilds"] += 1
+        self._pool = self._make_process_pool()
+
     def collect(self):
         """Seal the interval: one batched update per shard, then COMBINE.
 
         Returns ``(merged_summary, unique_keys)`` where ``unique_keys``
         equals ``np.unique`` over every key ingested this interval --
-        byte-for-byte what single-stream ingestion computes.
+        byte-for-byte what single-stream ingestion computes.  Worker
+        failures on the pool backends are supervised (retry with backoff,
+        then degraded serial sealing), so an interval with buffered
+        records always produces its summary.
         """
         loaded = [i for i in range(self.n_workers) if self._buffers[i]]
         if not loaded:
@@ -217,38 +356,14 @@ class ShardedIngestEngine:
 
         shard_items = [self._shard_items(i) for i in loaded]
         if self.backend == "process":
-            # Workers dedup their own keys (smaller result pickles back);
-            # the parent unions the per-shard sorted sets.
-            futures = [
-                self._pool.submit(_process_worker_seal, i, *items)
-                for i, items in zip(loaded, shard_items)
-            ]
-            key_sets = [f.result() for f in futures]
-            summaries = [self._block.summary(i) for i in loaded]
-            keys = key_sets[0] if len(key_sets) == 1 else np.unique(
-                np.concatenate(key_sets)
-            )
+            summaries, keys = self._seal_process(loaded, shard_items)
+        elif self.backend == "thread":
+            summaries, keys = self._seal_thread(loaded, shard_items)
         else:
-            # The parent already holds every shard's raw keys, so the
-            # interval's key set is one dedup over their concatenation --
-            # the same work as single-shard ingestion, independent of
-            # n_workers (per-shard dedup would make seals *more* expensive
-            # as workers are added).
-            if self.backend == "thread":
-                futures = [
-                    self._pool.submit(_sketch_shard, self.schema, *items)
-                    for items in shard_items
-                ]
-                summaries = [f.result() for f in futures]
-            else:
-                summaries = [
-                    _sketch_shard(self.schema, *items) for items in shard_items
-                ]
-            keys = np.unique(
-                shard_items[0][0]
-                if len(shard_items) == 1
-                else np.concatenate([k for k, _ in shard_items])
-            )
+            summaries = [
+                _sketch_shard(self.schema, *items) for items in shard_items
+            ]
+            keys = self._dedup_parent(shard_items)
 
         for i in loaded:
             self._buffers[i].clear()
@@ -259,6 +374,40 @@ class ShardedIngestEngine:
         if self.backend == "process" and len(summaries) == 1:
             summary = merge(summaries)  # detach from the shared slot
         return summary, keys
+
+    # -- checkpoint support --------------------------------------------------
+
+    def capture_buffers(self) -> dict:
+        """Open-interval buffer state, in checkpoint-codec values.
+
+        The per-shard ``(keys, values)`` pairs are captured in arrival
+        order, so a restored engine seals the interval with the exact
+        same per-shard batched updates -- the merged table is
+        bit-identical to the uninterrupted run's.
+        """
+        return {
+            "rr": self._rr,
+            "buffers": [list(buf) for buf in self._buffers],
+        }
+
+    def restore_buffers(self, state: dict) -> None:
+        """Install buffer state captured by :meth:`capture_buffers`."""
+        buffers = state["buffers"]
+        if len(buffers) != self.n_workers:
+            raise ValueError(
+                f"checkpoint holds {len(buffers)} shard buffers, engine has "
+                f"{self.n_workers} shards"
+            )
+        self.open_interval()
+        self._rr = int(state["rr"]) % self.n_workers
+        for buf, saved in zip(self._buffers, buffers):
+            buf.extend(
+                (
+                    np.asarray(keys, dtype=np.uint64),
+                    np.asarray(values, dtype=np.float64),
+                )
+                for keys, values in saved
+            )
 
     # -- teardown ------------------------------------------------------------
 
@@ -282,7 +431,8 @@ class ShardedStreamingSession(StreamingSession):
     """A :class:`StreamingSession` whose ingestion is sharded.
 
     Drop-in replacement: same constructor arguments plus ``n_workers``,
-    ``backend`` and ``partition`` (forwarded to
+    ``backend``, ``partition`` and the supervision knobs ``task_timeout``,
+    ``max_retries``, ``retry_backoff`` (all forwarded to
     :class:`ShardedIngestEngine`).  Reports are identical to the serial
     session's -- same alarms, thresholds and top-N -- because the merged
     per-interval sketch and candidate key set are identical (COMBINE
@@ -299,6 +449,9 @@ class ShardedStreamingSession(StreamingSession):
         n_workers: int = 2,
         backend: str = "thread",
         partition: str = "chunk",
+        task_timeout: Optional[float] = None,
+        max_retries: int = 2,
+        retry_backoff: float = 0.1,
         **kwargs,
     ) -> None:
         super().__init__(schema, forecaster, **kwargs)
@@ -309,12 +462,30 @@ class ShardedStreamingSession(StreamingSession):
             key_scheme=self.key_scheme,
             value_scheme=self.value_scheme,
             partition=partition,
+            task_timeout=task_timeout,
+            max_retries=max_retries,
+            retry_backoff=retry_backoff,
         )
 
     @property
     def n_workers(self) -> int:
         """Number of ingestion shards."""
         return self._engine.n_workers
+
+    @property
+    def backend(self) -> str:
+        """The engine's seal backend (``serial``/``thread``/``process``)."""
+        return self._engine.backend
+
+    @property
+    def partition(self) -> str:
+        """How records are routed to shards."""
+        return self._engine.partition
+
+    @property
+    def supervision_stats(self) -> dict:
+        """Snapshot of the engine's supervision counters."""
+        return dict(self._engine.stats)
 
     def _open_interval(self) -> None:
         self._current_sketch = None  # state lives in the engine
@@ -325,6 +496,15 @@ class ShardedStreamingSession(StreamingSession):
 
     def _collect_current(self):
         return self._engine.collect()
+
+    def _accumulation_state(self) -> dict:
+        # The raw per-shard buffers (not a dedup or a half-built sketch):
+        # a restored engine replays the exact per-shard batched updates,
+        # preserving summation order and hence bit-identity.
+        return {"engine": self._engine.capture_buffers()}
+
+    def _restore_accumulation(self, state: dict) -> None:
+        self._engine.restore_buffers(state["engine"])
 
     def close(self) -> None:
         """Release the engine's worker pool and shared memory."""

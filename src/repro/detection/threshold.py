@@ -36,8 +36,14 @@ class Alarm:
 
     @property
     def magnitude(self) -> float:
-        """How far past the threshold the error landed (>= 1.0)."""
-        return abs(self.estimated_error) / self.threshold if self.threshold else float("inf")
+        """How far past the threshold the error landed (>= 1.0).
+
+        With a zero threshold, any nonzero error is infinitely far past
+        it; a zero error sits exactly at it (magnitude 1.0), not past it.
+        """
+        if self.threshold:
+            return abs(self.estimated_error) / self.threshold
+        return float("inf") if self.estimated_error else 1.0
 
 
 @dataclass
@@ -111,7 +117,10 @@ def build_interval_report(
         estimates = error_summary.estimate_batch(keys, indices=indices)
         magnitudes = np.abs(estimates)
         if t_fraction is not None:
-            hits = magnitudes >= threshold
+            # A zero threshold (T = 0, or an all-zero error summary) must
+            # not alarm on keys whose reconstructed error is exactly zero
+            # -- they carry no change signal at all.
+            hits = magnitudes >= threshold if threshold > 0.0 else magnitudes > 0.0
             alarms = [
                 Alarm(
                     interval=interval,
@@ -176,7 +185,10 @@ def alarms_for_interval(
         return []
     threshold = alarm_threshold(error_summary, t_fraction)
     estimates = error_summary.estimate_batch(keys, indices=indices)
-    hits = np.abs(estimates) >= threshold
+    magnitudes = np.abs(estimates)
+    # Same zero-threshold rule as build_interval_report: exact-zero
+    # errors never alarm.
+    hits = magnitudes >= threshold if threshold > 0.0 else magnitudes > 0.0
     return [
         Alarm(
             interval=interval,

@@ -182,6 +182,25 @@ class ArimaForecaster(Forecaster):
         self._pending_forecast_z = None
         self._zero = None
 
+    def get_config(self) -> dict:
+        return {"ar": self.ar, "ma": self.ma, "d": self.order.d}
+
+    def _state_dict(self) -> dict:
+        return {
+            "raw": list(self._raw),
+            "z": list(self._z),
+            "errors": list(self._errors),
+            "pending_forecast_z": self._pending_forecast_z,
+            "zero": self._zero,
+        }
+
+    def _load_state_dict(self, state: dict) -> None:
+        self._raw.extend(state["raw"])
+        self._z.extend(state["z"])
+        self._errors.extend(state["errors"])
+        self._pending_forecast_z = state["pending_forecast_z"]
+        self._zero = state["zero"]
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (
             f"ArimaForecaster(ar={self.ar}, ma={self.ma}, d={self.order.d})"

@@ -99,6 +99,55 @@ class Forecaster(abc.ABC):
     def _reset_state(self) -> None:
         """Clear model-specific state (history buffers, components)."""
 
+    # -- state capture / restore (checkpointing) ---------------------------
+
+    def get_config(self) -> dict:
+        """Constructor keyword arguments that rebuild this forecaster.
+
+        ``type(f)(**f.get_config())`` must return an equivalent (freshly
+        reset) forecaster.  Together with :meth:`get_state` this is the
+        model half of a session checkpoint.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not implement get_config()"
+        )
+
+    def get_state(self) -> dict:
+        """Snapshot the full internal state as a flat dict.
+
+        Values are restricted to what the checkpoint codec carries:
+        scalars, ``None``, NumPy arrays, summaries, and lists/tuples of
+        those.  The snapshot is deep enough that a restored forecaster
+        continues **bit-identically**: every future :meth:`forecast` /
+        :meth:`observe` matches the un-checkpointed object's.
+        """
+        state = self._state_dict()
+        state["t"] = self._t
+        return state
+
+    def set_state(self, state: dict) -> None:
+        """Restore a :meth:`get_state` snapshot (replaces current state)."""
+        state = dict(state)
+        t = state.pop("t")
+        self._reset_state()
+        self._load_state_dict(state)
+        self._t = int(t)
+
+    def _state_dict(self) -> dict:
+        """Model-specific state (everything except the shared ``t``)."""
+        raise NotImplementedError(
+            f"{type(self).__name__} does not implement state capture"
+        )
+
+    def _load_state_dict(self, state: dict) -> None:
+        """Restore model-specific state captured by :meth:`_state_dict`.
+
+        Called on a freshly reset instance (``_reset_state`` has run).
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not implement state restore"
+        )
+
 
 def collect_errors(forecaster: Forecaster, observations: Iterable[Any]) -> List[Any]:
     """Run a forecaster over a series and return the non-warm-up errors."""

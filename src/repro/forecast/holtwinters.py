@@ -65,6 +65,23 @@ class HoltWintersForecaster(Forecaster):
         self._trend = None
         self._forecast = None
 
+    def get_config(self) -> dict:
+        return {"alpha": self.alpha, "beta": self.beta}
+
+    def _state_dict(self) -> dict:
+        return {
+            "first": self._first,
+            "smooth": self._smooth,
+            "trend": self._trend,
+            "forecast": self._forecast,
+        }
+
+    def _load_state_dict(self, state: dict) -> None:
+        self._first = state["first"]
+        self._smooth = state["smooth"]
+        self._trend = state["trend"]
+        self._forecast = state["forecast"]
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"HoltWintersForecaster(alpha={self.alpha}, beta={self.beta})"
 
@@ -138,6 +155,28 @@ class SeasonalHoltWintersForecaster(Forecaster):
         self._level = None
         self._trend = None
         self._season = []
+
+    def get_config(self) -> dict:
+        return {
+            "alpha": self.alpha,
+            "beta": self.beta,
+            "gamma": self.gamma,
+            "period": self.period,
+        }
+
+    def _state_dict(self) -> dict:
+        return {
+            "bootstrap": list(self._bootstrap),
+            "level": self._level,
+            "trend": self._trend,
+            "season": list(self._season),
+        }
+
+    def _load_state_dict(self, state: dict) -> None:
+        self._bootstrap = list(state["bootstrap"])
+        self._level = state["level"]
+        self._trend = state["trend"]
+        self._season = list(state["season"])
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

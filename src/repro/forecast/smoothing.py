@@ -41,6 +41,15 @@ class MovingAverageForecaster(Forecaster):
     def _reset_state(self) -> None:
         self._history.clear()
 
+    def get_config(self) -> dict:
+        return {"window": self.window}
+
+    def _state_dict(self) -> dict:
+        return {"history": list(self._history)}
+
+    def _load_state_dict(self, state: dict) -> None:
+        self._history.extend(state["history"])
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"MovingAverageForecaster(window={self.window})"
 
@@ -95,6 +104,15 @@ class SShapedMovingAverageForecaster(Forecaster):
     def _reset_state(self) -> None:
         self._history.clear()
 
+    def get_config(self) -> dict:
+        return {"window": self.window}
+
+    def _state_dict(self) -> dict:
+        return {"history": list(self._history)}
+
+    def _load_state_dict(self, state: dict) -> None:
+        self._history.extend(state["history"])
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"SShapedMovingAverageForecaster(window={self.window})"
 
@@ -126,6 +144,15 @@ class EWMAForecaster(Forecaster):
 
     def _reset_state(self) -> None:
         self._forecast = None
+
+    def get_config(self) -> dict:
+        return {"alpha": self.alpha}
+
+    def _state_dict(self) -> dict:
+        return {"forecast": self._forecast}
+
+    def _load_state_dict(self, state: dict) -> None:
+        self._forecast = state["forecast"]
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"EWMAForecaster(alpha={self.alpha})"

@@ -25,7 +25,12 @@ support vectorized evaluation over NumPy arrays of keys.
 """
 
 from repro.hashing.carter_wegman import PolynomialHash, TwoUniversalHash
-from repro.hashing.seeds import SeedSequenceFactory, derive_seeds
+from repro.hashing.seeds import (
+    MAX_MASTER_SEED,
+    SeedSequenceFactory,
+    derive_seeds,
+    validate_master_seed,
+)
 from repro.hashing.stacked import (
     LoopStackedHash,
     StackedHash,
@@ -48,6 +53,8 @@ __all__ = [
     "TabulationHash",
     "TwoUniversalHash",
     "derive_seeds",
+    "validate_master_seed",
+    "MAX_MASTER_SEED",
     "fused_signed_update",
     "make_family",
     "make_stacked",

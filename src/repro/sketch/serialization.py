@@ -17,7 +17,8 @@ offset  size   field
 0       4      magic ``b"KSK1"``
 4       4      depth ``H`` (uint32)
 8       4      width ``K`` (uint32)
-12      8      schema seed (int64; -1 encodes ``None``)
+12      8      schema seed (int64; legacy blobs used -1 for ``None``,
+               which is now refused at both ends -- see below)
 20      2      hash family name length (uint16)
 22      n      hash family name (UTF-8)
 22+n    8*H*K  counter table (float64, C order)
@@ -46,13 +47,41 @@ accept both, reconstruct the schema (hash tables are re-derived from the
 seed -- deterministic, so only a few dozen bytes of schema travel, not
 the megabytes of tabulation tables) or attach to a caller-provided schema
 after verifying identity.
+
+Entropy-seeded schemas (``seed=None``) are **refused** at both ends: their
+hash functions exist only in the creating process, so a deserialized
+sketch would silently estimate garbage.  Legacy blobs carrying the old
+``-1`` seed sentinel raise the same error at load.
+
+``KCP1`` (checkpoint container)
+
+A versioned envelope for structured pipeline state -- the on-disk form of
+a :class:`~repro.detection.session.StreamingSession` checkpoint:
+
+======  =====  ==============================================
+offset  size   field
+======  =====  ==============================================
+0       4      magic ``b"KCP1"``
+4       2      container version (uint16)
+6       4      meta length ``m`` (uint32)
+10      m      meta: one packed value (no summaries permitted)
+10+m    --     body: one packed value (summaries permitted)
+======  =====  ==============================================
+
+Values are packed with a small tagged codec (:func:`pack_state` /
+:func:`unpack_state`) covering ``None``, bools, ints, floats, strings,
+bytes, NumPy arrays, nested lists/tuples/dicts, and -- in the body --
+any serializable summary (embedded as a full KSK blob, so every embedded
+sketch carries the same schema-identity guards as a standalone one).
+The meta section is summary-free so a reader can inspect the schema
+identity *before* deciding how (or whether) to materialize the body.
 """
 
 from __future__ import annotations
 
 import os
 import struct
-from typing import Optional, Union
+from typing import Optional, Tuple, Union
 
 import numpy as np
 
@@ -73,11 +102,23 @@ PathLike = Union[str, os.PathLike]
 
 def _seed_code(schema) -> int:
     seed = schema.seed
-    if seed is not None and not isinstance(seed, (int, np.integer)):
-        raise ValueError("only integer (or None) schema seeds are serializable")
-    code = -1 if seed is None else int(seed)
-    if code < -1:
-        raise ValueError(f"negative seeds are not serializable, got {seed}")
+    if seed is None:
+        # An entropy-seeded schema's hash functions exist only in this
+        # process; the wire format carries the seed, not the tables, so a
+        # reader would re-derive *different* hashes and every estimate of
+        # the loaded sketch would be garbage.  Refuse loudly.
+        raise ValueError(
+            "sketches over entropy-seeded schemas (seed=None) cannot be "
+            "serialized: their hash functions are not recoverable from the "
+            "wire format; construct the schema with an explicit seed"
+        )
+    if not isinstance(seed, (int, np.integer)):
+        raise ValueError("only integer schema seeds are serializable")
+    code = int(seed)
+    if not 0 <= code < 2**63:
+        # Unreachable for schemas built through derive_seeds (validated at
+        # construction); kept as a defensive guard for duck-typed schemas.
+        raise ValueError(f"schema seed {seed} does not fit the int64 wire field")
     return code
 
 
@@ -184,7 +225,19 @@ def loads(data: bytes, schema=None):
 
     family = data[offset : offset + name_len].decode("utf-8")
     offset += name_len
-    seed = None if seed_code == -1 else seed_code
+    if seed_code == -1:
+        # Legacy writers encoded seed=None as -1.  Such blobs were never
+        # loadable in any meaningful sense: rebuilding the schema draws
+        # fresh OS entropy, and no caller-provided schema can be verified
+        # against them (the original seed is unknowable).
+        raise ValueError(
+            "serialized sketch was built over an entropy-seeded schema "
+            "(seed=None); its hash functions are not recoverable, so it "
+            "cannot be deserialized"
+        )
+    if seed_code < 0:
+        raise ValueError(f"invalid seed {seed_code} in serialized sketch")
+    seed = seed_code
 
     if schema is None:
         schema = _build_schema(kind, depth, width, key_bits, seed, family)
@@ -206,6 +259,267 @@ def loads(data: bytes, schema=None):
     from repro.detection.grouptesting import GroupTestingSketch
 
     return GroupTestingSketch(schema, table)
+
+
+def schema_identity(schema) -> dict:
+    """The schema's wire identity as a plain dict (checkpoint meta form).
+
+    Raises for entropy-seeded schemas (``seed=None``), exactly as
+    :func:`dumps` does -- identity without a recoverable seed is useless.
+    """
+    from repro.sketch.mergeable import kind_of
+
+    kind = kind_of(schema)
+    return {
+        "kind": kind,
+        "depth": int(schema.depth),
+        "width": int(schema.width),
+        "key_bits": int(schema.key_bits) if kind == "grouptesting" else 0,
+        "seed": _seed_code(schema),
+        "family": schema.family,
+    }
+
+
+def schema_from_identity(identity: dict, schema=None):
+    """Rebuild (or verify a caller-provided) schema from its identity dict."""
+    kind = identity["kind"]
+    depth = int(identity["depth"])
+    width = int(identity["width"])
+    key_bits = int(identity["key_bits"])
+    seed = int(identity["seed"])
+    family = identity["family"]
+    if schema is None:
+        return _build_schema(kind, depth, width, key_bits, seed, family)
+    _check_schema(schema, kind, depth, width, key_bits, seed, family)
+    return schema
+
+
+# -- KCP1: tagged state codec + checkpoint container --------------------------
+
+_MAGIC_KCP = b"KCP1"
+_KCP_VERSION = 1
+_KCP_HEADER = struct.Struct("<4sHI")
+
+_U32 = struct.Struct("<I")
+_I64 = struct.Struct("<q")
+_F64 = struct.Struct("<d")
+
+
+def _pack_value(out: list, value, allow_summaries: bool) -> None:
+    from repro.sketch.base import LinearSummary
+
+    if value is None:
+        out.append(b"N")
+    elif value is True:
+        out.append(b"T")
+    elif value is False:
+        out.append(b"F")
+    elif isinstance(value, (int, np.integer)):
+        v = int(value)
+        if -(2**63) <= v < 2**63:
+            out.append(b"i" + _I64.pack(v))
+        else:
+            digits = str(v).encode("ascii")
+            out.append(b"I" + _U32.pack(len(digits)) + digits)
+    elif isinstance(value, (float, np.floating)):
+        out.append(b"f" + _F64.pack(float(value)))
+    elif isinstance(value, str):
+        raw = value.encode("utf-8")
+        out.append(b"s" + _U32.pack(len(raw)) + raw)
+    elif isinstance(value, (bytes, bytearray)):
+        out.append(b"b" + _U32.pack(len(value)) + bytes(value))
+    elif isinstance(value, np.ndarray):
+        arr = np.ascontiguousarray(value)
+        dt = arr.dtype.str.encode("ascii")
+        out.append(
+            b"a"
+            + struct.pack("<B", len(dt))
+            + dt
+            + struct.pack("<B", arr.ndim)
+            + struct.pack(f"<{arr.ndim}q", *arr.shape)
+        )
+        out.append(arr.tobytes())
+    elif isinstance(value, LinearSummary):
+        if not allow_summaries:
+            raise ValueError(
+                "summaries are not permitted in the checkpoint meta section"
+            )
+        blob = dumps(value)
+        out.append(b"S" + _U32.pack(len(blob)) + blob)
+    elif isinstance(value, tuple):
+        out.append(b"t" + _U32.pack(len(value)))
+        for item in value:
+            _pack_value(out, item, allow_summaries)
+    elif isinstance(value, list):
+        out.append(b"l" + _U32.pack(len(value)))
+        for item in value:
+            _pack_value(out, item, allow_summaries)
+    elif isinstance(value, dict):
+        out.append(b"d" + _U32.pack(len(value)))
+        for key, item in value.items():
+            if not isinstance(key, str):
+                raise TypeError(
+                    f"checkpoint dict keys must be str, got {type(key).__name__}"
+                )
+            raw = key.encode("utf-8")
+            out.append(_U32.pack(len(raw)) + raw)
+            _pack_value(out, item, allow_summaries)
+    else:
+        raise TypeError(
+            f"value of type {type(value).__name__} is not checkpoint-serializable"
+        )
+
+
+def pack_state(value, allow_summaries: bool = True) -> bytes:
+    """Encode a nested state value with the KCP1 tagged codec.
+
+    Supported: ``None``, bools, ints (arbitrary precision), floats,
+    strings, bytes, NumPy arrays (any dtype/shape, C order), serializable
+    summaries (embedded as KSK blobs), and lists/tuples/dicts thereof.
+    """
+    out: list = []
+    _pack_value(out, value, allow_summaries)
+    return b"".join(out)
+
+
+def _unpack_value(data: bytes, offset: int, schema):
+    tag = data[offset : offset + 1]
+    offset += 1
+    if tag == b"N":
+        return None, offset
+    if tag == b"T":
+        return True, offset
+    if tag == b"F":
+        return False, offset
+    if tag == b"i":
+        (v,) = _I64.unpack_from(data, offset)
+        return v, offset + _I64.size
+    if tag == b"I":
+        (n,) = _U32.unpack_from(data, offset)
+        offset += _U32.size
+        return int(data[offset : offset + n].decode("ascii")), offset + n
+    if tag == b"f":
+        (v,) = _F64.unpack_from(data, offset)
+        return v, offset + _F64.size
+    if tag == b"s":
+        (n,) = _U32.unpack_from(data, offset)
+        offset += _U32.size
+        return data[offset : offset + n].decode("utf-8"), offset + n
+    if tag == b"b":
+        (n,) = _U32.unpack_from(data, offset)
+        offset += _U32.size
+        return data[offset : offset + n], offset + n
+    if tag == b"a":
+        (dt_len,) = struct.unpack_from("<B", data, offset)
+        offset += 1
+        dtype = np.dtype(data[offset : offset + dt_len].decode("ascii"))
+        offset += dt_len
+        (ndim,) = struct.unpack_from("<B", data, offset)
+        offset += 1
+        shape = struct.unpack_from(f"<{ndim}q", data, offset)
+        offset += 8 * ndim
+        count = int(np.prod(shape)) if ndim else 1
+        nbytes = count * dtype.itemsize
+        arr = np.frombuffer(data, dtype=dtype, count=count, offset=offset)
+        return arr.reshape(shape).copy(), offset + nbytes
+    if tag == b"S":
+        (n,) = _U32.unpack_from(data, offset)
+        offset += _U32.size
+        return loads(data[offset : offset + n], schema=schema), offset + n
+    if tag == b"t":
+        (n,) = _U32.unpack_from(data, offset)
+        offset += _U32.size
+        items = []
+        for _ in range(n):
+            item, offset = _unpack_value(data, offset, schema)
+            items.append(item)
+        return tuple(items), offset
+    if tag == b"l":
+        (n,) = _U32.unpack_from(data, offset)
+        offset += _U32.size
+        items = []
+        for _ in range(n):
+            item, offset = _unpack_value(data, offset, schema)
+            items.append(item)
+        return items, offset
+    if tag == b"d":
+        (n,) = _U32.unpack_from(data, offset)
+        offset += _U32.size
+        result = {}
+        for _ in range(n):
+            (key_len,) = _U32.unpack_from(data, offset)
+            offset += _U32.size
+            key = data[offset : offset + key_len].decode("utf-8")
+            offset += key_len
+            result[key], offset = _unpack_value(data, offset, schema)
+        return result, offset
+    raise ValueError(f"unknown state tag {tag!r} at offset {offset - 1}")
+
+
+def unpack_state(data: bytes, schema=None):
+    """Decode a value packed with :func:`pack_state`.
+
+    ``schema``, when given, is attached to every embedded summary (their
+    identity is verified against it, exactly as in :func:`loads`) -- the
+    natural mode for a session checkpoint, whose summaries all share one
+    schema.
+    """
+    value, offset = _unpack_value(data, 0, schema)
+    if offset != len(data):
+        raise ValueError(
+            f"trailing garbage after packed state ({len(data) - offset} bytes)"
+        )
+    return value
+
+
+def dumps_checkpoint(meta: dict, body: dict) -> bytes:
+    """Serialize a two-section KCP1 checkpoint container.
+
+    ``meta`` must be summary-free (it is what a reader inspects to build
+    or verify the schema); ``body`` may embed summaries.
+    """
+    meta_blob = pack_state(meta, allow_summaries=False)
+    body_blob = pack_state(body, allow_summaries=True)
+    header = _KCP_HEADER.pack(_MAGIC_KCP, _KCP_VERSION, len(meta_blob))
+    return header + meta_blob + body_blob
+
+
+def _split_checkpoint(data: bytes) -> Tuple[dict, bytes]:
+    if len(data) < _KCP_HEADER.size:
+        raise ValueError("data too short for a checkpoint header")
+    magic, version, meta_len = _KCP_HEADER.unpack_from(data)
+    if magic != _MAGIC_KCP:
+        raise ValueError(f"bad magic {magic!r} (not a KCP checkpoint)")
+    if version != _KCP_VERSION:
+        raise ValueError(
+            f"unsupported checkpoint version {version} (expected {_KCP_VERSION})"
+        )
+    meta_end = _KCP_HEADER.size + meta_len
+    if len(data) < meta_end:
+        raise ValueError("data too short for the checkpoint meta section")
+    meta = unpack_state(data[_KCP_HEADER.size : meta_end])
+    if not isinstance(meta, dict):
+        raise ValueError("checkpoint meta section must be a dict")
+    return meta, data[meta_end:]
+
+
+def checkpoint_meta(data: bytes) -> dict:
+    """Read only the meta section of a KCP1 container (cheap peek)."""
+    meta, _ = _split_checkpoint(data)
+    return meta
+
+
+def loads_checkpoint(data: bytes, schema=None) -> Tuple[dict, dict]:
+    """Deserialize a KCP1 container into ``(meta, body)`` dicts.
+
+    ``schema`` is attached to (and verified against) every summary
+    embedded in the body.
+    """
+    meta, body_blob = _split_checkpoint(data)
+    body = unpack_state(body_blob, schema=schema)
+    if not isinstance(body, dict):
+        raise ValueError("checkpoint body section must be a dict")
+    return meta, body
 
 
 def dump(sketch, path: PathLike) -> None:

@@ -201,16 +201,28 @@ class BoundedChunkFeeder:
                     continue
 
     def __iter__(self) -> Iterator[np.ndarray]:
-        while True:
-            item = self._queue.get()
+        # A plain blocking get() would deadlock against close(): the drain
+        # there can swallow the _DONE sentinel, leaving a consumer waiting
+        # on a queue nothing will ever feed again.  Poll with a timeout
+        # and re-check the stop flag so iteration always terminates.
+        while not self._stop.is_set():
+            try:
+                item = self._queue.get(timeout=0.1)
+            except queue.Empty:
+                continue
             if item is self._DONE:
-                if self._error is not None:
-                    raise self._error
-                return
+                break
             yield item
+        if self._error is not None:
+            raise self._error
 
     def close(self) -> None:
-        """Stop the producer thread and discard buffered chunks."""
+        """Stop the producer thread and discard buffered chunks.
+
+        Idempotent.  A source exception captured before the close is kept;
+        any consumer still iterating will observe it (or a clean stop)
+        rather than hanging.
+        """
         self._stop.set()
         while True:
             try:

@@ -1,0 +1,366 @@
+"""Tests for session checkpoint/restore.
+
+The acceptance property: ``restore(checkpoint(session))`` fed the
+remainder of the trace emits reports **bit-identical** to the
+uninterrupted run -- same thresholds, same alarms, same top-N -- for
+every forecast model, at any cut point, serial and sharded.
+"""
+
+import numpy as np
+import pytest
+
+from repro.detection import (
+    ShardedStreamingSession,
+    StreamingSession,
+    checkpoint_session,
+    load_checkpoint,
+    restore_session,
+    save_checkpoint,
+)
+from repro.sketch import KArySchema
+from repro.streams import make_records
+
+MODELS = [
+    ("ma", {"window": 3}),
+    ("sma", {"window": 4}),
+    ("ewma", {"alpha": 0.4}),
+    ("nshw", {"alpha": 0.5, "beta": 0.3}),
+    ("arima0", {"ar": (0.5, -0.2), "ma": (0.3,)}),
+    ("arima1", {"ar": (0.4,), "ma": (0.2,)}),
+]
+
+MODEL_IDS = [name for name, _ in MODELS]
+
+INTERVAL = 300.0
+CHUNK = 1024
+
+
+@pytest.fixture
+def schema():
+    return KArySchema(depth=5, width=2048, seed=3)
+
+
+@pytest.fixture
+def records(rng):
+    n = 16000
+    keys = rng.integers(0, 600, n).astype(np.uint32)
+    return make_records(
+        timestamps=np.sort(rng.uniform(0, 3000, n)),
+        dst_ips=keys,
+        byte_counts=rng.pareto(1.3, n) * 500 + 40,
+    )
+
+
+def _run(session, records, chunk=CHUNK):
+    reports = []
+    for start in range(0, len(records), chunk):
+        reports.extend(session.ingest(records[start : start + chunk]))
+    reports.extend(session.flush())
+    return reports
+
+
+def _assert_reports_identical(resumed, reference):
+    assert len(resumed) == len(reference)
+    for a, b in zip(resumed, reference):
+        assert a.index == b.index
+        assert a.threshold == b.threshold  # bit-identical, not approx
+        assert a.error_l2 == b.error_l2
+        assert [(x.key, x.estimated_error) for x in a.alarms] == [
+            (x.key, x.estimated_error) for x in b.alarms
+        ]
+        assert np.array_equal(a.top_keys, b.top_keys)
+        assert np.array_equal(a.top_errors, b.top_errors)
+
+
+def _interrupted_run(make_session, records, cut_chunks, restore=restore_session,
+                     **restore_kwargs):
+    """Ingest ``cut_chunks`` chunks, checkpoint, restore, finish the trace."""
+    session = make_session()
+    reports = []
+    for start in range(0, cut_chunks * CHUNK, CHUNK):
+        reports.extend(session.ingest(records[start : start + CHUNK]))
+    blob = checkpoint_session(session)
+    if hasattr(session, "close"):
+        session.close()
+    del session
+
+    resumed = restore(blob, **restore_kwargs)
+    rest = records[records["timestamp"] > resumed.watermark]
+    reports.extend(_run(resumed, rest))
+    if hasattr(resumed, "close"):
+        resumed.close()
+    return reports
+
+
+class TestSerialResumeEquivalence:
+    @pytest.mark.parametrize("model,params", MODELS, ids=MODEL_IDS)
+    def test_every_model_resumes_bit_identical(self, schema, records, model, params):
+        def make():
+            return StreamingSession(
+                schema, model, interval_seconds=INTERVAL,
+                t_fraction=0.02, top_n=5, **params,
+            )
+
+        reference = _run(make(), records)
+        got = _interrupted_run(make, records, cut_chunks=9, schema=schema)
+        _assert_reports_identical(got, reference)
+
+    @pytest.mark.parametrize("cut_chunks", [1, 5, 10, 15])
+    def test_any_cut_point_resumes_bit_identical(self, schema, records, cut_chunks):
+        def make():
+            return StreamingSession(
+                schema, "ewma", interval_seconds=INTERVAL,
+                t_fraction=0.02, alpha=0.4,
+            )
+
+        reference = _run(make(), records)
+        got = _interrupted_run(make, records, cut_chunks=cut_chunks, schema=schema)
+        _assert_reports_identical(got, reference)
+
+    def test_checkpoint_of_fresh_session(self, schema):
+        session = StreamingSession(schema, "ewma", alpha=0.4)
+        restored = restore_session(checkpoint_session(session), schema=schema)
+        assert restored.current_interval is None
+        assert restored.records_ingested == 0
+        assert restored.watermark == float("-inf")
+
+    def test_checkpointed_session_stays_usable(self, schema, records):
+        session = StreamingSession(
+            schema, "ewma", interval_seconds=INTERVAL, t_fraction=0.02, alpha=0.4
+        )
+        reference = _run(
+            StreamingSession(
+                schema, "ewma", interval_seconds=INTERVAL,
+                t_fraction=0.02, alpha=0.4,
+            ),
+            records,
+        )
+        reports = []
+        for start in range(0, len(records), CHUNK):
+            checkpoint_session(session)  # snapshot must not perturb state
+            reports.extend(session.ingest(records[start : start + CHUNK]))
+        reports.extend(session.flush())
+        _assert_reports_identical(reports, reference)
+
+    def test_restore_preserves_config_and_cursors(self, schema, records):
+        session = StreamingSession(
+            schema, "nshw", interval_seconds=150.0, key_scheme="src_ip",
+            value_scheme="packets", t_fraction=0.07, top_n=3,
+            lateness_tolerance=2.0, alpha=0.5, beta=0.3,
+        )
+        session.ingest(records[:5000])
+        restored = restore_session(checkpoint_session(session))
+        assert restored.interval_seconds == 150.0
+        assert restored.key_scheme.name == "src_ip"
+        assert restored.value_scheme.name == "packets"
+        assert restored.t_fraction == 0.07
+        assert restored.top_n == 3
+        assert restored.lateness_tolerance == 2.0
+        assert restored.current_interval == session.current_interval
+        assert restored.records_ingested == session.records_ingested
+        assert restored.intervals_sealed == session.intervals_sealed
+        assert restored.watermark == session.watermark
+
+    def test_dst_prefix_key_scheme_roundtrips(self, schema, records):
+        from repro.streams.keys import DstPrefixKey
+
+        session = StreamingSession(
+            schema, "ewma", interval_seconds=INTERVAL,
+            key_scheme=DstPrefixKey(prefix_len=16), alpha=0.4,
+        )
+        session.ingest(records[:5000])
+        restored = restore_session(checkpoint_session(session))
+        assert isinstance(restored.key_scheme, DstPrefixKey)
+        assert restored.key_scheme.prefix_len == 16
+
+    def test_file_roundtrip(self, schema, records, tmp_path):
+        def make():
+            return StreamingSession(
+                schema, "ewma", interval_seconds=INTERVAL,
+                t_fraction=0.02, alpha=0.4,
+            )
+
+        reference = _run(make(), records)
+        session = make()
+        reports = []
+        for start in range(0, 8 * CHUNK, CHUNK):
+            reports.extend(session.ingest(records[start : start + CHUNK]))
+        path = tmp_path / "session.kcp"
+        save_checkpoint(session, path)
+        assert path.exists()
+        assert not (tmp_path / "session.kcp.tmp").exists()  # atomic rename
+        resumed = load_checkpoint(path, schema=schema)
+        rest = records[records["timestamp"] > resumed.watermark]
+        reports.extend(_run(resumed, rest))
+        _assert_reports_identical(reports, reference)
+
+
+class TestShardedResumeEquivalence:
+    @pytest.mark.parametrize("backend", ["serial", "thread", "process"])
+    def test_backends_resume_bit_identical(self, schema, records, backend):
+        reference = _run(
+            StreamingSession(
+                schema, "ewma", interval_seconds=INTERVAL,
+                t_fraction=0.02, top_n=5, alpha=0.4,
+            ),
+            records,
+        )
+
+        def make():
+            return ShardedStreamingSession(
+                schema, "ewma", n_workers=4, backend=backend,
+                interval_seconds=INTERVAL, t_fraction=0.02, top_n=5, alpha=0.4,
+            )
+
+        got = _interrupted_run(make, records, cut_chunks=9)
+        _assert_reports_identical(got, reference)
+
+    @pytest.mark.parametrize("model,params", MODELS[2:4], ids=MODEL_IDS[2:4])
+    def test_models_resume_sharded(self, schema, records, model, params):
+        reference = _run(
+            StreamingSession(
+                schema, model, interval_seconds=INTERVAL,
+                t_fraction=0.02, **params,
+            ),
+            records,
+        )
+
+        def make():
+            return ShardedStreamingSession(
+                schema, model, n_workers=4, backend="thread",
+                interval_seconds=INTERVAL, t_fraction=0.02, **params,
+            )
+
+        got = _interrupted_run(make, records, cut_chunks=7)
+        _assert_reports_identical(got, reference)
+
+    def test_backend_override_on_restore(self, schema, records):
+        reference = _run(
+            StreamingSession(
+                schema, "ewma", interval_seconds=INTERVAL,
+                t_fraction=0.02, alpha=0.4,
+            ),
+            records,
+        )
+
+        def make():
+            return ShardedStreamingSession(
+                schema, "ewma", n_workers=3, backend="thread",
+                interval_seconds=INTERVAL, t_fraction=0.02, alpha=0.4,
+            )
+
+        got = _interrupted_run(
+            make, records, cut_chunks=9, backend="serial"
+        )
+        _assert_reports_identical(got, reference)
+
+    def test_sharded_config_roundtrips(self, schema, records):
+        session = ShardedStreamingSession(
+            schema, "ewma", n_workers=3, backend="thread", partition="hash",
+            task_timeout=30.0, max_retries=5, retry_backoff=0.25, alpha=0.4,
+        )
+        session.ingest(records[:4000])
+        restored = restore_session(checkpoint_session(session))
+        session.close()
+        assert isinstance(restored, ShardedStreamingSession)
+        assert restored.n_workers == 3
+        assert restored.backend == "thread"
+        assert restored.partition == "hash"
+        engine = restored._engine
+        assert engine.task_timeout == 30.0
+        assert engine.max_retries == 5
+        assert engine.retry_backoff == 0.25
+        restored.close()
+
+
+class TestCheckpointRefusals:
+    def test_entropy_seeded_schema_refused(self):
+        session = StreamingSession(
+            KArySchema(depth=2, width=64, seed=None), "ewma", alpha=0.4
+        )
+        with pytest.raises(ValueError, match="seed=None"):
+            checkpoint_session(session)
+
+    def test_unregistered_key_scheme_refused(self, schema):
+        from repro.streams.keys import KeyScheme
+
+        class Custom(KeyScheme):
+            name = "custom"
+            bits = 32
+
+            def extract(self, records):
+                return records["dst_ip"].astype(np.uint64)
+
+        session = StreamingSession(
+            schema, "ewma", key_scheme=Custom(), alpha=0.4
+        )
+        with pytest.raises(ValueError, match="key scheme"):
+            checkpoint_session(session)
+
+    def test_unregistered_value_scheme_refused(self, schema):
+        from repro.streams.keys import ValueScheme
+
+        scheme = ValueScheme("custom", lambda r: r["bytes"].astype(np.float64))
+        session = StreamingSession(
+            schema, "ewma", value_scheme=scheme, alpha=0.4
+        )
+        with pytest.raises(ValueError, match="value scheme"):
+            checkpoint_session(session)
+
+    def test_unregistered_forecaster_refused(self, schema):
+        from repro.forecast.smoothing import EWMAForecaster
+
+        class CustomEWMA(EWMAForecaster):
+            pass
+
+        session = StreamingSession(schema, CustomEWMA(alpha=0.4))
+        with pytest.raises(ValueError, match="forecaster"):
+            checkpoint_session(session)
+
+    def test_session_subclass_refused(self, schema):
+        class Custom(StreamingSession):
+            pass
+
+        with pytest.raises(ValueError, match="Custom"):
+            checkpoint_session(Custom(schema, "ewma", alpha=0.4))
+
+    def test_non_checkpoint_blob_refused(self):
+        with pytest.raises(ValueError, match="magic"):
+            restore_session(b"not a checkpoint at all")
+
+    def test_wrong_format_refused(self):
+        from repro.sketch.serialization import dumps_checkpoint
+
+        blob = dumps_checkpoint({"format": "something-else"}, {})
+        with pytest.raises(ValueError, match="streaming-session"):
+            restore_session(blob)
+
+    def test_schema_mismatch_on_restore_refused(self, schema, records):
+        session = StreamingSession(schema, "ewma", alpha=0.4)
+        session.ingest(records[:2000])
+        blob = checkpoint_session(session)
+        other = KArySchema(depth=5, width=2048, seed=99)
+        with pytest.raises(ValueError, match="seed"):
+            restore_session(blob, schema=other)
+
+    def test_backend_override_rejected_for_serial(self, schema):
+        blob = checkpoint_session(StreamingSession(schema, "ewma", alpha=0.4))
+        with pytest.raises(ValueError, match="sharded"):
+            restore_session(blob, backend="thread")
+
+
+class TestCheckpointMeta:
+    def test_meta_is_inspectable_without_schema(self, schema, records):
+        from repro.sketch.serialization import checkpoint_meta
+
+        session = StreamingSession(
+            schema, "ewma", interval_seconds=INTERVAL, alpha=0.4
+        )
+        session.ingest(records[:5000])
+        meta = checkpoint_meta(checkpoint_session(session))
+        assert meta["format"] == "streaming-session"
+        assert meta["session"] == "serial"
+        assert meta["schema"]["kind"] == "kary"
+        assert meta["schema"]["seed"] == 3
+        assert meta["forecaster"]["class"] == "EWMAForecaster"
+        assert meta["cursor"]["records_ingested"] == 5000

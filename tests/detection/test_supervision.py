@@ -1,0 +1,300 @@
+"""Tests for sharded-worker supervision (timeout, retry, degraded mode).
+
+The guarantee under test: a dying or hung worker may delay an interval's
+report, but can never lose it, duplicate it, or corrupt it -- the sealed
+summary is bit-identical to the serial path no matter which supervision
+tier (retry, pool rebuild, degraded serial fallback) handled it.
+"""
+
+import os
+import signal
+import time
+from concurrent.futures import Future
+
+import numpy as np
+import pytest
+
+from repro.detection import (
+    ShardedIngestEngine,
+    ShardedStreamingSession,
+    StreamingSession,
+)
+from repro.sketch import KArySchema
+from repro.streams import make_records
+
+
+@pytest.fixture
+def schema():
+    return KArySchema(depth=5, width=1024, seed=9)
+
+
+@pytest.fixture
+def records(rng):
+    n = 6000
+    return make_records(
+        timestamps=np.sort(rng.uniform(0, 1500, n)),
+        dst_ips=rng.integers(0, 400, n).astype(np.uint32),
+        byte_counts=rng.integers(40, 1500, n).astype(np.float64),
+    )
+
+
+def _run(session, records, chunk=512):
+    reports = []
+    for start in range(0, len(records), chunk):
+        reports.extend(session.ingest(records[start : start + chunk]))
+    reports.extend(session.flush())
+    return reports
+
+
+def _assert_reports_identical(a, b):
+    assert len(a) == len(b)
+    for x, y in zip(a, b):
+        assert x.index == y.index
+        assert x.threshold == y.threshold
+        assert x.error_l2 == y.error_l2
+        assert [(al.key, al.estimated_error) for al in x.alarms] == [
+            (al.key, al.estimated_error) for al in y.alarms
+        ]
+
+
+def _reference_summary(engine, records):
+    sketch = engine.schema.empty()
+    sketch.update_batch(
+        engine.key_scheme.extract(records), engine.value_scheme.extract(records)
+    )
+    return sketch
+
+
+class _StuckPool:
+    """A pool whose tasks never complete (simulates a hung worker)."""
+
+    def submit(self, fn, *args, **kwargs):
+        return Future()  # never resolved
+
+    def shutdown(self, *args, **kwargs):
+        pass
+
+
+class _DeadPool:
+    """A pool that fails every submission (simulates a dead worker box)."""
+
+    def submit(self, fn, *args, **kwargs):
+        raise RuntimeError("worker pool is dead")
+
+    def shutdown(self, *args, **kwargs):
+        pass
+
+
+class TestSupervisionParams:
+    def test_defaults(self, schema):
+        engine = ShardedIngestEngine(schema, n_workers=2)
+        assert engine.task_timeout is None
+        assert engine.max_retries == 2
+        assert engine.retry_backoff == 0.1
+        assert engine.stats == {
+            "retries": 0, "timeouts": 0, "pool_rebuilds": 0,
+            "degraded_intervals": 0,
+        }
+
+    @pytest.mark.parametrize(
+        "kwargs,match",
+        [
+            ({"task_timeout": 0}, "task_timeout"),
+            ({"task_timeout": -1.0}, "task_timeout"),
+            ({"max_retries": -1}, "max_retries"),
+            ({"retry_backoff": -0.5}, "retry_backoff"),
+        ],
+    )
+    def test_invalid_params_rejected(self, schema, kwargs, match):
+        with pytest.raises(ValueError, match=match):
+            ShardedIngestEngine(schema, n_workers=2, **kwargs)
+
+    def test_session_forwards_supervision_knobs(self, schema):
+        with ShardedStreamingSession(
+            schema, "ewma", n_workers=2, backend="serial",
+            task_timeout=12.0, max_retries=7, retry_backoff=0.5, alpha=0.4,
+        ) as session:
+            engine = session._engine
+            assert engine.task_timeout == 12.0
+            assert engine.max_retries == 7
+            assert engine.retry_backoff == 0.5
+            assert session.supervision_stats["degraded_intervals"] == 0
+
+
+class TestProcessWorkerDeath:
+    def test_killed_worker_mid_stream_loses_nothing(self, schema, records):
+        """Kill a pool worker mid-trace; reports stay alarm-for-alarm equal."""
+        reference = _run(
+            StreamingSession(
+                schema, "ewma", interval_seconds=300.0,
+                t_fraction=0.02, alpha=0.4,
+            ),
+            records,
+        )
+        session = ShardedStreamingSession(
+            schema, "ewma", n_workers=3, backend="process",
+            interval_seconds=300.0, t_fraction=0.02, alpha=0.4,
+            retry_backoff=0.01,
+        )
+        reports = []
+        killed = False
+        for start in range(0, len(records), 512):
+            if not killed and start >= len(records) // 3:
+                victim = next(iter(session._engine._pool._processes.values()))
+                os.kill(victim.pid, signal.SIGKILL)
+                killed = True
+            reports.extend(session.ingest(records[start : start + 512]))
+        reports.extend(session.flush())
+        stats = session.supervision_stats
+        session.close()
+        assert killed
+        _assert_reports_identical(reports, reference)
+        # The death was absorbed by some supervision tier, and the tally
+        # says which.
+        assert stats["pool_rebuilds"] >= 1 or stats["degraded_intervals"] >= 1
+
+    def test_timeout_then_retry_succeeds(self, schema, records, monkeypatch):
+        """First seal attempt hangs; the rebuilt pool retries and succeeds."""
+        engine = ShardedIngestEngine(
+            schema, n_workers=2, backend="process",
+            task_timeout=0.2, max_retries=2, retry_backoff=0.0,
+        )
+        chunk = records[:2000]
+        engine.open_interval()
+        engine.accumulate(chunk)
+        stuck = _StuckPool()
+        engine._pool.shutdown(wait=True)
+        engine._pool = stuck
+        summary, keys = engine.collect()
+        reference = _reference_summary(engine, chunk)
+        assert np.array_equal(
+            np.asarray(summary.table), np.asarray(reference.table)
+        )
+        assert np.array_equal(keys, np.unique(engine.key_scheme.extract(chunk)))
+        assert engine.stats["timeouts"] >= 1
+        assert engine.stats["retries"] >= 1
+        assert engine.stats["pool_rebuilds"] >= 1
+        assert engine.stats["degraded_intervals"] == 0
+        engine.close()
+
+    def test_exhausted_retries_degrade_to_serial(self, schema, records):
+        """Every retry fails: the parent seals serially -- report not lost."""
+        engine = ShardedIngestEngine(
+            schema, n_workers=2, backend="process",
+            task_timeout=0.2, max_retries=1, retry_backoff=0.0,
+        )
+        chunk = records[:2000]
+        engine.open_interval()
+        engine.accumulate(chunk)
+        engine._pool.shutdown(wait=True)
+        engine._pool = _DeadPool()
+        engine._make_process_pool = lambda: _DeadPool()  # rebuilds stay dead
+        summary, keys = engine.collect()
+        reference = _reference_summary(engine, chunk)
+        assert np.array_equal(
+            np.asarray(summary.table), np.asarray(reference.table)
+        )
+        assert np.array_equal(keys, np.unique(engine.key_scheme.extract(chunk)))
+        assert engine.stats["degraded_intervals"] == 1
+        assert engine.stats["retries"] == 1
+        engine._pool = None  # the dead fake has nothing to shut down
+        engine.close()
+
+    def test_degraded_interval_zeroes_partial_slots(self, schema, records):
+        """A half-written shared slot from a dead worker must be discarded."""
+        engine = ShardedIngestEngine(
+            schema, n_workers=2, backend="process",
+            task_timeout=0.2, max_retries=0, retry_backoff=0.0,
+        )
+        chunk = records[:2000]
+        engine.open_interval()
+        engine.accumulate(chunk)
+        # Simulate a worker that died mid-write: garbage in slot 0.
+        engine._block.slot(0)[:] = 123.456
+        engine._pool.shutdown(wait=True)
+        engine._pool = _DeadPool()
+        engine._make_process_pool = lambda: _DeadPool()
+        summary, _ = engine.collect()
+        reference = _reference_summary(engine, chunk)
+        assert np.array_equal(
+            np.asarray(summary.table), np.asarray(reference.table)
+        )
+        assert not np.any(engine._block.slot(0))  # slot was cleaned
+        engine._pool = None
+        engine.close()
+
+
+class TestThreadTimeout:
+    def test_hung_thread_task_degrades_to_serial(self, schema, records):
+        engine = ShardedIngestEngine(
+            schema, n_workers=2, backend="thread", task_timeout=0.2,
+        )
+        chunk = records[:2000]
+        engine.open_interval()
+        engine.accumulate(chunk)
+        original_submit = engine._pool.submit
+
+        def slow_submit(fn, *args, **kwargs):
+            def hung(*a, **k):
+                time.sleep(1.0)
+                return fn(*a, **k)
+
+            return original_submit(hung, *args, **kwargs)
+
+        engine._pool.submit = slow_submit
+        summary, keys = engine.collect()
+        engine._pool.submit = original_submit
+        reference = _reference_summary(engine, chunk)
+        assert np.array_equal(
+            np.asarray(summary.table), np.asarray(reference.table)
+        )
+        assert engine.stats["timeouts"] == 1
+        assert engine.stats["degraded_intervals"] == 1
+        engine.close()
+
+    def test_thread_task_error_propagates(self, schema, records):
+        """Non-timeout errors are real bugs -- no retry, no swallowing."""
+        engine = ShardedIngestEngine(schema, n_workers=2, backend="thread")
+        engine.open_interval()
+        engine.accumulate(records[:2000])
+        original_submit = engine._pool.submit
+
+        def broken_submit(fn, *args, **kwargs):
+            def boom(*a, **k):
+                raise ValueError("corrupt shard data")
+
+            return original_submit(boom, *args, **kwargs)
+
+        engine._pool.submit = broken_submit
+        with pytest.raises(ValueError, match="corrupt shard data"):
+            engine.collect()
+        engine._pool.submit = original_submit
+        engine.close()
+
+
+class TestBufferCaptureRestore:
+    def test_roundtrip_preserves_seal(self, schema, records, rng):
+        engine = ShardedIngestEngine(schema, n_workers=3, backend="serial")
+        chunk = records[:3000]
+        engine.open_interval()
+        for start in range(0, len(chunk), 512):
+            engine.accumulate(chunk[start : start + 512])
+        state = engine.capture_buffers()
+
+        other = ShardedIngestEngine(schema, n_workers=3, backend="serial")
+        other.restore_buffers(state)
+        summary_a, keys_a = engine.collect()
+        summary_b, keys_b = other.collect()
+        assert np.array_equal(
+            np.asarray(summary_a.table), np.asarray(summary_b.table)
+        )
+        assert np.array_equal(keys_a, keys_b)
+
+    def test_shard_count_mismatch_rejected(self, schema, records):
+        engine = ShardedIngestEngine(schema, n_workers=3, backend="serial")
+        engine.open_interval()
+        engine.accumulate(records[:1000])
+        state = engine.capture_buffers()
+        other = ShardedIngestEngine(schema, n_workers=2, backend="serial")
+        with pytest.raises(ValueError, match="shard"):
+            other.restore_buffers(state)

@@ -72,3 +72,44 @@ class TestAlarmsForInterval:
     def test_magnitude_zero_threshold(self):
         alarm = Alarm(interval=0, key=1, estimated_error=1.0, threshold=0.0)
         assert alarm.magnitude == float("inf")
+
+
+class TestZeroThresholdEdges:
+    """The T=0 degenerate cases: 0/0 magnitude and exact-zero errors."""
+
+    def test_magnitude_zero_over_zero_is_not_inf(self):
+        # A zero error at a zero threshold sits exactly at it -- the old
+        # inf contradicted the ">= 1.0" contract in spirit and made
+        # downstream magnitude-ranking meaningless.
+        alarm = Alarm(interval=0, key=1, estimated_error=0.0, threshold=0.0)
+        assert alarm.magnitude == 1.0
+
+    def test_zero_fraction_skips_exact_zero_errors(self):
+        vec = DictVector({1: 100.0, 2: 0.0})
+        alarms = alarms_for_interval(vec, np.array([1, 2, 3]), 0.0)
+        # Keys 2 (explicit zero) and 3 (absent) have exactly zero error:
+        # no change signal, no alarm -- even with T = 0.
+        assert {a.key for a in alarms} == {1}
+
+    def test_zero_fraction_report_skips_exact_zero_errors(self):
+        from repro.detection import build_interval_report
+
+        vec = DictVector({1: 100.0, 2: 0.0})
+        report = build_interval_report(
+            vec, np.array([1, 2, 3], dtype=np.uint64),
+            interval=0, t_fraction=0.0,
+        )
+        assert {a.key for a in report.alarms} == {1}
+        assert all(a.magnitude >= 1.0 for a in report.alarms)
+
+    def test_all_zero_error_summary_never_alarms(self):
+        report_fn_input = DictVector({})
+        from repro.detection import build_interval_report
+
+        report = build_interval_report(
+            report_fn_input, np.array([5, 6], dtype=np.uint64),
+            interval=0, t_fraction=0.05,
+        )
+        # threshold = 0.05 * 0 = 0; exact-zero errors must not alarm.
+        assert report.threshold == 0.0
+        assert report.alarms == []

@@ -1,8 +1,14 @@
 """Tests for deterministic seed derivation."""
 
+import numpy as np
 import pytest
 
-from repro.hashing.seeds import SeedSequenceFactory, derive_seeds
+from repro.hashing.seeds import (
+    MAX_MASTER_SEED,
+    SeedSequenceFactory,
+    derive_seeds,
+    validate_master_seed,
+)
 
 
 class TestDeriveSeeds:
@@ -33,6 +39,69 @@ class TestDeriveSeeds:
     def test_seeds_fit_in_63_bits(self):
         for seed in derive_seeds(123, 20):
             assert 0 <= seed < 2**63
+
+
+class TestValidateMasterSeed:
+    """Seed domain enforcement: early, symmetric, and with a clear message.
+
+    Before this guard, a negative seed failed deep inside numpy with a
+    cryptic message, and an oversized one built a working schema whose
+    ``dumps`` later crashed with a raw ``struct.error`` -- asymmetric and
+    far from the mistake.
+    """
+
+    def test_none_passes_through(self):
+        assert validate_master_seed(None) is None
+
+    def test_valid_bounds(self):
+        assert validate_master_seed(0) == 0
+        assert validate_master_seed(MAX_MASTER_SEED) == MAX_MASTER_SEED
+
+    def test_numpy_integers_accepted(self):
+        assert validate_master_seed(np.int64(41)) == 41
+        assert isinstance(validate_master_seed(np.int64(41)), int)
+
+    def test_negative_rejected_with_clear_message(self):
+        with pytest.raises(ValueError, match=r"\[0, 2\*\*63\)"):
+            validate_master_seed(-5)
+
+    def test_oversized_rejected(self):
+        with pytest.raises(ValueError, match=r"\[0, 2\*\*63\)"):
+            validate_master_seed(2**63)
+
+    def test_non_integer_rejected(self):
+        with pytest.raises(ValueError, match="int or None"):
+            validate_master_seed(1.5)
+        with pytest.raises(ValueError, match="int or None"):
+            validate_master_seed("7")
+
+    def test_derive_seeds_validates(self):
+        with pytest.raises(ValueError, match=r"\[0, 2\*\*63\)"):
+            derive_seeds(-1, 3)
+        with pytest.raises(ValueError, match=r"\[0, 2\*\*63\)"):
+            derive_seeds(2**64, 3)
+
+    def test_factory_validates(self):
+        with pytest.raises(ValueError, match=r"\[0, 2\*\*63\)"):
+            SeedSequenceFactory(-1)
+
+    @pytest.mark.parametrize("bad_seed", [-5, 2**63, 2**64])
+    def test_schema_construction_validates(self, bad_seed):
+        """The asymmetry fix: every schema kind fails at construction."""
+        from repro.sketch import CountMinSchema, CountSketchSchema, KArySchema
+
+        for schema_cls in (KArySchema, CountMinSchema, CountSketchSchema):
+            with pytest.raises(ValueError, match=r"\[0, 2\*\*63\)"):
+                schema_cls(depth=2, width=64, seed=bad_seed)
+
+    def test_valid_schema_seed_serializes(self):
+        """Symmetric: what constructs also serializes."""
+        from repro.sketch import KArySchema
+        from repro.sketch.serialization import dumps, loads
+
+        schema = KArySchema(depth=2, width=64, seed=MAX_MASTER_SEED)
+        sketch = schema.from_items([1, 2], [1.0, 2.0])
+        assert loads(dumps(sketch)).schema.seed == MAX_MASTER_SEED
 
 
 class TestSeedSequenceFactory:

@@ -92,14 +92,32 @@ class TestGuards:
         with pytest.raises(ValueError, match="family"):
             loads(dumps(sketch), schema=other)
 
-    def test_none_seed_roundtrip(self, rng):
+    def test_none_seed_refused_at_dump(self):
+        # An entropy-seeded schema's hash functions die with the process;
+        # the old behavior serialized a -1 sentinel and loads() re-derived
+        # *different* hashes, so every estimate of the restored sketch was
+        # silently garbage.  Serialization must refuse instead.
         schema = KArySchema(depth=2, width=64, seed=None)
         sketch = schema.from_items([1, 2], [1.0, 2.0])
-        restored = loads(dumps(sketch))
-        # Tables survive; the schema itself is fresh entropy (documented).
-        assert np.array_equal(
-            np.asarray(restored.table), np.asarray(sketch.table)
-        )
+        with pytest.raises(ValueError, match="seed=None"):
+            dumps(sketch)
+
+    def test_legacy_none_seed_blob_refused_at_load(self, sketch):
+        # Forge a legacy KSK1 blob carrying the old -1 seed sentinel.
+        import struct
+
+        data = dumps(sketch)
+        forged = data[:12] + struct.pack("<q", -1) + data[20:]
+        with pytest.raises(ValueError, match="entropy-seeded"):
+            loads(forged)
+
+    def test_negative_seed_blob_refused(self, sketch):
+        import struct
+
+        data = dumps(sketch)
+        forged = data[:12] + struct.pack("<q", -7) + data[20:]
+        with pytest.raises(ValueError, match="invalid seed"):
+            loads(forged)
 
 
 class TestKSK2:
@@ -182,3 +200,169 @@ class TestKSK2:
             np.concatenate([k1, k2]), np.concatenate([v1, v2])
         )
         assert np.array_equal(np.asarray(merged.table), np.asarray(direct.table))
+
+
+class TestStateCodec:
+    """The KCP1 tagged codec: exact round-trips for every supported type."""
+
+    def _roundtrip(self, value, schema=None):
+        from repro.sketch.serialization import pack_state, unpack_state
+
+        return unpack_state(pack_state(value), schema=schema)
+
+    @pytest.mark.parametrize(
+        "value",
+        [
+            None,
+            True,
+            False,
+            0,
+            -1,
+            2**62,
+            -(2**63),
+            2**100,          # arbitrary-precision path
+            0.0,
+            -3.5,
+            float("inf"),
+            float("-inf"),
+            "",
+            "schéma",
+            b"",
+            b"\x00\xff",
+            [],
+            (),
+            {},
+            [1, "two", None, [3.0, (False,)]],
+            {"a": 1, "b": {"c": [None, 2.5]}},
+        ],
+    )
+    def test_scalar_and_container_roundtrip(self, value):
+        restored = self._roundtrip(value)
+        assert restored == value
+        assert type(restored) is type(value)
+
+    def test_nan_roundtrip(self):
+        restored = self._roundtrip(float("nan"))
+        assert restored != restored
+
+    @pytest.mark.parametrize(
+        "arr",
+        [
+            np.array([], dtype=np.uint64),
+            np.arange(12, dtype=np.uint64),
+            np.linspace(-1, 1, 7),
+            np.arange(6, dtype=np.float32).reshape(2, 3),
+            np.zeros((2, 0, 3)),
+        ],
+    )
+    def test_ndarray_roundtrip(self, arr):
+        restored = self._roundtrip(arr)
+        assert restored.dtype == arr.dtype
+        assert restored.shape == arr.shape
+        assert np.array_equal(restored, arr)
+
+    def test_summary_roundtrip_bit_identical(self, schema, sketch):
+        restored = self._roundtrip({"s": sketch}, schema=schema)["s"]
+        assert restored.schema is schema
+        assert np.array_equal(np.asarray(restored.table), np.asarray(sketch.table))
+
+    def test_summary_schema_mismatch_rejected(self, sketch):
+        other = KArySchema(depth=3, width=256, seed=99)
+        with pytest.raises(ValueError, match="seed"):
+            self._roundtrip([sketch], schema=other)
+
+    def test_unsupported_type_rejected(self):
+        from repro.sketch.serialization import pack_state
+
+        with pytest.raises(TypeError, match="not checkpoint-serializable"):
+            pack_state({"bad": object()})
+
+    def test_non_string_dict_key_rejected(self):
+        from repro.sketch.serialization import pack_state
+
+        with pytest.raises(TypeError, match="keys must be str"):
+            pack_state({1: "x"})
+
+    def test_trailing_garbage_rejected(self):
+        from repro.sketch.serialization import pack_state, unpack_state
+
+        with pytest.raises(ValueError, match="trailing"):
+            unpack_state(pack_state(1) + b"\x00")
+
+
+class TestCheckpointContainer:
+    """The KCP1 two-section envelope."""
+
+    def test_roundtrip(self, schema, sketch):
+        from repro.sketch.serialization import dumps_checkpoint, loads_checkpoint
+
+        meta = {"format": "test", "n": 3}
+        body = {"sketch": sketch, "cursor": 7}
+        data = dumps_checkpoint(meta, body)
+        got_meta, got_body = loads_checkpoint(data, schema=schema)
+        assert got_meta == meta
+        assert got_body["cursor"] == 7
+        assert np.array_equal(
+            np.asarray(got_body["sketch"].table), np.asarray(sketch.table)
+        )
+
+    def test_meta_peek_skips_body(self, sketch):
+        from repro.sketch.serialization import checkpoint_meta, dumps_checkpoint
+
+        data = dumps_checkpoint({"k": "v"}, {"sketch": sketch})
+        # Peeking must not need the schema (the body is never unpacked).
+        assert checkpoint_meta(data) == {"k": "v"}
+
+    def test_summaries_refused_in_meta(self, sketch):
+        from repro.sketch.serialization import dumps_checkpoint
+
+        with pytest.raises(ValueError, match="meta section"):
+            dumps_checkpoint({"sketch": sketch}, {})
+
+    def test_bad_magic(self):
+        from repro.sketch.serialization import loads_checkpoint
+
+        with pytest.raises(ValueError, match="magic"):
+            loads_checkpoint(b"XXXX" + b"\x00" * 16)
+
+    def test_unknown_version(self, schema):
+        import struct
+
+        from repro.sketch.serialization import dumps_checkpoint, loads_checkpoint
+
+        data = dumps_checkpoint({}, {})
+        forged = data[:4] + struct.pack("<H", 99) + data[6:]
+        with pytest.raises(ValueError, match="version"):
+            loads_checkpoint(forged)
+
+    def test_truncated(self):
+        from repro.sketch.serialization import loads_checkpoint
+
+        with pytest.raises(ValueError, match="too short"):
+            loads_checkpoint(b"KCP1")
+
+
+class TestSchemaIdentity:
+    def test_roundtrip(self, schema):
+        from repro.sketch.serialization import schema_from_identity, schema_identity
+
+        identity = schema_identity(schema)
+        rebuilt = schema_from_identity(identity)
+        assert rebuilt.depth == schema.depth
+        assert rebuilt.width == schema.width
+        assert rebuilt.seed == schema.seed
+        assert rebuilt.family == schema.family
+
+    def test_verify_existing(self, schema):
+        from repro.sketch.serialization import schema_from_identity, schema_identity
+
+        assert schema_from_identity(schema_identity(schema), schema=schema) is schema
+        other = KArySchema(depth=3, width=256, seed=99)
+        with pytest.raises(ValueError, match="seed"):
+            schema_from_identity(schema_identity(schema), schema=other)
+
+    def test_entropy_seed_refused(self):
+        from repro.sketch.serialization import schema_identity
+
+        with pytest.raises(ValueError, match="seed=None"):
+            schema_identity(KArySchema(depth=2, width=64, seed=None))

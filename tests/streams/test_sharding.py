@@ -145,6 +145,43 @@ class TestBoundedChunkFeeder:
         feeder = BoundedChunkFeeder(chunks, maxsize=2)
         feeder.close()  # must not hang even with a blocked producer
 
+    def test_iterate_after_close_terminates(self, records):
+        # Regression: close() drains the queue and can swallow the _DONE
+        # sentinel; the old blocking-get iterator then hung forever.
+        chunks = iter_interval_chunks(records, 300.0, chunk_records=64)
+        feeder = BoundedChunkFeeder(chunks, maxsize=2)
+        feeder.close()
+        assert list(feeder) == []  # must return promptly, not deadlock
+
+    def test_close_mid_iteration_terminates(self, records):
+        chunks = iter_interval_chunks(records, 300.0, chunk_records=64)
+        feeder = BoundedChunkFeeder(chunks, maxsize=2)
+        it = iter(feeder)
+        next(it)
+        feeder.close()
+        remaining = list(it)  # stops cleanly; buffered chunks discarded
+        assert len(remaining) <= 2
+
+    def test_error_surfaces_after_close(self):
+        # Regression: a pending source error was dropped when close()
+        # drained the _DONE sentinel that carried it.
+        import threading
+
+        produced = threading.Event()
+
+        def source():
+            yield np.zeros(1, dtype=[("timestamp", "f8")])
+            produced.set()
+            raise RuntimeError("collector went away")
+
+        feeder = BoundedChunkFeeder(source(), maxsize=4)
+        assert produced.wait(timeout=5.0)
+        # Give the producer a moment to store the error and finish.
+        feeder._thread.join(timeout=5.0)
+        feeder.close()
+        with pytest.raises(RuntimeError, match="collector went away"):
+            list(feeder)
+
     def test_invalid_maxsize(self):
         with pytest.raises(ValueError, match="maxsize"):
             BoundedChunkFeeder(iter([]), maxsize=0)

@@ -82,3 +82,70 @@ class TestDrilldownCommand:
         out = capsys.readouterr().out
         assert "interval" in out
         assert "/8" in out
+
+
+class TestCheckpointResumeCommands:
+    ARGS = ["--model", "ewma", "--alpha", "0.4", "--depth", "3",
+            "--width", "1024", "--seed", "7", "--interval", "300",
+            "--threshold", "0.02"]
+
+    def _full_run_output(self, trace, tmp_path, capsys):
+        # Checkpoint past the end of the trace, then resume (which
+        # flushes the final interval) = one uninterrupted run.
+        ckpt = tmp_path / "full.kcp"
+        main(["checkpoint", str(trace), "--until", "1e18",
+              "--out", str(ckpt), *self.ARGS])
+        main(["resume", str(ckpt), str(trace)])
+        out = capsys.readouterr().out
+        return [line for line in out.splitlines() if line.startswith("interval")]
+
+    def test_checkpoint_writes_file_and_reports(self, trace, tmp_path, capsys):
+        ckpt = tmp_path / "sess.kcp"
+        code = main(["checkpoint", str(trace), "--until", "900",
+                     "--out", str(ckpt), *self.ARGS])
+        assert code == 0
+        assert ckpt.exists()
+        out = capsys.readouterr().out
+        assert "checkpointed" in out
+        assert "watermark=" in out
+
+    def test_resume_continues_identically(self, trace, tmp_path, capsys):
+        reference = self._full_run_output(trace, tmp_path, capsys)
+
+        ckpt = tmp_path / "sess.kcp"
+        main(["checkpoint", str(trace), "--until", "900",
+              "--out", str(ckpt), *self.ARGS])
+        before = [line for line in capsys.readouterr().out.splitlines()
+                  if line.startswith("interval")]
+        code = main(["resume", str(ckpt), str(trace)])
+        assert code == 0
+        after = [line for line in capsys.readouterr().out.splitlines()
+                 if line.startswith("interval")]
+        assert before + after == reference
+
+    def test_sharded_checkpoint_resume_with_backend_override(
+        self, trace, tmp_path, capsys
+    ):
+        reference = self._full_run_output(trace, tmp_path, capsys)
+
+        ckpt = tmp_path / "sess.kcp"
+        main(["checkpoint", str(trace), "--until", "900", "--out", str(ckpt),
+              "--workers", "3", "--backend", "thread", *self.ARGS])
+        before = [line for line in capsys.readouterr().out.splitlines()
+                  if line.startswith("interval")]
+        code = main(["resume", str(ckpt), str(trace), "--backend", "serial"])
+        assert code == 0
+        after = [line for line in capsys.readouterr().out.splitlines()
+                 if line.startswith("interval")]
+        assert before + after == reference
+
+    def test_resume_can_rewrite_checkpoint(self, trace, tmp_path, capsys):
+        ckpt = tmp_path / "sess.kcp"
+        main(["checkpoint", str(trace), "--until", "600",
+              "--out", str(ckpt), *self.ARGS])
+        capsys.readouterr()
+        ckpt2 = tmp_path / "sess2.kcp"
+        code = main(["resume", str(ckpt), str(trace), "--out", str(ckpt2)])
+        assert code == 0
+        assert ckpt2.exists()
+        assert "re-checkpointed" in capsys.readouterr().out
