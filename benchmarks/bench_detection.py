@@ -1,0 +1,341 @@
+"""Detection hot-path benchmark: amortized sealing vs the reference path.
+
+Times the per-interval *seal + detect* step -- forecast, error summary,
+candidate-key reconstruction, alarm thresholding, top-N ranking -- with
+ingestion (sketch building) excluded, over a grid of candidate-key counts
+and key-recurrence rates:
+
+* **reference**: ``Forecaster.step`` (fresh ``Sf``/``Se`` allocations per
+  interval), keys hashed from scratch every interval, full ``np.median``
+  over every candidate, full top-N lexsort.
+* **amortized**: ``Forecaster.step_into`` into reusable scratch summaries,
+  one shared hash pass (or, for schemas whose hashing is not
+  kernel-accelerated, bucket indices served from a persistent
+  :class:`~repro.hashing.index_cache.BucketIndexCache` so recurring keys
+  hash once per run), and the exact median prescreen
+  (:func:`~repro.detection.threshold.build_interval_report`) that runs
+  ``np.median`` only on keys whose row-estimate bound reaches the alarm
+  threshold or contends for the top-N.
+
+The cache follows the shipped auto rule
+(:func:`~repro.detection.session.resolve_index_cache`): compiled
+tabulation hashing beats any memo-table gather, so the default-family
+configs run cache-less, while the ``polyhash`` config (Carter-Wegman
+polynomial hashing, the reference family for >32-bit keys) exercises the
+cache end-to-end.  A ``hashing`` section times every family's direct hash
+against a warm cache lookup at 50k keys.
+
+Every configuration asserts the two paths' reports are **bit-for-bit
+identical** -- same thresholds, same alarms in the same order, same top-N
+keys and errors -- before any timing is reported.  The speedup column is
+only meaningful because of that equality.
+
+The recurrence rate controls what fraction of each interval's candidate
+keys also appeared in earlier intervals (persistent flows); the cache
+converts exactly that fraction of the per-interval hashing into lookups.
+
+Writes ``BENCH_detection.json`` next to this file (or ``--output``).
+Not a pytest module -- run directly:
+
+    PYTHONPATH=src python benchmarks/bench_detection.py [--quick]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.detection.session import resolve_index_cache
+from repro.detection.threshold import build_interval_report
+from repro.forecast.model_zoo import make_forecaster
+from repro.hashing.index_cache import BucketIndexCache
+from repro.sketch import KArySchema
+
+DEFAULT_OUTPUT = Path(__file__).parent / "BENCH_detection.json"
+
+T_FRACTION = 0.05
+TOP_N = 20
+MODEL = ("ewma", {"alpha": 0.5})
+
+
+def make_interval_keys(n_candidates, recurrence, n_intervals, rng):
+    """Per-interval sorted-unique key sets with a given recurrence rate.
+
+    A persistent pool supplies ``recurrence * n_candidates`` keys every
+    interval; the rest are drawn fresh -- ephemeral flows the cache never
+    sees twice.
+    """
+    pool = np.unique(rng.integers(0, 2**31, size=2 * n_candidates))[
+        :n_candidates
+    ].astype(np.uint64)
+    n_recurring = int(round(recurrence * n_candidates))
+    per_interval = []
+    for _ in range(n_intervals):
+        recurring = rng.permutation(pool)[:n_recurring]
+        fresh = rng.integers(
+            2**31, 2**32, size=n_candidates - n_recurring
+        ).astype(np.uint64)
+        per_interval.append(np.unique(np.concatenate([recurring, fresh])))
+    return per_interval
+
+
+def build_observed(schema, per_interval_keys, rng):
+    """Pre-build each interval's observed sketch (ingestion is not timed)."""
+    observed = []
+    for keys in per_interval_keys:
+        values = rng.pareto(1.3, len(keys)) * 500 + 40
+        # A few heavy keys so some alarms actually fire.
+        values[: max(4, len(values) // 1000)] *= 50
+        observed.append(schema.from_items(keys, values))
+    return observed
+
+
+def run_reference(schema, observed, per_interval_keys):
+    """Reference seal+detect: step(), per-interval hashing, full medians."""
+    forecaster = make_forecaster(MODEL[0], **MODEL[1])
+    reports = []
+    for t, (obs, keys) in enumerate(zip(observed, per_interval_keys)):
+        step = forecaster.step(obs)
+        if step.error is None:
+            continue
+        reports.append(
+            build_interval_report(
+                step.error, keys, interval=t, t_fraction=T_FRACTION,
+                top_n=TOP_N, schema=schema, prescreen=False,
+            )
+        )
+    return reports
+
+
+def run_amortized(schema, observed, per_interval_keys, cache, stats):
+    """Amortized seal+detect: step_into scratches, cache, prescreen."""
+    forecaster = make_forecaster(MODEL[0], **MODEL[1])
+    error_out, forecast_out = schema.empty(), schema.empty()
+    reports = []
+    for t, (obs, keys) in enumerate(zip(observed, per_interval_keys)):
+        step = forecaster.step_into(
+            obs, error_out=error_out, forecast_out=forecast_out
+        )
+        if step.error is None:
+            continue
+        reports.append(
+            build_interval_report(
+                step.error, keys, interval=t, t_fraction=T_FRACTION,
+                top_n=TOP_N, schema=schema, index_cache=cache, stats=stats,
+            )
+        )
+    return reports
+
+
+def assert_reports_match(got, expected):
+    assert len(got) == len(expected), (len(got), len(expected))
+    for g, e in zip(got, expected):
+        assert g.index == e.index
+        assert g.threshold == e.threshold
+        assert g.error_l2 == e.error_l2
+        assert [(a.key, a.estimated_error) for a in g.alarms] == [
+            (a.key, a.estimated_error) for a in e.alarms
+        ]
+        assert np.array_equal(g.top_keys, e.top_keys)
+        assert np.array_equal(g.top_errors, e.top_errors)
+
+
+def bench_config(schema, n_candidates, recurrence, n_intervals, repeats, rng):
+    per_interval_keys = make_interval_keys(
+        n_candidates, recurrence, n_intervals, rng
+    )
+    observed = build_observed(schema, per_interval_keys, rng)
+
+    def time_best(runner):
+        best, reports, extra = float("inf"), None, None
+        for _ in range(repeats):
+            t0 = time.perf_counter()
+            result = runner()
+            elapsed = time.perf_counter() - t0
+            if elapsed < best:
+                best = elapsed
+            reports, extra = result
+        return reports, best, extra
+
+    ref_reports, ref_s, _ = time_best(
+        lambda: (run_reference(schema, observed, per_interval_keys), None)
+    )
+
+    def amortized():
+        # The shipped auto rule decides whether a cache attaches (it does
+        # not for kernel-accelerated tabulation hashing).  When it does,
+        # it is fresh per run: steady-state reuse happens *within* a run
+        # (interval over interval), so the timing includes cold misses --
+        # the honest end-to-end figure.
+        cache = resolve_index_cache(schema, True)
+        stats = {}
+        reports = run_amortized(
+            schema, observed, per_interval_keys, cache, stats
+        )
+        stats["index_cache"] = cache.stats if cache is not None else None
+        return reports, stats
+
+    amo_reports, amo_s, stats = time_best(amortized)
+    assert_reports_match(amo_reports, ref_reports)
+
+    sealed = len(ref_reports)
+    candidates = stats.get("candidates", 0)
+    evaluated = stats.get("median_evaluated", 0)
+    cache_stats = stats["index_cache"]
+    return {
+        "n_candidates": n_candidates,
+        "recurrence": recurrence,
+        "n_intervals": n_intervals,
+        "family": schema.family,
+        "sealed_intervals": sealed,
+        "reference_seconds": ref_s,
+        "amortized_seconds": amo_s,
+        "reference_ms_per_interval": 1e3 * ref_s / sealed,
+        "amortized_ms_per_interval": 1e3 * amo_s / sealed,
+        "speedup": ref_s / amo_s,
+        "reports_identical_to_reference": True,
+        "prescreen": {
+            "candidates": candidates,
+            "median_evaluated": evaluated,
+            "evaluated_fraction": evaluated / candidates if candidates else 0.0,
+        },
+        "index_cache": {
+            "enabled": cache_stats is not None,
+            "hits": cache_stats["hits"] if cache_stats else 0,
+            "misses": cache_stats["misses"] if cache_stats else 0,
+            "hit_rate": (
+                cache_stats["hits"]
+                / max(1, cache_stats["hits"] + cache_stats["misses"])
+                if cache_stats
+                else 0.0
+            ),
+        },
+    }
+
+
+def bench_hash_families(repeats, rng):
+    """Direct per-family hashing vs a warm cache lookup at 50k keys.
+
+    Shows where the bucket-index cache pays its way: compiled tabulation
+    hashing outruns the cache (the auto rule therefore skips it), while
+    polynomial / two-universal hashing costs several lookups.
+    """
+    keys = np.unique(rng.integers(0, 2**31, size=50_000).astype(np.uint64))
+
+    def best_ms(f, reps):
+        best = float("inf")
+        for _ in range(reps):
+            t0 = time.perf_counter()
+            f()
+            best = min(best, time.perf_counter() - t0)
+        return 1e3 * best
+
+    reps = max(3, 2 * repeats)
+    out = {}
+    for family in ("tabulation", "polynomial", "two-universal"):
+        schema = KArySchema(depth=5, width=32768, seed=5, family=family)
+        cache = BucketIndexCache(schema)
+        cache.lookup(keys)  # warm
+        identical = bool(
+            np.array_equal(cache.lookup(keys), schema.bucket_indices(keys))
+        )
+        hash_ms = best_ms(lambda: schema.bucket_indices(keys), reps)
+        lookup_ms = best_ms(lambda: cache.lookup(keys), reps)
+        out[family] = {
+            "n_keys": len(keys),
+            "hash_ms": hash_ms,
+            "cache_hit_lookup_ms": lookup_ms,
+            "cache_speedup": hash_ms / lookup_ms,
+            "cache_auto_enabled": resolve_index_cache(schema, True) is not None,
+            "identical": identical,
+        }
+    return out
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="small grid / few repeats (CI smoke)")
+    parser.add_argument("--repeats", type=int, default=None,
+                        help="timing repeats per configuration (default 5; 2 quick)")
+    parser.add_argument("--output", type=Path, default=DEFAULT_OUTPUT,
+                        help=f"JSON report path (default {DEFAULT_OUTPUT})")
+    args = parser.parse_args(argv)
+
+    repeats = args.repeats or (2 if args.quick else 5)
+    rng = np.random.default_rng(2003)
+    schema = KArySchema(depth=5, width=32768, seed=5)
+    poly_schema = KArySchema(depth=5, width=32768, seed=5, family="polynomial")
+
+    # The headline configurations (50k candidates, 80% recurring; default
+    # tabulation family plus the polynomial family that exercises the
+    # cache) appear in both modes so quick CI runs and the committed full
+    # report track the same "speedup" dot-paths for the regression guard.
+    if args.quick:
+        n_intervals = 8
+        grid = [(schema, 10_000, 0.8), (schema, 50_000, 0.8),
+                (schema, 50_000, 0.0), (poly_schema, 50_000, 0.8)]
+    else:
+        n_intervals = 12
+        grid = [(schema, 5_000, 0.8), (schema, 20_000, 0.8),
+                (schema, 50_000, 0.8), (schema, 100_000, 0.8),
+                (schema, 50_000, 0.0), (schema, 50_000, 0.5),
+                (schema, 50_000, 0.95),
+                (poly_schema, 50_000, 0.8), (poly_schema, 50_000, 0.0)]
+
+    configs = {}
+    for cfg_schema, n_candidates, recurrence in grid:
+        name = f"c{n_candidates}_r{int(round(recurrence * 100))}"
+        if cfg_schema.family != "tabulation":
+            name += "_polyhash"
+        configs[name] = bench_config(
+            cfg_schema, n_candidates, recurrence, n_intervals, repeats, rng
+        )
+
+    hashing = bench_hash_families(repeats, rng)
+
+    report = {
+        "numpy": np.__version__,
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "cpu_count": os.cpu_count(),
+        "quick": bool(args.quick),
+        "repeats": repeats,
+        "model": MODEL[0],
+        "t_fraction": T_FRACTION,
+        "top_n": TOP_N,
+        "detection": {"configs": configs},
+        "hashing": hashing,
+    }
+    args.output.write_text(json.dumps(report, indent=2) + "\n")
+
+    print(f"cpu_count: {report['cpu_count']}  model: {MODEL[0]}  "
+          f"T={T_FRACTION}  top_n={TOP_N}")
+    header = (f"{'config':>22s} {'ref ms/iv':>10s} {'amo ms/iv':>10s} "
+              f"{'speedup':>8s} {'median eval':>12s} {'cache hit':>10s}")
+    print(header)
+    for name, c in configs.items():
+        hit = (f"{c['index_cache']['hit_rate']:9.1%}"
+               if c["index_cache"]["enabled"] else f"{'--':>9s}")
+        print(f"{name:>22s} {c['reference_ms_per_interval']:10.3f} "
+              f"{c['amortized_ms_per_interval']:10.3f} "
+              f"{c['speedup']:7.2f}x "
+              f"{c['prescreen']['evaluated_fraction']:11.1%} {hit}")
+    print(f"{'hash family':>22s} {'hash ms':>10s} {'lookup ms':>10s} "
+          f"{'speedup':>8s} {'auto-cache':>11s}")
+    for family, h in hashing.items():
+        print(f"{family:>22s} {h['hash_ms']:10.3f} "
+              f"{h['cache_hit_lookup_ms']:10.3f} {h['cache_speedup']:7.2f}x "
+              f"{'on' if h['cache_auto_enabled'] else 'off':>11s}")
+    print(f"wrote {args.output}")
+    return report
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,91 @@
+#!/usr/bin/env python
+"""Guard benchmark speedups against regressions.
+
+Compares two benchmark JSON reports (the committed baseline and a fresh
+run) and fails when any *speedup* metric present in both regressed by
+more than the tolerance.  Only ratio metrics are compared -- keys whose
+dot-path ends in ``speedup`` -- because absolute milliseconds vary with
+the host, while a speedup is a same-machine ratio and is expected to be
+stable anywhere.
+
+Usage:
+    python scripts/bench_compare.py baseline.json fresh.json [--tolerance 0.25]
+
+Exit status 1 on regression, with a per-metric table on stdout either way.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+
+def flatten(node, prefix=""):
+    """Yield ``(dot.path, value)`` for every numeric leaf of a JSON tree."""
+    if isinstance(node, dict):
+        for key, value in node.items():
+            yield from flatten(value, f"{prefix}{key}.")
+    elif isinstance(node, list):
+        for i, value in enumerate(node):
+            yield from flatten(value, f"{prefix}{i}.")
+    elif isinstance(node, (int, float)) and not isinstance(node, bool):
+        yield prefix.rstrip("."), float(node)
+
+
+def speedups(report) -> dict:
+    return {
+        path: value
+        for path, value in flatten(report)
+        if path.rsplit(".", 1)[-1].endswith("speedup")
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline", type=Path)
+    parser.add_argument("fresh", type=Path)
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.25,
+        help="maximum allowed fractional drop in any shared speedup "
+        "metric (default 0.25 = 25%%)",
+    )
+    args = parser.parse_args(argv)
+    if args.tolerance < 0:
+        parser.error(f"tolerance must be >= 0, got {args.tolerance}")
+
+    base = speedups(json.loads(args.baseline.read_text()))
+    fresh = speedups(json.loads(args.fresh.read_text()))
+    shared = sorted(set(base) & set(fresh))
+    if not shared:
+        print("no shared speedup metrics between the two reports", file=sys.stderr)
+        return 1
+
+    failures = []
+    width = max(len(path) for path in shared)
+    print(f"{'metric':<{width}}  {'baseline':>9}  {'fresh':>9}  {'change':>8}")
+    for path in shared:
+        old, new = base[path], fresh[path]
+        change = (new - old) / old if old else 0.0
+        regressed = old > 0 and change < -args.tolerance
+        flag = "  REGRESSED" if regressed else ""
+        print(f"{path:<{width}}  {old:>8.2f}x  {new:>8.2f}x  {change:>+7.1%}{flag}")
+        if regressed:
+            failures.append(path)
+
+    if failures:
+        print(
+            f"\n{len(failures)} metric(s) regressed more than "
+            f"{args.tolerance:.0%}: {', '.join(failures)}",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"\nall {len(shared)} shared speedup metrics within {args.tolerance:.0%}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

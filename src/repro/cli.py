@@ -65,6 +65,42 @@ def _cmd_generate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _format_stats_lines(stats: dict) -> List[str]:
+    """Render session/detector counters as ``stats: ...`` summary lines.
+
+    One line per counter group so downstream tooling can grep a single
+    prefix; interval report lines keep their ``interval`` prefix, which
+    existing consumers filter on.
+    """
+    lines = []
+    detection = stats.get("detection")
+    if detection is not None:
+        candidates = detection.get("candidates", 0)
+        evaluated = detection.get("median_evaluated", 0)
+        fraction = evaluated / candidates if candidates else 0.0
+        lines.append(
+            f"stats: prescreen candidates={candidates} "
+            f"median_evaluated={evaluated} ({fraction:.1%})"
+        )
+    cache = stats.get("index_cache")
+    if cache is not None:
+        lookups = cache.get("hits", 0) + cache.get("misses", 0)
+        rate = cache.get("hits", 0) / lookups if lookups else 0.0
+        lines.append(
+            f"stats: index-cache hits={cache.get('hits', 0)} "
+            f"misses={cache.get('misses', 0)} "
+            f"evictions={cache.get('evictions', 0)} "
+            f"size={cache.get('size', 0)} ({rate:.1%} hit rate)"
+        )
+    supervision = stats.get("supervision")
+    if supervision is not None:
+        lines.append(
+            "stats: supervision "
+            + " ".join(f"{k}={v}" for k, v in sorted(supervision.items()))
+        )
+    return lines
+
+
 def _cmd_detect(args: argparse.Namespace) -> int:
     from repro.detection import OfflineTwoPassDetector
     from repro.sketch import KArySchema
@@ -106,6 +142,12 @@ def _cmd_detect(args: argparse.Namespace) -> int:
             )
             line += f"  top=[{top}]"
         print(line)
+    if args.stats:
+        stats = {"detection": detector.stats}
+        if detector.index_cache is not None:
+            stats["index_cache"] = detector.index_cache.stats
+        for line in _format_stats_lines(stats):
+            print(line)
     return 0
 
 
@@ -165,6 +207,8 @@ def _cmd_checkpoint(args: argparse.Namespace) -> int:
     for report in reports:
         _print_session_report(report, args.top_n)
     save_checkpoint(session, args.out)
+    for line in _format_stats_lines(session.stats):
+        print(line)
     if hasattr(session, "close"):
         session.close()
     print(
@@ -196,6 +240,8 @@ def _cmd_resume(args: argparse.Namespace) -> int:
         reports.extend(session.flush())
     for report in reports:
         _print_session_report(report, session.top_n)
+    for line in _format_stats_lines(session.stats):
+        print(line)
     if hasattr(session, "close"):
         session.close()
     return 0
@@ -321,6 +367,8 @@ def build_parser() -> argparse.ArgumentParser:
     p_det.add_argument("--alpha", type=float, default=None)
     p_det.add_argument("--beta", type=float, default=None)
     p_det.add_argument("--window", type=int, default=None)
+    p_det.add_argument("--stats", action="store_true",
+                       help="print cache/prescreen counters after the reports")
     p_det.set_defaults(func=_cmd_detect)
 
     p_sk = sub.add_parser("sketch", help="serialize per-interval sketches")

@@ -48,7 +48,7 @@ from repro.detection.grouptesting import GroupTestingSchema, GroupTestingSketch
 from repro.detection.heavyhitters import HeavyHitterTracker, heavy_hitters
 from repro.detection.online import OnlineDetector
 from repro.detection.perflow import PerFlowResult, run_per_flow
-from repro.detection.session import StreamingSession
+from repro.detection.session import StreamingSession, resolve_index_cache
 from repro.detection.sharded import (
     ShardedIngestEngine,
     ShardedStreamingSession,
@@ -101,6 +101,7 @@ __all__ = [
     "forecast_error_stream",
     "interval_key_sets",
     "parallel_trace_detect",
+    "resolve_index_cache",
     "run_per_flow",
     "sketch_traces_parallel",
     "summarize_stream",

@@ -29,8 +29,42 @@ import numpy as np
 from repro.detection.threshold import IntervalDetection, build_interval_report
 from repro.forecast.base import Forecaster
 from repro.forecast.model_zoo import make_forecaster
+from repro.hashing.index_cache import BucketIndexCache, hashing_accelerated
 from repro.streams.keys import KeyScheme, ValueScheme, make_key_scheme, make_value_scheme
 from repro.streams.records import validate_records
+
+
+def resolve_index_cache(schema, index_cache) -> Optional[BucketIndexCache]:
+    """Normalize an ``index_cache`` knob into a cache instance (or None).
+
+    ``True`` means *cache when profitable*: a private
+    :class:`BucketIndexCache` is built over ``schema`` unless the schema
+    has nothing to cache (exact/dense) or its hashing already runs in the
+    compiled C kernels (:func:`~repro.hashing.index_cache.hashing_accelerated`)
+    -- kernel tabulation hashing beats any memo-table gather, while
+    polynomial / two-universal / fallback hashing costs several times one.
+    ``False``/``None`` disables; an existing cache is validated against
+    the schema and used as-is regardless of profitability (pass
+    :func:`~repro.hashing.index_cache.shared_index_cache` output to share
+    one cache across sessions on the same schema, or a private instance
+    to force caching).
+    """
+    if index_cache is None or index_cache is False:
+        return None
+    if index_cache is True:
+        if getattr(schema, "bucket_indices", None) is None:
+            return None
+        if hashing_accelerated(schema):
+            return None
+        return BucketIndexCache(schema)
+    if not isinstance(index_cache, BucketIndexCache):
+        raise TypeError(
+            f"index_cache must be a bool or BucketIndexCache, "
+            f"got {type(index_cache).__name__}"
+        )
+    if index_cache.schema != schema:
+        raise ValueError("index_cache was built for a different schema")
+    return index_cache
 
 
 class StreamingSession:
@@ -55,6 +89,17 @@ class StreamingSession:
         Records older than the current open interval by more than this
         many seconds are rejected (default 0: anything belonging to an
         already-sealed interval is an error -- sealing is irrevocable).
+    index_cache:
+        Bucket-index cache knob (see :func:`resolve_index_cache`): ``True``
+        (default) amortizes candidate-key hashing across intervals when
+        the schema's hashing is not already kernel-accelerated, ``False``
+        disables, or pass a
+        :class:`~repro.hashing.index_cache.BucketIndexCache` to share or
+        force one.  An execution choice, not result state: reports are
+        identical either way, and checkpoints never carry the cache.
+    prescreen:
+        Exact median prescreen in the per-interval report (default on);
+        see :func:`~repro.detection.threshold.build_interval_report`.
     """
 
     def __init__(
@@ -67,6 +112,8 @@ class StreamingSession:
         t_fraction: float = 0.05,
         top_n: int = 0,
         lateness_tolerance: float = 0.0,
+        index_cache: Union[bool, BucketIndexCache] = True,
+        prescreen: bool = True,
         **model_params,
     ) -> None:
         if interval_seconds <= 0:
@@ -97,6 +144,12 @@ class StreamingSession:
         self.t_fraction = float(t_fraction)
         self.top_n = int(top_n)
         self.lateness_tolerance = float(lateness_tolerance)
+        self.prescreen = bool(prescreen)
+        self._index_cache = resolve_index_cache(schema, index_cache)
+        self._detection_stats = {"candidates": 0, "median_evaluated": 0}
+        # Reusable Sf/Se scratch summaries for step_into (lazily built;
+        # None when the summary type has no combine_into).
+        self._seal_scratch = None
 
         self._current_index: Optional[int] = None
         self._current_sketch = None
@@ -121,6 +174,26 @@ class StreamingSession:
     def intervals_sealed(self) -> int:
         """Intervals completed and stepped through the model."""
         return self._intervals_sealed
+
+    @property
+    def index_cache(self) -> Optional[BucketIndexCache]:
+        """The session's bucket-index cache (None when disabled)."""
+        return self._index_cache
+
+    @property
+    def stats(self) -> dict:
+        """Amortization counters for the detection hot path.
+
+        ``detection`` carries ``candidates`` (keys handed to the report
+        builder) and ``median_evaluated`` (keys that actually paid the
+        H-way median; the gap is what the prescreen excluded exactly).
+        ``index_cache`` carries the cache's hit/miss/eviction counters
+        when a cache is attached.
+        """
+        stats = {"detection": dict(self._detection_stats)}
+        if self._index_cache is not None:
+            stats["index_cache"] = self._index_cache.stats
+        return stats
 
     @property
     def watermark(self) -> float:
@@ -246,9 +319,30 @@ class StreamingSession:
 
     # -- sealing -------------------------------------------------------------
 
+    def _scratch_summaries(self):
+        """Lazily built ``(error_out, forecast_out)`` scratch pair.
+
+        Two distinct reusable summaries that receive ``Se(t)`` / ``Sf(t)``
+        in place each seal (``(None, None)`` for summary types without
+        ``combine_into``).  Safe to reuse across intervals: the report
+        builder consumes the error within the seal, and nothing retains
+        the scratch objects -- the forecaster only retains ``observed``,
+        which is always freshly allocated.
+        """
+        if self._seal_scratch is None:
+            error_out = self.schema.empty()
+            if hasattr(error_out, "combine_into"):
+                self._seal_scratch = (error_out, self.schema.empty())
+            else:
+                self._seal_scratch = (None, None)
+        return self._seal_scratch
+
     def _seal_current(self) -> List[IntervalDetection]:
         observed, keys = self._collect_current()
-        step = self.forecaster.step(observed)
+        error_out, forecast_out = self._scratch_summaries()
+        step = self.forecaster.step_into(
+            observed, error_out=error_out, forecast_out=forecast_out
+        )
         self._intervals_sealed += 1
         if step.error is None:
             return []
@@ -260,6 +354,9 @@ class StreamingSession:
                 t_fraction=self.t_fraction,
                 top_n=self.top_n,
                 schema=self.schema,
+                index_cache=self._index_cache,
+                prescreen=self.prescreen,
+                stats=self._detection_stats,
             )
         ]
 

@@ -487,6 +487,13 @@ class ShardedStreamingSession(StreamingSession):
         """Snapshot of the engine's supervision counters."""
         return dict(self._engine.stats)
 
+    @property
+    def stats(self) -> dict:
+        """Detection-path counters plus the engine's supervision counters."""
+        combined = super().stats
+        combined["supervision"] = self.supervision_stats
+        return combined
+
     def _open_interval(self) -> None:
         self._current_sketch = None  # state lives in the engine
         self._engine.open_interval()
@@ -581,11 +588,19 @@ def parallel_trace_detect(
     """
     combined = sketch_traces_parallel(detector.schema, streams, n_workers=n_workers)
     detector.forecaster.reset()
+    error_out = detector.schema.empty()
+    forecast_out = None
+    if hasattr(error_out, "combine_into"):
+        forecast_out = detector.schema.empty()
+    else:
+        error_out = None
     recent_keys: deque = deque(maxlen=detector.replay_lookback + 1)
     reports: List[IntervalDetection] = []
     for index, observed, keys in combined:
         recent_keys.append(keys)
-        step = detector.forecaster.step(observed)
+        step = detector.forecaster.step_into(
+            observed, error_out=error_out, forecast_out=forecast_out
+        )
         if step.error is None:
             continue
         candidates = (
@@ -601,6 +616,9 @@ def parallel_trace_detect(
                 t_fraction=detector.t_fraction,
                 top_n=detector.top_n,
                 schema=detector.schema,
+                index_cache=getattr(detector, "index_cache", None),
+                prescreen=getattr(detector, "prescreen", True),
+                stats=getattr(detector, "stats", None),
             )
         )
     return reports

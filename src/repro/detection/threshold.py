@@ -63,6 +63,24 @@ class IntervalDetection:
         return len(self.alarms)
 
 
+def _evaluate_medians(rows, estimates, evaluated, idx) -> None:
+    """Fill ``estimates[idx]`` with the per-column medians of ``rows[:, idx]``.
+
+    ``np.median`` over a column subset computes each column independently,
+    so the filled values are bit-identical to the corresponding entries of
+    ``np.median(rows, axis=0)`` over the full matrix.
+    """
+    todo = idx[~evaluated[idx]]
+    if len(todo):
+        estimates[todo] = np.median(rows[:, todo], axis=0)
+        evaluated[todo] = True
+
+
+#: Minimum keys evaluated per top-N refinement round; amortizes the
+#: per-round bookkeeping without over-evaluating small candidate sets.
+_PRESCREEN_CHUNK = 256
+
+
 def build_interval_report(
     error_summary,
     candidate_keys: np.ndarray,
@@ -72,6 +90,9 @@ def build_interval_report(
     top_n: int = 0,
     indices: Optional[np.ndarray] = None,
     schema=None,
+    index_cache=None,
+    prescreen: bool = True,
+    stats: Optional[dict] = None,
 ) -> IntervalDetection:
     """Finish one interval: threshold candidate errors and rank the top-N.
 
@@ -97,6 +118,24 @@ def build_interval_report(
         ``schema.bucket_indices`` so thresholding and top-N share the
         work; schemas without ``bucket_indices`` (exact/dense) pass
         through untouched.
+    index_cache:
+        Optional :class:`~repro.hashing.index_cache.BucketIndexCache`;
+        when given (and ``indices`` is not) the candidate keys' bucket
+        indices come from the cache -- recurring keys skip hashing
+        entirely.  Takes precedence over ``schema``.
+    prescreen:
+        Exact median prescreen (default on).  The median over rows is
+        bounded by the per-key max absolute row estimate, which one
+        vectorized pass over the gathered rows yields for free; the
+        per-key ``np.median`` then runs only on keys whose bound reaches
+        the alarm threshold (plus the keys needed to settle the top-N).
+        Provably identical output; set ``False`` to force the reference
+        full-median path.  Requires ``error_summary.estimate_rows`` (k-ary
+        and Count Sketch); summaries without it fall back silently.
+    stats:
+        Optional mutable dict; ``candidates`` and ``median_evaluated``
+        counters are accumulated into it (prescreen effectiveness =
+        evaluated / candidates).
 
     The estimates are computed once and reused by both the alarm scan and
     the top-N ranking -- output is identical to running
@@ -109,32 +148,120 @@ def build_interval_report(
     alarms: List[Alarm] = []
     top_keys = np.array([], dtype=np.uint64)
     top_errors = np.array([], dtype=np.float64)
-    if len(keys) and (t_fraction is not None or top_n):
-        if indices is None and schema is not None:
-            bucket_indices = getattr(schema, "bucket_indices", None)
-            if bucket_indices is not None:
-                indices = bucket_indices(keys)
-        estimates = error_summary.estimate_batch(keys, indices=indices)
-        magnitudes = np.abs(estimates)
-        if t_fraction is not None:
-            # A zero threshold (T = 0, or an all-zero error summary) must
-            # not alarm on keys whose reconstructed error is exactly zero
-            # -- they carry no change signal at all.
-            hits = magnitudes >= threshold if threshold > 0.0 else magnitudes > 0.0
-            alarms = [
-                Alarm(
-                    interval=interval,
-                    key=int(k),
-                    estimated_error=float(e),
-                    threshold=threshold,
+    n = len(keys)
+    evaluated_count = 0
+    if n and (t_fraction is not None or top_n):
+        if indices is None:
+            if index_cache is not None:
+                indices = index_cache.lookup(keys)
+            elif schema is not None:
+                bucket_indices = getattr(schema, "bucket_indices", None)
+                if bucket_indices is not None:
+                    indices = bucket_indices(keys)
+        estimate_rows = (
+            getattr(error_summary, "estimate_rows", None) if prescreen else None
+        )
+        if estimate_rows is not None:
+            rows = estimate_rows(keys, indices=indices)
+            # |median over rows| <= max over rows |row estimate|: an exact
+            # bound for any select-from-rows estimator, computed here
+            # without materializing np.abs(rows).
+            upper = np.maximum(rows.max(axis=0), -rows.min(axis=0))
+            estimates = np.empty(n, dtype=np.float64)
+            evaluated = np.zeros(n, dtype=bool)
+            if t_fraction is not None:
+                # Keys whose bound is below the threshold cannot alarm;
+                # the median runs only on the survivors.  Same zero-
+                # threshold rule as the reference path: exact-zero errors
+                # never alarm.
+                survivors = np.flatnonzero(
+                    upper >= threshold if threshold > 0.0 else upper > 0.0
                 )
-                for k, e in zip(keys[hits].tolist(), estimates[hits].tolist())
-            ]
-        if top_n:
-            order = np.lexsort((keys, -magnitudes))
-            chosen = order[:top_n]
-            top_keys = keys[chosen]
-            top_errors = estimates[chosen]
+                _evaluate_medians(rows, estimates, evaluated, survivors)
+                mags = np.abs(estimates[survivors])
+                keep = mags >= threshold if threshold > 0.0 else mags > 0.0
+                hit_idx = survivors[keep]
+                alarms = [
+                    Alarm(
+                        interval=interval,
+                        key=int(k),
+                        estimated_error=float(e),
+                        threshold=threshold,
+                    )
+                    for k, e in zip(
+                        keys[hit_idx].tolist(), estimates[hit_idx].tolist()
+                    )
+                ]
+            if top_n:
+                # Evaluate the keys with the largest bounds until the
+                # top_n-th largest evaluated magnitude provably dominates
+                # every unevaluated bound.  argpartition (O(n)) replaces a
+                # full sort: after partitioning at m, every unselected key
+                # has a bound <= upper[part[m]], so that single pivot is
+                # the stop test.  Strictness matters: a bound *equal* to
+                # the kth magnitude could still tie and win on the key
+                # tie-break, so stopping requires pivot < kth.  Which
+                # tied-bound keys land in the selection is arbitrary and
+                # irrelevant: any unevaluated key's |median| <= bound < kth
+                # strictly, and the final restricted lexsort ranks whatever
+                # got evaluated.
+                m = max(int(top_n), _PRESCREEN_CHUNK)
+                while True:
+                    if m >= n:
+                        _evaluate_medians(
+                            rows, estimates, evaluated,
+                            np.arange(n, dtype=np.intp),
+                        )
+                        break
+                    part = np.argpartition(-upper, m)
+                    _evaluate_medians(rows, estimates, evaluated, part[:m])
+                    eval_idx = np.flatnonzero(evaluated)
+                    if len(eval_idx) >= top_n:
+                        mags = np.abs(estimates[eval_idx])
+                        kth = np.partition(mags, len(mags) - top_n)[
+                            len(mags) - top_n
+                        ]
+                        if upper[part[m]] < kth:
+                            break
+                    m = min(n, 2 * m)
+                eval_idx = np.flatnonzero(evaluated)
+                order = np.lexsort(
+                    (keys[eval_idx], -np.abs(estimates[eval_idx]))
+                )
+                chosen = eval_idx[order[:top_n]]
+                top_keys = keys[chosen]
+                top_errors = estimates[chosen]
+            evaluated_count = int(np.count_nonzero(evaluated))
+        else:
+            estimates = error_summary.estimate_batch(keys, indices=indices)
+            evaluated_count = n
+            magnitudes = np.abs(estimates)
+            if t_fraction is not None:
+                # A zero threshold (T = 0, or an all-zero error summary)
+                # must not alarm on keys whose reconstructed error is
+                # exactly zero -- they carry no change signal at all.
+                hits = (
+                    magnitudes >= threshold if threshold > 0.0 else magnitudes > 0.0
+                )
+                alarms = [
+                    Alarm(
+                        interval=interval,
+                        key=int(k),
+                        estimated_error=float(e),
+                        threshold=threshold,
+                    )
+                    for k, e in zip(keys[hits].tolist(), estimates[hits].tolist())
+                ]
+            if top_n:
+                order = np.lexsort((keys, -magnitudes))
+                chosen = order[:top_n]
+                top_keys = keys[chosen]
+                top_errors = estimates[chosen]
+    if stats is not None:
+        stats["candidates"] = stats.get("candidates", 0) + n
+        stats["median_evaluated"] = (
+            stats.get("median_evaluated", 0) + evaluated_count
+        )
     return IntervalDetection(
         index=interval,
         threshold=threshold,

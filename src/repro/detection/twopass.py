@@ -50,6 +50,15 @@ class OfflineTwoPassDetector:
         a lookback of 1 lets the detector flag keys that *disappeared*
         (e.g. a DoS flood that just stopped), whose forecast error is large
         and negative even though they send no traffic in interval ``t``.
+    index_cache:
+        Bucket-index cache knob (``True``/``False``/instance; see
+        :func:`~repro.detection.session.resolve_index_cache`).  Replay
+        keys recur heavily across intervals, so the default (``True``)
+        hashes each recurring key once per run instead of once per
+        interval.  Reports are identical either way.
+    prescreen:
+        Exact median prescreen (default on); see
+        :func:`~repro.detection.threshold.build_interval_report`.
     model_params:
         Parameters forwarded to the registry when ``forecaster`` is a name.
     """
@@ -61,8 +70,12 @@ class OfflineTwoPassDetector:
         t_fraction: Optional[float] = 0.05,
         top_n: int = 0,
         replay_lookback: int = 0,
+        index_cache=True,
+        prescreen: bool = True,
         **model_params,
     ) -> None:
+        from repro.detection.session import resolve_index_cache
+
         self.schema = schema
         if isinstance(forecaster, str):
             forecaster = make_forecaster(forecaster, **model_params)
@@ -80,33 +93,54 @@ class OfflineTwoPassDetector:
         if replay_lookback < 0:
             raise ValueError(f"replay_lookback must be >= 0, got {replay_lookback}")
         self.replay_lookback = int(replay_lookback)
+        self.prescreen = bool(prescreen)
+        self.index_cache = resolve_index_cache(schema, index_cache)
+        self.stats = {"candidates": 0, "median_evaluated": 0}
 
     def run(self, batches: Iterable[KeyedUpdates]) -> Iterator[IntervalDetection]:
         """Detect over an interval stream, yielding per-interval reports.
 
         Warm-up intervals (no forecast yet) are skipped; the caller sees
         only intervals with a defined error summary.
+
+        The loop mirrors :func:`~repro.detection.pipeline.run_pipeline`
+        but seals through the amortized path: reusable ``Sf``/``Se``
+        scratch summaries (``step_into``), the bucket-index cache, and
+        the median prescreen.  Output is identical interval for interval.
         """
         from collections import deque
 
+        self.forecaster.reset()
+        error_out = self.schema.empty()
+        forecast_out = None
+        if hasattr(error_out, "combine_into"):
+            forecast_out = self.schema.empty()
+        else:
+            error_out = None
         recent_keys: deque = deque(maxlen=self.replay_lookback + 1)
-        for step in run_pipeline(batches, self.schema, self.forecaster):
-            recent_keys.append(step.keys)
+        for batch in batches:
+            observed = self.schema.from_items(batch.keys, batch.values)
+            step = self.forecaster.step_into(
+                observed, error_out=error_out, forecast_out=forecast_out
+            )
+            recent_keys.append(np.unique(batch.keys))
             if step.error is None:
                 continue
-            error = step.error
             keys = (
                 np.unique(np.concatenate(list(recent_keys)))
                 if self.replay_lookback
-                else step.keys
+                else recent_keys[-1]
             )
             yield build_interval_report(
-                error,
+                step.error,
                 keys,
-                interval=step.index,
+                interval=batch.index,
                 t_fraction=self.t_fraction,
                 top_n=self.top_n,
                 schema=self.schema,
+                index_cache=self.index_cache,
+                prescreen=self.prescreen,
+                stats=self.stats,
             )
 
     def detect(self, batches: Iterable[KeyedUpdates]) -> List[IntervalDetection]:

@@ -32,7 +32,7 @@ from typing import Any, Optional, Sequence
 
 import numpy as np
 
-from repro.forecast.base import Forecaster
+from repro.forecast.base import Forecaster, combine_terms
 
 
 def _char_roots(coeffs: Sequence[float]) -> np.ndarray:
@@ -139,15 +139,15 @@ class ArimaForecaster(Forecaster):
         """One-step forecast of the differenced series, or ``None``."""
         if len(self._z) < self.order.p or (self.order.p == 0 and not self._z):
             return None
-        acc = self._zero
+        terms = [(1.0, self._zero)]
         z_list = list(self._z)
         for j, phi in enumerate(self.ar, start=1):
-            acc = acc + z_list[-j] * phi
+            terms.append((phi, z_list[-j]))
         err_list = list(self._errors)
         for i, theta in enumerate(self.ma, start=1):
             if i <= len(err_list):
-                acc = acc - err_list[-i] * theta
-        return acc
+                terms.append((-theta, err_list[-i]))
+        return combine_terms(terms)
 
     # -- Forecaster interface ----------------------------------------------
 
@@ -158,6 +158,18 @@ class ArimaForecaster(Forecaster):
             return self._pending_forecast_z
         # Undifference: Sf(t) = S(t-1) + Zhat_t.
         return self._raw[-1] + self._pending_forecast_z
+
+    def forecast_into(self, out: Any) -> Optional[Any]:
+        if self._pending_forecast_z is None:
+            return None
+        if self.order.d == 0:
+            # The forecast *is* stored state; no combination to materialize.
+            return self._pending_forecast_z
+        if not hasattr(out, "combine_into"):
+            return self.forecast()
+        return out.combine_into(
+            [(1.0, self._raw[-1]), (1.0, self._pending_forecast_z)]
+        )
 
     def _consume(self, observed: Any) -> None:
         if self._zero is None:

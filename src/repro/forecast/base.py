@@ -23,6 +23,25 @@ from typing import Any, Generic, Iterable, Iterator, List, Optional, TypeVar
 State = TypeVar("State")
 
 
+def combine_terms(terms: List[tuple]) -> Any:
+    """``sum(c * s for c, s in terms)`` with one fused COMBINE when possible.
+
+    Summaries implementing ``_linear_combination`` (sketches, exact/dense
+    tables) evaluate the whole combination in a single pass with one
+    result allocation; everything else (floats, plain arrays) falls back
+    to the chained operator expression.  Both paths multiply each term
+    once and add left-to-right, so the result is bit-identical either
+    way -- model update rules can fuse without changing a single float.
+    """
+    head_coeff, head = terms[0]
+    if hasattr(head, "_linear_combination"):
+        return head._linear_combination([(float(c), s) for c, s in terms])
+    acc = head * head_coeff
+    for coeff, state in terms[1:]:
+        acc = acc + state * coeff
+    return acc
+
+
 @dataclass
 class ForecastStep(Generic[State]):
     """One interval's worth of pipeline output.
@@ -84,6 +103,61 @@ class Forecaster(abc.ABC):
         error = None if predicted is None else observed - predicted
         self.observe(observed)
         return ForecastStep(index=index, observed=observed, forecast=predicted, error=error)
+
+    def forecast_into(self, out: Any) -> Optional[Any]:
+        """:meth:`forecast`, materialized into ``out`` when possible.
+
+        Models whose forecast is a fresh linear combination (MA, SMA,
+        seasonal HW, differenced ARIMA) overwrite ``out`` via its
+        ``combine_into`` and return it; models that store the forecast as
+        state (EWMA, NSHW) return that state directly.  Either way the
+        caller must treat the result as **read-only** -- it may be internal
+        model state.  Returns ``None`` in warm-up.  The base implementation
+        (and any model handed an ``out`` without ``combine_into``) falls
+        back to the allocating :meth:`forecast`.
+        """
+        return self.forecast()
+
+    def step_into(
+        self,
+        observed: Any,
+        error_out: Optional[Any] = None,
+        forecast_out: Optional[Any] = None,
+    ) -> ForecastStep:
+        """:meth:`step` with caller-provided scratch summaries.
+
+        ``error_out`` / ``forecast_out`` are reusable summaries (same
+        schema as ``observed``, exposing ``combine_into``) that receive
+        ``Se(t)`` and ``Sf(t)`` in place, so the seal path of a long-running
+        session allocates no fresh tables per interval.  They must be two
+        distinct objects, reserved for this call: the returned step aliases
+        them, so the caller must consume the step before the next
+        ``step_into``.  Results are value-identical to :meth:`step`
+        (same floats; only the sign of exact-zero cells may differ).
+        ``observed`` is consumed exactly as :meth:`step` does -- models
+        retain it in their state, so it must NOT be a reused scratch.
+        """
+        if error_out is not None and error_out is forecast_out:
+            raise ValueError("error_out and forecast_out must be distinct")
+        index = self._t
+        if forecast_out is not None and hasattr(forecast_out, "combine_into"):
+            predicted = self.forecast_into(forecast_out)
+        else:
+            predicted = self.forecast()
+        if predicted is None:
+            error = None
+        elif (
+            error_out is not None
+            and hasattr(error_out, "combine_into")
+            and error_out is not predicted
+        ):
+            error = error_out.combine_into([(1.0, observed), (-1.0, predicted)])
+        else:
+            error = observed - predicted
+        self.observe(observed)
+        return ForecastStep(
+            index=index, observed=observed, forecast=predicted, error=error
+        )
 
     def run(self, observations: Iterable[Any]) -> Iterator[ForecastStep]:
         """Stream :meth:`step` over an iterable of observed summaries."""

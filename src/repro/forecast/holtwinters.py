@@ -4,7 +4,7 @@ from __future__ import annotations
 
 from typing import Any, List, Optional
 
-from repro.forecast.base import Forecaster
+from repro.forecast.base import Forecaster, combine_terms
 
 
 class HoltWintersForecaster(Forecaster):
@@ -52,9 +52,12 @@ class HoltWintersForecaster(Forecaster):
             # recursion seed for Ss(3).
             self._forecast = self._smooth + self._trend
             return
-        new_smooth = observed * self.alpha + self._forecast * (1.0 - self.alpha)
-        self._trend = (new_smooth - self._smooth) * self.beta + self._trend * (
-            1.0 - self.beta
+        new_smooth = combine_terms(
+            [(self.alpha, observed), (1.0 - self.alpha, self._forecast)]
+        )
+        delta = new_smooth - self._smooth
+        self._trend = combine_terms(
+            [(self.beta, delta), (1.0 - self.beta, self._trend)]
         )
         self._smooth = new_smooth
         self._forecast = self._smooth + self._trend
@@ -125,6 +128,20 @@ class SeasonalHoltWintersForecaster(Forecaster):
         season_index = self._t % self.period
         return self._level + self._trend + self._season[season_index]
 
+    def forecast_into(self, out: Any) -> Optional[Any]:
+        if self._level is None:
+            return None
+        if not hasattr(out, "combine_into"):
+            return self.forecast()
+        season_index = self._t % self.period
+        return out.combine_into(
+            [
+                (1.0, self._level),
+                (1.0, self._trend),
+                (1.0, self._season[season_index]),
+            ]
+        )
+
     def _consume(self, observed: Any) -> None:
         if self._level is None:
             self._bootstrap.append(observed)
@@ -140,14 +157,17 @@ class SeasonalHoltWintersForecaster(Forecaster):
         season_index = self._t % self.period
         prev_level = self._level
         deseasoned = observed - self._season[season_index]
-        self._level = deseasoned * self.alpha + (prev_level + self._trend) * (
-            1.0 - self.alpha
+        carried = prev_level + self._trend
+        self._level = combine_terms(
+            [(self.alpha, deseasoned), (1.0 - self.alpha, carried)]
         )
-        self._trend = (self._level - prev_level) * self.beta + self._trend * (
-            1.0 - self.beta
+        delta = self._level - prev_level
+        self._trend = combine_terms(
+            [(self.beta, delta), (1.0 - self.beta, self._trend)]
         )
-        self._season[season_index] = (observed - self._level) * self.gamma + (
-            self._season[season_index] * (1.0 - self.gamma)
+        reseasoned = observed - self._level
+        self._season[season_index] = combine_terms(
+            [(self.gamma, reseasoned), (1.0 - self.gamma, self._season[season_index])]
         )
 
     def _reset_state(self) -> None:

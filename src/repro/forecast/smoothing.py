@@ -5,7 +5,7 @@ from __future__ import annotations
 from collections import deque
 from typing import Any, List, Optional
 
-from repro.forecast.base import Forecaster
+from repro.forecast.base import Forecaster, combine_terms
 
 
 class MovingAverageForecaster(Forecaster):
@@ -34,6 +34,14 @@ class MovingAverageForecaster(Forecaster):
         for state in list(self._history)[1:]:
             acc = acc + state * (1.0 / self.window)
         return acc
+
+    def forecast_into(self, out: Any) -> Optional[Any]:
+        if len(self._history) < self.window:
+            return None
+        if not hasattr(out, "combine_into"):
+            return self.forecast()
+        weight = 1.0 / self.window
+        return out.combine_into([(weight, state) for state in self._history])
 
     def _consume(self, observed: Any) -> None:
         self._history.append(observed)
@@ -98,6 +106,19 @@ class SShapedMovingAverageForecaster(Forecaster):
             acc = term if acc is None else acc + term
         return acc
 
+    def forecast_into(self, out: Any) -> Optional[Any]:
+        if len(self._history) < self.window:
+            return None
+        if not hasattr(out, "combine_into"):
+            return self.forecast()
+        states = list(self._history)
+        return out.combine_into(
+            [
+                (weight / self._norm, states[-lag])
+                for lag, weight in enumerate(self.weights, start=1)
+            ]
+        )
+
     def _consume(self, observed: Any) -> None:
         self._history.append(observed)
 
@@ -140,7 +161,9 @@ class EWMAForecaster(Forecaster):
             # Sf(2) = So(1)
             self._forecast = observed
         else:
-            self._forecast = observed * self.alpha + self._forecast * (1.0 - self.alpha)
+            self._forecast = combine_terms(
+                [(self.alpha, observed), (1.0 - self.alpha, self._forecast)]
+            )
 
     def _reset_state(self) -> None:
         self._forecast = None

@@ -25,6 +25,11 @@ support vectorized evaluation over NumPy arrays of keys.
 """
 
 from repro.hashing.carter_wegman import PolynomialHash, TwoUniversalHash
+from repro.hashing.index_cache import (
+    DEFAULT_CAPACITY,
+    BucketIndexCache,
+    shared_index_cache,
+)
 from repro.hashing.seeds import (
     MAX_MASTER_SEED,
     SeedSequenceFactory,
@@ -37,12 +42,16 @@ from repro.hashing.stacked import (
     StackedPolynomialHash,
     StackedTabulationHash,
     fused_signed_update,
+    gather_indices,
     make_stacked,
+    scatter_add_indices,
 )
 from repro.hashing.tabulation import TabulationHash
 from repro.hashing.universal import HashFamily, make_family
 
 __all__ = [
+    "BucketIndexCache",
+    "DEFAULT_CAPACITY",
     "HashFamily",
     "LoopStackedHash",
     "PolynomialHash",
@@ -56,6 +65,9 @@ __all__ = [
     "validate_master_seed",
     "MAX_MASTER_SEED",
     "fused_signed_update",
+    "gather_indices",
     "make_family",
     "make_stacked",
+    "scatter_add_indices",
+    "shared_index_cache",
 ]

@@ -161,6 +161,31 @@ void tab_gather_u16(const uint64_t* keys, int64_t n, int64_t h_rows,
         }
     }
 }
+
+/* Precomputed-index variants: serve UPDATE/gather when the (H, n) bucket
+ * indices already exist (e.g. from the persistent bucket-index cache),
+ * skipping the hash entirely.  Per-row stream order matches the per-row
+ * np.add.at reference, so accumulation is bit-identical. */
+void idx_update(const int64_t* idx, const double* values, int64_t n,
+                int64_t h_rows, int64_t k_width, double* table) {
+    for (int64_t i = 0; i < h_rows; ++i) {
+        const int64_t* row = idx + i * n;
+        double* trow = table + i * k_width;
+        for (int64_t j = 0; j < n; ++j)
+            trow[row[j]] += values[j];
+    }
+}
+
+void idx_gather(const int64_t* idx, int64_t n, int64_t h_rows,
+                int64_t k_width, const double* table, double* out) {
+    for (int64_t i = 0; i < h_rows; ++i) {
+        const int64_t* row = idx + i * n;
+        const double* trow = table + i * k_width;
+        double* orow = out + i * n;
+        for (int64_t j = 0; j < n; ++j)
+            orow[j] = trow[row[j]];
+    }
+}
 """
 
 _COMPILERS = ("cc", "gcc", "clang")
@@ -186,6 +211,10 @@ class TabulationKernels:
         ]
         lib.tab_gather_u16.restype = None
         lib.tab_gather_u16.argtypes = [p, i64, i64, i64, p, p, p, p, p]
+        lib.idx_update.restype = None
+        lib.idx_update.argtypes = [p, p, i64, i64, i64, p]
+        lib.idx_gather.restype = None
+        lib.idx_gather.argtypes = [p, i64, i64, i64, p, p]
 
     def hash_all(self, keys, r0, r1, r2, depth: int) -> np.ndarray:
         keys = np.ascontiguousarray(keys, dtype=np.uint64)
@@ -221,6 +250,25 @@ class TabulationKernels:
         self._lib.tab_gather_u16(
             _ptr(keys), len(keys), depth, width,
             _ptr(r0), _ptr(r1), _ptr(r2), _ptr(table), _ptr(out),
+        )
+        return out
+
+    def update_indices(self, table, indices, values) -> None:
+        indices = np.ascontiguousarray(indices, dtype=np.int64)
+        values = np.ascontiguousarray(values, dtype=np.float64)
+        depth, width = table.shape
+        self._lib.idx_update(
+            _ptr(indices), _ptr(values), indices.shape[1], depth, width,
+            _ptr(table),
+        )
+
+    def gather_indices(self, table, indices) -> np.ndarray:
+        indices = np.ascontiguousarray(indices, dtype=np.int64)
+        depth, width = table.shape
+        n = indices.shape[1]
+        out = np.empty((depth, n), dtype=np.float64)
+        self._lib.idx_gather(
+            _ptr(indices), n, depth, width, _ptr(table), _ptr(out)
         )
         return out
 

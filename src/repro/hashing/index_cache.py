@@ -1,0 +1,298 @@
+"""Persistent key -> bucket-index cache for the detection hot path.
+
+Every sealed interval, the detection layer reconstructs forecast errors
+for the interval's candidate keys, which starts by hashing each key with
+all ``H`` row functions (``schema.bucket_indices``).  Real flow-key
+populations are heavily recurrent across intervals -- the same hosts keep
+talking -- so the same keys are re-hashed interval after interval even
+though a key's ``(H,)`` bucket-index column is a pure function of the
+schema and can never change.
+
+:class:`BucketIndexCache` memoizes those columns in a vectorized
+open-addressed hash table: a multiply-shift slot probe resolves a whole
+candidate array in a handful of gather rounds, only the misses are hashed
+(in one stacked pass), and the result is bit-identical to hashing every
+key -- the cache stores the hash function's *output*, not an
+approximation of it.  Slots are never unfilled, only overwritten, so
+probe chains stay valid; past ``capacity`` cached keys, new keys
+overwrite the least-recently-used slot in their probe window (approximate
+LRU), which bounds memory at roughly ``2 * capacity * (H + 2) * 8``
+bytes.
+
+The cache is an execution detail, never part of the detection result:
+sessions rebuild it from the schema after a checkpoint restore, and a
+cleared or differently-sized cache yields the same reports.
+
+Thread-safety: lookups take an internal lock, so one cache may be shared
+by sessions on different threads (see :func:`shared_index_cache`).
+"""
+
+from __future__ import annotations
+
+import threading
+import weakref
+from typing import Optional
+
+import numpy as np
+
+#: Default maximum number of cached keys.  At the paper's ``H = 5`` this
+#: is ~28 MiB of table -- small next to the traces it serves.
+DEFAULT_CAPACITY = 1 << 18
+
+#: Fibonacci-hashing multiplier (odd, near 2**64 / phi): spreads the
+#: slot index over the high bits for any key distribution.
+_HASH_MULT = np.uint64(0x9E3779B97F4A7C15)
+
+#: Maximum linear-probe window.  Inserts never place a key further than
+#: this from its base slot, so a probe that sees this many non-matching
+#: slots can declare a miss.
+_PROBE_ROUNDS = 8
+
+
+def hashing_accelerated(schema) -> bool:
+    """True when ``schema.bucket_indices`` runs in the compiled C kernels.
+
+    Kernel tabulation hashing reads small L2-resident lookup strips and is
+    faster than any DRAM-sized memo table, so caching its output is a net
+    loss; polynomial / two-universal hashing (and the no-compiler
+    fallbacks) cost several times a cached gather.  The session layer uses
+    this to decide whether ``index_cache=True`` should attach a cache.
+    """
+    stacked = getattr(schema, "_stacked", None) or getattr(
+        schema, "_bucket_stacked", None
+    )
+    return bool(getattr(stacked, "kernel_accelerated", False))
+
+
+class BucketIndexCache:
+    """Cache of per-key ``(H,)`` bucket-index columns for one schema.
+
+    Parameters
+    ----------
+    schema:
+        Any schema exposing ``bucket_indices(keys) -> (H, n)`` and
+        ``depth`` (:class:`~repro.sketch.kary.KArySchema`,
+        :class:`~repro.sketch.countmin.CountMinSchema`,
+        :class:`~repro.sketch.countsketch.CountSketchSchema`).
+    capacity:
+        Approximate maximum number of cached keys (the slot table holds
+        twice this, keeping the load factor at or below one half).  Past
+        it, a new key overwrites the least-recently-used slot in its
+        probe window.  Must be >= 1.
+
+    :meth:`lookup` takes a **deduplicated** key array and returns the
+    same ``(H, n)`` int64 array ``schema.bucket_indices`` would -- cached
+    columns for hits, one stacked hash pass for the misses.
+    """
+
+    def __init__(self, schema, capacity: int = DEFAULT_CAPACITY) -> None:
+        bucket_indices = getattr(schema, "bucket_indices", None)
+        if bucket_indices is None:
+            raise TypeError(
+                f"{type(schema).__name__} has no bucket_indices(); the index "
+                "cache only serves hashed-summary schemas"
+            )
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self._schema = schema
+        self._depth = int(schema.depth)
+        # Bucket indices are < width, so they usually pack into int32 --
+        # half the gather traffic of int64 on the hot lookup path.
+        width = getattr(schema, "width", None)
+        self._col_dtype = (
+            np.int32
+            if width is not None and int(width) <= np.iinfo(np.int32).max
+            else np.int64
+        )
+        self.capacity = int(capacity)
+        n_slots = 2
+        while n_slots < 2 * self.capacity:
+            n_slots <<= 1
+        self._n_slots = n_slots
+        self._shift = np.uint64(64 - n_slots.bit_length() + 1)
+        self._rounds = min(_PROBE_ROUNDS, n_slots)
+        self._lock = threading.Lock()
+        self._alloc()
+        self._clock = 0
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.lookups = 0
+
+    def _alloc(self) -> None:
+        self._slot_keys = np.zeros(self._n_slots, dtype=np.uint64)
+        self._filled = np.zeros(self._n_slots, dtype=bool)
+        # Interleaved per key: a key's H indices share one cache line, so
+        # resolving a lookup is a single row gather.
+        self._columns = np.zeros(
+            (self._n_slots, self._depth), dtype=self._col_dtype
+        )
+        self._stamp = np.zeros(self._n_slots, dtype=np.int64)
+        self._size = 0
+
+    @property
+    def schema(self):
+        """The schema whose hash functions this cache memoizes."""
+        return self._schema
+
+    def __len__(self) -> int:
+        return self._size
+
+    @property
+    def stats(self) -> dict:
+        """Counter snapshot: hits, misses, evictions, lookups, size."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "lookups": self.lookups,
+            "size": self._size,
+            "capacity": self.capacity,
+        }
+
+    def clear(self) -> None:
+        """Drop every cached column (counters are kept)."""
+        with self._lock:
+            self._alloc()
+
+    # -- the hot path --------------------------------------------------------
+
+    def _base_slots(self, keys: np.ndarray) -> np.ndarray:
+        return ((keys * _HASH_MULT) >> self._shift).astype(np.intp)
+
+    def lookup(self, keys: np.ndarray) -> np.ndarray:
+        """Bucket indices for deduplicated ``keys``: shape ``(H, n)`` int64.
+
+        Bit-identical to ``schema.bucket_indices(keys)``; recurring keys
+        cost a few vectorized probe gathers instead of ``H`` hash
+        evaluations.
+        """
+        keys = np.asarray(keys, dtype=np.uint64)
+        n = len(keys)
+        if n == 0:
+            return np.empty((self._depth, 0), dtype=np.int64)
+        with self._lock:
+            self._clock += 1
+            self.lookups += 1
+            mask = self._n_slots - 1
+            # Probe: every key walks its chain until it matches (hit) or
+            # sees a vacant slot / exhausts the window (miss).  Inserts
+            # respect the same window, so absence is conclusive.
+            pos = np.empty(n, dtype=np.intp)
+            slots = self._base_slots(keys)
+            remaining = np.arange(n, dtype=np.intp)
+            hit_mask = np.zeros(n, dtype=bool)
+            for _ in range(self._rounds):
+                loaded_filled = self._filled[slots]
+                match = loaded_filled & (self._slot_keys[slots] == keys[remaining])
+                matched = remaining[match]
+                pos[matched] = slots[match]
+                hit_mask[matched] = True
+                vacant = ~loaded_filled
+                pos[remaining[vacant]] = slots[vacant]  # insert target
+                cont = ~match & ~vacant
+                remaining = remaining[cont]
+                if not len(remaining):
+                    break
+                slots = (slots[cont] + 1) & mask
+            # Window exhausted without a vacancy: mark for victim search.
+            pos[remaining] = -1
+            n_hit = int(np.count_nonzero(hit_mask))
+            self.hits += n_hit
+            self.misses += n - n_hit
+            # Hit stamps only matter for eviction quality, and evictions
+            # can only happen once the table approaches capacity -- skip
+            # the scatter until then.
+            if 2 * self._size >= self.capacity:
+                self._stamp[pos[hit_mask]] = self._clock
+            # One row gather resolves every hit (misses gather garbage at
+            # a clipped slot and are overwritten from the fresh hash
+            # output below, so no post-insert verification is needed and
+            # an insert can never corrupt this lookup's result).
+            rows = self._columns[np.maximum(pos, 0)]
+            if n_hit < n:
+                miss_idx = np.flatnonzero(~hit_mask)
+                miss_keys = keys[miss_idx]
+                fresh = self._schema.bucket_indices(miss_keys)  # (H, m)
+                rows[miss_idx] = fresh.T
+                self._insert(miss_keys, fresh, pos[miss_idx])
+        return rows.T.astype(np.int64, order="C")
+
+    def _insert(
+        self, miss_keys: np.ndarray, columns: np.ndarray, targets: np.ndarray
+    ) -> None:
+        """Place missed keys at their probed slots (one vectorized round).
+
+        ``targets`` holds each key's first vacant probe slot, or -1 when
+        its window had none.  Conflicts (two keys, one slot) are settled
+        scatter-last-wins; losers are simply not cached this lookup.  A
+        recurring loser converges on a later lookup: its next probe walks
+        past the winner to a fresh vacancy *inside* its window, so cached
+        keys are always reachable by the bounded probe.  Keys with no
+        vacancy, or arriving while the table is at capacity, overwrite
+        the least-recently-used occupied slot in their probe window --
+        or stay uncached when even that is contended.  Correctness never
+        depends on a key being cached.
+        """
+        mask = self._n_slots - 1
+        targets = np.asarray(targets, dtype=np.intp).copy()
+        if self._size >= self.capacity:
+            # At capacity: never fill fresh slots (that would grow past
+            # the limit); every placement goes through victim selection.
+            targets[:] = -1
+        # Victim search for windowless keys: oldest *occupied* slot in
+        # the window not stamped by this lookup (vacant slots carry
+        # stamp zero and would otherwise always win, growing the table
+        # past capacity instead of recycling it).
+        lost = np.flatnonzero(targets < 0)
+        if len(lost):
+            rows = np.arange(len(lost), dtype=np.intp)
+            base = self._base_slots(miss_keys[lost])
+            window = (base[:, None] + np.arange(self._rounds)) & mask
+            stamps = self._stamp[window]
+            stamps[stamps >= self._clock] = np.iinfo(np.int64).max
+            stamps[~self._filled[window]] = np.iinfo(np.int64).max
+            choice = np.argmin(stamps, axis=1)
+            usable = stamps[rows, choice] < np.iinfo(np.int64).max
+            victims = window[rows, choice]
+            targets[lost[usable]] = victims[usable]
+        placeable = np.flatnonzero(targets >= 0)
+        if not len(placeable):
+            return
+        slots = targets[placeable]
+        self._slot_keys[slots] = miss_keys[placeable]  # last wins
+        won = self._slot_keys[slots] == miss_keys[placeable]
+        winners = placeable[won]
+        win_slots = targets[winners]
+        newly_filled = ~self._filled[win_slots]
+        self._size += int(np.count_nonzero(newly_filled))
+        self.evictions += int(np.count_nonzero(~newly_filled))
+        self._filled[win_slots] = True
+        self._stamp[win_slots] = self._clock
+        self._columns[win_slots] = columns.T[winners]
+
+
+#: One shared cache per schema (schemas compare equal when rebuilt from
+#: the same explicit seed, so equal schemas share columns safely).
+_SHARED: "weakref.WeakKeyDictionary" = weakref.WeakKeyDictionary()
+_SHARED_LOCK = threading.Lock()
+
+
+def shared_index_cache(
+    schema, capacity: Optional[int] = None
+) -> BucketIndexCache:
+    """Return the process-wide :class:`BucketIndexCache` for ``schema``.
+
+    Sessions probing the same schema (or equal schemas rebuilt from the
+    same seed) share one cache, so a key hashed by any of them is a hit
+    for all.  ``capacity`` only applies when this call creates the cache;
+    an existing shared cache keeps its original capacity.
+    """
+    with _SHARED_LOCK:
+        cache = _SHARED.get(schema)
+        if cache is None:
+            cache = BucketIndexCache(
+                schema, capacity=DEFAULT_CAPACITY if capacity is None else capacity
+            )
+            _SHARED[schema] = cache
+        return cache

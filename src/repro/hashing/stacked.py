@@ -74,6 +74,16 @@ class StackedHash(abc.ABC):
         """The wrapped per-row hash functions."""
         return self._rows
 
+    @property
+    def kernel_accelerated(self) -> bool:
+        """True when :meth:`hash_all` runs in the compiled C kernels.
+
+        Kernel hashing is cheap enough (L2-resident lookup strips) that
+        memoizing its output is a net loss; the bucket-index cache keys
+        its auto-enable decision off this flag.
+        """
+        return False
+
     @abc.abstractmethod
     def hash_all(self, keys: np.ndarray) -> np.ndarray:
         """Bucket indices for every row: shape ``(H, n)`` int64."""
@@ -148,6 +158,10 @@ class StackedTabulationHash(StackedHash):
                 "PolynomialHash for wider keys"
             )
         return keys
+
+    @property
+    def kernel_accelerated(self) -> bool:
+        return self._kernels is not None
 
     def hash_all(self, keys: np.ndarray) -> np.ndarray:
         if self._r0 is not None:
@@ -226,6 +240,43 @@ def make_stacked(rows: Sequence[HashFamily], num_buckets: int) -> StackedHash:
     ):
         return StackedPolynomialHash(rows, num_buckets)
     return LoopStackedHash(rows, num_buckets)
+
+
+def scatter_add_indices(table: np.ndarray, indices: np.ndarray,
+                        values: np.ndarray) -> None:
+    """UPDATE from precomputed bucket indices: ``table[i][idx[i,j]] += u_j``.
+
+    The hash-free half of the stacked scatter: when the ``(H, n)`` indices
+    already exist (from :meth:`StackedHash.hash_all` or the persistent
+    bucket-index cache) the C kernel scatters them directly; the fallback
+    is one flat-index ``np.add.at`` over the raveled table.  Both process
+    rows in stream order, bit-identical to per-row ``np.add.at``.
+    """
+    indices = np.asarray(indices, dtype=np.int64)
+    kernels = get_kernels()
+    if (
+        kernels is not None
+        and table.flags.c_contiguous
+        and table.dtype == np.float64
+    ):
+        kernels.update_indices(table, indices, values)
+        return
+    depth, width = table.shape
+    offsets = np.arange(depth, dtype=np.int64) * width
+    np.add.at(table.reshape(-1), indices + offsets[:, None], values)
+
+
+def gather_indices(table: np.ndarray, indices: np.ndarray) -> np.ndarray:
+    """Raw cells ``table[i][idx[i,j]]`` from precomputed bucket indices."""
+    indices = np.asarray(indices, dtype=np.int64)
+    kernels = get_kernels()
+    if (
+        kernels is not None
+        and table.flags.c_contiguous
+        and table.dtype == np.float64
+    ):
+        return kernels.gather_indices(table, indices)
+    return np.take_along_axis(table, indices, axis=1)
 
 
 def fused_signed_update(

@@ -68,8 +68,63 @@ class SummaryConvention:
         return arr
 
 
+def accumulate_arrays(
+    out: np.ndarray,
+    terms: Sequence[Tuple[float, np.ndarray]],
+    scratch: "np.ndarray | None" = None,
+) -> np.ndarray:
+    """In-place ``out[...] = sum(coeff * arr for coeff, arr in terms)``.
+
+    The allocating reference loop (``acc = zeros; acc += coeff * arr``)
+    materializes a fresh ``coeff * arr`` temporary per term.  This helper
+    produces the same values with zero per-term temporaries:
+    ``x + 1.0*y == x + y`` and ``x + (-1.0)*y == x - y`` exactly in
+    IEEE-754, the first term is written directly instead of added to a
+    zeroed table (identical except that exact-zero cells keep their sign
+    instead of being normalized to ``+0.0`` -- invisible to ``==``), and
+    the general-coefficient case routes the identical multiply-then-add
+    through one reusable ``scratch`` buffer (allocated lazily when the
+    caller does not supply it).
+
+    ``out`` must not alias any term array -- it is overwritten first.
+    """
+    for _, arr in terms:
+        if arr is out:
+            raise ValueError(
+                "accumulate_arrays destination may not appear in terms"
+            )
+    if not terms:
+        out[...] = 0.0
+        return out
+    first_coeff, first = terms[0]
+    if first_coeff == 1.0:
+        np.copyto(out, first)
+    elif first_coeff == -1.0:
+        np.negative(first, out=out)
+    else:
+        np.multiply(first, first_coeff, out=out)
+    for coeff, arr in terms[1:]:
+        if coeff == 1.0:
+            np.add(out, arr, out=out)
+        elif coeff == -1.0:
+            np.subtract(out, arr, out=out)
+        else:
+            if scratch is None:
+                scratch = np.empty_like(out)
+            np.multiply(arr, coeff, out=scratch)
+            np.add(out, scratch, out=out)
+    return out
+
+
 class LinearSummary(abc.ABC):
-    """Abstract base class for linear summaries of keyed update streams."""
+    """Abstract base class for linear summaries of keyed update streams.
+
+    Concrete types additionally implement ``combine_into(terms)`` -- the
+    in-place counterpart of :meth:`_linear_combination` that overwrites the
+    receiver with ``sum(c * s)`` without allocating a new summary, which is
+    what lets the detection seal path reuse scratch summaries interval
+    after interval.
+    """
 
     @abc.abstractmethod
     def update_batch(self, keys, values) -> None:

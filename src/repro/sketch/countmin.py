@@ -18,8 +18,8 @@ from typing import Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.hashing import derive_seeds, make_family, make_stacked
-from repro.sketch.base import LinearSummary, SummaryConvention
+from repro.hashing import derive_seeds, gather_indices, make_family, make_stacked
+from repro.sketch.base import LinearSummary, SummaryConvention, accumulate_arrays
 
 
 class CountMinSchema:
@@ -143,7 +143,7 @@ class CountMinSketch(LinearSummary):
         if indices is None:
             raw = self._schema._stacked.gather(self._table, keys)
         else:
-            raw = np.take_along_axis(self._table, indices, axis=1)
+            raw = gather_indices(self._table, indices)
         if signed:
             return np.median(raw, axis=0)
         return raw.min(axis=0)
@@ -163,10 +163,10 @@ class CountMinSketch(LinearSummary):
         """Sum of all inserted values (row 0)."""
         return float(self._table[0].sum())
 
-    def _linear_combination(
+    def _check_terms(
         self, terms: Sequence[Tuple[float, LinearSummary]]
-    ) -> "CountMinSketch":
-        table = np.zeros_like(self._table)
+    ) -> list:
+        tables = []
         for coeff, summary in terms:
             if not isinstance(summary, CountMinSketch):
                 raise TypeError(
@@ -174,5 +174,21 @@ class CountMinSketch(LinearSummary):
                 )
             if summary._schema != self._schema:
                 raise ValueError("cannot combine sketches with different schemas")
-            table += coeff * summary._table
-        return CountMinSketch(self._schema, table)
+            tables.append((float(coeff), summary._table))
+        return tables
+
+    def combine_into(
+        self,
+        terms: Sequence[Tuple[float, LinearSummary]],
+        scratch: Optional[np.ndarray] = None,
+    ) -> "CountMinSketch":
+        """In-place COMBINE reusing this sketch's table (allocation-free)."""
+        accumulate_arrays(self._table, self._check_terms(terms), scratch)
+        return self
+
+    def _linear_combination(
+        self, terms: Sequence[Tuple[float, LinearSummary]]
+    ) -> "CountMinSketch":
+        result = CountMinSketch(self._schema)
+        accumulate_arrays(result._table, self._check_terms(terms))
+        return result

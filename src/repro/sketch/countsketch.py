@@ -21,8 +21,14 @@ from typing import Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.hashing import derive_seeds, fused_signed_update, make_family, make_stacked
-from repro.sketch.base import LinearSummary, SummaryConvention
+from repro.hashing import (
+    derive_seeds,
+    fused_signed_update,
+    gather_indices,
+    make_family,
+    make_stacked,
+)
+from repro.sketch.base import LinearSummary, SummaryConvention, accumulate_arrays
 
 
 class CountSketchSchema:
@@ -145,17 +151,29 @@ class CountSketch(LinearSummary):
         for i in range(schema.depth):
             np.add.at(self._table[i], indices[i], signs[i] * values)
 
-    def estimate_batch(
+    def estimate_rows(
         self, keys, indices: Optional[np.ndarray] = None
     ) -> np.ndarray:
-        """Median over rows of ``s_i(a) * T[i][h_i(a)]`` (unbiased)."""
+        """Per-row signed estimates ``s_i(a) * T[i][h_i(a)]``: shape ``(H, n)``.
+
+        ``np.median(..., axis=0)`` of this equals :meth:`estimate_batch`
+        bit-for-bit; exposed for the detection prescreen (same contract as
+        :meth:`repro.sketch.kary.KArySketch.estimate_rows`).
+        """
         keys = SummaryConvention.as_key_array(keys)
         if indices is None:
             raw = self._schema._bucket_stacked.gather(self._table, keys)
         else:
-            raw = np.take_along_axis(self._table, indices, axis=1)
+            raw = gather_indices(self._table, indices)
         signs = self._schema.signs(keys)
-        return np.median(signs * raw, axis=0)
+        signs *= raw
+        return signs
+
+    def estimate_batch(
+        self, keys, indices: Optional[np.ndarray] = None
+    ) -> np.ndarray:
+        """Median over rows of ``s_i(a) * T[i][h_i(a)]`` (unbiased)."""
+        return np.median(self.estimate_rows(keys, indices=indices), axis=0)
 
     def estimate_f2(self) -> float:
         """Median over rows of the row sum-of-squares (AMS-style, unbiased).
@@ -166,10 +184,10 @@ class CountSketch(LinearSummary):
         sum_sq = np.einsum("ij,ij->i", self._table, self._table)
         return float(np.median(sum_sq))
 
-    def _linear_combination(
+    def _check_terms(
         self, terms: Sequence[Tuple[float, LinearSummary]]
-    ) -> "CountSketch":
-        table = np.zeros_like(self._table)
+    ) -> list:
+        tables = []
         for coeff, summary in terms:
             if not isinstance(summary, CountSketch):
                 raise TypeError(
@@ -177,5 +195,21 @@ class CountSketch(LinearSummary):
                 )
             if summary._schema != self._schema:
                 raise ValueError("cannot combine sketches with different schemas")
-            table += coeff * summary._table
-        return CountSketch(self._schema, table)
+            tables.append((float(coeff), summary._table))
+        return tables
+
+    def combine_into(
+        self,
+        terms: Sequence[Tuple[float, LinearSummary]],
+        scratch: Optional[np.ndarray] = None,
+    ) -> "CountSketch":
+        """In-place COMBINE reusing this sketch's table (allocation-free)."""
+        accumulate_arrays(self._table, self._check_terms(terms), scratch)
+        return self
+
+    def _linear_combination(
+        self, terms: Sequence[Tuple[float, LinearSummary]]
+    ) -> "CountSketch":
+        result = CountSketch(self._schema)
+        accumulate_arrays(result._table, self._check_terms(terms))
+        return result

@@ -19,7 +19,7 @@ from typing import Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.sketch.base import LinearSummary, SummaryConvention
+from repro.sketch.base import LinearSummary, SummaryConvention, accumulate_arrays
 
 
 class KeyIndex:
@@ -148,10 +148,10 @@ class DenseVector(LinearSummary):
         chosen = order[:n]
         return self._index.keys[chosen], self._values[chosen]
 
-    def _linear_combination(
+    def _check_terms(
         self, terms: Sequence[Tuple[float, LinearSummary]]
-    ) -> "DenseVector":
-        out = np.zeros_like(self._values)
+    ) -> list:
+        arrays = []
         for coeff, summary in terms:
             if not isinstance(summary, DenseVector):
                 raise TypeError(
@@ -159,8 +159,24 @@ class DenseVector(LinearSummary):
                 )
             if summary._index is not self._index:
                 raise ValueError("cannot combine vectors over different key indexes")
-            out += coeff * summary._values
-        return DenseVector(self._index, out)
+            arrays.append((float(coeff), summary._values))
+        return arrays
+
+    def combine_into(
+        self,
+        terms: Sequence[Tuple[float, LinearSummary]],
+        scratch: Optional[np.ndarray] = None,
+    ) -> "DenseVector":
+        """In-place COMBINE reusing this vector's storage (allocation-free)."""
+        accumulate_arrays(self._values, self._check_terms(terms), scratch)
+        return self
+
+    def _linear_combination(
+        self, terms: Sequence[Tuple[float, LinearSummary]]
+    ) -> "DenseVector":
+        result = DenseVector(self._index)
+        accumulate_arrays(result._values, self._check_terms(terms))
+        return result
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"DenseVector(universe={len(self._index)}, total={self.total():.6g})"

@@ -136,10 +136,9 @@ class DictVector(LinearSummary):
 
     # -- linearity -----------------------------------------------------------
 
-    def _linear_combination(
-        self, terms: Sequence[Tuple[float, LinearSummary]]
-    ) -> "DictVector":
-        out: Dict[int, float] = {}
+    def _accumulate(
+        self, out: Dict[int, float], terms: Sequence[Tuple[float, LinearSummary]]
+    ) -> None:
         for coeff, summary in terms:
             if not isinstance(summary, DictVector):
                 raise TypeError(
@@ -147,6 +146,31 @@ class DictVector(LinearSummary):
                 )
             for key, value in summary._data.items():
                 out[key] = out.get(key, 0.0) + coeff * value
+
+    def combine_into(
+        self, terms: Sequence[Tuple[float, LinearSummary]], scratch=None
+    ) -> "DictVector":
+        """In-place COMBINE: rebuild this vector's dict from ``terms``.
+
+        A dict has no fixed-size buffer to reuse, so the win is API parity
+        (the seal path can treat every summary type uniformly) rather than
+        allocation savings; ``scratch`` is accepted and ignored.  The
+        receiver must not appear in ``terms``.
+        """
+        for _, summary in terms:
+            if summary is self:
+                raise ValueError(
+                    "combine_into destination may not appear in terms"
+                )
+        self._data.clear()
+        self._accumulate(self._data, terms)
+        return self
+
+    def _linear_combination(
+        self, terms: Sequence[Tuple[float, LinearSummary]]
+    ) -> "DictVector":
+        out: Dict[int, float] = {}
+        self._accumulate(out, terms)
         return DictVector(out)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

@@ -40,8 +40,14 @@ from typing import Iterable, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.hashing import derive_seeds, make_family, make_stacked
-from repro.sketch.base import LinearSummary, SummaryConvention
+from repro.hashing import (
+    derive_seeds,
+    gather_indices,
+    make_family,
+    make_stacked,
+    scatter_add_indices,
+)
+from repro.sketch.base import LinearSummary, SummaryConvention, accumulate_arrays
 
 
 class KArySchema:
@@ -240,10 +246,15 @@ class KArySketch(LinearSummary):
         self._schema._stacked.scatter_add(self._table, keys, values)
 
     def update_from_indices(self, indices: np.ndarray, values) -> None:
-        """UPDATE with precomputed bucket indices (shape ``(H, n)``)."""
+        """UPDATE with precomputed bucket indices (shape ``(H, n)``).
+
+        One scatter over the whole table (C kernel, or a single flat-index
+        ``np.add.at`` over the raveled table) instead of a Python-level
+        per-row loop; accumulation order per cell is stream order within
+        each row, bit-identical to the per-row reference.
+        """
         values = SummaryConvention.as_value_array(values, indices.shape[1])
-        for i in range(self._schema.depth):
-            np.add.at(self._table[i], indices[i], values)
+        scatter_add_indices(self._table, indices, values)
 
     # -- ESTIMATE ----------------------------------------------------------
 
@@ -255,10 +266,16 @@ class KArySketch(LinearSummary):
         """
         return float(self._table[0].sum())
 
-    def estimate_batch(
+    def estimate_rows(
         self, keys, indices: Optional[np.ndarray] = None
     ) -> np.ndarray:
-        """ESTIMATE for a batch of keys: median of per-row unbiased estimates.
+        """Per-row unbiased estimates ``v_a^{h_i}``: shape ``(H, n)``.
+
+        ``np.median(estimate_rows(keys), axis=0)`` equals
+        :meth:`estimate_batch` bit-for-bit; exposing the rows lets callers
+        compute exact bounds on the median (``|median| <= max_i |row_i|``)
+        from one gather and defer the median to surviving keys only -- the
+        detection prescreen (:mod:`repro.detection.threshold`).
 
         Parameters
         ----------
@@ -273,11 +290,27 @@ class KArySketch(LinearSummary):
             # raw[i, j] = T[i][h_i(a_j)], fused hash + gather.
             raw = self._schema._stacked.gather(self._table, keys)
         else:
-            raw = np.take_along_axis(self._table, indices, axis=1)
+            raw = gather_indices(self._table, indices)
         k = self._schema.width
         mean_share = self.total() / k
-        per_row = (raw - mean_share) / (1.0 - 1.0 / k)
-        return np.median(per_row, axis=0)
+        raw -= mean_share
+        raw /= 1.0 - 1.0 / k
+        return raw
+
+    def estimate_batch(
+        self, keys, indices: Optional[np.ndarray] = None
+    ) -> np.ndarray:
+        """ESTIMATE for a batch of keys: median of per-row unbiased estimates.
+
+        Parameters
+        ----------
+        keys:
+            Keys to reconstruct.
+        indices:
+            Optional precomputed ``schema.bucket_indices(keys)`` to avoid
+            re-hashing when several sketches are probed with one key set.
+        """
+        return np.median(self.estimate_rows(keys, indices=indices), axis=0)
 
     # -- ESTIMATEF2 --------------------------------------------------------
 
@@ -291,10 +324,10 @@ class KArySketch(LinearSummary):
 
     # -- COMBINE -----------------------------------------------------------
 
-    def _linear_combination(
+    def _check_terms(
         self, terms: Sequence[Tuple[float, LinearSummary]]
-    ) -> "KArySketch":
-        table = np.zeros_like(self._table)
+    ) -> list:
+        tables = []
         for coeff, summary in terms:
             if not isinstance(summary, KArySketch):
                 raise TypeError(
@@ -305,8 +338,30 @@ class KArySketch(LinearSummary):
                     "cannot combine sketches with different schemas "
                     "(hash functions must be identical)"
                 )
-            table += coeff * summary._table
-        return KArySketch(self._schema, table)
+            tables.append((float(coeff), summary._table))
+        return tables
+
+    def combine_into(
+        self,
+        terms: Sequence[Tuple[float, LinearSummary]],
+        scratch: Optional[np.ndarray] = None,
+    ) -> "KArySketch":
+        """In-place COMBINE: overwrite this sketch with ``sum(c_i * S_i)``.
+
+        Reuses this sketch's table (and an optional caller-provided
+        ``(H, K)`` float64 ``scratch`` for non-unit coefficients) so a
+        seal-path COMBINE allocates nothing.  Bit-identical to
+        :func:`combine`; the receiver must not itself appear in ``terms``.
+        """
+        accumulate_arrays(self._table, self._check_terms(terms), scratch)
+        return self
+
+    def _linear_combination(
+        self, terms: Sequence[Tuple[float, LinearSummary]]
+    ) -> "KArySketch":
+        result = KArySketch(self._schema)
+        accumulate_arrays(result._table, self._check_terms(terms))
+        return result
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

@@ -1,0 +1,244 @@
+"""Bit-identity of the amortized detection hot path.
+
+The amortized seal path -- persistent bucket-index cache, exact median
+prescreen, allocation-free ``step_into`` sealing -- is an execution
+strategy, never a result change.  These tests assert **bit-for-bit**
+equal :class:`IntervalDetection` reports (thresholds, alarms in order,
+top-N keys and errors) between the amortized and reference paths across
+every forecast model, serial and sharded sessions, the offline two-pass
+detector, and checkpoint/restore mid-run.
+"""
+
+import numpy as np
+import pytest
+
+from repro.detection import (
+    OfflineTwoPassDetector,
+    ShardedStreamingSession,
+    StreamingSession,
+    checkpoint_session,
+    restore_session,
+)
+from repro.hashing.index_cache import BucketIndexCache
+from repro.sketch import KArySchema
+from repro.streams import IntervalStream, make_records
+
+MODELS = [
+    ("ma", {"window": 3}),
+    ("sma", {"window": 4}),
+    ("ewma", {"alpha": 0.4}),
+    ("nshw", {"alpha": 0.5, "beta": 0.3}),
+    ("arima0", {"ar": (0.5, -0.2), "ma": (0.3,)}),
+    ("arima1", {"ar": (0.4,), "ma": (0.2,)}),
+]
+MODEL_IDS = [name for name, _ in MODELS]
+
+INTERVAL = 300.0
+CHUNK = 1024
+
+
+@pytest.fixture
+def schema():
+    return KArySchema(depth=5, width=2048, seed=3)
+
+
+@pytest.fixture
+def poly_schema():
+    # Polynomial hashing is the family where the auto rule actually
+    # attaches a cache (tabulation kernels beat it); exercise that too.
+    return KArySchema(depth=5, width=2048, seed=3, family="polynomial")
+
+
+@pytest.fixture
+def records(rng):
+    n = 16000
+    keys = rng.integers(0, 600, n).astype(np.uint32)
+    return make_records(
+        timestamps=np.sort(rng.uniform(0, 3000, n)),
+        dst_ips=keys,
+        byte_counts=rng.pareto(1.3, n) * 500 + 40,
+    )
+
+
+def _assert_reports_identical(got, reference):
+    assert len(got) == len(reference)
+    for a, b in zip(got, reference):
+        assert a.index == b.index
+        assert a.threshold == b.threshold  # bit-identical, not approx
+        assert a.error_l2 == b.error_l2
+        assert [(x.key, x.estimated_error) for x in a.alarms] == [
+            (x.key, x.estimated_error) for x in b.alarms
+        ]
+        assert np.array_equal(a.top_keys, b.top_keys)
+        assert np.array_equal(a.top_errors, b.top_errors)
+
+
+def _run_session(session, records, chunk=CHUNK):
+    reports = []
+    for start in range(0, len(records), chunk):
+        reports.extend(session.ingest(records[start : start + chunk]))
+    reports.extend(session.flush())
+    if hasattr(session, "close"):
+        session.close()
+    return reports
+
+
+class TestTwoPassEquivalence:
+    @pytest.mark.parametrize(("model", "params"), MODELS, ids=MODEL_IDS)
+    def test_all_models_bit_identical(self, schema, records, model, params):
+        stream = IntervalStream(records, interval_seconds=INTERVAL)
+
+        def detect(**knobs):
+            detector = OfflineTwoPassDetector(
+                schema, model, t_fraction=0.05, top_n=10, **knobs, **params
+            )
+            return detector.detect(stream)
+
+        reference = detect(index_cache=False, prescreen=False)
+        for knobs in (
+            {"index_cache": False, "prescreen": True},
+            {"index_cache": True, "prescreen": False},
+            {"index_cache": True, "prescreen": True},
+            {"index_cache": BucketIndexCache(schema), "prescreen": True},
+        ):
+            _assert_reports_identical(detect(**knobs), reference)
+
+    def test_polynomial_schema_cache_attaches(self, poly_schema, records):
+        stream = IntervalStream(records, interval_seconds=INTERVAL)
+        reference = OfflineTwoPassDetector(
+            poly_schema, "ewma", alpha=0.4, t_fraction=0.05, top_n=10,
+            index_cache=False, prescreen=False,
+        ).detect(stream)
+        amortized = OfflineTwoPassDetector(
+            poly_schema, "ewma", alpha=0.4, t_fraction=0.05, top_n=10,
+        )
+        assert amortized.index_cache is not None  # auto rule attached it
+        _assert_reports_identical(amortized.detect(stream), reference)
+        assert amortized.index_cache.hits > 0
+
+    def test_prescreen_counters(self, schema, records):
+        detector = OfflineTwoPassDetector(
+            schema, "ewma", alpha=0.4, t_fraction=0.05, top_n=10
+        )
+        detector.detect(IntervalStream(records, interval_seconds=INTERVAL))
+        assert 0 < detector.stats["median_evaluated"]
+        assert detector.stats["median_evaluated"] <= detector.stats["candidates"]
+
+
+class TestTieBreaking:
+    def test_massive_bound_ties(self, schema):
+        """Equal-magnitude errors everywhere; prescreen must still match."""
+        from repro.detection import build_interval_report
+
+        keys = np.arange(1, 400, dtype=np.uint64)
+        error = schema.from_items(keys, np.full(len(keys), 7.0))
+        reference = build_interval_report(
+            error, keys, interval=0, t_fraction=0.05, top_n=25,
+            schema=schema, prescreen=False,
+        )
+        prescreened = build_interval_report(
+            error, keys, interval=0, t_fraction=0.05, top_n=25,
+            schema=schema, prescreen=True,
+        )
+        _assert_reports_identical([prescreened], [reference])
+
+    def test_zero_threshold_and_no_alarming(self, schema, rng):
+        from repro.detection import build_interval_report
+
+        keys = np.unique(rng.integers(0, 2**32, 300).astype(np.uint64))
+        error = schema.from_items(keys, rng.normal(size=len(keys)))
+        for t_fraction in (0.0, None):
+            reference = build_interval_report(
+                error, keys, interval=0, t_fraction=t_fraction, top_n=10,
+                schema=schema, prescreen=False,
+            )
+            prescreened = build_interval_report(
+                error, keys, interval=0, t_fraction=t_fraction, top_n=10,
+                schema=schema, prescreen=True,
+            )
+            _assert_reports_identical([prescreened], [reference])
+
+
+class TestSessionEquivalence:
+    @pytest.mark.parametrize(("model", "params"), MODELS, ids=MODEL_IDS)
+    def test_serial_sessions(self, schema, records, model, params):
+        def run(**knobs):
+            return _run_session(
+                StreamingSession(
+                    schema, model, interval_seconds=INTERVAL,
+                    t_fraction=0.05, top_n=10, **knobs, **params,
+                ),
+                records,
+            )
+
+        reference = run(index_cache=False, prescreen=False)
+        _assert_reports_identical(run(), reference)
+        _assert_reports_identical(
+            run(index_cache=BucketIndexCache(schema)), reference
+        )
+
+    def test_sharded_session(self, schema, records):
+        reference = _run_session(
+            StreamingSession(
+                schema, "ewma", alpha=0.4, interval_seconds=INTERVAL,
+                t_fraction=0.05, top_n=10,
+                index_cache=False, prescreen=False,
+            ),
+            records,
+        )
+        amortized = _run_session(
+            ShardedStreamingSession(
+                schema, "ewma", alpha=0.4, interval_seconds=INTERVAL,
+                t_fraction=0.05, top_n=10, n_workers=2,
+                index_cache=BucketIndexCache(schema), prescreen=True,
+            ),
+            records,
+        )
+        _assert_reports_identical(amortized, reference)
+
+    def test_forced_cache_counts_hits(self, schema, records):
+        cache = BucketIndexCache(schema)
+        session = StreamingSession(
+            schema, "ewma", alpha=0.4, interval_seconds=INTERVAL,
+            t_fraction=0.05, top_n=10, index_cache=cache,
+        )
+        _run_session(session, records)
+        assert cache.hits > 0  # recurring keys skipped re-hashing
+        stats = session.stats
+        assert stats["index_cache"]["hits"] == cache.hits
+        assert stats["detection"]["median_evaluated"] <= stats["detection"][
+            "candidates"
+        ]
+
+
+class TestCheckpointInteraction:
+    def test_cache_never_checkpointed_and_resume_identical(
+        self, poly_schema, records
+    ):
+        """A mid-run checkpoint restores with a *fresh* cache, same reports."""
+        def make():
+            return StreamingSession(
+                poly_schema, "ewma", alpha=0.4, interval_seconds=INTERVAL,
+                t_fraction=0.05, top_n=10,
+            )
+
+        reference = _run_session(make(), records)
+
+        session = make()
+        assert session.index_cache is not None
+        reports = []
+        cut = 6 * CHUNK
+        for start in range(0, cut, CHUNK):
+            reports.extend(session.ingest(records[start : start + CHUNK]))
+        assert session.index_cache.lookups > 0
+        blob = checkpoint_session(session)
+
+        restored = restore_session(blob)
+        # The cache is rebuilt, not restored: no hits or misses carried.
+        assert restored.index_cache is not None
+        assert restored.index_cache.lookups == 0
+        assert len(restored.index_cache) == 0
+
+        rest = records[records["timestamp"] > restored.watermark]
+        reports.extend(_run_session(restored, rest))
+        _assert_reports_identical(reports, reference)

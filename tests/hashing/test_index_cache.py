@@ -1,0 +1,194 @@
+"""Tests for the persistent key -> bucket-index cache.
+
+The contract under test: :meth:`BucketIndexCache.lookup` is bit-identical
+to ``schema.bucket_indices`` for any key set, any hit/miss mix, any
+eviction pressure -- the cache memoizes the hash function's output, it
+never approximates it.
+"""
+
+import numpy as np
+import pytest
+
+from repro.detection import resolve_index_cache
+from repro.hashing.index_cache import (
+    DEFAULT_CAPACITY,
+    BucketIndexCache,
+    hashing_accelerated,
+    shared_index_cache,
+)
+from repro.sketch import CountSketchSchema, ExactSchema, KArySchema
+
+
+@pytest.fixture
+def schema():
+    return KArySchema(depth=5, width=4096, seed=7)
+
+
+def _keys(rng, n, lo=0, hi=2**32):
+    return np.unique(rng.integers(lo, hi, size=n).astype(np.uint64))
+
+
+class TestCorrectness:
+    def test_matches_schema_hashing(self, rng, schema):
+        cache = BucketIndexCache(schema)
+        keys = _keys(rng, 5000)
+        for _ in range(3):  # cold, warm, warm
+            out = cache.lookup(keys)
+            assert out.dtype == np.int64
+            assert out.flags.c_contiguous
+            np.testing.assert_array_equal(out, schema.bucket_indices(keys))
+
+    def test_partial_overlap_batches(self, rng, schema):
+        cache = BucketIndexCache(schema)
+        seen = _keys(rng, 3000)
+        cache.lookup(seen)
+        mixed = np.unique(
+            np.concatenate([seen[: len(seen) // 2], _keys(rng, 2000)])
+        )
+        np.testing.assert_array_equal(
+            cache.lookup(mixed), schema.bucket_indices(mixed)
+        )
+
+    def test_literal_key_zero(self, schema):
+        """Vacant slots hold raw key 0; the filled flag must disambiguate."""
+        cache = BucketIndexCache(schema)
+        keys = np.array([0, 1, 2], dtype=np.uint64)
+        np.testing.assert_array_equal(
+            cache.lookup(keys), schema.bucket_indices(keys)
+        )
+        np.testing.assert_array_equal(  # now a genuine hit
+            cache.lookup(keys), schema.bucket_indices(keys)
+        )
+
+    def test_empty_lookup(self, schema):
+        cache = BucketIndexCache(schema)
+        out = cache.lookup(np.array([], dtype=np.uint64))
+        assert out.shape == (schema.depth, 0)
+        assert out.dtype == np.int64
+
+    def test_correct_under_eviction_pressure(self, rng, schema):
+        """A tiny cache still answers exactly; it just misses more."""
+        cache = BucketIndexCache(schema, capacity=64)
+        for _ in range(5):
+            keys = _keys(rng, 1000)
+            np.testing.assert_array_equal(
+                cache.lookup(keys), schema.bucket_indices(keys)
+            )
+
+    def test_countsketch_schema(self, rng):
+        schema = CountSketchSchema(depth=5, width=2048, seed=3)
+        cache = BucketIndexCache(schema)
+        keys = _keys(rng, 2000)
+        cache.lookup(keys)
+        np.testing.assert_array_equal(
+            cache.lookup(keys), schema.bucket_indices(keys)
+        )
+
+    @pytest.mark.parametrize("family", ["polynomial", "two-universal"])
+    def test_expensive_hash_families(self, rng, family):
+        schema = KArySchema(depth=5, width=4096, seed=9, family=family)
+        cache = BucketIndexCache(schema)
+        keys = _keys(rng, 2000)
+        cache.lookup(keys)
+        np.testing.assert_array_equal(
+            cache.lookup(keys), schema.bucket_indices(keys)
+        )
+
+
+class TestCapacityAndEviction:
+    def test_size_bounded_by_capacity(self, rng, schema):
+        cache = BucketIndexCache(schema, capacity=256)
+        for _ in range(20):
+            batch = _keys(rng, 200)
+            cache.lookup(batch)
+            # A single batch may transiently overshoot by its own misses
+            # (inserts settle before the next size check); it never grows
+            # unboundedly.
+            assert len(cache) <= cache.capacity + len(batch)
+
+    def test_recurring_keys_stay_cached(self, rng, schema):
+        """Approximate LRU: keys hit every round survive churn."""
+        cache = BucketIndexCache(schema, capacity=1024)
+        pool = _keys(rng, 500)
+        cache.lookup(pool)
+        for _ in range(10):
+            cache.lookup(pool)
+            cache.lookup(_keys(rng, 400))  # churn of one-shot keys
+        hits_before = cache.hits
+        cache.lookup(pool)
+        assert cache.hits - hits_before >= 0.9 * len(pool)
+
+    def test_validation(self, schema):
+        with pytest.raises(ValueError):
+            BucketIndexCache(schema, capacity=0)
+        with pytest.raises(TypeError):
+            BucketIndexCache(ExactSchema())
+
+
+class TestStatsAndClear:
+    def test_counters_add_up(self, rng, schema):
+        cache = BucketIndexCache(schema)
+        total = 0
+        for _ in range(4):
+            keys = _keys(rng, 1500)
+            cache.lookup(keys)
+            total += len(keys)
+        stats = cache.stats
+        assert stats["hits"] + stats["misses"] == total
+        assert stats["lookups"] == 4
+        assert stats["size"] == len(cache) <= stats["capacity"]
+
+    def test_clear_drops_entries_keeps_counters(self, rng, schema):
+        cache = BucketIndexCache(schema)
+        keys = _keys(rng, 1000)
+        cache.lookup(keys)
+        cache.lookup(keys)
+        hits = cache.hits
+        # Scatter-last-wins inserts may drop the odd colliding key; near-all
+        # of the repeated batch must still hit.
+        assert hits >= 0.99 * len(keys)
+        misses = cache.misses
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.hits == hits  # counters survive
+        np.testing.assert_array_equal(  # all misses again, still exact
+            cache.lookup(keys), schema.bucket_indices(keys)
+        )
+        assert cache.hits == hits
+        assert cache.misses == misses + len(keys)
+
+
+class TestSharedAndAutoRule:
+    def test_shared_cache_per_schema(self, schema):
+        a = shared_index_cache(schema)
+        b = shared_index_cache(schema)
+        assert a is b
+        assert a.capacity == DEFAULT_CAPACITY
+
+    def test_equal_schemas_share(self):
+        s1 = KArySchema(depth=5, width=4096, seed=11)
+        s2 = KArySchema(depth=5, width=4096, seed=11)
+        assert shared_index_cache(s1) is shared_index_cache(s2)
+
+    def test_auto_rule_tracks_kernel_acceleration(self, schema):
+        """index_cache=True attaches a cache exactly when hashing is slow."""
+        assert hashing_accelerated(schema) == schema._stacked.kernel_accelerated
+        resolved = resolve_index_cache(schema, True)
+        assert (resolved is None) == hashing_accelerated(schema)
+        poly = KArySchema(depth=5, width=4096, seed=7, family="polynomial")
+        assert not hashing_accelerated(poly)
+        assert isinstance(resolve_index_cache(poly, True), BucketIndexCache)
+
+    def test_explicit_cache_overrides_auto_rule(self, schema):
+        forced = BucketIndexCache(schema, capacity=128)
+        assert resolve_index_cache(schema, forced) is forced
+
+    def test_disabled_and_mismatched(self, schema):
+        assert resolve_index_cache(schema, False) is None
+        assert resolve_index_cache(schema, None) is None
+        assert resolve_index_cache(ExactSchema(), True) is None
+        other = KArySchema(depth=5, width=4096, seed=99)
+        with pytest.raises(ValueError):
+            resolve_index_cache(schema, BucketIndexCache(other))
+        with pytest.raises(TypeError):
+            resolve_index_cache(schema, "yes")
