@@ -6,12 +6,20 @@ Simulates a collector receiving NetFlow export batches every ~10 seconds
 the moment each five-minute interval seals -- the paper's "near real-time
 change detection" operating mode.
 
+The session carries a :class:`~repro.obs.PipelineRecorder`: stage
+latencies, alarm/candidate counters and ``interval_sealed`` /
+``alarm_raised`` trace events accumulate as it runs, and the final
+snapshot prints at the end (a deployment would instead expose
+``recorder.prometheus_text()`` on a ``/metrics`` endpoint or write it
+periodically with ``recorder.write(path)``).
+
 Run:  python examples/live_monitor.py
 """
 
 import numpy as np
 
 from repro.detection import StreamingSession
+from repro.obs import PipelineRecorder
 from repro.sketch import KArySchema
 from repro.streams import concat_records
 from repro.traffic import TrafficGenerator, get_profile, inject_dos, inject_worm
@@ -42,6 +50,7 @@ def main() -> None:
     worm, _ = inject_worm(rng, start=4500.0, end=6600.0, initial_infected=6)
     records = concat_records([background, dos, worm])
 
+    recorder = PipelineRecorder()
     session = StreamingSession(
         KArySchema(depth=5, width=32768, seed=0),
         "ewma",
@@ -49,6 +58,7 @@ def main() -> None:
         interval_seconds=300.0,
         t_fraction=0.15,
         top_n=3,
+        recorder=recorder,
     )
 
     print("monitoring (one line per sealed 300s interval)...\n")
@@ -68,6 +78,29 @@ def main() -> None:
         f"chunks; sealed {session.intervals_sealed} intervals; "
         f"{sum(r.alarm_count for r in reports)} alarms total"
     )
+
+    # What the observability layer saw, as an operator dashboard would.
+    snapshot = recorder.json_dict(events=False)["metrics"]
+    seal = snapshot["repro_stage_seconds"]["series"]
+    by_stage = {s["labels"]["stage"]: s for s in seal}
+    print("\npipeline metrics:")
+    for stage in ("ingest", "seal", "forecast_step", "report_build"):
+        series = by_stage.get(stage)
+        if series is not None and series["count"]:
+            mean_ms = 1e3 * series["sum"] / series["count"]
+            print(
+                f"  {stage:14s} {series['count']:5d} calls  "
+                f"mean {mean_ms:8.3f} ms"
+            )
+    for name in (
+        "repro_records_ingested_total",
+        "repro_intervals_sealed_total",
+        "repro_alarms_total",
+    ):
+        value = snapshot[name]["series"][0]["value"]
+        print(f"  {name} = {value:g}")
+    alarm_events = recorder.events(kind="alarm_raised")
+    print(f"  alarm_raised trace events: {len(alarm_events)}")
 
 
 def _print_report(report, dos_event) -> None:

@@ -1,5 +1,5 @@
 #!/usr/bin/env python
-"""Guard benchmark speedups against regressions.
+"""Guard benchmark speedups and overheads against regressions.
 
 Compares two benchmark JSON reports (the committed baseline and a fresh
 run) and fails when any *speedup* metric present in both regressed by
@@ -8,8 +8,16 @@ dot-path ends in ``speedup`` -- because absolute milliseconds vary with
 the host, while a speedup is a same-machine ratio and is expected to be
 stable anywhere.
 
+Additionally, every ``overhead_fraction`` leaf in the *fresh* report
+(same-machine ratios, e.g. the observability enabled-vs-NullRecorder
+cell) must stay at or below ``--max-overhead`` (default 0.05).  These
+are absolute budgets, not baseline comparisons: an overhead that climbs
+past its budget fails even if the committed baseline had already
+climbed with it.
+
 Usage:
-    python scripts/bench_compare.py baseline.json fresh.json [--tolerance 0.25]
+    python scripts/bench_compare.py baseline.json fresh.json \\
+        [--tolerance 0.25] [--max-overhead 0.05]
 
 Exit status 1 on regression, with a per-metric table on stdout either way.
 """
@@ -42,6 +50,14 @@ def speedups(report) -> dict:
     }
 
 
+def overheads(report) -> dict:
+    return {
+        path: value
+        for path, value in flatten(report)
+        if path.rsplit(".", 1)[-1] == "overhead_fraction"
+    }
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("baseline", type=Path)
@@ -53,12 +69,22 @@ def main(argv=None) -> int:
         help="maximum allowed fractional drop in any shared speedup "
         "metric (default 0.25 = 25%%)",
     )
+    parser.add_argument(
+        "--max-overhead",
+        type=float,
+        default=0.05,
+        help="budget for every overhead_fraction leaf in the fresh "
+        "report (default 0.05 = 5%%)",
+    )
     args = parser.parse_args(argv)
     if args.tolerance < 0:
         parser.error(f"tolerance must be >= 0, got {args.tolerance}")
+    if args.max_overhead < 0:
+        parser.error(f"max-overhead must be >= 0, got {args.max_overhead}")
 
+    fresh_report = json.loads(args.fresh.read_text())
     base = speedups(json.loads(args.baseline.read_text()))
-    fresh = speedups(json.loads(args.fresh.read_text()))
+    fresh = speedups(fresh_report)
     shared = sorted(set(base) & set(fresh))
     if not shared:
         print("no shared speedup metrics between the two reports", file=sys.stderr)
@@ -76,14 +102,31 @@ def main(argv=None) -> int:
         if regressed:
             failures.append(path)
 
+    fresh_overheads = overheads(fresh_report)
+    for path in sorted(fresh_overheads):
+        value = fresh_overheads[path]
+        over = value > args.max_overhead
+        flag = "  OVER BUDGET" if over else ""
+        print(
+            f"{path:<{width}}  {'--':>9}  {value:>+8.2%}  "
+            f"{'<=' if not over else '>'} {args.max_overhead:.0%}{flag}"
+        )
+        if over:
+            failures.append(path)
+
     if failures:
         print(
-            f"\n{len(failures)} metric(s) regressed more than "
-            f"{args.tolerance:.0%}: {', '.join(failures)}",
+            f"\n{len(failures)} metric(s) out of bounds (speedup drop > "
+            f"{args.tolerance:.0%} or overhead > {args.max_overhead:.0%}): "
+            f"{', '.join(failures)}",
             file=sys.stderr,
         )
         return 1
-    print(f"\nall {len(shared)} shared speedup metrics within {args.tolerance:.0%}")
+    print(
+        f"\nall {len(shared)} shared speedup metrics within "
+        f"{args.tolerance:.0%}; {len(fresh_overheads)} overhead budget(s) "
+        f"within {args.max_overhead:.0%}"
+    )
     return 0
 
 

@@ -24,6 +24,16 @@ Subcommands
 ``repro resume session.kcp trace.bin``
     Restore a checkpointed session and continue over the remaining
     records -- reports are bit-identical to an uninterrupted run.
+``repro monitor trace.bin --chunk-seconds 60 --metrics-out metrics.prom``
+    Stream a trace through a live session in arrival-time chunks,
+    periodically flushing pipeline metrics (Prometheus text or JSON)
+    for scraping.
+
+``detect``, ``checkpoint``, ``resume`` and ``monitor`` accept
+``--metrics-out PATH``: attach a
+:class:`~repro.obs.recorder.PipelineRecorder` to the run and write its
+metrics snapshot to ``PATH`` on completion (``.json`` extension selects
+the JSON exporter, anything else Prometheus text).
 """
 
 from __future__ import annotations
@@ -101,6 +111,21 @@ def _format_stats_lines(stats: dict) -> List[str]:
     return lines
 
 
+def _make_recorder(args):
+    """Build a PipelineRecorder when ``--metrics-out`` was given."""
+    if getattr(args, "metrics_out", None) is None:
+        return None
+    from repro.obs import PipelineRecorder
+
+    return PipelineRecorder()
+
+
+def _write_metrics(recorder, args) -> None:
+    if recorder is not None:
+        recorder.write(args.metrics_out)
+        print(f"metrics -> {args.metrics_out}")
+
+
 def _cmd_detect(args: argparse.Namespace) -> int:
     from repro.detection import OfflineTwoPassDetector
     from repro.sketch import KArySchema
@@ -120,11 +145,13 @@ def _cmd_detect(args: argparse.Namespace) -> int:
         model_params["beta"] = args.beta
     if args.window is not None:
         model_params["window"] = args.window
+    recorder = _make_recorder(args)
     detector = OfflineTwoPassDetector(
         KArySchema(depth=args.depth, width=args.width, seed=args.seed),
         args.model,
         t_fraction=args.threshold,
         top_n=args.top_n,
+        recorder=recorder,
         **model_params,
     )
     for report in detector.run(stream):
@@ -148,6 +175,7 @@ def _cmd_detect(args: argparse.Namespace) -> int:
             stats["index_cache"] = detector.index_cache.stats
         for line in _format_stats_lines(stats):
             print(line)
+    _write_metrics(recorder, args)
     return 0
 
 
@@ -168,7 +196,7 @@ def _print_session_report(report, top_n: int) -> None:
     print(line)
 
 
-def _build_session(args, schema):
+def _build_session(args, schema, recorder=None):
     from repro.detection import ShardedStreamingSession, StreamingSession
 
     model_params = {}
@@ -184,6 +212,7 @@ def _build_session(args, schema):
         value_scheme=args.value,
         t_fraction=args.threshold,
         top_n=args.top_n,
+        recorder=recorder,
         **model_params,
     )
     if args.workers > 1:
@@ -201,7 +230,8 @@ def _cmd_checkpoint(args: argparse.Namespace) -> int:
 
     records = read_trace(args.trace)
     schema = KArySchema(depth=args.depth, width=args.width, seed=args.seed)
-    session = _build_session(args, schema)
+    recorder = _make_recorder(args)
+    session = _build_session(args, schema, recorder=recorder)
     prefix = records[records["timestamp"] <= args.until]
     reports = session.ingest(prefix) if len(prefix) else []
     for report in reports:
@@ -211,6 +241,7 @@ def _cmd_checkpoint(args: argparse.Namespace) -> int:
         print(line)
     if hasattr(session, "close"):
         session.close()
+    _write_metrics(recorder, args)
     print(
         f"checkpointed {session.records_ingested} records "
         f"({session.intervals_sealed} intervals sealed, "
@@ -224,6 +255,9 @@ def _cmd_resume(args: argparse.Namespace) -> int:
     from repro.streams import read_trace
 
     session = load_checkpoint(args.checkpoint, backend=args.backend)
+    recorder = _make_recorder(args)
+    if recorder is not None:
+        session.attach_recorder(recorder)
     records = read_trace(args.trace)
     rest = records[records["timestamp"] > session.watermark]
     print(
@@ -244,6 +278,55 @@ def _cmd_resume(args: argparse.Namespace) -> int:
         print(line)
     if hasattr(session, "close"):
         session.close()
+    _write_metrics(recorder, args)
+    return 0
+
+
+def _cmd_monitor(args: argparse.Namespace) -> int:
+    """Stream a trace through a live session in arrival-time chunks.
+
+    Emulates a live deployment: records are fed in ``--chunk-seconds``
+    slices of trace time, reports print as intervals seal, and (with
+    ``--metrics-out``) the metrics snapshot is re-written every
+    ``--metrics-every`` chunks -- the file is always a complete,
+    scrape-able snapshot, updated in place atomically.
+    """
+    import numpy as np
+
+    from repro.sketch import KArySchema
+    from repro.streams import read_trace
+
+    records = read_trace(args.trace)
+    schema = KArySchema(depth=args.depth, width=args.width, seed=args.seed)
+    recorder = _make_recorder(args)
+    session = _build_session(args, schema, recorder=recorder)
+    if len(records):
+        start = float(records["timestamp"][0])
+        edges = np.arange(
+            start, float(records["timestamp"][-1]) + args.chunk_seconds,
+            args.chunk_seconds,
+        )
+        chunk_ids = np.searchsorted(edges, records["timestamp"], side="right")
+        boundaries = np.flatnonzero(np.diff(chunk_ids)) + 1
+        chunks = np.split(records, boundaries)
+    else:
+        chunks = []
+    for i, chunk in enumerate(chunks):
+        for report in session.ingest(chunk):
+            _print_session_report(report, args.top_n)
+        if recorder is not None and (i + 1) % args.metrics_every == 0:
+            recorder.write(args.metrics_out)
+    for report in session.flush():
+        _print_session_report(report, args.top_n)
+    for line in _format_stats_lines(session.stats):
+        print(line)
+    if hasattr(session, "close"):
+        session.close()
+    _write_metrics(recorder, args)
+    print(
+        f"monitored {session.records_ingested} records in {len(chunks)} "
+        f"chunks ({session.intervals_sealed} intervals sealed)"
+    )
     return 0
 
 
@@ -369,7 +452,40 @@ def build_parser() -> argparse.ArgumentParser:
     p_det.add_argument("--window", type=int, default=None)
     p_det.add_argument("--stats", action="store_true",
                        help="print cache/prescreen counters after the reports")
+    p_det.add_argument("--metrics-out", default=None,
+                       help="write pipeline metrics here on completion "
+                       "(.json -> JSON, else Prometheus text)")
     p_det.set_defaults(func=_cmd_detect)
+
+    p_mon = sub.add_parser(
+        "monitor", help="stream a trace in chunks with periodic metrics"
+    )
+    p_mon.add_argument("trace", help="binary trace path")
+    p_mon.add_argument("--chunk-seconds", type=float, default=60.0,
+                       help="trace-time slice fed per ingestion step")
+    p_mon.add_argument("--model", default="ewma", help="forecast model name")
+    p_mon.add_argument("--interval", type=float, default=300.0)
+    p_mon.add_argument("--key", default="dst_ip", help="key scheme")
+    p_mon.add_argument("--value", default="bytes", help="value scheme")
+    p_mon.add_argument("--depth", type=int, default=5, help="sketch rows H")
+    p_mon.add_argument("--width", type=int, default=32768, help="sketch width K")
+    p_mon.add_argument("--seed", type=int, default=0, help="sketch hash seed")
+    p_mon.add_argument("--threshold", type=float, default=0.05,
+                       help="alarm threshold fraction T")
+    p_mon.add_argument("--top-n", type=int, default=0)
+    p_mon.add_argument("--alpha", type=float, default=None)
+    p_mon.add_argument("--beta", type=float, default=None)
+    p_mon.add_argument("--window", type=int, default=None)
+    p_mon.add_argument("--workers", type=int, default=1,
+                       help="ingestion shards (>1 uses the sharded session)")
+    p_mon.add_argument("--backend", default="thread",
+                       choices=("serial", "thread", "process"),
+                       help="sharded seal backend (with --workers > 1)")
+    p_mon.add_argument("--metrics-out", default=None,
+                       help="metrics snapshot path, re-written periodically")
+    p_mon.add_argument("--metrics-every", type=int, default=10,
+                       help="flush metrics every N chunks")
+    p_mon.set_defaults(func=_cmd_monitor)
 
     p_sk = sub.add_parser("sketch", help="serialize per-interval sketches")
     p_sk.add_argument("trace", help="binary trace path")
@@ -427,6 +543,8 @@ def build_parser() -> argparse.ArgumentParser:
     p_ck.add_argument("--backend", default="thread",
                       choices=("serial", "thread", "process"),
                       help="sharded seal backend (with --workers > 1)")
+    p_ck.add_argument("--metrics-out", default=None,
+                      help="write pipeline metrics here on completion")
     p_ck.set_defaults(func=_cmd_checkpoint)
 
     p_rs = sub.add_parser(
@@ -440,6 +558,8 @@ def build_parser() -> argparse.ArgumentParser:
                       help="override the sharded seal backend")
     p_rs.add_argument("--out", default=None,
                       help="re-checkpoint here instead of flushing")
+    p_rs.add_argument("--metrics-out", default=None,
+                      help="write pipeline metrics here on completion")
     p_rs.set_defaults(func=_cmd_resume)
 
     p_gs = sub.add_parser("gridsearch", help="grid-search model parameters")

@@ -247,12 +247,31 @@ def restore_session(
 
 
 def save_checkpoint(session: StreamingSession, path: PathLike) -> None:
-    """Write a session checkpoint to a file (atomic via rename)."""
+    """Write a session checkpoint to a file (atomic via rename).
+
+    The write is reported through the session's recorder
+    (``repro_checkpoints_written_total`` plus a ``checkpoint_written``
+    trace event) -- but the recorder itself is never serialized:
+    metrics are execution state, not result state.  A restored session
+    starts with a fresh (Null) recorder and counters restart from zero;
+    operators who need continuity across restarts should attach the
+    same :class:`~repro.obs.recorder.PipelineRecorder` to the restored
+    session and treat the restart like any other counter reset (the
+    standard Prometheus ``rate()``/``increase()`` handling).
+    """
     data = checkpoint_session(session)
     tmp = f"{os.fspath(path)}.tmp"
     with open(tmp, "wb") as fh:
         fh.write(data)
     os.replace(tmp, path)
+    recorder = getattr(session, "recorder", None)
+    if recorder is not None and recorder.enabled:
+        recorder.count("repro_checkpoints_written_total")
+        recorder.event(
+            "checkpoint_written", path=os.fspath(path), bytes=len(data),
+            watermark=session.watermark,
+            intervals_sealed=session.intervals_sealed,
+        )
 
 
 def load_checkpoint(

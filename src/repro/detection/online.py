@@ -23,6 +23,7 @@ import numpy as np
 from repro.detection.threshold import IntervalDetection, build_interval_report
 from repro.forecast.base import Forecaster
 from repro.forecast.model_zoo import make_forecaster
+from repro.obs.recorder import NULL_RECORDER
 from repro.streams.model import KeyedUpdates
 
 
@@ -44,7 +45,16 @@ class OnlineDetector:
     sample_rate:
         Fraction of future keys used as candidates, in (0, 1].
     seed:
-        Seed for the sampling RNG.
+        Seed for the sampling RNG.  The RNG is re-derived from this seed
+        at the top of every :meth:`run` (mirroring ``forecaster.reset()``),
+        so back-to-back runs over the same input subsample the same
+        candidate keys and produce identical reports.  ``None`` opts out
+        of reproducibility: each run draws fresh OS entropy.
+    recorder:
+        Optional :class:`~repro.obs.recorder.PipelineRecorder` for stage
+        timings (forecast step, report build), candidate/alarm counters
+        and ``interval_sealed`` trace events; default is the no-op
+        :class:`~repro.obs.recorder.NullRecorder`.
     """
 
     def __init__(
@@ -54,6 +64,7 @@ class OnlineDetector:
         t_fraction: float = 0.05,
         sample_rate: float = 1.0,
         seed: Optional[int] = 0,
+        recorder=None,
         **model_params,
     ) -> None:
         self.schema = schema
@@ -70,6 +81,16 @@ class OnlineDetector:
             raise ValueError(f"sample_rate must be in (0, 1], got {sample_rate}")
         self.t_fraction = float(t_fraction)
         self.sample_rate = float(sample_rate)
+        self.recorder = NULL_RECORDER if recorder is None else recorder
+        self.recorder.preregister(
+            "repro_intervals_sealed_total", "repro_detect_candidates_total",
+            "repro_alarms_total",
+        )
+        # Stash the seed so every run() re-derives a fresh RNG from it.
+        # Holding only the advanced generator (the old behavior) made a
+        # second run() subsample *different* candidates from identical
+        # input -- silently non-reproducible reports.
+        self.seed = seed
         self._rng = np.random.default_rng(seed)
 
     def _sample(self, keys: np.ndarray) -> np.ndarray:
@@ -79,8 +100,16 @@ class OnlineDetector:
         return keys[mask]
 
     def run(self, batches: Iterable[KeyedUpdates]) -> Iterator[IntervalDetection]:
-        """Stream detection reports, each one interval behind arrival."""
+        """Stream detection reports, each one interval behind arrival.
+
+        Both the forecaster and the candidate-sampling RNG are reset at
+        the top, so ``run`` is a pure function of its input: calling it
+        twice on the same batches yields identical reports (given a
+        non-``None`` seed).
+        """
         self.forecaster.reset()
+        self._rng = np.random.default_rng(self.seed)
+        obs = self.recorder
         pending_error = None
         pending_index = -1
         for batch in batches:
@@ -90,7 +119,8 @@ class OnlineDetector:
                 candidates = np.unique(self._sample(batch.keys))
                 yield self._report(pending_index, pending_error, candidates)
             observed = self.schema.from_items(batch.keys, batch.values)
-            step = self.forecaster.step(observed)
+            with obs.time("forecast_step"):
+                step = self.forecaster.step(observed)
             pending_error = step.error
             pending_index = batch.index
         # The final interval's error sketch never sees future keys; report
@@ -103,10 +133,24 @@ class OnlineDetector:
     def _report(
         self, index: int, error, candidates: np.ndarray
     ) -> IntervalDetection:
-        return build_interval_report(
-            error,
-            candidates,
-            interval=index,
-            t_fraction=self.t_fraction,
-            schema=self.schema,
-        )
+        obs = self.recorder
+        with obs.time("report_build"):
+            report = build_interval_report(
+                error,
+                candidates,
+                interval=index,
+                t_fraction=self.t_fraction,
+                schema=self.schema,
+                recorder=obs if obs.enabled else None,
+            )
+        if obs.enabled:
+            obs.count("repro_intervals_sealed_total")
+            obs.count("repro_detect_candidates_total", len(candidates))
+            if report.alarm_count:
+                obs.count("repro_alarms_total", report.alarm_count)
+            obs.event(
+                "interval_sealed", interval=index,
+                alarms=report.alarm_count, candidates=int(len(candidates)),
+                error_l2=report.error_l2, threshold=report.threshold,
+            )
+        return report

@@ -30,6 +30,22 @@ from repro.detection.threshold import IntervalDetection, build_interval_report
 from repro.forecast.base import Forecaster
 from repro.forecast.model_zoo import make_forecaster
 from repro.hashing.index_cache import BucketIndexCache, hashing_accelerated
+from repro.obs.recorder import NULL_RECORDER
+
+#: Counter series created at zero whenever a real recorder attaches, so
+#: a metrics export always carries the full detection set -- "no cache
+#: hits yet" (or "hashing is kernel-accelerated, no cache at all") stays
+#: distinguishable from "not instrumented".
+_SESSION_COUNTERS = (
+    "repro_records_ingested_total",
+    "repro_intervals_sealed_total",
+    "repro_detect_candidates_total",
+    "repro_detect_median_evaluated_total",
+    "repro_alarms_total",
+    "repro_index_cache_hits_total",
+    "repro_index_cache_misses_total",
+    "repro_index_cache_evictions_total",
+)
 from repro.streams.keys import KeyScheme, ValueScheme, make_key_scheme, make_value_scheme
 from repro.streams.records import validate_records
 
@@ -100,6 +116,17 @@ class StreamingSession:
     prescreen:
         Exact median prescreen in the per-interval report (default on);
         see :func:`~repro.detection.threshold.build_interval_report`.
+    recorder:
+        Optional :class:`~repro.obs.recorder.PipelineRecorder`.  When
+        attached, the session reports stage timings (ingest, seal,
+        forecast step, report build, hash/index-cache, F2/threshold),
+        counters (records, sealed intervals, candidates,
+        median-evaluated, alarms), index-cache gauges, and
+        ``interval_sealed`` / ``alarm_raised`` trace events.  The
+        default is the shared allocation-free
+        :class:`~repro.obs.recorder.NullRecorder` -- an execution
+        observer, never result state: reports are bit-identical with or
+        without a recorder, and checkpoints never carry one.
     """
 
     def __init__(
@@ -114,6 +141,7 @@ class StreamingSession:
         lateness_tolerance: float = 0.0,
         index_cache: Union[bool, BucketIndexCache] = True,
         prescreen: bool = True,
+        recorder=None,
         **model_params,
     ) -> None:
         if interval_seconds <= 0:
@@ -145,6 +173,8 @@ class StreamingSession:
         self.top_n = int(top_n)
         self.lateness_tolerance = float(lateness_tolerance)
         self.prescreen = bool(prescreen)
+        self.recorder = NULL_RECORDER if recorder is None else recorder
+        self.recorder.preregister(*_SESSION_COUNTERS)
         self._index_cache = resolve_index_cache(schema, index_cache)
         self._detection_stats = {"candidates": 0, "median_evaluated": 0}
         # Reusable Sf/Se scratch summaries for step_into (lazily built;
@@ -157,6 +187,16 @@ class StreamingSession:
         self._records_ingested = 0
         self._intervals_sealed = 0
         self._watermark = float("-inf")
+
+    def attach_recorder(self, recorder) -> None:
+        """Attach (or replace) the observability recorder on a live session.
+
+        Recorders are execution state, not result state -- checkpoints
+        never carry them -- so a restored session starts with the no-op
+        default.  This re-attaches one; pass ``None`` to detach.
+        """
+        self.recorder = NULL_RECORDER if recorder is None else recorder
+        self.recorder.preregister(*_SESSION_COUNTERS)
 
     # -- introspection -------------------------------------------------------
 
@@ -217,6 +257,15 @@ class StreamingSession:
         validate_records(records)
         if not len(records):
             return []
+        with self.recorder.time("ingest"):
+            reports = self._ingest_sorted(records)
+        obs = self.recorder
+        if obs.enabled:
+            obs.count("repro_records_ingested_total", len(records))
+            obs.gauge("repro_watermark_seconds", self._watermark)
+        return reports
+
+    def _ingest_sorted(self, records: np.ndarray) -> List[IntervalDetection]:
         timestamps = records["timestamp"]
         # Chunks from real collectors are usually already time-sorted; a
         # single monotonicity scan is far cheaper than the stable argsort.
@@ -338,27 +387,77 @@ class StreamingSession:
         return self._seal_scratch
 
     def _seal_current(self) -> List[IntervalDetection]:
-        observed, keys = self._collect_current()
-        error_out, forecast_out = self._scratch_summaries()
-        step = self.forecaster.step_into(
-            observed, error_out=error_out, forecast_out=forecast_out
+        obs = self.recorder
+        with obs.time("seal"):
+            observed, keys = self._collect_current()
+            error_out, forecast_out = self._scratch_summaries()
+            with obs.time("forecast_step"):
+                step = self.forecaster.step_into(
+                    observed, error_out=error_out, forecast_out=forecast_out
+                )
+            self._intervals_sealed += 1
+            obs.count("repro_intervals_sealed_total")
+            if step.error is None:
+                if obs.enabled:
+                    obs.event(
+                        "interval_sealed", interval=self._current_index,
+                        warmup=True, candidates=int(len(keys)),
+                    )
+                return []
+            evaluated_before = self._detection_stats["median_evaluated"]
+            with obs.time("report_build"):
+                report = build_interval_report(
+                    step.error,
+                    keys,
+                    interval=self._current_index,
+                    t_fraction=self.t_fraction,
+                    top_n=self.top_n,
+                    schema=self.schema,
+                    index_cache=self._index_cache,
+                    prescreen=self.prescreen,
+                    stats=self._detection_stats,
+                    recorder=obs if obs.enabled else None,
+                )
+        if obs.enabled:
+            self._record_seal(report, len(keys), evaluated_before)
+        return [report]
+
+    def _record_seal(
+        self, report: IntervalDetection, n_candidates: int,
+        evaluated_before: int,
+    ) -> None:
+        """Feed one sealed interval's outcome to the attached recorder."""
+        obs = self.recorder
+        obs.count("repro_detect_candidates_total", n_candidates)
+        obs.count(
+            "repro_detect_median_evaluated_total",
+            self._detection_stats["median_evaluated"] - evaluated_before,
         )
-        self._intervals_sealed += 1
-        if step.error is None:
-            return []
-        return [
-            build_interval_report(
-                step.error,
-                keys,
-                interval=self._current_index,
-                t_fraction=self.t_fraction,
-                top_n=self.top_n,
-                schema=self.schema,
-                index_cache=self._index_cache,
-                prescreen=self.prescreen,
-                stats=self._detection_stats,
+        if report.alarm_count:
+            obs.count("repro_alarms_total", report.alarm_count)
+        obs.gauge("repro_interval_index", report.index)
+        cache = self._index_cache
+        if cache is not None:
+            cache_stats = cache.stats
+            obs.sync_counter("repro_index_cache_hits_total", cache_stats["hits"])
+            obs.sync_counter(
+                "repro_index_cache_misses_total", cache_stats["misses"]
             )
-        ]
+            obs.sync_counter(
+                "repro_index_cache_evictions_total", cache_stats["evictions"]
+            )
+            obs.gauge("repro_index_cache_size", cache_stats["size"])
+        obs.event(
+            "interval_sealed", interval=report.index,
+            alarms=report.alarm_count, candidates=n_candidates,
+            error_l2=report.error_l2, threshold=report.threshold,
+        )
+        if report.alarm_count:
+            obs.event(
+                "alarm_raised", interval=report.index,
+                count=report.alarm_count,
+                top_keys=[a.key for a in report.alarms[:5]],
+            )
 
     def flush(self) -> List[IntervalDetection]:
         """Seal the currently open interval (end of stream / shutdown).

@@ -47,6 +47,17 @@ import numpy as np
 from repro.detection.pipeline import summarize_stream
 from repro.detection.session import StreamingSession
 from repro.detection.threshold import IntervalDetection, build_interval_report
+from repro.obs.recorder import NULL_RECORDER
+
+#: Supervision trace-event kinds, pre-registered at zero on the
+#: ``repro_supervision_events_total`` counter when a recorder attaches
+#: so a healthy run still exports the full failure-mode series.
+_SUPERVISION_EVENTS = (
+    "degraded_seal",
+    "worker_timeout",
+    "worker_retry",
+    "pool_rebuild",
+)
 from repro.sketch.mergeable import SchemaHandle, SharedTableBlock, merge
 from repro.streams.sharding import SHARD_METHODS, partition_records
 
@@ -132,6 +143,7 @@ class ShardedIngestEngine:
         task_timeout: Optional[float] = None,
         max_retries: int = 2,
         retry_backoff: float = 0.1,
+        recorder=None,
     ) -> None:
         if n_workers < 1:
             raise ValueError(f"n_workers must be >= 1, got {n_workers}")
@@ -157,6 +169,10 @@ class ShardedIngestEngine:
         self.task_timeout = task_timeout
         self.max_retries = int(max_retries)
         self.retry_backoff = float(retry_backoff)
+        self.recorder = NULL_RECORDER if recorder is None else recorder
+        self.recorder.preregister_labelled(
+            "repro_supervision_events_total", "event", _SUPERVISION_EVENTS
+        )
         self.stats = {
             "retries": 0,
             "timeouts": 0,
@@ -202,6 +218,19 @@ class ShardedIngestEngine:
             initializer=_process_worker_init,
             initargs=(self._block.name, self._handle, self.n_workers),
         )
+
+    def _supervise(self, stat_key: str, event_kind: str, **fields) -> None:
+        """Tally one supervision outcome: the ad-hoc ``stats`` dict stays
+        the canonical storage (the ``.stats`` / ``supervision_stats``
+        views read it), and the recorder mirrors it as a
+        ``repro_supervision_events_total{event=...}`` counter plus a
+        structured trace event.  All call sites are failure paths, so no
+        ``enabled`` guard is needed."""
+        self.stats[stat_key] += 1
+        self.recorder.count(
+            "repro_supervision_events_total", event=event_kind
+        )
+        self.recorder.event(event_kind, backend=self.backend, **fields)
 
     # -- interval lifecycle --------------------------------------------------
 
@@ -264,7 +293,9 @@ class ShardedIngestEngine:
         report is emitted late rather than lost.  Any partially-written
         shared slots from dead workers are zeroed and ignored.
         """
-        self.stats["degraded_intervals"] += 1
+        self._supervise(
+            "degraded_intervals", "degraded_seal", shards=len(shard_items)
+        )
         if self._block is not None:
             for i in loaded:
                 self._block.slot(i)[:] = 0.0
@@ -292,7 +323,9 @@ class ShardedIngestEngine:
                 for future in futures:
                     future.cancel()
                 if isinstance(exc, _FuturesTimeout):
-                    self.stats["timeouts"] += 1
+                    self._supervise(
+                        "timeouts", "worker_timeout", attempt=attempt
+                    )
                 # Whatever failed -- a killed worker (BrokenProcessPool), a
                 # timeout, a transient task error -- the pool may now hold
                 # stragglers still writing their slots.  Rebuild it so every
@@ -301,7 +334,10 @@ class ShardedIngestEngine:
                 # racing a stale task on the same slot.
                 self._rebuild_pool()
                 if attempt + 1 < attempts:
-                    self.stats["retries"] += 1
+                    self._supervise(
+                        "retries", "worker_retry",
+                        attempt=attempt, error=type(exc).__name__,
+                    )
                     if self.retry_backoff:
                         time.sleep(self.retry_backoff * (2.0**attempt))
         return self._seal_degraded(loaded, shard_items)
@@ -320,7 +356,7 @@ class ShardedIngestEngine:
             # our own deterministic code, so retrying cannot help.)
             for future in futures:
                 future.cancel()
-            self.stats["timeouts"] += 1
+            self._supervise("timeouts", "worker_timeout", attempt=0)
             return self._seal_degraded(loaded, shard_items)
         return summaries, self._dedup_parent(shard_items)
 
@@ -337,7 +373,7 @@ class ShardedIngestEngine:
                 pool.shutdown(wait=False, cancel_futures=True)
             except Exception:  # pragma: no cover - broken-pool teardown
                 pass
-        self.stats["pool_rebuilds"] += 1
+        self._supervise("pool_rebuilds", "pool_rebuild")
         self._pool = self._make_process_pool()
 
     def collect(self):
@@ -465,6 +501,15 @@ class ShardedStreamingSession(StreamingSession):
             task_timeout=task_timeout,
             max_retries=max_retries,
             retry_backoff=retry_backoff,
+            recorder=self.recorder,
+        )
+
+    def attach_recorder(self, recorder) -> None:
+        """Attach a recorder to both the session and its ingest engine."""
+        super().attach_recorder(recorder)
+        self._engine.recorder = self.recorder
+        self._engine.recorder.preregister_labelled(
+            "repro_supervision_events_total", "event", _SUPERVISION_EVENTS
         )
 
     @property
@@ -608,6 +653,7 @@ def parallel_trace_detect(
             if detector.replay_lookback
             else keys
         )
+        recorder = getattr(detector, "recorder", None)
         reports.append(
             build_interval_report(
                 step.error,
@@ -619,6 +665,8 @@ def parallel_trace_detect(
                 index_cache=getattr(detector, "index_cache", None),
                 prescreen=getattr(detector, "prescreen", True),
                 stats=getattr(detector, "stats", None),
+                recorder=recorder if recorder is not None and recorder.enabled
+                else None,
             )
         )
     return reports

@@ -24,6 +24,13 @@ from typing import List, Optional
 
 import numpy as np
 
+from repro.obs.recorder import NULL_RECORDER, STAGE_HISTOGRAM
+
+from time import perf_counter as _perf_counter
+
+_EMPTY_KEYS = np.array([], dtype=np.uint64)
+_EMPTY_ERRORS = np.array([], dtype=np.float64)
+
 
 @dataclass(frozen=True)
 class Alarm:
@@ -93,6 +100,7 @@ def build_interval_report(
     index_cache=None,
     prescreen: bool = True,
     stats: Optional[dict] = None,
+    recorder=None,
 ) -> IntervalDetection:
     """Finish one interval: threshold candidate errors and rank the top-N.
 
@@ -136,28 +144,57 @@ def build_interval_report(
         Optional mutable dict; ``candidates`` and ``median_evaluated``
         counters are accumulated into it (prescreen effectiveness =
         evaluated / candidates).
+    recorder:
+        Optional :class:`~repro.obs.recorder.PipelineRecorder`; stage
+        timings for the F2/threshold computation, the candidate-key
+        hash/index-cache resolution, and the estimate/median scan are
+        observed into ``repro_stage_seconds``.  The default
+        :data:`~repro.obs.recorder.NULL_RECORDER` path costs one no-op
+        call per stage.
 
     The estimates are computed once and reused by both the alarm scan and
     the top-N ranking -- output is identical to running
     :func:`alarms_for_interval` and :func:`~repro.detection.topn.top_n_keys`
     separately, at roughly half the reconstruction cost.
     """
+    obs = NULL_RECORDER if recorder is None else recorder
     keys = np.asarray(candidate_keys, dtype=np.uint64)
-    l2 = error_summary.l2_norm()
-    threshold = 0.0 if t_fraction is None else t_fraction * l2
-    alarms: List[Alarm] = []
-    top_keys = np.array([], dtype=np.uint64)
-    top_errors = np.array([], dtype=np.float64)
+    with obs.time("f2_threshold"):
+        l2 = error_summary.l2_norm()
+        threshold = 0.0 if t_fraction is None else t_fraction * l2
     n = len(keys)
+    if n == 0:
+        # Empty-candidate fast path: an interval can legitimately close
+        # with no keys to test (the online detector's final unchecked
+        # interval, an all-gap seal), for *every* schema kind -- exact
+        # and dense included, which never reach the hashed-index code
+        # below.  The report still carries the interval's L2/threshold
+        # so callers can tell "nothing alarmed" from "nothing checked".
+        if stats is not None:
+            stats["candidates"] = stats.get("candidates", 0)
+            stats["median_evaluated"] = stats.get("median_evaluated", 0)
+        return IntervalDetection(
+            index=interval,
+            threshold=threshold,
+            alarms=[],
+            top_keys=_EMPTY_KEYS,
+            top_errors=_EMPTY_ERRORS,
+            error_l2=l2,
+        )
+    alarms: List[Alarm] = []
+    top_keys = _EMPTY_KEYS
+    top_errors = _EMPTY_ERRORS
     evaluated_count = 0
-    if n and (t_fraction is not None or top_n):
+    if t_fraction is not None or top_n:
         if indices is None:
-            if index_cache is not None:
-                indices = index_cache.lookup(keys)
-            elif schema is not None:
-                bucket_indices = getattr(schema, "bucket_indices", None)
-                if bucket_indices is not None:
-                    indices = bucket_indices(keys)
+            with obs.time("hash_index"):
+                if index_cache is not None:
+                    indices = index_cache.lookup(keys)
+                elif schema is not None:
+                    bucket_indices = getattr(schema, "bucket_indices", None)
+                    if bucket_indices is not None:
+                        indices = bucket_indices(keys)
+        _t0 = _perf_counter() if obs.enabled else 0.0
         estimate_rows = (
             getattr(error_summary, "estimate_rows", None) if prescreen else None
         )
@@ -257,6 +294,11 @@ def build_interval_report(
                 chosen = order[:top_n]
                 top_keys = keys[chosen]
                 top_errors = estimates[chosen]
+        if obs.enabled:
+            obs.observe(
+                STAGE_HISTOGRAM, _perf_counter() - _t0,
+                stage="estimate_threshold",
+            )
     if stats is not None:
         stats["candidates"] = stats.get("candidates", 0) + n
         stats["median_evaluated"] = (

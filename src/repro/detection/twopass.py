@@ -24,6 +24,7 @@ from repro.detection.threshold import (
 )
 from repro.forecast.base import Forecaster
 from repro.forecast.model_zoo import make_forecaster
+from repro.obs.recorder import NULL_RECORDER
 from repro.streams.model import KeyedUpdates
 
 
@@ -59,6 +60,11 @@ class OfflineTwoPassDetector:
     prescreen:
         Exact median prescreen (default on); see
         :func:`~repro.detection.threshold.build_interval_report`.
+    recorder:
+        Optional :class:`~repro.obs.recorder.PipelineRecorder` for stage
+        timings, candidate/alarm counters, index-cache gauges and
+        ``interval_sealed`` trace events; the no-op default adds nothing
+        to the hot path.
     model_params:
         Parameters forwarded to the registry when ``forecaster`` is a name.
     """
@@ -72,6 +78,7 @@ class OfflineTwoPassDetector:
         replay_lookback: int = 0,
         index_cache=True,
         prescreen: bool = True,
+        recorder=None,
         **model_params,
     ) -> None:
         from repro.detection.session import resolve_index_cache
@@ -94,6 +101,13 @@ class OfflineTwoPassDetector:
             raise ValueError(f"replay_lookback must be >= 0, got {replay_lookback}")
         self.replay_lookback = int(replay_lookback)
         self.prescreen = bool(prescreen)
+        self.recorder = NULL_RECORDER if recorder is None else recorder
+        self.recorder.preregister(
+            "repro_intervals_sealed_total", "repro_detect_candidates_total",
+            "repro_detect_median_evaluated_total", "repro_alarms_total",
+            "repro_index_cache_hits_total", "repro_index_cache_misses_total",
+            "repro_index_cache_evictions_total",
+        )
         self.index_cache = resolve_index_cache(schema, index_cache)
         self.stats = {"candidates": 0, "median_evaluated": 0}
 
@@ -118,11 +132,13 @@ class OfflineTwoPassDetector:
         else:
             error_out = None
         recent_keys: deque = deque(maxlen=self.replay_lookback + 1)
+        obs = self.recorder
         for batch in batches:
             observed = self.schema.from_items(batch.keys, batch.values)
-            step = self.forecaster.step_into(
-                observed, error_out=error_out, forecast_out=forecast_out
-            )
+            with obs.time("forecast_step"):
+                step = self.forecaster.step_into(
+                    observed, error_out=error_out, forecast_out=forecast_out
+                )
             recent_keys.append(np.unique(batch.keys))
             if step.error is None:
                 continue
@@ -131,17 +147,49 @@ class OfflineTwoPassDetector:
                 if self.replay_lookback
                 else recent_keys[-1]
             )
-            yield build_interval_report(
-                step.error,
-                keys,
-                interval=batch.index,
-                t_fraction=self.t_fraction,
-                top_n=self.top_n,
-                schema=self.schema,
-                index_cache=self.index_cache,
-                prescreen=self.prescreen,
-                stats=self.stats,
+            with obs.time("report_build"):
+                report = build_interval_report(
+                    step.error,
+                    keys,
+                    interval=batch.index,
+                    t_fraction=self.t_fraction,
+                    top_n=self.top_n,
+                    schema=self.schema,
+                    index_cache=self.index_cache,
+                    prescreen=self.prescreen,
+                    stats=self.stats,
+                    recorder=obs if obs.enabled else None,
+                )
+            if obs.enabled:
+                self._record_report(report, len(keys))
+            yield report
+
+    def _record_report(self, report: IntervalDetection, n_candidates: int) -> None:
+        obs = self.recorder
+        obs.count("repro_intervals_sealed_total")
+        obs.count("repro_detect_candidates_total", n_candidates)
+        obs.sync_counter(
+            "repro_detect_median_evaluated_total",
+            self.stats["median_evaluated"],
+        )
+        if report.alarm_count:
+            obs.count("repro_alarms_total", report.alarm_count)
+        cache = self.index_cache
+        if cache is not None:
+            cache_stats = cache.stats
+            obs.sync_counter("repro_index_cache_hits_total", cache_stats["hits"])
+            obs.sync_counter(
+                "repro_index_cache_misses_total", cache_stats["misses"]
             )
+            obs.sync_counter(
+                "repro_index_cache_evictions_total", cache_stats["evictions"]
+            )
+            obs.gauge("repro_index_cache_size", cache_stats["size"])
+        obs.event(
+            "interval_sealed", interval=report.index,
+            alarms=report.alarm_count, candidates=n_candidates,
+            error_l2=report.error_l2, threshold=report.threshold,
+        )
 
     def detect(self, batches: Iterable[KeyedUpdates]) -> List[IntervalDetection]:
         """Convenience: materialize :meth:`run` into a list."""

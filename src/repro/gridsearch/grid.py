@@ -39,6 +39,7 @@ import numpy as np
 
 from repro.forecast.base import Forecaster
 from repro.forecast.vectorized import VECTORIZABLE_MODELS
+from repro.obs.recorder import NULL_RECORDER
 from repro.gridsearch.objective import (
     coerce_tables,
     estimated_total_energy,
@@ -72,6 +73,7 @@ def grid_search(
     passes: int = 2,
     evaluate_many: Optional[Callable[[List[ParamDict]], Sequence[float]]] = None,
     n_jobs: Optional[int] = None,
+    recorder=None,
 ) -> GridSearchResult:
     """Minimize ``objective`` over a parameter space by multi-pass grid.
 
@@ -93,9 +95,15 @@ def grid_search(
         Optional process count for parallel per-candidate evaluation
         (ignored when ``evaluate_many`` is given or ``n_jobs <= 1``).
         ``objective`` must be picklable.
+    recorder:
+        Optional :class:`~repro.obs.recorder.PipelineRecorder`: times each
+        refinement pass (``gridsearch_pass`` stage), counts candidate
+        evaluations (``repro_gridsearch_evaluations_total``, labelled by
+        model) and emits a ``gridsearch_pass`` trace event per pass.
     """
     if passes < 1:
         raise ValueError(f"passes must be >= 1, got {passes}")
+    obs = NULL_RECORDER if recorder is None else recorder
 
     cont_names = list(space.continuous)
     int_names = list(space.integer)
@@ -109,7 +117,7 @@ def grid_search(
     best_energy = float("inf")
     evaluations = 0
 
-    for _ in range(passes):
+    for pass_index in range(passes):
         cont_axes = [
             _axis(*ranges[name], space.divisions) for name in cont_names
         ]
@@ -123,14 +131,24 @@ def grid_search(
             if space.is_valid(params):
                 combos.append(params)
 
-        energies = _evaluate_candidates(
-            space, objective, combos, evaluate_many, n_jobs
-        )
+        with obs.time("gridsearch_pass"):
+            energies = _evaluate_candidates(
+                space, objective, combos, evaluate_many, n_jobs
+            )
         evaluations += len(combos)
         for params, energy in zip(combos, energies):
             if energy < best_energy:
                 best_energy = float(energy)
                 best_params = params
+        if obs.enabled:
+            obs.count(
+                "repro_gridsearch_evaluations_total", len(combos),
+                model=space.model,
+            )
+            obs.event(
+                "gridsearch_pass", model=space.model, index=pass_index,
+                candidates=len(combos), best_energy=best_energy,
+            )
 
         if best_params is None:
             raise RuntimeError(
@@ -188,10 +206,12 @@ def search_integer_window(
     objective: Callable[[Forecaster], float],
     evaluate_many: Optional[Callable[[List[ParamDict]], Sequence[float]]] = None,
     n_jobs: Optional[int] = None,
+    recorder=None,
 ) -> GridSearchResult:
     """Direct sweep for window-only models (MA/SMA): one pass is exact."""
     return grid_search(
-        space, objective, passes=1, evaluate_many=evaluate_many, n_jobs=n_jobs
+        space, objective, passes=1, evaluate_many=evaluate_many, n_jobs=n_jobs,
+        recorder=recorder,
     )
 
 
@@ -203,6 +223,7 @@ def search_model(
     max_window: int = 10,
     engine: str = "auto",
     n_jobs: Optional[int] = None,
+    recorder=None,
 ) -> GridSearchResult:
     """Convenience wrapper: search a model over pre-built observed summaries.
 
@@ -222,6 +243,9 @@ def search_model(
         silently degrades to the reference path.
     n_jobs:
         Process fan-out for non-broadcastable models under ``auto``.
+    recorder:
+        Optional :class:`~repro.obs.recorder.PipelineRecorder`, forwarded
+        to :func:`grid_search` (pass timings + evaluation counters).
     """
     from repro.gridsearch.search_spaces import build_search_spaces
 
@@ -258,8 +282,9 @@ def search_model(
     if space.continuous:
         return grid_search(
             space, objective, passes=passes,
-            evaluate_many=evaluate_many, n_jobs=n_jobs,
+            evaluate_many=evaluate_many, n_jobs=n_jobs, recorder=recorder,
         )
     return search_integer_window(
-        space, objective, evaluate_many=evaluate_many, n_jobs=n_jobs
+        space, objective, evaluate_many=evaluate_many, n_jobs=n_jobs,
+        recorder=recorder,
     )

@@ -1,0 +1,118 @@
+"""Exporters: Prometheus text exposition format and JSON snapshots.
+
+Both exporters consume only the public
+:meth:`~repro.obs.registry.MetricsRegistry.collect` /
+``Metric.samples()`` surface and emit deterministically ordered output
+(metrics by name, series by label values), so identical registries
+produce byte-identical exports -- the property the golden-file tests
+pin down.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Tuple
+
+from repro.obs.registry import Counter, Gauge, Histogram, MetricsRegistry
+
+__all__ = ["to_prometheus_text", "to_json_dict"]
+
+
+def _escape_label_value(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _escape_help(text: str) -> str:
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def _format_value(value: float) -> str:
+    if value != value:  # NaN
+        return "NaN"
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if float(value).is_integer() and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def _labels_text(
+    names: Tuple[str, ...], values: Tuple[str, ...], extra: str = ""
+) -> str:
+    parts = [
+        f'{name}="{_escape_label_value(value)}"'
+        for name, value in zip(names, values)
+    ]
+    if extra:
+        parts.append(extra)
+    return "{" + ",".join(parts) + "}" if parts else ""
+
+
+def to_prometheus_text(registry: MetricsRegistry) -> str:
+    """Render a registry in the Prometheus text exposition format (0.0.4).
+
+    Histograms export the conventional cumulative ``_bucket`` series
+    (with the implicit ``+Inf`` bound) plus ``_sum`` and ``_count``.
+    """
+    lines = []
+    for metric in registry.collect():
+        if metric.help:
+            lines.append(f"# HELP {metric.name} {_escape_help(metric.help)}")
+        lines.append(f"# TYPE {metric.name} {metric.kind}")
+        if isinstance(metric, (Counter, Gauge)):
+            for label_values, value in metric.samples():
+                labels = _labels_text(metric.label_names, label_values)
+                lines.append(f"{metric.name}{labels} {_format_value(value)}")
+        elif isinstance(metric, Histogram):
+            for label_values, series in metric.samples():
+                cumulative = 0
+                for bound, count in zip(metric.buckets, series.counts):
+                    cumulative += count
+                    labels = _labels_text(
+                        metric.label_names, label_values,
+                        extra=f'le="{_format_value(bound)}"',
+                    )
+                    lines.append(f"{metric.name}_bucket{labels} {cumulative}")
+                labels = _labels_text(
+                    metric.label_names, label_values, extra='le="+Inf"'
+                )
+                lines.append(f"{metric.name}_bucket{labels} {series.count}")
+                plain = _labels_text(metric.label_names, label_values)
+                lines.append(
+                    f"{metric.name}_sum{plain} {_format_value(series.sum)}"
+                )
+                lines.append(f"{metric.name}_count{plain} {series.count}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def to_json_dict(registry: MetricsRegistry) -> dict:
+    """JSON-safe snapshot: ``{"metrics": {name: {kind, help, series}}}``.
+
+    Each series entry carries its labels as a dict plus either a scalar
+    ``value`` (counter/gauge) or per-bucket counts with ``sum``/``count``
+    (histogram, non-cumulative buckets with the bounds alongside).
+    """
+    metrics = {}
+    for metric in registry.collect():
+        series_out = []
+        if isinstance(metric, Histogram):
+            for label_values, series in metric.samples():
+                series_out.append({
+                    "labels": dict(zip(metric.label_names, label_values)),
+                    "buckets": list(series.counts),
+                    "bounds": list(metric.buckets),
+                    "sum": series.sum,
+                    "count": series.count,
+                })
+        else:
+            for label_values, value in metric.samples():
+                series_out.append({
+                    "labels": dict(zip(metric.label_names, label_values)),
+                    "value": value,
+                })
+        metrics[metric.name] = {
+            "kind": metric.kind,
+            "help": metric.help,
+            "series": series_out,
+        }
+    return {"metrics": metrics}

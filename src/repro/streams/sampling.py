@@ -18,11 +18,75 @@ Two standard estimator-preserving samplers:
 
 from __future__ import annotations
 
+import math
 from typing import Optional
 
 import numpy as np
 
 from repro.streams.records import validate_records
+
+_U64_MAX = np.uint64(np.iinfo(np.uint64).max)
+_U32_MAX = np.uint64(np.iinfo(np.uint32).max)
+_MASK32 = np.uint64(0xFFFFFFFF)
+
+
+def _exact_scale_round(values: np.ndarray, rate: float) -> np.ndarray:
+    """Round-half-even ``values * (1/rate)`` in exact integer arithmetic.
+
+    The obvious ``np.round(values * (1.0 / rate))`` computes the product
+    in float64, which silently truncates any ``uint64`` above ``2**53``
+    *before* scaling, and wraps around (modulo ``2**64``) on the cast
+    back -- a re-weighted total could come out *smaller* than the input,
+    or even zero.  This helper instead decomposes the float64 scale
+    exactly as ``sig * 2**(e - 53)`` (``sig`` a 53-bit integer), forms
+    the full 128-bit product ``values * sig`` with 32-bit limbs, and
+    shifts it back down with round-half-even on the dropped bits -- the
+    same rounding mode as ``np.round``, so results are bit-identical to
+    the float path everywhere the float path was exact.  Results that
+    exceed ``2**64 - 1`` saturate instead of wrapping.
+
+    ``values`` must be uint64; returns uint64.
+    """
+    scale = 1.0 / rate
+    m, e = math.frexp(scale)  # scale == m * 2**e, m in [0.5, 1)
+    sig = int(m * (1 << 53))  # 53-bit significand; exact for any float64
+    shift = 53 - e  # values * scale == (values * sig) >> shift
+
+    b = values.astype(np.uint64, copy=False)
+    b_lo = b & _MASK32
+    b_hi = b >> np.uint64(32)
+    s_lo = np.uint64(sig & 0xFFFFFFFF)
+    s_hi = np.uint64(sig >> 32)  # < 2**21
+
+    # 64x64 -> 128-bit product P = hi * 2**64 + lo (numpy uint64 wraps
+    # silently, which is exactly what the limb arithmetic needs).
+    lo = b * np.uint64(sig)
+    t = b_lo * s_lo
+    u = b_hi * s_lo + (t >> np.uint64(32))
+    v = b_lo * s_hi + (u & _MASK32)
+    hi = b_hi * s_hi + (u >> np.uint64(32)) + (v >> np.uint64(32))
+
+    if shift <= 0:
+        # Scale is >= 2**53: pure left shift, no rounding.
+        k = -shift
+        if k >= 64:
+            return np.where(b == 0, np.uint64(0), _U64_MAX)
+        overflow = hi != 0
+        if k > 0:
+            overflow |= (lo >> np.uint64(64 - k)) != 0
+        return np.where(overflow, _U64_MAX, lo << np.uint64(k))
+
+    # shift in [1, 52]: P >> shift with round-half-even on dropped bits.
+    sh = np.uint64(shift)
+    overflow = (hi >> sh) != 0
+    q = (hi << np.uint64(64 - shift)) | (lo >> sh)
+    dropped = lo & ((np.uint64(1) << sh) - np.uint64(1))
+    half = np.uint64(1) << (sh - np.uint64(1))
+    round_up = (dropped > half) | (
+        (dropped == half) & ((q & np.uint64(1)) == np.uint64(1))
+    )
+    overflow |= round_up & (q == _U64_MAX)
+    return np.where(overflow, _U64_MAX, q + round_up.astype(np.uint64))
 
 
 def sample_records(
@@ -51,6 +115,16 @@ def sample_records(
     Returns
     -------
     A new record array (the input is never modified).
+
+    Notes
+    -----
+    Re-weighting is integer-exact: byte counts above ``2**53`` (where
+    float64 can no longer represent every integer) scale without
+    precision loss, and results that would exceed the field's integer
+    range saturate at its maximum rather than wrapping around.  A kept
+    record with nonzero bytes therefore never re-weights to zero.  An
+    earlier float64 implementation silently violated both properties --
+    see ``_exact_scale_round``.
     """
     validate_records(records)
     if not 0.0 < rate <= 1.0:
@@ -60,10 +134,18 @@ def sample_records(
     rng = np.random.default_rng(seed)
     kept = records[rng.random(len(records)) < rate].copy()
     if reweight and len(kept):
-        scale = 1.0 / rate
-        kept["bytes"] = np.round(kept["bytes"] * scale).astype(np.uint64)
+        scaled = _exact_scale_round(kept["bytes"], rate)
+        # Guard clamp: rate is in (0, 1) here so the scale is > 1 and an
+        # exact nonzero product can never round to zero, but keep the
+        # invariant explicit -- nonzero in, nonzero out.
+        kept["bytes"] = np.maximum(
+            scaled, (kept["bytes"] > 0).astype(np.uint64)
+        )
+        packets = _exact_scale_round(
+            kept["packets"].astype(np.uint64), rate
+        )
         kept["packets"] = np.maximum(
-            np.round(kept["packets"] * scale), 1
+            np.minimum(packets, _U32_MAX), np.uint64(1)
         ).astype(np.uint32)
     return kept
 

@@ -87,6 +87,50 @@ class TestOnlineDetector:
         with pytest.raises(ValueError):
             OnlineDetector(schema, "ewma", sample_rate=1.5)
 
+    def test_back_to_back_runs_identical(self, rng):
+        """Regression: run() must re-derive the sampling RNG from the seed.
+
+        The original implementation advanced one long-lived generator, so
+        a second run() over the same input subsampled *different*
+        candidate keys -- silently non-reproducible reports.
+        """
+        batches = make_batches(rng, intervals=8)
+        detector = OnlineDetector(
+            KArySchema(depth=5, width=8192, seed=0), "ewma", alpha=0.5,
+            t_fraction=0.01, sample_rate=0.2, seed=11,
+        )
+        first = list(detector.run(batches))
+        second = list(detector.run(batches))
+        assert len(first) == len(second)
+        for a, b in zip(first, second):
+            assert a.index == b.index
+            assert a.threshold == b.threshold
+            assert [al.key for al in a.alarms] == [al.key for al in b.alarms]
+            assert [al.estimated_error for al in a.alarms] == [
+                al.estimated_error for al in b.alarms
+            ]
+
+    def test_fresh_detectors_match_reused_one(self, rng):
+        """A reused detector behaves exactly like a freshly built one."""
+        batches = make_batches(rng, intervals=6)
+
+        def build():
+            return OnlineDetector(
+                KArySchema(depth=5, width=8192, seed=0), "ewma", alpha=0.5,
+                t_fraction=0.01, sample_rate=0.3, seed=4,
+            )
+
+        reused = build()
+        list(reused.run(batches))  # advance state once
+        rerun = list(reused.run(batches))
+        fresh = list(build().run(batches))
+        assert [r.alarm_count for r in rerun] == [
+            r.alarm_count for r in fresh
+        ]
+        assert [
+            [a.key for a in r.alarms] for r in rerun
+        ] == [[a.key for a in r.alarms] for r in fresh]
+
     def test_params_with_instance_rejected(self):
         from repro.forecast import EWMAForecaster
 

@@ -113,3 +113,92 @@ class TestZeroThresholdEdges:
         # threshold = 0.05 * 0 = 0; exact-zero errors must not alarm.
         assert report.threshold == 0.0
         assert report.alarms == []
+
+
+class TestEmptyCandidates:
+    """Regression: build_interval_report with zero candidate keys.
+
+    This is a real code path -- the online detector's final interval is
+    reported with no candidates -- and must produce a clean empty report
+    (correct threshold and L2, empty arrays) on every schema, not trip
+    over empty-array estimation."""
+
+    EMPTY = np.array([], dtype=np.uint64)
+
+    @staticmethod
+    def _check_empty_report(report, expect_l2_positive):
+        from repro.detection import IntervalDetection
+
+        assert isinstance(report, IntervalDetection)
+        assert report.alarms == []
+        assert report.alarm_count == 0
+        assert len(report.top_keys) == 0
+        assert len(report.top_errors) == 0
+        assert report.top_keys.dtype == np.uint64
+        assert report.top_errors.dtype == np.float64
+        assert report.threshold >= 0.0
+        if expect_l2_positive:
+            assert report.error_l2 > 0.0
+
+    def test_kary_schema(self):
+        from repro.detection import build_interval_report
+
+        schema = KArySchema(depth=3, width=64, seed=0)
+        error = schema.from_items(
+            np.array([1, 2, 3], dtype=np.uint64),
+            np.array([10.0, -5.0, 2.0]),
+        )
+        report = build_interval_report(
+            error, self.EMPTY, interval=4, t_fraction=0.05, top_n=3,
+            schema=schema,
+        )
+        self._check_empty_report(report, expect_l2_positive=True)
+        assert report.index == 4
+        assert report.threshold == pytest.approx(
+            0.05 * np.sqrt(error.estimate_f2())
+        )
+
+    def test_exact_schema(self):
+        from repro.detection import build_interval_report
+
+        error = DictVector({1: 10.0, 2: -5.0})
+        report = build_interval_report(
+            error, self.EMPTY, interval=0, t_fraction=0.05, top_n=2,
+        )
+        self._check_empty_report(report, expect_l2_positive=True)
+        assert report.threshold == pytest.approx(
+            0.05 * np.sqrt(10.0**2 + 5.0**2)
+        )
+
+    def test_dense_schema(self):
+        from repro.detection import build_interval_report
+        from repro.sketch.dense import DenseSchema, KeyIndex
+
+        schema = DenseSchema(KeyIndex(np.array([1, 2, 3], dtype=np.uint64)))
+        error = schema.from_items(
+            np.array([1, 3], dtype=np.uint64), np.array([4.0, -2.0])
+        )
+        report = build_interval_report(
+            error, self.EMPTY, interval=1, t_fraction=0.1, top_n=5,
+            schema=schema,
+        )
+        self._check_empty_report(report, expect_l2_positive=True)
+
+    def test_stats_keys_still_initialized(self):
+        from repro.detection import build_interval_report
+
+        stats = {}
+        build_interval_report(
+            DictVector({1: 1.0}), self.EMPTY, interval=0,
+            t_fraction=0.05, stats=stats,
+        )
+        assert stats == {"candidates": 0, "median_evaluated": 0}
+
+    def test_no_threshold_no_topn(self):
+        from repro.detection import build_interval_report
+
+        report = build_interval_report(
+            DictVector({1: 1.0}), self.EMPTY, interval=0, t_fraction=None,
+        )
+        assert report.alarms == []
+        assert report.threshold == 0.0  # None disables: threshold carried as 0

@@ -1,0 +1,155 @@
+"""Exporter golden tests: byte-exact Prometheus text, stable JSON."""
+
+import json
+
+from repro.obs import MetricsRegistry, to_json_dict, to_prometheus_text
+
+
+def _golden_registry() -> MetricsRegistry:
+    reg = MetricsRegistry()
+    c = reg.counter(
+        "repro_alarms_total", help="Alarms raised.", labels=("model",)
+    )
+    c.inc(3, model="ewma")
+    c.inc(1, model="arima0")
+    g = reg.gauge("repro_index_cache_size")
+    g.set(128)
+    h = reg.histogram(
+        "repro_stage_seconds",
+        help="Stage latency.",
+        labels=("stage",),
+        buckets=(0.001, 0.01, 0.1),
+    )
+    for v in (0.0005, 0.005, 0.05, 0.5):
+        h.observe(v, stage="seal")
+    h.observe(0.002, stage="ingest")
+    return reg
+
+
+GOLDEN_PROMETHEUS = """\
+# HELP repro_alarms_total Alarms raised.
+# TYPE repro_alarms_total counter
+repro_alarms_total{model="arima0"} 1
+repro_alarms_total{model="ewma"} 3
+# TYPE repro_index_cache_size gauge
+repro_index_cache_size 128
+# HELP repro_stage_seconds Stage latency.
+# TYPE repro_stage_seconds histogram
+repro_stage_seconds_bucket{stage="ingest",le="0.001"} 0
+repro_stage_seconds_bucket{stage="ingest",le="0.01"} 1
+repro_stage_seconds_bucket{stage="ingest",le="0.1"} 1
+repro_stage_seconds_bucket{stage="ingest",le="+Inf"} 1
+repro_stage_seconds_sum{stage="ingest"} 0.002
+repro_stage_seconds_count{stage="ingest"} 1
+repro_stage_seconds_bucket{stage="seal",le="0.001"} 1
+repro_stage_seconds_bucket{stage="seal",le="0.01"} 2
+repro_stage_seconds_bucket{stage="seal",le="0.1"} 3
+repro_stage_seconds_bucket{stage="seal",le="+Inf"} 4
+repro_stage_seconds_sum{stage="seal"} 0.5555
+repro_stage_seconds_count{stage="seal"} 4
+"""
+
+GOLDEN_JSON = {
+    "metrics": {
+        "repro_alarms_total": {
+            "kind": "counter",
+            "help": "Alarms raised.",
+            "series": [
+                {"labels": {"model": "arima0"}, "value": 1.0},
+                {"labels": {"model": "ewma"}, "value": 3.0},
+            ],
+        },
+        "repro_index_cache_size": {
+            "kind": "gauge",
+            "help": "",
+            "series": [{"labels": {}, "value": 128.0}],
+        },
+        "repro_stage_seconds": {
+            "kind": "histogram",
+            "help": "Stage latency.",
+            "series": [
+                {
+                    "labels": {"stage": "ingest"},
+                    "buckets": [0, 1, 0, 0],
+                    "bounds": [0.001, 0.01, 0.1],
+                    "sum": 0.002,
+                    "count": 1,
+                },
+                {
+                    "labels": {"stage": "seal"},
+                    "buckets": [1, 1, 1, 1],
+                    "bounds": [0.001, 0.01, 0.1],
+                    "sum": 0.5555,
+                    "count": 4,
+                },
+            ],
+        },
+    }
+}
+
+
+class TestPrometheusText:
+    def test_golden(self):
+        assert to_prometheus_text(_golden_registry()) == GOLDEN_PROMETHEUS
+
+    def test_deterministic(self):
+        """Identical registries render byte-identically."""
+        assert to_prometheus_text(_golden_registry()) == to_prometheus_text(
+            _golden_registry()
+        )
+
+    def test_empty_registry(self):
+        assert to_prometheus_text(MetricsRegistry()) == ""
+
+    def test_label_value_escaping(self):
+        reg = MetricsRegistry()
+        reg.counter("x_total", labels=("path",)).inc(
+            1, path='a\\b"c\nd'
+        )
+        text = to_prometheus_text(reg)
+        assert 'x_total{path="a\\\\b\\"c\\nd"} 1' in text
+
+    def test_special_float_values(self):
+        reg = MetricsRegistry()
+        g = reg.gauge("x")
+        g.set(float("nan"))
+        assert "x NaN" in to_prometheus_text(reg)
+        g.set(float("inf"))
+        assert "x +Inf" in to_prometheus_text(reg)
+        g.set(float("-inf"))
+        assert "x -Inf" in to_prometheus_text(reg)
+        g.set(0.25)
+        assert "x 0.25" in to_prometheus_text(reg)
+
+    def test_parseable_line_shape(self):
+        """Every non-comment line is `name{labels} value` or `name value`."""
+        import re
+
+        pattern = re.compile(
+            r"^[a-zA-Z_][a-zA-Z0-9_]*(\{[^{}]*\})? \S+$"
+        )
+        for line in to_prometheus_text(_golden_registry()).splitlines():
+            if not line.startswith("#"):
+                assert pattern.match(line), line
+
+    def test_cumulative_buckets_end_at_count(self):
+        """The +Inf bucket always equals _count (exporter invariant)."""
+        text = to_prometheus_text(_golden_registry())
+        lines = text.splitlines()
+        for line in lines:
+            if 'le="+Inf"' in line and 'stage="seal"' in line:
+                inf_count = int(line.rsplit(" ", 1)[1])
+        count_line = next(
+            ln for ln in lines
+            if ln.startswith('repro_stage_seconds_count{stage="seal"}')
+        )
+        assert inf_count == int(count_line.rsplit(" ", 1)[1])
+
+
+class TestJsonExport:
+    def test_golden(self):
+        assert to_json_dict(_golden_registry()) == GOLDEN_JSON
+
+    def test_round_trips_through_json(self):
+        d = to_json_dict(_golden_registry())
+        assert json.loads(json.dumps(d)) == d

@@ -1,0 +1,151 @@
+"""PipelineRecorder verbs, trace ring buffer, NullRecorder contract."""
+
+import pytest
+
+from repro.obs import (
+    NULL_RECORDER,
+    STAGE_HISTOGRAM,
+    NullRecorder,
+    PipelineRecorder,
+)
+
+
+class TestNullRecorder:
+    def test_disabled(self):
+        assert NullRecorder().enabled is False
+        assert NULL_RECORDER.enabled is False
+
+    def test_all_verbs_are_noops(self):
+        obs = NullRecorder()
+        obs.count("x", 3, stage="a")
+        obs.gauge("x", 1.0)
+        obs.sync_counter("x", 5)
+        obs.observe("x", 0.1, stage="a")
+        obs.event("whatever", detail=1)
+        obs.preregister("a", "b")
+        obs.preregister_labelled("c", "event", ("x", "y"))
+        with obs.time("stage"):
+            pass
+
+    def test_timer_is_shared_not_allocated(self):
+        obs = NullRecorder()
+        assert obs.time("a") is obs.time("b")
+
+
+class TestPipelineRecorderVerbs:
+    def test_count_and_value(self):
+        obs = PipelineRecorder()
+        obs.count("repro_x_total")
+        obs.count("repro_x_total", 4)
+        assert obs.registry.get("repro_x_total").value() == 5.0
+
+    def test_gauge(self):
+        obs = PipelineRecorder()
+        obs.gauge("repro_size", 17)
+        assert obs.registry.get("repro_size").value() == 17.0
+
+    def test_sync_counter_high_water(self):
+        obs = PipelineRecorder()
+        obs.sync_counter("repro_hits_total", 10)
+        obs.sync_counter("repro_hits_total", 8)  # stale source: ignored
+        assert obs.registry.get("repro_hits_total").value() == 10.0
+
+    def test_time_observes_stage_histogram(self):
+        obs = PipelineRecorder()
+        with obs.time("seal"):
+            pass
+        snap = obs.registry.get(STAGE_HISTOGRAM).snapshot(stage="seal")
+        assert snap["count"] == 1
+        assert snap["sum"] >= 0.0
+
+    def test_preregister_creates_zero_series(self):
+        obs = PipelineRecorder()
+        obs.preregister("repro_a_total", "repro_b_total")
+        obs.preregister_labelled(
+            "repro_sup_total", "event", ("retry", "timeout")
+        )
+        assert obs.registry.get("repro_a_total").value() == 0.0
+        assert obs.registry.get("repro_sup_total").value(event="retry") == 0.0
+        text = obs.prometheus_text()
+        assert 'repro_sup_total{event="timeout"} 0' in text
+
+    def test_enabled(self):
+        assert PipelineRecorder().enabled is True
+
+
+class TestTraceEvents:
+    def test_events_carry_seq_time_kind_fields(self):
+        ticks = iter(range(100))
+        obs = PipelineRecorder(clock=lambda: float(next(ticks)))
+        obs.event("interval_sealed", interval=3, alarms=1)
+        obs.event("alarm_raised", key=42)
+        events = obs.events()
+        assert [e["kind"] for e in events] == [
+            "interval_sealed", "alarm_raised",
+        ]
+        assert events[0]["seq"] == 0 and events[1]["seq"] == 1
+        assert events[0]["time"] == 0.0 and events[1]["time"] == 1.0
+        assert events[0]["interval"] == 3
+        assert events[1]["key"] == 42
+
+    def test_kind_filter(self):
+        obs = PipelineRecorder()
+        obs.event("a")
+        obs.event("b")
+        obs.event("a")
+        assert len(obs.events(kind="a")) == 2
+        assert obs.events(kind="missing") == []
+
+    def test_ring_buffer_caps_and_keeps_newest(self):
+        obs = PipelineRecorder(trace_capacity=3)
+        for i in range(10):
+            obs.event("tick", i=i)
+        events = obs.events()
+        assert len(events) == 3
+        assert [e["i"] for e in events] == [7, 8, 9]
+        assert events[-1]["seq"] == 9  # seq keeps counting past evictions
+
+    def test_zero_capacity_disables_tracing(self):
+        obs = PipelineRecorder(trace_capacity=0)
+        obs.event("tick")
+        assert obs.events() == []
+
+
+class TestWrite:
+    def test_write_prometheus(self, tmp_path):
+        obs = PipelineRecorder()
+        obs.count("repro_x_total", 2)
+        path = tmp_path / "metrics.prom"
+        obs.write(path)
+        text = path.read_text()
+        assert "# TYPE repro_x_total counter" in text
+        assert "repro_x_total 2" in text
+        assert not list(tmp_path.glob("*.tmp"))  # atomic rename cleaned up
+
+    def test_write_json(self, tmp_path):
+        import json
+
+        obs = PipelineRecorder()
+        obs.count("repro_x_total", 2)
+        obs.event("tick")
+        path = tmp_path / "metrics.json"
+        obs.write(path)
+        data = json.loads(path.read_text())
+        assert data["metrics"]["repro_x_total"]["series"][0]["value"] == 2
+        assert data["events"][0]["kind"] == "tick"
+
+    def test_json_dict_events_flag(self):
+        obs = PipelineRecorder()
+        obs.event("tick")
+        assert "events" in obs.json_dict(events=True)
+        assert "events" not in obs.json_dict(events=False)
+
+
+class TestTimerExceptionSafety:
+    def test_timer_records_on_exception(self):
+        obs = PipelineRecorder()
+        with pytest.raises(RuntimeError):
+            with obs.time("seal"):
+                raise RuntimeError("boom")
+        snap = obs.registry.get(STAGE_HISTOGRAM).snapshot(stage="seal")
+        assert snap["count"] == 1

@@ -1,0 +1,151 @@
+"""Semantics of the metrics primitives: Counter, Gauge, Histogram, registry."""
+
+import pytest
+
+from repro.obs import (
+    DEFAULT_LATENCY_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+
+
+class TestCounter:
+    def test_starts_at_zero(self):
+        c = Counter("x_total")
+        assert c.value() == 0.0
+
+    def test_inc(self):
+        c = Counter("x_total")
+        c.inc()
+        c.inc(4)
+        assert c.value() == 5.0
+
+    def test_negative_increment_rejected(self):
+        c = Counter("x_total")
+        with pytest.raises(ValueError, match="cannot decrease"):
+            c.inc(-1)
+
+    def test_labelled_series_are_independent(self):
+        c = Counter("x_total", labels=("stage",))
+        c.inc(2, stage="seal")
+        c.inc(3, stage="ingest")
+        assert c.value(stage="seal") == 2.0
+        assert c.value(stage="ingest") == 3.0
+
+    def test_label_schema_enforced(self):
+        c = Counter("x_total", labels=("stage",))
+        with pytest.raises(ValueError, match="takes labels"):
+            c.inc()  # missing the label
+        with pytest.raises(ValueError, match="takes labels"):
+            c.inc(stage="seal", extra="nope")
+
+    def test_set_to_keeps_high_water_mark(self):
+        """set_to mirrors external monotonic tallies; it never decreases."""
+        c = Counter("x_total")
+        c.set_to(10)
+        assert c.value() == 10.0
+        c.set_to(7)  # a second (staler) source must not wind it back
+        assert c.value() == 10.0
+        c.set_to(12)
+        assert c.value() == 12.0
+
+    def test_set_to_creates_zero_series(self):
+        c = Counter("x_total")
+        c.set_to(0)
+        assert c.samples() == [((), 0.0)]
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        g = Gauge("size")
+        g.set(5)
+        g.inc(2)
+        g.dec(4)
+        assert g.value() == 3.0
+
+    def test_can_go_negative(self):
+        g = Gauge("delta")
+        g.dec(2)
+        assert g.value() == -2.0
+
+
+class TestHistogram:
+    def test_bucket_placement(self):
+        h = Histogram("lat_seconds", buckets=(0.1, 1.0, 10.0))
+        for v in (0.05, 0.1, 0.5, 5.0, 100.0):
+            h.observe(v)
+        snap = h.snapshot()
+        # bisect_left on upper bounds: exactly-at-bound lands in that bucket.
+        assert snap["buckets"] == [2, 1, 1, 1]
+        assert snap["count"] == 5
+        assert snap["sum"] == pytest.approx(105.65)
+
+    def test_empty_snapshot(self):
+        h = Histogram("lat_seconds", buckets=(1.0,))
+        assert h.snapshot() == {"buckets": [0, 0], "sum": 0.0, "count": 0}
+
+    def test_bounds_validation(self):
+        with pytest.raises(ValueError, match="strictly increase"):
+            Histogram("h", buckets=(1.0, 1.0))
+        with pytest.raises(ValueError, match="at least one"):
+            Histogram("h", buckets=())
+        with pytest.raises(ValueError, match="finite"):
+            Histogram("h", buckets=(1.0, float("inf")))
+
+    def test_default_buckets(self):
+        h = Histogram("lat_seconds")
+        assert h.buckets == DEFAULT_LATENCY_BUCKETS
+
+
+class TestMetricsRegistry:
+    def test_idempotent_registration(self):
+        reg = MetricsRegistry()
+        a = reg.counter("x_total", labels=("stage",))
+        b = reg.counter("x_total", labels=("stage",))
+        assert a is b
+        assert len(reg) == 1
+
+    def test_kind_mismatch_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(ValueError, match="already registered"):
+            reg.gauge("x")
+
+    def test_label_mismatch_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("x", labels=("stage",))
+        with pytest.raises(ValueError, match="already registered"):
+            reg.counter("x", labels=("model",))
+
+    def test_histogram_bucket_mismatch_raises(self):
+        reg = MetricsRegistry()
+        reg.histogram("h", buckets=(1.0, 2.0))
+        reg.histogram("h")  # no buckets given: accepts the existing ones
+        with pytest.raises(ValueError, match="buckets"):
+            reg.histogram("h", buckets=(1.0, 3.0))
+
+    def test_collect_is_name_ordered(self):
+        reg = MetricsRegistry()
+        reg.counter("zz")
+        reg.gauge("aa")
+        reg.histogram("mm")
+        assert [m.name for m in reg.collect()] == ["aa", "mm", "zz"]
+
+    def test_contains_and_get(self):
+        reg = MetricsRegistry()
+        c = reg.counter("x")
+        assert "x" in reg
+        assert "y" not in reg
+        assert reg.get("x") is c
+        assert reg.get("y") is None
+
+    def test_invalid_metric_name(self):
+        reg = MetricsRegistry()
+        with pytest.raises(ValueError, match="invalid metric name"):
+            reg.counter("9starts_with_digit")
+        with pytest.raises(ValueError, match="invalid metric name"):
+            reg.counter("has-dash")
+        with pytest.raises(ValueError, match="invalid metric name"):
+            reg.counter("")

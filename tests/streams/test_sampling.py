@@ -92,6 +92,104 @@ class TestSampleRecords:
         assert approx[key] == pytest.approx(truth, rel=0.5)
 
 
+class TestExactReweighting:
+    """Regression tests for the float64 precision-loss reweighting bug.
+
+    The original implementation computed ``np.round(bytes * (1/rate))``
+    in float64: byte counts above 2**53 lost their low bits before
+    scaling, and products above 2**64 wrapped around on the uint64 cast
+    -- a nonzero total could silently come out smaller, or zero.
+    """
+
+    @staticmethod
+    def _records_with_bytes(byte_counts):
+        n = len(byte_counts)
+        return make_records(
+            timestamps=np.arange(n, dtype=np.float64),
+            dst_ips=np.arange(n),
+            byte_counts=np.asarray(byte_counts, dtype=np.uint64),
+        )
+
+    @staticmethod
+    def _keep_all_seed(n, rate):
+        """Find a seed whose sampling mask keeps every one of n records."""
+        for seed in range(10_000):
+            if (np.random.default_rng(seed).random(n) < rate).all():
+                return seed
+        raise AssertionError("no keep-all seed found")
+
+    def test_exact_above_float53_boundary(self):
+        """Bytes above 2**53 reweight without precision loss."""
+        byte_counts = [2**53 + 1, 2**53 + 3, 2**60 + 12345]
+        records = self._records_with_bytes(byte_counts)
+        rate = 0.5
+        seed = self._keep_all_seed(len(records), rate)
+        out = sample_records(records, rate, seed=seed)
+        assert len(out) == len(records)
+        # Exact doubling; the float path would have dropped the low bit.
+        assert out["bytes"].tolist() == [2 * b for b in byte_counts]
+
+    def test_reference_big_int_rounding(self):
+        """Reweighting matches exact big-int round-half-even arithmetic."""
+        import math
+
+        byte_counts = [1, 7, 2**53 - 1, 2**53 + 1, 2**61 + 17]
+        records = self._records_with_bytes(byte_counts)
+        rate = 0.3
+        seed = self._keep_all_seed(len(records), rate)
+        out = sample_records(records, rate, seed=seed)
+        m, e = math.frexp(1.0 / rate)
+        sig, shift = int(m * (1 << 53)), 53 - e
+        half = 1 << (shift - 1)
+        for b, got in zip(byte_counts, out["bytes"].tolist()):
+            q, r = divmod(b * sig, 1 << shift)
+            expected = q + (1 if (r > half or (r == half and q & 1)) else 0)
+            assert got == expected
+
+    def test_saturates_instead_of_wrapping(self):
+        """Products beyond uint64 clamp to the max, never wrap to small."""
+        records = self._records_with_bytes([2**63, 2**64 - 1, 100])
+        rate = 0.25
+        seed = self._keep_all_seed(len(records), rate)
+        out = sample_records(records, rate, seed=seed)
+        u64_max = np.iinfo(np.uint64).max
+        assert out["bytes"][0] == u64_max
+        assert out["bytes"][1] == u64_max
+        assert out["bytes"][2] == 400
+
+    def test_nonzero_never_reweights_to_zero(self):
+        """Every kept nonzero byte count stays nonzero after reweighting."""
+        rng = np.random.default_rng(42)
+        byte_counts = rng.integers(1, 2**63, size=1000, dtype=np.uint64)
+        records = self._records_with_bytes(byte_counts)
+        for rate in (0.9, 0.5, 0.01, 1e-6):
+            out = sample_records(records, rate, seed=5)
+            if len(out):
+                assert out["bytes"].min() > 0
+
+    def test_packets_clamp_to_uint32(self):
+        """Packet reweighting saturates at the uint32 max, never wraps."""
+        records = self._records_with_bytes([1000])
+        records["packets"] = np.array([2**32 - 1], dtype=np.uint32)
+        rate = 0.5
+        seed = self._keep_all_seed(1, rate)
+        out = sample_records(records, rate, seed=seed)
+        assert out["packets"][0] == np.iinfo(np.uint32).max
+
+    def test_small_values_unchanged_from_float_path(self):
+        """Typical traffic volumes reweight exactly as before the fix."""
+        rng = np.random.default_rng(7)
+        byte_counts = rng.integers(100, 10**9, size=5000, dtype=np.uint64)
+        records = self._records_with_bytes(byte_counts)
+        for rate in (0.5, 0.25, 0.1, 1 / 3):
+            out = sample_records(records, rate, seed=3)
+            mask = np.random.default_rng(3).random(len(records)) < rate
+            old = np.round(
+                records["bytes"][mask] * (1.0 / rate)
+            ).astype(np.uint64)
+            assert np.array_equal(out["bytes"], old)
+
+
 class TestSamplingErrorScale:
     def test_formula(self):
         assert sampling_error_scale(0.5, 10.0) == pytest.approx(
