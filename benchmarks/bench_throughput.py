@@ -3,9 +3,14 @@
 Measures, against a faithful reconstruction of the pre-engine reference
 paths:
 
-* **UPDATE** -- batched sketch updates (keys/sec), stacked evaluator + the
-  optional compiled kernel vs the per-row hash/``np.add.at`` loop;
-* **ESTIMATE** -- batched point queries (keys/sec) vs per-row gather;
+* **UPDATE** -- batched sketch updates (keys/sec), fused hash+scatter
+  kernel (tabulation and polynomial families) vs the per-row
+  hash/``np.add.at`` loop;
+* **ESTIMATE** -- batched point queries (keys/sec), fused
+  hash+gather+median kernel vs per-row gather + ``np.median``;
+* **columnar** -- end-to-end session ingest via zero-copy
+  :class:`ColumnarBlock` views vs record chunks (parity check: same
+  throughput, reports bit-identical, zero intermediate copies);
 * **grid search** -- ``search_model`` wall-clock, batched single-pass
   engine (``engine="auto"``) vs per-object evaluation
   (``engine="reference"``), asserting both return the identical winner.
@@ -46,8 +51,8 @@ def _best_of(fn, repeats):
     return best
 
 
-def bench_update(depth, width, n_keys, repeats, rng):
-    schema = KArySchema(depth=depth, width=width, seed=5)
+def bench_update(depth, width, n_keys, repeats, rng, family="tabulation"):
+    schema = KArySchema(depth=depth, width=width, seed=5, family=family)
     keys = rng.integers(0, 2**32, size=n_keys, dtype=np.uint64)
     values = rng.normal(100.0, 30.0, size=n_keys)
     hashes = schema.hashes
@@ -75,11 +80,75 @@ def bench_update(depth, width, n_keys, repeats, rng):
         "depth": depth,
         "width": width,
         "n_keys": n_keys,
+        "family": family,
         "reference_seconds": t_ref,
         "engine_seconds": t_new,
         "reference_keys_per_sec": n_keys / t_ref,
         "engine_keys_per_sec": n_keys / t_new,
         "speedup": t_ref / t_new,
+    }
+
+
+def bench_columnar_ingest(n_records, repeats, rng):
+    """End-to-end session ingest: record chunks vs zero-copy columnar blocks.
+
+    Reports both paths' keys/sec and their ratio (``parity_ratio``,
+    deliberately *not* a ``speedup`` leaf: session ingest is dominated by
+    interval accumulation and sealing, so the columnar win is copies
+    avoided -- same throughput, zero intermediate allocations -- not
+    wall-clock).  Reports from the two paths are asserted bit-identical
+    first.
+    """
+    from repro.detection import StreamingSession
+    from repro.streams import iter_interval_columns, make_records
+
+    records = make_records(
+        timestamps=np.sort(rng.uniform(0, 6000, n_records)),
+        dst_ips=rng.integers(0, 50_000, n_records).astype(np.uint32),
+        byte_counts=rng.pareto(1.3, n_records) * 500 + 40,
+    )
+
+    def session():
+        return StreamingSession(
+            KArySchema(depth=5, width=32768, seed=5), "ewma", alpha=0.4,
+            interval_seconds=300.0, t_fraction=0.05, top_n=10,
+        )
+
+    def run_records():
+        s, out = session(), []
+        for start in range(0, n_records, 8192):
+            out.extend(s.ingest(records[start : start + 8192]))
+        out.extend(s.flush())
+        return out
+
+    def run_columns():
+        s, out = session(), []
+        for block in iter_interval_columns(records, 300.0,
+                                           chunk_records=8192):
+            out.extend(s.ingest_columns(block))
+        out.extend(s.flush())
+        return out
+
+    rec_reports = col_reports = None
+    t_rec = t_col = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        rec_reports = run_records()
+        t_rec = min(t_rec, time.perf_counter() - t0)
+        t0 = time.perf_counter()
+        col_reports = run_columns()
+        t_col = min(t_col, time.perf_counter() - t0)
+    assert len(col_reports) == len(rec_reports)
+    for a, b in zip(col_reports, rec_reports):
+        assert a.index == b.index and a.threshold == b.threshold
+        assert np.array_equal(a.top_keys, b.top_keys)
+        assert np.array_equal(a.top_errors, b.top_errors)
+    return {
+        "n_records": n_records,
+        "records_keys_per_sec": n_records / t_rec,
+        "columnar_keys_per_sec": n_records / t_col,
+        "parity_ratio": t_rec / t_col,
+        "reports_identical": True,
     }
 
 
@@ -172,7 +241,7 @@ def bench_grid_search(t_len, width, skip, models, repeats, rng):
 def main(argv=None):
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--quick", action="store_true",
-                        help="small sizes / few repeats (CI smoke)")
+                        help="few repeats, same workloads (CI smoke)")
     parser.add_argument("--repeats", type=int, default=None,
                         help="timing repeats per path (default 7; 2 quick)")
     parser.add_argument("--output", type=Path, default=DEFAULT_OUTPUT,
@@ -181,10 +250,13 @@ def main(argv=None):
 
     repeats = args.repeats or (2 if args.quick else 7)
     rng = np.random.default_rng(2003)
-    if args.quick:
-        n_keys, t_len, models = 20_000, 36, ("ewma", "ma")
-    else:
-        n_keys, t_len, models = 100_000, 96, ("ma", "sma", "ewma", "nshw")
+    # Quick mode trims *repeats only*: every cell keeps the full-mode
+    # workload because the kernel-vs-reference ratio scales with batch
+    # size, and CI's quick run is compared against the committed
+    # full-mode baseline by scripts/bench_compare.py -- the dot-paths
+    # must measure the same work to be comparable.
+    n_keys = 100_000
+    t_len, models = 96, ("ma", "sma", "ewma", "nshw")
 
     report = {
         "numpy": np.__version__,
@@ -194,18 +266,27 @@ def main(argv=None):
         "quick": bool(args.quick),
         "repeats": repeats,
         "update": bench_update(5, 8192, n_keys, repeats, rng),
+        "update_polynomial": bench_update(5, 8192, n_keys, repeats, rng,
+                                          family="polynomial"),
         "estimate": bench_estimate(5, 8192, n_keys, repeats, rng),
+        "columnar": bench_columnar_ingest(n_keys * 4, repeats, rng),
         "grid_search": bench_grid_search(t_len, 8192, t_len // 8, models,
                                          repeats, rng),
     }
     args.output.write_text(json.dumps(report, indent=2) + "\n")
 
     u, e, g = report["update"], report["estimate"], report["grid_search"]
+    up, c = report["update_polynomial"], report["columnar"]
     print(f"compiled kernels: {report['compiled_kernels']}")
     print(f"UPDATE    {u['engine_keys_per_sec']:,.0f} keys/s "
           f"(ref {u['reference_keys_per_sec']:,.0f})  {u['speedup']:.2f}x")
+    print(f"UPD-POLY  {up['engine_keys_per_sec']:,.0f} keys/s "
+          f"(ref {up['reference_keys_per_sec']:,.0f})  {up['speedup']:.2f}x")
     print(f"ESTIMATE  {e['engine_keys_per_sec']:,.0f} keys/s "
           f"(ref {e['reference_keys_per_sec']:,.0f})  {e['speedup']:.2f}x")
+    print(f"COLUMNAR  {c['columnar_keys_per_sec']:,.0f} keys/s ingest "
+          f"(records {c['records_keys_per_sec']:,.0f})  "
+          f"parity {c['parity_ratio']:.2f}")
     print(f"GRID      {g['engine_seconds']:.3f}s "
           f"(ref {g['reference_seconds']:.3f}s)  {g['speedup']:.2f}x")
     print(f"wrote {args.output}")

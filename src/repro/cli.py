@@ -24,6 +24,10 @@ Subcommands
 ``repro resume session.kcp trace.bin``
     Restore a checkpointed session and continue over the remaining
     records -- reports are bit-identical to an uninterrupted run.
+``repro bench --quick [throughput detection]``
+    Run the performance benchmarks (fused-kernel UPDATE/ESTIMATE
+    throughput, amortized detection seal) and print the speedup tables.
+    Reports go to a scratch directory unless ``--output-dir`` is given.
 ``repro monitor trace.bin --chunk-seconds 60 --metrics-out metrics.prom``
     Stream a trace through a live session in arrival-time chunks,
     periodically flushing pipeline metrics (Prometheus text or JSON)
@@ -410,6 +414,59 @@ def _cmd_gridsearch(args: argparse.Namespace) -> int:
     return 0
 
 
+_BENCH_SUITES = ("throughput", "detection")
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    """Run the performance benchmark suite(s) and print speedup tables.
+
+    The benchmark scripts live in the repository's ``benchmarks/``
+    directory (they are development tools, not part of the installed
+    package), so this subcommand locates them relative to the source
+    tree and loads them by file path.  Outputs go to a scratch directory
+    by default so the committed ``BENCH_*.json`` baselines are never
+    clobbered by an ad-hoc run.
+    """
+    import importlib.util
+    import tempfile
+    from pathlib import Path
+
+    bench_dir = Path(__file__).resolve().parents[2] / "benchmarks"
+    if not bench_dir.is_dir():
+        print(
+            "error: benchmarks/ not found next to the source tree "
+            f"(looked in {bench_dir}); 'repro bench' needs a repository "
+            "checkout, not an installed package",
+            file=sys.stderr,
+        )
+        return 1
+
+    suites = args.suites or list(_BENCH_SUITES)
+    out_dir = Path(args.output_dir) if args.output_dir else Path(
+        tempfile.mkdtemp(prefix="repro-bench-")
+    )
+    out_dir.mkdir(parents=True, exist_ok=True)
+
+    argv = []
+    if args.quick:
+        argv.append("--quick")
+    if args.repeats is not None:
+        argv += ["--repeats", str(args.repeats)]
+
+    for suite in suites:
+        script = bench_dir / f"bench_{suite}.py"
+        spec = importlib.util.spec_from_file_location(
+            f"repro_bench_{suite}", script
+        )
+        module = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(module)
+        print(f"== bench_{suite} ==")
+        module.main(argv + ["--output", str(out_dir / f"BENCH_{suite}.json")])
+        print()
+    print(f"reports under {out_dir}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the top-level argument parser."""
     parser = argparse.ArgumentParser(
@@ -561,6 +618,20 @@ def build_parser() -> argparse.ArgumentParser:
     p_rs.add_argument("--metrics-out", default=None,
                       help="write pipeline metrics here on completion")
     p_rs.set_defaults(func=_cmd_resume)
+
+    p_bench = sub.add_parser(
+        "bench", help="run the perf benchmarks and print speedup tables"
+    )
+    p_bench.add_argument("suites", nargs="*", choices=_BENCH_SUITES,
+                         help="which suites (default: all)")
+    p_bench.add_argument("--quick", action="store_true",
+                         help="small sizes / few repeats (CI smoke)")
+    p_bench.add_argument("--repeats", type=int, default=None,
+                         help="override timing repeats per path")
+    p_bench.add_argument("--output-dir", default=None,
+                         help="write BENCH_*.json here (default: temp dir, "
+                         "never the committed baselines)")
+    p_bench.set_defaults(func=_cmd_bench)
 
     p_gs = sub.add_parser("gridsearch", help="grid-search model parameters")
     p_gs.add_argument("--router", default="medium")

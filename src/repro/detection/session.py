@@ -29,8 +29,17 @@ import numpy as np
 from repro.detection.threshold import IntervalDetection, build_interval_report
 from repro.forecast.base import Forecaster
 from repro.forecast.model_zoo import make_forecaster
+from repro.hashing._kernels import KERNEL_NAMES, kernel_call_counts
 from repro.hashing.index_cache import BucketIndexCache, hashing_accelerated
 from repro.obs.recorder import NULL_RECORDER
+
+#: Adaptive index-cache probation: an *auto-enabled* cache that has seen
+#: this many lookups with a hit rate below the floor is dropped -- on
+#: low-recurrence key populations (every interval brings fresh keys) the
+#: memo table only adds probe/insert overhead, so cache-off is the right
+#: fallback.  Explicitly-passed caches are never dropped.
+_CACHE_PROBATION_LOOKUPS = 8
+_CACHE_MIN_HIT_RATE = 0.1
 
 #: Counter series created at zero whenever a real recorder attaches, so
 #: a metrics export always carries the full detection set -- "no cache
@@ -57,8 +66,12 @@ def resolve_index_cache(schema, index_cache) -> Optional[BucketIndexCache]:
     :class:`BucketIndexCache` is built over ``schema`` unless the schema
     has nothing to cache (exact/dense) or its hashing already runs in the
     compiled C kernels (:func:`~repro.hashing.index_cache.hashing_accelerated`)
-    -- kernel tabulation hashing beats any memo-table gather, while
-    polynomial / two-universal / fallback hashing costs several times one.
+    -- a fused kernel (tabulation *or* polynomial / two-universal) beats
+    any memo-table gather, so with kernels compiled no schema attaches a
+    cache; only the no-compiler NumPy fallbacks still profit.  Sessions
+    additionally drop an auto-enabled cache at runtime when measured
+    recurrence is too low to pay for the probes (see
+    ``_CACHE_PROBATION_LOOKUPS``).
     ``False``/``None`` disables; an existing cache is validated against
     the schema and used as-is regardless of profitability (pass
     :func:`~repro.hashing.index_cache.shared_index_cache` output to share
@@ -175,7 +188,14 @@ class StreamingSession:
         self.prescreen = bool(prescreen)
         self.recorder = NULL_RECORDER if recorder is None else recorder
         self.recorder.preregister(*_SESSION_COUNTERS)
+        self.recorder.preregister_labelled(
+            "repro_kernel_calls_total", "kernel", KERNEL_NAMES
+        )
         self._index_cache = resolve_index_cache(schema, index_cache)
+        # Only auto-enabled caches are subject to the runtime recurrence
+        # probation; a cache the caller passed in explicitly is theirs.
+        self._index_cache_auto = index_cache is True
+        self._dropped_index_cache: Optional[BucketIndexCache] = None
         self._detection_stats = {"candidates": 0, "median_evaluated": 0}
         # Reusable Sf/Se scratch summaries for step_into (lazily built;
         # None when the summary type has no combine_into).
@@ -197,6 +217,9 @@ class StreamingSession:
         """
         self.recorder = NULL_RECORDER if recorder is None else recorder
         self.recorder.preregister(*_SESSION_COUNTERS)
+        self.recorder.preregister_labelled(
+            "repro_kernel_calls_total", "kernel", KERNEL_NAMES
+        )
 
     # -- introspection -------------------------------------------------------
 
@@ -233,6 +256,14 @@ class StreamingSession:
         stats = {"detection": dict(self._detection_stats)}
         if self._index_cache is not None:
             stats["index_cache"] = self._index_cache.stats
+        elif self._dropped_index_cache is not None:
+            # Final counters of a cache retired by the recurrence
+            # probation, flagged so dashboards can tell "dropped" from
+            # "never attached".
+            stats["index_cache"] = {
+                **self._dropped_index_cache.stats,
+                "dropped": True,
+            }
         return stats
 
     @property
@@ -304,6 +335,50 @@ class StreamingSession:
         self._watermark = max(self._watermark, float(records["timestamp"][-1]))
         return reports
 
+    def ingest_columns(self, block) -> List[IntervalDetection]:
+        """Feed one columnar block; returns reports for intervals sealed.
+
+        The zero-copy twin of :meth:`ingest`: ``block`` is a
+        :class:`~repro.streams.model.ColumnarBlock` (or anything exposing
+        ``index``, ``keys``, ``values``) whose key/value arrays were
+        extracted upstream -- typically views produced by
+        :func:`~repro.streams.sharding.iter_interval_columns` -- and they
+        flow into the fused UPDATE kernels without copying or re-sorting.
+        Blocks must arrive in nondecreasing interval order (each block
+        already belongs to exactly one interval, so there is no lateness
+        window to tolerate); results are bit-identical to record-chunk
+        ingestion of the same data.
+        """
+        index = int(block.index)
+        if self._current_index is not None and index < self._current_index:
+            raise ValueError(
+                f"columnar block for interval {index} predates the open "
+                f"interval {self._current_index}; blocks must arrive in "
+                "nondecreasing interval order"
+            )
+        keys = np.asarray(block.keys, dtype=np.uint64)
+        values = np.asarray(block.values, dtype=np.float64)
+        if keys.shape != values.shape or keys.ndim != 1:
+            raise ValueError(
+                f"keys/values must be matching 1-D arrays, got "
+                f"{keys.shape} and {values.shape}"
+            )
+        with self.recorder.time("ingest"):
+            reports = self._advance_to(index)
+            if len(keys):
+                self._accumulate_columns(keys, values)
+        self._records_ingested += len(keys)
+        # Columnar blocks carry no per-record timestamps; the recovery
+        # cursor advances to the open interval's start, so a columnar
+        # replay resumes at block granularity (feed blocks with
+        # ``block.index >= current_interval`` after a restore).
+        self._watermark = max(self._watermark, index * self.interval_seconds)
+        obs = self.recorder
+        if obs.enabled:
+            obs.count("repro_records_ingested_total", len(keys))
+            obs.gauge("repro_watermark_seconds", self._watermark)
+        return reports
+
     def _advance_to(self, interval_index: int) -> List[IntervalDetection]:
         """Seal every interval before ``interval_index``."""
         reports: List[IntervalDetection] = []
@@ -330,6 +405,15 @@ class StreamingSession:
         self._current_sketch.update_batch(keys, values)
         if len(keys):
             self._current_keys.append(np.unique(keys))
+
+    def _accumulate_columns(self, keys: np.ndarray, values: np.ndarray) -> None:
+        """Fold one single-interval columnar batch into the open interval.
+
+        ``keys``/``values`` are already extracted and dtype-correct; they
+        pass straight into the sketch's fused UPDATE (no copies).
+        """
+        self._current_sketch.update_batch(keys, values)
+        self._current_keys.append(np.unique(keys))
 
     def _collect_current(self):
         """Finish accumulation: return ``(observed_summary, unique_keys)``."""
@@ -418,9 +502,38 @@ class StreamingSession:
                     stats=self._detection_stats,
                     recorder=obs if obs.enabled else None,
                 )
+        self._maybe_drop_index_cache()
         if obs.enabled:
             self._record_seal(report, len(keys), evaluated_before)
         return [report]
+
+    def _maybe_drop_index_cache(self) -> None:
+        """Retire an auto-enabled cache once measured recurrence is too low.
+
+        The build-time auto rule (:func:`resolve_index_cache`) decides
+        from the schema alone; this is the runtime half of the satellite:
+        after ``_CACHE_PROBATION_LOOKUPS`` lookups, a hit rate below
+        ``_CACHE_MIN_HIT_RATE`` means the key population barely recurs
+        and every lookup is probe overhead plus a full hash anyway -- so
+        the session falls back to **cache-off**, keeping the retired
+        cache only for its final stats.
+        """
+        cache = self._index_cache
+        if cache is None or not self._index_cache_auto:
+            return
+        if cache.lookups < _CACHE_PROBATION_LOOKUPS:
+            return
+        served = cache.hits + cache.misses
+        if served and cache.hits / served < _CACHE_MIN_HIT_RATE:
+            self._dropped_index_cache = cache
+            self._index_cache = None
+            obs = self.recorder
+            if obs.enabled:
+                obs.event(
+                    "index_cache_dropped",
+                    lookups=cache.lookups,
+                    hit_rate=cache.hits / served,
+                )
 
     def _record_seal(
         self, report: IntervalDetection, n_candidates: int,
@@ -447,6 +560,11 @@ class StreamingSession:
                 "repro_index_cache_evictions_total", cache_stats["evictions"]
             )
             obs.gauge("repro_index_cache_size", cache_stats["size"])
+        for kernel, calls in kernel_call_counts().items():
+            if calls:
+                obs.sync_counter(
+                    "repro_kernel_calls_total", calls, kernel=kernel
+                )
         obs.event(
             "interval_sealed", interval=report.index,
             alarms=report.alarm_count, candidates=n_candidates,

@@ -59,7 +59,12 @@ _SUPERVISION_EVENTS = (
     "pool_rebuild",
 )
 from repro.sketch.mergeable import SchemaHandle, SharedTableBlock, merge
-from repro.streams.sharding import SHARD_METHODS, partition_records
+from repro.streams.model import ColumnarBlock
+from repro.streams.sharding import (
+    SHARD_METHODS,
+    partition_columns,
+    partition_records,
+)
 
 BACKENDS = ("serial", "thread", "process")
 
@@ -263,6 +268,34 @@ class ShardedIngestEngine:
                     self._buffers[shard].append(
                         (self.key_scheme.extract(part), self.value_scheme.extract(part))
                     )
+
+    def accumulate_columns(self, keys: np.ndarray, values: np.ndarray) -> None:
+        """Buffer one single-interval columnar batch into its shard(s).
+
+        The zero-copy twin of :meth:`accumulate`: ``keys``/``values`` are
+        already extracted columns (typically views from
+        :func:`~repro.streams.sharding.iter_interval_columns`) and are
+        buffered as-is -- in chunk mode (or with one worker) no copy
+        happens anywhere between the feeder and the sketch UPDATE.
+        Other partitionings go through
+        :func:`~repro.streams.sharding.partition_columns` (``"block"``
+        stays zero-copy; ``"hash"``/``"round_robin"`` group by fancy
+        indexing, which copies).
+        """
+        if not len(keys):
+            return
+        if self.partition == "chunk" or self.n_workers == 1:
+            self._buffers[self._rr].append((keys, values))
+            self._rr = (self._rr + 1) % self.n_workers
+        else:
+            parts = partition_columns(
+                ColumnarBlock(index=0, keys=keys, values=values),
+                self.n_workers,
+                method=self.partition,
+            )
+            for shard, part in enumerate(parts):
+                if len(part):
+                    self._buffers[shard].append((part.keys, part.values))
 
     def _shard_items(self, shard: int) -> Tuple[np.ndarray, np.ndarray]:
         buf = self._buffers[shard]
@@ -545,6 +578,9 @@ class ShardedStreamingSession(StreamingSession):
 
     def _accumulate(self, chunk: np.ndarray) -> None:
         self._engine.accumulate(chunk)
+
+    def _accumulate_columns(self, keys: np.ndarray, values: np.ndarray) -> None:
+        self._engine.accumulate_columns(keys, values)
 
     def _collect_current(self):
         return self._engine.collect()

@@ -109,6 +109,7 @@ class OfflineTwoPassDetector:
             "repro_index_cache_evictions_total",
         )
         self.index_cache = resolve_index_cache(schema, index_cache)
+        self._index_cache_auto = index_cache is True
         self.stats = {"candidates": 0, "median_evaluated": 0}
 
     def run(self, batches: Iterable[KeyedUpdates]) -> Iterator[IntervalDetection]:
@@ -117,10 +118,18 @@ class OfflineTwoPassDetector:
         Warm-up intervals (no forecast yet) are skipped; the caller sees
         only intervals with a defined error summary.
 
+        ``batches`` may be :class:`~repro.streams.model.KeyedUpdates` or
+        zero-copy :class:`~repro.streams.model.ColumnarBlock` items (from
+        :func:`~repro.streams.sharding.iter_interval_columns`) -- only
+        ``index``/``keys``/``values`` are read, and the key/value arrays
+        feed the fused UPDATE kernels without copying.
+
         The loop mirrors :func:`~repro.detection.pipeline.run_pipeline`
         but seals through the amortized path: reusable ``Sf``/``Se``
-        scratch summaries (``step_into``), the bucket-index cache, and
-        the median prescreen.  Output is identical interval for interval.
+        scratch summaries (``step_into``), the bucket-index cache (with
+        the low-recurrence runtime drop, matching the streaming
+        session's), and the median prescreen.  Output is identical
+        interval for interval.
         """
         from collections import deque
 
@@ -160,9 +169,40 @@ class OfflineTwoPassDetector:
                     stats=self.stats,
                     recorder=obs if obs.enabled else None,
                 )
+            self._maybe_drop_index_cache()
             if obs.enabled:
                 self._record_report(report, len(keys))
             yield report
+
+    def _maybe_drop_index_cache(self) -> None:
+        """Drop an auto-enabled cache when measured recurrence is too low.
+
+        Same probation rule as the streaming session: past
+        ``_CACHE_PROBATION_LOOKUPS`` lookups with a hit rate under
+        ``_CACHE_MIN_HIT_RATE``, caching keys that never come back is
+        pure overhead, so fall back to cache-off (never to forced
+        cache-on).  Reports are unaffected -- the cache is an execution
+        detail.
+        """
+        from repro.detection.session import (
+            _CACHE_MIN_HIT_RATE,
+            _CACHE_PROBATION_LOOKUPS,
+        )
+
+        cache = self.index_cache
+        if cache is None or not self._index_cache_auto:
+            return
+        if cache.lookups < _CACHE_PROBATION_LOOKUPS:
+            return
+        served = cache.hits + cache.misses
+        if served and cache.hits / served < _CACHE_MIN_HIT_RATE:
+            self.index_cache = None
+            if self.recorder.enabled:
+                self.recorder.event(
+                    "index_cache_dropped",
+                    lookups=cache.lookups,
+                    hit_rate=cache.hits / served,
+                )
 
     def _record_report(self, report: IntervalDetection, n_candidates: int) -> None:
         obs = self.recorder

@@ -24,10 +24,12 @@ All families map integer keys in ``[0, 2**64)`` to buckets ``[0, K)`` and
 support vectorized evaluation over NumPy arrays of keys.
 """
 
+from repro.hashing._kernels import KERNEL_NAMES, kernel_call_counts
 from repro.hashing.carter_wegman import PolynomialHash, TwoUniversalHash
 from repro.hashing.index_cache import (
     DEFAULT_CAPACITY,
     BucketIndexCache,
+    hashing_accelerated,
     shared_index_cache,
 )
 from repro.hashing.seeds import (
@@ -41,6 +43,7 @@ from repro.hashing.stacked import (
     StackedHash,
     StackedPolynomialHash,
     StackedTabulationHash,
+    estimate_median_indices,
     fused_signed_update,
     gather_indices,
     make_stacked,
@@ -63,9 +66,13 @@ __all__ = [
     "TwoUniversalHash",
     "derive_seeds",
     "validate_master_seed",
+    "KERNEL_NAMES",
     "MAX_MASTER_SEED",
+    "estimate_median_indices",
     "fused_signed_update",
     "gather_indices",
+    "hashing_accelerated",
+    "kernel_call_counts",
     "make_family",
     "make_stacked",
     "scatter_add_indices",

@@ -1,20 +1,42 @@
-"""Runtime-compiled C kernels for the stacked tabulation hot paths.
+"""Runtime-compiled C kernels for the sketch hot paths.
 
-The stacked tabulation evaluator (:mod:`repro.hashing.stacked`) reduces the
-per-row hash tables to ``uint16`` bucket strips so that all ``H`` rows of a
-sketch are served by three gathers and two XORs.  NumPy executes that as
-several full passes over the key batch (gather, gather, gather, xor, xor,
-scatter-add); the fused C kernels below do one pass, keeping the three
-table strips and the counter table hot in cache.
+The stacked evaluators (:mod:`repro.hashing.stacked`) serve all ``H`` rows
+of a sketch in one vectorized pass; the fused C kernels below go one step
+further and merge the *whole* per-item pipeline into a single pass over
+the key batch:
 
-The kernels are optional.  At import time nothing happens; on first use the
-embedded C source is compiled with whatever C compiler the host provides
-(``cc``/``gcc``/``clang``) into a shared object cached under the system
-temp directory (keyed by a hash of the source, so stale caches are never
-reused).  If no compiler is available, compilation fails, or the
-environment variable ``REPRO_NO_KERNELS`` is set, every caller silently
-falls back to the pure-NumPy stacked path -- results are bit-identical
-either way, only throughput differs.
+* **tabulation** (pre-reduced ``uint16`` bucket strips): fused
+  hash+scatter UPDATE (plain and Count-Sketch signed), fused hash+gather,
+  and a fused hash+gather+transform+median ESTIMATE;
+* **Carter-Wegman polynomial / two-universal**: the same set, with the
+  Horner recursion over ``P61 = 2**61 - 1`` evaluated per key in exact
+  64-bit integer arithmetic that replicates the NumPy fold step for step;
+* **precomputed-index** variants serving UPDATE/gather/ESTIMATE when the
+  ``(H, n)`` bucket indices already exist (e.g. from the persistent
+  bucket-index cache).
+
+NumPy executes each of those pipelines as several full passes over the
+batch (gather, gather, xor/mul, scatter or median); the kernels do one
+pass, keeping the lookup strips (or coefficient rows) and the counter
+table hot in cache.  Every kernel is **bit-identical** to the pure-NumPy
+reference: scatter accumulation runs in per-row stream order (matching
+per-row ``np.add.at``), the modular arithmetic replays NumPy's exact
+32-bit-split fold, and the ESTIMATE median reproduces ``np.median``'s
+order statistics (odd ``H``: the middle element; even ``H``: the mean of
+the two middle elements).
+
+The kernels are optional.  At import time nothing happens; on first use
+the embedded C source is compiled with the host's C compiler (``$CC`` if
+set, else ``cc``/``gcc``/``clang``) into a shared object cached under the
+system temp directory (keyed by a hash of the source, so stale caches are
+never reused).  If no compiler is available, compilation fails, ``CC`` is
+set to an empty string, or the environment variable ``REPRO_NO_KERNELS``
+is set, every caller silently falls back to the pure-NumPy stacked path
+-- results are bit-identical either way, only throughput differs.
+
+Each facade method tallies its invocations in :attr:`SketchKernels.calls`;
+:func:`kernel_call_counts` exposes the process-wide totals so the
+observability layer can export per-kernel counters.
 """
 
 from __future__ import annotations
@@ -24,9 +46,33 @@ import hashlib
 import os
 import subprocess
 import tempfile
-from typing import Optional
+from typing import Dict, Optional
 
 import numpy as np
+
+#: Fused-ESTIMATE kernels keep the per-key row buffer on the stack; any
+#: depth beyond this falls back to the NumPy median (the paper's deepest
+#: configuration is H = 25).
+MAX_ESTIMATE_DEPTH = 64
+
+#: Every kernel entry point, as exported by :func:`kernel_call_counts`
+#: (and pre-registered by the observability layer so "never called"
+#: stays distinguishable from "not instrumented").
+KERNEL_NAMES = (
+    "tab_hash",
+    "tab_update",
+    "tab_update_signed",
+    "tab_gather",
+    "tab_estimate",
+    "poly_hash",
+    "poly_update",
+    "poly_update_signed",
+    "poly_gather",
+    "poly_estimate",
+    "idx_update",
+    "idx_gather",
+    "idx_estimate",
+)
 
 _C_SOURCE = r"""
 #include <stdint.h>
@@ -34,7 +80,8 @@ _C_SOURCE = r"""
 
 /* Reduced-table layouts: r0/r1 have 2^16 rows, r2 has 2^17 rows; each row
  * holds H contiguous uint16 pre-masked bucket values (one per sketch row).
- * Counter tables are C-contiguous (H, K) float64. */
+ * Counter tables are C-contiguous (H, K) float64.  Polynomial coefficient
+ * matrices are C-contiguous (H, degree) uint64, constant term first. */
 
 /* The strip working set (a few MB, random access) misses L2 on most keys;
  * prefetching a handful of items ahead hides much of that latency. */
@@ -59,6 +106,7 @@ void tab_hash_u16(const uint64_t* keys, int64_t n, int64_t h_rows,
                   const uint16_t* r0, const uint16_t* r1, const uint16_t* r2,
                   int64_t* out) {
     for (int64_t j = 0; j < n; ++j) {
+        TAB_PF_AHEAD(h_rows)
         uint64_t key = keys[j];
         size_t c0 = (size_t)(key & 0xFFFFu);
         size_t c1 = (size_t)((key >> 16) & 0xFFFFu);
@@ -70,23 +118,39 @@ void tab_hash_u16(const uint64_t* keys, int64_t n, int64_t h_rows,
     }
 }
 
-/* The row loop fully unrolls when H is a compile-time constant, which is
- * worth ~20% at the paper's H=5; dispatch the common depths to
- * specialized instantiations and everything else to the generic loop.
- * Accumulation order per table cell is stream order in every variant. */
+/* Fused UPDATE runs in two phases over fixed-size blocks: phase one
+ * resolves each key's H buckets (strip gathers, the memory-bound part,
+ * with prefetch ahead), phase two scatters the block row by row so each
+ * table row streams through cache once per block instead of being
+ * interleaved with three strip gathers per key.  ~20% over the straight
+ * per-key loop on the benchmark box.  Per table cell the accumulation is
+ * still stream order -- blocks are processed in order and phase two
+ * walks each row's block slice in key order -- so the result stays
+ * bit-identical to per-row np.add.at.  The row loop fully unrolls when
+ * H is a compile-time constant; dispatch the common depths to
+ * specialized instantiations and everything else to the generic loop. */
+#define TAB_UPDATE_BLOCK 256
+
 #define TAB_UPDATE_BODY(H)                                                  \
-    for (int64_t j = 0; j < n; ++j) {                                       \
-        TAB_PF_AHEAD(H)                                                     \
-        uint64_t key = keys[j];                                             \
-        size_t c0 = (size_t)(key & 0xFFFFu);                                \
-        size_t c1 = (size_t)((key >> 16) & 0xFFFFu);                        \
-        double v = values[j];                                               \
-        const uint16_t* a = r0 + c0 * (size_t)(H);                          \
-        const uint16_t* b = r1 + c1 * (size_t)(H);                          \
-        const uint16_t* c = r2 + (c0 + c1) * (size_t)(H);                   \
+    uint16_t bk[TAB_UPDATE_BLOCK * (H)];                                    \
+    for (int64_t s = 0; s < n; s += TAB_UPDATE_BLOCK) {                     \
+        int64_t e = s + TAB_UPDATE_BLOCK < n ? s + TAB_UPDATE_BLOCK : n;    \
+        for (int64_t j = s; j < e; ++j) {                                   \
+            TAB_PF_AHEAD(H)                                                 \
+            uint64_t key = keys[j];                                         \
+            size_t c0 = (size_t)(key & 0xFFFFu);                            \
+            size_t c1 = (size_t)((key >> 16) & 0xFFFFu);                    \
+            const uint16_t* a = r0 + c0 * (size_t)(H);                      \
+            const uint16_t* b = r1 + c1 * (size_t)(H);                      \
+            const uint16_t* c = r2 + (c0 + c1) * (size_t)(H);               \
+            uint16_t* o = bk + (j - s) * (H);                               \
+            for (int64_t i = 0; i < (H); ++i)                               \
+                o[i] = (uint16_t)(a[i] ^ b[i] ^ c[i]);                      \
+        }                                                                   \
         for (int64_t i = 0; i < (H); ++i) {                                 \
-            uint16_t bucket = (uint16_t)(a[i] ^ b[i] ^ c[i]);               \
-            table[i * k_width + bucket] += v;                               \
+            double* trow = table + i * k_width;                             \
+            for (int64_t j = s; j < e; ++j)                                 \
+                trow[bk[(j - s) * (H) + i]] += values[j];                   \
         }                                                                   \
     }
 
@@ -149,6 +213,7 @@ void tab_gather_u16(const uint64_t* keys, int64_t n, int64_t h_rows,
                     int64_t k_width, const uint16_t* r0, const uint16_t* r1,
                     const uint16_t* r2, const double* table, double* out) {
     for (int64_t j = 0; j < n; ++j) {
+        TAB_PF_AHEAD(h_rows)
         uint64_t key = keys[j];
         size_t c0 = (size_t)(key & 0xFFFFu);
         size_t c1 = (size_t)((key >> 16) & 0xFFFFu);
@@ -162,10 +227,168 @@ void tab_gather_u16(const uint64_t* keys, int64_t n, int64_t h_rows,
     }
 }
 
-/* Precomputed-index variants: serve UPDATE/gather when the (H, n) bucket
- * indices already exist (e.g. from the persistent bucket-index cache),
- * skipping the hash entirely.  Per-row stream order matches the per-row
- * np.add.at reference, so accumulation is bit-identical. */
+/* np.median over axis 0 of an (H, n) array, one key at a time: sort the
+ * H per-row values (insertion sort; H <= 64) and take the middle element
+ * (odd H) or the mean of the two middle elements (even H).  np.partition
+ * selects the same order statistics and np.mean of two doubles is
+ * (lo + hi) / 2, so the result is bit-identical for finite inputs. */
+static double row_median(double* m, int64_t h) {
+    for (int64_t i = 1; i < h; ++i) {
+        double v = m[i];
+        int64_t p = i;
+        while (p > 0 && m[p - 1] > v) { m[p] = m[p - 1]; --p; }
+        m[p] = v;
+    }
+    return (h & 1) ? m[h / 2] : (m[h / 2 - 1] + m[h / 2]) / 2.0;
+}
+
+#define EST_MAX_H 64
+
+/* Fused k-ary ESTIMATE: hash, gather, (cell - mean_share) / denom, and
+ * the median across rows in one pass per key.  mean_share and denom are
+ * computed by the caller exactly as the NumPy path does, so the
+ * per-element transform is the same IEEE operation sequence. */
+void tab_estimate_u16(const uint64_t* keys, int64_t n, int64_t h_rows,
+                      int64_t k_width, const uint16_t* r0, const uint16_t* r1,
+                      const uint16_t* r2, const double* table,
+                      double mean_share, double denom, double* out) {
+    double buf[EST_MAX_H];
+    for (int64_t j = 0; j < n; ++j) {
+        TAB_PF_AHEAD(h_rows)
+        uint64_t key = keys[j];
+        size_t c0 = (size_t)(key & 0xFFFFu);
+        size_t c1 = (size_t)((key >> 16) & 0xFFFFu);
+        const uint16_t* a = r0 + c0 * (size_t)h_rows;
+        const uint16_t* b = r1 + c1 * (size_t)h_rows;
+        const uint16_t* c = r2 + (c0 + c1) * (size_t)h_rows;
+        for (int64_t i = 0; i < h_rows; ++i) {
+            uint16_t bucket = (uint16_t)(a[i] ^ b[i] ^ c[i]);
+            buf[i] = (table[i * k_width + bucket] - mean_share) / denom;
+        }
+        out[j] = row_median(buf, h_rows);
+    }
+}
+
+/* --- Carter-Wegman polynomial hashing over P61 = 2^61 - 1 -------------
+ * Replicates repro.hashing.carter_wegman._mulmod_p61's 32-bit-split fold
+ * exactly: every operation is uint64 arithmetic mod 2^64 (C unsigned
+ * semantics == NumPy uint64 semantics), so results are bit-identical to
+ * the vectorized NumPy path. */
+
+#define P61 2305843009213693951ULL
+#define MASK29 ((1ULL << 29) - 1)
+#define MASK32 0xFFFFFFFFULL
+
+static inline uint64_t mulmod_p61(uint64_t a, uint64_t b) {
+    uint64_t a_hi = a >> 32, a_lo = a & MASK32;
+    uint64_t b_hi = b >> 32, b_lo = b & MASK32;
+    uint64_t hh = a_hi * b_hi;                 /* < 2^58 */
+    uint64_t mid = a_hi * b_lo + a_lo * b_hi;  /* < 2^62 */
+    uint64_t ll = a_lo * b_lo;
+    uint64_t acc = hh << 3;                    /* hh * 2^64 === hh * 8 */
+    acc += mid >> 29;                          /* m_hi * 2^61 === m_hi */
+    acc += (mid & MASK29) << 32;
+    acc += (ll >> 61) + (ll & P61);
+    acc = (acc >> 61) + (acc & P61);
+    if (acc >= P61) acc -= P61;
+    return acc;
+}
+
+static inline uint64_t key_to_field(uint64_t key) {
+    uint64_t x = (key >> 61) + (key & P61);
+    if (x >= P61) x -= P61;
+    return x;
+}
+
+/* Horner: (((c[d-1] x + c[d-2]) x + ...) x + c[0]), coefficients < P61. */
+static inline uint64_t poly_eval(const uint64_t* c, int64_t degree,
+                                 uint64_t x) {
+    uint64_t acc = c[degree - 1];
+    for (int64_t j = degree - 2; j >= 0; --j) {
+        acc = mulmod_p61(acc, x);
+        acc += c[j];                           /* < 2^62, no overflow */
+        if (acc >= P61) acc -= P61;
+    }
+    return acc;
+}
+
+void poly_hash(const uint64_t* keys, int64_t n, int64_t h_rows,
+               int64_t degree, const uint64_t* coeffs, int64_t num_buckets,
+               int64_t* out) {
+    uint64_t k = (uint64_t)num_buckets;
+    for (int64_t j = 0; j < n; ++j) {
+        uint64_t x = key_to_field(keys[j]);
+        for (int64_t i = 0; i < h_rows; ++i)
+            out[i * n + j] =
+                (int64_t)(poly_eval(coeffs + i * degree, degree, x) % k);
+    }
+}
+
+void poly_update(const uint64_t* keys, const double* values, int64_t n,
+                 int64_t h_rows, int64_t degree, const uint64_t* coeffs,
+                 int64_t k_width, double* table) {
+    uint64_t k = (uint64_t)k_width;
+    for (int64_t j = 0; j < n; ++j) {
+        uint64_t x = key_to_field(keys[j]);
+        double v = values[j];
+        for (int64_t i = 0; i < h_rows; ++i) {
+            uint64_t bucket = poly_eval(coeffs + i * degree, degree, x) % k;
+            table[i * k_width + (int64_t)bucket] += v;
+        }
+    }
+}
+
+void poly_update_signed(const uint64_t* keys, const double* values,
+                        int64_t n, int64_t h_rows, int64_t degree,
+                        const uint64_t* bcoeffs, int64_t k_width,
+                        const uint64_t* scoeffs, double* table) {
+    uint64_t k = (uint64_t)k_width;
+    for (int64_t j = 0; j < n; ++j) {
+        uint64_t x = key_to_field(keys[j]);
+        double v = values[j];
+        for (int64_t i = 0; i < h_rows; ++i) {
+            uint64_t bucket = poly_eval(bcoeffs + i * degree, degree, x) % k;
+            uint64_t bit = poly_eval(scoeffs + i * degree, degree, x) & 1u;
+            table[i * k_width + (int64_t)bucket] += bit ? v : -v;
+        }
+    }
+}
+
+void poly_gather(const uint64_t* keys, int64_t n, int64_t h_rows,
+                 int64_t degree, const uint64_t* coeffs, int64_t k_width,
+                 const double* table, double* out) {
+    uint64_t k = (uint64_t)k_width;
+    for (int64_t j = 0; j < n; ++j) {
+        uint64_t x = key_to_field(keys[j]);
+        for (int64_t i = 0; i < h_rows; ++i) {
+            uint64_t bucket = poly_eval(coeffs + i * degree, degree, x) % k;
+            out[i * n + j] = table[i * k_width + (int64_t)bucket];
+        }
+    }
+}
+
+void poly_estimate(const uint64_t* keys, int64_t n, int64_t h_rows,
+                   int64_t degree, const uint64_t* coeffs, int64_t k_width,
+                   const double* table, double mean_share, double denom,
+                   double* out) {
+    uint64_t k = (uint64_t)k_width;
+    double buf[EST_MAX_H];
+    for (int64_t j = 0; j < n; ++j) {
+        uint64_t x = key_to_field(keys[j]);
+        for (int64_t i = 0; i < h_rows; ++i) {
+            uint64_t bucket = poly_eval(coeffs + i * degree, degree, x) % k;
+            buf[i] = (table[i * k_width + (int64_t)bucket] - mean_share)
+                     / denom;
+        }
+        out[j] = row_median(buf, h_rows);
+    }
+}
+
+/* Precomputed-index variants: serve UPDATE/gather/ESTIMATE when the
+ * (H, n) bucket indices already exist (e.g. from the persistent
+ * bucket-index cache), skipping the hash entirely.  Per-row stream order
+ * matches the per-row np.add.at reference, so accumulation is
+ * bit-identical. */
 void idx_update(const int64_t* idx, const double* values, int64_t n,
                 int64_t h_rows, int64_t k_width, double* table) {
     for (int64_t i = 0; i < h_rows; ++i) {
@@ -186,6 +409,18 @@ void idx_gather(const int64_t* idx, int64_t n, int64_t h_rows,
             orow[j] = trow[row[j]];
     }
 }
+
+void idx_estimate(const int64_t* idx, int64_t n, int64_t h_rows,
+                  int64_t k_width, const double* table, double mean_share,
+                  double denom, double* out) {
+    double buf[EST_MAX_H];
+    for (int64_t j = 0; j < n; ++j) {
+        for (int64_t i = 0; i < h_rows; ++i)
+            buf[i] = (table[i * k_width + idx[i * n + j]] - mean_share)
+                     / denom;
+        out[j] = row_median(buf, h_rows);
+    }
+}
 """
 
 _COMPILERS = ("cc", "gcc", "clang")
@@ -195,28 +430,45 @@ def _ptr(arr: np.ndarray):
     return arr.ctypes.data_as(ctypes.c_void_p)
 
 
-class TabulationKernels:
-    """ctypes facade over the compiled shared object."""
+class SketchKernels:
+    """ctypes facade over the compiled shared object.
+
+    Every method increments its entry in :attr:`calls`, the per-process
+    invocation tally the observability layer exports as
+    ``repro_kernel_calls_total{kernel=...}``.
+    """
 
     def __init__(self, lib: ctypes.CDLL) -> None:
         self._lib = lib
-        p, i64 = ctypes.c_void_p, ctypes.c_int64
-        lib.tab_hash_u16.restype = None
-        lib.tab_hash_u16.argtypes = [p, i64, i64, p, p, p, p]
-        lib.tab_update_u16.restype = None
-        lib.tab_update_u16.argtypes = [p, p, i64, i64, i64, p, p, p, p]
-        lib.tab_update_signed_u16.restype = None
-        lib.tab_update_signed_u16.argtypes = [
-            p, p, i64, i64, i64, p, p, p, p, p, p, p,
-        ]
-        lib.tab_gather_u16.restype = None
-        lib.tab_gather_u16.argtypes = [p, i64, i64, i64, p, p, p, p, p]
-        lib.idx_update.restype = None
-        lib.idx_update.argtypes = [p, p, i64, i64, i64, p]
-        lib.idx_gather.restype = None
-        lib.idx_gather.argtypes = [p, i64, i64, i64, p, p]
+        self.calls: Dict[str, int] = {name: 0 for name in KERNEL_NAMES}
+        p, i64, f64 = ctypes.c_void_p, ctypes.c_int64, ctypes.c_double
+        signatures = {
+            "tab_hash_u16": [p, i64, i64, p, p, p, p],
+            "tab_update_u16": [p, p, i64, i64, i64, p, p, p, p],
+            "tab_update_signed_u16": [p, p, i64, i64, i64, p, p, p, p, p, p, p],
+            "tab_gather_u16": [p, i64, i64, i64, p, p, p, p, p],
+            "tab_estimate_u16": [p, i64, i64, i64, p, p, p, p, f64, f64, p],
+            "poly_hash": [p, i64, i64, i64, p, i64, p],
+            "poly_update": [p, p, i64, i64, i64, p, i64, p],
+            "poly_update_signed": [p, p, i64, i64, i64, p, i64, p, p],
+            "poly_gather": [p, i64, i64, i64, p, i64, p, p],
+            "poly_estimate": [p, i64, i64, i64, p, i64, p, f64, f64, p],
+            "idx_update": [p, p, i64, i64, i64, p],
+            "idx_gather": [p, i64, i64, i64, p, p],
+            "idx_estimate": [p, i64, i64, i64, p, f64, f64, p],
+        }
+        for name, argtypes in signatures.items():
+            fn = getattr(lib, name)
+            fn.restype = None
+            fn.argtypes = argtypes
+
+    def _tick(self, name: str) -> None:
+        self.calls[name] += 1
+
+    # -- tabulation (pre-reduced uint16 strips) ------------------------------
 
     def hash_all(self, keys, r0, r1, r2, depth: int) -> np.ndarray:
+        self._tick("tab_hash")
         keys = np.ascontiguousarray(keys, dtype=np.uint64)
         out = np.empty((depth, len(keys)), dtype=np.int64)
         self._lib.tab_hash_u16(
@@ -225,6 +477,7 @@ class TabulationKernels:
         return out
 
     def update(self, table, keys, values, r0, r1, r2) -> None:
+        self._tick("tab_update")
         keys = np.ascontiguousarray(keys, dtype=np.uint64)
         values = np.ascontiguousarray(values, dtype=np.float64)
         depth, width = table.shape
@@ -234,6 +487,7 @@ class TabulationKernels:
         )
 
     def update_signed(self, table, keys, values, r0, r1, r2, s0, s1, s2) -> None:
+        self._tick("tab_update_signed")
         keys = np.ascontiguousarray(keys, dtype=np.uint64)
         values = np.ascontiguousarray(values, dtype=np.float64)
         depth, width = table.shape
@@ -244,6 +498,7 @@ class TabulationKernels:
         )
 
     def gather(self, table, keys, r0, r1, r2) -> np.ndarray:
+        self._tick("tab_gather")
         keys = np.ascontiguousarray(keys, dtype=np.uint64)
         depth, width = table.shape
         out = np.empty((depth, len(keys)), dtype=np.float64)
@@ -253,7 +508,79 @@ class TabulationKernels:
         )
         return out
 
+    def estimate(self, table, keys, r0, r1, r2,
+                 mean_share: float, denom: float) -> np.ndarray:
+        self._tick("tab_estimate")
+        keys = np.ascontiguousarray(keys, dtype=np.uint64)
+        depth, width = table.shape
+        out = np.empty(len(keys), dtype=np.float64)
+        self._lib.tab_estimate_u16(
+            _ptr(keys), len(keys), depth, width,
+            _ptr(r0), _ptr(r1), _ptr(r2), _ptr(table),
+            mean_share, denom, _ptr(out),
+        )
+        return out
+
+    # -- Carter-Wegman polynomial --------------------------------------------
+
+    def poly_hash(self, keys, coeffs, num_buckets: int) -> np.ndarray:
+        self._tick("poly_hash")
+        keys = np.ascontiguousarray(keys, dtype=np.uint64)
+        depth, degree = coeffs.shape
+        out = np.empty((depth, len(keys)), dtype=np.int64)
+        self._lib.poly_hash(
+            _ptr(keys), len(keys), depth, degree, _ptr(coeffs),
+            num_buckets, _ptr(out),
+        )
+        return out
+
+    def poly_update(self, table, keys, values, coeffs) -> None:
+        self._tick("poly_update")
+        keys = np.ascontiguousarray(keys, dtype=np.uint64)
+        values = np.ascontiguousarray(values, dtype=np.float64)
+        depth, width = table.shape
+        self._lib.poly_update(
+            _ptr(keys), _ptr(values), len(keys), depth, coeffs.shape[1],
+            _ptr(coeffs), width, _ptr(table),
+        )
+
+    def poly_update_signed(self, table, keys, values, bcoeffs, scoeffs) -> None:
+        self._tick("poly_update_signed")
+        keys = np.ascontiguousarray(keys, dtype=np.uint64)
+        values = np.ascontiguousarray(values, dtype=np.float64)
+        depth, width = table.shape
+        self._lib.poly_update_signed(
+            _ptr(keys), _ptr(values), len(keys), depth, bcoeffs.shape[1],
+            _ptr(bcoeffs), width, _ptr(scoeffs), _ptr(table),
+        )
+
+    def poly_gather(self, table, keys, coeffs) -> np.ndarray:
+        self._tick("poly_gather")
+        keys = np.ascontiguousarray(keys, dtype=np.uint64)
+        depth, width = table.shape
+        out = np.empty((depth, len(keys)), dtype=np.float64)
+        self._lib.poly_gather(
+            _ptr(keys), len(keys), depth, coeffs.shape[1], _ptr(coeffs),
+            width, _ptr(table), _ptr(out),
+        )
+        return out
+
+    def poly_estimate(self, table, keys, coeffs,
+                      mean_share: float, denom: float) -> np.ndarray:
+        self._tick("poly_estimate")
+        keys = np.ascontiguousarray(keys, dtype=np.uint64)
+        depth, width = table.shape
+        out = np.empty(len(keys), dtype=np.float64)
+        self._lib.poly_estimate(
+            _ptr(keys), len(keys), depth, coeffs.shape[1], _ptr(coeffs),
+            width, _ptr(table), mean_share, denom, _ptr(out),
+        )
+        return out
+
+    # -- precomputed indices -------------------------------------------------
+
     def update_indices(self, table, indices, values) -> None:
+        self._tick("idx_update")
         indices = np.ascontiguousarray(indices, dtype=np.int64)
         values = np.ascontiguousarray(values, dtype=np.float64)
         depth, width = table.shape
@@ -263,6 +590,7 @@ class TabulationKernels:
         )
 
     def gather_indices(self, table, indices) -> np.ndarray:
+        self._tick("idx_gather")
         indices = np.ascontiguousarray(indices, dtype=np.int64)
         depth, width = table.shape
         n = indices.shape[1]
@@ -271,6 +599,23 @@ class TabulationKernels:
             _ptr(indices), n, depth, width, _ptr(table), _ptr(out)
         )
         return out
+
+    def estimate_indices(self, table, indices,
+                         mean_share: float, denom: float) -> np.ndarray:
+        self._tick("idx_estimate")
+        indices = np.ascontiguousarray(indices, dtype=np.int64)
+        depth, width = table.shape
+        n = indices.shape[1]
+        out = np.empty(n, dtype=np.float64)
+        self._lib.idx_estimate(
+            _ptr(indices), n, depth, width, _ptr(table),
+            mean_share, denom, _ptr(out),
+        )
+        return out
+
+
+#: Backwards-compatible alias from when the kernels covered tabulation only.
+TabulationKernels = SketchKernels
 
 
 #: Flag sets tried in order; host-tuned codegen first, portable fallback
@@ -281,23 +626,29 @@ _FLAG_SETS = (
 )
 
 
-def _compile() -> Optional[TabulationKernels]:
+def _compiler_candidates() -> tuple:
+    """``$CC`` first when set and non-empty, then the built-in list."""
+    cc = os.environ.get("CC", "").strip()
+    return (cc, *_COMPILERS) if cc else _COMPILERS
+
+
+def _compile() -> Optional[SketchKernels]:
     # The cache is machine-local, but key the flags in anyway so changing
     # them (like changing the source) can never pick up a stale object.
     digest = hashlib.sha256(
         (_C_SOURCE + repr(_FLAG_SETS)).encode()
     ).hexdigest()[:16]
     cache_dir = os.path.join(tempfile.gettempdir(), "repro-kernels")
-    so_path = os.path.join(cache_dir, f"tabkern-{digest}.so")
+    so_path = os.path.join(cache_dir, f"sketchkern-{digest}.so")
     if not os.path.exists(so_path):
         try:
             os.makedirs(cache_dir, exist_ok=True)
-            src_path = os.path.join(cache_dir, f"tabkern-{digest}.c")
+            src_path = os.path.join(cache_dir, f"sketchkern-{digest}.c")
             with open(src_path, "w") as fh:
                 fh.write(_C_SOURCE)
             tmp_so = so_path + f".tmp{os.getpid()}"
             compiled = False
-            for compiler in _COMPILERS:
+            for compiler in _compiler_candidates():
                 for flags in _FLAG_SETS:
                     try:
                         result = subprocess.run(
@@ -319,7 +670,7 @@ def _compile() -> Optional[TabulationKernels]:
         except OSError:
             return None
     try:
-        return TabulationKernels(ctypes.CDLL(so_path))
+        return SketchKernels(ctypes.CDLL(so_path))
     except (OSError, AttributeError):
         return None
 
@@ -328,12 +679,34 @@ _UNSET = object()
 _KERNELS = _UNSET
 
 
-def get_kernels() -> Optional[TabulationKernels]:
-    """The compiled kernels, or ``None`` when unavailable (cached)."""
+def get_kernels() -> Optional[SketchKernels]:
+    """The compiled kernels, or ``None`` when unavailable (cached).
+
+    Disabled (returning ``None`` without attempting compilation) when
+    ``REPRO_NO_KERNELS`` is set or ``CC`` is set to an empty string --
+    the latter is the conventional "no compiler on this host" spelling a
+    CI job uses to prove the pure-NumPy fallback end to end.
+    """
     global _KERNELS
     if _KERNELS is _UNSET:
-        if os.environ.get("REPRO_NO_KERNELS"):
+        if os.environ.get("REPRO_NO_KERNELS") or (
+            "CC" in os.environ and not os.environ["CC"].strip()
+        ):
             _KERNELS = None
         else:
             _KERNELS = _compile()
     return _KERNELS
+
+
+def kernel_call_counts() -> Dict[str, int]:
+    """Per-kernel invocation totals for this process (empty when no kernels).
+
+    Keys are :data:`KERNEL_NAMES` entries; values count facade calls, not
+    per-row work.  The observability layer mirrors this into the
+    ``repro_kernel_calls_total{kernel=...}`` counter at each interval
+    seal.
+    """
+    kernels = _KERNELS
+    if kernels is _UNSET or kernels is None:
+        return {}
+    return dict(kernels.calls)

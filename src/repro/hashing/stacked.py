@@ -33,7 +33,11 @@ from typing import Optional, Sequence
 
 import numpy as np
 
-from repro.hashing._kernels import TabulationKernels, get_kernels
+from repro.hashing._kernels import (
+    MAX_ESTIMATE_DEPTH,
+    SketchKernels,
+    get_kernels,
+)
 from repro.hashing.carter_wegman import P61, _mulmod_p61, _PolynomialBase
 from repro.hashing.tabulation import _CHAR_BITS, _CHAR_MASK, TabulationHash
 from repro.hashing.universal import HashFamily
@@ -100,6 +104,22 @@ class StackedHash(abc.ABC):
         indices = self.hash_all(keys)
         return np.take_along_axis(table, indices, axis=1)
 
+    def estimate_median(
+        self,
+        table: np.ndarray,
+        keys: np.ndarray,
+        mean_share: float,
+        denom: float,
+    ) -> Optional[np.ndarray]:
+        """Fused k-ary ESTIMATE: ``median_i((table[i][h_i(a)] - mean_share) / denom)``.
+
+        Returns the ``(n,)`` estimate vector when a fused kernel covers
+        this stack, else ``None`` -- the caller then runs the reference
+        gather + transform + ``np.median`` pipeline, which the kernel is
+        bit-identical to.
+        """
+        return None
+
 
 class LoopStackedHash(StackedHash):
     """Fallback: the literal per-row loop (reference semantics by definition)."""
@@ -128,7 +148,7 @@ class StackedTabulationHash(StackedHash):
                 np.stack([(h._t2 & mask).astype(np.uint16) for h in rows], axis=1)
             )
             self._u0 = self._u1 = self._u2 = None
-            self._kernels: Optional[TabulationKernels] = get_kernels()
+            self._kernels: Optional[SketchKernels] = get_kernels()
         else:
             # Wide/non-pow2 K: full-width strips, reduce after the XOR.
             self._r0 = self._r1 = self._r2 = None
@@ -202,9 +222,28 @@ class StackedTabulationHash(StackedHash):
             return self._kernels.gather(table, keys, self._r0, self._r1, self._r2)
         return super().gather(table, keys)
 
+    def estimate_median(self, table, keys, mean_share, denom):
+        if (
+            self._kernels is not None
+            and self._depth <= MAX_ESTIMATE_DEPTH
+            and table.flags.c_contiguous
+            and table.dtype == np.float64
+        ):
+            keys = self._check_keys(keys)
+            return self._kernels.estimate(
+                table, keys, self._r0, self._r1, self._r2, mean_share, denom
+            )
+        return None
+
 
 class StackedPolynomialHash(StackedHash):
-    """All-rows Carter-Wegman via one broadcast Horner recursion."""
+    """All-rows Carter-Wegman via one broadcast Horner recursion.
+
+    When the compiled kernels are available the whole stack evaluates in
+    C -- one pass per key batch with the exact same ``P61`` fold the
+    NumPy path runs -- and scatter/gather/ESTIMATE fuse the hash with the
+    table access, so no ``(H, n)`` index array ever materializes.
+    """
 
     def __init__(self, rows: Sequence[_PolynomialBase], num_buckets: int) -> None:
         super().__init__(rows, num_buckets)
@@ -213,9 +252,60 @@ class StackedPolynomialHash(StackedHash):
             raise ValueError(f"mixed polynomial degrees: {sorted(degrees)}")
         self._degree = degrees.pop()
         # (H, degree) coefficient matrix; column j is coefficient c_j.
-        self._coeffs = np.stack([h._coeffs for h in rows])
+        self._coeffs = np.ascontiguousarray(
+            np.stack([h._coeffs for h in rows]), dtype=np.uint64
+        )
+        self._kernels: Optional[SketchKernels] = get_kernels()
+
+    @property
+    def kernel_accelerated(self) -> bool:
+        return self._kernels is not None
 
     def hash_all(self, keys: np.ndarray) -> np.ndarray:
+        if self._kernels is not None:
+            keys = keys.astype(np.uint64, copy=False)
+            return self._kernels.poly_hash(keys, self._coeffs, self._num_buckets)
+        return self._hash_all_numpy(keys)
+
+    def scatter_add(self, table, keys, values) -> None:
+        if (
+            self._kernels is not None
+            and table.flags.c_contiguous
+            and table.dtype == np.float64
+            and table.shape[1] == self._num_buckets
+        ):
+            keys = keys.astype(np.uint64, copy=False)
+            self._kernels.poly_update(table, keys, values, self._coeffs)
+            return
+        super().scatter_add(table, keys, values)
+
+    def gather(self, table, keys) -> np.ndarray:
+        if (
+            self._kernels is not None
+            and table.flags.c_contiguous
+            and table.dtype == np.float64
+            and table.shape[1] == self._num_buckets
+        ):
+            keys = keys.astype(np.uint64, copy=False)
+            return self._kernels.poly_gather(table, keys, self._coeffs)
+        return super().gather(table, keys)
+
+    def estimate_median(self, table, keys, mean_share, denom):
+        if (
+            self._kernels is not None
+            and self._depth <= MAX_ESTIMATE_DEPTH
+            and table.flags.c_contiguous
+            and table.dtype == np.float64
+            and table.shape[1] == self._num_buckets
+        ):
+            keys = keys.astype(np.uint64, copy=False)
+            return self._kernels.poly_estimate(
+                table, keys, self._coeffs, mean_share, denom
+            )
+        return None
+
+    def _hash_all_numpy(self, keys: np.ndarray) -> np.ndarray:
+        """Pure-NumPy broadcast Horner (also the no-compiler fallback)."""
         keys = keys.astype(np.uint64, copy=False)
         x = (keys >> np.uint64(61)) + (keys & np.uint64(P61))
         x = np.where(x >= np.uint64(P61), x - np.uint64(P61), x)
@@ -279,6 +369,30 @@ def gather_indices(table: np.ndarray, indices: np.ndarray) -> np.ndarray:
     return np.take_along_axis(table, indices, axis=1)
 
 
+def estimate_median_indices(
+    table: np.ndarray,
+    indices: np.ndarray,
+    mean_share: float,
+    denom: float,
+) -> Optional[np.ndarray]:
+    """Fused ESTIMATE from precomputed ``(H, n)`` bucket indices.
+
+    Returns ``median_i((table[i][idx[i,j]] - mean_share) / denom)`` as an
+    ``(n,)`` vector when the kernel covers the request, else ``None``
+    (caller falls back to gather + transform + ``np.median``).
+    """
+    kernels = get_kernels()
+    if (
+        kernels is not None
+        and table.shape[0] <= MAX_ESTIMATE_DEPTH
+        and table.flags.c_contiguous
+        and table.dtype == np.float64
+    ):
+        indices = np.asarray(indices, dtype=np.int64)
+        return kernels.estimate_indices(table, indices, mean_share, denom)
+    return None
+
+
 def fused_signed_update(
     bucket_stack: StackedHash,
     sign_stack: StackedHash,
@@ -288,23 +402,37 @@ def fused_signed_update(
 ) -> bool:
     """Count-Sketch fused UPDATE (``table[i][h_i(a)] += s_i(a) * u``).
 
-    Returns ``True`` when the C kernel handled the update; ``False`` means
+    Returns ``True`` when a C kernel handled the update; ``False`` means
     the caller must run the reference (hash + signed scatter) path.
+    Covers tabulation stacks (reduced-strip layout) and polynomial stacks
+    of a shared degree; mixed or exotic compositions decline.
     """
-    if not (
+    if not (table.flags.c_contiguous and table.dtype == np.float64):
+        return False
+    if (
         isinstance(bucket_stack, StackedTabulationHash)
         and isinstance(sign_stack, StackedTabulationHash)
         and bucket_stack._r0 is not None
         and sign_stack._r0 is not None
         and bucket_stack._kernels is not None
-        and table.flags.c_contiguous
-        and table.dtype == np.float64
     ):
-        return False
-    keys = bucket_stack._check_keys(keys)
-    bucket_stack._kernels.update_signed(
-        table, keys, values,
-        bucket_stack._r0, bucket_stack._r1, bucket_stack._r2,
-        sign_stack._r0, sign_stack._r1, sign_stack._r2,
-    )
-    return True
+        keys = bucket_stack._check_keys(keys)
+        bucket_stack._kernels.update_signed(
+            table, keys, values,
+            bucket_stack._r0, bucket_stack._r1, bucket_stack._r2,
+            sign_stack._r0, sign_stack._r1, sign_stack._r2,
+        )
+        return True
+    if (
+        isinstance(bucket_stack, StackedPolynomialHash)
+        and isinstance(sign_stack, StackedPolynomialHash)
+        and bucket_stack._kernels is not None
+        and bucket_stack._degree == sign_stack._degree
+        and table.shape[1] == bucket_stack._num_buckets
+    ):
+        keys = keys.astype(np.uint64, copy=False)
+        bucket_stack._kernels.poly_update_signed(
+            table, keys, values, bucket_stack._coeffs, sign_stack._coeffs
+        )
+        return True
+    return False

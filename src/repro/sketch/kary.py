@@ -42,6 +42,7 @@ import numpy as np
 
 from repro.hashing import (
     derive_seeds,
+    estimate_median_indices,
     gather_indices,
     make_family,
     make_stacked,
@@ -309,7 +310,27 @@ class KArySketch(LinearSummary):
         indices:
             Optional precomputed ``schema.bucket_indices(keys)`` to avoid
             re-hashing when several sketches are probed with one key set.
+
+        When the compiled kernels are available the whole pipeline --
+        hash (or index gather), the per-row unbiased transform, and the
+        median across rows -- runs fused in C, one pass per key, with no
+        ``(H, n)`` intermediate.  The result is bit-identical to the
+        NumPy reference either way.
         """
+        k = self._schema.width
+        mean_share = self.total() / k
+        denom = 1.0 - 1.0 / k
+        if indices is None:
+            keys = SummaryConvention.as_key_array(keys)
+            fused = self._schema._stacked.estimate_median(
+                self._table, keys, mean_share, denom
+            )
+        else:
+            fused = estimate_median_indices(
+                self._table, indices, mean_share, denom
+            )
+        if fused is not None:
+            return fused
         return np.median(self.estimate_rows(keys, indices=indices), axis=0)
 
     # -- ESTIMATEF2 --------------------------------------------------------

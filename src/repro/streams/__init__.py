@@ -33,7 +33,12 @@ from repro.streams.keys import (
     make_key_scheme,
     make_value_scheme,
 )
-from repro.streams.model import IntervalStream, KeyedUpdates, StreamItem
+from repro.streams.model import (
+    ColumnarBlock,
+    IntervalStream,
+    KeyedUpdates,
+    StreamItem,
+)
 from repro.streams.netflow import (
     NETFLOW_MAGIC,
     read_trace,
@@ -58,6 +63,8 @@ from repro.streams.sharding import (
     SHARD_METHODS,
     BoundedChunkFeeder,
     iter_interval_chunks,
+    iter_interval_columns,
+    partition_columns,
     partition_records,
     shard_assignments,
     splitmix64,
@@ -65,6 +72,7 @@ from repro.streams.sharding import (
 
 __all__ = [
     "BoundedChunkFeeder",
+    "ColumnarBlock",
     "FLOW_RECORD_DTYPE",
     "IntervalSlicer",
     "SHARD_METHODS",
@@ -79,9 +87,11 @@ __all__ = [
     "empty_records",
     "interval_bounds",
     "iter_interval_chunks",
+    "iter_interval_columns",
     "make_key_scheme",
     "make_records",
     "make_value_scheme",
+    "partition_columns",
     "partition_records",
     "read_trace",
     "read_trace_csv",

@@ -41,6 +41,32 @@ class KeyedUpdates:
             yield StreamItem(key, value)
 
 
+@dataclass
+class ColumnarBlock:
+    """A zero-copy columnar ingest unit: one interval's key/value columns.
+
+    The columnar ingest path hands the engine contiguous ``uint64`` key
+    and ``float64`` value arrays (typically unit-stride views into
+    columns extracted once per trace) instead of per-chunk record
+    objects.  Downstream consumers (:meth:`StreamingSession.ingest_columns`,
+    the sharded engine, :class:`OfflineTwoPassDetector`) pass these
+    arrays straight into the fused UPDATE kernels without copying --
+    ``np.shares_memory`` holds from feeder to sketch.
+
+    Duck-type compatible with :class:`KeyedUpdates` (``index``, ``keys``,
+    ``values``, ``duration``, ``__len__``), so any batch consumer accepts
+    either.
+    """
+
+    index: int
+    keys: np.ndarray    # uint64, 1-D
+    values: np.ndarray  # float64, 1-D
+    duration: float = 0.0
+
+    def __len__(self) -> int:
+        return len(self.keys)
+
+
 Slicer = Union[IntervalSlicer, RandomizedIntervalSlicer]
 
 

@@ -16,10 +16,17 @@ This module provides the shard-assignment side of that bargain:
     Re-chunk a sorted trace so no chunk straddles an analysis-interval
     boundary -- the partition step an engine runs before handing chunks
     to workers, so every worker task belongs to exactly one interval.
+:func:`iter_interval_columns` / :func:`partition_columns`
+    The columnar (zero-copy) counterparts: key/value columns are
+    extracted **once** for the whole trace, then every yielded
+    :class:`~repro.streams.model.ColumnarBlock` is a unit-stride view
+    into them -- no per-chunk extraction, no per-chunk copies, and the
+    arrays flow into the fused UPDATE kernels unmodified.
 :class:`BoundedChunkFeeder`
     A bounded producer/consumer queue over a chunk iterator, so a slow
     source (disk, socket) is read ahead of ingestion without unbounded
-    buffering.
+    buffering.  Item-agnostic: feeds record chunks and columnar blocks
+    alike.
 """
 
 from __future__ import annotations
@@ -30,7 +37,13 @@ from typing import Iterable, Iterator, List, Optional, Union
 
 import numpy as np
 
-from repro.streams.keys import KeyScheme, make_key_scheme
+from repro.streams.keys import (
+    KeyScheme,
+    ValueScheme,
+    make_key_scheme,
+    make_value_scheme,
+)
+from repro.streams.model import ColumnarBlock
 from repro.streams.records import validate_records
 
 SHARD_METHODS = ("hash", "round_robin", "block")
@@ -150,6 +163,124 @@ def iter_interval_chunks(
         else:
             for start in range(lo, hi, chunk_records):
                 yield records[start : min(start + chunk_records, hi)]
+
+
+def iter_interval_columns(
+    records: np.ndarray,
+    interval_seconds: float,
+    key_scheme: Union[KeyScheme, str] = "dst_ip",
+    value_scheme: Union[ValueScheme, str] = "bytes",
+    chunk_records: Optional[int] = None,
+) -> Iterator[ColumnarBlock]:
+    """Yield zero-copy :class:`ColumnarBlock` views over a sorted trace.
+
+    The columnar twin of :func:`iter_interval_chunks`: key and value
+    columns are extracted (and dtype-cast) **once** for the whole trace;
+    every yielded block's ``keys``/``values`` are then unit-stride views
+    into those two arrays (``np.shares_memory`` holds), split on
+    analysis-interval boundaries and optionally capped at
+    ``chunk_records`` rows.  Feeding the blocks to
+    :meth:`StreamingSession.ingest_columns` reproduces record-chunk
+    ingestion bit for bit while skipping all per-chunk extraction work
+    and intermediate copies.
+    """
+    validate_records(records)
+    if interval_seconds <= 0:
+        raise ValueError(f"interval_seconds must be > 0, got {interval_seconds}")
+    if chunk_records is not None and chunk_records < 1:
+        raise ValueError(f"chunk_records must be >= 1, got {chunk_records}")
+    if not len(records):
+        return
+    timestamps = records["timestamp"]
+    if len(records) > 1 and not np.all(np.diff(timestamps) >= 0):
+        order = np.argsort(timestamps, kind="stable")
+        records = records[order]
+        timestamps = records["timestamp"]
+    if isinstance(key_scheme, str):
+        key_scheme = make_key_scheme(key_scheme)
+    if isinstance(value_scheme, str):
+        value_scheme = make_value_scheme(value_scheme)
+    # The only copies on this path: one cast per column, for the whole
+    # trace.  Everything downstream is a view.
+    keys = np.ascontiguousarray(key_scheme.extract(records), dtype=np.uint64)
+    values = np.ascontiguousarray(
+        value_scheme.extract(records), dtype=np.float64
+    )
+    indices = (timestamps // interval_seconds).astype(np.int64)
+    uniq, starts = np.unique(indices, return_index=True)
+    bounds = np.append(starts, len(records))
+    duration = float(interval_seconds)
+    for b in range(len(bounds) - 1):
+        lo, hi = int(bounds[b]), int(bounds[b + 1])
+        index = int(uniq[b])
+        if chunk_records is None:
+            yield ColumnarBlock(
+                index=index, keys=keys[lo:hi], values=values[lo:hi],
+                duration=duration,
+            )
+        else:
+            for start in range(lo, hi, chunk_records):
+                end = min(start + chunk_records, hi)
+                yield ColumnarBlock(
+                    index=index, keys=keys[start:end],
+                    values=values[start:end], duration=duration,
+                )
+
+
+def partition_columns(
+    block: ColumnarBlock,
+    n_shards: int,
+    method: str = "block",
+) -> List[ColumnarBlock]:
+    """Split one columnar block into ``n_shards`` per-shard blocks.
+
+    ``"block"`` (the default) slices contiguous runs, so the shards stay
+    zero-copy views of the parent's columns.  ``"hash"`` routes by
+    ``splitmix64(key) % n_shards`` and ``"round_robin"`` deals rows out
+    cyclically; both group by fancy indexing, which necessarily copies --
+    use them only when key affinity or strict balance matters more than
+    the copy.  In-shard relative order is preserved by every method, so
+    per-cell accumulation order (and hence the sketch tables, exactly)
+    matches unsharded ingestion after COMBINE.
+    """
+    if n_shards < 1:
+        raise ValueError(f"n_shards must be >= 1, got {n_shards}")
+    if n_shards == 1:
+        return [block]
+    n = len(block)
+    if method == "block":
+        bounds = [n * s // n_shards for s in range(n_shards + 1)]
+        return [
+            ColumnarBlock(
+                index=block.index,
+                keys=block.keys[bounds[s] : bounds[s + 1]],
+                values=block.values[bounds[s] : bounds[s + 1]],
+                duration=block.duration,
+            )
+            for s in range(n_shards)
+        ]
+    if method == "hash":
+        shards = (splitmix64(block.keys) % np.uint64(n_shards)).astype(np.int64)
+    elif method == "round_robin":
+        shards = np.arange(n, dtype=np.int64) % n_shards
+    else:
+        raise ValueError(
+            f"unknown shard method {method!r} (expected {SHARD_METHODS})"
+        )
+    order = np.argsort(shards, kind="stable")
+    keys = block.keys[order]
+    values = block.values[order]
+    counts = np.bincount(shards, minlength=n_shards)
+    bounds = np.concatenate([[0], np.cumsum(counts)])
+    return [
+        ColumnarBlock(
+            index=block.index,
+            keys=keys[bounds[s] : bounds[s + 1]],
+            values=values[bounds[s] : bounds[s + 1]],
+            duration=block.duration,
+        )
+        for s in range(n_shards)
+    ]
 
 
 class BoundedChunkFeeder:

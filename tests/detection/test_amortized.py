@@ -44,8 +44,8 @@ def schema():
 
 @pytest.fixture
 def poly_schema():
-    # Polynomial hashing is the family where the auto rule actually
-    # attaches a cache (tabulation kernels beat it); exercise that too.
+    # Polynomial hashing: kernel-fused when a compiler is available,
+    # NumPy Horner (where the auto cache rule attaches) otherwise.
     return KArySchema(depth=5, width=2048, seed=3, family="polynomial")
 
 
@@ -103,7 +103,19 @@ class TestTwoPassEquivalence:
         ):
             _assert_reports_identical(detect(**knobs), reference)
 
-    def test_polynomial_schema_cache_attaches(self, poly_schema, records):
+    def test_polynomial_schema_cache_attaches(
+        self, poly_schema, records, monkeypatch
+    ):
+        """Auto cache rule under the fused kernels, both worlds.
+
+        With kernels compiled, polynomial hashing is kernel-accelerated
+        and the auto rule attaches no cache; with kernels unavailable the
+        NumPy Horner fallback is slow enough that the cache attaches and
+        pays off.  Reports are bit-identical across all four combinations.
+        """
+        from repro.hashing import hashing_accelerated
+        import repro.hashing._kernels as _kernels
+
         stream = IntervalStream(records, interval_seconds=INTERVAL)
         reference = OfflineTwoPassDetector(
             poly_schema, "ewma", alpha=0.4, t_fraction=0.05, top_n=10,
@@ -112,9 +124,25 @@ class TestTwoPassEquivalence:
         amortized = OfflineTwoPassDetector(
             poly_schema, "ewma", alpha=0.4, t_fraction=0.05, top_n=10,
         )
-        assert amortized.index_cache is not None  # auto rule attached it
+        assert (amortized.index_cache is None) == hashing_accelerated(
+            poly_schema
+        )
         _assert_reports_identical(amortized.detect(stream), reference)
-        assert amortized.index_cache.hits > 0
+
+        # Kernels force-disabled: the schema (built inside the patch)
+        # falls back to NumPy hashing, the cache attaches, and it hits --
+        # recurring keys across intervals.  Reports stay identical.
+        monkeypatch.setattr(_kernels, "_KERNELS", None)
+        slow_schema = KArySchema(
+            depth=5, width=2048, seed=3, family="polynomial"
+        )
+        fallback = OfflineTwoPassDetector(
+            slow_schema, "ewma", alpha=0.4, t_fraction=0.05, top_n=10,
+        )
+        assert fallback.index_cache is not None  # auto rule attached it
+        _assert_reports_identical(fallback.detect(stream), reference)
+        cache = fallback.index_cache
+        assert cache is not None and cache.hits > 0  # recurrent, not dropped
 
     def test_prescreen_counters(self, schema, records):
         detector = OfflineTwoPassDetector(
@@ -213,12 +241,23 @@ class TestSessionEquivalence:
 
 class TestCheckpointInteraction:
     def test_cache_never_checkpointed_and_resume_identical(
-        self, poly_schema, records
+        self, records, monkeypatch
     ):
-        """A mid-run checkpoint restores with a *fresh* cache, same reports."""
+        """A mid-run checkpoint restores with a *fresh* cache, same reports.
+
+        Runs with kernels force-disabled: that is the world where the
+        auto rule still attaches a cache to polynomial hashing (with
+        kernels compiled there is no cache to checkpoint in the first
+        place).
+        """
+        import repro.hashing._kernels as _kernels
+
+        monkeypatch.setattr(_kernels, "_KERNELS", None)
+
         def make():
             return StreamingSession(
-                poly_schema, "ewma", alpha=0.4, interval_seconds=INTERVAL,
+                KArySchema(depth=5, width=2048, seed=3, family="polynomial"),
+                "ewma", alpha=0.4, interval_seconds=INTERVAL,
                 t_fraction=0.05, top_n=10,
             )
 

@@ -1,0 +1,242 @@
+"""Columnar ingest equivalence and the runtime index-cache drop.
+
+``StreamingSession.ingest_columns`` /
+``OfflineTwoPassDetector.run(ColumnarBlock...)`` are the zero-copy twins
+of record-chunk ingestion: same intervals, same sketches, bit-identical
+reports.  The second half covers the adaptive cache satellite: an
+auto-attached bucket-index cache is retired at runtime when the measured
+key recurrence is too low to pay for the probes, falling back to
+cache-off -- never to forced cache-on -- with reports unaffected.
+"""
+
+import numpy as np
+import pytest
+
+import repro.hashing._kernels as _kernels
+from repro.detection import (
+    OfflineTwoPassDetector,
+    ShardedStreamingSession,
+    StreamingSession,
+)
+from repro.detection.session import _CACHE_PROBATION_LOOKUPS
+from repro.hashing.index_cache import BucketIndexCache
+from repro.sketch import KArySchema
+from repro.streams import (
+    ColumnarBlock,
+    IntervalStream,
+    iter_interval_columns,
+    make_records,
+)
+
+INTERVAL = 300.0
+CHUNK = 1024
+
+
+@pytest.fixture
+def schema():
+    return KArySchema(depth=5, width=2048, seed=3)
+
+
+@pytest.fixture
+def records(rng):
+    n = 16000
+    return make_records(
+        timestamps=np.sort(rng.uniform(0, 3000, n)),
+        dst_ips=rng.integers(0, 600, n).astype(np.uint32),
+        byte_counts=rng.pareto(1.3, n) * 500 + 40,
+    )
+
+
+def _no_recurrence_records(n_intervals=2 * _CACHE_PROBATION_LOOKUPS + 4,
+                           per_interval=400):
+    """Every interval's keys are globally fresh: the cache can never hit."""
+    timestamps, keys = [], []
+    for t in range(n_intervals):
+        timestamps.append(t * INTERVAL + np.linspace(1, INTERVAL - 1,
+                                                     per_interval))
+        keys.append(t * 100_000 + np.arange(per_interval))
+    return make_records(
+        timestamps=np.concatenate(timestamps),
+        dst_ips=np.concatenate(keys).astype(np.uint32),
+        byte_counts=np.full(n_intervals * per_interval, 700.0),
+    )
+
+
+def _assert_reports_identical(got, reference):
+    assert len(got) == len(reference)
+    for a, b in zip(got, reference):
+        assert a.index == b.index
+        assert a.threshold == b.threshold
+        assert a.error_l2 == b.error_l2
+        assert [(x.key, x.estimated_error) for x in a.alarms] == [
+            (x.key, x.estimated_error) for x in b.alarms
+        ]
+        assert np.array_equal(a.top_keys, b.top_keys)
+        assert np.array_equal(a.top_errors, b.top_errors)
+
+
+def _run_records(session, records, chunk=CHUNK):
+    reports = []
+    for start in range(0, len(records), chunk):
+        reports.extend(session.ingest(records[start : start + chunk]))
+    reports.extend(session.flush())
+    if hasattr(session, "close"):
+        session.close()
+    return reports
+
+
+def _run_columns(session, records, chunk_records=None):
+    reports = []
+    for block in iter_interval_columns(records, INTERVAL,
+                                       chunk_records=chunk_records):
+        reports.extend(session.ingest_columns(block))
+    reports.extend(session.flush())
+    if hasattr(session, "close"):
+        session.close()
+    return reports
+
+
+class TestColumnarEquivalence:
+    def _session(self, schema, **knobs):
+        return StreamingSession(
+            schema, "ewma", alpha=0.4, interval_seconds=INTERVAL,
+            t_fraction=0.05, top_n=10, **knobs,
+        )
+
+    @pytest.mark.parametrize("chunk_records", [None, 512])
+    def test_serial_session(self, schema, records, chunk_records):
+        reference = _run_records(self._session(schema), records)
+        columnar = _run_columns(
+            self._session(schema), records, chunk_records=chunk_records
+        )
+        _assert_reports_identical(columnar, reference)
+
+    def test_sharded_session(self, schema, records):
+        reference = _run_records(self._session(schema), records)
+        for n_workers in (1, 3):
+            session = ShardedStreamingSession(
+                schema, "ewma", alpha=0.4, interval_seconds=INTERVAL,
+                t_fraction=0.05, top_n=10, n_workers=n_workers,
+            )
+            _assert_reports_identical(
+                _run_columns(session, records), reference
+            )
+
+    def test_twopass_accepts_blocks(self, schema, records):
+        def detector():
+            return OfflineTwoPassDetector(
+                schema, "ewma", alpha=0.4, t_fraction=0.05, top_n=10
+            )
+
+        reference = detector().detect(
+            IntervalStream(records, interval_seconds=INTERVAL)
+        )
+        columnar = detector().detect(iter_interval_columns(records, INTERVAL))
+        _assert_reports_identical(columnar, reference)
+
+    def test_out_of_order_block_rejected(self, schema):
+        session = self._session(schema)
+        keys = np.arange(10, dtype=np.uint64)
+        values = np.ones(10)
+        session.ingest_columns(
+            ColumnarBlock(index=4, keys=keys, values=values)
+        )
+        with pytest.raises(ValueError, match="nondecreasing"):
+            session.ingest_columns(
+                ColumnarBlock(index=3, keys=keys, values=values)
+            )
+
+    def test_shape_validation(self, schema):
+        session = self._session(schema)
+        with pytest.raises(ValueError, match="1-D"):
+            session.ingest_columns(
+                ColumnarBlock(
+                    index=0,
+                    keys=np.arange(4, dtype=np.uint64),
+                    values=np.ones(3),
+                )
+            )
+
+    def test_counts_and_watermark(self, schema):
+        session = self._session(schema)
+        keys = np.arange(64, dtype=np.uint64)
+        session.ingest_columns(
+            ColumnarBlock(index=2, keys=keys, values=np.ones(64))
+        )
+        assert session.records_ingested == 64
+        assert session.watermark == 2 * INTERVAL
+
+
+class TestRuntimeCacheDrop:
+    """Auto caches retire when measured recurrence is too low."""
+
+    def _poly_session(self, **knobs):
+        # Built by callers *inside* a kernels-off patch so the auto rule
+        # attaches a cache (with kernels compiled there is none to drop).
+        return StreamingSession(
+            KArySchema(depth=5, width=2048, seed=3, family="polynomial"),
+            "ewma", alpha=0.4, interval_seconds=INTERVAL,
+            t_fraction=0.05, top_n=10, **knobs,
+        )
+
+    def test_zero_recurrence_drops_cache(self, monkeypatch):
+        monkeypatch.setattr(_kernels, "_KERNELS", None)
+        records = _no_recurrence_records()
+        reference = _run_records(self._poly_session(index_cache=False),
+                                 records)
+
+        session = self._poly_session()
+        cache = session.index_cache
+        assert cache is not None  # auto rule attached it
+        reports = _run_records(session, records)
+        assert session.index_cache is None  # ... and runtime dropped it
+        assert cache.hits == 0
+        assert cache.lookups >= _CACHE_PROBATION_LOOKUPS
+        stats = session.stats
+        assert stats["index_cache"]["dropped"] is True
+        assert stats["index_cache"]["lookups"] == cache.lookups
+        _assert_reports_identical(reports, reference)
+
+    def test_recurrent_stream_keeps_cache(self, rng, monkeypatch):
+        monkeypatch.setattr(_kernels, "_KERNELS", None)
+        n = 16000
+        records = make_records(
+            timestamps=np.sort(rng.uniform(0, 3000, n)),
+            dst_ips=rng.integers(0, 600, n).astype(np.uint32),
+            byte_counts=rng.pareto(1.3, n) * 500 + 40,
+        )
+        session = self._poly_session()
+        _run_records(session, records)
+        assert session.index_cache is not None  # high hit rate: kept
+        assert session.index_cache.hits > 0
+        assert "dropped" not in session.stats["index_cache"]
+
+    def test_forced_cache_never_dropped(self, monkeypatch):
+        monkeypatch.setattr(_kernels, "_KERNELS", None)
+        records = _no_recurrence_records()
+        schema = KArySchema(depth=5, width=2048, seed=3, family="polynomial")
+        forced = BucketIndexCache(schema)
+        session = StreamingSession(
+            schema, "ewma", alpha=0.4, interval_seconds=INTERVAL,
+            t_fraction=0.05, top_n=10, index_cache=forced,
+        )
+        _run_records(session, records)
+        assert session.index_cache is forced  # explicit caches are the
+        assert forced.lookups >= _CACHE_PROBATION_LOOKUPS  # caller's call
+
+    def test_twopass_drops_cache(self, monkeypatch):
+        monkeypatch.setattr(_kernels, "_KERNELS", None)
+        records = _no_recurrence_records()
+        schema = KArySchema(depth=5, width=2048, seed=3, family="polynomial")
+        stream = IntervalStream(records, interval_seconds=INTERVAL)
+        reference = OfflineTwoPassDetector(
+            schema, "ewma", alpha=0.4, t_fraction=0.05, top_n=10,
+            index_cache=False, prescreen=False,
+        ).detect(stream)
+        detector = OfflineTwoPassDetector(
+            schema, "ewma", alpha=0.4, t_fraction=0.05, top_n=10
+        )
+        assert detector.index_cache is not None
+        reports = detector.detect(stream)
+        assert detector.index_cache is None  # dropped mid-run
+        _assert_reports_identical(reports, reference)

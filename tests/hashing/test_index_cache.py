@@ -171,10 +171,31 @@ class TestSharedAndAutoRule:
         assert shared_index_cache(s1) is shared_index_cache(s2)
 
     def test_auto_rule_tracks_kernel_acceleration(self, schema):
-        """index_cache=True attaches a cache exactly when hashing is slow."""
-        assert hashing_accelerated(schema) == schema._stacked.kernel_accelerated
-        resolved = resolve_index_cache(schema, True)
-        assert (resolved is None) == hashing_accelerated(schema)
+        """index_cache=True attaches a cache exactly when hashing is slow.
+
+        With the fused kernels compiled, *every* family (tabulation and
+        polynomial/two-universal alike) hashes in C faster than a memo
+        gather, so no schema attaches a cache; with kernels unavailable
+        the NumPy fallbacks profit again and the cache comes back.
+        """
+        for s in (
+            schema,
+            KArySchema(depth=5, width=4096, seed=7, family="polynomial"),
+            KArySchema(depth=5, width=4096, seed=7, family="two-universal"),
+        ):
+            assert hashing_accelerated(s) == s._stacked.kernel_accelerated
+            resolved = resolve_index_cache(s, True)
+            assert (resolved is None) == hashing_accelerated(s)
+            if not hashing_accelerated(s):
+                assert isinstance(resolved, BucketIndexCache)
+
+    def test_auto_rule_attaches_cache_without_kernels(self, monkeypatch):
+        """With kernels force-disabled, the auto rule attaches a cache."""
+        import repro.hashing._kernels as _kernels
+
+        monkeypatch.setattr(_kernels, "_KERNELS", None)
+        # Schemas must be built inside the patch: stacks capture the
+        # kernel handle at construction.
         poly = KArySchema(depth=5, width=4096, seed=7, family="polynomial")
         assert not hashing_accelerated(poly)
         assert isinstance(resolve_index_cache(poly, True), BucketIndexCache)

@@ -18,6 +18,23 @@ class TestParser:
         assert "fig01" in out
         assert "table1" in out
 
+    def test_bench_parser(self):
+        args = build_parser().parse_args(
+            ["bench", "--quick", "--repeats", "1", "throughput"]
+        )
+        assert args.quick and args.repeats == 1
+        assert args.suites == ["throughput"]
+        assert args.output_dir is None
+        with pytest.raises(SystemExit):  # unknown suite name
+            build_parser().parse_args(["bench", "bogus"])
+
+    def test_bench_quick_throughput_runs(self, tmp_path, capsys):
+        assert main(["bench", "--quick", "--repeats", "1",
+                     "--output-dir", str(tmp_path), "throughput"]) == 0
+        out = capsys.readouterr().out
+        assert "UPDATE" in out and "ESTIMATE" in out
+        assert (tmp_path / "BENCH_throughput.json").exists()
+
 
 class TestGenerateAndDetect:
     def test_generate_writes_trace(self, tmp_path, capsys):
