@@ -24,10 +24,11 @@ Subcommands
 ``repro resume session.kcp trace.bin``
     Restore a checkpointed session and continue over the remaining
     records -- reports are bit-identical to an uninterrupted run.
-``repro bench --quick [throughput detection]``
+``repro bench --quick [throughput detection recovery]``
     Run the performance benchmarks (fused-kernel UPDATE/ESTIMATE
-    throughput, amortized detection seal) and print the speedup tables.
-    Reports go to a scratch directory unless ``--output-dir`` is given.
+    throughput, amortized detection seal, replay-free key recovery) and
+    print the speedup tables.  Reports go to a scratch directory unless
+    ``--output-dir`` is given.
 ``repro monitor trace.bin --chunk-seconds 60 --metrics-out metrics.prom``
     Stream a trace through a live session in arrival-time chunks,
     periodically flushing pipeline metrics (Prometheus text or JSON)
@@ -131,8 +132,12 @@ def _write_metrics(recorder, args) -> None:
 
 
 def _cmd_detect(args: argparse.Namespace) -> int:
-    from repro.detection import OfflineTwoPassDetector
-    from repro.sketch import KArySchema
+    from repro.detection import (
+        GroupTestingSchema,
+        OfflineTwoPassDetector,
+        OnlineDetector,
+    )
+    from repro.sketch import InvertibleKArySchema, KArySchema
     from repro.streams import IntervalStream, read_trace
 
     records = read_trace(args.trace)
@@ -150,14 +155,37 @@ def _cmd_detect(args: argparse.Namespace) -> int:
     if args.window is not None:
         model_params["window"] = args.window
     recorder = _make_recorder(args)
-    detector = OfflineTwoPassDetector(
-        KArySchema(depth=args.depth, width=args.width, seed=args.seed),
-        args.model,
-        t_fraction=args.threshold,
-        top_n=args.top_n,
-        recorder=recorder,
-        **model_params,
-    )
+    # The key source dictates the summary type: invertible recovery needs
+    # the candidate/vote planes, group testing needs per-bit subcounters;
+    # replay and online work on the plain k-ary sketch.
+    if args.key_source == "invertible":
+        schema = InvertibleKArySchema(
+            depth=args.depth, width=args.width, seed=args.seed
+        )
+    elif args.key_source == "grouptesting":
+        schema = GroupTestingSchema(
+            depth=args.depth, width=args.width, seed=args.seed
+        )
+    else:
+        schema = KArySchema(depth=args.depth, width=args.width, seed=args.seed)
+    if args.key_source == "online":
+        detector = OnlineDetector(
+            schema,
+            args.model,
+            t_fraction=args.threshold,
+            recorder=recorder,
+            **model_params,
+        )
+    else:
+        detector = OfflineTwoPassDetector(
+            schema,
+            args.model,
+            t_fraction=args.threshold,
+            top_n=args.top_n,
+            key_source=args.key_source,
+            recorder=recorder,
+            **model_params,
+        )
     for report in detector.run(stream):
         line = (
             f"interval {report.index:4d}  "
@@ -174,9 +202,12 @@ def _cmd_detect(args: argparse.Namespace) -> int:
             line += f"  top=[{top}]"
         print(line)
     if args.stats:
-        stats = {"detection": detector.stats}
-        if detector.index_cache is not None:
-            stats["index_cache"] = detector.index_cache.stats
+        stats = {}
+        if getattr(detector, "stats", None) is not None:
+            stats["detection"] = detector.stats
+        cache = getattr(detector, "index_cache", None)
+        if cache is not None:
+            stats["index_cache"] = cache.stats
         for line in _format_stats_lines(stats):
             print(line)
     _write_metrics(recorder, args)
@@ -414,7 +445,7 @@ def _cmd_gridsearch(args: argparse.Namespace) -> int:
     return 0
 
 
-_BENCH_SUITES = ("throughput", "detection")
+_BENCH_SUITES = ("throughput", "detection", "recovery")
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
@@ -504,6 +535,13 @@ def build_parser() -> argparse.ArgumentParser:
                        help="alarm threshold fraction T")
     p_det.add_argument("--top-n", type=int, default=0,
                        help="also report top-N keys by |error|")
+    p_det.add_argument("--key-source", default="twopass",
+                       choices=("twopass", "online", "invertible",
+                                "grouptesting"),
+                       help="candidate-key strategy: replay the interval "
+                       "(twopass), use next-interval keys (online), walk "
+                       "invertible-sketch candidate slots (invertible), or "
+                       "decode group-testing subcounters (grouptesting)")
     p_det.add_argument("--alpha", type=float, default=None)
     p_det.add_argument("--beta", type=float, default=None)
     p_det.add_argument("--window", type=int, default=None)

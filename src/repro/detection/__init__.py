@@ -19,6 +19,10 @@ Built from small pieces:
 * :mod:`~repro.detection.grouptesting` -- combinatorial group testing
   sketch that recovers changed keys directly from (modified) sketch state,
   with no key stream at all (the paper's Section 3.3 fourth alternative).
+* :mod:`~repro.detection.keysource` -- the registry that names those
+  candidate-key strategies (``twopass``, ``online``, ``invertible``,
+  ``grouptesting``) and resolves one per sealed interval, so detectors and
+  sessions share a single code path for "where do the keys come from".
 * :mod:`~repro.detection.checkpoint` -- session checkpoint/restore: the
   full pipeline state (forecaster internals, open-interval accumulation,
   cursors) round-trips through one ``KCP1`` container and resumes
@@ -46,6 +50,12 @@ from repro.detection.drilldown import (
 from repro.detection.explain import AlarmExplanation, explain_alarm
 from repro.detection.grouptesting import GroupTestingSchema, GroupTestingSketch
 from repro.detection.heavyhitters import HeavyHitterTracker, heavy_hitters
+from repro.detection.keysource import (
+    KEY_SOURCES,
+    collect_replay_keys,
+    register_key_source,
+    resolve_key_source,
+)
 from repro.detection.online import OnlineDetector
 from repro.detection.perflow import PerFlowResult, run_per_flow
 from repro.detection.session import StreamingSession, resolve_index_cache
@@ -84,6 +94,7 @@ __all__ = [
     "heavy_hitters",
     "GroupTestingSketch",
     "IntervalDetection",
+    "KEY_SOURCES",
     "OfflineTwoPassDetector",
     "OnlineDetector",
     "PerFlowResult",
@@ -95,13 +106,16 @@ __all__ = [
     "alarms_for_interval",
     "build_interval_report",
     "checkpoint_session",
+    "collect_replay_keys",
     "load_checkpoint",
     "restore_session",
     "save_checkpoint",
     "forecast_error_stream",
     "interval_key_sets",
     "parallel_trace_detect",
+    "register_key_source",
     "resolve_index_cache",
+    "resolve_key_source",
     "run_per_flow",
     "sketch_traces_parallel",
     "summarize_stream",

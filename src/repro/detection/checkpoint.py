@@ -146,6 +146,7 @@ def checkpoint_session(session: StreamingSession) -> bytes:
             "t_fraction": session.t_fraction,
             "top_n": session.top_n,
             "lateness_tolerance": session.lateness_tolerance,
+            "key_source": session.key_source,
         },
         "cursor": {
             "current_index": session.current_interval,
@@ -215,6 +216,9 @@ def restore_session(
         "t_fraction": config["t_fraction"],
         "top_n": config["top_n"],
         "lateness_tolerance": config["lateness_tolerance"],
+        # Pre-key-source checkpoints (through PR 6) implicitly used the
+        # two-pass collection strategy; .get keeps them restorable.
+        "key_source": config.get("key_source", "twopass"),
     }
     if meta["session"] == "sharded":
         sharded = meta["sharded"]

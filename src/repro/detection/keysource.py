@@ -1,0 +1,187 @@
+"""Key-source registry: where an interval's candidate keys come from.
+
+Every detector ends at the same place -- :func:`build_interval_report`
+probing an error summary with a set of candidate keys -- but the package
+now has four distinct ways of *producing* those candidates:
+
+``"twopass"``
+    Replay the interval's (and optionally recent intervals') observed
+    keys against the sealed error sketch.  Exact but O(stream): the
+    paper's offline strategy.
+``"online"``
+    Use the *next* interval's arriving keys (optionally subsampled).
+    Single-pass, one interval of latency, misses keys that never return.
+``"invertible"``
+    Walk the invertible sketch's candidate buckets
+    (:meth:`~repro.sketch.invertible.InvertibleKArySketch.recover_candidates`)
+    -- O(H*K), no second pass and no key retention at all.
+``"grouptesting"``
+    Bit-decode the group-testing sketch's hot buckets
+    (:meth:`~repro.detection.grouptesting.GroupTestingSketch.recover_keys`).
+
+Historically the first two were open-coded in ``detection/twopass.py``
+and ``detection/online.py``; this module centralizes selection so a new
+source is a :func:`register_key_source` call, not another copy of the
+collection logic.  Every resolution of a recovering source is timed into
+``repro_stage_seconds{stage="recover"}`` and tallied per source in
+``repro_key_source_candidates_total{source=...}``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.detection.threshold import alarm_threshold
+from repro.obs.recorder import NULL_RECORDER
+
+__all__ = [
+    "KEY_SOURCES",
+    "collect_replay_keys",
+    "register_key_source",
+    "resolve_key_source",
+]
+
+#: Counter tallying candidates produced, labelled by key source.
+CANDIDATES_COUNTER = "repro_key_source_candidates_total"
+
+#: Resolver signature: ``(error_summary, threshold, collected) -> keys``.
+#: ``threshold`` is the interval's alarm threshold (``None`` when
+#: thresholding is disabled); ``collected`` is whatever key material the
+#: detector gathered from the stream (replay keys, future keys), or
+#: ``None`` for sources that recover keys from the summary itself.
+Resolver = Callable[[object, Optional[float], Optional[np.ndarray]], np.ndarray]
+
+
+def _collected_source(name: str):
+    def resolver(error_summary, threshold, collected):
+        if collected is None:
+            raise ValueError(
+                f"key source {name!r} needs stream-collected keys, got None"
+            )
+        return collected
+
+    return resolver
+
+
+def _invertible_source(error_summary, threshold, collected):
+    recover = getattr(error_summary, "recover_candidates", None)
+    if recover is None:
+        raise TypeError(
+            "key_source='invertible' needs an error summary with "
+            "recover_candidates (an InvertibleKArySketch); got "
+            f"{type(error_summary).__name__}"
+        )
+    return recover(0.0 if threshold is None else threshold)
+
+
+def _grouptesting_source(error_summary, threshold, collected):
+    recover = getattr(error_summary, "recover_keys", None)
+    if recover is None:
+        raise TypeError(
+            "key_source='grouptesting' needs an error summary with "
+            "recover_keys (a GroupTestingSketch); got "
+            f"{type(error_summary).__name__}"
+        )
+    if threshold is None or threshold <= 0.0:
+        raise ValueError(
+            "key_source='grouptesting' requires a positive alarm "
+            f"threshold (bucket decoding needs a cutoff), got {threshold}"
+        )
+    recovered = recover(threshold)
+    return np.array(sorted(recovered), dtype=np.uint64)
+
+
+_REGISTRY: Dict[str, Tuple[Resolver, bool]] = {}
+
+
+def register_key_source(
+    name: str, resolver: Resolver, *, recovers: bool = True
+) -> None:
+    """Register a candidate-key source under ``name``.
+
+    ``recovers=True`` marks sources that extract keys from the summary
+    itself; their resolution is timed into the ``recover`` stage.
+    Collected sources (two-pass, online) pass keys through untimed --
+    their collection cost lives in the detector's ingest loop.
+    """
+    if not name:
+        raise ValueError("key source name must be non-empty")
+    _REGISTRY[name] = (resolver, bool(recovers))
+
+
+register_key_source("twopass", _collected_source("twopass"), recovers=False)
+register_key_source("online", _collected_source("online"), recovers=False)
+register_key_source("invertible", _invertible_source)
+register_key_source("grouptesting", _grouptesting_source)
+
+#: The built-in sources, in CLI/documentation order.
+KEY_SOURCES = ("twopass", "online", "invertible", "grouptesting")
+
+
+def collect_replay_keys(recent_keys) -> np.ndarray:
+    """Merge per-interval replay key sets into one sorted unique array.
+
+    ``recent_keys`` is a sequence of per-interval ``np.unique``'d key
+    arrays, most recent last (the two-pass detector's lookback window).
+    With a single interval the array passes through unchanged -- bit for
+    bit the pre-registry behavior of both ``OfflineTwoPassDetector.run``
+    and ``parallel_trace_detect``.
+    """
+    recent = list(recent_keys)
+    if not recent:
+        return np.empty(0, dtype=np.uint64)
+    if len(recent) == 1:
+        return recent[-1]
+    return np.unique(np.concatenate(recent))
+
+
+def resolve_key_source(
+    source: str,
+    error_summary,
+    *,
+    t_fraction: Optional[float] = None,
+    collected: Optional[np.ndarray] = None,
+    recorder=None,
+) -> np.ndarray:
+    """Produce the candidate keys for one interval's report.
+
+    Parameters
+    ----------
+    source:
+        A registered key-source name (see :data:`KEY_SOURCES`).
+    error_summary:
+        The interval's sealed error summary (recovery sources walk it).
+    t_fraction:
+        Alarm threshold parameter ``T``; recovery sources derive their
+        bucket cutoff from :func:`alarm_threshold` over the error
+        summary, matching the report's own threshold exactly.
+    collected:
+        Stream-collected keys for the pass-through sources.
+    recorder:
+        Optional recorder; recovery walks are timed into
+        ``repro_stage_seconds{stage="recover"}`` and every resolution
+        tallies ``repro_key_source_candidates_total{source=...}``.
+    """
+    entry = _REGISTRY.get(source)
+    if entry is None:
+        raise ValueError(
+            f"unknown key source {source!r}; registered: "
+            f"{tuple(sorted(_REGISTRY))}"
+        )
+    resolver, recovers = entry
+    obs = NULL_RECORDER if recorder is None else recorder
+    if recovers:
+        # Recovery sources derive the bucket cutoff from the same rule
+        # the report will apply; pass-through sources skip the F2 pass.
+        threshold = None
+        if t_fraction is not None:
+            threshold = alarm_threshold(error_summary, t_fraction)
+        with obs.time("recover"):
+            keys = resolver(error_summary, threshold, collected)
+    else:
+        keys = resolver(error_summary, None, collected)
+    if obs.enabled:
+        obs.count(CANDIDATES_COUNTER, len(keys), source=source)
+    return keys

@@ -20,6 +20,11 @@ from typing import Iterable, Iterator, Optional, Union
 
 import numpy as np
 
+from repro.detection.keysource import (
+    CANDIDATES_COUNTER,
+    KEY_SOURCES,
+    resolve_key_source,
+)
 from repro.detection.threshold import IntervalDetection, build_interval_report
 from repro.forecast.base import Forecaster
 from repro.forecast.model_zoo import make_forecaster
@@ -86,6 +91,10 @@ class OnlineDetector:
             "repro_intervals_sealed_total", "repro_detect_candidates_total",
             "repro_alarms_total",
         )
+        self.recorder.preregister_labelled(
+            CANDIDATES_COUNTER, "source", KEY_SOURCES
+        )
+        self.recorder.preregister_stage("recover")
         # Stash the seed so every run() re-derives a fresh RNG from it.
         # Holding only the advanced generator (the old behavior) made a
         # second run() subsample *different* candidates from identical
@@ -116,7 +125,12 @@ class OnlineDetector:
             # New keys arriving now are the candidates for the PREVIOUS
             # interval's error sketch.
             if pending_error is not None:
-                candidates = np.unique(self._sample(batch.keys))
+                candidates = resolve_key_source(
+                    "online",
+                    pending_error,
+                    collected=np.unique(self._sample(batch.keys)),
+                    recorder=obs if obs.enabled else None,
+                )
                 yield self._report(pending_index, pending_error, candidates)
             observed = self.schema.from_items(batch.keys, batch.values)
             with obs.time("forecast_step"):

@@ -26,6 +26,11 @@ from typing import List, Optional, Union
 
 import numpy as np
 
+from repro.detection.keysource import (
+    CANDIDATES_COUNTER,
+    KEY_SOURCES,
+    resolve_key_source,
+)
 from repro.detection.threshold import IntervalDetection, build_interval_report
 from repro.forecast.base import Forecaster
 from repro.forecast.model_zoo import make_forecaster
@@ -129,6 +134,14 @@ class StreamingSession:
     prescreen:
         Exact median prescreen in the per-interval report (default on);
         see :func:`~repro.detection.threshold.build_interval_report`.
+    key_source:
+        Where each sealed interval's candidate keys come from (see
+        :mod:`~repro.detection.keysource`).  ``"twopass"`` (default)
+        collects the interval's own keys during ingestion -- reports
+        unchanged.  ``"invertible"`` / ``"grouptesting"`` recover
+        candidates from the sealed error summary, skipping per-chunk key
+        collection entirely (the schema must produce the matching
+        summary type).  Checkpointed with the session config.
     recorder:
         Optional :class:`~repro.obs.recorder.PipelineRecorder`.  When
         attached, the session reports stage timings (ingest, seal,
@@ -154,6 +167,7 @@ class StreamingSession:
         lateness_tolerance: float = 0.0,
         index_cache: Union[bool, BucketIndexCache] = True,
         prescreen: bool = True,
+        key_source: str = "twopass",
         recorder=None,
         **model_params,
     ) -> None:
@@ -186,11 +200,21 @@ class StreamingSession:
         self.top_n = int(top_n)
         self.lateness_tolerance = float(lateness_tolerance)
         self.prescreen = bool(prescreen)
+        if key_source == "online":
+            raise ValueError(
+                "key_source='online' needs the next interval's keys; "
+                "use repro.detection.online.OnlineDetector"
+            )
+        self.key_source = key_source
         self.recorder = NULL_RECORDER if recorder is None else recorder
         self.recorder.preregister(*_SESSION_COUNTERS)
         self.recorder.preregister_labelled(
             "repro_kernel_calls_total", "kernel", KERNEL_NAMES
         )
+        self.recorder.preregister_labelled(
+            CANDIDATES_COUNTER, "source", KEY_SOURCES
+        )
+        self.recorder.preregister_stage("recover")
         self._index_cache = resolve_index_cache(schema, index_cache)
         # Only auto-enabled caches are subject to the runtime recurrence
         # probation; a cache the caller passed in explicitly is theirs.
@@ -220,6 +244,10 @@ class StreamingSession:
         self.recorder.preregister_labelled(
             "repro_kernel_calls_total", "kernel", KERNEL_NAMES
         )
+        self.recorder.preregister_labelled(
+            CANDIDATES_COUNTER, "source", KEY_SOURCES
+        )
+        self.recorder.preregister_stage("recover")
 
     # -- introspection -------------------------------------------------------
 
@@ -403,7 +431,9 @@ class StreamingSession:
         keys = self.key_scheme.extract(chunk)
         values = self.value_scheme.extract(chunk)
         self._current_sketch.update_batch(keys, values)
-        if len(keys):
+        # Recovery key sources reconstruct candidates from the sealed
+        # summary; skipping the per-chunk np.unique is part of the win.
+        if len(keys) and self.key_source == "twopass":
             self._current_keys.append(np.unique(keys))
 
     def _accumulate_columns(self, keys: np.ndarray, values: np.ndarray) -> None:
@@ -413,7 +443,8 @@ class StreamingSession:
         pass straight into the sketch's fused UPDATE (no copies).
         """
         self._current_sketch.update_batch(keys, values)
-        self._current_keys.append(np.unique(keys))
+        if self.key_source == "twopass":
+            self._current_keys.append(np.unique(keys))
 
     def _collect_current(self):
         """Finish accumulation: return ``(observed_summary, unique_keys)``."""
@@ -488,6 +519,13 @@ class StreamingSession:
                         warmup=True, candidates=int(len(keys)),
                     )
                 return []
+            keys = resolve_key_source(
+                self.key_source,
+                step.error,
+                t_fraction=self.t_fraction,
+                collected=keys,
+                recorder=obs if obs.enabled else None,
+            )
             evaluated_before = self._detection_stats["median_evaluated"]
             with obs.time("report_build"):
                 report = build_interval_report(

@@ -44,6 +44,7 @@ from typing import Iterable, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from repro.detection.keysource import collect_replay_keys, resolve_key_source
 from repro.detection.pipeline import summarize_stream
 from repro.detection.session import StreamingSession
 from repro.detection.threshold import IntervalDetection, build_interval_report
@@ -81,12 +82,16 @@ def _process_worker_init(name: str, handle: SchemaHandle, n_slots: int) -> None:
     _WORKER_BLOCK = SharedTableBlock.attach(name, handle, n_slots)
 
 
-def _process_worker_seal(slot: int, keys: np.ndarray, values: np.ndarray):
+def _process_worker_seal(
+    slot: int, keys: np.ndarray, values: np.ndarray, collect_keys: bool = True
+):
     # Each slot is sealed by exactly one task per interval, so zeroing
     # here (instead of a parent-side sweep) keeps empty gap intervals free.
     _WORKER_BLOCK.slot(slot)[:] = 0.0
     _WORKER_BLOCK.summary(slot).update_batch(keys, values)
-    return np.unique(keys)
+    # Sessions with a recovering key source never read the key set; the
+    # per-shard dedup (and its pickle back) is skipped entirely.
+    return np.unique(keys) if collect_keys else None
 
 
 def _sketch_shard(schema, keys: np.ndarray, values: np.ndarray):
@@ -128,6 +133,13 @@ class ShardedIngestEngine:
         so a dying worker can delay a report but never lose one.
     retry_backoff:
         Base sleep (seconds) between retries, doubled each attempt.
+    collect_keys:
+        Whether :meth:`collect` also returns the interval's deduplicated
+        key set (default ``True``).  Sessions using a recovering key
+        source (invertible/group-testing) never read it, so disabling
+        skips the per-interval ``np.unique`` over every ingested key --
+        the sharded half of retiring the second pass.  :meth:`collect`
+        then returns an empty key array.
 
     The lifecycle per interval is ``open_interval()``, ``accumulate()``
     for each single-interval chunk, then ``collect()`` returning
@@ -148,6 +160,7 @@ class ShardedIngestEngine:
         task_timeout: Optional[float] = None,
         max_retries: int = 2,
         retry_backoff: float = 0.1,
+        collect_keys: bool = True,
         recorder=None,
     ) -> None:
         if n_workers < 1:
@@ -174,6 +187,7 @@ class ShardedIngestEngine:
         self.task_timeout = task_timeout
         self.max_retries = int(max_retries)
         self.retry_backoff = float(retry_backoff)
+        self.collect_keys = bool(collect_keys)
         self.recorder = NULL_RECORDER if recorder is None else recorder
         self.recorder.preregister_labelled(
             "repro_supervision_events_total", "event", _SUPERVISION_EVENTS
@@ -311,6 +325,8 @@ class ShardedIngestEngine:
         # the same work as single-shard ingestion, independent of
         # n_workers (per-shard dedup would make seals *more* expensive
         # as workers are added).
+        if not self.collect_keys:
+            return _EMPTY_KEYS
         return np.unique(
             shard_items[0][0]
             if len(shard_items) == 1
@@ -343,14 +359,19 @@ class ShardedIngestEngine:
             futures = []
             try:
                 futures = [
-                    self._pool.submit(_process_worker_seal, i, *items)
+                    self._pool.submit(
+                        _process_worker_seal, i, *items, self.collect_keys
+                    )
                     for i, items in zip(loaded, shard_items)
                 ]
                 key_sets = [f.result(timeout=self.task_timeout) for f in futures]
                 summaries = [self._block.summary(i) for i in loaded]
-                keys = key_sets[0] if len(key_sets) == 1 else np.unique(
-                    np.concatenate(key_sets)
-                )
+                if not self.collect_keys:
+                    keys = _EMPTY_KEYS
+                elif len(key_sets) == 1:
+                    keys = key_sets[0]
+                else:
+                    keys = np.unique(np.concatenate(key_sets))
                 return summaries, keys
             except Exception as exc:
                 for future in futures:
@@ -534,6 +555,7 @@ class ShardedStreamingSession(StreamingSession):
             task_timeout=task_timeout,
             max_retries=max_retries,
             retry_backoff=retry_backoff,
+            collect_keys=self.key_source == "twopass",
             recorder=self.recorder,
         )
 
@@ -677,19 +699,25 @@ def parallel_trace_detect(
         error_out = None
     recent_keys: deque = deque(maxlen=detector.replay_lookback + 1)
     reports: List[IntervalDetection] = []
+    key_source = getattr(detector, "key_source", "twopass")
+    replaying = key_source == "twopass"
     for index, observed, keys in combined:
-        recent_keys.append(keys)
+        if replaying:
+            recent_keys.append(keys)
         step = detector.forecaster.step_into(
             observed, error_out=error_out, forecast_out=forecast_out
         )
         if step.error is None:
             continue
-        candidates = (
-            np.unique(np.concatenate(list(recent_keys)))
-            if detector.replay_lookback
-            else keys
-        )
         recorder = getattr(detector, "recorder", None)
+        candidates = resolve_key_source(
+            key_source,
+            step.error,
+            t_fraction=detector.t_fraction,
+            collected=collect_replay_keys(recent_keys) if replaying else None,
+            recorder=recorder if recorder is not None and recorder.enabled
+            else None,
+        )
         reports.append(
             build_interval_report(
                 step.error,

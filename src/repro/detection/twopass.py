@@ -16,6 +16,12 @@ from typing import Iterable, Iterator, List, Optional, Union
 
 import numpy as np
 
+from repro.detection.keysource import (
+    CANDIDATES_COUNTER,
+    KEY_SOURCES,
+    collect_replay_keys,
+    resolve_key_source,
+)
 from repro.detection.pipeline import run_pipeline
 from repro.detection.threshold import (
     Alarm,  # noqa: F401  (re-exported for backwards compatibility)
@@ -60,6 +66,15 @@ class OfflineTwoPassDetector:
     prescreen:
         Exact median prescreen (default on); see
         :func:`~repro.detection.threshold.build_interval_report`.
+    key_source:
+        Where each interval's candidate keys come from (see
+        :mod:`~repro.detection.keysource`).  ``"twopass"`` (default)
+        replays the collected interval keys -- the paper's strategy,
+        reports unchanged.  ``"invertible"`` / ``"grouptesting"``
+        recover candidates from the sealed error summary itself (the
+        schema must produce the matching summary type), retiring the
+        O(stream) replay pass.  ``"online"`` is not valid here -- use
+        :class:`~repro.detection.online.OnlineDetector`.
     recorder:
         Optional :class:`~repro.obs.recorder.PipelineRecorder` for stage
         timings, candidate/alarm counters, index-cache gauges and
@@ -78,6 +93,7 @@ class OfflineTwoPassDetector:
         replay_lookback: int = 0,
         index_cache=True,
         prescreen: bool = True,
+        key_source: str = "twopass",
         recorder=None,
         **model_params,
     ) -> None:
@@ -101,6 +117,12 @@ class OfflineTwoPassDetector:
             raise ValueError(f"replay_lookback must be >= 0, got {replay_lookback}")
         self.replay_lookback = int(replay_lookback)
         self.prescreen = bool(prescreen)
+        if key_source == "online":
+            raise ValueError(
+                "key_source='online' needs the next interval's keys; "
+                "use repro.detection.online.OnlineDetector"
+            )
+        self.key_source = key_source
         self.recorder = NULL_RECORDER if recorder is None else recorder
         self.recorder.preregister(
             "repro_intervals_sealed_total", "repro_detect_candidates_total",
@@ -108,6 +130,10 @@ class OfflineTwoPassDetector:
             "repro_index_cache_hits_total", "repro_index_cache_misses_total",
             "repro_index_cache_evictions_total",
         )
+        self.recorder.preregister_labelled(
+            CANDIDATES_COUNTER, "source", KEY_SOURCES
+        )
+        self.recorder.preregister_stage("recover")
         self.index_cache = resolve_index_cache(schema, index_cache)
         self._index_cache_auto = index_cache is True
         self.stats = {"candidates": 0, "median_evaluated": 0}
@@ -142,19 +168,26 @@ class OfflineTwoPassDetector:
             error_out = None
         recent_keys: deque = deque(maxlen=self.replay_lookback + 1)
         obs = self.recorder
+        # Recovery sources pull candidates out of the error summary, so
+        # the per-interval key collection (and its np.unique) is skipped
+        # entirely -- that *is* the retired second pass.
+        replaying = self.key_source == "twopass"
         for batch in batches:
             observed = self.schema.from_items(batch.keys, batch.values)
             with obs.time("forecast_step"):
                 step = self.forecaster.step_into(
                     observed, error_out=error_out, forecast_out=forecast_out
                 )
-            recent_keys.append(np.unique(batch.keys))
+            if replaying:
+                recent_keys.append(np.unique(batch.keys))
             if step.error is None:
                 continue
-            keys = (
-                np.unique(np.concatenate(list(recent_keys)))
-                if self.replay_lookback
-                else recent_keys[-1]
+            keys = resolve_key_source(
+                self.key_source,
+                step.error,
+                t_fraction=self.t_fraction,
+                collected=collect_replay_keys(recent_keys) if replaying else None,
+                recorder=obs if obs.enabled else None,
             )
             with obs.time("report_build"):
                 report = build_interval_report(

@@ -47,6 +47,10 @@ from repro.hashing.stacked import (
     fused_signed_update,
     gather_indices,
     make_stacked,
+    mv_combine2_planes,
+    mv_merge_planes,
+    mv_recover_mask,
+    mv_vote_indices,
     scatter_add_indices,
 )
 from repro.hashing.tabulation import TabulationHash
@@ -75,6 +79,10 @@ __all__ = [
     "kernel_call_counts",
     "make_family",
     "make_stacked",
+    "mv_combine2_planes",
+    "mv_merge_planes",
+    "mv_recover_mask",
+    "mv_vote_indices",
     "scatter_add_indices",
     "shared_index_cache",
 ]

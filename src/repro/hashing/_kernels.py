@@ -72,6 +72,11 @@ KERNEL_NAMES = (
     "idx_update",
     "idx_gather",
     "idx_estimate",
+    "tab_update_mv",
+    "idx_update_mv",
+    "mv_merge",
+    "mv_combine2",
+    "mv_recover",
 )
 
 _C_SOURCE = r"""
@@ -421,6 +426,116 @@ void idx_estimate(const int64_t* idx, int64_t n, int64_t h_rows,
         out[j] = row_median(buf, h_rows);
     }
 }
+
+/* --- Invertible-sketch majority-vote candidate maintenance -------------
+ * Each (row, bucket) of an invertible k-ary sketch carries a candidate
+ * (key, vote) pair updated with the MV rule:
+ *     candidate == key  ->  vote += w
+ *     vote >= w         ->  vote -= w
+ *     otherwise         ->  candidate = key, vote = w - vote
+ * Callers aggregate the batch per unique key first (np.unique + bincount)
+ * and pass the keys in ascending order, so every (row, bucket) cell sees
+ * the same operation sequence here, in the item-major tabulation variant,
+ * and in the vectorized NumPy fallback -- votes are bit-identical across
+ * all three.  Candidate keys live in the uint64 bit-cast view of a
+ * float64 plane; votes in a plain float64 plane. */
+void tab_update_mv(const uint64_t* keys, const double* weights, int64_t n,
+                   int64_t h_rows, int64_t k_width,
+                   const uint16_t* r0, const uint16_t* r1, const uint16_t* r2,
+                   uint64_t* cand, double* votes) {
+    for (int64_t j = 0; j < n; ++j) {
+        TAB_PF_AHEAD(h_rows)
+        uint64_t key = keys[j];
+        size_t c0 = (size_t)(key & 0xFFFFu);
+        size_t c1 = (size_t)((key >> 16) & 0xFFFFu);
+        const uint16_t* a = r0 + c0 * (size_t)h_rows;
+        const uint16_t* b = r1 + c1 * (size_t)h_rows;
+        const uint16_t* c = r2 + (c0 + c1) * (size_t)h_rows;
+        double w = weights[j];
+        for (int64_t i = 0; i < h_rows; ++i) {
+            int64_t cell = i * k_width + (uint16_t)(a[i] ^ b[i] ^ c[i]);
+            if (cand[cell] == key) votes[cell] += w;
+            else if (votes[cell] >= w) votes[cell] -= w;
+            else { cand[cell] = key; votes[cell] = w - votes[cell]; }
+        }
+    }
+}
+
+void idx_update_mv(const int64_t* idx, const uint64_t* keys,
+                   const double* weights, int64_t n, int64_t h_rows,
+                   int64_t k_width, uint64_t* cand, double* votes) {
+    for (int64_t i = 0; i < h_rows; ++i) {
+        const int64_t* row = idx + i * n;
+        uint64_t* crow = cand + i * k_width;
+        double* vrow = votes + i * k_width;
+        for (int64_t j = 0; j < n; ++j) {
+            int64_t b = row[j];
+            double w = weights[j];
+            uint64_t key = keys[j];
+            if (crow[b] == key) vrow[b] += w;
+            else if (vrow[b] >= w) vrow[b] -= w;
+            else { crow[b] = key; vrow[b] = w - vrow[b]; }
+        }
+    }
+}
+
+/* COMBINE-side candidate merge: fold one term's candidate planes into the
+ * accumulator's with the MV rule, the term's votes pre-scaled by |coeff|.
+ * Cells are independent, so one fused streaming pass replaces the NumPy
+ * fold's chain of full-plane temporaries -- this runs twice per forecast
+ * step (error and level COMBINE) and dominates the invertible seal cost
+ * at production widths without it.  The per-cell arithmetic matches the
+ * vectorized fallback operation for operation, so planes stay
+ * bit-identical either way. */
+void mv_merge(uint64_t* cand_a, double* votes_a,
+              const uint64_t* cand_b, const double* votes_b,
+              double coeff, int64_t n) {
+    for (int64_t j = 0; j < n; ++j) {
+        double tv = votes_b[j] * coeff;
+        if (cand_a[j] == cand_b[j]) votes_a[j] += tv;
+        else if (votes_a[j] >= tv) votes_a[j] -= tv;
+        else { cand_a[j] = cand_b[j]; votes_a[j] = tv - votes_a[j]; }
+    }
+}
+
+/* Two-term COMBINE of candidate planes in one pass: the forecast hot
+ * path (error = observed - predicted, EWMA level = a*obs + (1-a)*level)
+ * always folds exactly two terms into a scratch, which the generic path
+ * does as copy+scale then mv_merge -- two full-plane passes.  This
+ * fuses them: per cell, scale both votes by their |coeff| and resolve
+ * the MV rule directly into the output.  The arithmetic is
+ * operation-for-operation the two-pass sequence's (same products, same
+ * compare, same add/subtract), so planes stay bit-identical.  The
+ * output planes must not alias either input. */
+void mv_combine2(const uint64_t* ck_a, const double* cv_a, double coeff_a,
+                 const uint64_t* ck_b, const double* cv_b, double coeff_b,
+                 uint64_t* out_k, double* out_v, int64_t n) {
+    for (int64_t j = 0; j < n; ++j) {
+        double av = cv_a[j] * coeff_a;
+        double bv = cv_b[j] * coeff_b;
+        if (ck_a[j] == ck_b[j]) { out_k[j] = ck_a[j]; out_v[j] = av + bv; }
+        else if (av >= bv)      { out_k[j] = ck_a[j]; out_v[j] = av - bv; }
+        else                    { out_k[j] = ck_b[j]; out_v[j] = bv - av; }
+    }
+}
+
+/* Recovery walk: mark buckets whose single-row unbiased estimate
+ * magnitude clears the threshold (strictly exceeds zero when the
+ * threshold is zero, matching the detection layer's alarm rule) and
+ * that hold a live vote.  One fused pass over counters and votes
+ * replaces the NumPy walk's full-plane temporaries (estimate, abs,
+ * two masks); the arithmetic is operation-for-operation the fallback's,
+ * so the mask is identical either way. */
+void mv_recover_mask(const double* table, const double* votes,
+                     double mean_share, double denom, double threshold,
+                     int64_t n, uint8_t* mask) {
+    for (int64_t j = 0; j < n; ++j) {
+        double est = (table[j] - mean_share) / denom;
+        double mag = est < 0.0 ? -est : est;
+        int pass = threshold > 0.0 ? (mag >= threshold) : (mag > 0.0);
+        mask[j] = (uint8_t)(pass && votes[j] > 0.0);
+    }
+}
 """
 
 _COMPILERS = ("cc", "gcc", "clang")
@@ -456,6 +571,11 @@ class SketchKernels:
             "idx_update": [p, p, i64, i64, i64, p],
             "idx_gather": [p, i64, i64, i64, p, p],
             "idx_estimate": [p, i64, i64, i64, p, f64, f64, p],
+            "tab_update_mv": [p, p, i64, i64, i64, p, p, p, p, p],
+            "idx_update_mv": [p, p, p, i64, i64, i64, p, p],
+            "mv_merge": [p, p, p, p, f64, i64],
+            "mv_combine2": [p, p, f64, p, p, f64, p, p, i64],
+            "mv_recover_mask": [p, p, f64, f64, f64, i64, p],
         }
         for name, argtypes in signatures.items():
             fn = getattr(lib, name)
@@ -612,6 +732,56 @@ class SketchKernels:
             mean_share, denom, _ptr(out),
         )
         return out
+
+    # -- invertible-sketch majority-vote candidates --------------------------
+
+    def update_mv(self, cand, votes, keys, weights, r0, r1, r2) -> None:
+        self._tick("tab_update_mv")
+        keys = np.ascontiguousarray(keys, dtype=np.uint64)
+        weights = np.ascontiguousarray(weights, dtype=np.float64)
+        depth, width = votes.shape
+        self._lib.tab_update_mv(
+            _ptr(keys), _ptr(weights), len(keys), depth, width,
+            _ptr(r0), _ptr(r1), _ptr(r2), _ptr(cand), _ptr(votes),
+        )
+
+    def update_mv_indices(self, cand, votes, indices, keys, weights) -> None:
+        self._tick("idx_update_mv")
+        indices = np.ascontiguousarray(indices, dtype=np.int64)
+        keys = np.ascontiguousarray(keys, dtype=np.uint64)
+        weights = np.ascontiguousarray(weights, dtype=np.float64)
+        depth, width = votes.shape
+        self._lib.idx_update_mv(
+            _ptr(indices), _ptr(keys), _ptr(weights), indices.shape[1],
+            depth, width, _ptr(cand), _ptr(votes),
+        )
+
+    def merge_mv(self, cand_a, votes_a, cand_b, votes_b,
+                 coeff: float) -> None:
+        self._tick("mv_merge")
+        self._lib.mv_merge(
+            _ptr(cand_a), _ptr(votes_a), _ptr(cand_b), _ptr(votes_b),
+            coeff, cand_a.size,
+        )
+
+    def combine2_mv(self, cand_a, votes_a, coeff_a, cand_b, votes_b,
+                    coeff_b, out_k, out_v) -> None:
+        self._tick("mv_combine2")
+        self._lib.mv_combine2(
+            _ptr(cand_a), _ptr(votes_a), coeff_a,
+            _ptr(cand_b), _ptr(votes_b), coeff_b,
+            _ptr(out_k), _ptr(out_v), out_v.size,
+        )
+
+    def recover_mask(self, table, votes, mean_share: float, denom: float,
+                     threshold: float) -> np.ndarray:
+        self._tick("mv_recover")
+        mask = np.empty(table.shape, dtype=np.uint8)
+        self._lib.mv_recover_mask(
+            _ptr(table), _ptr(votes), mean_share, denom, threshold,
+            table.size, _ptr(mask),
+        )
+        return mask.view(np.bool_)
 
 
 #: Backwards-compatible alias from when the kernels covered tabulation only.

@@ -120,6 +120,19 @@ class StackedHash(abc.ABC):
         """
         return None
 
+    def mv_vote(self, cand: np.ndarray, votes: np.ndarray,
+                keys: np.ndarray, weights: np.ndarray) -> None:
+        """Majority-vote candidate maintenance for an invertible sketch.
+
+        Applies the MV rule (same key: vote += w; standing vote wins:
+        vote -= w; else the key takes the slot with the vote difference)
+        to the ``(H, K)`` candidate planes for every row's bucket of every
+        key.  Callers pass *aggregated* keys -- unique, ascending, with
+        per-key summed weights -- so the per-bucket operation sequence is
+        canonical and the kernel and NumPy paths are bit-identical.
+        """
+        mv_vote_indices(cand, votes, self.hash_all(keys), keys, weights)
+
 
 class LoopStackedHash(StackedHash):
     """Fallback: the literal per-row loop (reference semantics by definition)."""
@@ -234,6 +247,20 @@ class StackedTabulationHash(StackedHash):
                 table, keys, self._r0, self._r1, self._r2, mean_share, denom
             )
         return None
+
+    def mv_vote(self, cand, votes, keys, weights) -> None:
+        if (
+            self._kernels is not None
+            and cand.flags.c_contiguous
+            and votes.flags.c_contiguous
+            and votes.dtype == np.float64
+        ):
+            keys = self._check_keys(keys)
+            self._kernels.update_mv(
+                cand, votes, keys, weights, self._r0, self._r1, self._r2
+            )
+            return
+        super().mv_vote(cand, votes, keys, weights)
 
 
 class StackedPolynomialHash(StackedHash):
@@ -391,6 +418,182 @@ def estimate_median_indices(
         indices = np.asarray(indices, dtype=np.int64)
         return kernels.estimate_indices(table, indices, mean_share, denom)
     return None
+
+
+def mv_vote_indices(
+    cand: np.ndarray,
+    votes: np.ndarray,
+    indices: np.ndarray,
+    keys: np.ndarray,
+    weights: np.ndarray,
+) -> None:
+    """Majority-vote maintenance from precomputed ``(H, n)`` bucket indices.
+
+    The hash-free half of :meth:`StackedHash.mv_vote`: applies the MV rule
+    to the candidate-key (``uint64`` view) and vote (``float64``) planes.
+    The C kernel and the vectorized NumPy fallback replay the identical
+    per-bucket operation sequence (ascending item order within each
+    bucket), so the planes are bit-identical either way.
+    """
+    indices = np.asarray(indices, dtype=np.int64)
+    kernels = get_kernels()
+    if (
+        kernels is not None
+        and cand.flags.c_contiguous
+        and votes.flags.c_contiguous
+        and votes.dtype == np.float64
+    ):
+        kernels.update_mv_indices(cand, votes, indices, keys, weights)
+        return
+    _mv_vote_numpy(cand, votes, indices, keys, weights)
+
+
+def mv_merge_planes(
+    cand_a: np.ndarray,
+    votes_a: np.ndarray,
+    cand_b: np.ndarray,
+    votes_b: np.ndarray,
+    coeff: float,
+) -> None:
+    """Fold one term's candidate planes into the accumulator, MV-style.
+
+    The COMBINE-side counterpart of :func:`mv_vote_indices`: treats the
+    term ``(cand_b, votes_b)`` as one aggregate vote per bucket with
+    weight ``votes_b * |coeff|`` and applies the MV rule cell by cell into
+    ``(cand_a, votes_a)``.  Cells are independent, so the fused C kernel
+    and the vectorized NumPy fallback perform the identical IEEE
+    operations per cell -- the planes are bit-identical either way.
+    """
+    acoeff = abs(float(coeff))
+    kernels = get_kernels()
+    if (
+        kernels is not None
+        and cand_a.flags.c_contiguous
+        and votes_a.flags.c_contiguous
+        and cand_b.flags.c_contiguous
+        and votes_b.flags.c_contiguous
+    ):
+        kernels.merge_mv(cand_a, votes_a, cand_b, votes_b, acoeff)
+        return
+    tv = votes_b * acoeff
+    same = cand_a == cand_b
+    ge = votes_a >= tv
+    new_v = np.where(same, votes_a + tv, np.where(ge, votes_a - tv, tv - votes_a))
+    np.copyto(cand_a, cand_b, where=~same & ~ge)
+    np.copyto(votes_a, new_v)
+
+
+def mv_combine2_planes(
+    out_k: np.ndarray,
+    out_v: np.ndarray,
+    cand_a: np.ndarray,
+    votes_a: np.ndarray,
+    coeff_a: float,
+    cand_b: np.ndarray,
+    votes_b: np.ndarray,
+    coeff_b: float,
+) -> None:
+    """Two-term candidate COMBINE into ``(out_k, out_v)`` in one pass.
+
+    Fuses the generic fold's copy+scale-then-merge sequence for the
+    two-term case that dominates the forecast hot path.  The fallback
+    replays exactly that sequence through :func:`mv_merge_planes`, and
+    the fused kernel performs the identical IEEE operations per cell,
+    so planes are bit-identical either way.  ``out_k`` / ``out_v`` must
+    not alias either input.
+    """
+    kernels = get_kernels()
+    if (
+        kernels is not None
+        and out_k.flags.c_contiguous
+        and out_v.flags.c_contiguous
+        and cand_a.flags.c_contiguous
+        and votes_a.flags.c_contiguous
+        and cand_b.flags.c_contiguous
+        and votes_b.flags.c_contiguous
+    ):
+        kernels.combine2_mv(
+            cand_a, votes_a, abs(float(coeff_a)),
+            cand_b, votes_b, abs(float(coeff_b)),
+            out_k, out_v,
+        )
+        return
+    np.copyto(out_k, cand_a)
+    np.multiply(votes_a, abs(float(coeff_a)), out=out_v)
+    mv_merge_planes(out_k, out_v, cand_b, votes_b, coeff_b)
+
+
+def mv_recover_mask(
+    table: np.ndarray,
+    votes: np.ndarray,
+    mean_share: float,
+    denom: float,
+    threshold: float,
+) -> np.ndarray:
+    """Boolean bucket mask for the invertible recovery walk.
+
+    Marks cells where ``|(table - mean_share) / denom|`` clears
+    ``threshold`` (strictly exceeds zero when ``threshold == 0``) and the
+    vote is live.  The fused C pass and the NumPy fallback perform the
+    identical IEEE operations per cell, so the mask is bit-identical.
+    """
+    kernels = get_kernels()
+    if (
+        kernels is not None
+        and table.flags.c_contiguous
+        and votes.flags.c_contiguous
+    ):
+        return kernels.recover_mask(table, votes, mean_share, denom, threshold)
+    est = table - mean_share
+    est /= denom
+    np.abs(est, out=est)
+    mask = est >= threshold if threshold > 0.0 else est > 0.0
+    mask &= votes > 0.0
+    return mask
+
+
+def _mv_vote_numpy(cand, votes, indices, keys, weights) -> None:
+    """Pure-NumPy MV vote pass (also the no-compiler fallback).
+
+    Per row: group the items by bucket (stable sort keeps the original
+    item order within a bucket), then iterate over *occupancy position* --
+    round ``p`` applies every bucket's ``p``-th item at once.  Each bucket
+    therefore sees its items in the same ascending order as the C kernel's
+    scalar loop, and each vectorized branch (``cv + ww``, ``cv - ww``,
+    ``ww - cv``) is the same IEEE operation the kernel performs, so the
+    resulting planes are bit-identical.
+    """
+    n = indices.shape[1]
+    if n == 0:
+        return
+    keys = keys.astype(np.uint64, copy=False)
+    weights = np.asarray(weights, dtype=np.float64)
+    for i in range(indices.shape[0]):
+        idx = indices[i]
+        order = np.argsort(idx, kind="stable")
+        sidx = idx[order]
+        sk = keys[order]
+        sw = weights[order]
+        starts = np.flatnonzero(
+            np.concatenate(([True], sidx[1:] != sidx[:-1]))
+        )
+        buckets = sidx[starts]
+        counts = np.diff(np.append(starts, n))
+        cur_k = cand[i, buckets].copy()
+        cur_v = votes[i, buckets].copy()
+        for p in range(int(counts.max())):
+            sel = counts > p
+            j = starts[sel] + p
+            kk = sk[j]
+            ww = sw[j]
+            ck = cur_k[sel]
+            cv = cur_v[sel]
+            same = ck == kk
+            ge = cv >= ww
+            cur_v[sel] = np.where(same, cv + ww, np.where(ge, cv - ww, ww - cv))
+            cur_k[sel] = np.where(same | ge, ck, kk)
+        cand[i, buckets] = cur_k
+        votes[i, buckets] = cur_v
 
 
 def fused_signed_update(

@@ -102,6 +102,9 @@ class NullRecorder:
     def preregister_labelled(self, name, label, values) -> None:
         pass
 
+    def preregister_stage(self, *stages) -> None:
+        pass
+
 
 #: Shared default instance -- components normalize ``recorder=None`` to
 #: this, so the disabled path never constructs anything.
@@ -233,6 +236,19 @@ class PipelineRecorder:
         """Create one zero series per label value for counter ``name``."""
         for value in values:
             self.count(name, 0, **{label: value})
+
+    def preregister_stage(self, *stages: str) -> None:
+        """Create zero ``repro_stage_seconds{stage=...}`` series.
+
+        The stage histogram is otherwise lazy, so a stage that never
+        fires (e.g. ``recover`` when the key source is two-pass) would
+        be missing from the export instead of reading zero.
+        """
+        histogram = self.registry.histogram(
+            STAGE_HISTOGRAM, labels=("stage",)
+        )
+        for stage in stages:
+            histogram.touch(stage=stage)
 
     def events(self, kind: Optional[str] = None) -> list:
         """Buffered trace events, oldest first (optionally one kind)."""

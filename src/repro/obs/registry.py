@@ -171,6 +171,19 @@ class Histogram(_Metric):
         series.sum += value
         series.count += 1
 
+    def touch(self, **labels) -> None:
+        """Create an all-zero series for one label tuple (idempotent).
+
+        Histogram series are otherwise lazy (created on first observe),
+        which makes "never fired" indistinguishable from "not
+        instrumented" in a scrape.  Preregistration calls this so e.g.
+        ``repro_stage_seconds{stage="recover"}`` exports at zero even
+        when the key source never runs a recovery walk.
+        """
+        key = self._key(labels)
+        if key not in self._series:
+            self._series[key] = _HistogramSeries(len(self.buckets))
+
     def snapshot(self, **labels) -> dict:
         """Per-bucket (non-cumulative) counts plus sum/count."""
         series = self._series.get(self._key(labels))

@@ -8,6 +8,10 @@ its four operations (UPDATE, ESTIMATE, ESTIMATEF2, COMBINE).  Alongside it:
   alternatives the paper positions k-ary sketches against (Count Sketch is
   the Charikar et al. structure the k-ary sketch is "similar to", with
   simpler/faster operations).
+* :class:`~repro.sketch.invertible.InvertibleKArySketch` -- a k-ary sketch
+  extended with per-bucket majority-vote candidate slots, so heavy changers
+  can be *recovered* from the sealed error sketch in O(H*K) without
+  replaying the interval's key stream.
 * :class:`~repro.sketch.exact.DictVector` -- an *exact* keyed vector with
   the same linear-summary interface, used as the per-flow ground truth in
   every accuracy experiment.
@@ -22,6 +26,7 @@ from repro.sketch.countmin import CountMinSketch, CountMinSchema
 from repro.sketch.countsketch import CountSketch, CountSketchSchema
 from repro.sketch.dense import DenseSchema, DenseVector, KeyIndex
 from repro.sketch.exact import DictVector, ExactSchema
+from repro.sketch.invertible import InvertibleKArySchema, InvertibleKArySketch
 from repro.sketch.kary import KArySchema, KArySketch
 from repro.sketch.mergeable import (
     SchemaHandle,
@@ -47,6 +52,8 @@ __all__ = [
     "DenseVector",
     "DictVector",
     "ExactSchema",
+    "InvertibleKArySchema",
+    "InvertibleKArySketch",
     "KArySchema",
     "KArySketch",
     "KeyIndex",

@@ -18,7 +18,13 @@ from typing import Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.hashing import derive_seeds, gather_indices, make_family, make_stacked
+from repro.hashing import (
+    derive_seeds,
+    gather_indices,
+    make_family,
+    make_stacked,
+    scatter_add_indices,
+)
 from repro.sketch.base import LinearSummary, SummaryConvention, accumulate_arrays
 
 
@@ -129,6 +135,37 @@ class CountMinSketch(LinearSummary):
         keys = SummaryConvention.as_key_array(keys)
         values = SummaryConvention.as_value_array(values, len(keys))
         self._schema._stacked.scatter_add(self._table, keys, values)
+
+    def update_from_indices(self, indices: np.ndarray, values) -> None:
+        """UPDATE with precomputed bucket indices (shape ``(depth, n)``).
+
+        Same surface as :meth:`KArySketch.update_from_indices`, so callers
+        holding cached ``schema.bucket_indices(keys)`` (the detection
+        index cache, recovery verification) can feed any summary kind
+        uniformly.  Bit-identical to :meth:`update_batch` on the same
+        keys: accumulation order per cell is stream order within each row.
+        """
+        values = SummaryConvention.as_value_array(values, indices.shape[1])
+        scatter_add_indices(self._table, indices, values)
+
+    def estimate_rows(
+        self, keys, indices: Optional[np.ndarray] = None
+    ) -> np.ndarray:
+        """Raw per-row cell reads ``T[i][h_i(a_j)]``: shape ``(depth, n)``.
+
+        The Count-Min analogue of :meth:`KArySketch.estimate_rows` --
+        what recovery verification probes uniformly across summary
+        types.  Unlike k-ary there is no mean correction: the rows *are*
+        the per-row estimates.  ``np.median(rows, axis=0)`` equals
+        ``estimate_batch(signed=True)`` bit for bit; note that the
+        default (cash-register) estimator is the row *minimum*, so
+        ``|median of rows|`` upper-bounds nothing there -- callers doing
+        bound-based prescreens should stick to the signed estimator.
+        """
+        keys = SummaryConvention.as_key_array(keys)
+        if indices is None:
+            return self._schema._stacked.gather(self._table, keys)
+        return gather_indices(self._table, indices)
 
     def estimate_batch(
         self, keys, indices: Optional[np.ndarray] = None, signed: bool = False

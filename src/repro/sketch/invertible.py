@@ -1,0 +1,345 @@
+"""Invertible k-ary sketch: replay-free heavy-changer key recovery.
+
+The plain k-ary sketch can *score* any key but cannot *enumerate* the keys
+it saw -- detection needs a second pass over the traffic (or an online
+candidate list) to know which keys to probe.  This module augments every
+``(row, bucket)`` cell with one MV-style candidate field, following the
+majority-vote scheme of the MV-sketch (Tang et al., "A Fast and Compact
+Invertible Sketch for Network-Wide Heavy Flow Detection"):
+
+candidate maintenance (per UPDATE of key ``a`` with weight ``w``)
+    ``candidate == a``  ->  ``vote += w``
+    ``vote >= w``       ->  ``vote -= w``
+    otherwise           ->  ``candidate = a``; ``vote = w - vote``
+
+This is the Boyer-Moore majority element argument per bucket: whichever key
+contributes the majority of a bucket's mass ends up holding the candidate
+slot.  A heavy changer dominates every bucket it hashes to (in the error
+sketch, after forecasting), so walking the ``H x K`` buckets and collecting
+candidates whose *single-row* unbiased estimate clears the alarm threshold
+recovers the heavy-changer keys in ``O(H * K)`` -- no second pass over the
+stream.  Each recovered candidate is then verified with the ordinary
+median ESTIMATE, so false bucket winners cost a probe, never a report.
+
+Storage layout
+--------------
+One contiguous ``(3, H, K)`` float64 block:
+
+* plane 0 -- the ordinary k-ary counters.  It is handed to the
+  :class:`~repro.sketch.kary.KArySketch` base constructor unchanged (a
+  contiguous slice of a contiguous block is itself contiguous), so every
+  inherited operation (UPDATE scatter, ESTIMATE, ESTIMATEF2, prescreen
+  gathers, fused kernels) runs on it exactly as on a plain sketch.
+* plane 1 -- candidate keys, stored as the ``uint64`` bit-cast view of the
+  float64 plane.  Same-dtype copies are memcpy, so key bit patterns
+  survive serialization, shared-memory transfer, and checkpointing
+  without a separate integer buffer.
+* plane 2 -- candidate votes (nonnegative float64).
+
+Counter bit-identity
+--------------------
+Plane 0 is updated by the inherited stream-order scatter, so an invertible
+sketch fed a stream has counters bit-identical to a plain
+:class:`KArySketch` fed the same stream -- every estimate, threshold, and
+report built on the counters is unchanged by the candidate planes.
+
+COMBINE
+-------
+Counter planes combine linearly as always.  Candidate planes merge with
+the same MV rule (votes scaled by ``|c_i|``), folded pairwise left to
+right.  The fold is order-*dependent* (MV is not associative), so sharded
+recovery is validated against serial at the report level; the counter
+planes remain bit-exact regardless of shard order because integral
+float64 sums are order-independent.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.hashing import (
+    mv_combine2_planes,
+    mv_merge_planes,
+    mv_recover_mask,
+)
+from repro.sketch.base import (
+    LinearSummary,
+    SummaryConvention,
+    accumulate_arrays,
+)
+from repro.sketch.kary import KArySchema, KArySketch
+
+
+class InvertibleKArySchema(KArySchema):
+    """Schema for invertible k-ary sketches.
+
+    Identical hash structure to :class:`KArySchema` -- same derived per-row
+    functions for the same ``(depth, width, seed, family)`` -- but its
+    sketches carry candidate planes and are *not* COMBINE-compatible with
+    plain k-ary sketches (merging would silently drop votes), so equality
+    is restricted to other invertible schemas.
+    """
+
+    def empty(self) -> "InvertibleKArySketch":
+        """Return a fresh all-zeros invertible sketch over this schema."""
+        return InvertibleKArySketch(self)
+
+    @property
+    def table_bytes(self) -> int:
+        """Footprint of one sketch: counters + candidate keys + votes."""
+        return 3 * self._depth * self._width * 8
+
+    def __eq__(self, other) -> bool:
+        """Equality additionally requires the invertible layout.
+
+        Python dispatches to the subclass ``__eq__`` first whenever either
+        operand is an :class:`InvertibleKArySchema`, so a plain
+        :class:`KArySchema` never compares equal to an invertible one in
+        either direction.
+        """
+        if self is other:
+            return True
+        if not isinstance(other, InvertibleKArySchema):
+            return False
+        return KArySchema.__eq__(self, other)
+
+    __hash__ = KArySchema.__hash__
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"InvertibleKArySchema(depth={self._depth}, width={self._width}, "
+            f"seed={self._seed}, family={self._family!r})"
+        )
+
+
+class InvertibleKArySketch(KArySketch):
+    """k-ary sketch with per-bucket MV candidate (key, vote) fields."""
+
+    __slots__ = ("_store", "_cand_keys", "_cand_votes")
+
+    def __init__(
+        self,
+        schema: InvertibleKArySchema,
+        store: Optional[np.ndarray] = None,
+    ) -> None:
+        if not isinstance(schema, InvertibleKArySchema):
+            raise TypeError(
+                "InvertibleKArySketch requires an InvertibleKArySchema"
+            )
+        shape = (3, schema.depth, schema.width)
+        if store is None:
+            store = np.zeros(shape, dtype=np.float64)
+        else:
+            store = np.ascontiguousarray(store, dtype=np.float64)
+            if store.shape != shape:
+                raise ValueError(
+                    f"store shape {store.shape} does not match schema "
+                    f"{shape}"
+                )
+        self._store = store
+        self._cand_keys = store[1].view(np.uint64)
+        self._cand_votes = store[2]
+        super().__init__(schema, store[0])
+
+    # -- accessors ---------------------------------------------------------
+
+    @property
+    def table(self) -> np.ndarray:
+        """The full ``(3, H, K)`` store (read-only view).
+
+        Plane 0 holds the counters, plane 1 the candidate keys (as float64
+        bit patterns; view as ``uint64`` to read them), plane 2 the votes.
+        Exposing the whole store here is what lets the serialization and
+        shared-memory layers round-trip the candidate planes without
+        special-casing every call site.
+        """
+        view = self._store.view()
+        view.flags.writeable = False
+        return view
+
+    @property
+    def counters(self) -> np.ndarray:
+        """The ``H x K`` counter plane alone (read-only view)."""
+        view = self._table.view()
+        view.flags.writeable = False
+        return view
+
+    @property
+    def candidate_keys(self) -> np.ndarray:
+        """Per-bucket candidate keys, shape ``(H, K)`` uint64 (read-only)."""
+        view = self._cand_keys.view()
+        view.flags.writeable = False
+        return view
+
+    @property
+    def candidate_votes(self) -> np.ndarray:
+        """Per-bucket candidate votes, shape ``(H, K)`` float64 (read-only)."""
+        view = self._cand_votes.view()
+        view.flags.writeable = False
+        return view
+
+    @property
+    def nbytes(self) -> int:
+        """Memory used by counters plus candidate planes."""
+        return self._store.nbytes
+
+    def copy(self) -> "InvertibleKArySketch":
+        """Return an independent copy sharing the schema."""
+        return InvertibleKArySketch(self._schema, self._store.copy())
+
+    def reset(self) -> None:
+        """Zero counters, candidate keys, and votes in place."""
+        self._store[:] = 0.0
+
+    # -- UPDATE ------------------------------------------------------------
+
+    def update_batch(self, keys, values) -> None:
+        """UPDATE counters and candidate fields for a batch.
+
+        The counter plane is updated by the inherited stream-order scatter
+        first, so it stays bit-identical to a plain k-ary sketch fed the
+        same stream.  The candidate planes are then updated with the batch
+        aggregated per unique key (ascending key order, per-key summed
+        weights) -- a canonical operation sequence that the C kernels and
+        the NumPy fallback replay identically, and that makes the vote
+        pass O(unique keys) rather than O(records).
+        """
+        keys = SummaryConvention.as_key_array(keys)
+        values = SummaryConvention.as_value_array(values, len(keys))
+        self._schema._stacked.scatter_add(self._table, keys, values)
+        if len(keys) == 0:
+            return
+        uniq, inverse = np.unique(keys, return_inverse=True)
+        weights = np.bincount(inverse, weights=values, minlength=len(uniq))
+        self._schema._stacked.mv_vote(
+            self._cand_keys, self._cand_votes, uniq, weights
+        )
+
+    def update_from_indices(self, indices: np.ndarray, values) -> None:
+        """Unsupported: precomputed indices carry no keys to vote with."""
+        raise TypeError(
+            "InvertibleKArySketch.update_from_indices is unsupported: "
+            "bucket indices do not identify the keys, so candidate votes "
+            "cannot be maintained; use update_batch"
+        )
+
+    # -- RECOVER -----------------------------------------------------------
+
+    def recover_candidates(self, threshold: float = 0.0) -> np.ndarray:
+        """Walk the buckets and return candidate heavy keys, ``O(H * K)``.
+
+        For every bucket the *single-row* unbiased estimate
+        ``(T[i][j] - sum(S)/K) / (1 - 1/K)`` is computed; buckets whose
+        estimate magnitude clears ``threshold`` (strictly exceeds zero when
+        ``threshold == 0``, matching the detection layer's zero-threshold
+        alarm rule) and that hold a live vote surrender their candidate
+        key.  If a key's true change magnitude has ``|median| >= threshold``
+        then at least ``ceil((H+1)/2)`` of its buckets pass the magnitude
+        mask, so the key is recovered whenever it won the vote in at least
+        one of those buckets -- the MV majority argument makes that the
+        overwhelmingly common case for genuine heavy changers.
+
+        Returns the unique candidate keys as a ``uint64`` array, sorted
+        ascending.  Callers verify each against the full median estimator
+        (:meth:`estimate_batch`), so recovery errs on the side of
+        returning a candidate.
+        """
+        if threshold < 0.0:
+            raise ValueError(f"threshold must be >= 0, got {threshold}")
+        k = self._schema.width
+        mask = mv_recover_mask(
+            self._table,
+            self._cand_votes,
+            self.total() / k,
+            1.0 - 1.0 / k,
+            threshold,
+        )
+        if not mask.any():
+            return np.empty(0, dtype=np.uint64)
+        return np.unique(self._cand_keys[mask])
+
+    # -- COMBINE -----------------------------------------------------------
+
+    def _check_terms(
+        self, terms: Sequence[Tuple[float, LinearSummary]]
+    ) -> list:
+        for _, summary in terms:
+            if not isinstance(summary, InvertibleKArySketch):
+                raise TypeError(
+                    "cannot combine InvertibleKArySketch with "
+                    f"{type(summary).__name__}"
+                )
+        return super()._check_terms(terms)
+
+    def combine_into(
+        self,
+        terms: Sequence[Tuple[float, LinearSummary]],
+        scratch: Optional[np.ndarray] = None,
+    ) -> "InvertibleKArySketch":
+        """In-place COMBINE of counters plus MV merge of candidate planes.
+
+        Counters combine linearly (bit-identical to the plain sketch).
+        Candidate planes fold pairwise left to right with the MV rule,
+        votes scaled by ``|c_i|`` -- a negated sketch carries the same
+        evidence about *which* key dominates a bucket, only the counter
+        sign flips.  The receiver must not itself appear in ``terms``.
+        """
+        merged = self._check_terms(terms)
+        accumulate_arrays(self._table, merged, scratch)
+        self._merge_candidates(terms)
+        return self
+
+    def _linear_combination(
+        self, terms: Sequence[Tuple[float, LinearSummary]]
+    ) -> "InvertibleKArySketch":
+        # combine_into overwrites every plane (accumulate_arrays writes
+        # the first counter term directly; the candidate fold copies the
+        # first term's planes, and zeroes them when there are no terms),
+        # so the fresh store can skip page-zeroing.  This runs once per
+        # forecast step on the EWMA level update, where the zeroing of a
+        # 3-plane production-width store is measurable.
+        shape = (3, self._schema.depth, self._schema.width)
+        result = InvertibleKArySketch(
+            self._schema, np.empty(shape, dtype=np.float64)
+        )
+        return result.combine_into(terms)
+
+    def _merge_candidates(
+        self, terms: Sequence[Tuple[float, LinearSummary]]
+    ) -> None:
+        """Fold the terms' candidate planes into this sketch's, MV-style."""
+        ak = self._cand_keys
+        av = self._cand_votes
+        if len(terms) == 2:
+            # The forecast hot path (error seal, EWMA level update) is
+            # always a two-term COMBINE into a scratch: fuse the fold.
+            (ca, sa), (cb, sb) = terms
+            mv_combine2_planes(
+                ak, av,
+                sa._cand_keys, sa._cand_votes, ca,
+                sb._cand_keys, sb._cand_votes, cb,
+            )
+            return
+        first = True
+        for coeff, summary in terms:
+            tk = summary._cand_keys
+            tv_src = summary._cand_votes
+            if first:
+                np.copyto(ak, tk)
+                np.multiply(tv_src, abs(coeff), out=av)
+                first = False
+                continue
+            mv_merge_planes(ak, av, tk, tv_src, coeff)
+        if first:  # no terms: candidate planes are empty
+            ak[...] = 0
+            av[...] = 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        live = int(np.count_nonzero(self._cand_votes))
+        return (
+            f"InvertibleKArySketch(H={self._schema.depth}, "
+            f"K={self._schema.width}, total={self.total():.6g}, "
+            f"live_candidates={live})"
+        )

@@ -35,9 +35,10 @@ import numpy as np
 from repro.sketch.base import LinearSummary
 from repro.sketch.countmin import CountMinSchema, CountMinSketch
 from repro.sketch.countsketch import CountSketch, CountSketchSchema
+from repro.sketch.invertible import InvertibleKArySchema, InvertibleKArySketch
 from repro.sketch.kary import KArySchema, KArySketch
 
-KINDS = ("kary", "countmin", "countsketch", "grouptesting")
+KINDS = ("kary", "invertible", "countmin", "countsketch", "grouptesting")
 
 
 def _grouptesting():
@@ -50,6 +51,10 @@ def _grouptesting():
 
 def kind_of(schema) -> str:
     """Return the schema kind string for any supported schema object."""
+    # The invertible schema subclasses KArySchema, so it must be checked
+    # first or it would silently lose its candidate planes as "kary".
+    if isinstance(schema, InvertibleKArySchema):
+        return "invertible"
     if isinstance(schema, KArySchema):
         return "kary"
     if isinstance(schema, CountMinSchema):
@@ -64,8 +69,12 @@ def kind_of(schema) -> str:
 
 def table_shape(schema) -> Tuple[int, ...]:
     """Counter-table shape for one summary of ``schema``."""
-    if kind_of(schema) == "grouptesting":
+    kind = kind_of(schema)
+    if kind == "grouptesting":
         return (schema.depth, schema.width, 1 + schema.key_bits)
+    if kind == "invertible":
+        # counters + candidate keys (uint64 bit patterns) + votes
+        return (3, schema.depth, schema.width)
     return (schema.depth, schema.width)
 
 
@@ -77,6 +86,8 @@ def summary_from_table(schema, table: np.ndarray) -> LinearSummary:
     makes shared-memory slots live views rather than snapshots.
     """
     kind = kind_of(schema)
+    if kind == "invertible":
+        return InvertibleKArySketch(schema, table)
     if kind == "kary":
         return KArySketch(schema, table)
     if kind == "countmin":
@@ -156,6 +167,11 @@ class SchemaHandle:
         if schema is None:
             if self.kind == "kary":
                 schema = KArySchema(
+                    depth=self.depth, width=self.width,
+                    seed=self.seed, family=self.family,
+                )
+            elif self.kind == "invertible":
+                schema = InvertibleKArySchema(
                     depth=self.depth, width=self.width,
                     seed=self.seed, family=self.family,
                 )
@@ -306,7 +322,9 @@ def to_shared(summary: LinearSummary) -> SharedTableBlock:
     through it are visible to every process attached to the block.
     """
     block = SharedTableBlock.create(summary.schema, 1)
-    block.slot(0)[:] = summary._table
+    # .table is the full backing store (for the invertible sketch that is
+    # the (3, H, K) block including candidate planes, not just counters).
+    block.slot(0)[:] = summary.table
     return block
 
 

@@ -31,7 +31,7 @@ offset  size   field
 ======  =====  ==============================================
 0       4      magic ``b"KSK2"``
 4       1      kind code (uint8: 1 kary, 2 countmin,
-               3 countsketch, 4 grouptesting)
+               3 countsketch, 4 grouptesting, 5 invertible)
 5       4      depth (uint32)
 9       4      width (uint32)
 13      4      key_bits (uint32; 0 except grouptesting)
@@ -87,6 +87,7 @@ import numpy as np
 
 from repro.sketch.countmin import CountMinSchema, CountMinSketch
 from repro.sketch.countsketch import CountSketch, CountSketchSchema
+from repro.sketch.invertible import InvertibleKArySchema, InvertibleKArySketch
 from repro.sketch.kary import KArySchema, KArySketch
 
 _MAGIC = b"KSK1"
@@ -94,7 +95,13 @@ _HEADER = struct.Struct("<4sIIqH")
 
 _MAGIC2 = b"KSK2"
 _HEADER2 = struct.Struct("<4sBIIIqH")
-_KIND_CODES = {"kary": 1, "countmin": 2, "countsketch": 3, "grouptesting": 4}
+_KIND_CODES = {
+    "kary": 1,
+    "countmin": 2,
+    "countsketch": 3,
+    "grouptesting": 4,
+    "invertible": 5,
+}
 _CODE_KINDS = {code: kind for kind, code in _KIND_CODES.items()}
 
 PathLike = Union[str, os.PathLike]
@@ -176,6 +183,10 @@ def _check_schema(schema, kind, depth, width, key_bits, seed, family) -> None:
 def _build_schema(kind, depth, width, key_bits, seed, family):
     if kind == "kary":
         return KArySchema(depth=depth, width=width, seed=seed, family=family)
+    if kind == "invertible":
+        return InvertibleKArySchema(
+            depth=depth, width=width, seed=seed, family=family
+        )
     if kind == "countmin":
         return CountMinSchema(depth=depth, width=width, seed=seed, family=family)
     if kind == "countsketch":
@@ -244,7 +255,14 @@ def loads(data: bytes, schema=None):
     else:
         _check_schema(schema, kind, depth, width, key_bits, seed, family)
 
-    shape = (depth, width, 1 + key_bits) if kind == "grouptesting" else (depth, width)
+    if kind == "grouptesting":
+        shape = (depth, width, 1 + key_bits)
+    elif kind == "invertible":
+        # counters + candidate-key bit patterns + votes; the same-dtype
+        # float64 round trip is a memcpy, so the uint64 key bits survive.
+        shape = (3, depth, width)
+    else:
+        shape = (depth, width)
     expected = int(np.prod(shape)) * 8
     body = data[offset:]
     if len(body) != expected:
@@ -252,6 +270,8 @@ def loads(data: bytes, schema=None):
     table = np.frombuffer(body, dtype="<f8").reshape(shape).copy()
     if kind == "kary":
         return KArySketch(schema, table)
+    if kind == "invertible":
+        return InvertibleKArySketch(schema, table)
     if kind == "countmin":
         return CountMinSketch(schema, table)
     if kind == "countsketch":

@@ -83,3 +83,39 @@ class TestCountMin:
         exact = DictVector()
         exact.update_batch(keys, values)
         assert sketch.estimate_f2() >= exact.estimate_f2() - 1e-6
+
+
+class TestIndexSurface:
+    """The KArySketch-style index surface: update_from_indices/estimate_rows."""
+
+    def test_update_from_indices_bit_identical(self, rng):
+        schema = CountMinSchema(depth=4, width=512, seed=3)
+        keys, values = _stream(rng, n=4000)
+        direct = schema.from_items(keys, values)
+        via_indices = schema.empty()
+        via_indices.update_from_indices(schema.bucket_indices(keys), values)
+        assert np.array_equal(
+            np.asarray(direct.table), np.asarray(via_indices.table)
+        )
+
+    def test_estimate_rows_shape_and_median(self, rng):
+        schema = CountMinSchema(depth=5, width=512, seed=3)
+        keys, values = _stream(rng, n=4000)
+        sketch = schema.from_items(keys, values)
+        probe = np.unique(keys)[:200]
+        rows = sketch.estimate_rows(probe)
+        assert rows.shape == (5, len(probe))
+        assert np.array_equal(
+            np.median(rows, axis=0), sketch.estimate_batch(probe, signed=True)
+        )
+
+    def test_estimate_rows_accepts_cached_indices(self, rng):
+        schema = CountMinSchema(depth=3, width=256, seed=1)
+        keys, values = _stream(rng, n=2000)
+        sketch = schema.from_items(keys, values)
+        probe = np.unique(keys)[:50]
+        indices = schema.bucket_indices(probe)
+        assert np.array_equal(
+            sketch.estimate_rows(probe, indices=indices),
+            sketch.estimate_rows(probe),
+        )
