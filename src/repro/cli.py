@@ -33,6 +33,16 @@ Subcommands
     Stream a trace through a live session in arrival-time chunks,
     periodically flushing pipeline metrics (Prometheus text or JSON)
     for scraping.
+``repro serve --port 5585 --model ewma``
+    Run the distributed-detection coordinator: accept per-site interval
+    sketches over TCP, COMBINE them per interval, and detect changes
+    network-wide.  ``--checkpoint``/``--checkpoint-every`` persist the
+    coordinator state; ``--resume`` restarts from such a checkpoint.
+``repro agent trace.bin --site pop-west --connect host:5585``
+    Stream one site's trace to a coordinator: sketch locally per
+    interval, ship sealed sketches (or suppress low-drift intervals
+    when ``--drift-fraction`` > 0 -- error-bounded communication
+    filtering).
 
 ``detect``, ``checkpoint``, ``resume`` and ``monitor`` accept
 ``--metrics-out PATH``: attach a
@@ -365,6 +375,132 @@ def _cmd_monitor(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Run the distributed-detection coordinator until the fleet finishes."""
+    import asyncio
+
+    from repro.distributed import CoordinatorServer, IntervalMerger
+    from repro.distributed.coordinator import load_merger_checkpoint
+    from repro.sketch import KArySchema
+
+    recorder = _make_recorder(args)
+    model_params = {}
+    if args.alpha is not None:
+        model_params["alpha"] = args.alpha
+    if args.beta is not None:
+        model_params["beta"] = args.beta
+    if args.window is not None:
+        model_params["window"] = args.window
+    if args.resume is not None:
+        merger = load_merger_checkpoint(args.resume, recorder=recorder)
+        merger.checkpoint_path = args.checkpoint
+        merger.checkpoint_every = args.checkpoint_every
+        print(
+            f"resumed coordinator at sealed_through="
+            f"{merger.sealed_through} ({len(merger.sites)} known sites)"
+        )
+    else:
+        schema = KArySchema(depth=args.depth, width=args.width, seed=args.seed)
+        merger = IntervalMerger(
+            schema,
+            args.model,
+            interval_seconds=args.interval,
+            t_fraction=args.threshold,
+            top_n=args.top_n,
+            key_source=args.key_source,
+            quorum=args.quorum,
+            deadline_seconds=args.deadline,
+            checkpoint_path=args.checkpoint,
+            checkpoint_every=args.checkpoint_every,
+            recorder=recorder,
+            **model_params,
+        )
+
+    async def _serve() -> None:
+        server = CoordinatorServer(
+            merger,
+            host=args.host,
+            port=args.port,
+            read_timeout=args.read_timeout,
+            on_report=lambda report: _print_session_report(
+                report, args.top_n if args.resume is None else merger.top_n
+            ),
+        )
+        await server.start()
+        print(f"coordinator listening on {server.host}:{server.port}")
+        try:
+            if args.exit_when_complete:
+                while not await server.wait_complete(
+                    timeout=60.0, min_sites=args.expect_sites
+                ):
+                    pass
+            else:  # pragma: no cover - interactive mode
+                await asyncio.Event().wait()
+        finally:
+            await server.stop()
+
+    try:
+        asyncio.run(_serve())
+    except KeyboardInterrupt:  # pragma: no cover - operator stop
+        pass
+    if args.checkpoint is not None:
+        merger.save_checkpoint(args.checkpoint)
+        print(f"checkpointed coordinator -> {args.checkpoint}")
+    print(
+        "coordinator: "
+        + " ".join(f"{k}={v}" for k, v in sorted(merger.stats.items()))
+    )
+    for name, site in merger.site_stats().items():
+        print(
+            f"site {name}: sketches={site['sketches']} "
+            f"digests={site['digests']} bytes={site['bytes']} "
+            f"late={site['late']} substituted={site['substituted']}"
+        )
+    _write_metrics(recorder, args)
+    return 0
+
+
+def _cmd_agent(args: argparse.Namespace) -> int:
+    """Stream one site's trace to a coordinator (see repro.distributed)."""
+    from repro.distributed import stream_trace
+    from repro.sketch import KArySchema
+    from repro.streams import read_trace
+
+    host, _, port = args.connect.rpartition(":")
+    if not host or not port.isdigit():
+        print(
+            f"error: --connect must be HOST:PORT, got {args.connect!r}",
+            file=sys.stderr,
+        )
+        return 1
+    records = read_trace(args.trace)
+    schema = KArySchema(depth=args.depth, width=args.width, seed=args.seed)
+    try:
+        stats = stream_trace(
+            records,
+            host,
+            int(port),
+            schema=schema,
+            site=args.site,
+            interval_seconds=args.interval,
+            key_scheme=args.key,
+            value_scheme=args.value,
+            key_source=args.key_source,
+            t_fraction=args.threshold,
+            drift_fraction=args.drift_fraction,
+            chunk_records=args.chunk_records,
+            heartbeat_interval=args.heartbeat,
+        )
+    except ConnectionError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    print(
+        f"agent {args.site}: "
+        + " ".join(f"{k}={v}" for k, v in sorted(stats.as_dict().items()))
+    )
+    return 0
+
+
 def _cmd_sketch(args: argparse.Namespace) -> int:
     import os
 
@@ -581,6 +717,81 @@ def build_parser() -> argparse.ArgumentParser:
     p_mon.add_argument("--metrics-every", type=int, default=10,
                        help="flush metrics every N chunks")
     p_mon.set_defaults(func=_cmd_monitor)
+
+    p_srv = sub.add_parser(
+        "serve", help="run the distributed-detection coordinator"
+    )
+    p_srv.add_argument("--host", default="127.0.0.1", help="bind address")
+    p_srv.add_argument("--port", type=int, default=5585,
+                       help="bind port (0 picks a free port)")
+    p_srv.add_argument("--model", default="ewma", help="forecast model name")
+    p_srv.add_argument("--interval", type=float, default=300.0)
+    p_srv.add_argument("--depth", type=int, default=5, help="sketch rows H")
+    p_srv.add_argument("--width", type=int, default=32768, help="sketch width K")
+    p_srv.add_argument("--seed", type=int, default=0, help="sketch hash seed")
+    p_srv.add_argument("--threshold", type=float, default=0.05,
+                       help="alarm threshold fraction T")
+    p_srv.add_argument("--top-n", type=int, default=0)
+    p_srv.add_argument("--key-source", default="twopass",
+                       choices=("twopass", "invertible", "grouptesting"),
+                       help="candidate-key strategy for network-wide reports")
+    p_srv.add_argument("--quorum", type=int, default=1,
+                       help="sites required before a deadline seal")
+    p_srv.add_argument("--deadline", type=float, default=None,
+                       help="seconds to wait for stragglers before sealing "
+                       "without them (default: wait forever, lossless)")
+    p_srv.add_argument("--read-timeout", type=float, default=30.0,
+                       help="per-connection idle budget in seconds")
+    p_srv.add_argument("--alpha", type=float, default=None)
+    p_srv.add_argument("--beta", type=float, default=None)
+    p_srv.add_argument("--window", type=int, default=None)
+    p_srv.add_argument("--checkpoint", default=None,
+                       help="coordinator checkpoint path (written on exit "
+                       "and every --checkpoint-every seals)")
+    p_srv.add_argument("--checkpoint-every", type=int, default=0,
+                       help="auto-checkpoint period in sealed intervals")
+    p_srv.add_argument("--resume", default=None,
+                       help="restore coordinator state from this checkpoint")
+    p_srv.add_argument("--exit-when-complete", action="store_true",
+                       help="exit once every site said BYE and all intervals "
+                       "sealed (batch/CI mode; default: serve forever)")
+    p_srv.add_argument("--expect-sites", type=int, default=1,
+                       help="with --exit-when-complete: wait for at least "
+                       "this many sites to register before the fleet can "
+                       "count as complete")
+    p_srv.add_argument("--metrics-out", default=None,
+                       help="write pipeline metrics here on completion")
+    p_srv.set_defaults(func=_cmd_serve)
+
+    p_ag = sub.add_parser(
+        "agent", help="stream one site's trace to a coordinator"
+    )
+    p_ag.add_argument("trace", help="binary trace path")
+    p_ag.add_argument("--site", required=True, help="site name (unique)")
+    p_ag.add_argument("--connect", default="127.0.0.1:5585",
+                      help="coordinator address as HOST:PORT")
+    p_ag.add_argument("--interval", type=float, default=300.0)
+    p_ag.add_argument("--key", default="dst_ip", help="key scheme")
+    p_ag.add_argument("--value", default="bytes", help="value scheme")
+    p_ag.add_argument("--depth", type=int, default=5, help="sketch rows H")
+    p_ag.add_argument("--width", type=int, default=32768, help="sketch width K")
+    p_ag.add_argument("--seed", type=int, default=0, help="sketch hash seed")
+    p_ag.add_argument("--threshold", type=float, default=0.05,
+                      help="detection threshold fraction T (sets the "
+                      "communication-filtering budget)")
+    p_ag.add_argument("--key-source", default="twopass",
+                      choices=("twopass", "invertible", "grouptesting"),
+                      help="twopass collects per-interval keys locally; "
+                      "recovering sources skip collection")
+    p_ag.add_argument("--drift-fraction", type=float, default=0.0,
+                      help="suppress intervals whose local L2 drift since "
+                      "the last transmission is below this fraction of the "
+                      "detection threshold (0 disables filtering)")
+    p_ag.add_argument("--chunk-records", type=int, default=4096,
+                      help="records ingested per event-loop step")
+    p_ag.add_argument("--heartbeat", type=float, default=None,
+                      help="send a liveness heartbeat every N seconds")
+    p_ag.set_defaults(func=_cmd_agent)
 
     p_sk = sub.add_parser("sketch", help="serialize per-interval sketches")
     p_sk.add_argument("trace", help="binary trace path")

@@ -41,7 +41,10 @@ import os
 from typing import Optional, Union
 
 from repro.detection.session import StreamingSession
-from repro.detection.sharded import ShardedStreamingSession
+from repro.detection.sharded import (
+    DEFAULT_RETRY_BACKOFF_MAX,
+    ShardedStreamingSession,
+)
 from repro.forecast.arima import ArimaForecaster
 from repro.forecast.holtwinters import (
     HoltWintersForecaster,
@@ -164,6 +167,7 @@ def checkpoint_session(session: StreamingSession) -> bytes:
             "task_timeout": engine.task_timeout,
             "max_retries": engine.max_retries,
             "retry_backoff": engine.retry_backoff,
+            "retry_backoff_max": engine.retry_backoff_max,
         }
     body = {
         "forecaster": session.forecaster.get_state(),
@@ -231,6 +235,11 @@ def restore_session(
             task_timeout=sharded["task_timeout"],
             max_retries=sharded["max_retries"],
             retry_backoff=sharded["retry_backoff"],
+            # Pre-cap checkpoints (through PR 7) carry no ceiling; they
+            # restore with the default cap rather than unbounded sleeps.
+            retry_backoff_max=sharded.get(
+                "retry_backoff_max", DEFAULT_RETRY_BACKOFF_MAX
+            ),
             **common,
         )
     else:

@@ -71,6 +71,30 @@ BACKENDS = ("serial", "thread", "process")
 
 _EMPTY_KEYS = np.array([], dtype=np.uint64)
 
+#: Default ceiling on the exponential retry backoff (seconds).  Without a
+#: cap, ``retry_backoff * 2**attempt`` grows without bound as soon as an
+#: operator raises ``max_retries`` -- a handful of failed attempts and the
+#: supervision layer itself becomes the availability problem.
+DEFAULT_RETRY_BACKOFF_MAX = 5.0
+
+
+def _resolve_futures(futures, timeout, clock=time.monotonic):
+    """Resolve every future under ONE shared monotonic deadline.
+
+    ``f.result(timeout=t)`` applied per future in a loop accumulates: each
+    straggler restarts the clock, so a batch of N hung tasks blocks for
+    ``N * t`` wall-clock seconds.  Here the deadline is fixed once, from
+    ``clock()`` (monotonic -- immune to wall-clock steps), and every
+    future is given only the time *remaining*; total wait is bounded by
+    ``timeout`` no matter how many shards hang.  ``timeout=None`` waits
+    forever, as before.  Raises ``concurrent.futures.TimeoutError`` once
+    per batch when the deadline expires.
+    """
+    if timeout is None:
+        return [f.result() for f in futures]
+    deadline = clock() + timeout
+    return [f.result(timeout=max(0.0, deadline - clock())) for f in futures]
+
 # Worker-process state: one attached SharedTableBlock per process, set up
 # once by the pool initializer (hash tables rebuilt from the SchemaHandle
 # and cached, so the per-task payload is just keys/values).
@@ -133,6 +157,10 @@ class ShardedIngestEngine:
         so a dying worker can delay a report but never lose one.
     retry_backoff:
         Base sleep (seconds) between retries, doubled each attempt.
+    retry_backoff_max:
+        Ceiling on the doubled backoff (seconds, default
+        :data:`DEFAULT_RETRY_BACKOFF_MAX`); keeps a long retry budget
+        from turning into unbounded sleeps.
     collect_keys:
         Whether :meth:`collect` also returns the interval's deduplicated
         key set (default ``True``).  Sessions using a recovering key
@@ -160,6 +188,7 @@ class ShardedIngestEngine:
         task_timeout: Optional[float] = None,
         max_retries: int = 2,
         retry_backoff: float = 0.1,
+        retry_backoff_max: float = DEFAULT_RETRY_BACKOFF_MAX,
         collect_keys: bool = True,
         recorder=None,
     ) -> None:
@@ -178,6 +207,10 @@ class ShardedIngestEngine:
             raise ValueError(f"max_retries must be >= 0, got {max_retries}")
         if retry_backoff < 0:
             raise ValueError(f"retry_backoff must be >= 0, got {retry_backoff}")
+        if retry_backoff_max < 0:
+            raise ValueError(
+                f"retry_backoff_max must be >= 0, got {retry_backoff_max}"
+            )
         from repro.streams.keys import make_key_scheme, make_value_scheme
 
         self.schema = schema
@@ -187,7 +220,12 @@ class ShardedIngestEngine:
         self.task_timeout = task_timeout
         self.max_retries = int(max_retries)
         self.retry_backoff = float(retry_backoff)
+        self.retry_backoff_max = float(retry_backoff_max)
         self.collect_keys = bool(collect_keys)
+        # Injectable monotonic clock: the shared-deadline future collection
+        # and the retry backoff read elapsed time through this, so tests
+        # can prove the timing contracts against a fake clock.
+        self._clock = time.monotonic
         self.recorder = NULL_RECORDER if recorder is None else recorder
         self.recorder.preregister_labelled(
             "repro_supervision_events_total", "event", _SUPERVISION_EVENTS
@@ -364,7 +402,9 @@ class ShardedIngestEngine:
                     )
                     for i, items in zip(loaded, shard_items)
                 ]
-                key_sets = [f.result(timeout=self.task_timeout) for f in futures]
+                key_sets = _resolve_futures(
+                    futures, self.task_timeout, clock=self._clock
+                )
                 summaries = [self._block.summary(i) for i in loaded]
                 if not self.collect_keys:
                     keys = _EMPTY_KEYS
@@ -393,8 +433,12 @@ class ShardedIngestEngine:
                         attempt=attempt, error=type(exc).__name__,
                     )
                     if self.retry_backoff:
-                        time.sleep(self.retry_backoff * (2.0**attempt))
+                        time.sleep(self._backoff_delay(attempt))
         return self._seal_degraded(loaded, shard_items)
+
+    def _backoff_delay(self, attempt: int) -> float:
+        """Exponential retry delay, capped at ``retry_backoff_max``."""
+        return min(self.retry_backoff * (2.0**attempt), self.retry_backoff_max)
 
     def _seal_thread(self, loaded, shard_items):
         futures = [
@@ -402,7 +446,9 @@ class ShardedIngestEngine:
             for items in shard_items
         ]
         try:
-            summaries = [f.result(timeout=self.task_timeout) for f in futures]
+            summaries = _resolve_futures(
+                futures, self.task_timeout, clock=self._clock
+            )
         except _FuturesTimeout:
             # Threads cannot be killed or respawned, so there is no retry
             # tier: a stuck seal degrades straight to the serial path.
@@ -522,8 +568,8 @@ class ShardedStreamingSession(StreamingSession):
 
     Drop-in replacement: same constructor arguments plus ``n_workers``,
     ``backend``, ``partition`` and the supervision knobs ``task_timeout``,
-    ``max_retries``, ``retry_backoff`` (all forwarded to
-    :class:`ShardedIngestEngine`).  Reports are identical to the serial
+    ``max_retries``, ``retry_backoff``, ``retry_backoff_max`` (all
+    forwarded to :class:`ShardedIngestEngine`).  Reports are identical to the serial
     session's -- same alarms, thresholds and top-N -- because the merged
     per-interval sketch and candidate key set are identical (COMBINE
     linearity; integral update values are exact in float64).
@@ -542,6 +588,7 @@ class ShardedStreamingSession(StreamingSession):
         task_timeout: Optional[float] = None,
         max_retries: int = 2,
         retry_backoff: float = 0.1,
+        retry_backoff_max: float = DEFAULT_RETRY_BACKOFF_MAX,
         **kwargs,
     ) -> None:
         super().__init__(schema, forecaster, **kwargs)
@@ -555,6 +602,7 @@ class ShardedStreamingSession(StreamingSession):
             task_timeout=task_timeout,
             max_retries=max_retries,
             retry_backoff=retry_backoff,
+            retry_backoff_max=retry_backoff_max,
             collect_keys=self.key_source == "twopass",
             recorder=self.recorder,
         )

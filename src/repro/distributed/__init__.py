@@ -1,0 +1,71 @@
+"""Distributed detection tier: per-site agents, a combining coordinator.
+
+The paper's deployment model sketches at every observation point and
+COMBINEs centrally; this package is that topology over TCP.
+:mod:`~repro.distributed.frames` defines the length-prefixed wire
+format, :mod:`~repro.distributed.agent` the per-site runtime (local
+interval sketching + error-bounded communication filtering),
+:mod:`~repro.distributed.coordinator` the merge policy and network-wide
+detection pipeline, and :mod:`~repro.distributed.loopback` the
+single-process end-to-end harness proving the bit-identity guarantee.
+"""
+
+from repro.distributed.agent import (
+    AgentStats,
+    DriftGate,
+    LocalSketcher,
+    run_agent,
+    stream_trace,
+)
+from repro.distributed.coordinator import (
+    CoordinatorServer,
+    IntervalMerger,
+    load_merger_checkpoint,
+    restore_merger,
+)
+from repro.distributed.frames import (
+    DEFAULT_MAX_PAYLOAD,
+    FRAME_HEADER_SIZE,
+    FRAME_TYPES,
+    FrameError,
+    FrameTooLargeError,
+    TruncatedFrameError,
+    decode_frame,
+    encode_frame,
+    read_frame,
+    write_frame,
+)
+from repro.distributed.loopback import (
+    LoopbackResult,
+    partition_records,
+    run_loopback,
+    run_loopback_async,
+    run_serial_reference,
+)
+
+__all__ = [
+    "AgentStats",
+    "DriftGate",
+    "LocalSketcher",
+    "run_agent",
+    "stream_trace",
+    "CoordinatorServer",
+    "IntervalMerger",
+    "load_merger_checkpoint",
+    "restore_merger",
+    "DEFAULT_MAX_PAYLOAD",
+    "FRAME_HEADER_SIZE",
+    "FRAME_TYPES",
+    "FrameError",
+    "FrameTooLargeError",
+    "TruncatedFrameError",
+    "decode_frame",
+    "encode_frame",
+    "read_frame",
+    "write_frame",
+    "LoopbackResult",
+    "partition_records",
+    "run_loopback",
+    "run_loopback_async",
+    "run_serial_reference",
+]

@@ -1,0 +1,194 @@
+"""Length-prefixed wire frames for the distributed detection tier.
+
+Agents and the coordinator exchange *frames* over a TCP stream.  A frame
+is a fixed 9-byte header followed by a packed payload:
+
+======  ====  ===========================================
+offset  size  field
+======  ====  ===========================================
+0       4     magic ``b"KDF1"``
+4       1     frame type (uint8, see :data:`FRAME_TYPES`)
+5       4     payload length (little-endian uint32)
+9       --    payload (KCP1 tagged codec, one dict)
+======  ====  ===========================================
+
+Payloads are encoded with the checkpoint layer's tagged state codec
+(:func:`~repro.sketch.serialization.pack_state`), so a frame can carry
+ints, floats, strings, bytes and NumPy arrays without inventing another
+serializer -- a SKETCH frame embeds the interval's KSK2 blob as a plain
+``bytes`` field and its key set as a ``uint64`` array.
+
+Frame types
+-----------
+``HELLO``
+    First frame on every connection: the agent's site name, its schema
+    identity (checked against the coordinator's -- COMBINE across
+    mismatched schemas would estimate garbage), and its stream config.
+``SKETCH``
+    One sealed interval: index, serialized summary, candidate keys.
+``DIGEST``
+    A *suppressed* interval: the agent's local sketch drifted less than
+    the communication-filtering budget since its last transmission, so
+    only the drift estimate travels (a few dozen bytes instead of the
+    full counter table).
+``HEARTBEAT``
+    Liveness signal while no interval is ready.
+``BYE``
+    Clean end of stream: the site has no further intervals.
+``ACK`` / ``ERROR``
+    Coordinator responses to ``HELLO`` (accept / refuse with reason).
+
+Decode failures raise typed errors so the transport can distinguish a
+corrupt or truncated frame (drop, count, resynchronize or close) from a
+programming error: :class:`FrameError` and its subclasses
+:class:`TruncatedFrameError` (stream ended mid-frame) and
+:class:`FrameTooLargeError` (declared payload exceeds the reader's
+budget -- refusing up front bounds coordinator memory per connection).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import struct
+from typing import Optional, Tuple
+
+from repro.sketch.serialization import pack_state, unpack_state
+
+FRAME_MAGIC = b"KDF1"
+_FRAME_HEADER = struct.Struct("<4sBI")
+
+#: Wire codes for every frame type.
+FRAME_TYPES = {
+    "hello": 1,
+    "sketch": 2,
+    "digest": 3,
+    "heartbeat": 4,
+    "bye": 5,
+    "ack": 6,
+    "error": 7,
+}
+_CODE_TYPES = {code: name for name, code in FRAME_TYPES.items()}
+
+#: Default per-frame payload budget (bytes).  A 16 MiB frame comfortably
+#: holds an H=5, K=262144 float64 table (~10.5 MiB) plus a large key set;
+#: anything bigger is almost certainly a corrupt length field.
+DEFAULT_MAX_PAYLOAD = 16 * 1024 * 1024
+
+FRAME_HEADER_SIZE = _FRAME_HEADER.size
+
+
+class FrameError(ValueError):
+    """A wire frame is malformed (bad magic, unknown type, bad payload)."""
+
+
+class TruncatedFrameError(FrameError):
+    """The stream ended in the middle of a frame."""
+
+
+class FrameTooLargeError(FrameError):
+    """A frame declared a payload larger than the reader's budget."""
+
+
+def encode_frame(frame_type: str, payload: Optional[dict] = None) -> bytes:
+    """Encode one frame: header plus tagged-codec payload."""
+    code = FRAME_TYPES.get(frame_type)
+    if code is None:
+        raise ValueError(
+            f"unknown frame type {frame_type!r} (expected one of "
+            f"{sorted(FRAME_TYPES)})"
+        )
+    blob = pack_state(payload if payload is not None else {})
+    return _FRAME_HEADER.pack(FRAME_MAGIC, code, len(blob)) + blob
+
+
+def decode_header(header: bytes) -> Tuple[str, int]:
+    """Decode a 9-byte frame header into ``(frame_type, payload_len)``."""
+    if len(header) < FRAME_HEADER_SIZE:
+        raise TruncatedFrameError(
+            f"frame header is {len(header)} bytes, need {FRAME_HEADER_SIZE}"
+        )
+    magic, code, length = _FRAME_HEADER.unpack_from(header)
+    if magic != FRAME_MAGIC:
+        raise FrameError(f"bad frame magic {magic!r}")
+    name = _CODE_TYPES.get(code)
+    if name is None:
+        raise FrameError(f"unknown frame type code {code}")
+    return name, length
+
+
+def decode_payload(blob: bytes) -> dict:
+    """Decode a frame payload, normalizing codec failures to FrameError."""
+    try:
+        payload = unpack_state(blob)
+    except (ValueError, IndexError, KeyError, struct.error) as exc:
+        raise FrameError(f"undecodable frame payload: {exc}") from None
+    if not isinstance(payload, dict):
+        raise FrameError(
+            f"frame payload must be a dict, got {type(payload).__name__}"
+        )
+    return payload
+
+
+def decode_frame(
+    data: bytes, max_payload: int = DEFAULT_MAX_PAYLOAD
+) -> Tuple[str, dict, int]:
+    """Decode one frame from a buffer: ``(type, payload, bytes_consumed)``.
+
+    The synchronous twin of :func:`read_frame`, used by tests and by any
+    transport that already holds whole frames in memory.
+    """
+    name, length = decode_header(data)
+    if length > max_payload:
+        raise FrameTooLargeError(
+            f"frame payload of {length} bytes exceeds the {max_payload}-byte "
+            "budget"
+        )
+    end = FRAME_HEADER_SIZE + length
+    if len(data) < end:
+        raise TruncatedFrameError(
+            f"frame needs {end} bytes, buffer holds {len(data)}"
+        )
+    return name, decode_payload(data[FRAME_HEADER_SIZE:end]), end
+
+
+async def read_frame(
+    reader: asyncio.StreamReader, max_payload: int = DEFAULT_MAX_PAYLOAD
+) -> Optional[Tuple[str, dict]]:
+    """Read one frame from an asyncio stream.
+
+    Returns ``None`` on clean EOF (the peer closed between frames);
+    raises :class:`TruncatedFrameError` when the stream ends mid-frame,
+    :class:`FrameTooLargeError` before buffering an over-budget payload.
+    """
+    try:
+        header = await reader.readexactly(FRAME_HEADER_SIZE)
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None
+        raise TruncatedFrameError(
+            f"stream ended {len(exc.partial)} bytes into a frame header"
+        ) from None
+    name, length = decode_header(header)
+    if length > max_payload:
+        raise FrameTooLargeError(
+            f"frame payload of {length} bytes exceeds the {max_payload}-byte "
+            "budget"
+        )
+    try:
+        blob = await reader.readexactly(length)
+    except asyncio.IncompleteReadError as exc:
+        raise TruncatedFrameError(
+            f"stream ended {len(exc.partial)}/{length} bytes into a "
+            f"{name} payload"
+        ) from None
+    return name, decode_payload(blob)
+
+
+async def write_frame(
+    writer: asyncio.StreamWriter, frame_type: str, payload: Optional[dict] = None
+) -> int:
+    """Encode and send one frame; returns the bytes put on the wire."""
+    data = encode_frame(frame_type, payload)
+    writer.write(data)
+    await writer.drain()
+    return len(data)

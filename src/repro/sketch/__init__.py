@@ -40,7 +40,13 @@ from repro.sketch.mergeable import (
     table_shape,
     to_shared,
 )
-from repro.sketch.serialization import dump, dumps, load, loads
+from repro.sketch.serialization import (
+    SketchDecodeError,
+    dump,
+    dumps,
+    load,
+    loads,
+)
 from repro.sketch.stack import SketchStack, tables_estimate_f2
 
 __all__ = [
@@ -60,6 +66,7 @@ __all__ = [
     "LinearSummary",
     "SchemaHandle",
     "SharedTableBlock",
+    "SketchDecodeError",
     "SketchStack",
     "SummaryConvention",
     "combine",

@@ -107,6 +107,19 @@ _CODE_KINDS = {code: kind for kind, code in _KIND_CODES.items()}
 PathLike = Union[str, os.PathLike]
 
 
+class SketchDecodeError(ValueError):
+    """A serialized sketch blob is malformed.
+
+    Raised by :func:`loads` when the *bytes themselves* are wrong --
+    truncated, oversized, bad magic, an unknown kind code, a mangled
+    family name.  Network codecs catch this one type to classify a frame
+    as corrupt (drop it, count it, keep the connection's state machine
+    intact) without also swallowing programming errors such as a schema
+    mismatch, which stays a plain :class:`ValueError`.  Subclasses
+    ``ValueError`` so existing callers that catch broadly keep working.
+    """
+
+
 def _seed_code(schema) -> int:
     seed = schema.seed
     if seed is None:
@@ -212,29 +225,36 @@ def loads(data: bytes, schema=None):
         this is the guard that makes cross-machine COMBINE safe.
     """
     if len(data) < 4:
-        raise ValueError("data too short for a sketch header")
+        raise SketchDecodeError("data too short for a sketch header")
     magic = data[:4]
     if magic == _MAGIC:
         if len(data) < _HEADER.size:
-            raise ValueError("data too short for a sketch header")
+            raise SketchDecodeError("data too short for a sketch header")
         _, depth, width, seed_code, name_len = _HEADER.unpack_from(data)
         kind = "kary"
         key_bits = 0
         offset = _HEADER.size
     elif magic == _MAGIC2:
         if len(data) < _HEADER2.size:
-            raise ValueError("data too short for a sketch header")
+            raise SketchDecodeError("data too short for a sketch header")
         _, kind_code, depth, width, key_bits, seed_code, name_len = (
             _HEADER2.unpack_from(data)
         )
         kind = _CODE_KINDS.get(kind_code)
         if kind is None:
-            raise ValueError(f"unknown summary kind code {kind_code}")
+            raise SketchDecodeError(f"unknown summary kind code {kind_code}")
         offset = _HEADER2.size
     else:
-        raise ValueError(f"bad magic {magic!r} (not a serialized sketch)")
+        raise SketchDecodeError(f"bad magic {magic!r} (not a serialized sketch)")
 
-    family = data[offset : offset + name_len].decode("utf-8")
+    if offset + name_len > len(data):
+        raise SketchDecodeError(
+            f"data too short for the {name_len}-byte hash family name"
+        )
+    try:
+        family = data[offset : offset + name_len].decode("utf-8")
+    except UnicodeDecodeError as exc:
+        raise SketchDecodeError(f"hash family name is not UTF-8: {exc}") from None
     offset += name_len
     if seed_code == -1:
         # Legacy writers encoded seed=None as -1.  Such blobs were never
@@ -266,7 +286,9 @@ def loads(data: bytes, schema=None):
     expected = int(np.prod(shape)) * 8
     body = data[offset:]
     if len(body) != expected:
-        raise ValueError(f"table payload is {len(body)} bytes, expected {expected}")
+        raise SketchDecodeError(
+            f"table payload is {len(body)} bytes, expected {expected}"
+        )
     table = np.frombuffer(body, dtype="<f8").reshape(shape).copy()
     if kind == "kary":
         return KArySketch(schema, table)

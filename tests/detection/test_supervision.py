@@ -272,6 +272,174 @@ class TestThreadTimeout:
         engine.close()
 
 
+class _FakeClock:
+    """A monotonic clock tests advance by hand."""
+
+    def __init__(self, start=100.0):
+        self.now = start
+
+    def __call__(self):
+        return self.now
+
+
+class _CostedFuture:
+    """A future whose result() consumes fake-clock time and logs its budget."""
+
+    def __init__(self, clock, cost, log):
+        self.clock = clock
+        self.cost = cost
+        self.log = log
+
+    def result(self, timeout=None):
+        self.log.append(timeout)
+        self.clock.now += self.cost
+        return "ok"
+
+
+class TestSharedBatchDeadline:
+    """The whole batch shares ONE deadline; timeouts never accumulate."""
+
+    def test_budget_shrinks_as_futures_resolve(self):
+        from repro.detection.sharded import _resolve_futures
+
+        clock = _FakeClock()
+        budgets = []
+        futures = [
+            _CostedFuture(clock, cost, budgets) for cost in (0.9, 0.05, 0.0)
+        ]
+        _resolve_futures(futures, 1.0, clock=clock)
+        # First future gets the whole budget; the rest get the remainder
+        # of the SAME deadline, not a fresh task_timeout each.
+        assert budgets[0] == pytest.approx(1.0)
+        assert budgets[1] == pytest.approx(0.1)
+        assert budgets[2] == pytest.approx(0.05)
+
+    def test_exhausted_budget_clamps_to_zero(self):
+        from repro.detection.sharded import _resolve_futures
+
+        clock = _FakeClock()
+        budgets = []
+        futures = [_CostedFuture(clock, cost, budgets) for cost in (2.5, 0.0)]
+        _resolve_futures(futures, 1.0, clock=clock)
+        # A future that blew the deadline leaves no budget -- the next
+        # result() call polls with 0, it does not wait another period.
+        assert budgets[1] == 0.0
+
+    def test_no_timeout_waits_forever(self):
+        from repro.detection.sharded import _resolve_futures
+
+        budgets = []
+        clock = _FakeClock()
+        futures = [_CostedFuture(clock, 9.9, budgets) for _ in range(3)]
+        assert _resolve_futures(futures, None, clock=clock) == ["ok"] * 3
+        assert budgets == [None, None, None]
+
+    def test_engine_clock_is_injectable(self, schema):
+        engine = ShardedIngestEngine(schema, n_workers=2, backend="serial")
+        assert engine._clock is time.monotonic
+        engine.close()
+
+    def test_hung_batch_wall_clock_bounded_by_one_timeout(
+        self, schema, records
+    ):
+        """4 hung shards cost ~task_timeout total, not 4 * task_timeout."""
+        engine = ShardedIngestEngine(
+            schema, n_workers=4, backend="thread", task_timeout=0.3,
+        )
+        chunk = records[:2000]
+        engine.open_interval()
+        engine.accumulate(chunk)
+        original_submit = engine._pool.submit
+
+        def hung_submit(fn, *args, **kwargs):
+            return original_submit(lambda *a, **k: time.sleep(5.0))
+
+        engine._pool.submit = hung_submit
+        start = time.monotonic()
+        summary, _ = engine.collect()
+        elapsed = time.monotonic() - start
+        engine._pool.submit = original_submit
+        reference = _reference_summary(engine, chunk)
+        assert np.array_equal(
+            np.asarray(summary.table), np.asarray(reference.table)
+        )
+        # Sequential per-future timeouts would take >= 1.2s before the
+        # degraded seal even starts; the shared deadline spends ~0.3s.
+        assert elapsed < 1.0
+        # One batch -> one timeout in the tally, not one per shard.
+        assert engine.stats["timeouts"] == 1
+        engine.close()
+
+
+class TestRetryBackoffCap:
+    def test_delay_schedule_is_capped(self, schema):
+        engine = ShardedIngestEngine(
+            schema, n_workers=2, backend="serial",
+            retry_backoff=0.1, retry_backoff_max=0.4,
+        )
+        assert engine._backoff_delay(0) == pytest.approx(0.1)
+        assert engine._backoff_delay(1) == pytest.approx(0.2)
+        assert engine._backoff_delay(2) == pytest.approx(0.4)
+        # Attempt 10 would be 102.4s uncapped.
+        assert engine._backoff_delay(10) == pytest.approx(0.4)
+        engine.close()
+
+    def test_default_cap_applies(self, schema):
+        from repro.detection.sharded import DEFAULT_RETRY_BACKOFF_MAX
+
+        engine = ShardedIngestEngine(schema, n_workers=2, backend="serial")
+        assert engine.retry_backoff_max == DEFAULT_RETRY_BACKOFF_MAX
+        assert engine._backoff_delay(30) == DEFAULT_RETRY_BACKOFF_MAX
+        engine.close()
+
+    def test_negative_cap_rejected(self, schema):
+        with pytest.raises(ValueError, match="retry_backoff_max"):
+            ShardedIngestEngine(schema, n_workers=2, retry_backoff_max=-1.0)
+
+    def test_session_forwards_cap(self, schema):
+        with ShardedStreamingSession(
+            schema, "ewma", n_workers=2, backend="serial",
+            retry_backoff_max=2.5,
+        ) as session:
+            assert session._engine.retry_backoff_max == 2.5
+
+    def test_checkpoint_roundtrips_cap(self, schema, records):
+        from repro.detection import checkpoint_session, restore_session
+
+        session = ShardedStreamingSession(
+            schema, "ewma", n_workers=2, backend="serial",
+            retry_backoff_max=3.5,
+        )
+        session.ingest(records[:1000])
+        data = checkpoint_session(session)
+        session.close()
+        restored = restore_session(data, schema=schema)
+        assert restored._engine.retry_backoff_max == 3.5
+        restored.close()
+
+    def test_pre_cap_checkpoint_restores_with_default(self, schema, records):
+        """PR-7-era checkpoints carry no cap; they get the default one."""
+        from repro.detection import checkpoint_session, restore_session
+        from repro.detection.sharded import DEFAULT_RETRY_BACKOFF_MAX
+        from repro.sketch.serialization import (
+            dumps_checkpoint,
+            loads_checkpoint,
+        )
+
+        session = ShardedStreamingSession(
+            schema, "ewma", n_workers=2, backend="serial",
+        )
+        session.ingest(records[:1000])
+        data = checkpoint_session(session)
+        session.close()
+        meta, body = loads_checkpoint(data, schema=schema)
+        del meta["sharded"]["retry_backoff_max"]
+        legacy = dumps_checkpoint(meta, body)
+        restored = restore_session(legacy, schema=schema)
+        assert restored._engine.retry_backoff_max == DEFAULT_RETRY_BACKOFF_MAX
+        restored.close()
+
+
 class TestBufferCaptureRestore:
     def test_roundtrip_preserves_seal(self, schema, records, rng):
         engine = ShardedIngestEngine(schema, n_workers=3, backend="serial")

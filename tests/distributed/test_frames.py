@@ -1,0 +1,155 @@
+"""Wire-frame codec tests: roundtrips, truncation, budget enforcement."""
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro.distributed.frames import (
+    DEFAULT_MAX_PAYLOAD,
+    FRAME_HEADER_SIZE,
+    FRAME_TYPES,
+    FrameError,
+    FrameTooLargeError,
+    TruncatedFrameError,
+    decode_frame,
+    decode_header,
+    encode_frame,
+    read_frame,
+    write_frame,
+)
+
+
+async def _read_one(
+    data: bytes, eof: bool = True, max_payload: int = DEFAULT_MAX_PAYLOAD
+):
+    # The StreamReader must be built inside the running loop (it binds
+    # the current event loop at construction on 3.11).
+    reader = asyncio.StreamReader()
+    reader.feed_data(data)
+    if eof:
+        reader.feed_eof()
+    return await read_frame(reader, max_payload)
+
+
+class TestSyncCodec:
+    @pytest.mark.parametrize("frame_type", sorted(FRAME_TYPES))
+    def test_roundtrip_every_type(self, frame_type):
+        payload = {
+            "site": "pop-west",
+            "interval": 42,
+            "blob": b"\x00\x01\x02",
+            "keys": np.array([1, 2, 3], dtype=np.uint64),
+            "drift": 1.5,
+        }
+        blob = encode_frame(frame_type, payload)
+        name, decoded, consumed = decode_frame(blob)
+        assert name == frame_type
+        assert consumed == len(blob)
+        assert decoded["site"] == "pop-west"
+        assert decoded["interval"] == 42
+        assert decoded["blob"] == b"\x00\x01\x02"
+        assert np.array_equal(decoded["keys"], payload["keys"])
+        assert decoded["drift"] == 1.5
+
+    def test_empty_payload(self):
+        blob = encode_frame("heartbeat")
+        name, payload, consumed = decode_frame(blob)
+        assert name == "heartbeat"
+        assert payload == {}
+        assert consumed == len(blob)
+        # Header + the tagged codec's empty-dict encoding; tiny either way.
+        assert consumed < FRAME_HEADER_SIZE + 16
+
+    def test_unknown_type_rejected_at_encode(self):
+        with pytest.raises(ValueError, match="unknown frame type"):
+            encode_frame("nonsense", {})
+
+    def test_every_prefix_is_a_typed_error(self):
+        blob = encode_frame("sketch", {"interval": 7, "data": b"x" * 100})
+        for cut in range(len(blob)):
+            with pytest.raises(FrameError):
+                decode_frame(blob[:cut])
+
+    def test_bad_magic(self):
+        blob = bytearray(encode_frame("ack", {}))
+        blob[0] = 0x58
+        with pytest.raises(FrameError, match="magic"):
+            decode_header(bytes(blob))
+
+    def test_unknown_type_code(self):
+        blob = bytearray(encode_frame("ack", {}))
+        blob[4] = 200
+        with pytest.raises(FrameError, match="type code"):
+            decode_header(bytes(blob))
+
+    def test_oversized_declared_payload(self):
+        blob = encode_frame("sketch", {"data": b"x" * 1000})
+        with pytest.raises(FrameTooLargeError):
+            decode_frame(blob, max_payload=100)
+
+    def test_garbage_payload_is_frame_error(self):
+        header = encode_frame("ack", {})[:FRAME_HEADER_SIZE]
+        garbage = bytes([0xEE] * 10)
+        rebuilt = bytearray(encode_frame("ack", {}))
+        rebuilt[5:9] = (10).to_bytes(4, "little")
+        with pytest.raises(FrameError):
+            decode_frame(bytes(rebuilt) + garbage)
+        assert header  # silence unused warning paths
+
+
+class TestAsyncStream:
+    def test_reads_back_to_back_frames(self):
+        data = encode_frame("hello", {"site": "a"}) + encode_frame(
+            "bye", {"site": "a"}
+        )
+
+        async def run():
+            reader = asyncio.StreamReader()
+            reader.feed_data(data)
+            reader.feed_eof()
+            first = await read_frame(reader)
+            second = await read_frame(reader)
+            third = await read_frame(reader)
+            return first, second, third
+
+        first, second, third = asyncio.run(run())
+        assert first == ("hello", {"site": "a"})
+        assert second == ("bye", {"site": "a"})
+        assert third is None  # clean EOF between frames
+
+    def test_eof_mid_header_is_truncated(self):
+        with pytest.raises(TruncatedFrameError, match="header"):
+            asyncio.run(_read_one(encode_frame("ack", {})[:4]))
+
+    def test_eof_mid_payload_is_truncated(self):
+        blob = encode_frame("sketch", {"data": b"y" * 64})
+        with pytest.raises(TruncatedFrameError, match="payload"):
+            asyncio.run(_read_one(blob[:-10]))
+
+    def test_over_budget_frame_refused_before_buffering(self):
+        blob = encode_frame("sketch", {"data": b"z" * 2048})
+        with pytest.raises(FrameTooLargeError):
+            asyncio.run(_read_one(blob, max_payload=64))
+
+    def test_default_budget_accepts_large_sketches(self):
+        # An H=5, K=64k float64 table is ~2.6 MiB -- well within budget.
+        assert DEFAULT_MAX_PAYLOAD >= 8 * 5 * 65536
+
+    def test_write_frame_reports_wire_bytes(self):
+        class _Writer:
+            def __init__(self):
+                self.chunks = []
+
+            def write(self, data):
+                self.chunks.append(data)
+
+            async def drain(self):
+                pass
+
+        writer = _Writer()
+        n = asyncio.run(write_frame(writer, "digest", {"drift": 0.5}))
+        assert n == sum(len(c) for c in writer.chunks)
+        name, payload, _ = decode_frame(b"".join(writer.chunks))
+        assert name == "digest"
+        assert payload == {"drift": 0.5}

@@ -1,0 +1,110 @@
+"""Decode-robustness fuzz tests for the sketch wire format.
+
+The distributed tier feeds network bytes straight into ``loads``, so a
+truncated or corrupted blob must surface as :class:`SketchDecodeError`
+(a ``ValueError`` subclass the frame layer catches to classify corrupt
+frames) -- never as a raw ``struct.error``, ``UnicodeDecodeError`` or
+numpy reshape exception, and never as a silently wrong sketch.
+"""
+
+import numpy as np
+import pytest
+
+from repro.sketch import (
+    CountMinSchema,
+    CountSketchSchema,
+    InvertibleKArySchema,
+    KArySchema,
+    SketchDecodeError,
+)
+from repro.sketch.serialization import dumps, loads
+
+
+def _sealed_sketch(schema, rng):
+    sketch = schema.empty()
+    keys = rng.integers(0, 2**32, 64).astype(np.uint64)
+    values = rng.integers(1, 1000, 64).astype(np.float64)
+    sketch.update_batch(keys, values)
+    return sketch
+
+
+SCHEMAS = [
+    KArySchema(depth=3, width=64, seed=11),
+    InvertibleKArySchema(depth=3, width=64, seed=11),
+    CountMinSchema(depth=3, width=64, seed=11),
+    CountSketchSchema(depth=3, width=64, seed=11),
+]
+
+
+@pytest.mark.parametrize(
+    "schema", SCHEMAS, ids=lambda s: type(s).__name__
+)
+class TestTruncationFuzz:
+    def test_every_proper_prefix_raises_typed_error(self, schema, rng):
+        """No prefix of a valid payload may crash or half-parse.
+
+        The wire header pins the exact table size, so every proper
+        prefix is undecodable -- and must say so with the typed error.
+        """
+        blob = dumps(_sealed_sketch(schema, rng))
+        for cut in range(len(blob)):
+            with pytest.raises(SketchDecodeError):
+                loads(blob[:cut], schema=schema)
+
+    def test_full_payload_roundtrips(self, schema, rng):
+        sketch = _sealed_sketch(schema, rng)
+        restored = loads(dumps(sketch), schema=schema)
+        assert np.array_equal(
+            np.asarray(restored.table), np.asarray(sketch.table)
+        )
+
+    def test_oversized_payload_rejected(self, schema, rng):
+        blob = dumps(_sealed_sketch(schema, rng))
+        with pytest.raises(SketchDecodeError, match="table payload"):
+            loads(blob + b"\x00" * 8, schema=schema)
+
+    def test_corrupt_magic_rejected(self, schema, rng):
+        blob = dumps(_sealed_sketch(schema, rng))
+        with pytest.raises(SketchDecodeError, match="magic"):
+            loads(b"XXXX" + blob[4:], schema=schema)
+
+
+class TestErrorTaxonomy:
+    """Corruption is SketchDecodeError; semantic refusals stay ValueError."""
+
+    def test_decode_error_is_a_value_error(self):
+        assert issubclass(SketchDecodeError, ValueError)
+
+    def test_unknown_kind_code_is_decode_error(self, rng):
+        # KSK2 carries a kind byte at offset 4 (k-ary still writes the
+        # legacy kind-less KSK1 header, so use an invertible sketch).
+        schema = InvertibleKArySchema(depth=3, width=64, seed=11)
+        blob = bytearray(dumps(_sealed_sketch(schema, rng)))
+        blob[4] = 250  # kind code nothing maps to
+        with pytest.raises(SketchDecodeError, match="kind"):
+            loads(bytes(blob))
+
+    def test_mangled_family_name_is_decode_error(self, rng):
+        schema = KArySchema(depth=3, width=64, seed=11)
+        blob = bytearray(dumps(_sealed_sketch(schema, rng)))
+        # The family name follows the fixed header; stomp it with bytes
+        # that are not valid UTF-8.
+        header_end = len(blob) - schema.depth * schema.width * 8 - 1
+        blob[header_end] = 0xFF
+        with pytest.raises(SketchDecodeError):
+            loads(bytes(blob))
+
+    def test_schema_mismatch_stays_plain_value_error(self, rng):
+        """A well-formed blob against the wrong schema is an operator
+        error (mis-wired fleet), not wire corruption."""
+        schema = KArySchema(depth=3, width=64, seed=11)
+        other = KArySchema(depth=3, width=64, seed=12)
+        blob = dumps(_sealed_sketch(schema, rng))
+        with pytest.raises(ValueError) as excinfo:
+            loads(blob, schema=other)
+        assert not isinstance(excinfo.value, SketchDecodeError)
+
+    def test_empty_and_garbage_inputs(self):
+        for data in (b"", b"\x00", b"garbage-not-a-sketch", b"KSK"):
+            with pytest.raises(SketchDecodeError):
+                loads(data)
