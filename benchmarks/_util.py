@@ -9,10 +9,39 @@ rows/series on disk.
 
 from __future__ import annotations
 
+import os
 import sys
 from pathlib import Path
 
 OUTPUT_DIR = Path(__file__).parent / "output"
+
+
+def environment_provenance() -> dict:
+    """Execution-environment facts that change what a benchmark measures.
+
+    Recorded in every ``BENCH_*.json`` so ``scripts/bench_compare.py``
+    can refuse apples-to-oranges diffs: a 4-thread kernel run compared
+    against a single-thread baseline (or kernels-on vs kernels-off)
+    produces ratio swings that have nothing to do with the code change
+    under test.
+    """
+    import platform
+
+    from repro.hashing import kernel_thread_count
+    from repro.hashing._kernels import get_kernels
+
+    try:
+        cpus = len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        cpus = os.cpu_count()
+    return {
+        "compiled_kernels": get_kernels() is not None,
+        "kernel_threads": kernel_thread_count(),
+        "num_threads_env": os.environ.get("REPRO_NUM_THREADS"),
+        "cc": os.environ.get("CC") or "cc",
+        "cpu_count": cpus,
+        "machine": platform.machine(),
+    }
 
 
 def run_exhibit(benchmark, experiment_id: str, **kwargs):

@@ -55,6 +55,11 @@ from pathlib import Path
 
 import numpy as np
 
+try:
+    from benchmarks._util import environment_provenance
+except ImportError:  # run directly: sys.path[0] is benchmarks/
+    from _util import environment_provenance
+
 from repro.detection.session import resolve_index_cache
 from repro.detection.threshold import build_interval_report
 from repro.forecast.model_zoo import make_forecaster
@@ -402,6 +407,7 @@ def main(argv=None):
         "python": platform.python_version(),
         "machine": platform.machine(),
         "cpu_count": os.cpu_count(),
+        "environment": environment_provenance(),
         "quick": bool(args.quick),
         "repeats": repeats,
         "model": MODEL[0],

@@ -57,6 +57,11 @@ from pathlib import Path
 
 import numpy as np
 
+try:
+    from benchmarks._util import environment_provenance
+except ImportError:  # run directly: sys.path[0] is benchmarks/
+    from _util import environment_provenance
+
 from repro.detection import (
     GroupTestingSchema,
     OfflineTwoPassDetector,
@@ -404,6 +409,7 @@ def main(argv=None):
         "python": platform.python_version(),
         "machine": platform.machine(),
         "cpu_count": os.cpu_count(),
+        "environment": environment_provenance(),
         "quick": bool(args.quick),
         "repeats": repeats,
         "model": MODEL[0],

@@ -41,6 +41,11 @@ from repro.detection import ShardedStreamingSession, StreamingSession
 from repro.sketch import KArySchema
 from repro.streams import make_records
 
+try:
+    from benchmarks._util import environment_provenance
+except ImportError:  # run directly: sys.path[0] is benchmarks/
+    from _util import environment_provenance
+
 DEFAULT_OUTPUT = Path(__file__).parent / "BENCH_streaming.json"
 
 INTERVAL_SECONDS = 300.0
@@ -66,6 +71,9 @@ def run_session(session, records, chunk_records):
     for start in range(0, len(records), chunk_records):
         reports.extend(session.ingest(records[start : start + chunk_records]))
     reports.extend(session.flush())
+    drain = getattr(session, "drain", None)
+    if drain is not None:
+        reports.extend(drain())
     elapsed = time.perf_counter() - t0
     return reports, elapsed
 
@@ -135,6 +143,71 @@ def bench(schema, records, chunk_records, worker_counts, backend, repeats):
     }
 
 
+def bench_pipelined(schema, records, chunk_records, repeats):
+    """Pipelined vs blocking sealing, serial and sharded sessions.
+
+    The pipelined session overlaps interval ``t``'s seal+detect with
+    interval ``t+1``'s UPDATEs; on a multi-core host that hides most of
+    the seal latency, on one core it only hides scheduler slack.  The
+    blocking/pipelined ratio is reported as ``pipeline_ratio``
+    (deliberately not a ``*speedup`` leaf -- it is a property of the
+    host's core count, so ``scripts/bench_compare.py`` must not flag it
+    across machines).  Reports are asserted bit-identical first.
+    """
+    n_records = len(records)
+
+    def time_best(make_session):
+        best, reports = float("inf"), None
+        for _ in range(repeats):
+            session = make_session()
+            try:
+                got, elapsed = run_session(session, records, chunk_records)
+            finally:
+                close = getattr(session, "close", None)
+                if close is not None:
+                    close()
+            best = min(best, elapsed)
+            reports = got
+        return reports, best
+
+    cells = {}
+    baseline_reports = None
+    for name, make_session in (
+        ("blocking", lambda: StreamingSession(
+            schema, "ewma", **SESSION_KWARGS)),
+        ("pipelined", lambda: StreamingSession(
+            schema, "ewma", pipeline=True, **SESSION_KWARGS)),
+        ("sharded_blocking", lambda: ShardedStreamingSession(
+            schema, "ewma", n_workers=2, backend="thread",
+            **SESSION_KWARGS)),
+        ("sharded_pipelined", lambda: ShardedStreamingSession(
+            schema, "ewma", n_workers=2, backend="thread", pipeline=True,
+            **SESSION_KWARGS)),
+    ):
+        reports, seconds = time_best(make_session)
+        if baseline_reports is None:
+            baseline_reports = reports
+        else:
+            assert_reports_match(reports, baseline_reports)
+        cells[name] = {
+            "seconds": seconds,
+            "records_per_sec": n_records / seconds,
+        }
+    for pipelined, blocking in (
+        ("pipelined", "blocking"),
+        ("sharded_pipelined", "sharded_blocking"),
+    ):
+        cells[pipelined]["pipeline_ratio"] = (
+            cells[blocking]["seconds"] / cells[pipelined]["seconds"]
+        )
+    return {
+        "n_records": n_records,
+        "chunk_records": chunk_records,
+        "reports_identical": True,
+        "cells": cells,
+    }
+
+
 def main(argv=None):
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--quick", action="store_true",
@@ -168,10 +241,12 @@ def main(argv=None):
         "python": platform.python_version(),
         "machine": platform.machine(),
         "cpu_count": os.cpu_count(),
+        "environment": environment_provenance(),
         "quick": bool(args.quick),
         "repeats": repeats,
         "streaming": bench(schema, records, chunk_records, worker_counts,
                            args.backend, repeats),
+        "pipelined": bench_pipelined(schema, records, chunk_records, repeats),
     }
     args.output.write_text(json.dumps(report, indent=2) + "\n")
 
@@ -185,6 +260,10 @@ def main(argv=None):
         print(f"{label:28s} {run['records_per_sec']:>12,.0f} rec/s  "
               f"{run['sealed_intervals_per_sec']:7.2f} intervals/s  "
               f"{run['speedup']:.2f}x")
+    for name, cell in report["pipelined"]["cells"].items():
+        ratio = cell.get("pipeline_ratio")
+        suffix = f"  {ratio:.2f}x vs blocking" if ratio is not None else ""
+        print(f"{name:28s} {cell['records_per_sec']:>12,.0f} rec/s{suffix}")
     print(f"wrote {args.output}")
     return report
 

@@ -38,6 +38,11 @@ from repro.gridsearch.objective import estimated_total_energy
 from repro.hashing._kernels import get_kernels
 from repro.sketch import KArySchema, KArySketch, SketchStack
 
+try:
+    from benchmarks._util import environment_provenance
+except ImportError:  # run directly: sys.path[0] is benchmarks/
+    from _util import environment_provenance
+
 DEFAULT_OUTPUT = Path(__file__).parent / "BENCH_throughput.json"
 
 
@@ -238,6 +243,76 @@ def bench_grid_search(t_len, width, skip, models, repeats, rng):
     }
 
 
+def bench_update_threads(depth, width, n_keys, repeats, rng,
+                         thread_counts=(1, 2, 4)):
+    """Thread-count sweep of the row-sharded UPDATE/ESTIMATE kernels.
+
+    Depth 7 (not the matrix's 5) so the row shards stay uneven at every
+    swept thread count -- the remainder-distribution path is what a
+    production H would hit.  Each cell's table is asserted bit-identical
+    to the single-thread run; the per-thread ratios are reported as
+    ``speedup_vs_serial`` (deliberately not a ``*speedup`` leaf: the
+    ratio is a property of the host's core count, which
+    ``scripts/bench_compare.py`` must not treat as a regression when
+    baselines come from different machines).
+    """
+    kernels = get_kernels()
+    if kernels is None:
+        return {"skipped": "no compiler available"}
+    schema = KArySchema(depth=depth, width=width, seed=5)
+    keys = rng.integers(0, 2**32, size=n_keys, dtype=np.uint64)
+    values = rng.normal(100.0, 30.0, size=n_keys)
+    sketch = KArySketch(schema)
+    query = rng.choice(keys, size=n_keys, replace=True)
+
+    saved_threads = kernels.threads
+    saved_floor = kernels.min_parallel_keys
+    kernels.min_parallel_keys = 0
+    cells = {}
+    reference_table = None
+    serial_update_s = serial_estimate_s = None
+    try:
+        for threads in thread_counts:
+            kernels.set_threads(threads)
+
+            def update():
+                sketch.reset()
+                sketch.update_batch(keys, values)
+
+            t_update = _best_of(update, repeats)
+            if reference_table is None:
+                reference_table = np.array(sketch.table, copy=True)
+            else:
+                assert np.array_equal(
+                    np.asarray(sketch.table), reference_table
+                ), f"thread count {threads} changed the table"
+            t_estimate = _best_of(
+                lambda: sketch.estimate_batch(query), repeats
+            )
+            if serial_update_s is None:
+                serial_update_s, serial_estimate_s = t_update, t_estimate
+            cells[str(threads)] = {
+                "threads": threads,
+                "update_seconds": t_update,
+                "update_keys_per_sec": n_keys / t_update,
+                "estimate_seconds": t_estimate,
+                "estimate_keys_per_sec": n_keys / t_estimate,
+                "update_speedup_vs_serial": serial_update_s / t_update,
+                "estimate_speedup_vs_serial": serial_estimate_s / t_estimate,
+            }
+    finally:
+        kernels.min_parallel_keys = saved_floor
+        kernels.set_threads(saved_threads)
+    return {
+        "depth": depth,
+        "width": width,
+        "n_keys": n_keys,
+        "thread_counts": list(thread_counts),
+        "bit_identical_across_threads": True,
+        "cells": cells,
+    }
+
+
 def main(argv=None):
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--quick", action="store_true",
@@ -263,9 +338,11 @@ def main(argv=None):
         "python": platform.python_version(),
         "machine": platform.machine(),
         "compiled_kernels": get_kernels() is not None,
+        "environment": environment_provenance(),
         "quick": bool(args.quick),
         "repeats": repeats,
         "update": bench_update(5, 8192, n_keys, repeats, rng),
+        "update_threads": bench_update_threads(7, 8192, n_keys, repeats, rng),
         "update_polynomial": bench_update(5, 8192, n_keys, repeats, rng,
                                           family="polynomial"),
         "estimate": bench_estimate(5, 8192, n_keys, repeats, rng),
@@ -277,7 +354,16 @@ def main(argv=None):
 
     u, e, g = report["update"], report["estimate"], report["grid_search"]
     up, c = report["update_polynomial"], report["columnar"]
-    print(f"compiled kernels: {report['compiled_kernels']}")
+    env = report["environment"]
+    print(f"compiled kernels: {report['compiled_kernels']}  "
+          f"threads: {env['kernel_threads']}  cpus: {env['cpu_count']}")
+    ut = report["update_threads"]
+    for cell in ut.get("cells", {}).values():
+        print(f"UPDATE@{cell['threads']}t "
+              f"{cell['update_keys_per_sec']:,.0f} keys/s  "
+              f"({cell['update_speedup_vs_serial']:.2f}x vs 1t)  "
+              f"ESTIMATE {cell['estimate_keys_per_sec']:,.0f} keys/s "
+              f"({cell['estimate_speedup_vs_serial']:.2f}x)")
     print(f"UPDATE    {u['engine_keys_per_sec']:,.0f} keys/s "
           f"(ref {u['reference_keys_per_sec']:,.0f})  {u['speedup']:.2f}x")
     print(f"UPD-POLY  {up['engine_keys_per_sec']:,.0f} keys/s "

@@ -15,9 +15,18 @@ are absolute budgets, not baseline comparisons: an overhead that climbs
 past its budget fails even if the committed baseline had already
 climbed with it.
 
+Before any ratio is compared, the two reports' ``environment`` blocks
+(written by ``benchmarks._util.environment_provenance``) are checked:
+kernels-on vs kernels-off or different kernel thread counts make every
+speedup incomparable, so the comparison is refused outright (escape
+hatch: ``--allow-env-mismatch``).  CPU count and compiler differences
+only warn -- speedups are same-machine ratios and usually survive a
+host change, which is the premise of this guard.  Reports from before
+provenance was recorded (no ``environment`` key) compare as before.
+
 Usage:
     python scripts/bench_compare.py baseline.json fresh.json \\
-        [--tolerance 0.25] [--max-overhead 0.05]
+        [--tolerance 0.25] [--max-overhead 0.05] [--allow-env-mismatch]
 
 Exit status 1 on regression, with a per-metric table on stdout either way.
 """
@@ -58,6 +67,44 @@ def overheads(report) -> dict:
     }
 
 
+#: Environment keys whose mismatch invalidates every ratio (refuse) vs
+#: keys that merely change magnitudes (warn).
+_ENV_REFUSE = ("compiled_kernels", "kernel_threads")
+_ENV_WARN = ("cpu_count", "cc", "machine")
+
+
+def check_environment(baseline: dict, fresh: dict, allow_mismatch: bool):
+    """Compare provenance blocks; return a list of refusal messages.
+
+    Missing blocks (pre-provenance baselines) are tolerated silently:
+    there is nothing to compare against, and failing would force every
+    baseline to regenerate at once.
+    """
+    base_env = baseline.get("environment")
+    fresh_env = fresh.get("environment")
+    if not isinstance(base_env, dict) or not isinstance(fresh_env, dict):
+        return []
+    refusals = []
+    for key in _ENV_REFUSE:
+        if key in base_env and key in fresh_env and base_env[key] != fresh_env[key]:
+            msg = (
+                f"environment mismatch: {key} baseline={base_env[key]!r} "
+                f"fresh={fresh_env[key]!r} -- ratios are not comparable"
+            )
+            if allow_mismatch:
+                print(f"warning (allowed): {msg}", file=sys.stderr)
+            else:
+                refusals.append(msg)
+    for key in _ENV_WARN:
+        if key in base_env and key in fresh_env and base_env[key] != fresh_env[key]:
+            print(
+                f"warning: {key} differs (baseline={base_env[key]!r}, "
+                f"fresh={fresh_env[key]!r})",
+                file=sys.stderr,
+            )
+    return refusals
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("baseline", type=Path)
@@ -76,6 +123,12 @@ def main(argv=None) -> int:
         help="budget for every overhead_fraction leaf in the fresh "
         "report (default 0.05 = 5%%)",
     )
+    parser.add_argument(
+        "--allow-env-mismatch",
+        action="store_true",
+        help="downgrade environment-provenance refusals (kernels on/off, "
+        "thread count) to warnings",
+    )
     args = parser.parse_args(argv)
     if args.tolerance < 0:
         parser.error(f"tolerance must be >= 0, got {args.tolerance}")
@@ -83,7 +136,19 @@ def main(argv=None) -> int:
         parser.error(f"max-overhead must be >= 0, got {args.max_overhead}")
 
     fresh_report = json.loads(args.fresh.read_text())
-    base = speedups(json.loads(args.baseline.read_text()))
+    baseline_report = json.loads(args.baseline.read_text())
+    refusals = check_environment(
+        baseline_report, fresh_report, args.allow_env_mismatch
+    )
+    if refusals:
+        for msg in refusals:
+            print(msg, file=sys.stderr)
+        print(
+            "refusing to compare (use --allow-env-mismatch to override)",
+            file=sys.stderr,
+        )
+        return 1
+    base = speedups(baseline_report)
     fresh = speedups(fresh_report)
     shared = sorted(set(base) & set(fresh))
     if not shared:

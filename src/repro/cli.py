@@ -150,6 +150,7 @@ def _cmd_detect(args: argparse.Namespace) -> int:
     from repro.sketch import InvertibleKArySchema, KArySchema
     from repro.streams import IntervalStream, read_trace
 
+    _apply_threads(args)
     records = read_trace(args.trace)
     stream = IntervalStream(
         records,
@@ -241,9 +242,19 @@ def _print_session_report(report, top_n: int) -> None:
     print(line)
 
 
+def _apply_threads(args) -> None:
+    """Apply ``--threads`` to the kernel layer before any session work."""
+    threads = getattr(args, "threads", None)
+    if threads is not None:
+        from repro.hashing import set_num_threads
+
+        set_num_threads(threads)
+
+
 def _build_session(args, schema, recorder=None):
     from repro.detection import ShardedStreamingSession, StreamingSession
 
+    _apply_threads(args)
     model_params = {}
     if args.alpha is not None:
         model_params["alpha"] = args.alpha
@@ -257,6 +268,8 @@ def _build_session(args, schema, recorder=None):
         value_scheme=args.value,
         t_fraction=args.threshold,
         top_n=args.top_n,
+        pipeline=getattr(args, "pipeline", False),
+        pipeline_depth=getattr(args, "pipeline_depth", 2),
         recorder=recorder,
         **model_params,
     )
@@ -285,7 +298,8 @@ def _cmd_checkpoint(args: argparse.Namespace) -> int:
     for line in _format_stats_lines(session.stats):
         print(line)
     if hasattr(session, "close"):
-        session.close()
+        for report in session.close() or []:
+            _print_session_report(report, args.top_n)
     _write_metrics(recorder, args)
     print(
         f"checkpointed {session.records_ingested} records "
@@ -299,7 +313,13 @@ def _cmd_resume(args: argparse.Namespace) -> int:
     from repro.detection import load_checkpoint
     from repro.streams import read_trace
 
-    session = load_checkpoint(args.checkpoint, backend=args.backend)
+    _apply_threads(args)
+    session = load_checkpoint(
+        args.checkpoint,
+        backend=args.backend,
+        pipeline=getattr(args, "pipeline", False),
+        pipeline_depth=getattr(args, "pipeline_depth", 2),
+    )
     recorder = _make_recorder(args)
     if recorder is not None:
         session.attach_recorder(recorder)
@@ -322,7 +342,8 @@ def _cmd_resume(args: argparse.Namespace) -> int:
     for line in _format_stats_lines(session.stats):
         print(line)
     if hasattr(session, "close"):
-        session.close()
+        for report in session.close() or []:
+            _print_session_report(report, session.top_n)
     _write_metrics(recorder, args)
     return 0
 
@@ -366,7 +387,8 @@ def _cmd_monitor(args: argparse.Namespace) -> int:
     for line in _format_stats_lines(session.stats):
         print(line)
     if hasattr(session, "close"):
-        session.close()
+        for report in session.close() or []:
+            _print_session_report(report, args.top_n)
     _write_metrics(recorder, args)
     print(
         f"monitored {session.records_ingested} records in {len(chunks)} "
@@ -681,6 +703,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_det.add_argument("--alpha", type=float, default=None)
     p_det.add_argument("--beta", type=float, default=None)
     p_det.add_argument("--window", type=int, default=None)
+    p_det.add_argument("--threads", type=int, default=None,
+                       help="kernel threads (default: REPRO_NUM_THREADS or "
+                            "detected cores, capped)")
     p_det.add_argument("--stats", action="store_true",
                        help="print cache/prescreen counters after the reports")
     p_det.add_argument("--metrics-out", default=None,
@@ -709,6 +734,14 @@ def build_parser() -> argparse.ArgumentParser:
     p_mon.add_argument("--window", type=int, default=None)
     p_mon.add_argument("--workers", type=int, default=1,
                        help="ingestion shards (>1 uses the sharded session)")
+    p_mon.add_argument("--pipeline", action="store_true",
+                       help="overlap seal+detect with the next interval's "
+                            "ingest (bit-identical reports)")
+    p_mon.add_argument("--pipeline-depth", type=int, default=2,
+                       help="max sealed intervals in flight (with --pipeline)")
+    p_mon.add_argument("--threads", type=int, default=None,
+                       help="kernel threads (default: REPRO_NUM_THREADS or "
+                            "detected cores, capped)")
     p_mon.add_argument("--backend", default="thread",
                        choices=("serial", "thread", "process"),
                        help="sharded seal backend (with --workers > 1)")
@@ -846,6 +879,14 @@ def build_parser() -> argparse.ArgumentParser:
     p_ck.add_argument("--window", type=int, default=None)
     p_ck.add_argument("--workers", type=int, default=1,
                       help="ingestion shards (>1 uses the sharded session)")
+    p_ck.add_argument("--pipeline", action="store_true",
+                      help="overlap seal+detect with the next interval's "
+                           "ingest (bit-identical reports)")
+    p_ck.add_argument("--pipeline-depth", type=int, default=2,
+                      help="max sealed intervals in flight (with --pipeline)")
+    p_ck.add_argument("--threads", type=int, default=None,
+                      help="kernel threads (default: REPRO_NUM_THREADS or "
+                           "detected cores, capped)")
     p_ck.add_argument("--backend", default="thread",
                       choices=("serial", "thread", "process"),
                       help="sharded seal backend (with --workers > 1)")
@@ -862,6 +903,14 @@ def build_parser() -> argparse.ArgumentParser:
     p_rs.add_argument("--backend", default=None,
                       choices=("serial", "thread", "process"),
                       help="override the sharded seal backend")
+    p_rs.add_argument("--pipeline", action="store_true",
+                      help="resume with pipelined sealing (execution choice; "
+                           "reports stay bit-identical)")
+    p_rs.add_argument("--pipeline-depth", type=int, default=2,
+                      help="max sealed intervals in flight (with --pipeline)")
+    p_rs.add_argument("--threads", type=int, default=None,
+                      help="kernel threads (default: REPRO_NUM_THREADS or "
+                           "detected cores, capped)")
     p_rs.add_argument("--out", default=None,
                       help="re-checkpoint here instead of flushing")
     p_rs.add_argument("--metrics-out", default=None,

@@ -130,8 +130,18 @@ def checkpoint_session(session: StreamingSession) -> bytes:
     the returned bytes (:func:`restore_session`) and feeding every record
     with ``timestamp > session.watermark`` yields reports bit-identical
     to continuing this session uninterrupted.
+
+    Pipelined sessions are drained first (a barrier on the in-flight
+    seals) so the captured forecaster and cursors are quiescent; any
+    reports the barrier completes are *stashed*, not dropped -- the
+    session's next ``ingest``/``flush``/``drain`` call returns them
+    ahead of newer reports.  The pipeline itself is an execution choice
+    and is not recorded in the checkpoint (see :func:`restore_session`'s
+    ``pipeline`` override).
     """
     sharded = isinstance(session, ShardedStreamingSession)
+    if getattr(session, "pipeline", False):
+        session._barrier()
     if type(session) not in (StreamingSession, ShardedStreamingSession):
         raise ValueError(
             f"cannot checkpoint a {type(session).__name__}; only "
@@ -180,6 +190,8 @@ def restore_session(
     data: bytes,
     schema=None,
     backend: Optional[str] = None,
+    pipeline: bool = False,
+    pipeline_depth: int = 2,
 ) -> StreamingSession:
     """Rebuild a streaming session from :func:`checkpoint_session` bytes.
 
@@ -195,6 +207,12 @@ def restore_session(
         restore a ``"process"`` checkpoint as ``"serial"`` on a
         single-core recovery box).  The backend is an execution choice,
         not part of the result -- reports are identical either way.
+    pipeline, pipeline_depth:
+        Execution choices for the restored session, exactly like the
+        :class:`StreamingSession` constructor knobs.  Checkpoints never
+        record whether the writer was pipelined (checkpointing drains
+        the pipeline, so there is nothing in flight to capture); the
+        restorer picks the execution mode for the resumed run.
     """
     peek = checkpoint_meta(data)
     if peek.get("format") != _FORMAT:
@@ -223,6 +241,8 @@ def restore_session(
         # Pre-key-source checkpoints (through PR 6) implicitly used the
         # two-pass collection strategy; .get keeps them restorable.
         "key_source": config.get("key_source", "twopass"),
+        "pipeline": pipeline,
+        "pipeline_depth": pipeline_depth,
     }
     if meta["session"] == "sharded":
         sharded = meta["sharded"]
@@ -291,7 +311,12 @@ def load_checkpoint(
     path: PathLike,
     schema=None,
     backend: Optional[str] = None,
+    pipeline: bool = False,
+    pipeline_depth: int = 2,
 ) -> StreamingSession:
     """Read a session checkpoint from a file and restore it."""
     with open(path, "rb") as fh:
-        return restore_session(fh.read(), schema=schema, backend=backend)
+        return restore_session(
+            fh.read(), schema=schema, backend=backend,
+            pipeline=pipeline, pipeline_depth=pipeline_depth,
+        )

@@ -22,7 +22,10 @@ Section 6 argues the technique is capable of.
 
 from __future__ import annotations
 
-from typing import List, Optional, Union
+import time
+from collections import deque
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, List, Optional, Union
 
 import numpy as np
 
@@ -34,7 +37,12 @@ from repro.detection.keysource import (
 from repro.detection.threshold import IntervalDetection, build_interval_report
 from repro.forecast.base import Forecaster
 from repro.forecast.model_zoo import make_forecaster
-from repro.hashing._kernels import KERNEL_NAMES, kernel_call_counts
+from repro.hashing._kernels import (
+    KERNEL_NAMES,
+    kernel_call_counts,
+    kernel_seconds,
+    kernel_thread_count,
+)
 from repro.hashing.index_cache import BucketIndexCache, hashing_accelerated
 from repro.obs.recorder import NULL_RECORDER
 
@@ -142,6 +150,26 @@ class StreamingSession:
         candidates from the sealed error summary, skipping per-chunk key
         collection entirely (the schema must produce the matching
         summary type).  Checkpointed with the session config.
+    pipeline:
+        Pipelined sealing (default off).  When on, each interval
+        boundary snapshots the finished interval on the calling thread
+        (cheap) and hands the seal -- forecast step, threshold, report
+        build, recovery -- to a single background worker, so interval
+        ``t``'s detection work overlaps interval ``t+1``'s UPDATEs.
+        One worker executing FIFO means reports are still emitted in
+        interval order and the forecast recursion still consumes sealed
+        summaries in sequence -- reports are **bit-identical** to the
+        blocking path.  An execution choice, not result state:
+        checkpoints never record it (but see
+        :func:`~repro.detection.checkpoint.restore_session`'s
+        ``pipeline`` override), and :func:`checkpoint_session` drains
+        in-flight seals first so captured state is always quiescent.
+        Call :meth:`close` (or :meth:`drain`) at end of life to collect
+        the last in-flight reports.
+    pipeline_depth:
+        Max sealed-but-unfinished intervals in flight (default 2).
+        Ingestion blocks (in order) once the queue is full, bounding
+        memory at ``pipeline_depth`` detached interval summaries.
     recorder:
         Optional :class:`~repro.obs.recorder.PipelineRecorder`.  When
         attached, the session reports stage timings (ingest, seal,
@@ -168,6 +196,8 @@ class StreamingSession:
         index_cache: Union[bool, BucketIndexCache] = True,
         prescreen: bool = True,
         key_source: str = "twopass",
+        pipeline: bool = False,
+        pipeline_depth: int = 2,
         recorder=None,
         **model_params,
     ) -> None:
@@ -181,6 +211,8 @@ class StreamingSession:
             raise ValueError(
                 f"lateness_tolerance must be >= 0, got {lateness_tolerance}"
             )
+        if pipeline_depth < 1:
+            raise ValueError(f"pipeline_depth must be >= 1, got {pipeline_depth}")
         self.schema = schema
         if isinstance(forecaster, str):
             forecaster = make_forecaster(forecaster, **model_params)
@@ -206,15 +238,15 @@ class StreamingSession:
                 "use repro.detection.online.OnlineDetector"
             )
         self.key_source = key_source
+        self.pipeline = bool(pipeline)
+        self.pipeline_depth = int(pipeline_depth)
+        self._executor: Optional[ThreadPoolExecutor] = None
+        self._pending: deque = deque()
+        self._stashed_reports: List[IntervalDetection] = []
+        self._pipe_seal_seconds = 0.0
+        self._pipe_wait_seconds = 0.0
         self.recorder = NULL_RECORDER if recorder is None else recorder
-        self.recorder.preregister(*_SESSION_COUNTERS)
-        self.recorder.preregister_labelled(
-            "repro_kernel_calls_total", "kernel", KERNEL_NAMES
-        )
-        self.recorder.preregister_labelled(
-            CANDIDATES_COUNTER, "source", KEY_SOURCES
-        )
-        self.recorder.preregister_stage("recover")
+        self._preregister_obs()
         self._index_cache = resolve_index_cache(schema, index_cache)
         # Only auto-enabled caches are subject to the runtime recurrence
         # probation; a cache the caller passed in explicitly is theirs.
@@ -232,6 +264,22 @@ class StreamingSession:
         self._intervals_sealed = 0
         self._watermark = float("-inf")
 
+    def _preregister_obs(self) -> None:
+        """Create every session-owned series at zero on the recorder."""
+        obs = self.recorder
+        obs.preregister(*_SESSION_COUNTERS)
+        obs.preregister_labelled(
+            "repro_kernel_calls_total", "kernel", KERNEL_NAMES
+        )
+        obs.preregister_labelled(
+            "repro_kernel_seconds", "kernel", KERNEL_NAMES
+        )
+        obs.preregister_labelled(CANDIDATES_COUNTER, "source", KEY_SOURCES)
+        obs.preregister_stage("recover", "collect", "pipeline_wait")
+        if obs.enabled:
+            obs.gauge("repro_kernel_threads", kernel_thread_count())
+            obs.gauge("repro_pipeline_queue_depth", 0)
+
     def attach_recorder(self, recorder) -> None:
         """Attach (or replace) the observability recorder on a live session.
 
@@ -240,14 +288,7 @@ class StreamingSession:
         default.  This re-attaches one; pass ``None`` to detach.
         """
         self.recorder = NULL_RECORDER if recorder is None else recorder
-        self.recorder.preregister(*_SESSION_COUNTERS)
-        self.recorder.preregister_labelled(
-            "repro_kernel_calls_total", "kernel", KERNEL_NAMES
-        )
-        self.recorder.preregister_labelled(
-            CANDIDATES_COUNTER, "source", KEY_SOURCES
-        )
-        self.recorder.preregister_stage("recover")
+        self._preregister_obs()
 
     # -- introspection -------------------------------------------------------
 
@@ -318,6 +359,10 @@ class StreamingSession:
             return []
         with self.recorder.time("ingest"):
             reports = self._ingest_sorted(records)
+        # Reports stashed by a checkpoint barrier surface on the next
+        # public call, still ahead of anything sealed after them.
+        if self._stashed_reports:
+            reports = self._take_stash() + reports
         obs = self.recorder
         if obs.enabled:
             obs.count("repro_records_ingested_total", len(records))
@@ -395,6 +440,8 @@ class StreamingSession:
             reports = self._advance_to(index)
             if len(keys):
                 self._accumulate_columns(keys, values)
+        if self._stashed_reports:
+            reports = self._take_stash() + reports
         self._records_ingested += len(keys)
         # Columnar blocks carry no per-record timestamps; the recovery
         # cursor advances to the open interval's start, so a columnar
@@ -415,7 +462,10 @@ class StreamingSession:
             self._open_interval()
             return reports
         while self._current_index < interval_index:
-            reports.extend(self._seal_current())
+            if self.pipeline:
+                reports.extend(self._seal_current_async())
+            else:
+                reports.extend(self._seal_current())
             self._current_index += 1
             self._open_interval()
         return reports
@@ -502,9 +552,26 @@ class StreamingSession:
         return self._seal_scratch
 
     def _seal_current(self) -> List[IntervalDetection]:
+        """Blocking seal of the open interval (collect + seal inline)."""
+        with self.recorder.time("collect"):
+            observed, keys = self._collect_current()
+        return self._seal_interval(observed, keys, self._current_index)
+
+    def _seal_interval(
+        self, observed, keys: np.ndarray, index: int
+    ) -> List[IntervalDetection]:
+        """Forecast-step, threshold and report one detached interval.
+
+        Takes everything it needs by value (``observed`` summary,
+        collected ``keys``, interval ``index``) so it can run on the
+        pipeline's background worker as well as inline.  Single-writer
+        state -- the forecaster, the scratch summaries, the detection
+        stats, the index cache -- is only ever touched here, and the
+        pipeline runs at most one seal at a time, so no locking is
+        needed in either mode.
+        """
         obs = self.recorder
         with obs.time("seal"):
-            observed, keys = self._collect_current()
             error_out, forecast_out = self._scratch_summaries()
             with obs.time("forecast_step"):
                 step = self.forecaster.step_into(
@@ -515,7 +582,7 @@ class StreamingSession:
             if step.error is None:
                 if obs.enabled:
                     obs.event(
-                        "interval_sealed", interval=self._current_index,
+                        "interval_sealed", interval=index,
                         warmup=True, candidates=int(len(keys)),
                     )
                 return []
@@ -531,7 +598,7 @@ class StreamingSession:
                 report = build_interval_report(
                     step.error,
                     keys,
-                    interval=self._current_index,
+                    interval=index,
                     t_fraction=self.t_fraction,
                     top_n=self.top_n,
                     schema=self.schema,
@@ -544,6 +611,122 @@ class StreamingSession:
         if obs.enabled:
             self._record_seal(report, len(keys), evaluated_before)
         return [report]
+
+    # -- pipelined sealing ---------------------------------------------------
+
+    def _detach_current(self) -> Callable[[], List[IntervalDetection]]:
+        """Snapshot the open interval into a seal thunk (caller's thread).
+
+        Everything the background seal needs is captured by value; once
+        this returns, the accumulation buffers are free for the next
+        interval.  Subclasses override to keep the expensive half of
+        collection (e.g. the sharded COMBINE) on the worker.
+        """
+        with self.recorder.time("collect"):
+            observed, keys = self._collect_current()
+        index = self._current_index
+
+        def work() -> List[IntervalDetection]:
+            return self._seal_interval(observed, keys, index)
+
+        return work
+
+    def _ensure_executor(self) -> ThreadPoolExecutor:
+        # Exactly one worker: seals execute FIFO, so the forecast
+        # recursion sees sealed summaries in interval order and report
+        # emission order matches the blocking path.
+        if self._executor is None:
+            self._executor = ThreadPoolExecutor(
+                max_workers=1, thread_name_prefix="repro-seal"
+            )
+        return self._executor
+
+    def _timed_seal(self, work) -> List[IntervalDetection]:
+        t0 = time.perf_counter()
+        try:
+            return work()
+        finally:
+            self._pipe_seal_seconds += time.perf_counter() - t0
+
+    def _await_head(self) -> List[IntervalDetection]:
+        """Block on the oldest in-flight seal; returns its reports."""
+        t0 = time.perf_counter()
+        with self.recorder.time("pipeline_wait"):
+            result = self._pending.popleft().result()
+        self._pipe_wait_seconds += time.perf_counter() - t0
+        return result
+
+    def _seal_current_async(self) -> List[IntervalDetection]:
+        """Detach the open interval and queue its seal on the worker.
+
+        Returns reports from previously queued seals that have finished
+        (in interval order) -- plus, when the in-flight queue is full,
+        whatever it had to wait for (backpressure).
+        """
+        reports: List[IntervalDetection] = []
+        if self._stashed_reports:
+            reports.extend(self._take_stash())
+        work = self._detach_current()
+        while len(self._pending) >= self.pipeline_depth:
+            reports.extend(self._await_head())
+        self._pending.append(self._ensure_executor().submit(self._timed_seal, work))
+        while self._pending and self._pending[0].done():
+            reports.extend(self._pending.popleft().result())
+        obs = self.recorder
+        if obs.enabled:
+            obs.gauge("repro_pipeline_queue_depth", len(self._pending))
+        return reports
+
+    def _take_stash(self) -> List[IntervalDetection]:
+        out, self._stashed_reports = self._stashed_reports, []
+        return out
+
+    def _barrier(self) -> None:
+        """Wait for every in-flight seal; stash (never drop) the reports.
+
+        The checkpoint layer calls this before capturing state so the
+        forecaster and detection stats are quiescent; the stashed
+        reports surface on the next public call, still in order.
+        """
+        while self._pending:
+            self._stashed_reports.extend(self._await_head())
+        obs = self.recorder
+        if obs.enabled:
+            obs.gauge("repro_pipeline_queue_depth", 0)
+            if self._pipe_seal_seconds > 0.0:
+                overlap = 1.0 - self._pipe_wait_seconds / self._pipe_seal_seconds
+                obs.gauge(
+                    "repro_pipeline_overlap_ratio",
+                    min(1.0, max(0.0, overlap)),
+                )
+
+    def drain(self) -> List[IntervalDetection]:
+        """Complete all in-flight seals and return their reports.
+
+        A no-op returning ``[]`` on a blocking session (nothing is ever
+        in flight).  The open interval stays open -- this is a barrier,
+        not a flush.
+        """
+        self._barrier()
+        return self._take_stash()
+
+    def close(self) -> List[IntervalDetection]:
+        """Drain the pipeline and release the background worker.
+
+        Returns any reports completed by the drain.  The session remains
+        usable; a later interval boundary simply restarts the worker.
+        """
+        reports = self.drain()
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+        return reports
+
+    def __enter__(self) -> "StreamingSession":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
     def _maybe_drop_index_cache(self) -> None:
         """Retire an auto-enabled cache once measured recurrence is too low.
@@ -603,6 +786,12 @@ class StreamingSession:
                 obs.sync_counter(
                     "repro_kernel_calls_total", calls, kernel=kernel
                 )
+        for kernel, secs in kernel_seconds().items():
+            if secs:
+                obs.sync_counter(
+                    "repro_kernel_seconds", secs, kernel=kernel
+                )
+        obs.gauge("repro_kernel_threads", kernel_thread_count())
         obs.event(
             "interval_sealed", interval=report.index,
             alarms=report.alarm_count, candidates=n_candidates,
@@ -622,7 +811,13 @@ class StreamingSession:
         opens a fresh interval (which must not predate the flushed one).
         """
         if self._current_index is None:
-            return []
+            return self.drain() if self.pipeline else []
+        if self.pipeline:
+            reports = self._seal_current_async()
+            self._current_index += 1
+            self._open_interval()
+            reports.extend(self.drain())
+            return reports
         reports = self._seal_current()
         self._current_index += 1
         self._open_interval()

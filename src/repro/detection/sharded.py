@@ -349,13 +349,16 @@ class ShardedIngestEngine:
                 if len(part):
                     self._buffers[shard].append((part.keys, part.values))
 
-    def _shard_items(self, shard: int) -> Tuple[np.ndarray, np.ndarray]:
-        buf = self._buffers[shard]
+    @staticmethod
+    def _items_of(buf) -> Tuple[np.ndarray, np.ndarray]:
         if len(buf) == 1:
             return buf[0]
         keys = np.concatenate([k for k, _ in buf])
         values = np.concatenate([v for _, v in buf])
         return keys, values
+
+    def _shard_items(self, shard: int) -> Tuple[np.ndarray, np.ndarray]:
+        return self._items_of(self._buffers[shard])
 
     def _dedup_parent(self, shard_items) -> np.ndarray:
         # The parent already holds every shard's raw keys, so the
@@ -476,21 +479,37 @@ class ShardedIngestEngine:
         self._supervise("pool_rebuilds", "pool_rebuild")
         self._pool = self._make_process_pool()
 
-    def collect(self):
-        """Seal the interval: one batched update per shard, then COMBINE.
+    def snapshot_interval(self):
+        """Detach the open interval's buffers (cheap, caller's thread).
 
-        Returns ``(merged_summary, unique_keys)`` where ``unique_keys``
-        equals ``np.unique`` over every key ingested this interval --
-        byte-for-byte what single-stream ingestion computes.  Worker
-        failures on the pool backends are supervised (retry with backoff,
-        then degraded serial sealing), so an interval with buffered
-        records always produces its summary.
+        Returns an opaque snapshot -- the ``(shard, buffer)`` pairs for
+        every loaded shard -- and leaves the engine with fresh empty
+        buffers so the next interval can accumulate immediately.  Pass
+        the snapshot to :meth:`seal_snapshot` (possibly from a pipeline
+        worker) to produce the merged summary.  No concatenation or
+        hashing happens here: the expensive half of collection is
+        deferred with the snapshot.
         """
-        loaded = [i for i in range(self.n_workers) if self._buffers[i]]
-        if not loaded:
-            return self.schema.empty(), _EMPTY_KEYS
+        snapshot = []
+        for i in range(self.n_workers):
+            if self._buffers[i]:
+                snapshot.append((i, self._buffers[i]))
+                self._buffers[i] = []
+        self._rr = 0
+        return snapshot
 
-        shard_items = [self._shard_items(i) for i in loaded]
+    def seal_snapshot(self, snapshot):
+        """Seal a detached interval snapshot: sketch per shard, COMBINE.
+
+        Safe to run on a background thread as long as seals execute one
+        at a time (the pipeline's single worker guarantees this): the
+        worker pool and shared-memory slots are only touched here, and
+        the snapshot owns its buffers outright.
+        """
+        if not snapshot:
+            return self.schema.empty(), _EMPTY_KEYS
+        loaded = [i for i, _ in snapshot]
+        shard_items = [self._items_of(buf) for _, buf in snapshot]
         if self.backend == "process":
             summaries, keys = self._seal_process(loaded, shard_items)
         elif self.backend == "thread":
@@ -501,15 +520,24 @@ class ShardedIngestEngine:
             ]
             keys = self._dedup_parent(shard_items)
 
-        for i in loaded:
-            self._buffers[i].clear()
-        self._rr = 0
         # merge() allocates a fresh summary, so process-backend slot views
         # are safe to reuse next interval.
         summary = summaries[0] if len(summaries) == 1 else merge(summaries)
         if self.backend == "process" and len(summaries) == 1:
             summary = merge(summaries)  # detach from the shared slot
         return summary, keys
+
+    def collect(self):
+        """Seal the interval: one batched update per shard, then COMBINE.
+
+        Returns ``(merged_summary, unique_keys)`` where ``unique_keys``
+        equals ``np.unique`` over every key ingested this interval --
+        byte-for-byte what single-stream ingestion computes.  Worker
+        failures on the pool backends are supervised (retry with backoff,
+        then degraded serial sealing), so an interval with buffered
+        records always produces its summary.
+        """
+        return self.seal_snapshot(self.snapshot_interval())
 
     # -- checkpoint support --------------------------------------------------
 
@@ -655,6 +683,22 @@ class ShardedStreamingSession(StreamingSession):
     def _collect_current(self):
         return self._engine.collect()
 
+    def _detach_current(self):
+        # Pipelined snapshot: grab the per-shard buffers on the calling
+        # thread (list swaps, no concatenation) and defer the whole
+        # sketch-per-shard + COMBINE to the pipeline worker.  The single
+        # seal worker means the engine's pool and shared-memory slots
+        # never see concurrent seals.
+        snapshot = self._engine.snapshot_interval()
+        index = self._current_index
+
+        def work():
+            with self.recorder.time("collect"):
+                observed, keys = self._engine.seal_snapshot(snapshot)
+            return self._seal_interval(observed, keys, index)
+
+        return work
+
     def _accumulation_state(self) -> dict:
         # The raw per-shard buffers (not a dedup or a half-built sketch):
         # a restored engine replays the exact per-shard batched updates,
@@ -664,15 +708,18 @@ class ShardedStreamingSession(StreamingSession):
     def _restore_accumulation(self, state: dict) -> None:
         self._engine.restore_buffers(state["engine"])
 
-    def close(self) -> None:
-        """Release the engine's worker pool and shared memory."""
+    def close(self):
+        """Drain the pipeline, then release worker pools and shared memory.
+
+        Returns any reports completed by the drain (``[]`` when not
+        pipelined, matching :meth:`StreamingSession.close`).
+        """
+        reports = super().close()
         self._engine.close()
+        return reports
 
     def __enter__(self) -> "ShardedStreamingSession":
         return self
-
-    def __exit__(self, *exc) -> None:
-        self.close()
 
 
 # -- parallel multi-trace offline detection ----------------------------------

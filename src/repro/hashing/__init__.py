@@ -24,7 +24,14 @@ All families map integer keys in ``[0, 2**64)`` to buckets ``[0, K)`` and
 support vectorized evaluation over NumPy arrays of keys.
 """
 
-from repro.hashing._kernels import KERNEL_NAMES, kernel_call_counts
+from repro.hashing._kernels import (
+    KERNEL_NAMES,
+    get_num_threads,
+    kernel_call_counts,
+    kernel_seconds,
+    kernel_thread_count,
+    set_num_threads,
+)
 from repro.hashing.carter_wegman import PolynomialHash, TwoUniversalHash
 from repro.hashing.index_cache import (
     DEFAULT_CAPACITY,
@@ -75,9 +82,13 @@ __all__ = [
     "estimate_median_indices",
     "fused_signed_update",
     "gather_indices",
+    "get_num_threads",
     "hashing_accelerated",
     "kernel_call_counts",
+    "kernel_seconds",
+    "kernel_thread_count",
     "make_family",
+    "set_num_threads",
     "make_stacked",
     "mv_combine2_planes",
     "mv_merge_planes",

@@ -46,6 +46,7 @@ import hashlib
 import os
 import subprocess
 import tempfile
+import time
 from typing import Dict, Optional
 
 import numpy as np
@@ -77,11 +78,166 @@ KERNEL_NAMES = (
     "mv_merge",
     "mv_combine2",
     "mv_recover",
+    "tab_update_mt",
+    "tab_update_signed_mt",
+    "poly_update_mt",
+    "poly_update_signed_mt",
+    "idx_update_mt",
+    "tab_update_mv_mt",
+    "idx_update_mv_mt",
+    "tab_estimate_mt",
+    "poly_estimate_mt",
+    "idx_estimate_mt",
 )
+
+#: Hard ceiling on pool worker threads inside the compiled object (the
+#: main thread always runs part 0, so the effective parallelism cap is
+#: ``POOL_MAX + 1``).  Mirrors the C constant of the same name.
+POOL_MAX = 32
+
+#: Default cap applied to the detected core count when ``REPRO_NUM_THREADS``
+#: is unset; row-sharded kernels cannot use more threads than sketch rows
+#: anyway, and the paper's configurations stay single-digit ``H``.
+DEFAULT_THREAD_CAP = 8
+
+#: Batches smaller than this dispatch to the serial kernels even when the
+#: pool is enabled -- waking the pool costs a few microseconds, which only
+#: pays for itself once the per-thread slice is big enough.  Overridable
+#: via ``REPRO_MIN_PARALLEL_KEYS`` (tests set it to 0 to force the pool).
+DEFAULT_MIN_PARALLEL_KEYS = 8192
 
 _C_SOURCE = r"""
 #include <stdint.h>
 #include <stddef.h>
+#include <pthread.h>
+
+/* --- Persistent fork-join thread pool ----------------------------------
+ * One pool per process, spawned lazily on the first parallel dispatch and
+ * kept alive for the life of the shared object (workers are detached and
+ * die with the process).  Dispatch is generation-counted: pool_run stores
+ * the task, bumps pool_gen, and broadcasts; every worker wakes, runs its
+ * part (workers whose slot exceeds the part count just decrement the
+ * join counter), and the main thread runs part 0 itself before joining.
+ * A dispatch mutex serializes concurrent pool_run callers (ctypes drops
+ * the GIL, so the pipelined session's seal thread and the ingest thread
+ * can both be inside kernels at once).
+ *
+ * fork() safety: a child forked while workers hold pool_mu would inherit
+ * a locked mutex and no threads, so an atfork child handler (registered
+ * the first time repro_set_threads runs, i.e. before any dispatch) resets
+ * the primitives and worker count; the child's first parallel call simply
+ * respawns the pool.  The sharded process backend forks its workers, so
+ * this path is exercised in production, not just in theory. */
+
+typedef void (*pool_task_fn)(void* arg, int64_t part, int64_t nparts);
+
+#define POOL_MAX 32
+
+static pthread_mutex_t pool_mu = PTHREAD_MUTEX_INITIALIZER;
+static pthread_mutex_t pool_dispatch_mu = PTHREAD_MUTEX_INITIALIZER;
+static pthread_cond_t pool_go = PTHREAD_COND_INITIALIZER;
+static pthread_cond_t pool_done = PTHREAD_COND_INITIALIZER;
+static int pool_workers = 0;   /* spawned worker threads (main not counted) */
+static int pool_target = 1;    /* configured total thread count */
+static int pool_atfork_set = 0;
+static uint64_t pool_gen = 0;
+static pool_task_fn pool_fn;
+static void* pool_arg;
+static int64_t pool_nparts;
+static int64_t pool_remaining;
+
+static void* pool_worker(void* slotp) {
+    int64_t slot = (int64_t)(size_t)slotp;
+    uint64_t seen = 0;
+    pthread_mutex_lock(&pool_mu);
+    for (;;) {
+        while (pool_gen == seen)
+            pthread_cond_wait(&pool_go, &pool_mu);
+        seen = pool_gen;
+        pool_task_fn fn = pool_fn;
+        void* arg = pool_arg;
+        int64_t nparts = pool_nparts;
+        pthread_mutex_unlock(&pool_mu);
+        if (slot + 1 < nparts)
+            fn(arg, slot + 1, nparts);
+        pthread_mutex_lock(&pool_mu);
+        if (--pool_remaining == 0)
+            pthread_cond_signal(&pool_done);
+    }
+    return 0;
+}
+
+static void pool_child_reset(void) {
+    pool_workers = 0;
+    pool_gen = 0;
+    pool_remaining = 0;
+    pthread_mutex_init(&pool_mu, 0);
+    pthread_mutex_init(&pool_dispatch_mu, 0);
+    pthread_cond_init(&pool_go, 0);
+    pthread_cond_init(&pool_done, 0);
+}
+
+void repro_set_threads(int64_t n) {
+    if (!pool_atfork_set) {
+        pool_atfork_set = 1;
+        pthread_atfork(0, 0, pool_child_reset);
+    }
+    if (n < 1) n = 1;
+    if (n > POOL_MAX + 1) n = POOL_MAX + 1;
+    pool_target = (int)n;
+}
+
+int64_t repro_get_threads(void) { return (int64_t)pool_target; }
+
+static void pool_run(pool_task_fn fn, void* arg, int64_t want) {
+    if (want > pool_target) want = pool_target;
+    if (want <= 1) { fn(arg, 0, 1); return; }
+    pthread_mutex_lock(&pool_dispatch_mu);
+    pthread_mutex_lock(&pool_mu);
+    int need = (int)want - 1;
+    if (need > POOL_MAX) need = POOL_MAX;
+    while (pool_workers < need) {
+        pthread_t t;
+        pthread_attr_t at;
+        pthread_attr_init(&at);
+        pthread_attr_setdetachstate(&at, PTHREAD_CREATE_DETACHED);
+        int rc = pthread_create(&t, &at, pool_worker,
+                                (void*)(size_t)pool_workers);
+        pthread_attr_destroy(&at);
+        if (rc != 0) break;
+        pool_workers++;
+    }
+    int64_t parts = (int64_t)pool_workers + 1;
+    if (parts > want) parts = want;
+    if (parts <= 1) {
+        pthread_mutex_unlock(&pool_mu);
+        pthread_mutex_unlock(&pool_dispatch_mu);
+        fn(arg, 0, 1);
+        return;
+    }
+    pool_fn = fn;
+    pool_arg = arg;
+    pool_nparts = parts;
+    pool_remaining = pool_workers;  /* every worker wakes and checks in */
+    pool_gen++;
+    pthread_cond_broadcast(&pool_go);
+    pthread_mutex_unlock(&pool_mu);
+    fn(arg, 0, parts);
+    pthread_mutex_lock(&pool_mu);
+    while (pool_remaining != 0)
+        pthread_cond_wait(&pool_done, &pool_mu);
+    pthread_mutex_unlock(&pool_mu);
+    pthread_mutex_unlock(&pool_dispatch_mu);
+}
+
+/* Contiguous [lo, hi) share of `total` for this part; remainders go to
+ * the low parts so shares differ by at most one. */
+static void part_range(int64_t total, int64_t part, int64_t nparts,
+                       int64_t* lo, int64_t* hi) {
+    int64_t base = total / nparts, rem = total % nparts;
+    *lo = part * base + (part < rem ? part : rem);
+    *hi = *lo + base + (part < rem ? 1 : 0);
+}
 
 /* Reduced-table layouts: r0/r1 have 2^16 rows, r2 has 2^17 rows; each row
  * holds H contiguous uint16 pre-masked bucket values (one per sketch row).
@@ -536,6 +692,355 @@ void mv_recover_mask(const double* table, const double* votes,
         mask[j] = (uint8_t)(pass && votes[j] > 0.0);
     }
 }
+
+/* --- Thread-parallel variants ------------------------------------------
+ * UPDATE-family kernels shard by sketch ROW: each thread owns a
+ * contiguous band of the H rows and scans the whole key batch, so no two
+ * threads ever touch the same table cell -- no atomics, no locks, and
+ * every cell still accumulates in key stream order, which is exactly the
+ * per-row np.add.at reference order.  Bit-identity with the serial
+ * kernels and the NumPy fallback therefore holds by construction, at any
+ * thread count.  ESTIMATE-family kernels shard by KEY instead (out[j]
+ * depends only on key j), which keeps parallelism available when H is
+ * small; each out[j] is written by exactly one thread with the same
+ * arithmetic as the serial kernel. */
+
+static void tab_update_rows(const uint64_t* keys, const double* values,
+                            int64_t n, int64_t h_rows, int64_t k_width,
+                            const uint16_t* r0, const uint16_t* r1,
+                            const uint16_t* r2, double* table,
+                            int64_t lo, int64_t hi) {
+    uint16_t bk[TAB_UPDATE_BLOCK * EST_MAX_H];
+    for (int64_t rl = lo; rl < hi; rl += EST_MAX_H) {
+        int64_t rh = rl + EST_MAX_H < hi ? rl + EST_MAX_H : hi;
+        int64_t span = rh - rl;
+        for (int64_t s = 0; s < n; s += TAB_UPDATE_BLOCK) {
+            int64_t e = s + TAB_UPDATE_BLOCK < n ? s + TAB_UPDATE_BLOCK : n;
+            for (int64_t j = s; j < e; ++j) {
+                TAB_PF_AHEAD(h_rows)
+                uint64_t key = keys[j];
+                size_t c0 = (size_t)(key & 0xFFFFu);
+                size_t c1 = (size_t)((key >> 16) & 0xFFFFu);
+                const uint16_t* a = r0 + c0 * (size_t)h_rows + rl;
+                const uint16_t* b = r1 + c1 * (size_t)h_rows + rl;
+                const uint16_t* c = r2 + (c0 + c1) * (size_t)h_rows + rl;
+                uint16_t* o = bk + (j - s) * span;
+                for (int64_t i = 0; i < span; ++i)
+                    o[i] = (uint16_t)(a[i] ^ b[i] ^ c[i]);
+            }
+            for (int64_t i = 0; i < span; ++i) {
+                double* trow = table + (rl + i) * k_width;
+                for (int64_t j = s; j < e; ++j)
+                    trow[bk[(j - s) * span + i]] += values[j];
+            }
+        }
+    }
+}
+
+static void tab_update_signed_rows(const uint64_t* keys, const double* values,
+                                   int64_t n, int64_t h_rows, int64_t k_width,
+                                   const uint16_t* r0, const uint16_t* r1,
+                                   const uint16_t* r2, const uint16_t* s0,
+                                   const uint16_t* s1, const uint16_t* s2,
+                                   double* table, int64_t lo, int64_t hi) {
+    for (int64_t j = 0; j < n; ++j) {
+        uint64_t key = keys[j];
+        size_t c0 = (size_t)(key & 0xFFFFu);
+        size_t c1 = (size_t)((key >> 16) & 0xFFFFu);
+        size_t c2 = c0 + c1;
+        double v = values[j];
+        const uint16_t* a = r0 + c0 * (size_t)h_rows;
+        const uint16_t* b = r1 + c1 * (size_t)h_rows;
+        const uint16_t* c = r2 + c2 * (size_t)h_rows;
+        const uint16_t* sa = s0 + c0 * (size_t)h_rows;
+        const uint16_t* sb = s1 + c1 * (size_t)h_rows;
+        const uint16_t* sc = s2 + c2 * (size_t)h_rows;
+        for (int64_t i = lo; i < hi; ++i) {
+            uint16_t bucket = (uint16_t)(a[i] ^ b[i] ^ c[i]);
+            uint16_t bit = (uint16_t)(sa[i] ^ sb[i] ^ sc[i]);
+            table[i * k_width + bucket] += bit ? v : -v;
+        }
+    }
+}
+
+static void poly_update_rows(const uint64_t* keys, const double* values,
+                             int64_t n, int64_t h_rows, int64_t degree,
+                             const uint64_t* coeffs, int64_t k_width,
+                             double* table, int64_t lo, int64_t hi) {
+    uint64_t k = (uint64_t)k_width;
+    for (int64_t j = 0; j < n; ++j) {
+        uint64_t x = key_to_field(keys[j]);
+        double v = values[j];
+        for (int64_t i = lo; i < hi; ++i) {
+            uint64_t bucket = poly_eval(coeffs + i * degree, degree, x) % k;
+            table[i * k_width + (int64_t)bucket] += v;
+        }
+    }
+}
+
+static void poly_update_signed_rows(const uint64_t* keys,
+                                    const double* values, int64_t n,
+                                    int64_t h_rows, int64_t degree,
+                                    const uint64_t* bcoeffs, int64_t k_width,
+                                    const uint64_t* scoeffs, double* table,
+                                    int64_t lo, int64_t hi) {
+    uint64_t k = (uint64_t)k_width;
+    for (int64_t j = 0; j < n; ++j) {
+        uint64_t x = key_to_field(keys[j]);
+        double v = values[j];
+        for (int64_t i = lo; i < hi; ++i) {
+            uint64_t bucket = poly_eval(bcoeffs + i * degree, degree, x) % k;
+            uint64_t bit = poly_eval(scoeffs + i * degree, degree, x) & 1u;
+            table[i * k_width + (int64_t)bucket] += bit ? v : -v;
+        }
+    }
+}
+
+static void tab_update_mv_rows(const uint64_t* keys, const double* weights,
+                               int64_t n, int64_t h_rows, int64_t k_width,
+                               const uint16_t* r0, const uint16_t* r1,
+                               const uint16_t* r2, uint64_t* cand,
+                               double* votes, int64_t lo, int64_t hi) {
+    for (int64_t j = 0; j < n; ++j) {
+        uint64_t key = keys[j];
+        size_t c0 = (size_t)(key & 0xFFFFu);
+        size_t c1 = (size_t)((key >> 16) & 0xFFFFu);
+        const uint16_t* a = r0 + c0 * (size_t)h_rows;
+        const uint16_t* b = r1 + c1 * (size_t)h_rows;
+        const uint16_t* c = r2 + (c0 + c1) * (size_t)h_rows;
+        double w = weights[j];
+        for (int64_t i = lo; i < hi; ++i) {
+            int64_t cell = i * k_width + (uint16_t)(a[i] ^ b[i] ^ c[i]);
+            if (cand[cell] == key) votes[cell] += w;
+            else if (votes[cell] >= w) votes[cell] -= w;
+            else { cand[cell] = key; votes[cell] = w - votes[cell]; }
+        }
+    }
+}
+
+static void idx_estimate_range(const int64_t* idx, int64_t n, int64_t h_rows,
+                               int64_t k_width, const double* table,
+                               double mean_share, double denom, double* out,
+                               int64_t jlo, int64_t jhi) {
+    double buf[EST_MAX_H];
+    for (int64_t j = jlo; j < jhi; ++j) {
+        for (int64_t i = 0; i < h_rows; ++i)
+            buf[i] = (table[i * k_width + idx[i * n + j]] - mean_share)
+                     / denom;
+        out[j] = row_median(buf, h_rows);
+    }
+}
+
+typedef struct {
+    const uint64_t* keys;
+    const double* values;
+    const int64_t* idx;
+    int64_t n, h, k, degree;
+    const uint16_t *r0, *r1, *r2, *s0, *s1, *s2;
+    const uint64_t *bcoeffs, *scoeffs;
+    const double* rtable;
+    double* table;
+    uint64_t* cand;
+    double* votes;
+    double mean_share, denom;
+    double* out;
+} mt_ctx;
+
+static void mt_tab_update(void* argp, int64_t part, int64_t nparts) {
+    mt_ctx* c = (mt_ctx*)argp;
+    int64_t lo, hi;
+    part_range(c->h, part, nparts, &lo, &hi);
+    if (lo < hi)
+        tab_update_rows(c->keys, c->values, c->n, c->h, c->k,
+                        c->r0, c->r1, c->r2, c->table, lo, hi);
+}
+
+static void mt_tab_update_signed(void* argp, int64_t part, int64_t nparts) {
+    mt_ctx* c = (mt_ctx*)argp;
+    int64_t lo, hi;
+    part_range(c->h, part, nparts, &lo, &hi);
+    if (lo < hi)
+        tab_update_signed_rows(c->keys, c->values, c->n, c->h, c->k,
+                               c->r0, c->r1, c->r2, c->s0, c->s1, c->s2,
+                               c->table, lo, hi);
+}
+
+static void mt_poly_update(void* argp, int64_t part, int64_t nparts) {
+    mt_ctx* c = (mt_ctx*)argp;
+    int64_t lo, hi;
+    part_range(c->h, part, nparts, &lo, &hi);
+    if (lo < hi)
+        poly_update_rows(c->keys, c->values, c->n, c->h, c->degree,
+                         c->bcoeffs, c->k, c->table, lo, hi);
+}
+
+static void mt_poly_update_signed(void* argp, int64_t part, int64_t nparts) {
+    mt_ctx* c = (mt_ctx*)argp;
+    int64_t lo, hi;
+    part_range(c->h, part, nparts, &lo, &hi);
+    if (lo < hi)
+        poly_update_signed_rows(c->keys, c->values, c->n, c->h, c->degree,
+                                c->bcoeffs, c->k, c->scoeffs, c->table,
+                                lo, hi);
+}
+
+static void mt_idx_update(void* argp, int64_t part, int64_t nparts) {
+    mt_ctx* c = (mt_ctx*)argp;
+    int64_t lo, hi;
+    part_range(c->h, part, nparts, &lo, &hi);
+    if (lo < hi)
+        idx_update(c->idx + lo * c->n, c->values, c->n, hi - lo, c->k,
+                   c->table + lo * c->k);
+}
+
+static void mt_tab_update_mv(void* argp, int64_t part, int64_t nparts) {
+    mt_ctx* c = (mt_ctx*)argp;
+    int64_t lo, hi;
+    part_range(c->h, part, nparts, &lo, &hi);
+    if (lo < hi)
+        tab_update_mv_rows(c->keys, c->values, c->n, c->h, c->k,
+                           c->r0, c->r1, c->r2, c->cand, c->votes, lo, hi);
+}
+
+static void mt_idx_update_mv(void* argp, int64_t part, int64_t nparts) {
+    mt_ctx* c = (mt_ctx*)argp;
+    int64_t lo, hi;
+    part_range(c->h, part, nparts, &lo, &hi);
+    if (lo < hi)
+        idx_update_mv(c->idx + lo * c->n, c->keys, c->values, c->n,
+                      hi - lo, c->k, c->cand + lo * c->k,
+                      c->votes + lo * c->k);
+}
+
+static void mt_tab_estimate(void* argp, int64_t part, int64_t nparts) {
+    mt_ctx* c = (mt_ctx*)argp;
+    int64_t lo, hi;
+    part_range(c->n, part, nparts, &lo, &hi);
+    if (lo < hi)
+        tab_estimate_u16(c->keys + lo, hi - lo, c->h, c->k,
+                         c->r0, c->r1, c->r2, c->rtable,
+                         c->mean_share, c->denom, c->out + lo);
+}
+
+static void mt_poly_estimate(void* argp, int64_t part, int64_t nparts) {
+    mt_ctx* c = (mt_ctx*)argp;
+    int64_t lo, hi;
+    part_range(c->n, part, nparts, &lo, &hi);
+    if (lo < hi)
+        poly_estimate(c->keys + lo, hi - lo, c->h, c->degree, c->bcoeffs,
+                      c->k, c->rtable, c->mean_share, c->denom, c->out + lo);
+}
+
+static void mt_idx_estimate(void* argp, int64_t part, int64_t nparts) {
+    mt_ctx* c = (mt_ctx*)argp;
+    int64_t lo, hi;
+    part_range(c->n, part, nparts, &lo, &hi);
+    if (lo < hi)
+        idx_estimate_range(c->idx, c->n, c->h, c->k, c->rtable,
+                           c->mean_share, c->denom, c->out, lo, hi);
+}
+
+void tab_update_u16_mt(const uint64_t* keys, const double* values, int64_t n,
+                       int64_t h_rows, int64_t k_width,
+                       const uint16_t* r0, const uint16_t* r1,
+                       const uint16_t* r2, double* table) {
+    mt_ctx c = {0};
+    c.keys = keys; c.values = values; c.n = n; c.h = h_rows; c.k = k_width;
+    c.r0 = r0; c.r1 = r1; c.r2 = r2; c.table = table;
+    pool_run(mt_tab_update, &c, h_rows);
+}
+
+void tab_update_signed_u16_mt(const uint64_t* keys, const double* values,
+                              int64_t n, int64_t h_rows, int64_t k_width,
+                              const uint16_t* r0, const uint16_t* r1,
+                              const uint16_t* r2, const uint16_t* s0,
+                              const uint16_t* s1, const uint16_t* s2,
+                              double* table) {
+    mt_ctx c = {0};
+    c.keys = keys; c.values = values; c.n = n; c.h = h_rows; c.k = k_width;
+    c.r0 = r0; c.r1 = r1; c.r2 = r2; c.s0 = s0; c.s1 = s1; c.s2 = s2;
+    c.table = table;
+    pool_run(mt_tab_update_signed, &c, h_rows);
+}
+
+void poly_update_mt(const uint64_t* keys, const double* values, int64_t n,
+                    int64_t h_rows, int64_t degree, const uint64_t* coeffs,
+                    int64_t k_width, double* table) {
+    mt_ctx c = {0};
+    c.keys = keys; c.values = values; c.n = n; c.h = h_rows;
+    c.degree = degree; c.bcoeffs = coeffs; c.k = k_width; c.table = table;
+    pool_run(mt_poly_update, &c, h_rows);
+}
+
+void poly_update_signed_mt(const uint64_t* keys, const double* values,
+                           int64_t n, int64_t h_rows, int64_t degree,
+                           const uint64_t* bcoeffs, int64_t k_width,
+                           const uint64_t* scoeffs, double* table) {
+    mt_ctx c = {0};
+    c.keys = keys; c.values = values; c.n = n; c.h = h_rows;
+    c.degree = degree; c.bcoeffs = bcoeffs; c.k = k_width;
+    c.scoeffs = scoeffs; c.table = table;
+    pool_run(mt_poly_update_signed, &c, h_rows);
+}
+
+void idx_update_mt(const int64_t* idx, const double* values, int64_t n,
+                   int64_t h_rows, int64_t k_width, double* table) {
+    mt_ctx c = {0};
+    c.idx = idx; c.values = values; c.n = n; c.h = h_rows; c.k = k_width;
+    c.table = table;
+    pool_run(mt_idx_update, &c, h_rows);
+}
+
+void tab_update_mv_mt(const uint64_t* keys, const double* weights, int64_t n,
+                      int64_t h_rows, int64_t k_width,
+                      const uint16_t* r0, const uint16_t* r1,
+                      const uint16_t* r2, uint64_t* cand, double* votes) {
+    mt_ctx c = {0};
+    c.keys = keys; c.values = weights; c.n = n; c.h = h_rows; c.k = k_width;
+    c.r0 = r0; c.r1 = r1; c.r2 = r2; c.cand = cand; c.votes = votes;
+    pool_run(mt_tab_update_mv, &c, h_rows);
+}
+
+void idx_update_mv_mt(const int64_t* idx, const uint64_t* keys,
+                      const double* weights, int64_t n, int64_t h_rows,
+                      int64_t k_width, uint64_t* cand, double* votes) {
+    mt_ctx c = {0};
+    c.idx = idx; c.keys = keys; c.values = weights; c.n = n; c.h = h_rows;
+    c.k = k_width; c.cand = cand; c.votes = votes;
+    pool_run(mt_idx_update_mv, &c, h_rows);
+}
+
+void tab_estimate_u16_mt(const uint64_t* keys, int64_t n, int64_t h_rows,
+                         int64_t k_width, const uint16_t* r0,
+                         const uint16_t* r1, const uint16_t* r2,
+                         const double* table, double mean_share,
+                         double denom, double* out) {
+    mt_ctx c = {0};
+    c.keys = keys; c.n = n; c.h = h_rows; c.k = k_width;
+    c.r0 = r0; c.r1 = r1; c.r2 = r2; c.rtable = table;
+    c.mean_share = mean_share; c.denom = denom; c.out = out;
+    pool_run(mt_tab_estimate, &c, n);
+}
+
+void poly_estimate_mt(const uint64_t* keys, int64_t n, int64_t h_rows,
+                      int64_t degree, const uint64_t* coeffs, int64_t k_width,
+                      const double* table, double mean_share, double denom,
+                      double* out) {
+    mt_ctx c = {0};
+    c.keys = keys; c.n = n; c.h = h_rows; c.degree = degree;
+    c.bcoeffs = coeffs; c.k = k_width; c.rtable = table;
+    c.mean_share = mean_share; c.denom = denom; c.out = out;
+    pool_run(mt_poly_estimate, &c, n);
+}
+
+void idx_estimate_mt(const int64_t* idx, int64_t n, int64_t h_rows,
+                     int64_t k_width, const double* table, double mean_share,
+                     double denom, double* out) {
+    mt_ctx c = {0};
+    c.idx = idx; c.n = n; c.h = h_rows; c.k = k_width; c.rtable = table;
+    c.mean_share = mean_share; c.denom = denom; c.out = out;
+    pool_run(mt_idx_estimate, &c, n);
+}
 """
 
 _COMPILERS = ("cc", "gcc", "clang")
@@ -545,17 +1050,39 @@ def _ptr(arr: np.ndarray):
     return arr.ctypes.data_as(ctypes.c_void_p)
 
 
+def _env_int(name: str, default: int) -> int:
+    raw = os.environ.get(name, "").strip()
+    if raw:
+        try:
+            return max(0, int(raw))
+        except ValueError:
+            pass
+    return default
+
+
 class SketchKernels:
     """ctypes facade over the compiled shared object.
 
-    Every method increments its entry in :attr:`calls`, the per-process
+    Every method increments its entry in :attr:`calls` (the per-process
     invocation tally the observability layer exports as
-    ``repro_kernel_calls_total{kernel=...}``.
+    ``repro_kernel_calls_total{kernel=...}``) and accumulates its wall
+    time in :attr:`seconds` (exported as ``repro_kernel_seconds``).
+
+    UPDATE/ESTIMATE-family methods dispatch to the thread-parallel
+    (``*_mt``) entry points when :attr:`threads` > 1 and the batch is at
+    least :attr:`min_parallel_keys` keys; the parallel calls are tallied
+    under their own ``*_mt`` names so serial and pooled work stay
+    distinguishable in the metrics.
     """
 
     def __init__(self, lib: ctypes.CDLL) -> None:
         self._lib = lib
         self.calls: Dict[str, int] = {name: 0 for name in KERNEL_NAMES}
+        self.seconds: Dict[str, float] = {name: 0.0 for name in KERNEL_NAMES}
+        self.threads = 1
+        self.min_parallel_keys = _env_int(
+            "REPRO_MIN_PARALLEL_KEYS", DEFAULT_MIN_PARALLEL_KEYS
+        )
         p, i64, f64 = ctypes.c_void_p, ctypes.c_int64, ctypes.c_double
         signatures = {
             "tab_hash_u16": [p, i64, i64, p, p, p, p],
@@ -576,49 +1103,93 @@ class SketchKernels:
             "mv_merge": [p, p, p, p, f64, i64],
             "mv_combine2": [p, p, f64, p, p, f64, p, p, i64],
             "mv_recover_mask": [p, p, f64, f64, f64, i64, p],
+            "tab_update_u16_mt": [p, p, i64, i64, i64, p, p, p, p],
+            "tab_update_signed_u16_mt": [p, p, i64, i64, i64,
+                                         p, p, p, p, p, p, p],
+            "poly_update_mt": [p, p, i64, i64, i64, p, i64, p],
+            "poly_update_signed_mt": [p, p, i64, i64, i64, p, i64, p, p],
+            "idx_update_mt": [p, p, i64, i64, i64, p],
+            "tab_update_mv_mt": [p, p, i64, i64, i64, p, p, p, p, p],
+            "idx_update_mv_mt": [p, p, p, i64, i64, i64, p, p],
+            "tab_estimate_u16_mt": [p, i64, i64, i64, p, p, p, p,
+                                    f64, f64, p],
+            "poly_estimate_mt": [p, i64, i64, i64, p, i64, p, f64, f64, p],
+            "idx_estimate_mt": [p, i64, i64, i64, p, f64, f64, p],
+            "repro_set_threads": [i64],
         }
         for name, argtypes in signatures.items():
             fn = getattr(lib, name)
             fn.restype = None
             fn.argtypes = argtypes
+        lib.repro_get_threads.restype = ctypes.c_int64
+        lib.repro_get_threads.argtypes = []
 
-    def _tick(self, name: str) -> None:
+    def set_threads(self, n: int) -> None:
+        """Configure the pthread pool inside the compiled object.
+
+        ``n`` counts total threads including the dispatching one; it is
+        clamped to ``[1, POOL_MAX + 1]`` by the C side.  Workers spawn
+        lazily on the first parallel dispatch, so setting a count never
+        costs anything by itself.
+        """
+        self._lib.repro_set_threads(max(1, int(n)))
+        self.threads = int(self._lib.repro_get_threads())
+
+    def _mt(self, n_keys: int) -> bool:
+        return self.threads > 1 and n_keys >= self.min_parallel_keys
+
+    def _tick(self, name: str) -> float:
         self.calls[name] += 1
+        return time.perf_counter()
+
+    def _tock(self, name: str, t0: float) -> None:
+        self.seconds[name] += time.perf_counter() - t0
 
     # -- tabulation (pre-reduced uint16 strips) ------------------------------
 
     def hash_all(self, keys, r0, r1, r2, depth: int) -> np.ndarray:
-        self._tick("tab_hash")
+        t0 = self._tick("tab_hash")
         keys = np.ascontiguousarray(keys, dtype=np.uint64)
         out = np.empty((depth, len(keys)), dtype=np.int64)
         self._lib.tab_hash_u16(
             _ptr(keys), len(keys), depth, _ptr(r0), _ptr(r1), _ptr(r2), _ptr(out)
         )
+        self._tock("tab_hash", t0)
         return out
 
     def update(self, table, keys, values, r0, r1, r2) -> None:
-        self._tick("tab_update")
         keys = np.ascontiguousarray(keys, dtype=np.uint64)
         values = np.ascontiguousarray(values, dtype=np.float64)
         depth, width = table.shape
-        self._lib.tab_update_u16(
+        if self._mt(len(keys)):
+            name, fn = "tab_update_mt", self._lib.tab_update_u16_mt
+        else:
+            name, fn = "tab_update", self._lib.tab_update_u16
+        t0 = self._tick(name)
+        fn(
             _ptr(keys), _ptr(values), len(keys), depth, width,
             _ptr(r0), _ptr(r1), _ptr(r2), _ptr(table),
         )
+        self._tock(name, t0)
 
     def update_signed(self, table, keys, values, r0, r1, r2, s0, s1, s2) -> None:
-        self._tick("tab_update_signed")
         keys = np.ascontiguousarray(keys, dtype=np.uint64)
         values = np.ascontiguousarray(values, dtype=np.float64)
         depth, width = table.shape
-        self._lib.tab_update_signed_u16(
+        if self._mt(len(keys)):
+            name, fn = "tab_update_signed_mt", self._lib.tab_update_signed_u16_mt
+        else:
+            name, fn = "tab_update_signed", self._lib.tab_update_signed_u16
+        t0 = self._tick(name)
+        fn(
             _ptr(keys), _ptr(values), len(keys), depth, width,
             _ptr(r0), _ptr(r1), _ptr(r2), _ptr(s0), _ptr(s1), _ptr(s2),
             _ptr(table),
         )
+        self._tock(name, t0)
 
     def gather(self, table, keys, r0, r1, r2) -> np.ndarray:
-        self._tick("tab_gather")
+        t0 = self._tick("tab_gather")
         keys = np.ascontiguousarray(keys, dtype=np.uint64)
         depth, width = table.shape
         out = np.empty((depth, len(keys)), dtype=np.float64)
@@ -626,25 +1197,31 @@ class SketchKernels:
             _ptr(keys), len(keys), depth, width,
             _ptr(r0), _ptr(r1), _ptr(r2), _ptr(table), _ptr(out),
         )
+        self._tock("tab_gather", t0)
         return out
 
     def estimate(self, table, keys, r0, r1, r2,
                  mean_share: float, denom: float) -> np.ndarray:
-        self._tick("tab_estimate")
         keys = np.ascontiguousarray(keys, dtype=np.uint64)
         depth, width = table.shape
         out = np.empty(len(keys), dtype=np.float64)
-        self._lib.tab_estimate_u16(
+        if self._mt(len(keys)):
+            name, fn = "tab_estimate_mt", self._lib.tab_estimate_u16_mt
+        else:
+            name, fn = "tab_estimate", self._lib.tab_estimate_u16
+        t0 = self._tick(name)
+        fn(
             _ptr(keys), len(keys), depth, width,
             _ptr(r0), _ptr(r1), _ptr(r2), _ptr(table),
             mean_share, denom, _ptr(out),
         )
+        self._tock(name, t0)
         return out
 
     # -- Carter-Wegman polynomial --------------------------------------------
 
     def poly_hash(self, keys, coeffs, num_buckets: int) -> np.ndarray:
-        self._tick("poly_hash")
+        t0 = self._tick("poly_hash")
         keys = np.ascontiguousarray(keys, dtype=np.uint64)
         depth, degree = coeffs.shape
         out = np.empty((depth, len(keys)), dtype=np.int64)
@@ -652,30 +1229,41 @@ class SketchKernels:
             _ptr(keys), len(keys), depth, degree, _ptr(coeffs),
             num_buckets, _ptr(out),
         )
+        self._tock("poly_hash", t0)
         return out
 
     def poly_update(self, table, keys, values, coeffs) -> None:
-        self._tick("poly_update")
         keys = np.ascontiguousarray(keys, dtype=np.uint64)
         values = np.ascontiguousarray(values, dtype=np.float64)
         depth, width = table.shape
-        self._lib.poly_update(
+        if self._mt(len(keys)):
+            name, fn = "poly_update_mt", self._lib.poly_update_mt
+        else:
+            name, fn = "poly_update", self._lib.poly_update
+        t0 = self._tick(name)
+        fn(
             _ptr(keys), _ptr(values), len(keys), depth, coeffs.shape[1],
             _ptr(coeffs), width, _ptr(table),
         )
+        self._tock(name, t0)
 
     def poly_update_signed(self, table, keys, values, bcoeffs, scoeffs) -> None:
-        self._tick("poly_update_signed")
         keys = np.ascontiguousarray(keys, dtype=np.uint64)
         values = np.ascontiguousarray(values, dtype=np.float64)
         depth, width = table.shape
-        self._lib.poly_update_signed(
+        if self._mt(len(keys)):
+            name, fn = "poly_update_signed_mt", self._lib.poly_update_signed_mt
+        else:
+            name, fn = "poly_update_signed", self._lib.poly_update_signed
+        t0 = self._tick(name)
+        fn(
             _ptr(keys), _ptr(values), len(keys), depth, bcoeffs.shape[1],
             _ptr(bcoeffs), width, _ptr(scoeffs), _ptr(table),
         )
+        self._tock(name, t0)
 
     def poly_gather(self, table, keys, coeffs) -> np.ndarray:
-        self._tick("poly_gather")
+        t0 = self._tick("poly_gather")
         keys = np.ascontiguousarray(keys, dtype=np.uint64)
         depth, width = table.shape
         out = np.empty((depth, len(keys)), dtype=np.float64)
@@ -683,34 +1271,45 @@ class SketchKernels:
             _ptr(keys), len(keys), depth, coeffs.shape[1], _ptr(coeffs),
             width, _ptr(table), _ptr(out),
         )
+        self._tock("poly_gather", t0)
         return out
 
     def poly_estimate(self, table, keys, coeffs,
                       mean_share: float, denom: float) -> np.ndarray:
-        self._tick("poly_estimate")
         keys = np.ascontiguousarray(keys, dtype=np.uint64)
         depth, width = table.shape
         out = np.empty(len(keys), dtype=np.float64)
-        self._lib.poly_estimate(
+        if self._mt(len(keys)):
+            name, fn = "poly_estimate_mt", self._lib.poly_estimate_mt
+        else:
+            name, fn = "poly_estimate", self._lib.poly_estimate
+        t0 = self._tick(name)
+        fn(
             _ptr(keys), len(keys), depth, coeffs.shape[1], _ptr(coeffs),
             width, _ptr(table), mean_share, denom, _ptr(out),
         )
+        self._tock(name, t0)
         return out
 
     # -- precomputed indices -------------------------------------------------
 
     def update_indices(self, table, indices, values) -> None:
-        self._tick("idx_update")
         indices = np.ascontiguousarray(indices, dtype=np.int64)
         values = np.ascontiguousarray(values, dtype=np.float64)
         depth, width = table.shape
-        self._lib.idx_update(
+        if self._mt(indices.shape[1]):
+            name, fn = "idx_update_mt", self._lib.idx_update_mt
+        else:
+            name, fn = "idx_update", self._lib.idx_update
+        t0 = self._tick(name)
+        fn(
             _ptr(indices), _ptr(values), indices.shape[1], depth, width,
             _ptr(table),
         )
+        self._tock(name, t0)
 
     def gather_indices(self, table, indices) -> np.ndarray:
-        self._tick("idx_gather")
+        t0 = self._tick("idx_gather")
         indices = np.ascontiguousarray(indices, dtype=np.int64)
         depth, width = table.shape
         n = indices.shape[1]
@@ -718,69 +1317,88 @@ class SketchKernels:
         self._lib.idx_gather(
             _ptr(indices), n, depth, width, _ptr(table), _ptr(out)
         )
+        self._tock("idx_gather", t0)
         return out
 
     def estimate_indices(self, table, indices,
                          mean_share: float, denom: float) -> np.ndarray:
-        self._tick("idx_estimate")
         indices = np.ascontiguousarray(indices, dtype=np.int64)
         depth, width = table.shape
         n = indices.shape[1]
         out = np.empty(n, dtype=np.float64)
-        self._lib.idx_estimate(
+        if self._mt(n):
+            name, fn = "idx_estimate_mt", self._lib.idx_estimate_mt
+        else:
+            name, fn = "idx_estimate", self._lib.idx_estimate
+        t0 = self._tick(name)
+        fn(
             _ptr(indices), n, depth, width, _ptr(table),
             mean_share, denom, _ptr(out),
         )
+        self._tock(name, t0)
         return out
 
     # -- invertible-sketch majority-vote candidates --------------------------
 
     def update_mv(self, cand, votes, keys, weights, r0, r1, r2) -> None:
-        self._tick("tab_update_mv")
         keys = np.ascontiguousarray(keys, dtype=np.uint64)
         weights = np.ascontiguousarray(weights, dtype=np.float64)
         depth, width = votes.shape
-        self._lib.tab_update_mv(
+        if self._mt(len(keys)):
+            name, fn = "tab_update_mv_mt", self._lib.tab_update_mv_mt
+        else:
+            name, fn = "tab_update_mv", self._lib.tab_update_mv
+        t0 = self._tick(name)
+        fn(
             _ptr(keys), _ptr(weights), len(keys), depth, width,
             _ptr(r0), _ptr(r1), _ptr(r2), _ptr(cand), _ptr(votes),
         )
+        self._tock(name, t0)
 
     def update_mv_indices(self, cand, votes, indices, keys, weights) -> None:
-        self._tick("idx_update_mv")
         indices = np.ascontiguousarray(indices, dtype=np.int64)
         keys = np.ascontiguousarray(keys, dtype=np.uint64)
         weights = np.ascontiguousarray(weights, dtype=np.float64)
         depth, width = votes.shape
-        self._lib.idx_update_mv(
+        if self._mt(indices.shape[1]):
+            name, fn = "idx_update_mv_mt", self._lib.idx_update_mv_mt
+        else:
+            name, fn = "idx_update_mv", self._lib.idx_update_mv
+        t0 = self._tick(name)
+        fn(
             _ptr(indices), _ptr(keys), _ptr(weights), indices.shape[1],
             depth, width, _ptr(cand), _ptr(votes),
         )
+        self._tock(name, t0)
 
     def merge_mv(self, cand_a, votes_a, cand_b, votes_b,
                  coeff: float) -> None:
-        self._tick("mv_merge")
+        t0 = self._tick("mv_merge")
         self._lib.mv_merge(
             _ptr(cand_a), _ptr(votes_a), _ptr(cand_b), _ptr(votes_b),
             coeff, cand_a.size,
         )
+        self._tock("mv_merge", t0)
 
     def combine2_mv(self, cand_a, votes_a, coeff_a, cand_b, votes_b,
                     coeff_b, out_k, out_v) -> None:
-        self._tick("mv_combine2")
+        t0 = self._tick("mv_combine2")
         self._lib.mv_combine2(
             _ptr(cand_a), _ptr(votes_a), coeff_a,
             _ptr(cand_b), _ptr(votes_b), coeff_b,
             _ptr(out_k), _ptr(out_v), out_v.size,
         )
+        self._tock("mv_combine2", t0)
 
     def recover_mask(self, table, votes, mean_share: float, denom: float,
                      threshold: float) -> np.ndarray:
-        self._tick("mv_recover")
+        t0 = self._tick("mv_recover")
         mask = np.empty(table.shape, dtype=np.uint8)
         self._lib.mv_recover_mask(
             _ptr(table), _ptr(votes), mean_share, denom, threshold,
             table.size, _ptr(mask),
         )
+        self._tock("mv_recover", t0)
         return mask.view(np.bool_)
 
 
@@ -790,9 +1408,10 @@ TabulationKernels = SketchKernels
 
 #: Flag sets tried in order; host-tuned codegen first, portable fallback
 #: second (``-march=native`` is unsupported by some compilers/arches).
+#: ``-pthread`` covers both compile- and link-side needs of the pool.
 _FLAG_SETS = (
-    ["-O3", "-march=native", "-funroll-loops"],
-    ["-O3"],
+    ["-O3", "-march=native", "-funroll-loops", "-pthread"],
+    ["-O3", "-pthread"],
 )
 
 
@@ -800,6 +1419,33 @@ def _compiler_candidates() -> tuple:
     """``$CC`` first when set and non-empty, then the built-in list."""
     cc = os.environ.get("CC", "").strip()
     return (cc, *_COMPILERS) if cc else _COMPILERS
+
+
+def _write_atomic(path: str, text: str) -> None:
+    """Write via a pid-suffixed temp file + rename so concurrent writers
+    (two processes compiling the same digest) can never interleave and a
+    reader can never observe a half-written file."""
+    tmp = path + f".tmp{os.getpid()}"
+    with open(tmp, "w") as fh:
+        fh.write(text)
+    os.replace(tmp, path)
+
+
+def _build_so(src_path: str, tmp_so: str) -> bool:
+    for compiler in _compiler_candidates():
+        for flags in _FLAG_SETS:
+            try:
+                result = subprocess.run(
+                    [compiler, *flags, "-fPIC", "-shared", src_path,
+                     "-o", tmp_so],
+                    capture_output=True,
+                    timeout=120,
+                )
+            except (OSError, subprocess.TimeoutExpired):
+                continue
+            if result.returncode == 0:
+                return True
+    return False
 
 
 def _compile() -> Optional[SketchKernels]:
@@ -810,43 +1456,95 @@ def _compile() -> Optional[SketchKernels]:
     ).hexdigest()[:16]
     cache_dir = os.path.join(tempfile.gettempdir(), "repro-kernels")
     so_path = os.path.join(cache_dir, f"sketchkern-{digest}.so")
-    if not os.path.exists(so_path):
-        try:
-            os.makedirs(cache_dir, exist_ok=True)
-            src_path = os.path.join(cache_dir, f"sketchkern-{digest}.c")
-            with open(src_path, "w") as fh:
-                fh.write(_C_SOURCE)
-            tmp_so = so_path + f".tmp{os.getpid()}"
-            compiled = False
-            for compiler in _compiler_candidates():
-                for flags in _FLAG_SETS:
-                    try:
-                        result = subprocess.run(
-                            [compiler, *flags, "-fPIC", "-shared", src_path,
-                             "-o", tmp_so],
-                            capture_output=True,
-                            timeout=120,
-                        )
-                    except (OSError, subprocess.TimeoutExpired):
-                        continue
-                    if result.returncode == 0:
-                        compiled = True
-                        break
-                if compiled:
-                    break
-            if not compiled:
+    src_path = os.path.join(cache_dir, f"sketchkern-{digest}.c")
+    # Two attempts: if a cached .so exists but fails to load (a stale
+    # artifact from a crashed writer predating the atomic rename, or a
+    # build for a different ABI), discard it and rebuild once before
+    # giving up.  Every filesystem publish below is temp-file + rename,
+    # so concurrent processes racing on the same digest each load a
+    # complete object -- never a half-written one.
+    for attempt in range(2):
+        if attempt or not os.path.exists(so_path):
+            try:
+                os.makedirs(cache_dir, exist_ok=True)
+                _write_atomic(src_path, _C_SOURCE)
+                tmp_so = so_path + f".tmp{os.getpid()}"
+                if not _build_so(src_path, tmp_so):
+                    return None
+                os.replace(tmp_so, so_path)
+            except OSError:
                 return None
-            os.replace(tmp_so, so_path)
-        except OSError:
-            return None
-    try:
-        return SketchKernels(ctypes.CDLL(so_path))
-    except (OSError, AttributeError):
-        return None
+        try:
+            return SketchKernels(ctypes.CDLL(so_path))
+        except (OSError, AttributeError):
+            try:
+                os.unlink(so_path)
+            except OSError:
+                pass
+    return None
 
 
 _UNSET = object()
 _KERNELS = _UNSET
+_NUM_THREADS: Optional[int] = None
+
+
+def _detect_num_threads() -> int:
+    raw = os.environ.get("REPRO_NUM_THREADS", "").strip()
+    if raw:
+        try:
+            return max(1, int(raw))
+        except ValueError:
+            pass
+    try:
+        cpus = len(os.sched_getaffinity(0))
+    except (AttributeError, OSError):
+        cpus = os.cpu_count() or 1
+    return max(1, min(cpus, DEFAULT_THREAD_CAP))
+
+
+def get_num_threads() -> int:
+    """The configured kernel thread count.
+
+    Resolution order: :func:`set_num_threads` if it has been called, else
+    ``REPRO_NUM_THREADS``, else the detected usable-core count capped at
+    :data:`DEFAULT_THREAD_CAP`.  This is a *target*: it includes the
+    dispatching thread, applies only to the compiled kernels (the NumPy
+    fallback is always single-threaded), and only batches of at least
+    ``min_parallel_keys`` keys actually fan out.
+    """
+    global _NUM_THREADS
+    if _NUM_THREADS is None:
+        _NUM_THREADS = _detect_num_threads()
+    return _NUM_THREADS
+
+
+def set_num_threads(n: int) -> int:
+    """Set the kernel thread count; returns the clamped effective value.
+
+    Takes effect immediately on already-compiled kernels and sticks for
+    kernels compiled later in the process.
+    """
+    global _NUM_THREADS
+    _NUM_THREADS = max(1, int(n))
+    kernels = _KERNELS
+    if kernels is not _UNSET and kernels is not None:
+        kernels.set_threads(_NUM_THREADS)
+        _NUM_THREADS = kernels.threads
+    return _NUM_THREADS
+
+
+def kernel_thread_count() -> int:
+    """Threads the compiled kernels are configured to use (0 = kernels off).
+
+    The observability layer exports this as the ``repro_kernel_threads``
+    gauge; 0 keeps "no compiled kernels at all" distinguishable from
+    "kernels on, single-threaded".
+    """
+    kernels = _KERNELS
+    if kernels is _UNSET or kernels is None:
+        return 0
+    return kernels.threads
 
 
 def get_kernels() -> Optional[SketchKernels]:
@@ -865,6 +1563,8 @@ def get_kernels() -> Optional[SketchKernels]:
             _KERNELS = None
         else:
             _KERNELS = _compile()
+            if _KERNELS is not None:
+                _KERNELS.set_threads(get_num_threads())
     return _KERNELS
 
 
@@ -880,3 +1580,16 @@ def kernel_call_counts() -> Dict[str, int]:
     if kernels is _UNSET or kernels is None:
         return {}
     return dict(kernels.calls)
+
+
+def kernel_seconds() -> Dict[str, float]:
+    """Per-kernel cumulative wall seconds (empty when no kernels).
+
+    Facade-side ``time.perf_counter`` spans around each C call, keyed
+    like :func:`kernel_call_counts`; exported by the observability layer
+    as ``repro_kernel_seconds{kernel=...}``.
+    """
+    kernels = _KERNELS
+    if kernels is _UNSET or kernels is None:
+        return {}
+    return dict(kernels.seconds)

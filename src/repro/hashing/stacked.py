@@ -20,6 +20,17 @@ stack, exactly the paper's trick.  A fused C kernel
 scatter-add/gather of the sketch tables; when no compiler is available the
 NumPy path produces identical results.
 
+Nothing in this module knows about threads: the kernel facade picks the
+serial or row-sharded multi-threaded entry per call (batch size vs
+``min_parallel_keys``, thread count from ``REPRO_NUM_THREADS`` /
+:func:`repro.hashing.set_num_threads`), so every ``scatter_add`` /
+``gather`` / estimate below is transparently parallel on multi-core
+hosts -- and, because UPDATE work is sharded by sketch row (one writer
+per row, per-row stream order preserved), still bit-identical to this
+module's NumPy reference at any thread count.  Multi-threaded calls
+tally under ``*_mt`` names in
+:func:`~repro.hashing._kernels.kernel_call_counts`.
+
 Carter-Wegman polynomial rows stack their coefficient vectors into an
 ``(H, degree)`` matrix and run one broadcast Horner recursion.  Any other
 (or mixed) row composition falls back to :class:`LoopStackedHash`, which is

@@ -34,6 +34,7 @@ from __future__ import annotations
 import itertools
 import json
 import os
+import threading
 import time
 from collections import deque
 from typing import Optional
@@ -163,6 +164,11 @@ class PipelineRecorder:
         self._trace_capacity = int(trace_capacity)
         self._seq = itertools.count()
         self._clock = clock
+        # One recorder may be fed from several threads at once (the
+        # pipelined session's seal worker overlaps the ingest thread),
+        # so every mutating verb serializes on this lock.  The blocking
+        # path takes it uncontended -- a few ns per verb.
+        self._lock = threading.Lock()
         self.registry.histogram(
             STAGE_HISTOGRAM,
             help="Pipeline stage latency in seconds.",
@@ -174,15 +180,17 @@ class PipelineRecorder:
 
     def count(self, name: str, amount: float = 1, **labels) -> None:
         """Increment counter ``name`` (created on first use)."""
-        self.registry.counter(name, labels=tuple(sorted(labels))).inc(
-            amount, **labels
-        )
+        with self._lock:
+            self.registry.counter(name, labels=tuple(sorted(labels))).inc(
+                amount, **labels
+            )
 
     def gauge(self, name: str, value: float, **labels) -> None:
         """Set gauge ``name`` (created on first use)."""
-        self.registry.gauge(name, labels=tuple(sorted(labels))).set(
-            value, **labels
-        )
+        with self._lock:
+            self.registry.gauge(name, labels=tuple(sorted(labels))).set(
+                value, **labels
+            )
 
     def sync_counter(self, name: str, value: float, **labels) -> None:
         """Mirror an externally-maintained monotonic tally into a counter.
@@ -191,15 +199,17 @@ class PipelineRecorder:
         supervision tallies) without double-counting: the source stays
         authoritative, the registry converges to it at each sync point.
         """
-        self.registry.counter(name, labels=tuple(sorted(labels))).set_to(
-            value, **labels
-        )
+        with self._lock:
+            self.registry.counter(name, labels=tuple(sorted(labels))).set_to(
+                value, **labels
+            )
 
     def observe(self, name: str, value: float, **labels) -> None:
         """Record ``value`` into histogram ``name`` (created on first use)."""
-        self.registry.histogram(name, labels=tuple(sorted(labels))).observe(
-            value, **labels
-        )
+        with self._lock:
+            self.registry.histogram(name, labels=tuple(sorted(labels))).observe(
+                value, **labels
+            )
 
     def time(self, stage: str) -> _StageTimer:
         """Context manager timing its block into ``repro_stage_seconds``."""
@@ -211,7 +221,8 @@ class PipelineRecorder:
             return
         record = {"seq": next(self._seq), "time": self._clock(), "kind": kind}
         record.update(fields)
-        self._events.append(record)
+        with self._lock:
+            self._events.append(record)
 
     # -- inspection / export -------------------------------------------------
 

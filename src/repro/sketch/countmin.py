@@ -132,6 +132,12 @@ class CountMinSketch(LinearSummary):
         self._table[:] = 0.0
 
     def update_batch(self, keys, values) -> None:
+        """Batched UPDATE via the stacked scatter-add.
+
+        Dispatches to the fused C kernel when compiled, which shards
+        large batches across the kernel thread pool by sketch row --
+        bit-identical to the serial/NumPy path at any thread count.
+        """
         keys = SummaryConvention.as_key_array(keys)
         values = SummaryConvention.as_value_array(values, len(keys))
         self._schema._stacked.scatter_add(self._table, keys, values)

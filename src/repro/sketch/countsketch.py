@@ -139,6 +139,12 @@ class CountSketch(LinearSummary):
         self._table[:] = 0.0
 
     def update_batch(self, keys, values) -> None:
+        """Batched signed UPDATE (fused C kernel when compiled).
+
+        Large batches are sharded across the kernel thread pool by
+        sketch row; the result is bit-identical to the NumPy fallback
+        below at any thread count.
+        """
         keys = SummaryConvention.as_key_array(keys)
         values = SummaryConvention.as_value_array(values, len(keys))
         schema = self._schema

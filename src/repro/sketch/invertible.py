@@ -204,7 +204,10 @@ class InvertibleKArySketch(KArySketch):
         aggregated per unique key (ascending key order, per-key summed
         weights) -- a canonical operation sequence that the C kernels and
         the NumPy fallback replay identically, and that makes the vote
-        pass O(unique keys) rather than O(records).
+        pass O(unique keys) rather than O(records).  Both the scatter and
+        the vote pass shard large batches across the kernel thread pool
+        by sketch row (one writer per row), so the tables stay
+        bit-identical at any thread count.
         """
         keys = SummaryConvention.as_key_array(keys)
         values = SummaryConvention.as_value_array(values, len(keys))

@@ -238,9 +238,11 @@ class KArySketch(LinearSummary):
         """UPDATE for a batch: ``T[i][h_i(a_j)] += u_j`` for all rows, items.
 
         All ``H`` rows are served by one stacked pass (fused hash +
-        scatter-add when the C kernel is available); repeated keys within
-        the batch accumulate correctly, and the resulting table is
-        bit-identical to per-row ``np.add.at`` over ``schema.hashes``.
+        scatter-add when the C kernel is available, sharded across the
+        kernel thread pool by sketch row for large batches); repeated
+        keys within the batch accumulate correctly, and the resulting
+        table is bit-identical to per-row ``np.add.at`` over
+        ``schema.hashes`` at any thread count.
         """
         keys = SummaryConvention.as_key_array(keys)
         values = SummaryConvention.as_value_array(values, len(keys))

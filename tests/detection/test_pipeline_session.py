@@ -1,0 +1,267 @@
+"""Pipelined interval execution: bit-identity and lifecycle semantics.
+
+Pipelining hands interval ``t``'s seal+detect to a single background
+worker while interval ``t+1`` accumulates.  One FIFO worker means the
+forecast recursion still consumes sealed summaries in interval order,
+so reports are **bit-identical** to the blocking session's -- asserted
+here across all six forecast models, serial and sharded, plus the
+checkpoint barrier (drain before capture, stashed reports never lost)
+and the drain/flush/close lifecycle.
+"""
+
+import numpy as np
+import pytest
+
+from repro.detection import (
+    ShardedStreamingSession,
+    StreamingSession,
+    load_checkpoint,
+    save_checkpoint,
+)
+from repro.obs import PipelineRecorder
+from repro.sketch import KArySchema
+from repro.streams import make_records
+
+MODELS = [
+    ("ma", {"window": 3}),
+    ("sma", {"window": 4}),
+    ("ewma", {"alpha": 0.4}),
+    ("nshw", {"alpha": 0.5, "beta": 0.3}),
+    ("arima0", {"ar": (0.5, -0.2), "ma": (0.3,)}),
+    ("arima1", {"ar": (0.4,), "ma": (0.2,)}),
+]
+MODEL_IDS = [name for name, _ in MODELS]
+
+INTERVAL = 300.0
+CHUNK = 1024
+
+
+@pytest.fixture
+def schema():
+    return KArySchema(depth=5, width=2048, seed=3)
+
+
+@pytest.fixture
+def records(rng):
+    n = 16000
+    keys = rng.integers(0, 600, n).astype(np.uint32)
+    return make_records(
+        timestamps=np.sort(rng.uniform(0, 3000, n)),
+        dst_ips=keys,
+        byte_counts=rng.pareto(1.3, n) * 500 + 40,
+    )
+
+
+def _run(session, records, chunk=CHUNK):
+    reports = []
+    for start in range(0, len(records), chunk):
+        reports.extend(session.ingest(records[start : start + chunk]))
+    reports.extend(session.flush())
+    reports.extend(session.close() or [])
+    return reports
+
+
+def _assert_reports_identical(got, reference):
+    assert len(got) == len(reference)
+    for a, b in zip(got, reference):
+        assert a.index == b.index
+        assert a.threshold == b.threshold  # bit-identical, not approx
+        assert a.error_l2 == b.error_l2
+        assert [(x.key, x.estimated_error) for x in a.alarms] == [
+            (x.key, x.estimated_error) for x in b.alarms
+        ]
+        assert np.array_equal(a.top_keys, b.top_keys)
+        assert np.array_equal(a.top_errors, b.top_errors)
+
+
+@pytest.mark.parametrize("model,params", MODELS, ids=MODEL_IDS)
+def test_pipelined_matches_blocking_all_models(schema, records, model, params):
+    blocking = _run(
+        StreamingSession(
+            schema, model, interval_seconds=INTERVAL, top_n=10, **params
+        ),
+        records,
+    )
+    pipelined = _run(
+        StreamingSession(
+            schema, model, interval_seconds=INTERVAL, top_n=10,
+            pipeline=True, **params
+        ),
+        records,
+    )
+    assert blocking  # the trace must actually seal intervals
+    _assert_reports_identical(pipelined, blocking)
+
+
+@pytest.mark.parametrize("depth", [1, 3])
+def test_pipeline_depth_variants(schema, records, depth):
+    blocking = _run(
+        StreamingSession(schema, "ewma", alpha=0.4, interval_seconds=INTERVAL),
+        records,
+    )
+    pipelined = _run(
+        StreamingSession(
+            schema, "ewma", alpha=0.4, interval_seconds=INTERVAL,
+            pipeline=True, pipeline_depth=depth,
+        ),
+        records,
+    )
+    _assert_reports_identical(pipelined, blocking)
+
+
+def test_pipeline_depth_validated(schema):
+    with pytest.raises(ValueError, match="pipeline_depth"):
+        StreamingSession(
+            schema, "ewma", alpha=0.4, pipeline=True, pipeline_depth=0
+        )
+
+
+@pytest.mark.parametrize("backend", ["serial", "thread"])
+def test_sharded_pipelined_matches_blocking(schema, records, backend):
+    blocking = _run(
+        StreamingSession(
+            schema, "ewma", alpha=0.4, interval_seconds=INTERVAL, top_n=10
+        ),
+        records,
+    )
+    pipelined = _run(
+        ShardedStreamingSession(
+            schema, "ewma", alpha=0.4, interval_seconds=INTERVAL, top_n=10,
+            n_workers=2, backend=backend, pipeline=True,
+        ),
+        records,
+    )
+    _assert_reports_identical(pipelined, blocking)
+
+
+def test_checkpoint_mid_pipeline_resumes_bit_identical(
+    schema, records, tmp_path
+):
+    reference = _run(
+        StreamingSession(
+            schema, "ewma", alpha=0.4, interval_seconds=INTERVAL, top_n=10
+        ),
+        records,
+    )
+
+    session = StreamingSession(
+        schema, "ewma", alpha=0.4, interval_seconds=INTERVAL, top_n=10,
+        pipeline=True,
+    )
+    cut = 7 * CHUNK
+    reports = []
+    for start in range(0, cut, CHUNK):
+        reports.extend(session.ingest(records[start : start + CHUNK]))
+    # Checkpoint with seals potentially in flight: the barrier drains
+    # them and stashes their reports -- nothing is lost or reordered.
+    path = tmp_path / "mid_pipeline.kcp"
+    save_checkpoint(session, path)
+    reports.extend(session.close())
+
+    resumed = load_checkpoint(path, pipeline=True)
+    rest = records[records["timestamp"] > resumed.watermark]
+    reports.extend(_run(resumed, rest))
+    _assert_reports_identical(reports, reference)
+
+
+def test_checkpoint_stash_surfaces_on_next_ingest(schema, records, tmp_path):
+    session = StreamingSession(
+        schema, "ewma", alpha=0.4, interval_seconds=INTERVAL, pipeline=True,
+    )
+    reports = []
+    for start in range(0, 7 * CHUNK, CHUNK):
+        reports.extend(session.ingest(records[start : start + CHUNK]))
+    save_checkpoint(session, tmp_path / "c.kcp")
+    # Keep feeding the same session: the barrier's stashed reports come
+    # back on the next ingest, ahead of newer intervals.
+    for start in range(7 * CHUNK, len(records), CHUNK):
+        reports.extend(session.ingest(records[start : start + CHUNK]))
+    reports.extend(session.flush())
+    reports.extend(session.close())
+    indices = [r.index for r in reports]
+    assert indices == sorted(indices)
+    reference = _run(
+        StreamingSession(schema, "ewma", alpha=0.4, interval_seconds=INTERVAL),
+        records,
+    )
+    assert len(reports) == len(reference)
+
+
+def test_drain_is_barrier_not_flush(schema, records):
+    session = StreamingSession(
+        schema, "ewma", alpha=0.4, interval_seconds=INTERVAL, pipeline=True,
+    )
+    session.ingest(records[: 6 * CHUNK])
+    open_before = session.current_interval
+    session.drain()
+    assert len(session._pending) == 0
+    assert session.current_interval == open_before  # interval still open
+    # Blocking sessions accept drain()/close() as harmless no-ops.
+    blocking = StreamingSession(
+        schema, "ewma", alpha=0.4, interval_seconds=INTERVAL
+    )
+    assert blocking.drain() == []
+    assert blocking.close() == []
+
+
+def test_close_restarts_cleanly(schema, records):
+    session = StreamingSession(
+        schema, "ewma", alpha=0.4, interval_seconds=INTERVAL, pipeline=True,
+    )
+    half = len(records) // 2
+    reports = list(session.ingest(records[:half]))
+    reports.extend(session.close())
+    assert session._executor is None
+    # The session stays usable after close: the worker restarts lazily.
+    reports.extend(session.ingest(records[half:]))
+    reports.extend(session.flush())
+    reports.extend(session.close())
+    reference = _run(
+        StreamingSession(schema, "ewma", alpha=0.4, interval_seconds=INTERVAL),
+        records,
+    )
+    _assert_reports_identical(reports, reference)
+
+
+def test_context_manager_drains(schema, records):
+    with StreamingSession(
+        schema, "ewma", alpha=0.4, interval_seconds=INTERVAL, pipeline=True,
+    ) as session:
+        session.ingest(records)
+        session.flush()
+    assert session._executor is None
+    assert not session._pending
+
+
+def test_pipeline_obs_series_present(schema, records):
+    recorder = PipelineRecorder()
+    session = StreamingSession(
+        schema, "ewma", alpha=0.4, interval_seconds=INTERVAL,
+        pipeline=True, recorder=recorder,
+    )
+    _run(session, records)
+    text = recorder.prometheus_text()
+    assert "repro_pipeline_queue_depth" in text
+    assert "repro_pipeline_overlap_ratio" in text
+    assert 'repro_stage_seconds_count{stage="pipeline_wait"}' in text
+    assert 'repro_stage_seconds_count{stage="collect"}' in text
+    assert "repro_kernel_threads" in text
+    assert 'repro_kernel_seconds{kernel="tab_update"}' in text
+
+
+def test_recorder_attach_does_not_change_reports(schema, records):
+    bare = _run(
+        StreamingSession(
+            schema, "ewma", alpha=0.4, interval_seconds=INTERVAL,
+            pipeline=True,
+        ),
+        records,
+    )
+    observed = _run(
+        StreamingSession(
+            schema, "ewma", alpha=0.4, interval_seconds=INTERVAL,
+            pipeline=True, recorder=PipelineRecorder(),
+        ),
+        records,
+    )
+    _assert_reports_identical(observed, bare)

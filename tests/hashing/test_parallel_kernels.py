@@ -1,0 +1,185 @@
+"""Bit-identity matrix for the thread-parallel kernel variants.
+
+The multi-threaded kernels shard UPDATE-family work by sketch *row*:
+each pool thread owns a contiguous band of the H rows and scans the
+whole key batch, so row accumulation order is exactly the serial
+kernel's and no two threads ever write the same counter.  ESTIMATE
+shards by *key* (each output element is independent).  Both properties
+make thread count an execution choice, never a result change -- which
+these tests assert bit-for-bit across
+
+* four operations: UPDATE, signed UPDATE, ESTIMATE, MV-vote UPDATE;
+* three hash families: tabulation, polynomial, two-universal;
+* thread counts 1, 2 and 7 (odd, exceeds H=5, exercises the remainder
+  distribution in ``part_range``);
+* the kernels-off NumPy fallback as the reference.
+
+The pool tests force ``min_parallel_keys = 0`` so even small batches
+take the multi-threaded dispatch; a separate test checks the serial
+fast path keeps small batches off the pool.
+"""
+
+import numpy as np
+import pytest
+
+import repro.hashing._kernels as _kernels
+from repro.hashing import kernel_call_counts, set_num_threads
+from repro.hashing._kernels import get_kernels
+from repro.sketch import (
+    CountSketch,
+    CountSketchSchema,
+    InvertibleKArySchema,
+    InvertibleKArySketch,
+    KArySchema,
+    KArySketch,
+)
+
+FAMILIES = ("tabulation", "polynomial", "two-universal")
+THREADS = (1, 2, 7)
+
+DEPTH, WIDTH, SEED = 5, 2048, 11
+
+
+def _stream(rng, n=6000):
+    keys = rng.integers(0, 2**32, size=n, dtype=np.uint64)
+    values = rng.normal(50.0, 200.0, size=n)
+    return keys, values
+
+
+@pytest.fixture
+def threaded_kernels():
+    """Compiled kernels with the serial fast path disabled; restores
+    thread count and batch floor afterwards."""
+    kernels = get_kernels()
+    if kernels is None:
+        pytest.skip("no compiler available")
+    saved_threads = kernels.threads
+    saved_floor = kernels.min_parallel_keys
+    kernels.min_parallel_keys = 0
+    try:
+        yield kernels
+    finally:
+        kernels.min_parallel_keys = saved_floor
+        set_num_threads(saved_threads)
+
+
+def _reference_tables(rng_seed, family, n):
+    """Pure-NumPy world: tables built with kernels force-disabled."""
+    rng = np.random.default_rng(rng_seed)
+    keys, values = _stream(rng, n=n)
+    with pytest.MonkeyPatch.context() as mp:
+        mp.setattr(_kernels, "_KERNELS", None)
+        kary = KArySketch(
+            KArySchema(depth=DEPTH, width=WIDTH, seed=SEED, family=family)
+        )
+        kary.update_batch(keys, values)
+        cs = CountSketch(
+            CountSketchSchema(depth=DEPTH, width=WIDTH, seed=SEED, family=family)
+        )
+        cs.update_batch(keys, values)
+        est = kary.estimate_batch(keys)
+    return keys, values, kary, cs, est
+
+
+@pytest.mark.parametrize("family", FAMILIES)
+@pytest.mark.parametrize("threads", THREADS)
+class TestRowShardedBitIdentity:
+    def test_update_signed_estimate(self, family, threads, threaded_kernels):
+        keys, values, ref_kary, ref_cs, ref_est = _reference_tables(
+            101, family, 6000
+        )
+        threaded_kernels.set_threads(threads)
+
+        kary = KArySketch(
+            KArySchema(depth=DEPTH, width=WIDTH, seed=SEED, family=family)
+        )
+        kary.update_batch(keys, values)
+        assert np.array_equal(
+            np.asarray(kary.table), np.asarray(ref_kary.table)
+        )
+
+        cs = CountSketch(
+            CountSketchSchema(depth=DEPTH, width=WIDTH, seed=SEED, family=family)
+        )
+        cs.update_batch(keys, values)
+        assert np.array_equal(np.asarray(cs.table), np.asarray(ref_cs.table))
+
+        assert np.array_equal(kary.estimate_batch(keys), ref_est)
+
+    def test_mv_vote_update(self, family, threads, threaded_kernels):
+        rng = np.random.default_rng(202)
+        keys, values = _stream(rng, n=5000)
+        with pytest.MonkeyPatch.context() as mp:
+            mp.setattr(_kernels, "_KERNELS", None)
+            ref = InvertibleKArySketch(
+                InvertibleKArySchema(
+                    depth=DEPTH, width=WIDTH, seed=SEED, family=family
+                )
+            )
+            ref.update_batch(keys, values)
+
+        threaded_kernels.set_threads(threads)
+        inv = InvertibleKArySketch(
+            InvertibleKArySchema(
+                depth=DEPTH, width=WIDTH, seed=SEED, family=family
+            )
+        )
+        inv.update_batch(keys, values)
+        assert np.array_equal(np.asarray(inv.table), np.asarray(ref.table))
+        assert np.array_equal(inv.candidate_keys, ref.candidate_keys)
+        assert np.array_equal(inv.candidate_votes, ref.candidate_votes)
+        assert np.array_equal(
+            inv.recover_candidates(), ref.recover_candidates()
+        )
+
+
+class TestDispatch:
+    def test_mt_counters_tick_when_forced(self, threaded_kernels):
+        threaded_kernels.set_threads(2)
+        rng = np.random.default_rng(7)
+        keys, values = _stream(rng, n=2000)
+        before = kernel_call_counts()
+        for family, update_name, est_name in (
+            ("tabulation", "tab_update_mt", "tab_estimate_mt"),
+            ("polynomial", "poly_update_mt", "poly_estimate_mt"),
+        ):
+            sk = KArySketch(
+                KArySchema(depth=DEPTH, width=WIDTH, seed=SEED, family=family)
+            )
+            sk.update_batch(keys, values)
+            sk.estimate_batch(keys[:256])
+            after = kernel_call_counts()
+            assert after.get(update_name, 0) > before.get(update_name, 0)
+            assert after.get(est_name, 0) > before.get(est_name, 0)
+
+    def test_small_batches_stay_serial(self, threaded_kernels):
+        threaded_kernels.min_parallel_keys = 10**9
+        threaded_kernels.set_threads(7)
+        rng = np.random.default_rng(8)
+        keys, values = _stream(rng, n=500)
+        before = kernel_call_counts()
+        sk = KArySketch(KArySchema(depth=DEPTH, width=WIDTH, seed=SEED))
+        sk.update_batch(keys, values)
+        after = kernel_call_counts()
+        assert after.get("tab_update_mt", 0) == before.get("tab_update_mt", 0)
+        assert after.get("tab_update", 0) > before.get("tab_update", 0)
+
+    def test_kernel_seconds_accumulate(self, threaded_kernels):
+        rng = np.random.default_rng(9)
+        keys, values = _stream(rng, n=4000)
+        before = _kernels.kernel_seconds().get("tab_update_mt", 0.0)
+        threaded_kernels.set_threads(2)
+        sk = KArySketch(KArySchema(depth=DEPTH, width=WIDTH, seed=SEED))
+        sk.update_batch(keys, values)
+        assert _kernels.kernel_seconds().get("tab_update_mt", 0.0) > before
+
+    def test_set_num_threads_clamps_and_reports(self, threaded_kernels):
+        assert set_num_threads(3) == 3
+        assert _kernels.get_num_threads() == 3
+        assert threaded_kernels.threads == 3
+        assert set_num_threads(0) == 1
+        assert set_num_threads(10**6) <= _kernels.POOL_MAX + 1
+
+    def test_thread_count_zero_without_kernels(self, monkeypatch):
+        monkeypatch.setattr(_kernels, "_KERNELS", None)
+        assert _kernels.kernel_thread_count() == 0
