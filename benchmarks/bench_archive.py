@@ -1,0 +1,299 @@
+"""Temporal-archive benchmark: ingest cost, residency, retrospective queries.
+
+Measures the multi-resolution archive (:mod:`repro.archive`) attached to
+a streaming session at the paper's operating point (H=5, K=32768,
+T=0.05, 300 s intervals):
+
+* **sink cost** -- session ingest with the archive sink attached vs the
+  bare session.  The sink copies one sealed table + key set per interval,
+  so the ratio (``sink_cost_ratio``) shrinks as intervals get heavier.
+* **residency** -- the trace is archived under an explicit byte budget
+  (6 full-resolution tables for a 32-48 interval trace); the run asserts
+  the archive lands under budget and records the compaction counters,
+  span layout and resident bytes the obs layer exports.
+* **query speedup** (guarded leaf: ``query_speedup``) -- a retrospective
+  ``diff`` of the planted-change window against its preceding baseline,
+  answered from the *compacted* tiers, timed against the same query
+  answered by merging the retained full-resolution unit spans of an
+  unbudgeted archive.  Compaction pre-merges along both Hokusai axes
+  (adjacent-interval COMBINE, width folding), so the compacted answer
+  touches a few narrow tables instead of many wide ones -- that ratio is
+  a same-machine quantity and is guarded by ``scripts/bench_compare.py``.
+
+Quality gates asserted before any timing is reported:
+
+* live session reports are reproduced **bit-identically** by
+  ``archive.replay`` over the full-resolution tail;
+* a change planted in intervals that aged into a folded, merged tier is
+  recovered by the compacted retrospective diff with recall >= 0.9.
+
+The quick grid is a strict *prefix* of the full grid and every config
+seeds its own RNG from the crc32 of its name, so quick CI runs and the
+committed full-mode baseline measure identical data for the shared
+dot-paths.  The full grid archives a >= 1M-record trace.
+
+Writes ``BENCH_archive.json`` next to this file (or ``--output``).
+Not a pytest module -- run directly:
+
+    PYTHONPATH=src python benchmarks/bench_archive.py [--quick]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import time
+import zlib
+from pathlib import Path
+
+import numpy as np
+
+try:
+    from benchmarks._util import environment_provenance
+except ImportError:  # run directly: sys.path[0] is benchmarks/
+    from _util import environment_provenance
+
+from repro.archive import TemporalArchive
+from repro.detection import StreamingSession
+from repro.sketch import KArySchema
+from repro.streams.records import make_records, sort_by_time
+
+DEFAULT_OUTPUT = Path(__file__).parent / "BENCH_archive.json"
+
+INTERVAL = 300.0
+DEPTH = 5
+WIDTH = 32768
+T_FRACTION = 0.05
+TOP_N = 20
+MODEL = ("ma", {"window": 1})  # window=1 keeps replay/live bit-comparable
+MAX_FOLDS = 3
+TAIL_INTERVALS = 4
+BUDGET_TABLES = 6  # byte budget in units of one full-resolution table
+
+N_PLANTED = 30
+PLANTED_BYTES = 2e6  # per planted key per active interval
+
+
+def make_trace(n_records, n_intervals, rng):
+    """Background plus a planted heavy change; returns (records, planted).
+
+    The planted keys live in the reserved 10.0.0.0/8 block and are active
+    over an 8-interval window old enough to age into a compacted tier
+    under the budget, with everything before it as the baseline.  The
+    window starts at the largest power of two below the compaction
+    horizon: oldest-first pairing builds binomial blocks ``[0, W)``,
+    ``[W, W+8)``, ... which never merge across that boundary (unequal
+    lengths), so the window and its baseline stay separable no matter
+    how tight the budget squeezes.  Byte counts are integral so folded /
+    merged tiers stay bit-exact against direct builds.
+    """
+    duration = n_intervals * INTERVAL
+    population = max(1000, n_records // 4)
+    background = make_records(
+        timestamps=np.sort(rng.uniform(0.0, duration, n_records)),
+        dst_ips=rng.integers(0, population, n_records).astype(np.uint32),
+        byte_counts=(rng.pareto(1.3, n_records) * 500 + 40).astype(np.uint64),
+    )
+    planted = np.arange(
+        0x0A000000 + 16, 0x0A000000 + 16 + N_PLANTED, dtype=np.uint64
+    )
+    eligible = n_intervals - TAIL_INTERVALS
+    lo_iv = 1 << (eligible.bit_length() - 1)
+    hi_iv = lo_iv + 8
+    assert hi_iv <= eligible, (
+        f"{n_intervals} intervals leave no compacted room for the window"
+    )
+    per_key_per_iv = 8
+    n_planted = N_PLANTED * (hi_iv - lo_iv) * per_key_per_iv
+    extra = make_records(
+        timestamps=np.sort(
+            rng.uniform(lo_iv * INTERVAL, hi_iv * INTERVAL, n_planted)
+        ),
+        dst_ips=np.tile(planted, n_planted // N_PLANTED).astype(np.uint32),
+        byte_counts=np.full(
+            n_planted, PLANTED_BYTES / per_key_per_iv, dtype=np.uint64
+        ),
+    )
+    window = (lo_iv, hi_iv)
+    return sort_by_time(np.concatenate([background, extra])), planted, window
+
+
+def time_best(runner, repeats):
+    best, result = float("inf"), None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        result = runner()
+        best = min(best, time.perf_counter() - t0)
+    return result, best
+
+
+def run_session(schema, records, sink=None):
+    session = StreamingSession(
+        schema, MODEL[0], interval_seconds=INTERVAL,
+        t_fraction=T_FRACTION, top_n=TOP_N, sink=sink, **MODEL[1],
+    )
+    reports = session.ingest(records) + session.flush()
+    return reports
+
+
+def assert_reports_identical(a, b):
+    assert a.index == b.index and a.threshold == b.threshold
+    assert a.error_l2 == b.error_l2
+    assert np.array_equal(a.top_keys, b.top_keys)
+    assert [(x.key, x.estimated_error) for x in a.alarms] == [
+        (x.key, x.estimated_error) for x in b.alarms
+    ]
+
+
+def bench_config(name, n_records, n_intervals, repeats):
+    rng = np.random.default_rng(zlib.crc32(name.encode()))
+    records, planted, (lo_iv, hi_iv) = make_trace(
+        n_records, n_intervals, rng
+    )
+    schema = KArySchema(depth=DEPTH, width=WIDTH, seed=11)
+    budget = BUDGET_TABLES * schema.table_bytes
+
+    # Bare session: the ingest baseline the sink cost is measured against.
+    _, bare_s = time_best(lambda: run_session(schema, records), repeats)
+
+    # Budgeted archive riding the seal stream.
+    def ingest_with_sink():
+        archive = TemporalArchive(
+            schema, INTERVAL, byte_budget=budget,
+            max_folds=MAX_FOLDS, tail_intervals=TAIL_INTERVALS,
+        )
+        reports = run_session(schema, records, sink=archive.ingest)
+        return archive, reports
+
+    (archive, live_reports), sink_s = time_best(ingest_with_sink, repeats)
+    assert archive.nbytes <= budget, (
+        f"{name}: archive over budget ({archive.nbytes} > {budget})"
+    )
+
+    # Unbudgeted twin: every interval retained at full resolution.  Its
+    # tail replay must reproduce the live reports bit for bit, and it is
+    # the reference the compacted query speedup is measured against.
+    full = TemporalArchive(schema, INTERVAL)
+    run_session(schema, records, sink=full.ingest)
+    replayed = full.replay(
+        MODEL[0], t_fraction=T_FRACTION, top_n=TOP_N, **MODEL[1]
+    )
+    assert len(replayed) == len(live_reports)
+    for a, b in zip(replayed, live_reports):
+        assert_reports_identical(a, b)
+
+    # Retrospective change query: planted window vs preceding baseline.
+    candidates = np.unique(np.concatenate(
+        [planted, rng.integers(0, n_records // 4, 2000).astype(np.uint64)]
+    ))
+    query = ((lo_iv, hi_iv), (0, lo_iv))
+
+    compacted_diff, compacted_s = time_best(
+        lambda: archive.diff(
+            *query, t_fraction=T_FRACTION, keys=candidates
+        ),
+        repeats,
+    )
+    _, unit_s = time_best(
+        lambda: full.diff(*query, t_fraction=T_FRACTION, keys=candidates),
+        repeats,
+    )
+
+    alarmed = {a.key for a in compacted_diff.report.alarms}
+    recall = len(alarmed & set(planted.tolist())) / len(planted)
+    assert recall >= 0.9, (
+        f"{name}: compacted retrospective diff missed the planted change "
+        f"(recall={recall:.2f})"
+    )
+
+    span_layout = [
+        (s.start, s.length, s.folds) for s in archive.spans
+    ]
+    stats = archive.stats
+    return {
+        "n_records": int(len(records)),
+        "n_intervals": n_intervals,
+        "depth": DEPTH,
+        "width": WIDTH,
+        "byte_budget": int(budget),
+        "bare_ingest_seconds": bare_s,
+        "sink_ingest_seconds": sink_s,
+        "sink_cost_ratio": sink_s / bare_s,
+        "archive_bytes": int(archive.nbytes),
+        "full_resolution_bytes": int(full.nbytes),
+        "compression_ratio": full.nbytes / archive.nbytes,
+        "spans": len(archive.spans),
+        "span_layout": span_layout,
+        "time_compactions": stats["time_compactions"],
+        "item_compactions": stats["item_compactions"],
+        "keys_dropped": stats["keys_dropped"],
+        "compacted_query_seconds": compacted_s,
+        "unit_span_query_seconds": unit_s,
+        "query_speedup": unit_s / compacted_s,
+        "planted_recall": recall,
+        "planted_window": [lo_iv, hi_iv],
+    }
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="small grid / few repeats (CI smoke)")
+    parser.add_argument("--repeats", type=int, default=None,
+                        help="timing repeats per configuration (default 3; 2 quick)")
+    parser.add_argument("--output", type=Path, default=DEFAULT_OUTPUT,
+                        help=f"JSON report path (default {DEFAULT_OUTPUT})")
+    args = parser.parse_args(argv)
+
+    repeats = args.repeats or (2 if args.quick else 3)
+
+    # Quick grid is a strict prefix of the full grid; the full grid
+    # archives a >= 1M-record trace under the same byte budget.
+    grid = [("a250k", 250_000, 32)]
+    if not args.quick:
+        grid += [("a1m", 1_000_000, 48)]
+
+    configs = {}
+    for name, n_records, n_intervals in grid:
+        configs[name] = bench_config(name, n_records, n_intervals, repeats)
+
+    report = {
+        "numpy": np.__version__,
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "cpu_count": os.cpu_count(),
+        "environment": environment_provenance(),
+        "quick": bool(args.quick),
+        "repeats": repeats,
+        "model": MODEL[0],
+        "t_fraction": T_FRACTION,
+        "top_n": TOP_N,
+        "interval_seconds": INTERVAL,
+        "max_folds": MAX_FOLDS,
+        "tail_intervals": TAIL_INTERVALS,
+        "budget_tables": BUDGET_TABLES,
+        "archive": {"configs": configs},
+    }
+    args.output.write_text(json.dumps(report, indent=2) + "\n")
+
+    print(f"cpu_count: {report['cpu_count']}  model: {MODEL[0]}  "
+          f"H={DEPTH}  K={WIDTH}  budget={BUDGET_TABLES} tables  "
+          f"tail={TAIL_INTERVALS}")
+    print(f"{'config':>8s} {'records':>9s} {'ivs':>4s} {'sink cost':>10s} "
+          f"{'resident MB':>12s} {'compress':>9s} {'spans':>6s} "
+          f"{'qry speedup':>12s} {'recall':>7s}")
+    for name, c in configs.items():
+        print(f"{name:>8s} {c['n_records']:>9d} {c['n_intervals']:>4d} "
+              f"{c['sink_cost_ratio']:9.3f}x "
+              f"{c['archive_bytes'] / 1e6:12.2f} "
+              f"{c['compression_ratio']:8.1f}x {c['spans']:>6d} "
+              f"{c['query_speedup']:11.2f}x "
+              f"{c['planted_recall']:6.0%}")
+    print(f"wrote {args.output}")
+    return report
+
+
+if __name__ == "__main__":
+    main()

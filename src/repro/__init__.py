@@ -28,6 +28,8 @@ Package map:
 * :mod:`repro.detection` -- two-pass, online, per-flow and group-testing
   detectors.
 * :mod:`repro.streams` -- Turnstile streams, key schemes, trace I/O.
+* :mod:`repro.archive` -- multi-resolution temporal archive with
+  retrospective change queries.
 * :mod:`repro.traffic` -- synthetic traffic and anomaly substrate.
 * :mod:`repro.gridsearch` -- model parameter search.
 * :mod:`repro.evaluation` -- the paper's comparison metrics.

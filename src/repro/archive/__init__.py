@@ -1,0 +1,25 @@
+"""Multi-resolution temporal archive with retrospective change queries.
+
+Consumes sealed interval summaries from a streaming session (via its
+``sink`` hook) and keeps them under a byte budget by compacting with age
+along both Hokusai axes -- adjacent-interval COMBINE in time and
+width-halving :func:`~repro.sketch.mergeable.fold_width` in item space --
+while the recent tail stays at full resolution so live detection reports
+remain reproducible bit-for-bit.
+"""
+
+from repro.archive.temporal import (
+    ArchiveDiff,
+    ArchiveSpan,
+    TemporalArchive,
+    load_archive,
+    save_archive,
+)
+
+__all__ = [
+    "ArchiveDiff",
+    "ArchiveSpan",
+    "TemporalArchive",
+    "load_archive",
+    "save_archive",
+]

@@ -38,6 +38,16 @@ Subcommands
     sketches over TCP, COMBINE them per interval, and detect changes
     network-wide.  ``--checkpoint``/``--checkpoint-every`` persist the
     coordinator state; ``--resume`` restarts from such a checkpoint.
+``repro archive trace.bin --out archive.kcp --budget-mb 8``
+    Stream a trace through a live session with a temporal-archive sink:
+    sealed interval sketches are retained multi-resolution under the
+    byte budget and written as a queryable archive file.
+``repro query archive.kcp --diff 46:48 40:46``
+    Retrospective queries over an archive: ``--estimate`` a key's
+    volume over a time range, ``--diff``/``--drilldown`` two interval
+    ranges through the detection threshold machinery, or ``--replay``
+    live detection over the full-resolution tail.  With no query flag,
+    print the archive's span layout.
 ``repro agent trace.bin --site pop-west --connect host:5585``
     Stream one site's trace to a coordinator: sketch locally per
     interval, ship sealed sketches (or suppress low-drift intervals
@@ -593,6 +603,144 @@ def _cmd_drilldown(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_archive(args: argparse.Namespace) -> int:
+    from repro.archive import TemporalArchive
+    from repro.detection import StreamingSession
+    from repro.sketch import KArySchema
+    from repro.streams import read_trace
+
+    _apply_threads(args)
+    records = read_trace(args.trace)
+    schema = KArySchema(depth=args.depth, width=args.width, seed=args.seed)
+    recorder = _make_recorder(args)
+    budget = (
+        None if args.budget_mb is None else int(args.budget_mb * 1024 * 1024)
+    )
+    archive = TemporalArchive(
+        schema,
+        args.interval,
+        byte_budget=budget,
+        max_folds=args.max_folds,
+        tail_intervals=args.tail,
+        recorder=recorder,
+    )
+    model_params = {}
+    if args.alpha is not None:
+        model_params["alpha"] = args.alpha
+    if args.window is not None:
+        model_params["window"] = args.window
+    session = StreamingSession(
+        schema,
+        args.model,
+        interval_seconds=args.interval,
+        key_scheme=args.key,
+        value_scheme=args.value,
+        t_fraction=args.threshold,
+        top_n=args.top_n,
+        pipeline=args.pipeline,
+        sink=archive.ingest,
+        recorder=recorder,
+        **model_params,
+    )
+    with session:
+        for report in session.ingest(records):
+            _print_session_report(report, args.top_n)
+        for report in session.flush():
+            _print_session_report(report, args.top_n)
+    archive.save(args.out)
+    stats = archive.stats
+    print(
+        f"archived {stats['intervals_ingested']} intervals in "
+        f"{stats['spans']} spans ({stats['bytes']} bytes, "
+        f"{stats['time_compactions']} time / "
+        f"{stats['item_compactions']} item compactions) -> {args.out}"
+    )
+    _write_metrics(recorder, args)
+    return 0
+
+
+def _parse_range(text: str) -> tuple:
+    lo, _, hi = text.partition(":")
+    return int(lo), int(hi)
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    from repro.archive import load_archive
+
+    archive = load_archive(args.archive)
+    coverage = archive.coverage
+    if args.estimate is not None:
+        t1 = args.t1
+        if t1 == float("inf") and coverage is not None:
+            t1 = coverage[1] * archive.interval_seconds
+        volume = archive.estimate(args.estimate, args.t0, t1)
+        lo, hi = archive.snap(args.t0, t1)
+        print(
+            f"key {args.estimate}: estimated volume {volume:.6g} over "
+            f"intervals [{lo}, {hi})"
+        )
+        return 0
+    if args.diff is not None or args.drilldown is not None:
+        range_a, range_b = map(_parse_range, args.diff or args.drilldown)
+        if args.drilldown is not None:
+            levels = tuple(int(level) for level in args.levels.split(","))
+            result, report = archive.drilldown(
+                range_a, range_b, t_fraction=args.threshold, levels=levels
+            )
+            print(
+                f"diff [{result.range_a[0]}, {result.range_a[1]}) vs "
+                f"[{result.range_b[0]}, {result.range_b[1]}): "
+                f"{result.report.alarm_count} alarms, "
+                f"threshold={result.report.threshold:.6g}"
+            )
+            print(report.render())
+            return 0
+        result = archive.diff(
+            range_a, range_b, t_fraction=args.threshold, top_n=args.top_n
+        )
+        report = result.report
+        print(
+            f"diff [{result.range_a[0]}, {result.range_a[1]}) vs "
+            f"[{result.range_b[0]}, {result.range_b[1]}) "
+            f"(baseline scale {result.scale:.4g})"
+        )
+        _print_session_report(report, args.top_n)
+        for alarm in report.alarms[: args.top_n or 20]:
+            print(
+                f"  alarm key={alarm.key} error={alarm.estimated_error:.6g} "
+                f"({alarm.magnitude:.2f}x threshold)"
+            )
+        return 0
+    if args.replay:
+        model_params = {}
+        if args.window is not None:
+            model_params["window"] = args.window
+        for report in archive.replay(
+            args.model,
+            t_fraction=args.threshold,
+            top_n=args.top_n,
+            **model_params,
+        ):
+            _print_session_report(report, args.top_n)
+        return 0
+    stats = archive.stats
+    print(f"coverage: intervals {coverage}")
+    print(
+        f"spans: {stats['spans']} ({stats['bytes']} bytes); "
+        f"compactions: {stats['time_compactions']} time / "
+        f"{stats['item_compactions']} item; "
+        f"keys dropped: {stats['keys_dropped']}"
+    )
+    for span in archive.spans:
+        keys = "-" if span.keys is None else str(len(span.keys))
+        print(
+            f"  span [{span.start:5d}, {span.end:5d})  "
+            f"length={span.length:4d}  folds={span.folds}  "
+            f"width={span.summary.schema.width:6d}  keys={keys}"
+        )
+    return 0
+
+
 def _cmd_gridsearch(args: argparse.Namespace) -> int:
     from repro.experiments.params import best_parameters_dict
 
@@ -930,6 +1078,70 @@ def build_parser() -> argparse.ArgumentParser:
                          help="write BENCH_*.json here (default: temp dir, "
                          "never the committed baselines)")
     p_bench.set_defaults(func=_cmd_bench)
+
+    p_ar = sub.add_parser(
+        "archive", help="stream a trace into a multi-resolution archive"
+    )
+    p_ar.add_argument("trace", help="binary trace path")
+    p_ar.add_argument("--out", required=True, help="archive output path")
+    p_ar.add_argument("--model", default="ma", help="forecast model name")
+    p_ar.add_argument("--interval", type=float, default=300.0)
+    p_ar.add_argument("--key", default="dst_ip", help="key scheme")
+    p_ar.add_argument("--value", default="bytes", help="value scheme")
+    p_ar.add_argument("--depth", type=int, default=5, help="sketch rows H")
+    p_ar.add_argument("--width", type=int, default=32768, help="sketch width K")
+    p_ar.add_argument("--seed", type=int, default=0, help="sketch hash seed")
+    p_ar.add_argument("--threshold", type=float, default=0.05,
+                      help="alarm threshold fraction T")
+    p_ar.add_argument("--top-n", type=int, default=0)
+    p_ar.add_argument("--alpha", type=float, default=None)
+    p_ar.add_argument("--window", type=int, default=None)
+    p_ar.add_argument("--budget-mb", type=float, default=None,
+                      help="archive byte budget in MiB (default: unlimited, "
+                      "no compaction)")
+    p_ar.add_argument("--max-folds", type=int, default=3,
+                      help="width-halving ceiling for aged spans")
+    p_ar.add_argument("--tail", type=int, default=8,
+                      help="newest intervals kept at full resolution")
+    p_ar.add_argument("--pipeline", action="store_true",
+                      help="overlap seal+detect with the next interval's "
+                           "ingest (bit-identical reports and archive)")
+    p_ar.add_argument("--threads", type=int, default=None,
+                      help="kernel threads (default: REPRO_NUM_THREADS or "
+                           "detected cores, capped)")
+    p_ar.add_argument("--metrics-out", default=None,
+                      help="write pipeline metrics here on completion")
+    p_ar.set_defaults(func=_cmd_archive)
+
+    p_q = sub.add_parser(
+        "query", help="retrospective queries over an archive file"
+    )
+    p_q.add_argument("archive", help="archive file from 'repro archive'")
+    p_q.add_argument("--estimate", type=int, default=None, metavar="KEY",
+                     help="estimate KEY's volume over [--from, --to) seconds")
+    p_q.add_argument("--from", dest="t0", type=float, default=0.0,
+                     help="range start in trace seconds (with --estimate)")
+    p_q.add_argument("--to", dest="t1", type=float, default=float("inf"),
+                     help="range end in trace seconds (with --estimate)")
+    p_q.add_argument("--diff", nargs=2, default=None,
+                     metavar=("A_LO:A_HI", "B_LO:B_HI"),
+                     help="change report for interval range A against "
+                     "baseline range B (half-open interval indices)")
+    p_q.add_argument("--drilldown", nargs=2, default=None,
+                     metavar=("A_LO:A_HI", "B_LO:B_HI"),
+                     help="like --diff, plus hierarchical prefix attribution")
+    p_q.add_argument("--replay", action="store_true",
+                     help="re-run live detection over the full-resolution "
+                     "tail")
+    p_q.add_argument("--model", default="ma",
+                     help="forecast model for --replay")
+    p_q.add_argument("--window", type=int, default=None)
+    p_q.add_argument("--threshold", type=float, default=0.05,
+                     help="alarm threshold fraction T")
+    p_q.add_argument("--top-n", type=int, default=0)
+    p_q.add_argument("--levels", default="8,16,24,32",
+                     help="prefix lengths for --drilldown, coarse to fine")
+    p_q.set_defaults(func=_cmd_query)
 
     p_gs = sub.add_parser("gridsearch", help="grid-search model parameters")
     p_gs.add_argument("--router", default="medium")

@@ -45,6 +45,8 @@ from repro.detection.drilldown import (
     DrilldownNode,
     DrilldownReport,
     PrefixDrilldown,
+    attribute_key_errors,
+    build_attribution_forest,
     format_prefix,
 )
 from repro.detection.explain import AlarmExplanation, explain_alarm
@@ -89,6 +91,8 @@ __all__ = [
     "DrilldownReport",
     "GroupTestingSchema",
     "PrefixDrilldown",
+    "attribute_key_errors",
+    "build_attribution_forest",
     "format_prefix",
     "HeavyHitterTracker",
     "heavy_hitters",

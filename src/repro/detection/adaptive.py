@@ -90,6 +90,12 @@ class AdaptiveDetector:
         self._detection_history: Deque = deque(maxlen=window)
         self._params: Optional[Dict[str, object]] = None
         self._param_log: List[tuple] = []
+        # Relative cadence: intervals processed since the last refresh.
+        # Keying the schedule off the *absolute* batch index recalibrated
+        # on multiples of recalibrate_every regardless of when the
+        # initial fit happened -- a stream starting at index 5 with
+        # recalibrate_every=6 would fit at 5 and immediately refit at 6.
+        self._intervals_since_refresh = 0
 
     @property
     def parameter_log(self) -> List[tuple]:
@@ -113,6 +119,7 @@ class AdaptiveDetector:
             result = search_integer_window(self._space, objective)
         self._params = self._space.to_model_kwargs(result.best_params)
         self._param_log.append((interval, dict(self._params)))
+        self._intervals_since_refresh = 0
 
     def run(self, batches: Iterable[KeyedUpdates]) -> Iterator[IntervalDetection]:
         """Detect over a stream, refreshing model parameters periodically.
@@ -130,7 +137,7 @@ class AdaptiveDetector:
                 len(self._history) >= self.min_history
                 and (
                     self._params is None
-                    or batch.index % self.recalibrate_every == 0
+                    or self._intervals_since_refresh >= self.recalibrate_every
                 )
             )
             if due:
@@ -150,6 +157,7 @@ class AdaptiveDetector:
 
             self._history.append(search_observed)
             self._detection_history.append(observed)
+            self._intervals_since_refresh += 1
             if report is not None:
                 yield report
 

@@ -41,12 +41,18 @@ def format_prefix(prefix: int, prefix_len: int) -> str:
 
 @dataclass
 class DrilldownNode:
-    """One alarmed prefix and its alarmed children at the next level."""
+    """One alarmed prefix and its alarmed children at the next level.
+
+    ``orphan`` marks an alarmed node whose coarser parent stayed under
+    threshold -- it is surfaced as its own root instead of being silently
+    dropped (a /24 spike diluted inside a quiet /8 must still appear).
+    """
 
     prefix: int
     prefix_len: int
     estimated_error: float
     children: List["DrilldownNode"] = field(default_factory=list)
+    orphan: bool = False
 
     def render(self, indent: int = 0) -> str:
         """Human-readable attribution tree."""
@@ -54,6 +60,7 @@ class DrilldownNode:
             " " * indent
             + f"{format_prefix(self.prefix, self.prefix_len)}  "
             f"error={self.estimated_error:+.4g}"
+            + ("  [orphan]" if self.orphan else "")
         )
         parts = [line]
         parts.extend(child.render(indent + 2) for child in self.children)
@@ -82,6 +89,67 @@ class DrilldownReport:
             return f"interval {self.interval}: no significant changes"
         body = "\n".join(root.render() for root in self.roots)
         return f"interval {self.interval}:\n{body}"
+
+
+def build_attribution_forest(
+    levels: Sequence[int], per_level: Sequence[Dict[int, float]]
+) -> List[DrilldownNode]:
+    """Attach alarmed prefixes coarse-to-fine; orphans become roots.
+
+    ``per_level[i]`` maps each alarmed prefix at level ``levels[i]`` to
+    its estimated error.  Every alarmed node appears in the returned
+    forest exactly once: under its alarmed parent when the parent also
+    cleared threshold, otherwise as an *orphan root* (flagged on the
+    node).  Alarmed-parent roots come first, sorted by error magnitude;
+    orphan roots follow, coarse levels first, each level sorted the same
+    way -- so a diluted fine-level spike whose coarse aggregate stayed
+    quiet is still reported instead of vanishing.
+    """
+    if len(per_level) != len(levels):
+        raise ValueError(
+            f"per_level has {len(per_level)} entries for {len(levels)} levels"
+        )
+    attached: List[set] = [set() for _ in levels]
+
+    def build(
+        level: int, prefix: int, error: float, orphan: bool = False
+    ) -> DrilldownNode:
+        node = DrilldownNode(
+            prefix=prefix, prefix_len=levels[level],
+            estimated_error=error, orphan=orphan,
+        )
+        if level + 1 < len(levels):
+            parent_mask = _mask(levels[level])
+            for child_prefix, child_error in per_level[level + 1].items():
+                if (child_prefix & parent_mask) == prefix:
+                    attached[level + 1].add(child_prefix)
+                    node.children.append(
+                        build(level + 1, child_prefix, child_error)
+                    )
+            node.children.sort(key=lambda c: -abs(c.estimated_error))
+        return node
+
+    roots = [
+        build(0, prefix, error)
+        for prefix, error in sorted(
+            per_level[0].items(), key=lambda kv: -abs(kv[1])
+        )
+    ]
+    # Coarse-first orphan sweep: building a level-j orphan attaches its
+    # alarmed descendants, so they are excluded from later sweeps.
+    for level in range(1, len(levels)):
+        orphans = sorted(
+            (
+                (prefix, error)
+                for prefix, error in per_level[level].items()
+                if prefix not in attached[level]
+            ),
+            key=lambda kv: -abs(kv[1]),
+        )
+        for prefix, error in orphans:
+            attached[level].add(prefix)
+            roots.append(build(level, prefix, error, orphan=True))
+    return roots
 
 
 class PrefixDrilldown:
@@ -171,26 +239,57 @@ class PrefixDrilldown:
             self._alarmed(step, schema)
             for step, schema in zip(steps, self._schemas)
         ]
-
-        def build(level: int, prefix: int, error: float) -> DrilldownNode:
-            node = DrilldownNode(
-                prefix=prefix, prefix_len=self.levels[level],
-                estimated_error=error,
-            )
-            if level + 1 < len(self.levels):
-                parent_mask = _mask(self.levels[level])
-                for child_prefix, child_error in per_level[level + 1].items():
-                    if (child_prefix & parent_mask) == prefix:
-                        node.children.append(
-                            build(level + 1, child_prefix, child_error)
-                        )
-                node.children.sort(key=lambda c: -abs(c.estimated_error))
-            return node
-
-        roots = [
-            build(0, prefix, error)
-            for prefix, error in sorted(
-                per_level[0].items(), key=lambda kv: -abs(kv[1])
-            )
-        ]
+        roots = build_attribution_forest(self.levels, per_level)
         return DrilldownReport(interval=interval, roots=roots)
+
+
+def attribute_key_errors(
+    keys: np.ndarray,
+    errors: np.ndarray,
+    *,
+    threshold: float,
+    levels: Sequence[int] = (8, 16, 24, 32),
+    interval: int = 0,
+) -> DrilldownReport:
+    """Forensic drill-down over per-key error estimates (no re-detection).
+
+    The retrospective path: the temporal archive's ``diff`` hands back
+    per-host error estimates reconstructed from an archived error sketch;
+    this aggregates them up the destination-prefix hierarchy (estimated
+    errors are linear, so summing host estimates *is* the prefix
+    estimate), alarms every level against the same ``threshold`` used by
+    the interval report, and builds the attribution forest -- orphan
+    surfacing included -- with the exact machinery the live
+    :class:`PrefixDrilldown` uses.
+
+    ``keys`` must be 32-bit host keys (the ``dst_ip`` scheme).
+    """
+    levels = tuple(int(l) for l in levels)
+    if not levels or any(b <= a for a, b in zip(levels, levels[1:])):
+        raise ValueError(f"levels must be strictly increasing, got {levels}")
+    if any(not 1 <= l <= 32 for l in levels):
+        raise ValueError(f"levels must be in [1, 32], got {levels}")
+    keys = np.asarray(keys, dtype=np.uint64)
+    errors = np.asarray(errors, dtype=np.float64)
+    if keys.shape != errors.shape:
+        raise ValueError(
+            f"keys/errors must match, got {keys.shape} and {errors.shape}"
+        )
+    per_level: List[Dict[int, float]] = []
+    for level in levels:
+        mask = _mask(level)
+        totals: Dict[int, float] = {}
+        for key, err in zip(keys.tolist(), errors.tolist()):
+            prefix = key & mask
+            totals[prefix] = totals.get(prefix, 0.0) + err
+        # Zero-threshold rule matches the detection layer: exact-zero
+        # aggregates never alarm even when threshold == 0.
+        per_level.append(
+            {
+                p: e
+                for p, e in totals.items()
+                if abs(e) >= threshold and e != 0.0
+            }
+        )
+    roots = build_attribution_forest(levels, per_level)
+    return DrilldownReport(interval=interval, roots=roots)

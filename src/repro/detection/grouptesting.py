@@ -26,7 +26,12 @@ from typing import Dict, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.hashing import derive_seeds, make_family
-from repro.sketch.base import LinearSummary, SummaryConvention
+from repro.sketch.base import (
+    LinearSummary,
+    SummaryConvention,
+    folded_width,
+    resolve_folded_schema,
+)
 
 
 class GroupTestingSchema:
@@ -87,6 +92,13 @@ class GroupTestingSchema:
         """Bucket index per row for each key: shape ``(depth, n)``."""
         keys = SummaryConvention.as_key_array(keys)
         return np.stack([h.hash_array(keys) for h in self.hashes])
+
+    def folded(self) -> "GroupTestingSchema":
+        """The half-width schema this family folds into (same depth/seed)."""
+        return type(self)(
+            depth=self.depth, width=folded_width(self),
+            key_bits=self.key_bits, seed=self.seed, family=self.family,
+        )
 
 
 class GroupTestingSketch(LinearSummary):
@@ -228,6 +240,23 @@ class GroupTestingSketch(LinearSummary):
                     continue
             recovered[int(key)] = est
         return recovered
+
+    def fold_width(
+        self, schema: Optional[GroupTestingSchema] = None
+    ) -> "GroupTestingSketch":
+        """Halve the width exactly (Hokusai item aggregation).
+
+        The per-bit subcounters are linear, so all ``1 + key_bits``
+        subcells of buckets ``j`` and ``j + K/2`` sum into bucket
+        ``j mod K/2`` -- the folded table equals the half-width build of
+        the same stream (bit-for-bit for integer-valued updates), and
+        decoding works unchanged at the coarser collision rate.
+        """
+        folded = resolve_folded_schema(self._schema, schema)
+        half = folded.width
+        return GroupTestingSketch(
+            folded, self._table[:, :half, :] + self._table[:, half:, :]
+        )
 
     def _linear_combination(
         self, terms: Sequence[Tuple[float, LinearSummary]]

@@ -170,6 +170,21 @@ class StreamingSession:
         Max sealed-but-unfinished intervals in flight (default 2).
         Ingestion blocks (in order) once the queue is full, bounding
         memory at ``pipeline_depth`` detached interval summaries.
+    sink:
+        Optional callable ``sink(observed, keys, index)`` invoked for
+        every sealed interval *before* the forecast step consumes the
+        observed summary -- the attachment point for the temporal
+        archive (pass ``archive.ingest``).  The sink receives the live
+        summary object and collected key array by reference and must
+        not mutate them (copy what it keeps; the forecaster retains
+        ``observed`` in its model state).  Runs on whatever thread
+        executes the seal: inline for a blocking session, the single
+        FIFO pipeline worker when ``pipeline=True`` -- either way,
+        strictly in interval order, one seal at a time.  ``keys`` is
+        the interval's deduplicated key set under ``key_source=
+        "twopass"`` and empty for recovery key sources.  An execution
+        attachment, not result state: reports are identical with or
+        without one, and checkpoints never carry it.
     recorder:
         Optional :class:`~repro.obs.recorder.PipelineRecorder`.  When
         attached, the session reports stage timings (ingest, seal,
@@ -198,6 +213,7 @@ class StreamingSession:
         key_source: str = "twopass",
         pipeline: bool = False,
         pipeline_depth: int = 2,
+        sink=None,
         recorder=None,
         **model_params,
     ) -> None:
@@ -238,6 +254,11 @@ class StreamingSession:
                 "use repro.detection.online.OnlineDetector"
             )
         self.key_source = key_source
+        if sink is not None and not callable(sink):
+            raise TypeError(
+                f"sink must be callable, got {type(sink).__name__}"
+            )
+        self.sink = sink
         self.pipeline = bool(pipeline)
         self.pipeline_depth = int(pipeline_depth)
         self._executor: Optional[ThreadPoolExecutor] = None
@@ -276,6 +297,8 @@ class StreamingSession:
         )
         obs.preregister_labelled(CANDIDATES_COUNTER, "source", KEY_SOURCES)
         obs.preregister_stage("recover", "collect", "pipeline_wait")
+        if self.sink is not None:
+            obs.preregister_stage("archive_sink")
         if obs.enabled:
             obs.gauge("repro_kernel_threads", kernel_thread_count())
             obs.gauge("repro_pipeline_queue_depth", 0)
@@ -572,6 +595,12 @@ class StreamingSession:
         """
         obs = self.recorder
         with obs.time("seal"):
+            if self.sink is not None:
+                # Archive hook: before the forecast step so the sink sees
+                # the observed summary exactly as sealed (the forecaster
+                # retains but never mutates it; the sink must copy).
+                with obs.time("archive_sink"):
+                    self.sink(observed, keys, index)
             error_out, forecast_out = self._scratch_summaries()
             with obs.time("forecast_step"):
                 step = self.forecaster.step_into(

@@ -33,7 +33,9 @@ from repro.sketch.mergeable import (
     SharedTableBlock,
     combine,
     detach_shared,
+    fold_width,
     from_shared,
+    half_width_schema,
     kind_of,
     merge,
     summary_from_table,
@@ -70,6 +72,8 @@ __all__ = [
     "SketchStack",
     "SummaryConvention",
     "combine",
+    "fold_width",
+    "half_width_schema",
     "detach_shared",
     "from_shared",
     "kind_of",

@@ -187,6 +187,57 @@ class LinearSummary(abc.ABC):
         return self._linear_combination([(-1.0, self)])
 
 
+def folded_width(schema) -> int:
+    """Validate that ``schema`` can halve its width; return ``width // 2``.
+
+    Width folding (Hokusai item aggregation) relies on every hash family
+    reducing a width-independent 64-bit value modulo ``K``: since
+    ``K/2`` divides ``K``, bucket ``j`` at width ``K`` is exactly bucket
+    ``j mod K/2`` at width ``K/2``, so summing the two halves of each row
+    reproduces the half-width table bit-for-bit.  That argument needs an
+    even width, and a recoverable seed -- an entropy-seeded schema
+    (``seed=None``) cannot rebuild matching half-width hash functions.
+    """
+    if schema.seed is None:
+        raise ValueError(
+            "cannot fold an entropy-seeded schema (seed=None): the "
+            "half-width hash functions could not be rebuilt to match"
+        )
+    width = int(schema.width)
+    if width % 2:
+        raise ValueError(f"cannot fold odd width {width} in half")
+    return width // 2
+
+
+def resolve_folded_schema(schema, folded):
+    """Return the half-width schema for a fold, validating a supplied one.
+
+    ``folded=None`` builds a fresh schema via ``schema.folded()`` --
+    expensive for tabulation families (2 MiB of tables per row), so
+    callers folding repeatedly should build it once and pass it in.
+    """
+    half = folded_width(schema)
+    if folded is None:
+        return schema.folded()
+    if type(folded) is not type(schema):
+        raise TypeError(
+            f"folded schema must be {type(schema).__name__}, "
+            f"got {type(folded).__name__}"
+        )
+    if (
+        folded.width != half
+        or folded.depth != schema.depth
+        or folded.seed != schema.seed
+        or folded.family != schema.family
+        or getattr(folded, "key_bits", 0) != getattr(schema, "key_bits", 0)
+    ):
+        raise ValueError(
+            f"folded schema {folded!r} does not match half of {schema!r}: "
+            "it must share depth, seed, and family at exactly half the width"
+        )
+    return folded
+
+
 def linear_combination(
     coefficients: Iterable[float], summaries: Iterable[LinearSummary]
 ) -> LinearSummary:

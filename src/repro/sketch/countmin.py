@@ -25,7 +25,13 @@ from repro.hashing import (
     make_stacked,
     scatter_add_indices,
 )
-from repro.sketch.base import LinearSummary, SummaryConvention, accumulate_arrays
+from repro.sketch.base import (
+    LinearSummary,
+    SummaryConvention,
+    accumulate_arrays,
+    folded_width,
+    resolve_folded_schema,
+)
 
 
 class CountMinSchema:
@@ -91,6 +97,13 @@ class CountMinSchema:
         """
         keys = SummaryConvention.as_key_array(keys)
         return self._stacked.hash_all(keys)
+
+    def folded(self) -> "CountMinSchema":
+        """The half-width schema this family folds into (same depth/seed)."""
+        return type(self)(
+            depth=self.depth, width=folded_width(self),
+            seed=self.seed, family=self.family,
+        )
 
 
 class CountMinSketch(LinearSummary):
@@ -205,6 +218,23 @@ class CountMinSketch(LinearSummary):
     def total(self) -> float:
         """Sum of all inserted values (row 0)."""
         return float(self._table[0].sum())
+
+    def fold_width(
+        self, schema: Optional[CountMinSchema] = None
+    ) -> "CountMinSketch":
+        """Halve the width exactly (Hokusai item aggregation).
+
+        Same structural argument as :meth:`KArySketch.fold_width`:
+        bucket indices at width ``K/2`` are the width-``K`` indices mod
+        ``K/2``, so summing the row halves reproduces the half-width
+        table (bit-for-bit for integer-valued updates).  The cash-register error bound degrades from
+        ``eps = e/K`` to ``2e/K`` -- resolution traded for memory.
+        """
+        folded = resolve_folded_schema(self._schema, schema)
+        half = folded.width
+        return CountMinSketch(
+            folded, self._table[:, :half] + self._table[:, half:]
+        )
 
     def _check_terms(
         self, terms: Sequence[Tuple[float, LinearSummary]]

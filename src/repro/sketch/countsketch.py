@@ -28,7 +28,13 @@ from repro.hashing import (
     make_family,
     make_stacked,
 )
-from repro.sketch.base import LinearSummary, SummaryConvention, accumulate_arrays
+from repro.sketch.base import (
+    LinearSummary,
+    SummaryConvention,
+    accumulate_arrays,
+    folded_width,
+    resolve_folded_schema,
+)
 
 
 class CountSketchSchema:
@@ -98,6 +104,19 @@ class CountSketchSchema:
         keys = SummaryConvention.as_key_array(keys)
         bits = self._sign_stacked.hash_all(keys)
         return (2 * bits - 1).astype(np.float64)
+
+    def folded(self) -> "CountSketchSchema":
+        """The half-width schema this family folds into (same depth/seed).
+
+        The sign hashes are derived from ``seeds[depth:]`` into a fixed
+        range of 2 regardless of width, so the folded schema's signs are
+        identical -- folding preserves the signed-update structure, not
+        just the bucket totals.
+        """
+        return type(self)(
+            depth=self.depth, width=folded_width(self),
+            seed=self.seed, family=self.family,
+        )
 
 
 class CountSketch(LinearSummary):
@@ -189,6 +208,23 @@ class CountSketch(LinearSummary):
         """
         sum_sq = np.einsum("ij,ij->i", self._table, self._table)
         return float(np.median(sum_sq))
+
+    def fold_width(
+        self, schema: Optional[CountSketchSchema] = None
+    ) -> "CountSketch":
+        """Halve the width exactly (Hokusai item aggregation).
+
+        Bucket indices fold as for k-ary (width-``K`` index mod ``K/2``),
+        and the sign hashes are width-independent (see
+        :meth:`CountSketchSchema.folded`), so the folded table equals the
+        half-width build of the same signed stream (bit-for-bit for
+        integer-valued updates).
+        """
+        folded = resolve_folded_schema(self._schema, schema)
+        half = folded.width
+        return CountSketch(
+            folded, self._table[:, :half] + self._table[:, half:]
+        )
 
     def _check_terms(
         self, terms: Sequence[Tuple[float, LinearSummary]]

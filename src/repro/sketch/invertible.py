@@ -263,6 +263,41 @@ class InvertibleKArySketch(KArySketch):
             return np.empty(0, dtype=np.uint64)
         return np.unique(self._cand_keys[mask])
 
+    # -- FOLD --------------------------------------------------------------
+
+    def fold_width(
+        self, schema: Optional[InvertibleKArySchema] = None
+    ) -> "InvertibleKArySketch":
+        """Halve the width: exact counter fold + MV merge of candidates.
+
+        The counter plane folds exactly like the plain k-ary sketch
+        (bucket ``j`` and ``j + K/2`` sum into bucket ``j mod K/2`` of
+        the half-width schema).  The candidate planes cannot fold
+        linearly -- two buckets collapsing into one must elect a single
+        candidate -- so the right half merges into the left with the
+        same MV rule COMBINE uses (unit coefficient): the surviving
+        candidate is whichever key's vote mass dominates the merged
+        bucket.  Counters stay exact; candidate recovery after a fold is
+        best-effort exactly as it is after any COMBINE.
+        """
+        from repro.sketch.base import resolve_folded_schema
+
+        folded = resolve_folded_schema(self._schema, schema)
+        half = folded.width
+        store = np.empty((3, self._schema.depth, half), dtype=np.float64)
+        np.add(self._table[:, :half], self._table[:, half:], out=store[0])
+        result = InvertibleKArySketch(folded, store)
+        np.copyto(result._cand_keys, self._cand_keys[:, :half])
+        np.copyto(result._cand_votes, self._cand_votes[:, :half])
+        mv_merge_planes(
+            result._cand_keys,
+            result._cand_votes,
+            np.ascontiguousarray(self._cand_keys[:, half:]),
+            np.ascontiguousarray(self._cand_votes[:, half:]),
+            1.0,
+        )
+        return result
+
     # -- COMBINE -----------------------------------------------------------
 
     def _check_terms(

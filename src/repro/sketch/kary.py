@@ -48,7 +48,13 @@ from repro.hashing import (
     make_stacked,
     scatter_add_indices,
 )
-from repro.sketch.base import LinearSummary, SummaryConvention, accumulate_arrays
+from repro.sketch.base import (
+    LinearSummary,
+    SummaryConvention,
+    accumulate_arrays,
+    folded_width,
+    resolve_folded_schema,
+)
 
 
 class KArySchema:
@@ -152,6 +158,19 @@ class KArySchema:
     def table_bytes(self) -> int:
         """Memory footprint of one sketch table (excluding hash tables)."""
         return self._depth * self._width * 8
+
+    def folded(self) -> "KArySchema":
+        """The half-width schema this family folds into (same depth/seed).
+
+        Because every hash family reduces a width-independent 64-bit
+        value modulo ``K``, the returned schema's bucket index for any
+        key equals this schema's index mod ``K/2`` -- the structural fact
+        :meth:`KArySketch.fold_width` relies on.
+        """
+        return type(self)(
+            depth=self._depth, width=folded_width(self),
+            seed=self._seed, family=self._family,
+        )
 
     def __eq__(self, other) -> bool:
         """Structural equality: same dimensions, family and *explicit* seed.
@@ -344,6 +363,33 @@ class KArySketch(LinearSummary):
         total = self.total()
         per_row = (k / (k - 1.0)) * sum_sq - (total * total) / (k - 1.0)
         return float(np.median(per_row))
+
+    # -- FOLD --------------------------------------------------------------
+
+    def fold_width(self, schema: Optional[KArySchema] = None) -> "KArySketch":
+        """Halve the width exactly (Hokusai item aggregation).
+
+        ``T'[i][j] = T[i][j] + T[i][j + K/2]`` over a half-width schema
+        with the same depth, seed, and family.  Because bucket indices at
+        width ``K/2`` are the width-``K`` indices mod ``K/2`` (see
+        :meth:`KArySchema.folded`), the result is **exactly** the sketch
+        the half-width schema would have built from the same stream --
+        not an approximation of it -- and linearity makes the fold
+        commute with COMBINE.  ("Exactly" is bit-for-bit when updates
+        are integer-valued counts, the archive's case; for arbitrary
+        float updates the fold regroups the per-cell summation order,
+        so equality holds up to float associativity.)  Estimation variance roughly doubles
+        (``F2/(K/2 - 1)``): resolution is traded for memory, which is the
+        point of aging archives.
+
+        Pass the prebuilt half-width ``schema`` when folding repeatedly;
+        building one on the fly re-derives the hash tables.
+        """
+        folded = resolve_folded_schema(self._schema, schema)
+        half = folded.width
+        return KArySketch(
+            folded, self._table[:, :half] + self._table[:, half:]
+        )
 
     # -- COMBINE -----------------------------------------------------------
 

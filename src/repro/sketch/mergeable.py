@@ -118,6 +118,43 @@ def merge(summaries: Iterable[LinearSummary]) -> LinearSummary:
     return combine([1.0] * len(summaries), summaries)
 
 
+def half_width_schema(schema):
+    """The half-width schema ``schema`` folds into (same depth/seed/family).
+
+    Type-generic front for the per-schema ``folded()`` constructors.
+    Building one re-derives hash tables (2 MiB per tabulation row), so
+    archive tiers cache the result per source schema.
+    """
+    kind_of(schema)  # raises on unsupported types
+    return schema.folded()
+
+
+def fold_width(summary: LinearSummary, schema=None) -> LinearSummary:
+    """FOLD: halve a summary's width using linearity (Hokusai item
+    aggregation).
+
+    The fifth mergeable-summary operation: ``T'[i][j] = T[i][j] +
+    T[i][j + K/2]`` over the half-width schema.  Because every hash
+    family reduces a width-independent 64-bit value modulo ``K`` and
+    ``K/2`` divides ``K``, the folded summary is **exactly** what the
+    half-width schema would have built from the same stream -- fold
+    commutes with UPDATE and COMBINE, which is what lets an archive age
+    summaries down in resolution and still merge them with natively
+    half-width ones.  Estimation variance roughly doubles per fold.
+    Exactness is bit-for-bit for integer-valued updates (traffic
+    counts); float updates regroup per-cell summation order, so
+    equality then holds up to float associativity.
+
+    Candidate-carrying summaries (the invertible sketch) fold their
+    counters exactly and MV-merge the collapsing candidate buckets;
+    group-testing summaries fold all per-bit subcounters.
+
+    Pass the prebuilt half-width ``schema`` when folding many summaries;
+    ``None`` builds a fresh one per call.
+    """
+    return summary.fold_width(schema=schema)
+
+
 # -- pickle-cheap schema identity -------------------------------------------
 
 _RESOLVE_CACHE: Dict["SchemaHandle", object] = {}

@@ -25,6 +25,7 @@ from repro.streams.intervals import (
     IntervalSlicer,
     RandomizedIntervalSlicer,
     interval_bounds,
+    interval_edge,
     slice_by_interval,
 )
 from repro.streams.keys import (
@@ -86,6 +87,7 @@ __all__ = [
     "concat_records",
     "empty_records",
     "interval_bounds",
+    "interval_edge",
     "iter_interval_chunks",
     "iter_interval_columns",
     "make_key_scheme",

@@ -20,41 +20,99 @@ import numpy as np
 from repro.streams.records import validate_records
 
 
+def interval_edge(index: int, interval_seconds: float, start: float = 0.0) -> float:
+    """The canonical float edge of interval ``index``: ``start + i * len``.
+
+    Every boundary in this module is derived by this one expression.
+    Accumulating ``t += interval_seconds`` instead drifts: after a few
+    thousand additions of a non-dyadic length (300.1 s, say) the running
+    sum disagrees with the product in the last ulps, and a record whose
+    timestamp sits exactly on the true edge lands in different intervals
+    depending on which derivation the caller used.
+    """
+    return start + interval_seconds * index
+
+
 def interval_bounds(
     duration: float, interval_seconds: float, start: float = 0.0
 ) -> List[Tuple[float, float]]:
     """Fixed interval boundaries covering ``[start, start + duration)``.
 
-    The last interval is truncated at the end of the trace.
+    The last interval is truncated at the end of the trace.  Edges are
+    derived by multiplication (:func:`interval_edge`), bit-identical to
+    the edges :func:`slice_by_interval` partitions records with.
     """
     if interval_seconds <= 0:
         raise ValueError(f"interval_seconds must be > 0, got {interval_seconds}")
     bounds = []
-    t = start
     end = start + duration
-    while t < end:
-        bounds.append((t, min(t + interval_seconds, end)))
-        t += interval_seconds
+    index = 0
+    while True:
+        lo = interval_edge(index, interval_seconds, start)
+        if lo >= end:
+            break
+        hi = min(interval_edge(index + 1, interval_seconds, start), end)
+        bounds.append((lo, hi))
+        index += 1
     return bounds
 
 
 def slice_by_interval(
-    records: np.ndarray, interval_seconds: float, start: float = 0.0
+    records: np.ndarray,
+    interval_seconds: float,
+    start: float = 0.0,
+    *,
+    on_before_start: str = "raise",
+    stats: Optional[dict] = None,
 ) -> Iterator[Tuple[int, np.ndarray]]:
     """Yield ``(interval_index, records_in_interval)`` over a sorted trace.
 
     Empty intervals in the middle of the trace are yielded with empty
     record arrays so that forecast models see a complete, evenly spaced
     series -- skipping them would silently compress time.
+
+    Records with ``timestamp < start`` belong to no interval.  They used
+    to be excluded silently; now the choice is explicit:
+
+    ``on_before_start="raise"`` (default)
+        Raise :class:`ValueError` naming the count -- a record before the
+        epoch almost always means the caller passed the wrong ``start``,
+        and quietly losing traffic corrupts every downstream total.
+    ``on_before_start="drop"``
+        Skip them, exposing the count as ``stats["dropped_before_start"]``
+        when a ``stats`` dict is supplied.
     """
     validate_records(records)
     if interval_seconds <= 0:
         raise ValueError(f"interval_seconds must be > 0, got {interval_seconds}")
+    if on_before_start not in ("raise", "drop"):
+        raise ValueError(
+            f"on_before_start must be 'raise' or 'drop', got {on_before_start!r}"
+        )
+    if stats is not None:
+        stats.setdefault("dropped_before_start", 0)
     if not len(records):
         return
     timestamps = records["timestamp"]
+    n_before = int(np.searchsorted(timestamps, start, side="left"))
+    if n_before:
+        if on_before_start == "raise":
+            raise ValueError(
+                f"{n_before} record(s) predate start={start!r} "
+                f"(earliest t={float(timestamps[0])!r}); pass "
+                "on_before_start='drop' to skip them explicitly"
+            )
+        if stats is not None:
+            stats["dropped_before_start"] += n_before
     last = timestamps[-1]
+    if last < start:  # the whole trace predates start: nothing to slice
+        return
     n_intervals = int((last - start) // interval_seconds) + 1
+    # Floor division can land one short under adversarial rounding (e.g.
+    # (last - start) evaluating just below a multiple); extend until the
+    # final edge strictly exceeds the last record so nothing is truncated.
+    while interval_edge(n_intervals, interval_seconds, start) <= last:
+        n_intervals += 1
     edges = start + interval_seconds * np.arange(n_intervals + 1)
     positions = np.searchsorted(timestamps, edges)
     for index in range(n_intervals):
@@ -62,17 +120,44 @@ def slice_by_interval(
 
 
 class IntervalSlicer:
-    """Object form of :func:`slice_by_interval` carrying its parameters."""
+    """Object form of :func:`slice_by_interval` carrying its parameters.
 
-    def __init__(self, interval_seconds: float, start: float = 0.0) -> None:
+    ``on_before_start`` follows the function's contract; with ``"drop"``,
+    the running total of skipped records is exposed as
+    :attr:`dropped_before_start`.
+    """
+
+    def __init__(
+        self,
+        interval_seconds: float,
+        start: float = 0.0,
+        on_before_start: str = "raise",
+    ) -> None:
         if interval_seconds <= 0:
             raise ValueError(f"interval_seconds must be > 0, got {interval_seconds}")
+        if on_before_start not in ("raise", "drop"):
+            raise ValueError(
+                f"on_before_start must be 'raise' or 'drop', got {on_before_start!r}"
+            )
         self.interval_seconds = float(interval_seconds)
         self.start = float(start)
+        self.on_before_start = on_before_start
+        self._stats = {"dropped_before_start": 0}
+
+    @property
+    def dropped_before_start(self) -> int:
+        """Records skipped for predating ``start`` (only in ``"drop"`` mode)."""
+        return self._stats["dropped_before_start"]
 
     def slices(self, records: np.ndarray) -> Iterator[Tuple[int, np.ndarray]]:
         """Yield ``(interval_index, records)`` pairs."""
-        return slice_by_interval(records, self.interval_seconds, self.start)
+        return slice_by_interval(
+            records,
+            self.interval_seconds,
+            self.start,
+            on_before_start=self.on_before_start,
+            stats=self._stats,
+        )
 
     def duration_of(self, index: int) -> float:
         """Nominal duration of an interval (constant for fixed slicing)."""
@@ -100,11 +185,18 @@ class RandomizedIntervalSlicer:
         min_fraction: float = 0.2,
         max_factor: float = 3.0,
         horizon: float = 10 * 86400.0,
+        on_before_start: str = "raise",
     ) -> None:
         if mean_seconds <= 0:
             raise ValueError(f"mean_seconds must be > 0, got {mean_seconds}")
+        if on_before_start not in ("raise", "drop"):
+            raise ValueError(
+                f"on_before_start must be 'raise' or 'drop', got {on_before_start!r}"
+            )
         self.mean_seconds = float(mean_seconds)
         self.start = float(start)
+        self.on_before_start = on_before_start
+        self._stats = {"dropped_before_start": 0}
         rng = np.random.default_rng(seed)
         lengths: List[float] = []
         total = 0.0
@@ -124,13 +216,34 @@ class RandomizedIntervalSlicer:
         """Actual duration of interval ``index``."""
         return float(self._edges[index + 1] - self._edges[index])
 
+    @property
+    def dropped_before_start(self) -> int:
+        """Records skipped for predating ``start`` (only in ``"drop"`` mode)."""
+        return self._stats["dropped_before_start"]
+
     def slices(self, records: np.ndarray) -> Iterator[Tuple[int, np.ndarray]]:
-        """Yield ``(interval_index, records)`` under the random boundaries."""
+        """Yield ``(interval_index, records)`` under the random boundaries.
+
+        Records predating ``start`` follow the :func:`slice_by_interval`
+        contract: raise by default, or count into
+        :attr:`dropped_before_start` in ``"drop"`` mode.
+        """
         validate_records(records)
         if not len(records):
             return
         timestamps = records["timestamp"]
+        n_before = int(np.searchsorted(timestamps, self.start, side="left"))
+        if n_before:
+            if self.on_before_start == "raise":
+                raise ValueError(
+                    f"{n_before} record(s) predate start={self.start!r} "
+                    f"(earliest t={float(timestamps[0])!r}); pass "
+                    "on_before_start='drop' to skip them explicitly"
+                )
+            self._stats["dropped_before_start"] += n_before
         last = timestamps[-1]
+        if last < self.start:
+            return
         n_intervals = int(np.searchsorted(self._edges, last, side="right"))
         if n_intervals >= len(self._edges):
             raise ValueError(

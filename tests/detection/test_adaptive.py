@@ -112,3 +112,42 @@ class TestAdaptiveDetector:
         assert detector.current_parameters is not None
         assert "window" in detector.current_parameters
         assert reports
+
+
+class TestRecalibrationCadence:
+    """Regression: the refresh schedule must count intervals since the
+    last fit, not test ``batch.index % recalibrate_every`` -- the
+    absolute-index rule refit on calendar multiples regardless of when
+    the previous fit happened."""
+
+    def test_gaps_between_fits_equal_recalibrate_every(self, rng, schema):
+        batches = make_batches(rng, intervals=18)
+        detector = AdaptiveDetector(
+            schema, model="ewma", min_history=4, window=8,
+            recalibrate_every=6,
+        )
+        list(detector.run(batches))
+        fits = [interval for interval, _ in detector.parameter_log]
+        assert fits[0] == 4  # first fit once min_history is banked
+        assert [b - a for a, b in zip(fits, fits[1:])] == [6] * (len(fits) - 1)
+
+    def test_cadence_independent_of_index_origin(self, rng, schema):
+        """A stream whose indices start at 5 must not refit early just
+        because an absolute index hits a multiple of the cadence."""
+        shifted = [
+            KeyedUpdates(
+                index=batch.index + 5,
+                keys=batch.keys,
+                values=batch.values,
+                duration=batch.duration,
+            )
+            for batch in make_batches(rng, intervals=18)
+        ]
+        detector = AdaptiveDetector(
+            schema, model="ewma", min_history=4, window=8,
+            recalibrate_every=6,
+        )
+        list(detector.run(shifted))
+        fits = [interval for interval, _ in detector.parameter_log]
+        assert fits[0] == 9  # 4 banked intervals -> fit on the 5th batch
+        assert [b - a for a, b in zip(fits, fits[1:])] == [6] * (len(fits) - 1)

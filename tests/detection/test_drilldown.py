@@ -115,3 +115,169 @@ class TestPrefixDrilldown:
         )
         magnitudes = [abs(c.estimated_error) for c in ten_slash_8.children]
         assert magnitudes == sorted(magnitudes, reverse=True)
+
+
+class TestAttributionForest:
+    """Regression: alarmed fine prefixes with quiet coarse parents used
+    to be dropped from the report entirely."""
+
+    def test_orphan_surfaces_as_root(self):
+        from repro.detection.drilldown import build_attribution_forest
+
+        # /24 alarms, its /8 stays quiet: the node must still appear.
+        roots = build_attribution_forest(
+            (8, 24), [{}, {0x0A010200: 500.0}]
+        )
+        assert len(roots) == 1
+        assert roots[0].prefix == 0x0A010200
+        assert roots[0].prefix_len == 24
+        assert roots[0].orphan
+
+    def test_alarmed_parent_not_orphan(self):
+        from repro.detection.drilldown import build_attribution_forest
+
+        roots = build_attribution_forest(
+            (8, 24), [{0x0A000000: 600.0}, {0x0A010200: 500.0}]
+        )
+        assert len(roots) == 1
+        assert not roots[0].orphan
+        assert [c.prefix for c in roots[0].children] == [0x0A010200]
+
+    def test_mid_level_orphan_adopts_its_children(self):
+        from repro.detection.drilldown import build_attribution_forest
+
+        roots = build_attribution_forest(
+            (8, 16, 24),
+            [
+                {},
+                {0x0A010000: 400.0},
+                {0x0A010200: 390.0, 0x14050600: 100.0},
+            ],
+        )
+        assert [(r.prefix, r.prefix_len, r.orphan) for r in roots] == [
+            (0x0A010000, 16, True),   # /16 orphan, coarse level first
+            (0x14050600, 24, True),   # unrelated /24 orphan
+        ]
+        # The /16 orphan adopted its alarmed /24 descendant.
+        assert [c.prefix for c in roots[0].children] == [0x0A010200]
+        assert not roots[0].children[0].orphan
+
+    def test_every_alarm_appears_exactly_once(self):
+        from repro.detection.drilldown import build_attribution_forest
+
+        per_level = [
+            {0x0A000000: 600.0},
+            {0x0A010000: 550.0, 0x0B020000: -300.0},
+            {0x0A010200: 500.0, 0x0B020300: -290.0, 0x30303000: 80.0},
+        ]
+        roots = build_attribution_forest((8, 16, 24), per_level)
+
+        def collect(node):
+            yield (node.prefix, node.prefix_len)
+            for child in node.children:
+                yield from collect(child)
+
+        seen = [pair for root in roots for pair in collect(root)]
+        expected = [
+            (p, l)
+            for level, l in zip(per_level, (8, 16, 24))
+            for p in level
+        ]
+        assert sorted(seen) == sorted(expected)
+        assert len(seen) == len(set(seen))
+
+    def test_level_count_mismatch_rejected(self):
+        from repro.detection.drilldown import build_attribution_forest
+
+        with pytest.raises(ValueError, match="levels"):
+            build_attribution_forest((8, 16), [{}])
+
+
+class TestAttributeKeyErrors:
+    def test_aggregates_hosts_up_the_hierarchy(self):
+        from repro.detection.drilldown import attribute_key_errors
+
+        keys = np.array([0x0A010204, 0x0A010205, 0x0B000001], dtype=np.uint64)
+        errors = np.array([300.0, 250.0, -400.0])
+        report = attribute_key_errors(
+            keys, errors, threshold=100.0, levels=(8, 32), interval=7
+        )
+        assert report.interval == 7
+        by_prefix = {root.prefix: root for root in report.roots}
+        assert by_prefix[0x0A000000].estimated_error == pytest.approx(550.0)
+        assert by_prefix[0x0B000000].estimated_error == pytest.approx(-400.0)
+
+    def test_zero_aggregate_never_alarms_at_zero_threshold(self):
+        from repro.detection.drilldown import attribute_key_errors
+
+        keys = np.array([0x0A010204, 0x0A090905], dtype=np.uint64)
+        errors = np.array([300.0, -300.0])  # cancel exactly at /8
+        report = attribute_key_errors(
+            keys, errors, threshold=0.0, levels=(8, 32)
+        )
+        prefixes = {(r.prefix, r.prefix_len) for r in report.roots}
+        assert (0x0A000000, 8) not in prefixes
+
+    def test_validation(self):
+        from repro.detection.drilldown import attribute_key_errors
+
+        with pytest.raises(ValueError, match="levels"):
+            attribute_key_errors(
+                np.array([1], dtype=np.uint64), np.array([1.0]),
+                threshold=1.0, levels=(24, 8),
+            )
+        with pytest.raises(ValueError, match="match"):
+            attribute_key_errors(
+                np.array([1, 2], dtype=np.uint64), np.array([1.0]),
+                threshold=1.0,
+            )
+
+
+class TestPlantedDilution:
+    def test_diluted_fine_spike_survives_quiet_coarse_parent(self, rng):
+        """A /24 spike offset by an equal drop elsewhere in the same /8
+        cancels at the /8 level; the fine alarms must surface as orphan
+        roots instead of vanishing under the quiet parent."""
+        spike_host = 0x0A010204   # 10.1.2.4
+        drop_host = 0x0A630909    # 10.99.9.9 -- same /8, different /24
+        steady = []
+        for t in range(8):
+            lo, hi = t * 300.0, (t + 1) * 300.0
+            # The drop host carries heavy steady traffic that stops in
+            # interval 6; the spike host lights up there with the same
+            # volume, so the /8 aggregate barely moves.
+            if t != 6:
+                steady.append(_attack(rng, drop_host, lo, hi,
+                                      count=2000, bytes_per=1000))
+            else:
+                steady.append(_attack(rng, spike_host, lo, hi,
+                                      count=2000, bytes_per=1000))
+                # A trickle keeps the collapsed key in the interval's
+                # candidate set (two-pass candidates are observed keys).
+                steady.append(_attack(rng, drop_host, lo, hi,
+                                      count=10, bytes_per=10))
+            # Light background elsewhere keeps other levels honest.
+            steady.append(
+                make_records(
+                    timestamps=np.sort(rng.uniform(lo, hi, 500)),
+                    dst_ips=rng.integers(0xC0000000, 0xC1000000, 500),
+                    byte_counts=rng.integers(100, 300, 500),
+                )
+            )
+        records = concat_records(steady)
+        order = np.argsort(records["timestamp"], kind="stable")
+        records = records[order]
+        drill = PrefixDrilldown(
+            levels=(8, 24), model="ewma", alpha=0.5, t_fraction=0.3
+        )
+        reports = {r.interval: r for r in drill.run(records, 300.0)}
+        report = reports[6]
+        ten_slash8_roots = {
+            r.prefix for r in report.roots if r.prefix_len == 8
+        }
+        assert 0x0A000000 not in ten_slash8_roots  # parent stayed quiet
+        orphan_24s = {
+            r.prefix for r in report.roots if r.prefix_len == 24 and r.orphan
+        }
+        assert (spike_host & 0xFFFFFF00) in orphan_24s
+        assert (drop_host & 0xFFFFFF00) in orphan_24s

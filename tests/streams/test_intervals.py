@@ -12,6 +12,7 @@ from repro.streams import (
     make_records,
     slice_by_interval,
 )
+from repro.streams.intervals import interval_edge
 
 
 class TestIntervalBounds:
@@ -121,3 +122,173 @@ class TestRandomizedSlicer:
     def test_validation(self):
         with pytest.raises(ValueError):
             RandomizedIntervalSlicer(0.0)
+
+
+class TestBoundaryAgreement:
+    """Regression: ``interval_bounds`` and ``slice_by_interval`` must
+    derive every edge by the same multiplication (``start + i * len``).
+    An accumulated running sum drifts in the last ulps for non-dyadic
+    lengths, so edge-exact records landed in different intervals
+    depending on which function the caller consulted."""
+
+    def test_bounds_edges_are_multiplicative(self):
+        interval = 300.1  # not representable exactly: accumulation drifts
+        bounds = interval_bounds(interval * 3000, interval)
+        for i, (lo, _) in enumerate(bounds):
+            assert lo == interval_edge(i, interval)
+
+    def test_edge_exact_record_lands_where_bounds_say(self):
+        interval = 300.1
+        drift = 0.0
+        for _ in range(2500):
+            drift += interval
+        product = interval_edge(2500, interval)
+        assert drift != product  # the accumulated sum really does drift
+        records = make_records([product], [9], [1])
+        slices = {
+            index: chunk
+            for index, chunk in slice_by_interval(records, interval)
+            if len(chunk)
+        }
+        # The record sits exactly on edge 2500, so it opens interval 2500
+        # -- same interval the bounds list assigns it to.
+        assert list(slices) == [2500]
+        lo, hi = interval_bounds(product + 1.0, interval)[2500]
+        assert lo <= product < hi
+
+    def test_edge_exact_records_across_many_edges(self):
+        interval = 0.1  # classic repeating-fraction float
+        indices = [1, 7, 10, 100, 1000, 4999]
+        timestamps = [interval_edge(i, interval) for i in indices]
+        records = make_records(timestamps, range(len(indices)), [1] * len(indices))
+        landed = {
+            index
+            for index, chunk in slice_by_interval(records, interval)
+            if len(chunk)
+        }
+        assert landed == set(indices)
+
+
+class TestBeforeStart:
+    """Regression: records predating ``start`` used to vanish silently."""
+
+    def test_raises_by_default_with_count(self):
+        records = make_records([5.0, 7.0, 150.0], [1, 2, 3], [1, 1, 1])
+        with pytest.raises(ValueError, match="2 record"):
+            list(slice_by_interval(records, 300.0, start=10.0))
+
+    def test_drop_mode_counts_into_stats(self):
+        records = make_records([5.0, 7.0, 150.0], [1, 2, 3], [1, 1, 1])
+        stats = {}
+        slices = dict(
+            slice_by_interval(
+                records, 300.0, start=10.0,
+                on_before_start="drop", stats=stats,
+            )
+        )
+        assert stats["dropped_before_start"] == 2
+        assert slices[0]["dst_ip"].tolist() == [3]
+
+    def test_whole_trace_before_start(self):
+        records = make_records([1.0, 2.0], [1, 2], [1, 1])
+        stats = {}
+        slices = list(
+            slice_by_interval(
+                records, 300.0, start=100.0,
+                on_before_start="drop", stats=stats,
+            )
+        )
+        assert slices == []
+        assert stats["dropped_before_start"] == 2
+
+    def test_invalid_mode_rejected(self):
+        records = make_records([1.0], [1], [1])
+        with pytest.raises(ValueError, match="on_before_start"):
+            list(slice_by_interval(records, 300.0, on_before_start="ignore"))
+
+    def test_slicer_accumulates_dropped_across_calls(self):
+        slicer = IntervalSlicer(300.0, start=10.0, on_before_start="drop")
+        for _ in range(2):
+            list(slicer.slices(make_records([1.0, 20.0], [1, 2], [1, 1])))
+        assert slicer.dropped_before_start == 2
+
+    def test_slicer_raises_by_default(self):
+        slicer = IntervalSlicer(300.0, start=10.0)
+        with pytest.raises(ValueError, match="predate"):
+            list(slicer.slices(make_records([1.0], [1], [1])))
+
+    def test_randomized_slicer_same_contract(self):
+        records = make_records([1.0, 500.0], [1, 2], [1, 1])
+        strict = RandomizedIntervalSlicer(300.0, seed=1, start=10.0)
+        with pytest.raises(ValueError, match="predate"):
+            list(strict.slices(records))
+        lenient = RandomizedIntervalSlicer(
+            300.0, seed=1, start=10.0, on_before_start="drop"
+        )
+        total = sum(len(chunk) for _, chunk in lenient.slices(records))
+        assert total == 1
+        assert lenient.dropped_before_start == 1
+
+
+class TestAdversarialFloatPartition:
+    """Property: slicing partitions every record into exactly one
+    interval, and that interval's multiplicative edges bracket the
+    record -- even for edge-exact, ulp-adjacent and drift-accumulated
+    timestamps."""
+
+    @staticmethod
+    def _assert_partition(timestamps, interval, start=0.0):
+        timestamps = np.sort(np.asarray(timestamps, dtype=np.float64))
+        records = make_records(
+            timestamps, np.arange(len(timestamps)), np.ones(len(timestamps))
+        )
+        seen = []
+        for index, chunk in slice_by_interval(records, interval, start):
+            lo = interval_edge(index, interval, start)
+            hi = interval_edge(index + 1, interval, start)
+            for t in chunk["timestamp"].tolist():
+                assert lo <= t < hi
+            seen.extend(chunk["dst_ip"].tolist())
+        assert sorted(seen) == list(range(len(timestamps)))
+
+    @given(
+        interval=st.one_of(
+            st.sampled_from([0.1, 1 / 3, 300.1, 299.9999999999999]),
+            st.floats(min_value=1e-3, max_value=1e4,
+                      allow_nan=False, allow_infinity=False),
+        ),
+        indices=st.lists(
+            st.integers(min_value=0, max_value=20000),
+            min_size=1, max_size=40,
+        ),
+        start=st.sampled_from([0.0, 17.3, 1e6]),
+    )
+    @settings(max_examples=120, deadline=None)
+    def test_edge_and_neighbor_timestamps(self, interval, indices, start):
+        timestamps = []
+        for i in indices:
+            edge = interval_edge(i, interval, start)
+            timestamps.append(edge)
+            timestamps.append(np.nextafter(edge, np.inf))
+            below = np.nextafter(edge, -np.inf)
+            if below >= start:
+                timestamps.append(below)
+        self._assert_partition(timestamps, interval, start)
+
+    def test_accumulated_drift_grid(self):
+        # Timestamps produced by the *accumulating* derivation -- the one
+        # the slicer must not use internally -- still partition cleanly.
+        interval = 300.1
+        t, timestamps = 0.0, []
+        for _ in range(3000):
+            timestamps.append(t)
+            t += interval
+        self._assert_partition(timestamps, interval)
+
+    def test_uniform_random_with_edge_mixins(self, rng):
+        interval = 1 / 3
+        edges = [interval_edge(i, interval) for i in range(0, 9000, 91)]
+        timestamps = np.concatenate(
+            [rng.uniform(0, 3000, 500), np.asarray(edges)]
+        )
+        self._assert_partition(timestamps, interval)
